@@ -1,0 +1,181 @@
+package lca_test
+
+import (
+	"testing"
+
+	"lca"
+)
+
+// TestQuickstartFlow exercises the documented entry points end to end: a
+// downstream user builds a graph, wraps it in an oracle, queries a spanner
+// LCA, and verifies the assembled result.
+func TestQuickstartFlow(t *testing.T) {
+	g := lca.Gnp(300, 0.2, 42)
+	span := lca.NewSpanner3Config(lca.NewOracle(g), 7, lca.SpannerConfig{Memo: true})
+	h, stats := lca.BuildSubgraph(g, span)
+	if stats.Queries != g.M() {
+		t.Fatalf("harness issued %d queries for %d edges", stats.Queries, g.M())
+	}
+	rep := lca.VerifyStretch(g, h, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("stretch violations: %+v", rep)
+	}
+	if h.M() >= g.M() {
+		t.Fatalf("no sparsification: %d of %d edges", h.M(), g.M())
+	}
+}
+
+func TestFacadeSpannerFamilies(t *testing.T) {
+	g := lca.DenseCore(200, 50, 5, 3)
+	o := lca.NewOracle(g)
+	if h, _ := lca.BuildSubgraph(g, lca.NewSpanner5Config(o, 1, lca.SpannerConfig{Memo: true})); lca.VerifyStretch(g, h, 5).Violations != 0 {
+		t.Error("5-spanner stretch violation through the facade")
+	}
+	kcfg := lca.SpannerKConfig{L: 25, CenterProb: 0.05}
+	kcfg.Memo = true
+	hk, _ := lca.BuildSubgraph(g, lca.NewSpannerKConfig(lca.NewOracle(g), 2, 2, kcfg))
+	if err := lca.VerifyConnectivityPreserved(g, hk); err != nil {
+		t.Errorf("O(k^2) spanner through the facade: %v", err)
+	}
+	super := lca.NewSuperSpanner(lca.NewOracle(lca.Complete(80)), 3, 4, lca.SpannerConfig{})
+	if !super.QueryEdge(0, 1) && !super.QueryEdge(1, 2) {
+		t.Log("super spanner answered NO on both sample edges (fine; just exercising the path)")
+	}
+}
+
+func TestFacadeClassicalLCAs(t *testing.T) {
+	g := lca.Torus(10, 10)
+	in, _ := lca.BuildVertexSet(g, lca.NewMIS(lca.NewOracle(g), 5))
+	if err := lca.VerifyMaximalIndependentSet(g, in); err != nil {
+		t.Error(err)
+	}
+	m, _ := lca.BuildSubgraph(g, lca.NewMatching(lca.NewOracle(g), 6))
+	if err := lca.VerifyMaximalMatching(g, m); err != nil {
+		t.Error(err)
+	}
+	colors, _ := lca.BuildLabels(g, lca.NewColoring(lca.NewOracle(g), 7))
+	if err := lca.VerifyColoring(g, colors, g.MaxDegree()+1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := lca.Gnp(120, 0.15, 9)
+	if h := lca.BaswanaSen(g, 2, 1); lca.VerifyStretch(g, h, 3).Violations != 0 {
+		t.Error("Baswana-Sen stretch violation")
+	}
+	if h := lca.GreedySpanner(g, 2); lca.VerifyStretch(g, h, 3).Violations != 0 {
+		t.Error("greedy spanner stretch violation")
+	}
+	f := lca.SpanningForest(g)
+	if err := lca.VerifyConnectivityPreserved(g, f); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if g, err := lca.RandomRegular(40, 3, 1); err != nil || g.MaxDegree() != 3 || g.MinDegree() != 3 {
+		t.Errorf("RandomRegular via facade: %v", err)
+	}
+	if g := lca.ChungLu(200, 2.5, 6, 2); g.N() != 200 {
+		t.Error("ChungLu via facade")
+	}
+	if g := lca.PlantedClusters(60, 3, 0.3, 0.02, 3); g.N() != 60 {
+		t.Error("PlantedClusters via facade")
+	}
+	if g := lca.Grid(4, 5); g.M() != 31 {
+		t.Errorf("Grid via facade: m=%d", g.M())
+	}
+	b := lca.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	if g := b.Build(); g.M() != 1 {
+		t.Error("builder via facade")
+	}
+	if g := lca.FromEdges(3, []lca.Edge{{U: 0, V: 2}}); !g.HasEdge(2, 0) {
+		t.Error("FromEdges via facade")
+	}
+}
+
+func TestProbeCounterFacade(t *testing.T) {
+	g := lca.Complete(50)
+	c := lca.NewProbeCounter(lca.NewOracle(g))
+	c.Degree(0)
+	c.Neighbor(0, 0)
+	if c.Stats().Total() != 2 {
+		t.Errorf("probe counter via facade: %+v", c.Stats())
+	}
+}
+
+func TestApproxMatchingFacade(t *testing.T) {
+	g := lca.Grid(4, 6)
+	a := lca.NewApproxMatching(lca.NewOracle(g), 1, 3)
+	m, _ := lca.BuildSubgraph(g, a)
+	if err := lca.VerifyMaximalMatching(g, m); err != nil {
+		t.Error(err)
+	}
+	base, _ := lca.BuildSubgraph(g, lca.NewMatching(lca.NewOracle(g), 3))
+	if m.M()+1 < base.M() {
+		t.Errorf("augmented matching (%d) worse than a maximal one (%d)", m.M(), base.M())
+	}
+}
+
+func TestParallelHarnessFacade(t *testing.T) {
+	g := lca.Gnp(200, 0.2, 11)
+	serial, _ := lca.BuildSubgraph(g, lca.NewSpanner3(lca.NewOracle(g), 5))
+	par, _ := lca.BuildSubgraphParallel(g, func() lca.EdgeLCA {
+		return lca.NewSpanner3(lca.NewOracle(g), 5)
+	}, 4)
+	if serial.M() != par.M() {
+		t.Fatalf("parallel facade diverged: %d vs %d", par.M(), serial.M())
+	}
+	in, _ := lca.BuildVertexSetParallel(g, func() lca.VertexLCA {
+		return lca.NewMIS(lca.NewOracle(g), 5)
+	}, 4)
+	if err := lca.VerifyMaximalIndependentSet(g, in); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateFacade(t *testing.T) {
+	g := lca.Torus(20, 20)
+	s := lca.EstimateSamplesFor(0.08, 0.02)
+	res := lca.EstimateVertexFraction(g.N(), lca.NewMIS(lca.NewOracle(g), 7), s, 0.02, 9)
+	if res.Fraction < 0.15 || res.Fraction > 0.6 {
+		t.Errorf("torus MIS fraction estimate %f implausible", res.Fraction)
+	}
+	dens := lca.EstimateEdgeFraction(g, lca.NewMatching(lca.NewOracle(g), 7), s, 0.02, 9)
+	if dens.Fraction <= 0 || dens.Fraction >= 1 {
+		t.Errorf("matching density estimate %f implausible", dens.Fraction)
+	}
+}
+
+func TestProbeLimiterFacade(t *testing.T) {
+	g := lca.Complete(100)
+	limiter := lca.NewProbeLimiter(lca.NewOracle(g), 50)
+	if ok := limiter.WithinBudget(func() {
+		for i := 0; i < 10; i++ {
+			limiter.Degree(i)
+		}
+	}); !ok {
+		t.Error("10 probes must fit a budget of 50")
+	}
+	if ok := limiter.WithinBudget(func() {
+		for i := 0; i < 100; i++ {
+			limiter.Degree(i)
+		}
+	}); ok {
+		t.Error("100 probes must not fit a budget of 50")
+	}
+}
+
+func TestBallAssignmentFacade(t *testing.T) {
+	table := lca.NewChoiceTable(300, 300, 2, 5)
+	a := lca.NewBallAssignment(table, 7)
+	global := a.RunGlobal()
+	fresh := lca.NewBallAssignment(table, 7)
+	for b := 0; b < table.Balls(); b++ {
+		if fresh.QueryBall(b) != global[b] {
+			t.Fatalf("facade assignment diverged at ball %d", b)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command lcagen generates synthetic graph workloads in edge-list text
+// format for use with lcaspan and lcaverify.
+//
+// Usage:
+//
+//	lcagen -kind gnp -n 1000 -p 0.05 [-seed 7] [-out graph.txt]
+//	lcagen -kind regular -n 1000 -d 4
+//	lcagen -kind powerlaw -n 1000 -beta 2.5 -avgdeg 8
+//	lcagen -kind torus -rows 32 -cols 32
+//	lcagen -kind clusters -n 1000 -k 4 -pin 0.2 -pout 0.01
+//	lcagen -kind densecore -n 1000 -core 100 -avgdeg 5
+//	lcagen -kind complete -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "gnp", "gnp, regular, powerlaw, torus, grid, clusters, densecore, complete")
+		n      = flag.Int("n", 1000, "number of vertices")
+		p      = flag.Float64("p", 0.01, "edge probability (gnp)")
+		d      = flag.Int("d", 4, "degree (regular)")
+		beta   = flag.Float64("beta", 2.5, "power-law exponent (powerlaw)")
+		avgDeg = flag.Float64("avgdeg", 8, "average degree (powerlaw, densecore periphery)")
+		rows   = flag.Int("rows", 32, "rows (torus, grid)")
+		cols   = flag.Int("cols", 32, "cols (torus, grid)")
+		k      = flag.Int("k", 4, "communities (clusters)")
+		pin    = flag.Float64("pin", 0.2, "intra-community probability (clusters)")
+		pout   = flag.Float64("pout", 0.01, "inter-community probability (clusters)")
+		core   = flag.Int("core", 100, "core size (densecore)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	s := rnd.Seed(*seed)
+	switch *kind {
+	case "gnp":
+		g = gen.Gnp(*n, *p, s)
+	case "regular":
+		g, err = gen.RandomRegular(*n, *d, s)
+	case "powerlaw":
+		g = gen.ChungLu(*n, *beta, *avgDeg, s)
+	case "torus":
+		g = gen.Torus(*rows, *cols)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "clusters":
+		g = gen.PlantedClusters(*n, *k, *pin, *pout, s)
+	case "densecore":
+		g = gen.DenseCore(*n, *core, *avgDeg, s)
+	case "complete":
+		g = gen.Complete(*n)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcagen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "lcagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lcagen: %s n=%d m=%d maxdeg=%d\n", *kind, g.N(), g.M(), g.MaxDegree())
+}

@@ -1,0 +1,62 @@
+// Command lcaserve serves LCA queries over HTTP: the deployment shape of
+// the model. The process holds only the graph and a seed; every request is
+// answered by a fresh LCA instance, so replicas sharing the seed serve
+// consistent slices of the same global solution.
+//
+// Usage:
+//
+//	lcaserve -graph g.txt -addr :8080 -seed 2019
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /graph
+//	GET /spanner/{3|5|k|sparse}/edge?u=U&v=V[&k=K]
+//	GET /mis/vertex?v=V
+//	GET /matching/edge?u=U&v=V
+//	GET /coloring/vertex?v=V
+//	GET /estimate/{mis|cover|spanner3}?samples=S
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"lca/internal/graph"
+	"lca/internal/rnd"
+	"lca/internal/serve"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list graph file (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 2019, "random seed shared by all replicas")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "lcaserve: -graph is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatalf("lcaserve: %v", err)
+	}
+	g, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("lcaserve: %v", err)
+	}
+	log.Printf("lcaserve: graph n=%d m=%d maxdeg=%d, seed=%d, listening on %s",
+		g.N(), g.M(), g.MaxDegree(), *seed, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(g, rnd.Seed(*seed)).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,60 @@
+// Package lca is a library of Local Computation Algorithms (LCAs, also
+// known as the centralized-local model): algorithms that answer queries
+// about a single, globally consistent solution — a spanner, a maximal
+// independent set, a matching, a coloring — while probing only a sublinear
+// portion of the input graph and storing nothing but a short random seed.
+//
+// # The model
+//
+// The input graph is reachable only through an adjacency-list oracle
+// (Oracle) answering Neighbor, Degree and Adjacency probes. An LCA is
+// instantiated from an oracle and a Seed; all of its random decisions are
+// derived from bounded-independence hash families over vertex IDs, so any
+// two queries — or two independently built instances with the same seed —
+// agree on one fixed global solution. Probe counts are the complexity
+// measure and can be read back from every algorithm via ProbeStats.
+//
+// # What is implemented
+//
+// Spanners (Parter, Rubinfeld, Vakilian, Yodpinyanee 2019):
+//
+//   - NewSpanner3: 3-spanners with ~O(n^{3/2}) edges and ~O(n^{3/4})
+//     probes per edge query, sublinear even on graphs of maximum degree
+//     Theta(n).
+//   - NewSpanner5: 5-spanners with ~O(n^{4/3}) edges and ~O(n^{5/6})
+//     probes.
+//   - NewSpannerK: O(k^2)-stretch spanners with ~O(n^{1+1/k}) edges for
+//     bounded-degree graphs, and NewSparseSpanning for the
+//     sparse-spanning-graph regime.
+//
+// Classical sparse-regime LCAs (Rubinfeld-Tamir-Vardi-Xie, Alon et al.):
+//
+//   - NewMIS: maximal independent set membership.
+//   - NewMatching: maximal matching and 2-approximate vertex cover.
+//   - NewApproxMatching: (1-eps)-approximate maximum matching via
+//     bounded-length augmenting-path phases.
+//   - NewColoring: (Delta+1)-coloring.
+//   - NewBallAssignment: d-choice load balancing (power of two choices).
+//
+// Applications and operations: EstimateVertexFraction and
+// EstimateEdgeFraction (Hoeffding-bounded solution-size estimates from
+// sampled queries), BuildSubgraphParallel (per-worker instances,
+// bit-identical to serial), NewProbeLimiter (hard probe budgets), and the
+// internal/dist Parnas-Ron reduction turning any k-round distributed
+// algorithm into an LCA.
+//
+// Supporting systems: graph substrate and generators (Gnp, RandomRegular,
+// ChungLu, ...), global baselines (BaswanaSen, GreedySpanner, ...), the
+// assembly-and-verification harness (BuildSubgraph, VerifyStretch, ...),
+// the Theorem 1.3 lower-bound apparatus (SampleDPlus/SampleDMinus,
+// BFSMeet), and an HTTP query service (cmd/lcaserve).
+//
+// # Quick start
+//
+//	g := lca.Gnp(100000, 0.01, 42)          // or any graph behind an Oracle
+//	span := lca.NewSpanner3(lca.NewOracle(g), 7)
+//	inSpanner := span.QueryEdge(123, 4567)  // ~n^{3/4} probes, no global work
+//
+// See examples/ for runnable end-to-end scenarios and DESIGN.md for the
+// paper-to-module map.
+package lca

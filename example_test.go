@@ -1,0 +1,79 @@
+package lca_test
+
+import (
+	"fmt"
+
+	"lca"
+)
+
+// Querying a 3-spanner edge without any global computation: answers are
+// consistent with one spanner fixed entirely by the seed.
+func ExampleNewSpanner3() {
+	g := lca.Complete(400)
+	span := lca.NewSpanner3(lca.NewOracle(g), 42)
+
+	in := span.QueryEdge(7, 301)
+	again := lca.NewSpanner3(lca.NewOracle(g), 42).QueryEdge(7, 301)
+	fmt.Println(in == again)
+	// Output: true
+}
+
+// Assembling and auditing the full spanner (something a deployment never
+// needs, but the theory's guarantees become checkable).
+func ExampleBuildSubgraph() {
+	g := lca.Complete(200)
+	span := lca.NewSpanner3Config(lca.NewOracle(g), 7, lca.SpannerConfig{Memo: true})
+	h, _ := lca.BuildSubgraph(g, span)
+	rep := lca.VerifyStretch(g, h, 3)
+	fmt.Println(rep.Violations == 0, h.M() < g.M())
+	// Output: true true
+}
+
+// MIS membership queries: every vertex can decide its own membership
+// locally, and the collection of answers is a valid maximal independent
+// set.
+func ExampleNewMIS() {
+	g := lca.Torus(10, 10)
+	m := lca.NewMIS(lca.NewOracle(g), 3)
+	in, _ := lca.BuildVertexSet(g, m)
+	fmt.Println(lca.VerifyMaximalIndependentSet(g, in) == nil)
+	// Output: true
+}
+
+// Estimating a solution's size from sampled queries — sublinear in n.
+func ExampleEstimateVertexFraction() {
+	g := lca.Torus(30, 30)
+	m := lca.NewMIS(lca.NewOracle(g), 5)
+	res := lca.EstimateVertexFraction(g.N(), m, lca.EstimateSamplesFor(0.1, 0.05), 0.05, 9)
+	// A torus MIS sits between 1/4 and 1/2 of the vertices.
+	fmt.Println(res.Fraction > 0.2, res.Fraction < 0.55)
+	// Output: true true
+}
+
+// Hard probe budgets: the locality guarantee as a runtime contract.
+func ExampleProbeLimiter_WithinBudget() {
+	g := lca.Complete(100)
+	limiter := lca.NewProbeLimiter(lca.NewOracle(g), 10)
+	ok := limiter.WithinBudget(func() {
+		limiter.Degree(0)
+		limiter.Degree(1)
+	})
+	overrun := limiter.WithinBudget(func() {
+		for v := 0; v < 50; v++ {
+			limiter.Degree(v)
+		}
+	})
+	fmt.Println(ok, overrun)
+	// Output: true false
+}
+
+// Parallel assembly: per-worker instances, bit-identical results.
+func ExampleBuildSubgraphParallel() {
+	g := lca.Gnp(150, 0.2, 3)
+	serial, _ := lca.BuildSubgraph(g, lca.NewSpanner3(lca.NewOracle(g), 5))
+	parallel, _ := lca.BuildSubgraphParallel(g, func() lca.EdgeLCA {
+		return lca.NewSpanner3(lca.NewOracle(g), 5)
+	}, 4)
+	fmt.Println(serial.M() == parallel.M())
+	// Output: true
+}

@@ -1,0 +1,102 @@
+// Conflict scheduling with classical LCAs on a bounded-degree graph.
+//
+// A wireless mesh: towers on a torus grid with a few extra long-range
+// links. Three LCAs answer per-tower scheduling questions without any
+// central computation:
+//
+//   - MIS:      which towers may transmit in the current slot,
+//   - matching: disjoint tower pairs for a pairwise calibration protocol,
+//   - coloring: a frequency plan with at most Delta+1 channels.
+//
+// Every answer is consistent with one global solution fixed by the seed;
+// towers answering independently never conflict. This is the sparse
+// regime (Delta = O(1)) where the classical LCAs shine.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+
+	"lca"
+)
+
+func main() {
+	const rows, cols = 40, 40
+	const seed = lca.Seed(99)
+
+	// Torus mesh plus a sprinkle of long-range interference edges.
+	base := lca.Torus(rows, cols)
+	b := lca.NewGraphBuilder(base.N())
+	for _, e := range base.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for i := 0; i < 200; i++ {
+		u := (i * 7919) % base.N()
+		v := (i*104729 + 13) % base.N()
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	fmt.Printf("mesh: %d towers, %d interference edges, max degree %d\n", g.N(), g.M(), g.MaxDegree())
+
+	// Per-tower queries: each tower computes its own slot/partner/channel.
+	misLCA := lca.NewMIS(lca.NewOracle(g), seed)
+	matchLCA := lca.NewMatching(lca.NewOracle(g), seed)
+	colorLCA := lca.NewColoring(lca.NewOracle(g), seed)
+
+	fmt.Println("\nper-tower decisions (computed independently, no coordination):")
+	for _, tower := range []int{0, 777, 1599} {
+		before := misLCA.ProbeStats()
+		transmit := misLCA.QueryVertex(tower)
+		misProbes := misLCA.ProbeStats().Sub(before).Total()
+		partner := -1
+		for i := 0; i < g.Degree(tower); i++ {
+			w := g.Neighbor(tower, i)
+			if matchLCA.QueryEdge(tower, w) {
+				partner = w
+				break
+			}
+		}
+		channel := colorLCA.QueryLabel(tower)
+		fmt.Printf("  tower %4d: transmit=%5v (in %d probes)  calibration partner=%5d  channel=%d\n",
+			tower, transmit, misProbes, partner, channel)
+	}
+
+	// Global audit: materialize all three solutions and verify that the
+	// independently computed answers really are conflict-free.
+	fmt.Println("\nglobal audit:")
+	in, misStats := lca.BuildVertexSet(g, misLCA)
+	if err := lca.VerifyMaximalIndependentSet(g, in); err != nil {
+		fmt.Println("  MIS INVALID:", err)
+		return
+	}
+	count := 0
+	for _, x := range in {
+		if x {
+			count++
+		}
+	}
+	fmt.Printf("  transmit set: %d towers, independent and maximal (mean %.1f probes/query)\n",
+		count, misStats.Mean())
+
+	m, _ := lca.BuildSubgraph(g, matchLCA)
+	if err := lca.VerifyMaximalMatching(g, m); err != nil {
+		fmt.Println("  matching INVALID:", err)
+		return
+	}
+	fmt.Printf("  calibration pairs: %d disjoint pairs, maximal\n", m.M())
+
+	colors, _ := lca.BuildLabels(g, colorLCA)
+	if err := lca.VerifyColoring(g, colors, g.MaxDegree()+1); err != nil {
+		fmt.Println("  coloring INVALID:", err)
+		return
+	}
+	used := map[int]bool{}
+	for _, c := range colors {
+		used[c] = true
+	}
+	fmt.Printf("  frequency plan: proper with %d channels (Delta+1 = %d)\n", len(used), g.MaxDegree()+1)
+	fmt.Println("audit: PASS — every local answer is a slice of one coherent global schedule")
+}

@@ -1,0 +1,185 @@
+// Package balls implements the load-balancing LCA from the original LCA
+// papers (Rubinfeld-Tamir-Vardi-Xie 2011, Alon et al. 2012): n balls
+// arrive in random order and each is placed greedily into the least loaded
+// of its d hash-chosen bins. The LCA answers "which bin holds ball b?"
+// without simulating the whole process: a ball's placement depends only on
+// the placements of earlier balls sharing one of its candidate bins, so
+// the query recurses over a (w.h.p. shallow) dependency tree — the same
+// random-order-greedy principle as the MIS and matching LCAs, on a
+// bipartite structure.
+//
+// The d >= 2 case exhibits the "power of two choices": max load drops from
+// Theta(log n / log log n) to log log n / log d + O(1). Experiment E13
+// measures exactly that gap through the LCA.
+package balls
+
+import (
+	"sort"
+
+	"lca/internal/rnd"
+)
+
+// Oracle is the probe interface over the balls-and-bins choice structure:
+// the forward map (a ball's candidate bins) and the reverse index (a bin's
+// candidate balls). Both directions are probes, mirroring Neighbor probes
+// on the bipartite choice graph.
+type Oracle interface {
+	// Balls returns the number of balls.
+	Balls() int
+	// Bins returns the number of bins.
+	Bins() int
+	// Choices returns ball b's candidate bins (length d, fixed order).
+	Choices(b int) []int
+	// Candidates returns the balls that have the bin among their choices.
+	Candidates(bin int) []int
+}
+
+// ChoiceTable is a concrete materialized choice structure.
+type ChoiceTable struct {
+	choices    [][]int
+	candidates [][]int
+	probes     uint64
+}
+
+var _ Oracle = (*ChoiceTable)(nil)
+
+// NewChoiceTable samples a choice structure: each of n balls draws d bins
+// (with replacement, deduplicated) uniformly from m bins.
+func NewChoiceTable(n, m, d int, seed rnd.Seed) *ChoiceTable {
+	prg := rnd.NewPRG(seed.Derive(0xba))
+	t := &ChoiceTable{
+		choices:    make([][]int, n),
+		candidates: make([][]int, m),
+	}
+	for b := 0; b < n; b++ {
+		seen := make(map[int]bool, d)
+		for j := 0; j < d; j++ {
+			bin := prg.Intn(m)
+			if seen[bin] {
+				continue
+			}
+			seen[bin] = true
+			t.choices[b] = append(t.choices[b], bin)
+			t.candidates[bin] = append(t.candidates[bin], b)
+		}
+	}
+	return t
+}
+
+// Balls implements Oracle.
+func (t *ChoiceTable) Balls() int { return len(t.choices) }
+
+// Bins implements Oracle.
+func (t *ChoiceTable) Bins() int { return len(t.candidates) }
+
+// Choices implements Oracle (counted as one probe).
+func (t *ChoiceTable) Choices(b int) []int {
+	t.probes++
+	return t.choices[b]
+}
+
+// Candidates implements Oracle (counted as one probe).
+func (t *ChoiceTable) Candidates(bin int) []int {
+	t.probes++
+	return t.candidates[bin]
+}
+
+// Probes returns the probe count so far.
+func (t *ChoiceTable) Probes() uint64 { return t.probes }
+
+// Assignment is the LCA answering placement queries consistently with the
+// greedy d-choice process under a hash-random arrival order. Construct
+// with New; not safe for concurrent use.
+type Assignment struct {
+	o    Oracle
+	fam  *rnd.Family
+	memo map[int]int
+}
+
+// New returns a placement LCA over o; answers depend only on (o, seed).
+func New(o Oracle, seed rnd.Seed) *Assignment {
+	return &Assignment{
+		o:    o,
+		fam:  rnd.NewFamily(seed.Derive(0xbb), 16),
+		memo: make(map[int]int),
+	}
+}
+
+// Before reports whether ball a arrives before ball b (hash priority,
+// ID tie-break).
+func (a *Assignment) Before(x, y int) bool {
+	hx, hy := a.fam.Hash(uint64(x)), a.fam.Hash(uint64(y))
+	if hx != hy {
+		return hx < hy
+	}
+	return x < y
+}
+
+// QueryBall returns the bin ball b lands in: the least loaded of its
+// choices at its arrival time, ties to the lowest bin ID. Returns -1 for a
+// ball with no choices.
+func (a *Assignment) QueryBall(b int) int {
+	if bin, ok := a.memo[b]; ok {
+		return bin
+	}
+	choices := a.o.Choices(b)
+	if len(choices) == 0 {
+		a.memo[b] = -1
+		return -1
+	}
+	bestBin, bestLoad := -1, 0
+	for _, bin := range choices {
+		load := 0
+		for _, other := range a.o.Candidates(bin) {
+			if other != b && a.Before(other, b) && a.QueryBall(other) == bin {
+				load++
+			}
+		}
+		if bestBin < 0 || load < bestLoad || (load == bestLoad && bin < bestBin) {
+			bestBin, bestLoad = bin, load
+		}
+	}
+	a.memo[b] = bestBin
+	return bestBin
+}
+
+// LoadOf returns the final load of a bin by querying all its candidates.
+func (a *Assignment) LoadOf(bin int) int {
+	load := 0
+	for _, b := range a.o.Candidates(bin) {
+		if a.QueryBall(b) == bin {
+			load++
+		}
+	}
+	return load
+}
+
+// RunGlobal simulates the greedy process sequentially under the same
+// arrival order and returns every ball's bin — the reference the LCA must
+// match exactly.
+func (a *Assignment) RunGlobal() []int {
+	n := a.o.Balls()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return a.Before(order[i], order[j]) })
+	loads := make([]int, a.o.Bins())
+	out := make([]int, n)
+	for _, b := range order {
+		choices := a.o.Choices(b)
+		if len(choices) == 0 {
+			out[b] = -1
+			continue
+		}
+		best := -1
+		for _, bin := range choices {
+			if best < 0 || loads[bin] < loads[best] || (loads[bin] == loads[best] && bin < best) {
+				best = bin
+			}
+		}
+		loads[best]++
+		out[b] = best
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package balls
+
+import (
+	"testing"
+
+	"lca/internal/rnd"
+)
+
+func TestAssignmentMatchesGlobal(t *testing.T) {
+	for _, tc := range []struct{ n, m, d int }{
+		{100, 100, 1}, {100, 100, 2}, {500, 200, 3}, {50, 10, 2},
+	} {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			table := NewChoiceTable(tc.n, tc.m, tc.d, seed)
+			a := New(table, seed.Derive(9))
+			global := a.RunGlobal()
+			// Fresh instance so memoization from RunGlobal's Before calls
+			// cannot mask anything.
+			b := New(table, seed.Derive(9))
+			for ball := 0; ball < tc.n; ball++ {
+				if got := b.QueryBall(ball); got != global[ball] {
+					t.Fatalf("n=%d m=%d d=%d seed=%d: ball %d local=%d global=%d",
+						tc.n, tc.m, tc.d, seed, ball, got, global[ball])
+				}
+			}
+		}
+	}
+}
+
+func TestAssignmentPlacesIntoChoices(t *testing.T) {
+	table := NewChoiceTable(300, 100, 2, 5)
+	a := New(table, 7)
+	for b := 0; b < table.Balls(); b++ {
+		bin := a.QueryBall(b)
+		found := false
+		for _, c := range table.choices[b] {
+			if c == bin {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ball %d placed in %d, not among its choices %v", b, bin, table.choices[b])
+		}
+	}
+}
+
+func TestLoadsSumToBalls(t *testing.T) {
+	table := NewChoiceTable(400, 150, 2, 11)
+	a := New(table, 3)
+	total := 0
+	for bin := 0; bin < table.Bins(); bin++ {
+		total += a.LoadOf(bin)
+	}
+	if total != table.Balls() {
+		t.Fatalf("loads sum to %d, want %d", total, table.Balls())
+	}
+}
+
+func TestPowerOfTwoChoices(t *testing.T) {
+	// The classic effect: with n balls into n bins, two choices push the
+	// max load far below one choice. Averaged over seeds to kill variance.
+	const n = 2000
+	maxLoad := func(d int) float64 {
+		total := 0
+		const runs = 5
+		for seed := rnd.Seed(0); seed < runs; seed++ {
+			table := NewChoiceTable(n, n, d, seed)
+			a := New(table, seed.Derive(1))
+			worst := 0
+			for bin := 0; bin < table.Bins(); bin++ {
+				if l := a.LoadOf(bin); l > worst {
+					worst = l
+				}
+			}
+			total += worst
+		}
+		return float64(total) / runs
+	}
+	one, two := maxLoad(1), maxLoad(2)
+	t.Logf("mean max load over seeds: d=1: %.1f, d=2: %.1f", one, two)
+	if two >= one {
+		t.Errorf("two choices (%f) did not beat one choice (%f)", two, one)
+	}
+	if two > 5 {
+		t.Errorf("d=2 max load %f implausibly high for n=%d", two, n)
+	}
+}
+
+func TestAssignmentDeterministic(t *testing.T) {
+	table := NewChoiceTable(200, 80, 2, 1)
+	a := New(table, 42)
+	b := New(table, 42)
+	for ball := 0; ball < table.Balls(); ball++ {
+		if a.QueryBall(ball) != b.QueryBall(ball) {
+			t.Fatalf("instances disagree on ball %d", ball)
+		}
+	}
+	c := New(table, 43)
+	diff := 0
+	for ball := 0; ball < table.Balls(); ball++ {
+		if a.QueryBall(ball) != c.QueryBall(ball) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Log("note: different seeds produced identical assignments (possible)")
+	}
+}
+
+func TestChoiceTableShape(t *testing.T) {
+	table := NewChoiceTable(100, 40, 3, 9)
+	if table.Balls() != 100 || table.Bins() != 40 {
+		t.Fatalf("dims %d/%d", table.Balls(), table.Bins())
+	}
+	// Candidates must be the exact inverse of choices.
+	for b := 0; b < table.Balls(); b++ {
+		for _, bin := range table.choices[b] {
+			found := false
+			for _, cand := range table.candidates[bin] {
+				if cand == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("reverse index missing ball %d in bin %d", b, bin)
+			}
+		}
+		if len(table.choices[b]) == 0 || len(table.choices[b]) > 3 {
+			t.Fatalf("ball %d has %d choices", b, len(table.choices[b]))
+		}
+	}
+	if table.Probes() != 0 {
+		t.Fatal("construction must not count probes")
+	}
+	table.Choices(0)
+	table.Candidates(0)
+	if table.Probes() != 2 {
+		t.Fatalf("probe count %d, want 2", table.Probes())
+	}
+}

@@ -1,0 +1,267 @@
+// Package baseline implements the classical global algorithms that the LCA
+// constructions are measured against: the Baswana-Sen randomized
+// (2k-1)-spanner, the greedy girth-based spanner, BFS spanning forests, and
+// greedy MIS/matching/coloring. These see the whole graph at once — exactly
+// the luxury the local model denies — and anchor the experiments' quality
+// comparisons.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// GreedySpanner returns the classical greedy (2k-1)-spanner: edges are
+// scanned in a fixed order and kept iff the current spanner distance
+// between the endpoints exceeds 2k-1. The result has girth > 2k and hence
+// O(n^{1+1/k}) edges; it is the strongest size baseline but costs
+// O(m * spanner-BFS) time globally.
+func GreedySpanner(g *graph.Graph, k int) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	b := graph.NewBuilder(g.N())
+	// Adjacency of the growing spanner, maintained incrementally.
+	adj := make([][]int32, g.N())
+	limit := 2*k - 1
+	for _, e := range g.Edges() {
+		if distWithin(adj, e.U, e.V, limit) {
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+		adj[e.U] = append(adj[e.U], int32(e.V))
+		adj[e.V] = append(adj[e.V], int32(e.U))
+	}
+	return b.Build()
+}
+
+// distWithin reports whether v is reachable from u in at most limit hops in
+// the adjacency structure.
+func distWithin(adj [][]int32, u, v, limit int) bool {
+	if u == v {
+		return true
+	}
+	dist := map[int]int{u: 0}
+	queue := []int{u}
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		d := dist[x]
+		if d >= limit {
+			continue
+		}
+		for _, w := range adj[x] {
+			wi := int(w)
+			if _, seen := dist[wi]; seen {
+				continue
+			}
+			if wi == v {
+				return true
+			}
+			dist[wi] = d + 1
+			queue = append(queue, wi)
+		}
+	}
+	return false
+}
+
+// SpanningForest returns a BFS spanning forest of g: the sparsest subgraph
+// preserving connectivity, with unbounded stretch. It is the baseline the
+// "sparse spanning graph" LCA literature compares against.
+func SpanningForest(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	visited := make([]bool, g.N())
+	var queue []int
+	for root := 0; root < g.N(); root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue = append(queue[:0], root)
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			for _, w := range g.Neighbors(x) {
+				wi := int(w)
+				if !visited[wi] {
+					visited[wi] = true
+					b.AddEdge(x, wi)
+					queue = append(queue, wi)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BaswanaSen runs the global randomized (2k-1)-spanner algorithm of
+// Baswana and Sen (2007) on unweighted g, using hash-derived cluster
+// sampling so runs are reproducible from the seed. The expected size is
+// O(k * n^{1+1/k}).
+//
+// Phase 1 runs k-1 cluster-sampling rounds; phase 2 joins every vertex to
+// each adjacent surviving cluster.
+func BaswanaSen(g *graph.Graph, k int, seed rnd.Seed) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	n := g.N()
+	b := graph.NewBuilder(n)
+	// cluster[v] = center of v's current cluster, or -1 once v has been
+	// discarded from the clustering.
+	cluster := make([]int, n)
+	for v := range cluster {
+		cluster[v] = v
+	}
+	sampleProb := math.Pow(float64(n), -1.0/float64(k))
+	for round := 1; round < k; round++ {
+		fam := rnd.NewFamily(seed.Derive(uint64(round)), 32)
+		sampled := func(center int) bool {
+			return fam.Bernoulli(uint64(center), sampleProb)
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			c := cluster[v]
+			if c < 0 {
+				next[v] = -1
+				continue
+			}
+			if sampled(c) {
+				next[v] = c // cluster survives; v stays put
+				continue
+			}
+			// Find the lowest-ID neighbor in a sampled cluster, if any.
+			join := -1
+			for _, w := range g.Neighbors(v) {
+				cw := cluster[w]
+				if cw >= 0 && sampled(cw) {
+					if join < 0 || int(w) < join {
+						join = int(w)
+					}
+				}
+			}
+			if join >= 0 {
+				b.AddEdge(v, join)
+				next[v] = cluster[join]
+				continue
+			}
+			// No sampled neighbor cluster: connect to one lowest-ID vertex
+			// in each adjacent cluster, then drop out of the clustering.
+			addPerCluster(g, b, v, cluster)
+			next[v] = -1
+		}
+		cluster = next
+	}
+	// Phase 2: every vertex joins each adjacent surviving cluster once.
+	for v := 0; v < n; v++ {
+		addPerCluster(g, b, v, cluster)
+	}
+	return b.Build()
+}
+
+// addPerCluster adds, for vertex v, one edge to the lowest-ID neighbor in
+// each distinct adjacent cluster other than v's own.
+func addPerCluster(g *graph.Graph, b *graph.Builder, v int, cluster []int) {
+	best := make(map[int]int) // cluster center -> lowest neighbor ID
+	own := cluster[v]
+	for _, w := range g.Neighbors(v) {
+		cw := cluster[w]
+		if cw < 0 || cw == own {
+			continue
+		}
+		if cur, ok := best[cw]; !ok || int(w) < cur {
+			best[cw] = int(w)
+		}
+	}
+	// Deterministic insertion order.
+	centers := make([]int, 0, len(best))
+	for c := range best {
+		centers = append(centers, c)
+	}
+	sort.Ints(centers)
+	for _, c := range centers {
+		b.AddEdge(v, best[c])
+	}
+}
+
+// GreedyMIS returns the lexicographic greedy maximal independent set under
+// the given vertex order (nil = natural order).
+func GreedyMIS(g *graph.Graph, order []int) []bool {
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	in := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		blocked[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return in
+}
+
+// GreedyMatching returns the greedy maximal matching under the given edge
+// order (nil = canonical sorted order).
+func GreedyMatching(g *graph.Graph, order []graph.Edge) *graph.Graph {
+	if order == nil {
+		order = g.Edges()
+	}
+	matched := make([]bool, g.N())
+	b := graph.NewBuilder(g.N())
+	for _, e := range order {
+		if matched[e.U] || matched[e.V] {
+			continue
+		}
+		matched[e.U] = true
+		matched[e.V] = true
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// GreedyColoring returns the first-fit coloring under the given vertex
+// order (nil = natural order); it uses at most MaxDegree+1 colors.
+func GreedyColoring(g *graph.Graph, order []int) []int {
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	var used []bool
+	for _, v := range order {
+		need := g.Degree(v) + 1
+		if cap(used) < need {
+			used = make([]bool, need)
+		}
+		used = used[:need]
+		for i := range used {
+			used[i] = false
+		}
+		for _, w := range g.Neighbors(v) {
+			if c := colors[w]; c >= 0 && c < need {
+				used[c] = true
+			}
+		}
+		for c := 0; c < need; c++ {
+			if !used[c] {
+				colors[v] = c
+				break
+			}
+		}
+	}
+	return colors
+}

@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+func TestGreedySpannerStretchAndGirth(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			g := gen.Gnp(60, 0.3, seed)
+			h := GreedySpanner(g, k)
+			if err := core.VerifySubgraphOf(g, h); err != nil {
+				t.Fatal(err)
+			}
+			rep := core.VerifyStretch(g, h, 2*k-1)
+			if rep.Violations > 0 {
+				t.Fatalf("k=%d seed=%d: %d stretch violations", k, seed, rep.Violations)
+			}
+		}
+	}
+}
+
+func TestGreedySpannerK1IsWholeGraph(t *testing.T) {
+	g := gen.Gnp(30, 0.3, 1)
+	h := GreedySpanner(g, 1)
+	if h.M() != g.M() {
+		t.Fatalf("1-spanner must keep all edges: %d vs %d", h.M(), g.M())
+	}
+}
+
+func TestGreedySpannerSizeBound(t *testing.T) {
+	// Girth > 2k implies O(n^{1+1/k}) edges; for k=2 on a dense graph the
+	// spanner must be far sparser than the input.
+	g := gen.Gnp(200, 0.5, 7)
+	h := GreedySpanner(g, 2)
+	bound := 2 * math.Pow(200, 1.5)
+	if float64(h.M()) > bound {
+		t.Fatalf("greedy 3-spanner has %d edges, bound %f", h.M(), bound)
+	}
+	if h.M() >= g.M()/2 {
+		t.Fatalf("spanner not actually sparsifying: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestBaswanaSenStretchAndSize(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			g := gen.Gnp(150, 0.25, seed)
+			h := BaswanaSen(g, k, seed.Derive(99))
+			if err := core.VerifySubgraphOf(g, h); err != nil {
+				t.Fatal(err)
+			}
+			rep := core.VerifyStretch(g, h, 2*k-1)
+			if rep.Violations > 0 {
+				t.Fatalf("k=%d seed=%d: %d stretch violations (max %d)", k, seed, rep.Violations, rep.MaxStretch)
+			}
+			// Size sanity: O(k n^{1+1/k}) with a generous constant.
+			bound := 8 * float64(k) * math.Pow(float64(g.N()), 1+1/float64(k))
+			if float64(h.M()) > bound {
+				t.Fatalf("k=%d: %d edges exceeds %f", k, h.M(), bound)
+			}
+		}
+	}
+}
+
+func TestBaswanaSenConnectivity(t *testing.T) {
+	g := gen.PlantedClusters(90, 3, 0.4, 0.02, 5)
+	h := BaswanaSen(g, 3, 11)
+	if err := core.VerifyConnectivityPreserved(g, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaswanaSenDeterministic(t *testing.T) {
+	g := gen.Gnp(80, 0.2, 3)
+	a := BaswanaSen(g, 2, 42)
+	b := BaswanaSen(g, 2, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different spanners")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatal("same seed produced different edge sets")
+		}
+	}
+}
+
+func TestBaswanaSenK1(t *testing.T) {
+	g := gen.Gnp(40, 0.3, 2)
+	h := BaswanaSen(g, 1, 1)
+	// A 1-spanner must preserve all distances, i.e. keep every edge.
+	if h.M() != g.M() {
+		t.Fatalf("1-spanner kept %d of %d edges", h.M(), g.M())
+	}
+}
+
+func TestSpanningForest(t *testing.T) {
+	g := gen.PlantedClusters(60, 2, 0.3, 0.05, 9)
+	f := SpanningForest(g)
+	if err := core.VerifyConnectivityPreserved(g, f); err != nil {
+		t.Fatal(err)
+	}
+	_, comps := g.Components()
+	if f.M() != g.N()-comps {
+		t.Fatalf("forest has %d edges, want n - #components = %d", f.M(), g.N()-comps)
+	}
+}
+
+func TestSpanningForestDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	f := SpanningForest(g)
+	if f.M() != 2 {
+		t.Fatalf("forest edges = %d, want 2", f.M())
+	}
+	if err := core.VerifyConnectivityPreserved(g, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMIS(t *testing.T) {
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		g := gen.Gnp(70, 0.1, seed)
+		in := GreedyMIS(g, nil)
+		if err := core.VerifyMaximalIndependentSet(g, in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	// Custom order: reversed order on a star selects the leaves.
+	star := gen.Star(5)
+	in := GreedyMIS(star, []int{4, 3, 2, 1, 0})
+	if in[0] || !in[1] || !in[4] {
+		t.Errorf("reversed-order MIS on star = %v", in)
+	}
+}
+
+func TestGreedyMatching(t *testing.T) {
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		g := gen.Gnp(70, 0.1, seed)
+		m := GreedyMatching(g, nil)
+		if err := core.VerifyMaximalMatching(g, m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGreedyColoring(t *testing.T) {
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		g := gen.Gnp(70, 0.15, seed)
+		colors := GreedyColoring(g, nil)
+		if err := core.VerifyColoring(g, colors, g.MaxDegree()+1); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	// A bipartite graph colored in BFS order gets exactly 2 colors.
+	kb := gen.CompleteBipartite(4, 4)
+	colors := GreedyColoring(kb, nil)
+	if err := core.VerifyColoring(kb, colors, 2); err != nil {
+		t.Errorf("K44 needed more than 2 colors: %v", err)
+	}
+}
+
+func TestGreedySpannerGirthProperty(t *testing.T) {
+	// The size bound O(n^{1+1/k}) rests on the structural fact that the
+	// greedy (2k-1)-spanner has girth > 2k (any shorter cycle's last edge
+	// would have been rejected). This is the girth-conjecture connection
+	// the paper's discussion (§1.3) leans on.
+	for _, k := range []int{2, 3} {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			g := gen.Gnp(80, 0.4, seed)
+			h := GreedySpanner(g, k)
+			if girth := h.Girth(); girth != -1 && girth <= 2*k {
+				t.Errorf("k=%d seed=%d: greedy spanner girth %d <= 2k", k, seed, girth)
+			}
+		}
+	}
+}

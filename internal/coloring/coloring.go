@@ -1,0 +1,71 @@
+// Package coloring implements a (Delta+1)-coloring LCA via random-order
+// greedy simulation: each vertex takes the smallest color unused by its
+// predecessors in a hash-derived random order. A query recursively colors
+// the lower-priority neighborhood, so the probe cost mirrors the MIS
+// query-tree behaviour.
+package coloring
+
+import (
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// Coloring is an LCA answering "what color is v?" queries consistently
+// with the greedy first-fit coloring under a random vertex order. Colors
+// are in [0, deg(v)+1) for each v, hence globally within [0, Delta+1).
+// Construct with New; the zero value is unusable. Not safe for concurrent
+// use.
+type Coloring struct {
+	counter *oracle.Counter
+	fam     *rnd.Family
+	memo    map[int]int
+}
+
+// New returns a coloring LCA over o.
+func New(o oracle.Oracle, seed rnd.Seed) *Coloring {
+	return &Coloring{
+		counter: oracle.NewCounter(o),
+		fam:     rnd.NewFamily(seed.Derive(0xc01), 16),
+		memo:    make(map[int]int),
+	}
+}
+
+// ProbeStats exposes cumulative probe counts.
+func (c *Coloring) ProbeStats() oracle.Stats { return c.counter.Stats() }
+
+// Before reports whether u precedes v in the random greedy order
+// (priorities tie-broken by ID, so the order is a strict total order).
+func (c *Coloring) Before(u, v int) bool {
+	hu, hv := c.fam.Hash(uint64(u)), c.fam.Hash(uint64(v))
+	if hu != hv {
+		return hu < hv
+	}
+	return u < v
+}
+
+// QueryLabel returns v's color: the smallest color not taken by any
+// neighbor preceding v in the random order.
+func (c *Coloring) QueryLabel(v int) int {
+	if col, ok := c.memo[v]; ok {
+		return col
+	}
+	deg := c.counter.Degree(v)
+	used := make([]bool, deg+1)
+	for i := 0; i < deg; i++ {
+		w := c.counter.Neighbor(v, i)
+		if w < 0 {
+			break
+		}
+		if c.Before(w, v) {
+			if wc := c.QueryLabel(w); wc <= deg {
+				used[wc] = true
+			}
+		}
+	}
+	col := 0
+	for col <= deg && used[col] {
+		col++
+	}
+	c.memo[v] = col
+	return col
+}

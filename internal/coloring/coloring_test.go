@@ -1,0 +1,86 @@
+package coloring
+
+import (
+	"sort"
+	"testing"
+
+	"lca/internal/baseline"
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func workloads() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":   gen.Gnp(120, 0.06, 1),
+		"torus": gen.Torus(9, 9),
+		"path":  gen.Path(50),
+		"comp":  gen.Complete(20),
+		"bip":   gen.CompleteBipartite(15, 20),
+	}
+}
+
+func TestColoringProper(t *testing.T) {
+	for name, g := range workloads() {
+		for seed := rnd.Seed(0); seed < 5; seed++ {
+			lca := New(oracle.New(g), seed)
+			colors, _ := core.BuildLabels(g, lca)
+			if err := core.VerifyColoring(g, colors, g.MaxDegree()+1); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestColoringMatchesGlobalGreedy(t *testing.T) {
+	for name, g := range workloads() {
+		lca := New(oracle.New(g), 4)
+		order := make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return lca.Before(order[i], order[j]) })
+		want := baseline.GreedyColoring(g, order)
+		for v := 0; v < g.N(); v++ {
+			if lca.QueryLabel(v) != want[v] {
+				t.Fatalf("%s: LCA color %d at %d, greedy %d", name, lca.QueryLabel(v), v, want[v])
+			}
+		}
+	}
+}
+
+func TestColoringPerVertexDegreeBound(t *testing.T) {
+	// First-fit gives color(v) <= deg(v), a stronger per-vertex bound than
+	// Delta+1.
+	g := gen.ChungLu(150, 2.5, 6, 3)
+	lca := New(oracle.New(g), 6)
+	for v := 0; v < g.N(); v++ {
+		if c := lca.QueryLabel(v); c > g.Degree(v) {
+			t.Fatalf("color(%d) = %d exceeds degree %d", v, c, g.Degree(v))
+		}
+	}
+}
+
+func TestColoringCliqueUsesAllColors(t *testing.T) {
+	g := gen.Complete(12)
+	lca := New(oracle.New(g), 8)
+	seen := make(map[int]bool)
+	for v := 0; v < g.N(); v++ {
+		seen[lca.QueryLabel(v)] = true
+	}
+	if len(seen) != 12 {
+		t.Fatalf("K12 used %d colors, want 12", len(seen))
+	}
+}
+
+func TestColoringDeterministic(t *testing.T) {
+	g := gen.Gnp(80, 0.1, 9)
+	a, b := New(oracle.New(g), 3), New(oracle.New(g), 3)
+	for v := 0; v < g.N(); v++ {
+		if a.QueryLabel(v) != b.QueryLabel(v) {
+			t.Fatalf("instances disagree at %d", v)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// thresholdLCA keeps an edge iff min(deg u, deg v) <= cut; a trivial but
+// honest EdgeLCA that probes degrees through a counter.
+type thresholdLCA struct {
+	o   *oracle.Counter
+	cut int
+}
+
+func newThresholdLCA(g *graph.Graph, cut int) *thresholdLCA {
+	return &thresholdLCA{o: oracle.NewCounter(oracle.New(g)), cut: cut}
+}
+
+func (t *thresholdLCA) QueryEdge(u, v int) bool {
+	du, dv := t.o.Degree(u), t.o.Degree(v)
+	return du <= t.cut || dv <= t.cut
+}
+
+func (t *thresholdLCA) ProbeStats() oracle.Stats { return t.o.Stats() }
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+func cycleG(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func TestBuildSubgraphAndStats(t *testing.T) {
+	g := star(10)
+	lca := newThresholdLCA(g, 1) // leaves have degree 1, so all edges kept
+	h, stats := BuildSubgraph(g, lca)
+	if h.M() != g.M() {
+		t.Fatalf("kept %d edges, want %d", h.M(), g.M())
+	}
+	if stats.Queries != g.M() {
+		t.Fatalf("queries = %d, want %d", stats.Queries, g.M())
+	}
+	if stats.MaxTotal != 2 {
+		t.Fatalf("max probes per query = %d, want 2", stats.MaxTotal)
+	}
+	if stats.Mean() != 2 {
+		t.Fatalf("mean = %f, want 2", stats.Mean())
+	}
+	if stats.ByKind.Degree != uint64(2*g.M()) {
+		t.Fatalf("degree probes = %d", stats.ByKind.Degree)
+	}
+	if !strings.Contains(stats.String(), "max=2") {
+		t.Errorf("String() = %q", stats.String())
+	}
+}
+
+func TestBuildSubgraphRejects(t *testing.T) {
+	g := cycleG(8) // all degrees 2
+	lca := newThresholdLCA(g, 1)
+	h, _ := BuildSubgraph(g, lca)
+	if h.M() != 0 {
+		t.Fatalf("kept %d edges, want 0", h.M())
+	}
+}
+
+type constVertexLCA bool
+
+func (c constVertexLCA) QueryVertex(int) bool { return bool(c) }
+
+type modLabelLCA int
+
+func (m modLabelLCA) QueryLabel(v int) int { return v % int(m) }
+
+func TestBuildVertexSetAndLabels(t *testing.T) {
+	g := cycleG(6)
+	in, stats := BuildVertexSet(g, constVertexLCA(true))
+	if stats.Queries != 6 {
+		t.Fatalf("queries = %d", stats.Queries)
+	}
+	for v, b := range in {
+		if !b {
+			t.Fatalf("vertex %d not selected", v)
+		}
+	}
+	labels, _ := BuildLabels(g, modLabelLCA(3))
+	for v, l := range labels {
+		if l != v%3 {
+			t.Fatalf("label(%d) = %d", v, l)
+		}
+	}
+}
+
+type asymmetricLCA struct{}
+
+func (asymmetricLCA) QueryEdge(u, v int) bool { return u < v }
+
+func TestCheckSymmetric(t *testing.T) {
+	g := cycleG(5)
+	if _, ok := CheckSymmetric(g, newThresholdLCA(g, 2)); !ok {
+		t.Error("threshold LCA should be symmetric")
+	}
+	if _, ok := CheckSymmetric(g, asymmetricLCA{}); ok {
+		t.Error("asymmetric LCA not detected")
+	}
+}
+
+type flipFlopLCA struct{ calls int }
+
+func (f *flipFlopLCA) QueryEdge(u, v int) bool {
+	f.calls++
+	return f.calls%2 == 0
+}
+
+func TestCheckRepeatable(t *testing.T) {
+	g := cycleG(5)
+	if _, ok := CheckRepeatable(g, newThresholdLCA(g, 2)); !ok {
+		t.Error("stateless LCA should be repeatable")
+	}
+	if _, ok := CheckRepeatable(g, &flipFlopLCA{}); ok {
+		t.Error("stateful LCA not detected")
+	}
+}
+
+func TestVerifyStretch(t *testing.T) {
+	g := cycleG(8)
+	// Spanning path: drop one edge; the dropped edge has stretch 7.
+	h := graph.FromEdges(8, g.Edges()[:7])
+	rep := VerifyStretch(g, h, 7)
+	if rep.Violations != 0 || rep.MaxStretch != 7 || rep.Checked != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+	rep = VerifyStretch(g, h, 6)
+	if rep.Violations != 1 {
+		t.Fatalf("want one violation, got %+v", rep)
+	}
+	if got := ExactMaxStretch(g, h); got != 7 {
+		t.Fatalf("ExactMaxStretch = %d, want 7", got)
+	}
+}
+
+func TestVerifyStretchDisconnected(t *testing.T) {
+	g := cycleG(6)
+	h := graph.FromEdges(6, g.Edges()[:4]) // two missing edges disconnect nothing? 4 of 6 edges: still connected? A cycle minus 2 edges is 2 paths.
+	if ExactMaxStretch(g, h) != -1 {
+		t.Fatal("expected disconnection marker -1")
+	}
+	rep := VerifyStretch(g, h, 10)
+	if rep.Violations == 0 {
+		t.Fatal("expected violations for disconnected endpoints")
+	}
+}
+
+func TestVerifyStretchSampled(t *testing.T) {
+	g := cycleG(100)
+	rep := VerifyStretchSampled(g, g, 1, 20, 7)
+	if rep.Checked != 20 || rep.Violations != 0 || rep.MaxStretch != 1 {
+		t.Fatalf("sampled report = %+v", rep)
+	}
+	// Sampling more than |E| degrades to exhaustive.
+	rep = VerifyStretchSampled(g, g, 1, 1000, 7)
+	if rep.Checked != 100 {
+		t.Fatalf("exhaustive fallback checked %d", rep.Checked)
+	}
+}
+
+func TestVerifySubgraphOf(t *testing.T) {
+	g := cycleG(5)
+	if err := VerifySubgraphOf(g, g); err != nil {
+		t.Error(err)
+	}
+	other := graph.FromEdges(5, []graph.Edge{{U: 0, V: 2}})
+	if err := VerifySubgraphOf(g, other); err == nil {
+		t.Error("chord should not verify as subgraph of the cycle")
+	}
+	small := graph.NewBuilder(3).Build()
+	if err := VerifySubgraphOf(g, small); err == nil {
+		t.Error("vertex count mismatch not caught")
+	}
+}
+
+func TestVerifyConnectivityPreserved(t *testing.T) {
+	g := cycleG(6)
+	if err := VerifyConnectivityPreserved(g, graph.FromEdges(6, g.Edges()[:5])); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyConnectivityPreserved(g, graph.FromEdges(6, g.Edges()[:3])); err == nil {
+		t.Error("disconnection not caught")
+	}
+}
+
+func TestVerifyMISCheckers(t *testing.T) {
+	g := cycleG(6)
+	good := []bool{true, false, true, false, true, false}
+	if err := VerifyMaximalIndependentSet(g, good); err != nil {
+		t.Error(err)
+	}
+	adjacent := []bool{true, true, false, false, false, false}
+	if err := VerifyIndependentSet(g, adjacent); err == nil {
+		t.Error("adjacent selection not caught")
+	}
+	notMaximal := []bool{true, false, false, false, true, false}
+	if err := VerifyMaximalIndependentSet(g, notMaximal); err == nil {
+		t.Error("non-maximal set not caught")
+	}
+}
+
+func TestVerifyMatchingCheckers(t *testing.T) {
+	g := cycleG(6)
+	m := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}})
+	if err := VerifyMaximalMatching(g, m); err != nil {
+		t.Error(err)
+	}
+	shared := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err := VerifyMatching(g, shared); err == nil {
+		t.Error("shared endpoint not caught")
+	}
+	sparse := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}})
+	if err := VerifyMaximalMatching(g, sparse); err == nil {
+		t.Error("non-maximal matching not caught")
+	}
+}
+
+func TestVerifyVertexCover(t *testing.T) {
+	g := cycleG(4)
+	if err := VerifyVertexCover(g, []bool{true, false, true, false}); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyVertexCover(g, []bool{true, false, false, false}); err == nil {
+		t.Error("uncovered edge not caught")
+	}
+}
+
+func TestVerifyColoring(t *testing.T) {
+	g := cycleG(4)
+	if err := VerifyColoring(g, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyColoring(g, []int{0, 0, 1, 1}, 2); err == nil {
+		t.Error("monochromatic edge not caught")
+	}
+	if err := VerifyColoring(g, []int{0, 1, 0, 5}, 2); err == nil {
+		t.Error("out-of-range color not caught")
+	}
+}
+
+func TestQueryStatsObserve(t *testing.T) {
+	var q QueryStats
+	q.Observe(oracle.Stats{Neighbor: 3})
+	q.Observe(oracle.Stats{Neighbor: 1, Degree: 2})
+	if q.Queries != 2 || q.MaxTotal != 3 || q.SumTotal != 6 {
+		t.Fatalf("stats = %+v", q)
+	}
+	if q.Mean() != 3 {
+		t.Fatalf("mean = %f", q.Mean())
+	}
+}
+
+func TestVerifyStretchSampledDeterministic(t *testing.T) {
+	g := cycleG(50)
+	h := graph.FromEdges(50, g.Edges()[:49])
+	a := VerifyStretchSampled(g, h, 49, 10, rnd.Seed(3))
+	b := VerifyStretchSampled(g, h, 49, 10, rnd.Seed(3))
+	if a != b {
+		t.Error("sampled verification not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"lca/internal/graph"
+	"lca/internal/oracle"
+)
+
+// parityLCA keeps edges whose endpoint sum is even; probes one degree per
+// endpoint so stats aggregation is observable.
+type parityLCA struct {
+	o *oracle.Counter
+}
+
+func newParityLCA(g *graph.Graph) *parityLCA {
+	return &parityLCA{o: oracle.NewCounter(oracle.New(g))}
+}
+
+func (p *parityLCA) QueryEdge(u, v int) bool {
+	p.o.Degree(u)
+	p.o.Degree(v)
+	return (u+v)%2 == 0
+}
+
+func (p *parityLCA) ProbeStats() oracle.Stats { return p.o.Stats() }
+
+type oddVertexLCA struct{}
+
+func (oddVertexLCA) QueryVertex(v int) bool { return v%2 == 1 }
+
+func parallelTestGraph() *graph.Graph {
+	b := graph.NewBuilder(200)
+	for i := 0; i < 200; i++ {
+		for j := 1; j <= 3; j++ {
+			b.AddEdge(i, (i+j*7)%200)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuildSubgraphParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph()
+	serial, serialStats := BuildSubgraph(g, newParityLCA(g))
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		par, parStats := BuildSubgraphParallel(g, func() EdgeLCA { return newParityLCA(g) }, workers)
+		if par.M() != serial.M() {
+			t.Fatalf("workers=%d: %d edges vs serial %d", workers, par.M(), serial.M())
+		}
+		for _, e := range serial.Edges() {
+			if !par.HasEdge(e.U, e.V) {
+				t.Fatalf("workers=%d: missing edge %v", workers, e)
+			}
+		}
+		if parStats.Queries != serialStats.Queries {
+			t.Fatalf("workers=%d: %d queries vs serial %d", workers, parStats.Queries, serialStats.Queries)
+		}
+		if parStats.SumTotal != serialStats.SumTotal {
+			t.Fatalf("workers=%d: %d probes vs serial %d", workers, parStats.SumTotal, serialStats.SumTotal)
+		}
+		if parStats.MaxTotal != 2 {
+			t.Fatalf("workers=%d: max per-query probes %d, want 2", workers, parStats.MaxTotal)
+		}
+	}
+}
+
+func TestBuildSubgraphParallelDefaultsWorkers(t *testing.T) {
+	g := parallelTestGraph()
+	par, _ := BuildSubgraphParallel(g, func() EdgeLCA { return newParityLCA(g) }, 0)
+	serial, _ := BuildSubgraph(g, newParityLCA(g))
+	if par.M() != serial.M() {
+		t.Fatal("default worker count changed the result")
+	}
+}
+
+func TestBuildSubgraphParallelMoreWorkersThanEdges(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	g := b.Build()
+	par, stats := BuildSubgraphParallel(g, func() EdgeLCA { return newParityLCA(g) }, 16)
+	if par.M() != 2 || stats.Queries != 2 {
+		t.Fatalf("tiny graph: m=%d queries=%d", par.M(), stats.Queries)
+	}
+}
+
+func TestBuildVertexSetParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph()
+	serial, _ := BuildVertexSet(g, oddVertexLCA{})
+	for _, workers := range []int{2, 5, 32} {
+		par, stats := BuildVertexSetParallel(g, func() VertexLCA { return oddVertexLCA{} }, workers)
+		if stats.Queries != g.N() {
+			t.Fatalf("workers=%d: %d queries", workers, stats.Queries)
+		}
+		for v := range serial {
+			if par[v] != serial[v] {
+				t.Fatalf("workers=%d: disagreement at %d", workers, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+// Verifiers for the global invariants that LCA answers must collectively
+// satisfy. These run on materialized solutions (small instances or sampled
+// checks on large ones) and are the backbone of the test suite and the
+// experiment harness.
+
+import (
+	"fmt"
+
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// StretchReport summarizes a stretch verification pass.
+type StretchReport struct {
+	Checked     int     // edges examined
+	Violations  int     // edges with stretch above the bound
+	MaxStretch  int     // maximum observed stretch over checked edges
+	MeanStretch float64 // mean observed stretch
+}
+
+// VerifyStretch checks, for every edge (u,v) of g (spanner queries are per
+// edge, so edge stretch is the right notion), that dist_H(u,v) <= maxStretch.
+// H must be a subgraph of g on the same vertex set. Edges present in H
+// trivially have stretch 1 and are included in the statistics.
+func VerifyStretch(g, h *graph.Graph, maxStretch int) StretchReport {
+	return verifyStretch(g, h, maxStretch, g.Edges())
+}
+
+// VerifyStretchSampled checks a uniform sample of g's edges, for instances
+// too large to verify exhaustively.
+func VerifyStretchSampled(g, h *graph.Graph, maxStretch, sample int, seed rnd.Seed) StretchReport {
+	edges := g.Edges()
+	if sample >= len(edges) {
+		return verifyStretch(g, h, maxStretch, edges)
+	}
+	prg := rnd.NewPRG(seed)
+	picked := make([]graph.Edge, sample)
+	for i := range picked {
+		picked[i] = edges[prg.Intn(len(edges))]
+	}
+	return verifyStretch(g, h, maxStretch, picked)
+}
+
+func verifyStretch(g, h *graph.Graph, maxStretch int, edges []graph.Edge) StretchReport {
+	rep := StretchReport{}
+	sum := 0
+	for _, e := range edges {
+		rep.Checked++
+		d := h.Dist(e.U, e.V, maxStretch)
+		if d < 0 {
+			rep.Violations++
+			// Record the bound+1 as a floor for the max; the true stretch
+			// may be larger or infinite.
+			if maxStretch+1 > rep.MaxStretch {
+				rep.MaxStretch = maxStretch + 1
+			}
+			sum += maxStretch + 1
+			continue
+		}
+		if d > rep.MaxStretch {
+			rep.MaxStretch = d
+		}
+		sum += d
+	}
+	if rep.Checked > 0 {
+		rep.MeanStretch = float64(sum) / float64(rep.Checked)
+	}
+	return rep
+}
+
+// ExactMaxStretch computes the exact maximum edge stretch of h with respect
+// to g (unbounded BFS per edge; small instances only). It returns -1 if
+// some g-edge's endpoints are disconnected in h.
+func ExactMaxStretch(g, h *graph.Graph) int {
+	max := 0
+	for _, e := range g.Edges() {
+		d := h.Dist(e.U, e.V, -1)
+		if d < 0 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// VerifySubgraphOf checks that every edge of h is an edge of g.
+func VerifySubgraphOf(g, h *graph.Graph) error {
+	if g.N() != h.N() {
+		return fmt.Errorf("vertex counts differ: %d vs %d", g.N(), h.N())
+	}
+	for _, e := range h.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("edge (%d,%d) of H is not in G", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// VerifyConnectivityPreserved checks that h spans every connected component
+// of g.
+func VerifyConnectivityPreserved(g, h *graph.Graph) error {
+	if !graph.SameComponents(g, h) {
+		return fmt.Errorf("H does not preserve the component structure of G")
+	}
+	return nil
+}
+
+// VerifyIndependentSet checks that the set is independent in g.
+func VerifyIndependentSet(g *graph.Graph, in []bool) error {
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return fmt.Errorf("vertices %d and %d are adjacent and both selected", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// VerifyMaximalIndependentSet checks independence and maximality: every
+// unselected vertex has a selected neighbor.
+func VerifyMaximalIndependentSet(g *graph.Graph, in []bool) error {
+	if err := VerifyIndependentSet(g, in); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("vertex %d could be added: set not maximal", v)
+		}
+	}
+	return nil
+}
+
+// VerifyMatching checks that the edge set (as a subgraph) is a matching:
+// no two selected edges share an endpoint.
+func VerifyMatching(g *graph.Graph, m *graph.Graph) error {
+	if err := VerifySubgraphOf(g, m); err != nil {
+		return err
+	}
+	for v := 0; v < m.N(); v++ {
+		if m.Degree(v) > 1 {
+			return fmt.Errorf("vertex %d matched %d times", v, m.Degree(v))
+		}
+	}
+	return nil
+}
+
+// VerifyMaximalMatching additionally checks maximality: every edge of g has
+// a matched endpoint.
+func VerifyMaximalMatching(g *graph.Graph, m *graph.Graph) error {
+	if err := VerifyMatching(g, m); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if m.Degree(e.U) == 0 && m.Degree(e.V) == 0 {
+			return fmt.Errorf("edge (%d,%d) has no matched endpoint: matching not maximal", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// VerifyVertexCover checks that the set covers every edge of g.
+func VerifyVertexCover(g *graph.Graph, in []bool) error {
+	for _, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			return fmt.Errorf("edge (%d,%d) uncovered", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// VerifyColoring checks that the labeling is a proper coloring with colors
+// in [0, maxColors).
+func VerifyColoring(g *graph.Graph, colors []int, maxColors int) error {
+	for v, c := range colors {
+		if c < 0 || c >= maxColors {
+			return fmt.Errorf("vertex %d has color %d outside [0,%d)", v, c, maxColors)
+		}
+	}
+	for _, e := range g.Edges() {
+		if colors[e.U] == colors[e.V] {
+			return fmt.Errorf("edge (%d,%d) monochromatic with color %d", e.U, e.V, colors[e.U])
+		}
+	}
+	return nil
+}

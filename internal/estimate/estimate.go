@@ -1,0 +1,111 @@
+// Package estimate implements the classical application that motivated
+// LCAs in the property-testing literature: estimating global solution
+// sizes in sublinear time by querying an LCA on a random sample. If
+// membership of each element can be decided locally, then |solution|/n is
+// a mean of Bernoulli variables, and Hoeffding's inequality turns s
+// sampled queries into an additive-epsilon estimate with confidence
+// 1-delta for s = O(log(1/delta)/epsilon^2) — independent of n.
+package estimate
+
+import (
+	"math"
+
+	"lca/internal/core"
+	"lca/internal/rnd"
+)
+
+// Result is an estimate with its Hoeffding confidence radius.
+type Result struct {
+	// Fraction is the estimated fraction of sampled elements in the
+	// solution.
+	Fraction float64
+	// ErrorBound is the additive radius epsilon such that the true
+	// fraction lies within [Fraction-epsilon, Fraction+epsilon] with
+	// probability at least 1-delta (over the sample).
+	ErrorBound float64
+	// Samples is the number of queries issued.
+	Samples int
+}
+
+// Scale converts the fraction estimate to an absolute count over a
+// universe of the given size.
+func (r Result) Scale(universe int) (count, radius float64) {
+	return r.Fraction * float64(universe), r.ErrorBound * float64(universe)
+}
+
+// hoeffdingRadius returns epsilon for s samples at confidence 1-delta.
+func hoeffdingRadius(s int, delta float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.05
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(s)))
+}
+
+// SamplesFor returns the sample count that achieves additive error epsilon
+// at confidence 1-delta.
+func SamplesFor(epsilon, delta float64) int {
+	if epsilon <= 0 {
+		epsilon = 0.1
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.05
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * epsilon * epsilon)))
+}
+
+// VertexFraction estimates the fraction of vertices of a universe of size
+// n selected by the LCA, using s uniform samples.
+func VertexFraction(n int, lca core.VertexLCA, s int, delta float64, seed rnd.Seed) Result {
+	prg := rnd.NewPRG(seed.Derive(0xe5))
+	hits := 0
+	for i := 0; i < s; i++ {
+		if lca.QueryVertex(prg.Intn(n)) {
+			hits++
+		}
+	}
+	return Result{
+		Fraction:   float64(hits) / float64(s),
+		ErrorBound: hoeffdingRadius(s, delta),
+		Samples:    s,
+	}
+}
+
+// EdgeSampler provides uniform random edges of the input graph. In the
+// sublinear-time literature this is the standard "random edge" oracle
+// extension; over a concrete graph it is trivially implementable.
+type EdgeSampler interface {
+	// RandomEdge returns a uniformly random edge.
+	RandomEdge(prg *rnd.PRG) (u, v int)
+	// M returns the number of edges.
+	M() int
+}
+
+// EdgeFraction estimates the fraction of edges selected by the LCA
+// (spanner density, matching density, ...), using s uniform edge samples.
+func EdgeFraction(sampler EdgeSampler, lca core.EdgeLCA, s int, delta float64, seed rnd.Seed) Result {
+	prg := rnd.NewPRG(seed.Derive(0xe6))
+	hits := 0
+	for i := 0; i < s; i++ {
+		u, v := sampler.RandomEdge(prg)
+		if lca.QueryEdge(u, v) {
+			hits++
+		}
+	}
+	return Result{
+		Fraction:   float64(hits) / float64(s),
+		ErrorBound: hoeffdingRadius(s, delta),
+		Samples:    s,
+	}
+}
+
+// MatchingSize estimates |M| of a maximal matching LCA: each matched
+// vertex contributes 1/2 an edge, so |M| = n * fraction/2. Returns the
+// estimated edge count and its radius.
+func MatchingSize(n int, covered core.VertexLCA, s int, delta float64, seed rnd.Seed) (size, radius float64) {
+	res := VertexFraction(n, covered, s, delta, seed)
+	count, rad := res.Scale(n)
+	return count / 2, rad / 2
+}

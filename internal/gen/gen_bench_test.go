@@ -1,0 +1,23 @@
+package gen
+
+import "testing"
+
+func BenchmarkGnp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Gnp(5000, 0.01, 1)
+	}
+}
+
+func BenchmarkRandomRegular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomRegular(2000, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChungLu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ChungLu(5000, 2.3, 12, 1)
+	}
+}

@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/rnd"
+)
+
+func TestGnpEdgeCount(t *testing.T) {
+	const n = 400
+	for _, p := range []float64{0.01, 0.05, 0.2} {
+		g := Gnp(n, p, 42)
+		want := p * float64(n) * float64(n-1) / 2
+		sd := math.Sqrt(want * (1 - p))
+		if diff := math.Abs(float64(g.M()) - want); diff > 5*sd {
+			t.Errorf("Gnp(%d,%f): m=%d, want about %.0f (±%.0f)", n, p, g.M(), want, 5*sd)
+		}
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	if g := Gnp(50, 0, 1); g.M() != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	if g := Gnp(20, 1, 1); g.M() != 20*19/2 {
+		t.Errorf("p=1 should give the clique, got m=%d", g.M())
+	}
+	if g := Gnp(1, 0.5, 1); g.N() != 1 || g.M() != 0 {
+		t.Error("single vertex graph wrong")
+	}
+	if g := Gnp(0, 0.5, 1); g.N() != 0 {
+		t.Error("empty graph wrong")
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a, b := Gnp(100, 0.1, 7), Gnp(100, 0.1, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatal("same seed produced different edge sets")
+		}
+	}
+	c := Gnp(100, 0.1, 8)
+	same := c.M() == a.M()
+	if same {
+		for _, e := range a.Edges() {
+			if !c.HasEdge(e.U, e.V) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestGnpUniformAcrossPairs(t *testing.T) {
+	// Every pair should be roughly equally likely: check first/middle/last
+	// pair frequencies over many draws.
+	const n, trials = 12, 3000
+	pairs := [][2]int{{0, 1}, {5, 6}, {10, 11}, {0, 11}}
+	counts := make([]int, len(pairs))
+	for s := 0; s < trials; s++ {
+		g := Gnp(n, 0.3, rnd.Seed(s))
+		for i, pr := range pairs {
+			if g.HasEdge(pr[0], pr[1]) {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.3) > 0.05 {
+			t.Errorf("pair %v frequency %f, want about 0.3", pairs[i], got)
+		}
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, m       int
+		g          interface{ N() int }
+		wantDegMin int
+		wantDegMax int
+	}{
+		{"path", 5, 4, Path(5), 1, 2},
+		{"cycle", 6, 6, Cycle(6), 2, 2},
+		{"complete", 7, 21, Complete(7), 6, 6},
+		{"star", 5, 4, Star(5), 1, 4},
+		{"bipartite", 7, 12, CompleteBipartite(3, 4), 3, 4},
+		{"grid", 12, 17, Grid(3, 4), 2, 4},
+		{"torus", 12, 24, Torus(3, 4), 4, 4},
+	}
+	for _, c := range cases {
+		g := c.g.(interface {
+			N() int
+			M() int
+			MaxDegree() int
+			MinDegree() int
+		})
+		if g.N() != c.n || g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d, want %d, %d", c.name, g.N(), g.M(), c.n, c.m)
+		}
+		if g.MinDegree() != c.wantDegMin || g.MaxDegree() != c.wantDegMax {
+			t.Errorf("%s: degrees [%d,%d], want [%d,%d]", c.name, g.MinDegree(), g.MaxDegree(), c.wantDegMin, c.wantDegMax)
+		}
+	}
+}
+
+func TestGridDistances(t *testing.T) {
+	g := Grid(4, 5)
+	// Manhattan distance between corners.
+	if d := g.Dist(0, 19, -1); d != 3+4 {
+		t.Errorf("grid corner distance = %d, want 7", d)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	cases := []struct{ n, d int }{{10, 3}, {50, 4}, {100, 7}, {64, 16}, {20, 0}}
+	for _, c := range cases {
+		g, err := RandomRegular(c.n, c.d, 99)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", c.n, c.d, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("n = %d, want %d", g.N(), c.n)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != c.d {
+				t.Fatalf("RandomRegular(%d,%d): deg(%d) = %d", c.n, c.d, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Error("odd n*d should fail")
+	}
+	if _, err := RandomRegular(5, 5, 1); err == nil {
+		t.Error("d >= n should fail")
+	}
+	if _, err := RandomRegular(5, -1, 1); err == nil {
+		t.Error("negative d should fail")
+	}
+}
+
+func TestRandomRegularVariety(t *testing.T) {
+	a, _ := RandomRegular(30, 3, 1)
+	b, _ := RandomRegular(30, 3, 2)
+	diff := 0
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds gave identical regular graphs")
+	}
+}
+
+func TestChungLuShape(t *testing.T) {
+	g := ChungLu(2000, 2.5, 8, 5)
+	if g.N() != 2000 {
+		t.Fatalf("n = %d", g.N())
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 3 || avg > 16 {
+		t.Errorf("average degree %f far from requested 8", avg)
+	}
+	// Heavy tail: the max degree should dominate the average.
+	if float64(g.MaxDegree()) < 4*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %f", g.MaxDegree(), avg)
+	}
+	// Weights are decreasing, so low-index vertices should be the hubs.
+	if g.Degree(0) < g.N()/200 {
+		t.Errorf("vertex 0 degree %d unexpectedly small", g.Degree(0))
+	}
+}
+
+func TestChungLuDegenerate(t *testing.T) {
+	if g := ChungLu(1, 2.5, 3, 1); g.N() != 1 || g.M() != 0 {
+		t.Error("single-vertex Chung-Lu wrong")
+	}
+	if g := ChungLu(100, 2.5, 0, 1); g.M() != 0 {
+		t.Error("zero average degree should give no edges")
+	}
+	// beta <= 2 is clamped, not an error.
+	if g := ChungLu(100, 1.0, 4, 1); g.N() != 100 {
+		t.Error("beta clamp failed")
+	}
+}
+
+func TestPlantedClusters(t *testing.T) {
+	g := PlantedClusters(120, 3, 0.5, 0.01, 11)
+	in, out := 0, 0
+	for _, e := range g.Edges() {
+		if e.U%3 == e.V%3 {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in <= out {
+		t.Errorf("intra-cluster edges (%d) should dominate inter (%d)", in, out)
+	}
+}
+
+func TestDenseCore(t *testing.T) {
+	g := DenseCore(200, 30, 4, 13)
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Core vertices keep near-clique degrees.
+	for v := 0; v < 30; v++ {
+		if g.Degree(v) < 29 {
+			t.Fatalf("core vertex %d degree %d below clique degree", v, g.Degree(v))
+		}
+	}
+	if g.MaxDegree() < 10*g.MinDegree()+5 {
+		t.Logf("note: degree spread %d..%d", g.MinDegree(), g.MaxDegree())
+	}
+}
+
+func TestDenseCoreClamp(t *testing.T) {
+	g := DenseCore(10, 50, 2, 1) // core larger than n is clamped
+	if g.N() != 10 || g.M() != 45 {
+		t.Errorf("clamped dense core: n=%d m=%d, want 10, 45", g.N(), g.M())
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 4)
+	if g.N() != 2*5+3 {
+		t.Fatalf("n = %d, want 13", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("barbell must be connected")
+	}
+	// Distance between the far corners of the two cliques: 1 + pathLen + 1.
+	if d := g.Dist(1, 5+1, -1); d != 1+4+1 {
+		t.Errorf("barbell cross distance = %d, want 6", d)
+	}
+}
+
+func TestCycleSmall(t *testing.T) {
+	if g := Cycle(2); g.M() != 1 {
+		t.Error("2-cycle should degrade to a single edge")
+	}
+	if g := Cycle(3); g.M() != 3 {
+		t.Error("triangle should have 3 edges")
+	}
+}

@@ -1,0 +1,297 @@
+// Package graph provides the static graph substrate behind the LCA probe
+// oracle: simple undirected graphs with fixed, arbitrary adjacency-list
+// orderings, constant-time adjacency-index lookup, and the traversal
+// primitives used by verifiers and baselines.
+//
+// The adjacency-list ordering is semantically significant in the LCA model:
+// Neighbor probes expose "the i-th neighbor of v", and several spanner
+// constructions make decisions based on list positions (first sqrt(n)
+// neighbors, block boundaries, ...). Builders therefore fix an explicit
+// order at construction time and never reorder afterwards.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"lca/internal/rnd"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..N()-1.
+// Vertex IDs are the indices themselves. The zero value is the empty graph.
+type Graph struct {
+	adj  [][]int32        // adj[v] is the ordered neighbor list of v
+	pos  map[uint64]int32 // (u,v) -> index of v in adj[u]
+	m    int              // number of undirected edges
+	stub []int64          // stub[v] = sum of degrees of vertices < v
+}
+
+// pairKey packs an ordered vertex pair into a map key.
+func pairKey(u, v int) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbor returns the i-th neighbor of v (0-indexed), or -1 if i is out of
+// range. This mirrors the Neighbor probe semantics of the LCA model.
+func (g *Graph) Neighbor(v, i int) int {
+	if i < 0 || i >= len(g.adj[v]) {
+		return -1
+	}
+	return int(g.adj[v][i])
+}
+
+// Neighbors returns v's neighbor list in probe order. The slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// RandomEdge returns a uniformly random edge in canonical orientation. It
+// implements the "random edge" oracle extension used by sublinear-time
+// estimators: a uniformly random directed stub maps to a uniform
+// undirected edge because each edge owns exactly two stubs. It panics on
+// an edgeless graph.
+func (g *Graph) RandomEdge(prg *rnd.PRG) (u, v int) {
+	if g.m == 0 {
+		panic("graph: RandomEdge on edgeless graph")
+	}
+	stub := int64(prg.Intn(2 * g.m))
+	// Binary search the stub prefix sums: O(log n) per sample.
+	lo, hi := 0, len(g.stub)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.stub[mid] <= stub {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := lo
+	x := int(g.adj[w][stub-g.stub[w]])
+	e := Edge{U: w, V: x}.Canon()
+	return e.U, e.V
+}
+
+// AdjacencyIndex returns the index of v in Gamma(u), or -1 if (u,v) is not
+// an edge. This mirrors the Adjacency probe semantics of the LCA model: a
+// positive answer reveals the position, not just existence.
+func (g *Graph) AdjacencyIndex(u, v int) int {
+	if i, ok := g.pos[pairKey(u, v)]; ok {
+		return int(i)
+	}
+	return -1
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.pos[pairKey(u, v)]
+	return ok
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, l := range g.adj[1:] {
+		if len(l) < min {
+			min = len(l)
+		}
+	}
+	return min
+}
+
+// Edge is an undirected edge in canonical orientation (U < V).
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints swapped into canonical order.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Key packs the canonical edge into a comparable map key.
+func (e Edge) Key() uint64 {
+	c := e.Canon()
+	return pairKey(c.U, c.V)
+}
+
+// Edges returns all edges in canonical orientation, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, l := range g.adj {
+		for _, w := range l {
+			if u < int(w) {
+				out = append(out, Edge{U: u, V: int(w)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are merged and self-loops rejected. The zero value is unusable;
+// construct with NewBuilder.
+type Builder struct {
+	n     int
+	edges map[uint64]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[uint64]struct{})}
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops and duplicates are
+// ignored. It panics on out-of-range vertices.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges[Edge{U: u, V: v}.Key()] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	_, ok := b.edges[Edge{U: u, V: v}.Key()]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the graph with adjacency lists sorted by neighbor ID
+// (a fixed, canonical order).
+func (b *Builder) Build() *Graph {
+	return b.build(nil)
+}
+
+// BuildShuffled produces the graph with each adjacency list independently
+// shuffled by the PRG. The LCA model allows arbitrary list orderings;
+// shuffled builds exercise order-sensitivity in tests and experiments.
+func (b *Builder) BuildShuffled(prg *rnd.PRG) *Graph {
+	return b.build(prg)
+}
+
+func (b *Builder) build(prg *rnd.PRG) *Graph {
+	adj := make([][]int32, b.n)
+	keys := make([]uint64, 0, len(b.edges))
+	for k := range b.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		u, v := int(k>>32), int(uint32(k))
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	}
+	// Deterministic sorted order first; optional shuffle second.
+	for v := range adj {
+		l := adj[v]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		if prg != nil {
+			prg.Shuffle(len(l), func(i, j int) { l[i], l[j] = l[j], l[i] })
+		}
+	}
+	g := &Graph{adj: adj, m: len(b.edges), pos: make(map[uint64]int32, 2*len(b.edges))}
+	g.stub = make([]int64, len(adj))
+	var acc int64
+	for v, l := range adj {
+		g.stub[v] = acc
+		acc += int64(len(l))
+		for i, w := range l {
+			g.pos[pairKey(v, int(w))] = int32(i)
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices from an edge list (duplicates and
+// self-loops dropped), with sorted adjacency lists.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// Subgraph builds the subgraph of g containing exactly the given edges
+// (all must be edges of g) on the same vertex set.
+func (g *Graph) Subgraph(edges []Edge) *Graph {
+	b := NewBuilder(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			panic(fmt.Sprintf("graph: subgraph edge (%d,%d) not in parent", e.U, e.V))
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// EdgeSet is a set of undirected edges keyed canonically. It is the working
+// representation of an LCA-assembled solution before it becomes a Graph.
+type EdgeSet map[uint64]struct{}
+
+// NewEdgeSet returns an empty edge set.
+func NewEdgeSet() EdgeSet { return make(EdgeSet) }
+
+// Add inserts {u,v}.
+func (s EdgeSet) Add(u, v int) { s[Edge{U: u, V: v}.Key()] = struct{}{} }
+
+// Has reports membership of {u,v}.
+func (s EdgeSet) Has(u, v int) bool {
+	_, ok := s[Edge{U: u, V: v}.Key()]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s EdgeSet) Len() int { return len(s) }
+
+// Edges materializes the set as a sorted slice.
+func (s EdgeSet) Edges() []Edge {
+	out := make([]Edge, 0, len(s))
+	for k := range s {
+		out = append(out, Edge{U: int(k >> 32), V: int(uint32(k))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

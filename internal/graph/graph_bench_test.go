@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"testing"
+
+	"lca/internal/rnd"
+)
+
+func benchGraph(b *testing.B, n int, deg int) *Graph {
+	b.Helper()
+	prg := rnd.NewPRG(1)
+	bld := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 0; j < deg; j++ {
+			w := prg.Intn(n)
+			if w != v {
+				bld.AddEdge(v, w)
+			}
+		}
+	}
+	return bld.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchGraph(b, 2000, 8)
+	}
+}
+
+func BenchmarkAdjacencyIndex(b *testing.B) {
+	g := benchGraph(b, 5000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AdjacencyIndex(i%g.N(), (i*7)%g.N())
+	}
+}
+
+func BenchmarkNeighbor(b *testing.B) {
+	g := benchGraph(b, 5000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Neighbor(i%g.N(), i%8)
+	}
+}
+
+func BenchmarkBFSWithin(b *testing.B) {
+	g := benchGraph(b, 5000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSWithin(i%g.N(), 3)
+	}
+}
+
+func BenchmarkRandomEdge(b *testing.B) {
+	g := benchGraph(b, 5000, 10)
+	prg := rnd.NewPRG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RandomEdge(prg)
+	}
+}

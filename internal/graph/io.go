@@ -1,0 +1,88 @@
+package graph
+
+// Edge-list text serialization. The format is deliberately trivial:
+//
+//	n m
+//	u v
+//	...
+//
+// one edge per line in canonical orientation, so files diff cleanly and
+// external tools can produce inputs for the cmd/ binaries.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g to w in edge-list text format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list text format. Adjacency lists of the
+// result are in sorted (canonical) order.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", sc.Text(), err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative header values n=%d m=%d", n, m)
+	}
+	b := NewBuilder(n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, u)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := b.Build()
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, parsed %d distinct", m, g.M())
+	}
+	return g, nil
+}

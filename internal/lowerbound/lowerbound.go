@@ -1,0 +1,270 @@
+// Package lowerbound implements the experimental apparatus of paper §6
+// (Theorem 1.3): the Omega(min{sqrt(n), n/d}) probe lower bound for LCAs
+// that compute any sparse spanning subgraph.
+//
+// Instances are d-regular graphs presented as perfect matchings over an
+// n x d cell table, exactly as in the proof: the Neighbor probe on (v,i)
+// returns the matched cell (u,j). Two distributions share a designated
+// edge (x,a,y,b):
+//
+//	D+: a uniform(ish) matching over all cells conditioned on the
+//	    designated pair being matched — removing the edge w.h.p. keeps x
+//	    and y connected.
+//	D-: the vertex set is split into two halves containing x and y; all
+//	    other pairs match within a half — the designated edge is the only
+//	    bridge, so removing it disconnects x from y.
+//
+// Any spanner LCA dropping the designated edge on D+ must keep it on D-,
+// so its probe count is lower-bounded by the budget at which the two
+// distributions become distinguishable. The package measures that
+// empirically: a BFS-meet distinguisher explores both endpoints' sides and
+// reports whether they touch; its advantage stays near zero until the
+// probe budget reaches the min{sqrt(n), n/d} scale (the birthday bound),
+// reproducing the theorem's shape.
+//
+// The uniform sampling uses shuffle-and-repair: defective pairs
+// (self-loops, parallel edges) are re-drawn until the instance is simple.
+// This conditions slightly on simplicity relative to the paper's exact
+// processes P+/P-, which is immaterial for the measured shapes (the paper
+// itself discusses the O(d^2/n) fraction of non-simple instances).
+package lowerbound
+
+import (
+	"fmt"
+
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// Cell addresses one slot of the matching table: slot I of vertex V.
+type Cell struct {
+	V, I int
+}
+
+// Instance is a d-regular graph in matching-table form.
+type Instance struct {
+	n, d int
+	mate []Cell // mate[v*d+i] is the cell matched to (v,i)
+	// The designated edge.
+	X, A, Y, B int
+	// half[v] is 0 or 1 for D- instances, all zero for D+.
+	half []int
+}
+
+// N returns the number of vertices.
+func (in *Instance) N() int { return in.n }
+
+// D returns the regular degree.
+func (in *Instance) D() int { return in.d }
+
+// Mate returns the cell matched to (v, i).
+func (in *Instance) Mate(v, i int) Cell { return in.mate[v*in.d+i] }
+
+// Half returns v's side (always 0 for D+ instances).
+func (in *Instance) Half(v int) int { return in.half[v] }
+
+// ToGraph materializes the instance as a simple graph for verification.
+func (in *Instance) ToGraph() *graph.Graph {
+	b := graph.NewBuilder(in.n)
+	for v := 0; v < in.n; v++ {
+		for i := 0; i < in.d; i++ {
+			m := in.Mate(v, i)
+			b.AddEdge(v, m.V)
+		}
+	}
+	return b.Build()
+}
+
+// SampleDPlus draws an instance from D+ with the designated edge
+// (x, a, y, b). It requires n*d even, 0 <= a,b < d and x != y.
+func SampleDPlus(n, d, x, a, y, b int, seed rnd.Seed) (*Instance, error) {
+	return sample(n, d, x, a, y, b, nil, seed)
+}
+
+// SampleDMinus draws an instance from D-: a uniform random equal split of
+// the vertices with x and y on opposite sides, all pairs matched within
+// their side except the designated bridge. It requires n even and
+// (n/2)*d odd-compatible (each side must have an even number of free
+// cells).
+func SampleDMinus(n, d, x, a, y, b int, seed rnd.Seed) (*Instance, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: n=%d must be even for D-", n)
+	}
+	prg := rnd.NewPRG(seed.Derive(0xd0))
+	half := make([]int, n)
+	// Random equal split with x on side 0 and y on side 1.
+	perm := prg.Perm(n)
+	side := 0
+	counts := [2]int{}
+	for _, v := range perm {
+		if v == x || v == y {
+			continue
+		}
+		// Fill side 0 to n/2-1 (leaving room for x), then side 1.
+		if counts[0] < n/2-1 {
+			side = 0
+		} else {
+			side = 1
+		}
+		half[v] = side
+		counts[side]++
+	}
+	half[x] = 0
+	half[y] = 1
+	// Free cells per side: (n/2)*d - 1 each (the designated cell is used).
+	if ((n/2)*d-1)%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: (n/2)*d-1 = %d must be even for D-", (n/2)*d-1)
+	}
+	return sample(n, d, x, a, y, b, half, seed)
+}
+
+// sample draws a matching over the cell table conditioned on the
+// designated pair, with all other pairs staying within their partition
+// (nil = single partition), then repairs to simplicity.
+func sample(n, d, x, a, y, b int, half []int, seed rnd.Seed) (*Instance, error) {
+	if x == y || x < 0 || y < 0 || x >= n || y >= n || a < 0 || a >= d || b < 0 || b >= d {
+		return nil, fmt.Errorf("lowerbound: bad designated edge (%d,%d,%d,%d)", x, a, y, b)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: n*d = %d odd", n*d)
+	}
+	if half == nil {
+		half = make([]int, n)
+	}
+	prg := rnd.NewPRG(seed.Derive(0xd1))
+	const attempts = 50
+	for try := 0; try < attempts; try++ {
+		if inst, ok := trySample(n, d, x, a, y, b, half, prg); ok {
+			return inst, nil
+		}
+	}
+	return nil, fmt.Errorf("lowerbound: failed to sample simple instance after %d attempts", attempts)
+}
+
+func trySample(n, d, x, a, y, b int, half []int, prg *rnd.PRG) (*Instance, bool) {
+	designated := func(c Cell) bool {
+		return (c.V == x && c.I == a) || (c.V == y && c.I == b)
+	}
+	// Partition the free cells.
+	var free [2][]Cell
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			c := Cell{V: v, I: i}
+			if designated(c) {
+				continue
+			}
+			free[half[v]] = append(free[half[v]], c)
+		}
+	}
+	for s := range free {
+		if len(free[s])%2 != 0 {
+			return nil, false
+		}
+	}
+	mate := make([]Cell, n*d)
+	set := func(c1, c2 Cell) {
+		mate[c1.V*d+c1.I] = c2
+		mate[c2.V*d+c2.I] = c1
+	}
+	set(Cell{V: x, I: a}, Cell{V: y, I: b})
+	for s := range free {
+		cells := free[s]
+		prg.Shuffle(len(cells), func(i, j int) { cells[i], cells[j] = cells[j], cells[i] })
+		for i := 0; i < len(cells); i += 2 {
+			set(cells[i], cells[i+1])
+		}
+	}
+	inst := &Instance{n: n, d: d, mate: mate, X: x, A: a, Y: y, B: b, half: half}
+	// Repair sweeps: collect pairs participating in a defect (self-loop or
+	// parallel edge), un-pair them within each partition and re-shuffle.
+	for sweep := 0; sweep < 60; sweep++ {
+		defective := inst.defectivePairs()
+		if len(defective) == 0 {
+			return inst, true
+		}
+		var pool [2][]Cell
+		for _, c1 := range defective {
+			c2 := inst.Mate(c1.V, c1.I)
+			if designated(c1) || designated(c2) {
+				continue // the designated pair is never rewired
+			}
+			pool[half[c1.V]] = append(pool[half[c1.V]], c1, c2)
+		}
+		progress := false
+		for s := range pool {
+			cells := pool[s]
+			if len(cells) < 2 {
+				continue
+			}
+			// Bring in a few random extra pairs for mixing.
+			for extra := 0; extra < 4; extra++ {
+				c := free[s][prg.Intn(len(free[s]))]
+				m := inst.Mate(c.V, c.I)
+				if designated(c) || designated(m) || containsCell(cells, c) || containsCell(cells, m) {
+					continue
+				}
+				cells = append(cells, c, m)
+			}
+			prg.Shuffle(len(cells), func(i, j int) { cells[i], cells[j] = cells[j], cells[i] })
+			for i := 0; i+1 < len(cells); i += 2 {
+				set(cells[i], cells[i+1])
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return nil, false
+}
+
+func containsCell(cs []Cell, c Cell) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// defectivePairs returns one representative cell per matched pair that is a
+// self-loop or contributes to a parallel edge (including parallels of the
+// designated pair).
+func (in *Instance) defectivePairs() []Cell {
+	seenEdge := make(map[uint64][]Cell, in.n*in.d/2)
+	var out []Cell
+	for v := 0; v < in.n; v++ {
+		for i := 0; i < in.d; i++ {
+			m := in.Mate(v, i)
+			if m.V < v || (m.V == v && m.I < i) {
+				continue // visit each pair once
+			}
+			if m.V == v {
+				out = append(out, Cell{V: v, I: i})
+				continue
+			}
+			k := uint64(uint32(v))<<32 | uint64(uint32(m.V))
+			seenEdge[k] = append(seenEdge[k], Cell{V: v, I: i})
+		}
+	}
+	for _, cells := range seenEdge {
+		if len(cells) <= 1 {
+			continue
+		}
+		// Keep exactly one copy per vertex pair, preferring the designated
+		// pair when it participates (it must never be rewired).
+		keep := 0
+		for idx, c := range cells {
+			if (c.V == in.X && c.I == in.A) || (c.V == in.Y && c.I == in.B) {
+				keep = idx
+				break
+			}
+		}
+		for idx, c := range cells {
+			if idx != keep {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"lca/internal/rnd"
+)
+
+func TestDPlusInstanceValid(t *testing.T) {
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		inst, err := SampleDPlus(100, 4, 3, 1, 77, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateInstance(t, inst)
+		g := inst.ToGraph()
+		if g.M() != 100*4/2 {
+			t.Fatalf("graph has %d edges, want %d (simple d-regular)", g.M(), 200)
+		}
+	}
+}
+
+func TestDMinusInstanceValid(t *testing.T) {
+	// n=100, d=4: (n/2)*d - 1 = 199 odd -> invalid; use d odd so that
+	// (n/2)*d-1 is even: d=5, n=100 -> 249 odd; need (n/2*d-1) even, i.e.
+	// n/2*d odd, i.e. both n/2 and d odd: n=98 (n/2=49), d=5.
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		inst, err := SampleDMinus(98, 5, 3, 1, 77, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateInstance(t, inst)
+		if inst.Half(3) == inst.Half(77) {
+			t.Fatal("designated endpoints on the same side")
+		}
+		counts := [2]int{}
+		for v := 0; v < inst.N(); v++ {
+			counts[inst.Half(v)]++
+		}
+		if counts[0] != counts[1] {
+			t.Fatalf("halves unbalanced: %v", counts)
+		}
+		// The designated edge is the only bridge: every other matched pair
+		// stays within a half.
+		for v := 0; v < inst.N(); v++ {
+			for i := 0; i < inst.D(); i++ {
+				m := inst.Mate(v, i)
+				if v == 3 && i == 1 || v == 77 && i == 2 {
+					continue
+				}
+				if inst.Half(v) != inst.Half(m.V) {
+					t.Fatalf("non-designated pair (%d,%d)-(%d,%d) crosses the cut", v, i, m.V, m.I)
+				}
+			}
+		}
+	}
+}
+
+func TestDMinusRejectsBadParity(t *testing.T) {
+	if _, err := SampleDMinus(100, 4, 0, 0, 1, 0, 1); err == nil {
+		t.Fatal("expected parity error for n=100, d=4")
+	}
+	if _, err := SampleDMinus(99, 4, 0, 0, 1, 0, 1); err == nil {
+		t.Fatal("expected error for odd n")
+	}
+}
+
+func TestSampleRejectsBadDesignatedEdge(t *testing.T) {
+	cases := [][4]int{{0, 0, 0, 0}, {-1, 0, 1, 0}, {0, 9, 1, 0}, {0, 0, 200, 0}}
+	for _, c := range cases {
+		if _, err := SampleDPlus(100, 4, c[0], c[1], c[2], c[3], 1); err == nil {
+			t.Errorf("edge %v should be rejected", c)
+		}
+	}
+}
+
+func validateInstance(t *testing.T, inst *Instance) {
+	t.Helper()
+	n, d := inst.N(), inst.D()
+	// Involution: mate(mate(c)) == c, no self-cells.
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			m := inst.Mate(v, i)
+			if m.V < 0 || m.V >= n || m.I < 0 || m.I >= d {
+				t.Fatalf("mate(%d,%d) out of range: %+v", v, i, m)
+			}
+			if back := inst.Mate(m.V, m.I); back.V != v || back.I != i {
+				t.Fatalf("matching not involutive at (%d,%d)", v, i)
+			}
+			if m.V == v {
+				t.Fatalf("self-loop at vertex %d", v)
+			}
+		}
+	}
+	// Simplicity: no parallel edges.
+	seen := make(map[[2]int]bool)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			m := inst.Mate(v, i)
+			if m.V < v {
+				continue
+			}
+			k := [2]int{v, m.V}
+			if seen[k] {
+				t.Fatalf("parallel edge between %d and %d", v, m.V)
+			}
+			seen[k] = true
+		}
+	}
+	// Designated edge present.
+	if m := inst.Mate(inst.X, inst.A); m.V != inst.Y || m.I != inst.B {
+		t.Fatalf("designated edge missing: mate(%d,%d) = %+v", inst.X, inst.A, m)
+	}
+}
+
+func TestDPlusUsuallyConnectedWithoutDesignatedEdge(t *testing.T) {
+	connected := 0
+	const trials = 10
+	for seed := rnd.Seed(0); seed < trials; seed++ {
+		inst, err := SampleDPlus(200, 5, 0, 0, 100, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := inst.ToGraph()
+		// Remove the designated edge and check connectivity of x,y.
+		edges := g.Edges()
+		kept := edges[:0:0]
+		for _, e := range edges {
+			if (e.U == 0 && e.V == 100) || (e.U == 100 && e.V == 0) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		gg := g.Subgraph(kept)
+		if gg.Dist(0, 100, -1) >= 0 {
+			connected++
+		}
+	}
+	if connected < trials-1 {
+		t.Errorf("only %d/%d D+ instances stayed connected", connected, trials)
+	}
+}
+
+func TestBFSMeetNeverMeetsOnDMinus(t *testing.T) {
+	for seed := rnd.Seed(0); seed < 5; seed++ {
+		inst, err := SampleDMinus(98, 5, 3, 1, 77, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, _ := BFSMeet(NewTableOracle(inst), 98*5*2)
+		if met {
+			t.Fatal("BFS met across a cut that has only the designated bridge")
+		}
+	}
+}
+
+func TestBFSMeetEventuallyMeetsOnDPlus(t *testing.T) {
+	met := 0
+	const trials = 8
+	for seed := rnd.Seed(0); seed < trials; seed++ {
+		inst, err := SampleDPlus(200, 5, 0, 0, 100, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, _ := BFSMeet(NewTableOracle(inst), 200*5*3); m {
+			met++
+		}
+	}
+	if met < trials-1 {
+		t.Errorf("BFS met on only %d/%d connected-ish D+ instances", met, trials)
+	}
+}
+
+func TestBFSMeetRespectsBudget(t *testing.T) {
+	inst, err := SampleDPlus(300, 4, 0, 0, 150, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewTableOracle(inst)
+	_, used := BFSMeet(o, 25)
+	if used > 25 {
+		t.Fatalf("distinguisher used %d probes over a budget of 25", used)
+	}
+	if o.Probes() != used {
+		t.Fatalf("oracle count %d != reported %d", o.Probes(), used)
+	}
+}
+
+func TestExperimentAdvantageIncreasesWithBudget(t *testing.T) {
+	exp := Experiment{N: 400, D: 4, MaxBudget: 4000, Trials: 12, Seed: 5}
+	pts, err := exp.Run([]int{5, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MeetRate > pts[1].MeetRate {
+		t.Errorf("meet rate decreased with budget: %v", pts)
+	}
+	if pts[0].Advantage > 0.25 {
+		t.Errorf("advantage at 5 probes is %f, expected near zero", pts[0].Advantage)
+	}
+	if pts[1].MeetRate < 0.5 {
+		t.Errorf("meet rate at full budget is %f, expected high", pts[1].MeetRate)
+	}
+}
+
+func TestExperimentDeterministic(t *testing.T) {
+	exp := Experiment{N: 200, D: 4, MaxBudget: 500, Trials: 5, Seed: 9}
+	a, err := exp.Run([]int{100, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := exp.Run([]int{100, 500})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("experiment not deterministic for fixed seed")
+		}
+	}
+}

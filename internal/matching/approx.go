@@ -1,0 +1,329 @@
+package matching
+
+// (1-eps)-approximate maximum matching LCA via bounded-length augmenting
+// paths (the Hopcroft-Karp / Nguyen-Onak principle): a maximal matching
+// that admits no augmenting path shorter than 2t+1 is a t/(t+1)
+// approximation of the maximum matching. The LCA simulates t rounds of
+// "find a shortest augmenting path, flip it" over hash-randomized phase
+// orderings, entirely through local queries.
+//
+// The implementation follows the round structure:
+//
+//	M_0 = the greedy maximal matching (Matching);
+//	M_i = M_{i-1} after augmenting along a canonical maximal set of
+//	      vertex-disjoint augmenting paths of length exactly 2i+1.
+//
+// Deciding whether an edge is in M_i requires knowing which length-(2i+1)
+// augmenting paths of M_{i-1} were flipped — determined by a deterministic
+// greedy over hash-ranked paths, evaluated locally by enumerating the
+// paths through an edge's neighborhood. Probe cost grows as Delta^{O(t)},
+// the expected sparse-regime behaviour; the construction targets
+// bounded-degree graphs.
+
+import (
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// ApproxMatching is an LCA for (1-eps)-approximate maximum matchings on
+// bounded-degree graphs. Rounds = ceil(1/eps) - 1 augmentation rounds give
+// approximation ratio rounds+1 / (rounds+2). Construct with NewApprox; not
+// safe for concurrent use.
+type ApproxMatching struct {
+	counter *oracle.Counter
+	fams    []*rnd.Family // one per augmentation round
+	base    *Matching
+	rounds  int
+	memo    []map[uint64]bool // memo[i]: edge -> in M_i (index 0 = M_1)
+	selMemo []map[string]bool // selMemo[i]: path -> selected in round i+1
+}
+
+// NewApprox returns an approximate-matching LCA performing the given
+// number of augmentation rounds on top of the greedy maximal matching.
+// rounds = 0 degrades to the maximal matching (a 1/2 approximation);
+// each extra round improves the ratio to (r+1)/(r+2).
+func NewApprox(o oracle.Oracle, rounds int, seed rnd.Seed) *ApproxMatching {
+	if rounds < 0 {
+		rounds = 0
+	}
+	counter := oracle.NewCounter(o)
+	a := &ApproxMatching{
+		counter: counter,
+		base:    New(counter, seed.Derive(0xa0)),
+		rounds:  rounds,
+		fams:    make([]*rnd.Family, rounds),
+		memo:    make([]map[uint64]bool, rounds),
+	}
+	a.selMemo = make([]map[string]bool, rounds)
+	for i := range a.fams {
+		a.fams[i] = rnd.NewFamily(seed.Derive(uint64(0xa1+i)), 16)
+		a.memo[i] = make(map[uint64]bool)
+		a.selMemo[i] = make(map[string]bool)
+	}
+	return a
+}
+
+// ProbeStats exposes cumulative probe counts.
+func (a *ApproxMatching) ProbeStats() oracle.Stats { return a.counter.Stats() }
+
+// Rounds returns the number of augmentation rounds.
+func (a *ApproxMatching) Rounds() int { return a.rounds }
+
+// Base returns the underlying maximal-matching LCA (M_0).
+func (a *ApproxMatching) Base() *Matching { return a.base }
+
+// QueryEdge reports whether (u,v) belongs to the final matching M_rounds.
+func (a *ApproxMatching) QueryEdge(u, v int) bool {
+	return a.inMatching(a.rounds, u, v)
+}
+
+// QueryVertex reports whether v is matched in the final matching.
+func (a *ApproxMatching) QueryVertex(v int) bool {
+	deg := a.counter.Degree(v)
+	for i := 0; i < deg; i++ {
+		if a.inMatching(a.rounds, v, a.counter.Neighbor(v, i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// inMatching reports membership in M_round.
+func (a *ApproxMatching) inMatching(round, u, v int) bool {
+	if round == 0 {
+		return a.base.QueryEdge(u, v)
+	}
+	key := edgeKey(u, v)
+	if ans, ok := a.memo[round-1][key]; ok {
+		return ans
+	}
+	// Membership flips relative to M_{round-1} iff the edge lies on the
+	// selected augmenting path through it.
+	was := a.inMatching(round-1, u, v)
+	flipped := a.edgeFlipped(round, u, v)
+	ans := was != flipped
+	a.memo[round-1][key] = ans
+	return ans
+}
+
+// pathLen is the augmenting path length at round i: 2i+1 edges.
+func pathLen(round int) int { return 2*round + 1 }
+
+// edgeFlipped reports whether the round's canonical augmentation set
+// contains a path through edge (u,v). A path of length 2r+1 through the
+// edge is determined by its full vertex sequence; the canonical set is the
+// greedy maximal set over hash-ranked paths, so the edge flips iff some
+// path through it is selected.
+func (a *ApproxMatching) edgeFlipped(round, u, v int) bool {
+	for _, p := range a.pathsThrough(round, u, v) {
+		if a.pathSelected(round, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathsThrough enumerates all augmenting paths of M_{round-1} with length
+// pathLen(round) that use the edge (u,v).
+//
+// In a path e_1 ... e_{2r+1}, edge e_i is unmatched iff i is odd. With
+// (u,v) at position l+1 (l edges on u's side), the path is consistent iff
+// the edge's matched status equals "l is odd", and the first edges walked
+// outward on both sides sit at positions l and l+2, both matched iff l is
+// even.
+func (a *ApproxMatching) pathsThrough(round, u, v int) [][]int {
+	target := pathLen(round)
+	edgeMatched := a.inMatching(round-1, u, v)
+	var out [][]int
+	for l := 0; l < target; l++ {
+		if edgeMatched != (l%2 == 1) {
+			continue // edge parity must alternate along the path
+		}
+		sideMatched := l%2 == 0
+		lefts := a.alternating(round, u, v, l, sideMatched)
+		if len(lefts) == 0 {
+			continue
+		}
+		rights := a.alternating(round, v, u, target-1-l, sideMatched)
+		for _, left := range lefts {
+			for _, right := range rights {
+				if p := a.mergePath(left, right); p != nil {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return dedupePaths(out)
+}
+
+// alternating returns all simple alternating segments of exactly `steps`
+// edges starting at `start` and avoiding `avoid`, where the first edge out
+// of start must be matched in M_{round-1} iff firstMatched. Segments are
+// returned innermost-first (start excluded? no: segment[0] == farthest
+// endpoint, segment[last] == start).
+func (a *ApproxMatching) alternating(round, start, avoid, steps int, firstMatched bool) [][]int {
+	if steps == 0 {
+		// A zero-length segment requires start to be free (augmenting
+		// paths end at unmatched vertices).
+		if a.matchedExcept(round-1, start, avoid) {
+			return nil
+		}
+		return [][]int{{start}}
+	}
+	var out [][]int
+	deg := a.counter.Degree(start)
+	for i := 0; i < deg; i++ {
+		w := a.counter.Neighbor(start, i)
+		if w < 0 || w == avoid {
+			continue
+		}
+		if a.inMatching(round-1, start, w) != firstMatched {
+			continue
+		}
+		for _, seg := range a.alternating(round, w, start, steps-1, !firstMatched) {
+			if containsVertex(seg, start) {
+				continue
+			}
+			ext := make([]int, 0, len(seg)+1)
+			ext = append(append(ext, seg...), start)
+			out = append(out, ext)
+		}
+	}
+	return out
+}
+
+// matchedExcept reports whether v has a matched edge in M_round other than
+// to `except`.
+func (a *ApproxMatching) matchedExcept(round, v, except int) bool {
+	deg := a.counter.Degree(v)
+	for i := 0; i < deg; i++ {
+		w := a.counter.Neighbor(v, i)
+		if w < 0 || w == except {
+			continue
+		}
+		if a.inMatching(round, v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergePath joins a left segment (ending at u) and right segment (ending
+// at v) into the full path, rejecting non-simple combinations.
+func (a *ApproxMatching) mergePath(left, right []int) []int {
+	seen := make(map[int]bool, len(left)+len(right))
+	for _, x := range left {
+		seen[x] = true
+	}
+	for _, x := range right {
+		if seen[x] {
+			return nil
+		}
+	}
+	p := make([]int, 0, len(left)+len(right))
+	p = append(p, left...)
+	for i := len(right) - 1; i >= 0; i-- {
+		p = append(p, right[i])
+	}
+	// Canonical direction: lexicographically smaller endpoint first.
+	if p[0] > p[len(p)-1] {
+		reverseInts(p)
+	}
+	return p
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func containsVertex(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupePaths(ps [][]int) [][]int {
+	seen := make(map[string]bool, len(ps))
+	out := ps[:0]
+	for _, p := range ps {
+		k := pathKey(p)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func pathKey(p []int) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, x := range p {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(b)
+}
+
+// pathRank is the hash priority of a path in its round's greedy order.
+func (a *ApproxMatching) pathRank(round int, p []int) uint64 {
+	h := a.fams[round-1]
+	acc := uint64(0xcbf29ce484222325)
+	for _, x := range p {
+		acc = rnd.Pair(acc, h.Hash(uint64(x)))
+	}
+	return acc
+}
+
+// pathSelected reports whether path p belongs to the canonical maximal set
+// of vertex-disjoint augmenting paths of its round: p is selected iff no
+// conflicting valid path with smaller (rank, key) is selected. The
+// recursion mirrors the random-order greedy over paths and terminates
+// because (rank, key) strictly decreases; results are memoized per round.
+func (a *ApproxMatching) pathSelected(round int, p []int) bool {
+	key := pathKey(p)
+	if ans, ok := a.selMemo[round-1][key]; ok {
+		return ans
+	}
+	myRank := a.pathRank(round, p)
+	selected := true
+	// Enumerate conflicting paths: any valid augmenting path of this round
+	// sharing a vertex with p and preceding it in the greedy order.
+scan:
+	for _, x := range p {
+		for _, q := range a.pathsAt(round, x) {
+			qKey := pathKey(q)
+			if qKey == key {
+				continue
+			}
+			qRank := a.pathRank(round, q)
+			if qRank > myRank || (qRank == myRank && qKey >= key) {
+				continue
+			}
+			if a.pathSelected(round, q) {
+				selected = false
+				break scan
+			}
+		}
+	}
+	a.selMemo[round-1][key] = selected
+	return selected
+}
+
+// pathsAt enumerates the round's augmenting paths through vertex x.
+func (a *ApproxMatching) pathsAt(round, x int) [][]int {
+	var out [][]int
+	deg := a.counter.Degree(x)
+	for i := 0; i < deg; i++ {
+		w := a.counter.Neighbor(x, i)
+		if w < 0 {
+			continue
+		}
+		out = append(out, a.pathsThrough(round, x, w)...)
+	}
+	return dedupePaths(out)
+}

@@ -1,0 +1,278 @@
+package matching
+
+import (
+	"sort"
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func approxWorkloads() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":  gen.Path(24),
+		"cycle": gen.Cycle(21),
+		"grid":  gen.Grid(4, 6),
+		"gnp":   gen.Gnp(40, 0.08, 3),
+		"torus": gen.Torus(4, 5),
+	}
+}
+
+func TestApproxMatchingIsValidMatching(t *testing.T) {
+	for name, g := range approxWorkloads() {
+		for _, rounds := range []int{0, 1, 2} {
+			for seed := rnd.Seed(0); seed < 3; seed++ {
+				lca := NewApprox(oracle.New(g), rounds, seed)
+				m, _ := core.BuildSubgraph(g, lca)
+				if err := core.VerifyMatching(g, m); err != nil {
+					t.Fatalf("%s rounds=%d seed=%d: %v", name, rounds, seed, err)
+				}
+				// Augmentation can only help; maximality of the base is
+				// preserved or improved.
+				if err := core.VerifyMaximalMatching(g, m); err != nil {
+					t.Fatalf("%s rounds=%d seed=%d: %v", name, rounds, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxMatchingNeverShrinks(t *testing.T) {
+	for name, g := range approxWorkloads() {
+		base, _ := core.BuildSubgraph(g, NewApprox(oracle.New(g), 0, 7))
+		prev := base.M()
+		for _, rounds := range []int{1, 2} {
+			m, _ := core.BuildSubgraph(g, NewApprox(oracle.New(g), rounds, 7))
+			if m.M() < prev {
+				t.Fatalf("%s: %d rounds gave %d edges, fewer than %d", name, rounds, m.M(), prev)
+			}
+			prev = m.M()
+		}
+	}
+}
+
+func TestApproxMatchingApproximationRatio(t *testing.T) {
+	// On graphs with known maximum matchings, r rounds must achieve at
+	// least (r+1)/(r+2) of the optimum.
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		opt  int
+	}{
+		{"path24", gen.Path(24), 12},
+		{"cycle21", gen.Cycle(21), 10},
+		{"grid4x6", gen.Grid(4, 6), 12},
+		{"star", gen.Star(9), 1},
+	}
+	for _, c := range cases {
+		for _, rounds := range []int{0, 1, 2} {
+			worst := c.opt
+			for seed := rnd.Seed(0); seed < 4; seed++ {
+				m, _ := core.BuildSubgraph(c.g, NewApprox(oracle.New(c.g), rounds, seed))
+				if m.M() < worst {
+					worst = m.M()
+				}
+			}
+			num, den := rounds+1, rounds+2
+			if worst*den < c.opt*num {
+				t.Errorf("%s rounds=%d: worst matching %d below %d/%d of optimum %d",
+					c.name, rounds, worst, num, den, c.opt)
+			}
+		}
+	}
+}
+
+func TestApproxMatchingNoShortAugmentingPaths(t *testing.T) {
+	// After r rounds the matching must admit no augmenting path of length
+	// <= 2r+1 (the Hopcroft-Karp invariant the ratio proof rests on).
+	for name, g := range approxWorkloads() {
+		for _, rounds := range []int{1, 2} {
+			lca := NewApprox(oracle.New(g), rounds, 11)
+			m, _ := core.BuildSubgraph(g, lca)
+			if p := findAugmentingPath(g, m, 2*rounds+1); p != nil {
+				t.Fatalf("%s rounds=%d: augmenting path %v of length %d survived",
+					name, rounds, p, len(p)-1)
+			}
+		}
+	}
+}
+
+// findAugmentingPath brute-force searches for a simple alternating path of
+// length <= maxLen between two free vertices. Independent of the LCA code.
+func findAugmentingPath(g *graph.Graph, m *graph.Graph, maxLen int) []int {
+	free := func(v int) bool { return m.Degree(v) == 0 }
+	var dfs func(path []int, matchedNext bool) []int
+	dfs = func(path []int, matchedNext bool) []int {
+		last := path[len(path)-1]
+		if len(path) >= 2 && len(path)%2 == 0 && !matchedNext && free(last) {
+			// Even number of vertices = odd edge count; both ends free.
+			return append([]int(nil), path...)
+		}
+		if len(path)-1 >= maxLen {
+			return nil
+		}
+		for _, w := range g.Neighbors(last) {
+			wi := int(w)
+			if containsVertex(path, wi) {
+				continue
+			}
+			if m.HasEdge(last, wi) != matchedNext {
+				continue
+			}
+			if found := dfs(append(path, wi), !matchedNext); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	for v := 0; v < g.N(); v++ {
+		if !free(v) {
+			continue
+		}
+		if found := dfs([]int{v}, false); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func TestApproxMatchingMatchesGlobalReference(t *testing.T) {
+	// Global reference: run the same phase algorithm globally (brute-force
+	// path enumeration, sort by the LCA's ranks, greedy disjoint
+	// selection, flip) and compare edge-for-edge.
+	for name, g := range approxWorkloads() {
+		const rounds = 2
+		lca := NewApprox(oracle.New(g), rounds, 5)
+		// M_0 from the base LCA (already verified against global greedy in
+		// TestMatchingMatchesGlobalGreedy).
+		cur := graph.NewEdgeSet()
+		for _, e := range g.Edges() {
+			if lca.Base().QueryEdge(e.U, e.V) {
+				cur.Add(e.U, e.V)
+			}
+		}
+		for round := 1; round <= rounds; round++ {
+			mGraph := g.Subgraph(cur.Edges())
+			paths := allAugmentingPaths(g, mGraph, 2*round+1)
+			sort.Slice(paths, func(i, j int) bool {
+				ri, rj := lca.pathRank(round, paths[i]), lca.pathRank(round, paths[j])
+				if ri != rj {
+					return ri < rj
+				}
+				return pathKey(paths[i]) < pathKey(paths[j])
+			})
+			used := make(map[int]bool)
+			for _, p := range paths {
+				conflict := false
+				for _, x := range p {
+					if used[x] {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				for _, x := range p {
+					used[x] = true
+				}
+				for i := 0; i+1 < len(p); i++ {
+					if cur.Has(p[i], p[i+1]) {
+						delete(cur, graph.Edge{U: p[i], V: p[i+1]}.Key())
+					} else {
+						cur.Add(p[i], p[i+1])
+					}
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			if lca.QueryEdge(e.U, e.V) != cur.Has(e.U, e.V) {
+				t.Fatalf("%s: LCA disagrees with global phase algorithm on (%d,%d)", name, e.U, e.V)
+			}
+		}
+	}
+}
+
+// allAugmentingPaths enumerates every simple alternating path of exactly
+// length edges between free vertices, in canonical direction, deduplicated.
+func allAugmentingPaths(g *graph.Graph, m *graph.Graph, length int) [][]int {
+	free := func(v int) bool { return m.Degree(v) == 0 }
+	var out [][]int
+	var dfs func(path []int, matchedNext bool)
+	dfs = func(path []int, matchedNext bool) {
+		last := path[len(path)-1]
+		if len(path)-1 == length {
+			if !free(last) {
+				return
+			}
+			p := append([]int(nil), path...)
+			if p[0] > p[len(p)-1] {
+				for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+					p[i], p[j] = p[j], p[i]
+				}
+			}
+			out = append(out, p)
+			return
+		}
+		for _, w := range g.Neighbors(last) {
+			wi := int(w)
+			if containsVertex(path, wi) {
+				continue
+			}
+			if m.HasEdge(last, wi) != matchedNext {
+				continue
+			}
+			dfs(append(path, wi), !matchedNext)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if free(v) {
+			dfs([]int{v}, false)
+		}
+	}
+	return dedupePaths(out)
+}
+
+func TestApproxMatchingSymmetricAndDeterministic(t *testing.T) {
+	g := gen.Gnp(36, 0.1, 9)
+	a := NewApprox(oracle.New(g), 2, 13)
+	if e, ok := core.CheckSymmetric(g, a); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+	b := NewApprox(oracle.New(g), 2, 13)
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != b.QueryEdge(e.U, e.V) {
+			t.Fatalf("instances disagree on %v", e)
+		}
+	}
+}
+
+func TestApproxMatchingQueryVertexConsistent(t *testing.T) {
+	g := gen.Grid(4, 5)
+	a := NewApprox(oracle.New(g), 1, 3)
+	for v := 0; v < g.N(); v++ {
+		want := false
+		for i := 0; i < g.Degree(v); i++ {
+			if a.QueryEdge(v, g.Neighbor(v, i)) {
+				want = true
+				break
+			}
+		}
+		if a.QueryVertex(v) != want {
+			t.Fatalf("QueryVertex inconsistent at %d", v)
+		}
+	}
+}
+
+func TestApproxMatchingZeroRoundsEqualsBase(t *testing.T) {
+	g := gen.Gnp(40, 0.1, 1)
+	a := NewApprox(oracle.New(g), 0, 21)
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != a.Base().QueryEdge(e.U, e.V) {
+			t.Fatal("0-round approx must equal the base matching")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package matching implements the maximal-matching LCA via random-order
+// greedy simulation over edges, and the 2-approximate minimum vertex cover
+// LCA it induces (matched endpoints form a cover). These are the classical
+// sparse-regime LCAs: probe cost per query is modest for bounded degree
+// and grows quickly with Delta.
+package matching
+
+import (
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// Matching is an LCA answering "is (u,v) in the maximal matching?" and
+// "is v covered?" queries, consistent with the greedy matching under a
+// hash-derived random edge order. Construct with New; the zero value is
+// unusable. Not safe for concurrent use.
+type Matching struct {
+	counter *oracle.Counter
+	fam     *rnd.Family
+	memo    map[uint64]bool
+}
+
+// New returns a maximal-matching LCA over o.
+func New(o oracle.Oracle, seed rnd.Seed) *Matching {
+	return &Matching{
+		counter: oracle.NewCounter(o),
+		fam:     rnd.NewFamily(seed.Derive(0x3a7), 16),
+		memo:    make(map[uint64]bool),
+	}
+}
+
+// ProbeStats exposes cumulative probe counts.
+func (m *Matching) ProbeStats() oracle.Stats { return m.counter.Stats() }
+
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Before reports whether edge a precedes edge b in the random greedy order
+// (hash priorities tie-broken by edge key, so the order is strict and
+// total).
+func (m *Matching) Before(aU, aV, bU, bV int) bool {
+	ka, kb := edgeKey(aU, aV), edgeKey(bU, bV)
+	ha, hb := m.fam.Hash(ka), m.fam.Hash(kb)
+	if ha != hb {
+		return ha < hb
+	}
+	return ka < kb
+}
+
+// QueryEdge reports whether (u,v) is in the maximal matching: it is iff no
+// adjacent edge preceding it in the random order is matched.
+func (m *Matching) QueryEdge(u, v int) bool {
+	key := edgeKey(u, v)
+	if ans, ok := m.memo[key]; ok {
+		return ans
+	}
+	in := true
+scan:
+	for _, x := range [2]int{u, v} {
+		deg := m.counter.Degree(x)
+		for i := 0; i < deg; i++ {
+			w := m.counter.Neighbor(x, i)
+			if w < 0 {
+				break
+			}
+			if edgeKey(x, w) == key {
+				continue
+			}
+			if m.Before(x, w, u, v) && m.QueryEdge(x, w) {
+				in = false
+				break scan
+			}
+		}
+	}
+	m.memo[key] = in
+	return in
+}
+
+// QueryVertex reports whether v is in the 2-approximate vertex cover: v is
+// covered iff some incident edge is matched. By maximality this set covers
+// every edge, and its size is at most twice the minimum vertex cover.
+func (m *Matching) QueryVertex(v int) bool {
+	deg := m.counter.Degree(v)
+	for i := 0; i < deg; i++ {
+		w := m.counter.Neighbor(v, i)
+		if w < 0 {
+			break
+		}
+		if m.QueryEdge(v, w) {
+			return true
+		}
+	}
+	return false
+}

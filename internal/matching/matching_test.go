@@ -1,0 +1,120 @@
+package matching
+
+import (
+	"sort"
+	"testing"
+
+	"lca/internal/baseline"
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func workloads() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":   gen.Gnp(120, 0.06, 1),
+		"torus": gen.Torus(9, 9),
+		"path":  gen.Path(50),
+		"star":  gen.Star(30),
+		"comp":  gen.Complete(25),
+	}
+}
+
+func TestMatchingMaximal(t *testing.T) {
+	for name, g := range workloads() {
+		for seed := rnd.Seed(0); seed < 5; seed++ {
+			lca := New(oracle.New(g), seed)
+			h, _ := core.BuildSubgraph(g, lca)
+			if err := core.VerifyMaximalMatching(g, h); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestMatchingMatchesGlobalGreedy(t *testing.T) {
+	for name, g := range workloads() {
+		lca := New(oracle.New(g), 9)
+		edges := g.Edges()
+		sort.Slice(edges, func(i, j int) bool {
+			return lca.Before(edges[i].U, edges[i].V, edges[j].U, edges[j].V)
+		})
+		want := baseline.GreedyMatching(g, edges)
+		for _, e := range g.Edges() {
+			if lca.QueryEdge(e.U, e.V) != want.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: LCA disagrees with global greedy on %v", name, e)
+			}
+		}
+	}
+}
+
+func TestMatchingSymmetric(t *testing.T) {
+	g := gen.Gnp(80, 0.08, 3)
+	lca := New(oracle.New(g), 5)
+	if e, ok := core.CheckSymmetric(g, lca); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+}
+
+func TestVertexCoverCoversAllEdges(t *testing.T) {
+	for name, g := range workloads() {
+		lca := New(oracle.New(g), 11)
+		cover, _ := core.BuildVertexSet(g, lca)
+		if err := core.VerifyVertexCover(g, cover); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVertexCoverTwoApproximation(t *testing.T) {
+	// |cover| = 2|matching| <= 2 OPT: check the relation to the matching
+	// size exactly, and sanity-check against the trivial bound.
+	g := gen.Gnp(90, 0.07, 13)
+	lca := New(oracle.New(g), 17)
+	m, _ := core.BuildSubgraph(g, lca)
+	cover, _ := core.BuildVertexSet(g, lca)
+	count := 0
+	for _, c := range cover {
+		if c {
+			count++
+		}
+	}
+	if count != 2*m.M() {
+		t.Fatalf("cover size %d != 2 * matching size %d", count, m.M())
+	}
+	// A maximal matching is at least half a maximum one, and any vertex
+	// cover is at least the matching size, so count <= 2*OPT follows; here
+	// just confirm the cover is not the whole graph on a sparse instance.
+	if count >= g.N() {
+		t.Errorf("vertex cover is the entire vertex set")
+	}
+}
+
+func TestMatchingConsistentWithCover(t *testing.T) {
+	// QueryVertex(v) must be exactly "some incident edge matched".
+	g := gen.Torus(8, 8)
+	lca := New(oracle.New(g), 19)
+	for v := 0; v < g.N(); v++ {
+		want := false
+		for i := 0; i < g.Degree(v); i++ {
+			if lca.QueryEdge(v, g.Neighbor(v, i)) {
+				want = true
+				break
+			}
+		}
+		if lca.QueryVertex(v) != want {
+			t.Fatalf("cover answer inconsistent at %d", v)
+		}
+	}
+}
+
+func TestMatchingPerfectOnEvenPath(t *testing.T) {
+	// On a single edge the matching must contain it.
+	g := gen.Path(2)
+	lca := New(oracle.New(g), 23)
+	if !lca.QueryEdge(0, 1) {
+		t.Fatal("single edge must be matched")
+	}
+}

@@ -1,0 +1,71 @@
+// Package mis implements the classical maximal-independent-set LCA via
+// random-order greedy simulation (Rubinfeld-Tamir-Vardi-Xie 2011 /
+// Nguyen-Onak): each vertex receives a hash-derived random priority, and v
+// belongs to the MIS iff no lower-priority neighbor does. A query triggers
+// a recursion over the lower-priority neighborhood; on bounded-degree
+// graphs the expected query tree is constant-size, while for large maximum
+// degree the probe complexity can grow exponentially in Delta — exactly the
+// sparse-regime limitation that motivates the dense-graph spanner LCAs
+// (see the experiment suite's E8).
+package mis
+
+import (
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// MIS is an LCA answering "is v in the maximal independent set?" queries,
+// consistent with the greedy MIS under the hash-derived random vertex
+// order. Construct with New; the zero value is unusable. Not safe for
+// concurrent use.
+type MIS struct {
+	counter *oracle.Counter
+	fam     *rnd.Family
+	memo    map[int]bool
+}
+
+// New returns an MIS LCA over o. Answers depend only on (graph, seed).
+func New(o oracle.Oracle, seed rnd.Seed) *MIS {
+	return &MIS{
+		counter: oracle.NewCounter(o),
+		fam:     rnd.NewFamily(seed.Derive(0x315), 16),
+		memo:    make(map[int]bool),
+	}
+}
+
+// ProbeStats exposes cumulative probe counts.
+func (m *MIS) ProbeStats() oracle.Stats { return m.counter.Stats() }
+
+// Before reports whether u precedes v in the random greedy order
+// (priorities tie-broken by ID, so the order is a strict total order).
+func (m *MIS) Before(u, v int) bool {
+	hu, hv := m.fam.Hash(uint64(u)), m.fam.Hash(uint64(v))
+	if hu != hv {
+		return hu < hv
+	}
+	return u < v
+}
+
+// QueryVertex reports whether v is in the MIS. The recursion follows the
+// greedy rule: v joins iff every neighbor preceding v in the random order
+// stays out. Results are memoized across queries (they are pure functions
+// of graph and seed), which also keeps repeated sub-queries cheap.
+func (m *MIS) QueryVertex(v int) bool {
+	if ans, ok := m.memo[v]; ok {
+		return ans
+	}
+	in := true
+	deg := m.counter.Degree(v)
+	for i := 0; i < deg; i++ {
+		w := m.counter.Neighbor(v, i)
+		if w < 0 {
+			break
+		}
+		if m.Before(w, v) && m.QueryVertex(w) {
+			in = false
+			break
+		}
+	}
+	m.memo[v] = in
+	return in
+}

@@ -1,0 +1,123 @@
+package mis
+
+import (
+	"sort"
+	"testing"
+
+	"lca/internal/baseline"
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func workloads() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":     gen.Gnp(150, 0.05, 1),
+		"torus":   gen.Torus(10, 10),
+		"path":    gen.Path(60),
+		"star":    gen.Star(40),
+		"cluster": gen.PlantedClusters(90, 3, 0.2, 0.02, 2),
+		"cycle":   gen.Cycle(51),
+	}
+}
+
+func TestMISMaximalIndependent(t *testing.T) {
+	for name, g := range workloads() {
+		for seed := rnd.Seed(0); seed < 5; seed++ {
+			lca := New(oracle.New(g), seed)
+			in, _ := core.BuildVertexSet(g, lca)
+			if err := core.VerifyMaximalIndependentSet(g, in); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestMISMatchesGlobalGreedy(t *testing.T) {
+	// The LCA must agree vertex-for-vertex with the sequential greedy MIS
+	// over the same random order.
+	for name, g := range workloads() {
+		lca := New(oracle.New(g), 42)
+		order := make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return lca.Before(order[i], order[j]) })
+		want := baseline.GreedyMIS(g, order)
+		for v := 0; v < g.N(); v++ {
+			if lca.QueryVertex(v) != want[v] {
+				t.Fatalf("%s: LCA disagrees with global greedy at %d", name, v)
+			}
+		}
+	}
+}
+
+func TestMISDeterministicAcrossInstances(t *testing.T) {
+	g := gen.Gnp(100, 0.06, 3)
+	a, b := New(oracle.New(g), 7), New(oracle.New(g), 7)
+	for v := 0; v < g.N(); v++ {
+		if a.QueryVertex(v) != b.QueryVertex(v) {
+			t.Fatalf("instances disagree at %d", v)
+		}
+	}
+}
+
+func TestMISSeedsDiffer(t *testing.T) {
+	g := gen.Gnp(100, 0.08, 5)
+	a, b := New(oracle.New(g), 1), New(oracle.New(g), 2)
+	diff := 0
+	for v := 0; v < g.N(); v++ {
+		if a.QueryVertex(v) != b.QueryVertex(v) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Log("note: two seeds produced identical MIS (possible but unusual)")
+	}
+}
+
+func TestMISIsolatedAndCompleteExtremes(t *testing.T) {
+	iso := graph.NewBuilder(5).Build()
+	lca := New(oracle.New(iso), 1)
+	for v := 0; v < 5; v++ {
+		if !lca.QueryVertex(v) {
+			t.Fatal("isolated vertices must all join the MIS")
+		}
+	}
+	k := gen.Complete(20)
+	lcaK := New(oracle.New(k), 1)
+	count := 0
+	for v := 0; v < 20; v++ {
+		if lcaK.QueryVertex(v) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("MIS of a clique has %d vertices, want 1", count)
+	}
+}
+
+func TestMISProbesGrowWithDegree(t *testing.T) {
+	// Sparse-regime behaviour: per-query probe cost rises with Delta.
+	probesAt := func(d int) float64 {
+		g, err := gen.RandomRegular(400, d, rnd.Seed(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		const queries = 30
+		for i := 0; i < queries; i++ {
+			lca := New(oracle.New(g), rnd.Seed(i)) // fresh instance: honest counts
+			lca.QueryVertex(i * 13 % g.N())
+			total += float64(lca.ProbeStats().Total())
+		}
+		return total / queries
+	}
+	low, high := probesAt(4), probesAt(16)
+	t.Logf("mean probes per query: d=4: %.1f, d=16: %.1f", low, high)
+	if high <= low {
+		t.Errorf("probe cost did not grow with degree (%.1f vs %.1f)", low, high)
+	}
+}

@@ -1,0 +1,87 @@
+package oracle
+
+// Probe budget enforcement. The theory states per-query probe bounds; the
+// LimitOracle turns them into a hard runtime contract so tests and
+// deployments can prove — not just measure — that an algorithm stays
+// local.
+
+import "fmt"
+
+// ErrBudgetExceeded is the panic value raised by LimitOracle when a probe
+// would exceed the budget. It is a typed value so harnesses can recover it
+// selectively.
+type ErrBudgetExceeded struct {
+	Budget uint64
+}
+
+// Error implements the error interface.
+func (e ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("oracle: probe budget %d exceeded", e.Budget)
+}
+
+// LimitOracle wraps an Oracle and panics with ErrBudgetExceeded once more
+// than Budget probes have been issued since construction or the last
+// Reset. Not safe for concurrent use.
+type LimitOracle struct {
+	inner  Oracle
+	budget uint64
+	used   uint64
+}
+
+var _ Oracle = (*LimitOracle)(nil)
+
+// NewLimit wraps inner with a hard probe budget.
+func NewLimit(inner Oracle, budget uint64) *LimitOracle {
+	return &LimitOracle{inner: inner, budget: budget}
+}
+
+// Used returns the number of probes spent so far.
+func (l *LimitOracle) Used() uint64 { return l.used }
+
+// Reset restarts the budget window.
+func (l *LimitOracle) Reset() { l.used = 0 }
+
+func (l *LimitOracle) spend() {
+	if l.used >= l.budget {
+		panic(ErrBudgetExceeded{Budget: l.budget})
+	}
+	l.used++
+}
+
+// N implements Oracle (free, as everywhere in the model).
+func (l *LimitOracle) N() int { return l.inner.N() }
+
+// Degree implements Oracle.
+func (l *LimitOracle) Degree(v int) int {
+	l.spend()
+	return l.inner.Degree(v)
+}
+
+// Neighbor implements Oracle.
+func (l *LimitOracle) Neighbor(v, i int) int {
+	l.spend()
+	return l.inner.Neighbor(v, i)
+}
+
+// Adjacency implements Oracle.
+func (l *LimitOracle) Adjacency(u, v int) int {
+	l.spend()
+	return l.inner.Adjacency(u, v)
+}
+
+// WithinBudget runs fn and reports whether it completed without exhausting
+// the budget; the budget window is reset first. Other panics propagate.
+func (l *LimitOracle) WithinBudget(fn func()) (ok bool) {
+	l.Reset()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isBudget := r.(ErrBudgetExceeded); isBudget {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return true
+}

@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"testing"
+)
+
+func TestLimitOracleAllowsWithinBudget(t *testing.T) {
+	l := NewLimit(New(testGraph()), 5)
+	for i := 0; i < 5; i++ {
+		l.Degree(0)
+	}
+	if l.Used() != 5 {
+		t.Fatalf("Used = %d", l.Used())
+	}
+}
+
+func TestLimitOraclePanicsOverBudget(t *testing.T) {
+	l := NewLimit(New(testGraph()), 2)
+	l.Neighbor(0, 0)
+	l.Adjacency(0, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected ErrBudgetExceeded panic")
+		}
+		e, ok := r.(ErrBudgetExceeded)
+		if !ok {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+		if e.Budget != 2 || e.Error() == "" {
+			t.Fatalf("bad error payload: %+v", e)
+		}
+	}()
+	l.Degree(0)
+}
+
+func TestLimitOracleNIsFree(t *testing.T) {
+	l := NewLimit(New(testGraph()), 1)
+	for i := 0; i < 10; i++ {
+		l.N()
+	}
+	if l.Used() != 0 {
+		t.Fatal("N() must not consume budget")
+	}
+}
+
+func TestWithinBudget(t *testing.T) {
+	l := NewLimit(New(testGraph()), 3)
+	ok := l.WithinBudget(func() {
+		l.Degree(0)
+		l.Degree(1)
+	})
+	if !ok {
+		t.Fatal("two probes should fit in a budget of three")
+	}
+	ok = l.WithinBudget(func() {
+		for i := 0; i < 10; i++ {
+			l.Degree(0)
+		}
+	})
+	if ok {
+		t.Fatal("ten probes must not fit in a budget of three")
+	}
+	// Reset happens per call: a new run starts fresh.
+	if !l.WithinBudget(func() { l.Degree(0) }) {
+		t.Fatal("budget window must reset between runs")
+	}
+}
+
+func TestWithinBudgetPropagatesOtherPanics(t *testing.T) {
+	l := NewLimit(New(testGraph()), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unrelated panics must propagate")
+		}
+	}()
+	l.WithinBudget(func() { panic("unrelated") })
+}

@@ -1,0 +1,238 @@
+// Package oracle defines the adjacency-list oracle through which every LCA
+// views its input graph, together with the probe-accounting wrappers that
+// the experiments use to measure probe complexity.
+//
+// The probe set follows the centralized-local model (Rubinfeld et al. 2011):
+//
+//   - Neighbor(v, i): the i-th neighbor of v, or -1 if i >= deg(v).
+//   - Degree(v): deg(v). (Definable from Neighbor probes by binary search;
+//     provided natively and counted separately, as in the papers.)
+//   - Adjacency(u, v): the index of v in Gamma(u), or -1 if (u,v) is not an
+//     edge. Note the answer carries positional information; the spanner
+//     constructions' O(1) cluster-membership tests depend on it.
+//
+// Algorithms must interact with the input graph only through this
+// interface; the harness enforces probe budgets and records statistics by
+// wrapping it.
+package oracle
+
+import "lca/internal/graph"
+
+// Oracle is the adjacency-list probe interface of the LCA model.
+type Oracle interface {
+	// N returns the number of vertices. Knowing n is standard in the model
+	// (it parameterizes thresholds) and does not count as a probe.
+	N() int
+	// Degree returns deg(v).
+	Degree(v int) int
+	// Neighbor returns the i-th (0-indexed) neighbor of v, or -1 if i is
+	// out of range.
+	Neighbor(v, i int) int
+	// Adjacency returns the index of v in the neighbor list of u, or -1 if
+	// (u,v) is not an edge.
+	Adjacency(u, v int) int
+}
+
+// GraphOracle adapts a concrete graph.Graph to the Oracle interface.
+type GraphOracle struct {
+	g *graph.Graph
+}
+
+var _ Oracle = (*GraphOracle)(nil)
+
+// New returns an oracle view of g.
+func New(g *graph.Graph) *GraphOracle { return &GraphOracle{g: g} }
+
+// N implements Oracle.
+func (o *GraphOracle) N() int { return o.g.N() }
+
+// Degree implements Oracle.
+func (o *GraphOracle) Degree(v int) int { return o.g.Degree(v) }
+
+// Neighbor implements Oracle.
+func (o *GraphOracle) Neighbor(v, i int) int { return o.g.Neighbor(v, i) }
+
+// Adjacency implements Oracle.
+func (o *GraphOracle) Adjacency(u, v int) int { return o.g.AdjacencyIndex(u, v) }
+
+// Stats is a snapshot of probe counts by type.
+type Stats struct {
+	Neighbor  uint64
+	Degree    uint64
+	Adjacency uint64
+}
+
+// Total returns the total probe count.
+func (s Stats) Total() uint64 { return s.Neighbor + s.Degree + s.Adjacency }
+
+// Sub returns s - t componentwise, for before/after deltas.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Neighbor:  s.Neighbor - t.Neighbor,
+		Degree:    s.Degree - t.Degree,
+		Adjacency: s.Adjacency - t.Adjacency,
+	}
+}
+
+// Counter wraps an Oracle and counts probes by type. It is not safe for
+// concurrent use; harnesses that parallelize give each worker its own
+// Counter (LCA instances are cheap and deterministic to rebuild).
+type Counter struct {
+	inner Oracle
+	stats Stats
+}
+
+var _ Oracle = (*Counter)(nil)
+
+// NewCounter wraps inner with probe accounting.
+func NewCounter(inner Oracle) *Counter { return &Counter{inner: inner} }
+
+// N implements Oracle (not counted; n is public knowledge in the model).
+func (c *Counter) N() int { return c.inner.N() }
+
+// Degree implements Oracle.
+func (c *Counter) Degree(v int) int {
+	c.stats.Degree++
+	return c.inner.Degree(v)
+}
+
+// Neighbor implements Oracle.
+func (c *Counter) Neighbor(v, i int) int {
+	c.stats.Neighbor++
+	return c.inner.Neighbor(v, i)
+}
+
+// Adjacency implements Oracle.
+func (c *Counter) Adjacency(u, v int) int {
+	c.stats.Adjacency++
+	return c.inner.Adjacency(u, v)
+}
+
+// Stats returns the probe counts so far.
+func (c *Counter) Stats() Stats { return c.stats }
+
+// Reset zeroes the counters.
+func (c *Counter) Reset() { c.stats = Stats{} }
+
+// ProbeKind identifies a probe type in a recorded trace.
+type ProbeKind uint8
+
+// Probe kinds.
+const (
+	KindNeighbor ProbeKind = iota
+	KindDegree
+	KindAdjacency
+)
+
+// Record is one recorded probe with its answer.
+type Record struct {
+	Kind   ProbeKind
+	A, B   int // Neighbor: (v, i); Degree: (v, 0); Adjacency: (u, v)
+	Answer int
+}
+
+// Recorder wraps an Oracle and records the full probe/answer trace, used by
+// the lower-bound experiments and for debugging locality violations.
+type Recorder struct {
+	inner Oracle
+	trace []Record
+}
+
+var _ Oracle = (*Recorder)(nil)
+
+// NewRecorder wraps inner with trace recording.
+func NewRecorder(inner Oracle) *Recorder { return &Recorder{inner: inner} }
+
+// N implements Oracle.
+func (r *Recorder) N() int { return r.inner.N() }
+
+// Degree implements Oracle.
+func (r *Recorder) Degree(v int) int {
+	ans := r.inner.Degree(v)
+	r.trace = append(r.trace, Record{Kind: KindDegree, A: v, Answer: ans})
+	return ans
+}
+
+// Neighbor implements Oracle.
+func (r *Recorder) Neighbor(v, i int) int {
+	ans := r.inner.Neighbor(v, i)
+	r.trace = append(r.trace, Record{Kind: KindNeighbor, A: v, B: i, Answer: ans})
+	return ans
+}
+
+// Adjacency implements Oracle.
+func (r *Recorder) Adjacency(u, v int) int {
+	ans := r.inner.Adjacency(u, v)
+	r.trace = append(r.trace, Record{Kind: KindAdjacency, A: u, B: v, Answer: ans})
+	return ans
+}
+
+// Trace returns the recorded probes. The slice is shared; callers must not
+// modify it.
+func (r *Recorder) Trace() []Record { return r.trace }
+
+// Reset clears the trace.
+func (r *Recorder) Reset() { r.trace = r.trace[:0] }
+
+// CachingOracle wraps an Oracle and memoizes answers, so repeated probes of
+// the same cell are answered locally. In the LCA model repeated probes are
+// usually counted once (the algorithm could have cached them itself); the
+// experiments report both raw and deduplicated counts by stacking Counter
+// outside and inside a CachingOracle.
+type CachingOracle struct {
+	inner     Oracle
+	degrees   map[int]int
+	neighbors map[[2]int]int
+	adjacency map[[2]int]int
+}
+
+var _ Oracle = (*CachingOracle)(nil)
+
+// NewCaching wraps inner with memoization.
+func NewCaching(inner Oracle) *CachingOracle {
+	return &CachingOracle{
+		inner:     inner,
+		degrees:   make(map[int]int),
+		neighbors: make(map[[2]int]int),
+		adjacency: make(map[[2]int]int),
+	}
+}
+
+// N implements Oracle.
+func (c *CachingOracle) N() int { return c.inner.N() }
+
+// Degree implements Oracle.
+func (c *CachingOracle) Degree(v int) int {
+	if d, ok := c.degrees[v]; ok {
+		return d
+	}
+	d := c.inner.Degree(v)
+	c.degrees[v] = d
+	return d
+}
+
+// Neighbor implements Oracle.
+func (c *CachingOracle) Neighbor(v, i int) int {
+	k := [2]int{v, i}
+	if w, ok := c.neighbors[k]; ok {
+		return w
+	}
+	w := c.inner.Neighbor(v, i)
+	c.neighbors[k] = w
+	// A Neighbor answer also pins down one Adjacency answer for free.
+	if w >= 0 {
+		c.adjacency[[2]int{v, w}] = i
+	}
+	return w
+}
+
+// Adjacency implements Oracle.
+func (c *CachingOracle) Adjacency(u, v int) int {
+	k := [2]int{u, v}
+	if i, ok := c.adjacency[k]; ok {
+		return i
+	}
+	i := c.inner.Adjacency(u, v)
+	c.adjacency[k] = i
+	return i
+}

@@ -1,0 +1,244 @@
+// Package serve exposes LCAs over HTTP: the deployment shape the model
+// implies. A server holds nothing but the graph handle and the seed; each
+// request builds a fresh LCA instance (they are cheap and answer
+// consistently for a fixed seed), so requests are embarrassingly parallel
+// and horizontally scalable — different replicas with the same seed serve
+// slices of the same global solution.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lca/internal/coloring"
+	"lca/internal/estimate"
+	"lca/internal/graph"
+	"lca/internal/matching"
+	"lca/internal/mis"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+	"lca/internal/spanner"
+)
+
+// Server answers LCA queries for one graph under one seed. Construct with
+// New; the zero value is unusable. Safe for concurrent use: per-request
+// state only.
+type Server struct {
+	g    *graph.Graph
+	seed rnd.Seed
+}
+
+// New returns a server for g under the given seed.
+func New(g *graph.Graph, seed rnd.Seed) *Server {
+	return &Server{g: g, seed: seed}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /graph", s.handleGraph)
+	mux.HandleFunc("GET /spanner/{alg}/edge", s.handleSpannerEdge)
+	mux.HandleFunc("GET /mis/vertex", s.handleMISVertex)
+	mux.HandleFunc("GET /matching/edge", s.handleMatchingEdge)
+	mux.HandleFunc("GET /coloring/vertex", s.handleColoringVertex)
+	mux.HandleFunc("GET /estimate/{metric}", s.handleEstimate)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) vertexParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if v < 0 || v >= s.g.N() {
+		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	return v, nil
+}
+
+func (s *Server) edgeParams(r *http.Request) (u, v int, err error) {
+	if u, err = s.vertexParam(r, "u"); err != nil {
+		return 0, 0, err
+	}
+	if v, err = s.vertexParam(r, "v"); err != nil {
+		return 0, 0, err
+	}
+	if !s.g.HasEdge(u, v) {
+		return 0, 0, fmt.Errorf("(%d,%d) is not an edge of the graph", u, v)
+	}
+	return u, v, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type graphInfo struct {
+	N         int `json:"n"`
+	M         int `json:"m"`
+	MaxDegree int `json:"max_degree"`
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, graphInfo{N: s.g.N(), M: s.g.M(), MaxDegree: s.g.MaxDegree()})
+}
+
+type edgeAnswer struct {
+	U      int    `json:"u"`
+	V      int    `json:"v"`
+	In     bool   `json:"in"`
+	Probes uint64 `json:"probes"`
+	Alg    string `json:"alg"`
+}
+
+// edgeLCA is the per-request spanner instance contract.
+type edgeLCA interface {
+	QueryEdge(u, v int) bool
+	ProbeStats() oracle.Stats
+}
+
+func (s *Server) spannerFor(alg string, k int) (edgeLCA, error) {
+	o := oracle.New(s.g)
+	switch alg {
+	case "3":
+		return spanner.NewSpanner3(o, s.seed), nil
+	case "5":
+		return spanner.NewSpanner5(o, s.seed), nil
+	case "k":
+		return spanner.NewSpannerK(o, k, s.seed), nil
+	case "sparse":
+		return spanner.NewSparseSpanning(o, s.seed), nil
+	default:
+		return nil, fmt.Errorf("unknown spanner algorithm %q (want 3, 5, k or sparse)", alg)
+	}
+}
+
+func (s *Server) handleSpannerEdge(w http.ResponseWriter, r *http.Request) {
+	alg := r.PathValue("alg")
+	k := 3
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", raw)
+			return
+		}
+		k = parsed
+	}
+	lca, err := s.spannerFor(alg, k)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	u, v, err := s.edgeParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in := lca.QueryEdge(u, v)
+	writeJSON(w, http.StatusOK, edgeAnswer{U: u, V: v, In: in, Probes: lca.ProbeStats().Total(), Alg: alg})
+}
+
+type vertexAnswer struct {
+	V      int    `json:"v"`
+	In     bool   `json:"in"`
+	Probes uint64 `json:"probes"`
+}
+
+func (s *Server) handleMISVertex(w http.ResponseWriter, r *http.Request) {
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lca := mis.New(oracle.New(s.g), s.seed)
+	in := lca.QueryVertex(v)
+	writeJSON(w, http.StatusOK, vertexAnswer{V: v, In: in, Probes: lca.ProbeStats().Total()})
+}
+
+func (s *Server) handleMatchingEdge(w http.ResponseWriter, r *http.Request) {
+	u, v, err := s.edgeParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lca := matching.New(oracle.New(s.g), s.seed)
+	in := lca.QueryEdge(u, v)
+	writeJSON(w, http.StatusOK, edgeAnswer{U: u, V: v, In: in, Probes: lca.ProbeStats().Total(), Alg: "matching"})
+}
+
+type colorAnswer struct {
+	V      int    `json:"v"`
+	Color  int    `json:"color"`
+	Probes uint64 `json:"probes"`
+}
+
+func (s *Server) handleColoringVertex(w http.ResponseWriter, r *http.Request) {
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lca := coloring.New(oracle.New(s.g), s.seed)
+	writeJSON(w, http.StatusOK, colorAnswer{V: v, Color: lca.QueryLabel(v), Probes: lca.ProbeStats().Total()})
+}
+
+type estimateAnswer struct {
+	Metric     string  `json:"metric"`
+	Fraction   float64 `json:"fraction"`
+	ErrorBound float64 `json:"error_bound"`
+	Samples    int     `json:"samples"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	metric := r.PathValue("metric")
+	samples := 500
+	if raw := r.URL.Query().Get("samples"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 1_000_000 {
+			writeErr(w, http.StatusBadRequest, "bad samples %q", raw)
+			return
+		}
+		samples = parsed
+	}
+	const delta = 0.05
+	var res estimate.Result
+	switch metric {
+	case "mis":
+		res = estimate.VertexFraction(s.g.N(), mis.New(oracle.New(s.g), s.seed), samples, delta, s.seed.Derive(1))
+	case "cover":
+		res = estimate.VertexFraction(s.g.N(), matching.New(oracle.New(s.g), s.seed), samples, delta, s.seed.Derive(2))
+	case "spanner3":
+		lca := spanner.NewSpanner3Config(oracle.New(s.g), s.seed, spanner.Config{Memo: true})
+		res = estimate.EdgeFraction(s.g, lca, samples, delta, s.seed.Derive(3))
+	default:
+		writeErr(w, http.StatusNotFound, "unknown metric %q (want mis, cover or spanner3)", metric)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateAnswer{
+		Metric:     metric,
+		Fraction:   res.Fraction,
+		ErrorBound: res.ErrorBound,
+		Samples:    res.Samples,
+	})
+}

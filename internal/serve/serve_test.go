@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lca/internal/gen"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	g := gen.Gnp(200, 0.1, 7)
+	ts := httptest.NewServer(New(g, 42).Handler())
+	return ts, ts.Close
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndGraph(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	var info graphInfo
+	if code := getJSON(t, ts.URL+"/graph", &info); code != 200 || info.N != 200 || info.M == 0 {
+		t.Fatalf("graph info: %d %+v", code, info)
+	}
+}
+
+func TestSpannerEdgeEndpoint(t *testing.T) {
+	g := gen.Gnp(200, 0.1, 7)
+	ts := httptest.NewServer(New(g, 42).Handler())
+	defer ts.Close()
+	e := g.Edges()[0]
+	var ans edgeAnswer
+	url := fmt.Sprintf("%s/spanner/3/edge?u=%d&v=%d", ts.URL, e.U, e.V)
+	if code := getJSON(t, url, &ans); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if ans.U != e.U || ans.V != e.V || ans.Probes == 0 {
+		t.Fatalf("answer %+v", ans)
+	}
+	// Consistency across requests (fresh instances, same seed).
+	var again edgeAnswer
+	getJSON(t, url, &again)
+	if again.In != ans.In {
+		t.Fatal("two requests for the same edge disagreed")
+	}
+}
+
+func TestSpannerEndpointErrors(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/spanner/9/edge?u=0&v=1", 404},     // unknown algorithm
+		{"/spanner/3/edge?u=0", 400},         // missing v
+		{"/spanner/3/edge?u=0&v=betty", 400}, // non-numeric
+		{"/spanner/3/edge?u=0&v=99999", 400}, // out of range
+		{"/spanner/k/edge?u=0&v=1&k=zero", 400},
+		{"/estimate/nothing", 404},
+		{"/estimate/mis?samples=-3", 400},
+	}
+	for _, c := range cases {
+		var body errorBody
+		if code := getJSON(t, ts.URL+c.path, &body); code != c.want {
+			t.Errorf("%s: status %d, want %d (%+v)", c.path, code, c.want, body)
+		} else if body.Error == "" {
+			t.Errorf("%s: missing error message", c.path)
+		}
+	}
+}
+
+func TestSpannerEdgeNotAnEdge(t *testing.T) {
+	g := gen.Path(10) // (0,5) is not an edge
+	ts := httptest.NewServer(New(g, 1).Handler())
+	defer ts.Close()
+	var body errorBody
+	if code := getJSON(t, ts.URL+"/spanner/3/edge?u=0&v=5", &body); code != 400 {
+		t.Fatalf("non-edge query returned %d", code)
+	}
+}
+
+func TestVertexEndpoints(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	var mis vertexAnswer
+	if code := getJSON(t, ts.URL+"/mis/vertex?v=5", &mis); code != 200 {
+		t.Fatalf("mis status %d", code)
+	}
+	var color colorAnswer
+	if code := getJSON(t, ts.URL+"/coloring/vertex?v=5", &color); code != 200 || color.Color < 0 {
+		t.Fatalf("coloring: %d %+v", code, color)
+	}
+}
+
+func TestMatchingEndpointConsistentWithMIS(t *testing.T) {
+	g := gen.Torus(8, 8)
+	ts := httptest.NewServer(New(g, 3).Handler())
+	defer ts.Close()
+	// Query all edges incident to vertex 0; at most one can be matched.
+	matched := 0
+	for i := 0; i < g.Degree(0); i++ {
+		w := g.Neighbor(0, i)
+		var ans edgeAnswer
+		getJSON(t, fmt.Sprintf("%s/matching/edge?u=0&v=%d", ts.URL, w), &ans)
+		if ans.In {
+			matched++
+		}
+	}
+	if matched > 1 {
+		t.Fatalf("vertex 0 matched %d times", matched)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	for _, metric := range []string{"mis", "cover", "spanner3"} {
+		var ans estimateAnswer
+		if code := getJSON(t, ts.URL+"/estimate/"+metric+"?samples=100", &ans); code != 200 {
+			t.Fatalf("%s: status %d", metric, code)
+		}
+		if ans.Fraction < 0 || ans.Fraction > 1 || ans.Samples != 100 {
+			t.Fatalf("%s: %+v", metric, ans)
+		}
+	}
+}
+
+func TestConcurrentRequestsConsistent(t *testing.T) {
+	g := gen.Gnp(150, 0.15, 9)
+	ts := httptest.NewServer(New(g, 11).Handler())
+	defer ts.Close()
+	e := g.Edges()[3]
+	url := fmt.Sprintf("%s/spanner/3/edge?u=%d&v=%d", ts.URL, e.U, e.V)
+	const goroutines = 16
+	answers := make([]bool, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var ans edgeAnswer
+			if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+				t.Error(err)
+				return
+			}
+			answers[i] = ans.In
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if answers[i] != answers[0] {
+			t.Fatal("concurrent requests disagreed on the same edge")
+		}
+	}
+}

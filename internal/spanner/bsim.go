@@ -1,0 +1,181 @@
+package spanner
+
+// Baswana-Sen as a k-round message-passing algorithm, simulated either
+// globally (whole graph) or locally (on a collected radius-k ball). The
+// O(k^2)-spanner LCA uses the local simulation to take care of E_sparse
+// (paper §4.2, Theorem 4.4): by [Censor-Hillel, Parter, Schwartzman] the
+// algorithm works with O(log n)-wise independent cluster sampling, which is
+// exactly what the hash families provide.
+//
+// The determinization is pinned down so that every local view reproduces
+// the same global run:
+//
+//   round i in 1..k-1, for each vertex x active in cluster c:
+//     - if c is sampled (hash_i(c) < n^{-1/k}): x stays in c;
+//     - else if some active neighbor lies in a sampled cluster: x joins the
+//       cluster of the lowest-ID such neighbor w* and the edge (x,w*) is
+//       added;
+//     - else: x adds the edge to the lowest-ID neighbor in each distinct
+//       adjacent cluster, and becomes inactive (its remaining edges leave
+//       the graph).
+//   phase 2: each still-active vertex adds the edge to the lowest-ID
+//   neighbor in each distinct adjacent cluster other than its own.
+//
+// The stretch bound 2k-1 is deterministic: it holds for every sampling
+// outcome (only the size bound O(k n^{1+1/k}) is probabilistic).
+
+import (
+	"math"
+
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// bsConfig carries the shared randomness of a Baswana-Sen run.
+type bsConfig struct {
+	k          int
+	sampleProb float64
+	fams       []*rnd.Family // one per round 1..k-1
+}
+
+// newBSConfig derives the per-round sampling families from the seed.
+func newBSConfig(n, k int, seed rnd.Seed, independence int) bsConfig {
+	if k < 1 {
+		k = 1
+	}
+	cfg := bsConfig{
+		k:          k,
+		sampleProb: math.Pow(float64(n)+1, -1.0/float64(k)),
+		fams:       make([]*rnd.Family, k-1),
+	}
+	for i := range cfg.fams {
+		cfg.fams[i] = rnd.NewFamily(seed.Derive(uint64(0xb5+i)), independence)
+	}
+	return cfg
+}
+
+func (c *bsConfig) sampled(round, center int) bool {
+	return c.fams[round-1].Bernoulli(uint64(center), c.sampleProb)
+}
+
+// run executes the k rounds over the given vertex set. nbrs provides the
+// adjacency of the (sub)graph being spanned and must be complete for every
+// vertex x with dist[x] <= k-1; dist bounds how long each vertex's state
+// stays exact (vertices at distance d from the query need only rounds up
+// to k-d). A global run passes dist == nil, meaning distance 0 everywhere.
+// record is invoked once for every edge the algorithm adds.
+func (c *bsConfig) run(order []int, nbrs map[int][]int, dist map[int]int, record func(x, y int)) {
+	distOf := func(x int) int {
+		if dist == nil {
+			return 0
+		}
+		return dist[x]
+	}
+	// cluster state; missing key means "own singleton cluster" at round 0.
+	cluster := make(map[int]int, len(order))
+	for _, x := range order {
+		cluster[x] = x
+	}
+	inactive := make(map[int]bool)
+	for round := 1; round < c.k; round++ {
+		limit := c.k - round
+		next := make(map[int]int, len(cluster))
+		nextInactive := make(map[int]bool, len(inactive))
+		for _, x := range order {
+			if distOf(x) > limit {
+				continue
+			}
+			if inactive[x] {
+				nextInactive[x] = true
+				continue
+			}
+			cx := cluster[x]
+			if c.sampled(round, cx) {
+				next[x] = cx
+				continue
+			}
+			// Look for the lowest-ID active neighbor in a sampled cluster.
+			join := -1
+			for _, w := range nbrs[x] {
+				if inactive[w] {
+					continue
+				}
+				cw, ok := cluster[w]
+				if !ok {
+					continue // outside the tracked horizon; cannot happen within limits
+				}
+				if c.sampled(round, cw) && (join < 0 || w < join) {
+					join = w
+				}
+			}
+			if join >= 0 {
+				record(x, join)
+				next[x] = cluster[join]
+				continue
+			}
+			// No sampled cluster adjacent: one edge per adjacent foreign
+			// cluster, then drop out (intra-cluster paths already exist
+			// through the join edges recorded in earlier rounds).
+			c.addPerCluster(x, nbrs[x], cluster, inactive, cx, record)
+			nextInactive[x] = true
+		}
+		cluster = next
+		inactive = nextInactive
+	}
+	// Phase 2: active vertices connect to every adjacent foreign cluster.
+	for _, x := range order {
+		if distOf(x) > 0 {
+			continue
+		}
+		if inactive[x] {
+			continue
+		}
+		c.addPerCluster(x, nbrs[x], cluster, inactive, cluster[x], record)
+	}
+}
+
+// addPerCluster adds, for x, one edge to the lowest-ID neighbor in each
+// distinct adjacent cluster other than own (pass own = -1 to include all).
+func (c *bsConfig) addPerCluster(x int, nbrs []int, cluster map[int]int, inactive map[int]bool, own int, record func(x, y int)) {
+	best := make(map[int]int)
+	for _, w := range nbrs {
+		if inactive[w] {
+			continue
+		}
+		cw, ok := cluster[w]
+		if !ok {
+			continue
+		}
+		if own >= 0 && cw == own {
+			continue
+		}
+		if cur, exists := best[cw]; !exists || w < cur {
+			best[cw] = w
+		}
+	}
+	for _, w := range best {
+		record(x, w)
+	}
+}
+
+// runGlobal executes the full algorithm over a graph given as an adjacency
+// map and returns the spanner edge set. Used by the global reference
+// builder and the local-vs-global equivalence tests.
+func (c *bsConfig) runGlobal(order []int, nbrs map[int][]int) graph.EdgeSet {
+	out := graph.NewEdgeSet()
+	c.run(order, nbrs, nil, func(x, y int) { out.Add(x, y) })
+	return out
+}
+
+// keepEdge reports whether the edge (u,v) is added by the run restricted to
+// the collected ball. order must start with the query endpoints (distance
+// 0) and list every ball vertex; nbrs must be complete for dist <= k-1.
+func (c *bsConfig) keepEdge(u, v int, order []int, nbrs map[int][]int, dist map[int]int) bool {
+	kept := false
+	c.run(order, nbrs, dist, func(x, y int) {
+		if (x == u && y == v) || (x == v && y == u) {
+			kept = true
+		}
+	})
+	return kept
+}

@@ -1,0 +1,61 @@
+package spanner
+
+import (
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// FuzzBlockBounds checks the partition invariants of the neighborhood
+// blocking scheme for arbitrary parameters.
+func FuzzBlockBounds(f *testing.F) {
+	f.Add(10, 4, 5)
+	f.Add(1, 1, 0)
+	f.Add(100, 7, 99)
+	f.Add(5, 0, 3)
+	f.Fuzz(func(t *testing.T, deg, b, pos int) {
+		if deg < 1 || deg > 1<<20 || pos < 0 || pos >= deg || b < -5 || b > 1<<20 {
+			t.Skip()
+		}
+		lo, hi := blockBounds(deg, b, pos)
+		if lo < 0 || hi > deg || lo >= hi {
+			t.Fatalf("bad block [%d,%d) for deg=%d b=%d pos=%d", lo, hi, deg, b, pos)
+		}
+		if pos < lo || pos >= hi {
+			t.Fatalf("position %d outside its block [%d,%d)", pos, lo, hi)
+		}
+		// Block boundaries must be consistent: every position in the block
+		// maps to the same block.
+		for _, probe := range []int{lo, hi - 1} {
+			l2, h2 := blockBounds(deg, b, probe)
+			if l2 != lo || h2 != hi {
+				t.Fatalf("positions %d and %d map to different blocks", pos, probe)
+			}
+		}
+	})
+}
+
+// FuzzSpanner3SeedConsistency: for arbitrary seeds, two independent
+// instances agree on every edge and the spanner has stretch 3.
+func FuzzSpanner3SeedConsistency(f *testing.F) {
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(42), uint64(7))
+	f.Add(^uint64(0), uint64(1<<32))
+	f.Fuzz(func(t *testing.T, seed, graphSeed uint64) {
+		g := gen.Gnp(60, 0.3, rnd.Seed(graphSeed))
+		a := NewSpanner3(oracle.New(g), rnd.Seed(seed))
+		b := NewSpanner3Config(oracle.New(g), rnd.Seed(seed), Config{Memo: true})
+		for _, e := range g.Edges() {
+			if a.QueryEdge(e.U, e.V) != b.QueryEdge(e.U, e.V) {
+				t.Fatalf("instances disagree on %v", e)
+			}
+		}
+		h, _ := core.BuildSubgraph(g, b)
+		if rep := core.VerifyStretch(g, h, 3); rep.Violations > 0 {
+			t.Fatalf("stretch violations under seed %d", seed)
+		}
+	})
+}

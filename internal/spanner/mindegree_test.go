@@ -1,0 +1,92 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+)
+
+func TestSpanner5MinDegreeMatchesDefaultAtR3(t *testing.T) {
+	g := gen.Gnp(120, 0.3, 5)
+	a := NewSpanner5Config(oracle.New(g), 9, Config{})
+	b := NewSpanner5MinDegree(oracle.New(g), 3, 9, Config{})
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != b.QueryEdge(e.U, e.V) {
+			t.Fatalf("r=3 variant diverged from the default on %v", e)
+		}
+	}
+	if b.MinDegreePrecondition() != 0 {
+		t.Errorf("r=3 should have no degree precondition, got %d", b.MinDegreePrecondition())
+	}
+}
+
+func TestSpanner5MinDegreeStretch(t *testing.T) {
+	// Theorem 3.5 workloads: min degree >= n^{1/2-1/(2r)}.
+	for _, r := range []int{4, 5} {
+		workloads := []*graph.Graph{
+			gen.Complete(150),
+			gen.Gnp(200, 0.4, 3),
+		}
+		for wi, g := range workloads {
+			lca := NewSpanner5MinDegree(oracle.New(g), r, 7, Config{Memo: true})
+			if g.MinDegree() < lca.MinDegreePrecondition() {
+				t.Fatalf("r=%d workload %d: min degree %d below precondition %d",
+					r, wi, g.MinDegree(), lca.MinDegreePrecondition())
+			}
+			h, _ := core.BuildSubgraph(g, lca)
+			rep := core.VerifyStretch(g, h, 5)
+			if rep.Violations > 0 {
+				t.Errorf("r=%d workload %d: %d stretch violations (max %d)",
+					r, wi, rep.Violations, rep.MaxStretch)
+			}
+		}
+	}
+}
+
+func TestSpanner5MinDegreeSparserForLargerR(t *testing.T) {
+	// The point of Theorem 3.5: bigger r buys a smaller spanner when the
+	// degree precondition holds; each size stays inside its ~O(n^{1+1/r})
+	// bound.
+	g := gen.Complete(300)
+	sizes := map[int]int{}
+	for _, r := range []int{3, 4, 6} {
+		lca := NewSpanner5MinDegree(oracle.New(g), r, 11, Config{Memo: true})
+		h, _ := core.BuildSubgraph(g, lca)
+		sizes[r] = h.M()
+		logn := math.Log(float64(g.N()))
+		bound := 6 * math.Pow(float64(g.N()), 1+1/float64(r)) * logn * logn
+		if float64(h.M()) > bound {
+			t.Errorf("r=%d: %d edges exceed ~O bound %.0f", r, h.M(), bound)
+		}
+	}
+	t.Logf("K300 5-spanner sizes by r: %v (m=%d)", sizes, g.M())
+	if sizes[6] > sizes[3]*2 {
+		t.Errorf("r=6 spanner (%d) much larger than r=3 (%d); expected comparable or smaller",
+			sizes[6], sizes[3])
+	}
+}
+
+func TestSpanner5MinDegreeSymmetric(t *testing.T) {
+	g := gen.Gnp(150, 0.4, 13)
+	lca := NewSpanner5MinDegree(oracle.New(g), 4, 3, Config{})
+	if e, ok := core.CheckSymmetric(g, lca); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+}
+
+func TestSpanner5MinDegreeThresholds(t *testing.T) {
+	g := gen.Complete(1000)
+	s := NewSpanner5MinDegree(oracle.New(g), 4, 1, Config{})
+	// n=1000, r=4: dLow = ceil(1000^{1/4}) = 6, dMed = ceil(1000^{3/8}) =
+	// 14, dSuper = ceil(1000^{7/8}) = ceil(421.7) = 422.
+	if s.dLow != 6 || s.dMed != 14 || s.dSuper != 422 {
+		t.Errorf("thresholds = (%d, %d, %d), want (6, 14, 422)", s.dLow, s.dMed, s.dSuper)
+	}
+	if s.MinDegreePrecondition() != 14 {
+		t.Errorf("precondition = %d, want 14", s.MinDegreePrecondition())
+	}
+}

@@ -1,0 +1,164 @@
+package spanner
+
+// Robustness tests: the adjacency-list ordering is adversarial input in
+// the LCA model (constructions key decisions off list positions), the
+// probe bounds are hard contracts (enforced via LimitOracle), and the
+// guarantees must hold across randomly drawn (graph, seed) pairs
+// (testing/quick).
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// shuffledPair builds the same edge set with sorted and shuffled adjacency
+// orders.
+func shuffledPair(n int, p float64, seed rnd.Seed) (*graph.Graph, *graph.Graph) {
+	prg := rnd.NewPRG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if prg.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), b.BuildShuffled(rnd.NewPRG(seed.Derive(99)))
+}
+
+func TestSpanner3OrderRobustness(t *testing.T) {
+	// Different list orders define different (both valid) spanners.
+	sorted, shuffled := shuffledPair(150, 0.3, 7)
+	for name, g := range map[string]*graph.Graph{"sorted": sorted, "shuffled": shuffled} {
+		lca := NewSpanner3Config(oracle.New(g), 3, Config{Memo: true})
+		h, _ := core.BuildSubgraph(g, lca)
+		if rep := core.VerifyStretch(g, h, 3); rep.Violations > 0 {
+			t.Fatalf("%s order: %d stretch violations", name, rep.Violations)
+		}
+	}
+}
+
+func TestSpanner5OrderRobustness(t *testing.T) {
+	sorted, shuffled := shuffledPair(140, 0.25, 11)
+	for name, g := range map[string]*graph.Graph{"sorted": sorted, "shuffled": shuffled} {
+		lca := NewSpanner5Config(oracle.New(g), 5, Config{Memo: true})
+		h, _ := core.BuildSubgraph(g, lca)
+		if rep := core.VerifyStretch(g, h, 5); rep.Violations > 0 {
+			t.Fatalf("%s order: %d stretch violations", name, rep.Violations)
+		}
+	}
+}
+
+func TestSpannerKOrderRobustness(t *testing.T) {
+	sorted, shuffled := shuffledPair(150, 0.04, 13)
+	cfg := KConfig{Config: Config{Memo: true}, L: 25, CenterProb: 0.05}
+	for name, g := range map[string]*graph.Graph{"sorted": sorted, "shuffled": shuffled} {
+		lca := NewSpannerKConfig(oracle.New(g), 2, 17, cfg)
+		h, _ := core.BuildSubgraph(g, lca)
+		if err := core.VerifyConnectivityPreserved(g, h); err != nil {
+			t.Fatalf("%s order: %v", name, err)
+		}
+	}
+}
+
+func TestSpanner3ProbeBudgetContract(t *testing.T) {
+	// Not just measured but enforced: every query must finish within the
+	// ~O(n^{3/4}) budget or the LimitOracle aborts it.
+	n := 1024
+	g := gen.Gnp(n, 8/math.Sqrt(float64(n)), 5)
+	logn := math.Log(float64(n))
+	budget := uint64(6 * math.Pow(float64(n), 0.75) * logn * logn)
+	limit := oracle.NewLimit(oracle.New(g), budget)
+	lca := NewSpanner3(limit, 7)
+	edges := g.Edges()
+	prg := rnd.NewPRG(1)
+	for i := 0; i < 100; i++ {
+		e := edges[prg.Intn(len(edges))]
+		ok := limit.WithinBudget(func() { lca.QueryEdge(e.U, e.V) })
+		if !ok {
+			t.Fatalf("query (%d,%d) exceeded the probe budget %d", e.U, e.V, budget)
+		}
+	}
+}
+
+func TestSpanner5ProbeBudgetContract(t *testing.T) {
+	n := 1024
+	g := gen.Gnp(n, 2*math.Pow(float64(n), 0.6)/float64(n), 5)
+	logn := math.Log(float64(n))
+	budget := uint64(10 * math.Pow(float64(n), 5.0/6) * logn * logn)
+	limit := oracle.NewLimit(oracle.New(g), budget)
+	lca := NewSpanner5Config(limit, 7, Config{HitConst: 1})
+	edges := g.Edges()
+	prg := rnd.NewPRG(2)
+	for i := 0; i < 60; i++ {
+		e := edges[prg.Intn(len(edges))]
+		ok := limit.WithinBudget(func() { lca.QueryEdge(e.U, e.V) })
+		if !ok {
+			t.Fatalf("query (%d,%d) exceeded the probe budget %d", e.U, e.V, budget)
+		}
+	}
+}
+
+func TestQuickSpanner3InvariantsOverRandomInstances(t *testing.T) {
+	// Property: for arbitrary (graph seed, algorithm seed), the assembled
+	// subgraph is a stretch-3 spanner.
+	check := func(gSeed, aSeed uint16) bool {
+		g := gen.Gnp(80, 0.3, rnd.Seed(gSeed))
+		lca := NewSpanner3Config(oracle.New(g), rnd.Seed(aSeed), Config{Memo: true})
+		h, _ := core.BuildSubgraph(g, lca)
+		return core.VerifyStretch(g, h, 3).Violations == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpanner5InvariantsOverRandomInstances(t *testing.T) {
+	check := func(gSeed, aSeed uint16) bool {
+		g := gen.Gnp(80, 0.25, rnd.Seed(gSeed))
+		lca := NewSpanner5Config(oracle.New(g), rnd.Seed(aSeed), Config{Memo: true})
+		h, _ := core.BuildSubgraph(g, lca)
+		return core.VerifyStretch(g, h, 5).Violations == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpannerKConnectivityOverRandomInstances(t *testing.T) {
+	check := func(gSeed, aSeed uint16) bool {
+		g := gen.Gnp(90, 0.05, rnd.Seed(gSeed))
+		cfg := KConfig{Config: Config{Memo: true}, L: 20, CenterProb: 0.06}
+		lca := NewSpannerKConfig(oracle.New(g), 2, rnd.Seed(aSeed), cfg)
+		h, _ := core.BuildSubgraph(g, lca)
+		return core.VerifyConnectivityPreserved(g, h) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpannerParallelAssemblyMatchesSerial(t *testing.T) {
+	// LCA instances are independent; the parallel harness must produce the
+	// identical spanner.
+	g := gen.Gnp(150, 0.3, 21)
+	serial, _ := core.BuildSubgraph(g, NewSpanner3(oracle.New(g), 9))
+	parallel, _ := core.BuildSubgraphParallel(g, func() core.EdgeLCA {
+		return NewSpanner3(oracle.New(g), 9)
+	}, 8)
+	if serial.M() != parallel.M() {
+		t.Fatalf("parallel %d edges vs serial %d", parallel.M(), serial.M())
+	}
+	for _, e := range serial.Edges() {
+		if !parallel.HasEdge(e.U, e.V) {
+			t.Fatalf("parallel assembly lost %v", e)
+		}
+	}
+}

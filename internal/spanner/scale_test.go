@@ -1,0 +1,59 @@
+package spanner
+
+// Large-scale smoke test: the regime the construction is actually for —
+// a graph big enough that nobody would materialize the spanner — answering
+// queries within the probe budget. Skipped under -short.
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/gen"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func TestSpanner3AtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke test")
+	}
+	const n = 50000
+	g := gen.ChungLu(n, 2.2, 30, 7)
+	t.Logf("workload: n=%d m=%d maxdeg=%d", g.N(), g.M(), g.MaxDegree())
+
+	logn := math.Log(float64(n))
+	budget := uint64(6 * math.Pow(float64(n), 0.75) * logn * logn)
+	limit := oracle.NewLimit(oracle.New(g), budget)
+	lca := NewSpanner3(limit, 99)
+	twin := NewSpanner3(oracle.New(g), 99)
+
+	prg := rnd.NewPRG(3)
+	kept := 0
+	for i := 0; i < 60; i++ {
+		// Mix hub-incident and uniform edges.
+		var u int
+		if i%2 == 0 {
+			u = prg.Intn(50) // hubs live at low indices in Chung-Lu
+		} else {
+			u = prg.Intn(n)
+		}
+		if g.Degree(u) == 0 {
+			continue
+		}
+		v := g.Neighbor(u, prg.Intn(g.Degree(u)))
+		var ans bool
+		ok := limit.WithinBudget(func() { ans = lca.QueryEdge(u, v) })
+		if !ok {
+			t.Fatalf("query (%d,%d) blew the probe budget %d at n=%d", u, v, budget, n)
+		}
+		if twin.QueryEdge(u, v) != ans {
+			t.Fatalf("instances disagree on (%d,%d) at scale", u, v)
+		}
+		if ans {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Error("no queried edge was in the spanner (implausible)")
+	}
+}

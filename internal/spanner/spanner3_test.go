@@ -1,0 +1,259 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+// spanner3Workloads are graphs that populate all three degree classes of
+// the 3-spanner analysis.
+func spanner3Workloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"gnp-dense":  gen.Gnp(160, 0.35, 11),
+		"complete":   gen.Complete(90),
+		"dense-core": gen.DenseCore(200, 40, 5, 7),
+		"powerlaw":   gen.ChungLu(250, 2.3, 10, 3),
+		"bipartite":  gen.CompleteBipartite(40, 60),
+		"sparse":     gen.Gnp(200, 0.02, 5),
+	}
+}
+
+func TestSpanner3StretchAllEdges(t *testing.T) {
+	for name, g := range spanner3Workloads(t) {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			lca := NewSpanner3Config(oracle.New(g), seed, Config{Memo: true})
+			h, _ := core.BuildSubgraph(g, lca)
+			if err := core.VerifySubgraphOf(g, h); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			rep := core.VerifyStretch(g, h, 3)
+			if rep.Violations > 0 {
+				t.Errorf("%s seed %d: %d/%d edges exceed stretch 3 (max %d)",
+					name, seed, rep.Violations, rep.Checked, rep.MaxStretch)
+			}
+		}
+	}
+}
+
+func TestSpanner3Sparsifies(t *testing.T) {
+	// On dense inputs the spanner must drop a constant fraction of edges;
+	// the size bound is ~O(n^{3/2}).
+	g := gen.Complete(120)
+	lca := NewSpanner3Config(oracle.New(g), 1, Config{Memo: true})
+	h, _ := core.BuildSubgraph(g, lca)
+	n := float64(g.N())
+	bound := 4 * math.Pow(n, 1.5) * math.Log(n)
+	if float64(h.M()) > bound {
+		t.Errorf("spanner has %d edges, sanity bound %.0f", h.M(), bound)
+	}
+	if h.M() >= g.M() {
+		t.Errorf("spanner kept all %d edges of K120", h.M())
+	}
+}
+
+func TestSpanner3KeepsLowDegreeEdges(t *testing.T) {
+	g := gen.Gnp(300, 0.01, 9) // all degrees well below sqrt(300) ~ 18 w.h.p.? not quite; filter below
+	lca := NewSpanner3(oracle.New(g), 4)
+	sqrtN := ceilPow(g.N(), 0.5)
+	for _, e := range g.Edges() {
+		if g.Degree(e.U) <= sqrtN || g.Degree(e.V) <= sqrtN {
+			if !lca.QueryEdge(e.U, e.V) {
+				t.Fatalf("E_low edge (%d,%d) rejected", e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestSpanner3SymmetricAndRepeatable(t *testing.T) {
+	g := gen.DenseCore(150, 30, 4, 2)
+	lca := NewSpanner3(oracle.New(g), 17)
+	if e, ok := core.CheckSymmetric(g, lca); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+	if e, ok := core.CheckRepeatable(g, lca); !ok {
+		t.Fatalf("not repeatable at %v", e)
+	}
+}
+
+func TestSpanner3DeterministicAcrossInstances(t *testing.T) {
+	g := gen.Gnp(120, 0.3, 21)
+	a := NewSpanner3(oracle.New(g), 5)
+	b := NewSpanner3(oracle.New(g), 5)
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != b.QueryEdge(e.U, e.V) {
+			t.Fatalf("instances disagree on %v", e)
+		}
+	}
+	c := NewSpanner3(oracle.New(g), 6)
+	diff := 0
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != c.QueryEdge(e.U, e.V) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Log("note: different seeds produced identical spanners (possible but unusual)")
+	}
+}
+
+func TestSpanner3MemoDoesNotChangeAnswers(t *testing.T) {
+	g := gen.Gnp(100, 0.3, 8)
+	plain := NewSpanner3(oracle.New(g), 3)
+	memo := NewSpanner3Config(oracle.New(g), 3, Config{Memo: true})
+	for _, e := range g.Edges() {
+		if plain.QueryEdge(e.U, e.V) != memo.QueryEdge(e.U, e.V) {
+			t.Fatalf("memoization changed the answer on %v", e)
+		}
+	}
+}
+
+func TestSpanner3ProbeComplexity(t *testing.T) {
+	// Per-query probes must stay within ~O(n^{3/4}); the polylog slack
+	// absorbs the Theta(log n)-sized center sets.
+	for _, n := range []int{256, 512} {
+		g := gen.Gnp(n, 12/math.Sqrt(float64(n)), rnd.Seed(n))
+		lca := NewSpanner3(oracle.New(g), 77)
+		_, stats := core.BuildSubgraph(g, lca)
+		logn := math.Log(float64(n))
+		bound := 6 * math.Pow(float64(n), 0.75) * logn * logn
+		if float64(stats.MaxTotal) > bound {
+			t.Errorf("n=%d: max probes %d exceed %.0f", n, stats.MaxTotal, bound)
+		}
+	}
+}
+
+func TestSpanner3ProbeSublinearOnCompleteGraph(t *testing.T) {
+	// The headline claim: even at Delta = n-1 the LCA answers with o(n)
+	// probes (here the dominant term is the n^{3/4} block scan).
+	g := gen.Complete(400)
+	lca := NewSpanner3(oracle.New(g), 13)
+	var stats core.QueryStats
+	edges := g.Edges()
+	prg := rnd.NewPRG(1)
+	for i := 0; i < 50; i++ {
+		e := edges[prg.Intn(len(edges))]
+		before := lca.ProbeStats()
+		lca.QueryEdge(e.U, e.V)
+		stats.Observe(lca.ProbeStats().Sub(before))
+	}
+	n := float64(g.N())
+	bound := 6 * math.Pow(n, 0.75) * math.Log(n) * math.Log(n)
+	if float64(stats.MaxTotal) > bound {
+		t.Errorf("max probes %d exceed %.0f on K400", stats.MaxTotal, bound)
+	}
+	if float64(stats.MaxTotal) > float64(g.N()*4) {
+		t.Errorf("probes %d not sublinear-ish for n=%d", stats.MaxTotal, g.N())
+	}
+}
+
+func TestSuperSpannerStretchOnHighDegreeGraphs(t *testing.T) {
+	// With min degree >= n^{1-1/(2r)}, the generalized construction is a
+	// 3-spanner for the whole graph (Theorem 3.5's building block).
+	for _, r := range []int{2, 3} {
+		g := gen.Complete(100) // min degree 99 >= 100^{5/6} ~ 46
+		lca := NewSuperSpanner(oracle.New(g), r, 7, Config{})
+		if g.MinDegree() < lca.Threshold {
+			t.Fatalf("r=%d: workload does not meet the degree precondition", r)
+		}
+		h, _ := core.BuildSubgraph(g, lca)
+		rep := core.VerifyStretch(g, h, 3)
+		if rep.Violations > 0 {
+			t.Errorf("r=%d: %d stretch violations (max %d)", r, rep.Violations, rep.MaxStretch)
+		}
+		if h.M() >= g.M() {
+			t.Errorf("r=%d: no sparsification (%d edges)", r, h.M())
+		}
+	}
+}
+
+func TestSuperSpannerSymmetric(t *testing.T) {
+	g := gen.Complete(60)
+	lca := NewSuperSpanner(oracle.New(g), 3, 9, Config{})
+	if e, ok := core.CheckSymmetric(g, lca); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	cases := []struct {
+		deg, b, pos    int
+		wantLo, wantHi int
+	}{
+		{10, 4, 0, 0, 4},  // first block
+		{10, 4, 5, 4, 10}, // last block absorbs remainder (size 6 < 2b)
+		{10, 4, 9, 4, 10},
+		{3, 4, 2, 0, 3}, // list shorter than block size: single block
+		{8, 4, 7, 4, 8}, // exact multiple: two blocks of 4
+		{8, 4, 3, 0, 4},
+		{5, 1, 3, 3, 4}, // unit blocks
+		{7, 0, 3, 3, 4}, // b < 1 clamps to 1
+	}
+	for _, c := range cases {
+		lo, hi := blockBounds(c.deg, c.b, c.pos)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("blockBounds(%d,%d,%d) = [%d,%d), want [%d,%d)",
+				c.deg, c.b, c.pos, lo, hi, c.wantLo, c.wantHi)
+		}
+		if c.pos < c.deg && (c.pos < lo || c.pos >= hi) {
+			t.Errorf("blockBounds(%d,%d,%d): position outside its own block", c.deg, c.b, c.pos)
+		}
+	}
+}
+
+func TestBlockBoundsPartition(t *testing.T) {
+	// Blocks must partition [0, deg) with all sizes in [b, 2b) except when
+	// deg < b (one short block).
+	for _, deg := range []int{1, 5, 16, 17, 31, 100} {
+		for _, b := range []int{1, 4, 7, 50} {
+			covered := 0
+			pos := 0
+			for pos < deg {
+				lo, hi := blockBounds(deg, b, pos)
+				if lo != pos {
+					t.Fatalf("deg=%d b=%d: block at %d starts at %d", deg, b, pos, lo)
+				}
+				size := hi - lo
+				if deg >= b && (size < b || size >= 2*b) {
+					t.Fatalf("deg=%d b=%d: block [%d,%d) has size %d", deg, b, lo, hi, size)
+				}
+				covered += size
+				pos = hi
+			}
+			if covered != deg {
+				t.Fatalf("deg=%d b=%d: blocks cover %d", deg, b, covered)
+			}
+		}
+	}
+}
+
+func TestCeilHelpers(t *testing.T) {
+	if ceilLog2(1) != 0 || ceilLog2(2) != 1 || ceilLog2(3) != 2 || ceilLog2(1024) != 10 {
+		t.Error("ceilLog2 wrong")
+	}
+	if ceilPow(100, 0.5) != 10 || ceilPow(0, 0.5) != 1 {
+		t.Error("ceilPow wrong")
+	}
+	if hitProb(2, 100, 1000000) >= 1 && hitProb(2, 100, 1) != 1 {
+		t.Error("hitProb clamp wrong")
+	}
+}
+
+func TestSpanner3TinyGraphs(t *testing.T) {
+	// Degenerate sizes must not panic and must keep everything (all
+	// degrees are tiny).
+	for _, n := range []int{2, 3, 5} {
+		g := gen.Complete(n)
+		lca := NewSpanner3(oracle.New(g), 1)
+		h, _ := core.BuildSubgraph(g, lca)
+		if h.M() != g.M() {
+			t.Errorf("n=%d: tiny complete graph should be kept whole (%d of %d)", n, h.M(), g.M())
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"lca/internal/core"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/rnd"
+)
+
+func spanner5Workloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"gnp-mid":    gen.Gnp(220, 0.15, 4),
+		"complete":   gen.Complete(100),
+		"dense-core": gen.DenseCore(180, 50, 6, 2),
+		"powerlaw":   gen.ChungLu(220, 2.4, 12, 6),
+		"clusters":   gen.PlantedClusters(150, 3, 0.5, 0.05, 8),
+	}
+}
+
+func TestSpanner5StretchAllEdges(t *testing.T) {
+	for name, g := range spanner5Workloads(t) {
+		for seed := rnd.Seed(0); seed < 3; seed++ {
+			lca := NewSpanner5Config(oracle.New(g), seed, Config{Memo: true})
+			h, _ := core.BuildSubgraph(g, lca)
+			if err := core.VerifySubgraphOf(g, h); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			rep := core.VerifyStretch(g, h, 5)
+			if rep.Violations > 0 {
+				t.Errorf("%s seed %d: %d/%d edges exceed stretch 5 (max %d)",
+					name, seed, rep.Violations, rep.Checked, rep.MaxStretch)
+			}
+		}
+	}
+}
+
+func TestSpanner5SparserThanSpanner3(t *testing.T) {
+	// The headline trade-off of Table 1: a 5-spanner may use ~n^{4/3}
+	// edges versus the 3-spanner's ~n^{3/2}. On a dense graph the ordering
+	// should be visible despite polylog noise.
+	g := gen.Complete(220)
+	h3, _ := core.BuildSubgraph(g, NewSpanner3Config(oracle.New(g), 5, Config{Memo: true}))
+	h5, _ := core.BuildSubgraph(g, NewSpanner5Config(oracle.New(g), 5, Config{Memo: true}))
+	if h5.M() >= g.M() {
+		t.Errorf("5-spanner kept everything (%d edges)", h5.M())
+	}
+	t.Logf("K220: |G|=%d |H3|=%d |H5|=%d", g.M(), h3.M(), h5.M())
+	if h5.M() > h3.M() {
+		t.Logf("note: 5-spanner larger than 3-spanner at this scale (constants dominate)")
+	}
+}
+
+func TestSpanner5SymmetricAndRepeatable(t *testing.T) {
+	g := gen.DenseCore(140, 35, 5, 3)
+	lca := NewSpanner5(oracle.New(g), 21)
+	if e, ok := core.CheckSymmetric(g, lca); !ok {
+		t.Fatalf("asymmetric at %v", e)
+	}
+	if e, ok := core.CheckRepeatable(g, lca); !ok {
+		t.Fatalf("not repeatable at %v", e)
+	}
+}
+
+func TestSpanner5MemoDoesNotChangeAnswers(t *testing.T) {
+	g := gen.Gnp(130, 0.2, 14)
+	plain := NewSpanner5(oracle.New(g), 3)
+	memo := NewSpanner5Config(oracle.New(g), 3, Config{Memo: true})
+	for _, e := range g.Edges() {
+		if plain.QueryEdge(e.U, e.V) != memo.QueryEdge(e.U, e.V) {
+			t.Fatalf("memoization changed the answer on %v", e)
+		}
+	}
+}
+
+func TestSpanner5DeterministicAcrossInstances(t *testing.T) {
+	g := gen.Gnp(140, 0.25, 9)
+	a := NewSpanner5(oracle.New(g), 8)
+	b := NewSpanner5(oracle.New(g), 8)
+	for _, e := range g.Edges() {
+		if a.QueryEdge(e.U, e.V) != b.QueryEdge(e.U, e.V) {
+			t.Fatalf("instances disagree on %v", e)
+		}
+	}
+}
+
+func TestSpanner5ProbeComplexity(t *testing.T) {
+	// ~O(n^{5/6}) probes per query; polylog slack for the log^2 n center
+	// pair loops.
+	for _, n := range []int{256, 512} {
+		g := gen.Gnp(n, 10/math.Pow(float64(n), 0.55), rnd.Seed(n))
+		lca := NewSpanner5(oracle.New(g), 33)
+		edges := g.Edges()
+		prg := rnd.NewPRG(2)
+		var stats core.QueryStats
+		for i := 0; i < 60 && i < len(edges); i++ {
+			e := edges[prg.Intn(len(edges))]
+			before := lca.ProbeStats()
+			lca.QueryEdge(e.U, e.V)
+			stats.Observe(lca.ProbeStats().Sub(before))
+		}
+		logn := math.Log(float64(n))
+		bound := 8 * math.Pow(float64(n), 5.0/6) * logn * logn
+		if float64(stats.MaxTotal) > bound {
+			t.Errorf("n=%d: max probes %d exceed %.0f", n, stats.MaxTotal, bound)
+		}
+	}
+}
+
+func TestSpanner5BucketContaining(t *testing.T) {
+	g := gen.Complete(30)
+	s := NewSpanner5(oracle.New(g), 1)
+	members := []int{2, 4, 6, 8, 10, 12, 14}
+	// dMed for n=30 is ceil(30^{1/3}) = 4.
+	if s.dMed != 4 {
+		t.Fatalf("dMed = %d, want 4", s.dMed)
+	}
+	idx, bucket := s.bucketContaining(members, 10)
+	if idx != 1 || len(bucket) != 3 || bucket[0] != 10 {
+		t.Fatalf("bucketContaining: idx=%d bucket=%v", idx, bucket)
+	}
+	idx, bucket = s.bucketContaining(members, 2)
+	if idx != 0 || len(bucket) != 4 {
+		t.Fatalf("first bucket: idx=%d bucket=%v", idx, bucket)
+	}
+	if idx, _ := s.bucketContaining(members, 3); idx != -1 {
+		t.Fatal("non-member should return -1")
+	}
+}
+
+func TestSpanner5ClusterConsistency(t *testing.T) {
+	// Every member of C(s) must agree on the cluster: the cluster is a
+	// function of the center alone.
+	g := gen.Gnp(150, 0.2, 12)
+	s := NewSpanner5Config(oracle.New(g), 4, Config{Memo: true})
+	for v := 0; v < g.N(); v++ {
+		if !s.isBcktCenter(v) {
+			continue
+		}
+		members := s.cluster(v)
+		if !contains(members, v) {
+			t.Fatalf("cluster of %d does not contain its center", v)
+		}
+		for _, w := range members {
+			if w == v {
+				continue
+			}
+			// Membership criterion: v within the first dMed positions of
+			// w's list.
+			idx := g.AdjacencyIndex(w, v)
+			if idx < 0 || idx >= s.dMed {
+				t.Fatalf("cluster member %d of center %d fails the membership criterion", w, v)
+			}
+		}
+	}
+}
+
+func TestSpanner5FirstBucketEdgeCanonical(t *testing.T) {
+	// The kept edge between a bucket pair must not depend on orientation.
+	g := gen.Gnp(120, 0.3, 19)
+	s := NewSpanner5Config(oracle.New(g), 2, Config{Memo: true})
+	centers := []int{}
+	for v := 0; v < g.N() && len(centers) < 4; v++ {
+		if s.isBcktCenter(v) {
+			centers = append(centers, v)
+		}
+	}
+	if len(centers) < 2 {
+		t.Skip("not enough centers at this seed")
+	}
+	cs, ct := centers[0], centers[1]
+	cu, cv := s.cluster(cs), s.cluster(ct)
+	if len(cu) == 0 || len(cv) == 0 {
+		t.Skip("degenerate clusters")
+	}
+	_, bu := s.bucketContaining(cu, cu[0])
+	_, bv := s.bucketContaining(cv, cv[0])
+	a1, b1 := s.firstBucketEdge(cs, 0, bu, ct, 0, bv)
+	a2, b2 := s.firstBucketEdge(ct, 0, bv, cs, 0, bu)
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("orientation changed the bucket edge: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
+	}
+}
+
+func TestSpanner5RepsAreHighDegreeNeighbors(t *testing.T) {
+	g := gen.DenseCore(200, 60, 5, 17)
+	s := NewSpanner5Config(oracle.New(g), 6, Config{Memo: true})
+	for v := 0; v < g.N(); v++ {
+		for _, x := range s.reps(v) {
+			if !g.HasEdge(v, x) {
+				t.Fatalf("rep %d of %d is not a neighbor", x, v)
+			}
+			if g.Degree(x) < s.dSuper {
+				t.Fatalf("rep %d of %d has degree %d < %d", x, v, g.Degree(x), s.dSuper)
+			}
+		}
+	}
+}
+
+func TestSpanner5TinyGraphs(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		g := gen.Complete(n)
+		lca := NewSpanner5(oracle.New(g), 1)
+		h, _ := core.BuildSubgraph(g, lca)
+		if rep := core.VerifyStretch(g, h, 5); rep.Violations > 0 {
+			t.Errorf("n=%d: stretch violations on tiny graph", n)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming summaries, percentiles, least-squares
+// log-log slope fits (for recovering probe-complexity exponents), and
+// aligned text tables for EXPERIMENTS.md-style reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of observations.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	values   []float64 // retained for percentiles
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	// Welford's update keeps the variance numerically stable.
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	s.values = append(s.values, x)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the minimum observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank
+// on the sorted sample.
+func (s *Summary) Percentile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(s.n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= s.n {
+		rank = s.n - 1
+	}
+	return sorted[rank]
+}
+
+// FitPowerLaw fits y = c * x^alpha by least squares on (ln x, ln y) and
+// returns the exponent alpha and the coefficient c. Points with
+// non-positive coordinates are skipped. It returns ok=false with fewer
+// than two usable points.
+func FitPowerLaw(xs, ys []float64) (alpha, c float64, ok bool) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, false
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	alpha = (n*sxy - sx*sy) / den
+	c = math.Exp((sy - alpha*sx) / n)
+	return alpha, c, true
+}
+
+// Table builds an aligned monospace table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells padded empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cols ...interface{}) {
+	parts := strings.Split(fmt.Sprintf(format, cols...), "|")
+	t.AddRow(parts...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

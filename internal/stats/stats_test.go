@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-3.875) > 1e-9 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	// Sample std of the digits above.
+	want := 2.74838
+	if math.Abs(s.Std()-want) > 1e-4 {
+		t.Fatalf("std = %f, want %f", s.Std(), want)
+	}
+}
+
+func TestSummaryPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{50: 50, 99: 99, 100: 100, 0: 1, 1: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("P%.0f = %f, want %f", p, got, want)
+		}
+	}
+	var empty Summary
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(7)
+	if s.Std() != 0 || s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Error("single-element summary wrong")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.75)
+	}
+	alpha, c, ok := FitPowerLaw(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(alpha-0.75) > 1e-9 || math.Abs(c-3) > 1e-9 {
+		t.Fatalf("fit = (%f, %f), want (0.75, 3)", alpha, c)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	alpha, _, ok := FitPowerLaw([]float64{0, -1, 2, 4}, []float64{1, 1, 2, 4})
+	if !ok {
+		t.Fatal("fit should succeed on the two valid points")
+	}
+	if math.Abs(alpha-1) > 1e-9 {
+		t.Fatalf("alpha = %f, want 1", alpha)
+	}
+	if _, _, ok := FitPowerLaw([]float64{1}, []float64{1}); ok {
+		t.Fatal("single point must not fit")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "0.75")
+	tb.AddRow("toolong-name", "1")
+	tb.AddRow("short") // missing cell padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	md := tb.Markdown()
+	if !strings.HasPrefix(md, "| name | value |") {
+		t.Errorf("markdown header wrong: %q", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown separator missing: %q", md)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("n", "probes")
+	tb.AddRowf("%d|%.1f", 1024, 57.3)
+	out := tb.String()
+	if !strings.Contains(out, "1024") || !strings.Contains(out, "57.3") {
+		t.Errorf("formatted row missing values:\n%s", out)
+	}
+}
