@@ -1,19 +1,31 @@
 // Command lcabench runs the experiment suite that empirically reproduces
 // the theory tables of the LCA papers (see DESIGN.md's experiment index
-// E1-E13) and prints the measured tables consumed by EXPERIMENTS.md.
+// E1-E13), plus a registry-generic sweep (REG) benchmarking every
+// registered algorithm — an algorithm added to internal/registry appears
+// there with no edits here.
 //
 // Usage:
 //
-//	lcabench [-exp all|E1,E4,...] [-seed N] [-scale small|medium|large] [-md]
+//	lcabench [-exp all|REG|E1,E4,...] [-seed N] [-scale small|medium|large] [-md] [-json]
+//
+// -exp all runs REG and E1..E13; pass an explicit list (e.g. -exp E1,E5)
+// to reproduce only the paper tables.
+//
+// With -json, results are emitted as JSON Lines on stdout: one object per
+// benchmark scenario (table row), shaped
+// {"experiment":"E1","title":...,"row":{column: value, ...}} — the format
+// downstream tooling tracks perf trajectories with.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"lca/internal/balls"
 	"lca/internal/baseline"
@@ -26,6 +38,7 @@ import (
 	"lca/internal/matching"
 	"lca/internal/mis"
 	"lca/internal/oracle"
+	"lca/internal/registry"
 	"lca/internal/rnd"
 	"lca/internal/spanner"
 	"lca/internal/stats"
@@ -33,29 +46,21 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13, REG) or 'all'")
 		seedFlag  = flag.Uint64("seed", 2019, "master random seed")
 		scaleFlag = flag.String("scale", "medium", "problem sizes: small, medium or large")
 		mdFlag    = flag.Bool("md", false, "emit markdown tables")
+		jsonFlag  = flag.Bool("json", false, "emit JSON Lines, one object per benchmark scenario")
 	)
 	flag.Parse()
 
-	r := &runner{seed: rnd.Seed(*seedFlag), scale: *scaleFlag, markdown: *mdFlag}
-	want := map[string]bool{}
-	if *expFlag == "all" {
-		for i := 1; i <= 13; i++ {
-			want[fmt.Sprintf("E%d", i)] = true
-		}
-	} else {
-		for _, e := range strings.Split(*expFlag, ",") {
-			want[strings.TrimSpace(strings.ToUpper(e))] = true
-		}
-	}
+	r := &runner{seed: rnd.Seed(*seedFlag), scale: *scaleFlag, markdown: *mdFlag, jsonOut: *jsonFlag}
 	type exp struct {
 		id, title string
 		run       func()
 	}
 	all := []exp{
+		{"REG", "Registry sweep: point-query cost of every registered algorithm", r.reg},
 		{"E1", "Table 1 (this-work rows): size / stretch / probes", r.e1},
 		{"E2", "Table 2: 5-spanner probes by degree class", r.e2},
 		{"E3", "Table 3: O(k^2)-spanner probes and edges by side", r.e3},
@@ -70,14 +75,29 @@ func main() {
 		{"E12", "Rank-width q: stretch vs size trade-off (Thm 1.2 remark)", r.e12},
 		{"E13", "Load balancing: the power of d choices through the LCA", r.e13},
 	}
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range all {
+			want[e.id] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToUpper(e))] = true
+		}
+	}
 	ran := 0
 	for _, e := range all {
 		if !want[e.id] {
 			continue
 		}
-		fmt.Printf("## %s — %s\n\n", e.id, e.title)
+		r.curID, r.curTitle = e.id, e.title
+		if !r.jsonOut {
+			fmt.Printf("## %s — %s\n\n", e.id, e.title)
+		}
 		e.run()
-		fmt.Println()
+		if !r.jsonOut {
+			fmt.Println()
+		}
 		ran++
 	}
 	if ran == 0 {
@@ -90,14 +110,91 @@ type runner struct {
 	seed     rnd.Seed
 	scale    string
 	markdown bool
+	jsonOut  bool
+	// curID/curTitle identify the experiment being printed, for the JSON
+	// emitter.
+	curID, curTitle string
+}
+
+// benchRecord is the machine-readable shape of one benchmark scenario.
+type benchRecord struct {
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Row        map[string]string `json:"row"`
 }
 
 func (r *runner) print(t *stats.Table) {
-	if r.markdown {
+	switch {
+	case r.jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range t.Records() {
+			_ = enc.Encode(benchRecord{Experiment: r.curID, Title: r.curTitle, Row: rec})
+		}
+	case r.markdown:
 		fmt.Print(t.Markdown())
-	} else {
+	default:
 		fmt.Print(t.String())
 	}
+}
+
+// note prints free-form commentary below a table; suppressed in JSON mode
+// so stdout stays machine-readable.
+func (r *runner) note(format string, args ...any) {
+	if r.jsonOut {
+		return
+	}
+	fmt.Printf(format+"\n", args...)
+}
+
+// reg benchmarks every registered algorithm's point-query cost on one
+// moderate bounded-degree workload: the registry makes the sweep generic,
+// so a newly registered algorithm shows up here with no further edits.
+func (r *runner) reg() {
+	const n, deg = 600, 8
+	g, err := gen.RandomRegular(n, deg, r.seed.Derive(0x9e9))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "REG: %v\n", err)
+		return
+	}
+	edges := g.Edges()
+	t := stats.NewTable("algorithm", "kind", "queries", "mean probes", "max probes", "mean us/query")
+	const samples = 60
+	for _, d := range registry.All() {
+		inst, err := d.Build(oracle.New(g), r.seed, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "REG: %s: %v\n", d.Name, err)
+			continue
+		}
+		rep, _ := inst.(core.ProbeReporter)
+		prg := rnd.NewPRG(r.seed.Derive(0x9ea))
+		var q core.QueryStats
+		start := time.Now()
+		for i := 0; i < samples; i++ {
+			var before oracle.Stats
+			if rep != nil {
+				before = rep.ProbeStats()
+			}
+			switch d.Kind {
+			case registry.KindEdge:
+				e := edges[prg.Intn(len(edges))]
+				inst.(core.EdgeLCA).QueryEdge(e.U, e.V)
+			case registry.KindVertex:
+				inst.(core.VertexLCA).QueryVertex(prg.Intn(n))
+			case registry.KindLabel:
+				inst.(core.LabelLCA).QueryLabel(prg.Intn(n))
+			}
+			if rep != nil {
+				q.Observe(rep.ProbeStats().Sub(before))
+			} else {
+				q.Queries++
+			}
+		}
+		elapsed := time.Since(start)
+		t.AddRowf("%s|%s|%d|%.0f|%d|%.1f", d.Name, d.Kind, samples, q.Mean(), q.MaxTotal,
+			float64(elapsed.Microseconds())/samples)
+	}
+	r.print(t)
+	r.note("\nOne fresh instance per algorithm, %d queries each on a random %d-regular graph (n=%d), default parameters.", samples, deg, n)
 }
 
 // sizes returns the n grid for the current scale.
@@ -205,7 +302,7 @@ func (r *runner) e1() {
 			k, g.N(), g.M(), h.M(), float64(h.M())/oBound(g.N(), 1+1/float64(k)), got, k*k, max)
 	}
 	r.print(t)
-	fmt.Println("\nRatios <= O(1) mean the measurement sits inside the ~O bound. The 5-spanner ratio at small n reflects the saturated sampling regime (log n > n^{1/3}); see E5 for the clean exponent fit.")
+	r.note("\nRatios <= O(1) mean the measurement sits inside the ~O bound. The 5-spanner ratio at small n reflects the saturated sampling regime (log n > n^{1/3}); see E5 for the clean exponent fit.")
 }
 
 func stretchCell(rep core.StretchReport, bound int) string {
@@ -328,7 +425,7 @@ func (r *runner) e4() {
 		exp := lowerbound.Experiment{N: n, D: d, MaxBudget: budgets[len(budgets)-1], Trials: 40, Seed: r.seed.Derive(uint64(n))}
 		pts, err := exp.Run(budgets)
 		if err != nil {
-			fmt.Printf("E4 failed for n=%d: %v\n", n, err)
+			fmt.Fprintf(os.Stderr, "E4 failed for n=%d: %v\n", n, err)
 			continue
 		}
 		for _, p := range pts {
@@ -336,7 +433,7 @@ func (r *runner) e4() {
 		}
 	}
 	r.print(t)
-	fmt.Println("\nShape check: advantage ~0 for budgets well below sqrt(n), rising once the budget crosses the Theta(sqrt(n)) birthday scale (Theorem 1.3).")
+	r.note("\nShape check: advantage ~0 for budgets well below sqrt(n), rising once the budget crosses the Theta(sqrt(n)) birthday scale (Theorem 1.3).")
 }
 
 // e5 fits the probe-scaling exponents. Each construction is measured on a
@@ -380,7 +477,7 @@ func (r *runner) e5() {
 		t.AddRowf("5-spanner|2 n^0.6|%.3f|0.833|%.0f", a, y5[len(y5)-1])
 	}
 	r.print(t)
-	fmt.Println("\nShape check: both constructions are strongly sublinear in n even at Delta = n^{Omega(1)}; finite-size polylog factors perturb the fitted exponents by O(1/log n).")
+	r.note("\nShape check: both constructions are strongly sublinear in n even at Delta = n^{Omega(1)}; finite-size polylog factors perturb the fitted exponents by O(1/log n).")
 }
 
 // e6 is the bounded-independence ablation.
@@ -455,7 +552,7 @@ func (r *runner) e8() {
 	for _, d := range []int{3, 6, 12, 24} {
 		g, err := gen.RandomRegular(2048, d, r.seed.Derive(uint64(d)))
 		if err != nil {
-			fmt.Printf("E8: %v\n", err)
+			fmt.Fprintf(os.Stderr, "E8: %v\n", err)
 			return
 		}
 		measure := func(name string, query func(seed rnd.Seed, v int) uint64) {
@@ -482,7 +579,7 @@ func (r *runner) e8() {
 		})
 	}
 	r.print(t)
-	fmt.Println("\nShape check: probes grow superlinearly in d (the sparse-regime blowup motivating the dense-graph spanner LCAs).")
+	r.note("\nShape check: probes grow superlinearly in d (the sparse-regime blowup motivating the dense-graph spanner LCAs).")
 }
 
 // e10 sweeps augmentation rounds for the approximate matching LCA on
@@ -518,7 +615,7 @@ func (r *runner) e10() {
 		}
 	}
 	r.print(t)
-	fmt.Println("\nShape check: the measured ratio dominates the (r+1)/(r+2) guarantee at every r, and probe cost grows with the round count (the Delta^{O(1/eps)} sparse-regime price).")
+	r.note("\nShape check: the measured ratio dominates the (r+1)/(r+2) guarantee at every r, and probe cost grows with the round count (the Delta^{O(1/eps)} sparse-regime price).")
 }
 
 // e11 measures estimator error against the Hoeffding bound.
@@ -542,7 +639,7 @@ func (r *runner) e11() {
 			math.Abs(res.Fraction-trueFrac), res.ErrorBound)
 	}
 	r.print(t)
-	fmt.Println("\nShape check: the error falls inside the Hoeffding radius and shrinks like 1/sqrt(samples) — solution sizes are estimable without ever materializing the solution.")
+	r.note("\nShape check: the error falls inside the Hoeffding radius and shrinks like 1/sqrt(samples) — solution sizes are estimable without ever materializing the solution.")
 }
 
 // e12 sweeps the rank-rule width q of the O(k^2)-spanner, the paper's
@@ -565,7 +662,7 @@ func (r *runner) e12() {
 		t.AddRowf("%d|%d|%d|%s", q, h.M(), core.ExactMaxStretch(g, h), conn)
 	}
 	r.print(t)
-	fmt.Println("\nShape check: size grows and stretch falls as q increases; connectivity is unconditional at every q (Lemma 4.12 does not use the rank argument).")
+	r.note("\nShape check: size grows and stretch falls as q increases; connectivity is unconditional at every q (Lemma 4.12 does not use the rank argument).")
 }
 
 // e13 measures the d-choice load-balancing LCA: max load and probe cost
@@ -599,7 +696,7 @@ func (r *runner) e13() {
 		t.AddRowf("%d|%d|%s|%.0f", d, worst, shape, mean)
 	}
 	r.print(t)
-	fmt.Println("\nShape check: one extra choice collapses the max load — the power of two choices, answered per ball by a local query.")
+	r.note("\nShape check: one extra choice collapses the max load — the power of two choices, answered per ball by a local query.")
 }
 
 // e9 sweeps k for the O(k^2)-spanner.

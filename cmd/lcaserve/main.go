@@ -7,15 +7,16 @@
 //
 //	lcaserve -graph g.txt -addr :8080 -seed 2019
 //
-// Endpoints:
+// Endpoints (registry-generic: every algorithm in /algos is queryable
+// through its kind's route, with tunable parameters as query parameters):
 //
 //	GET /healthz
 //	GET /graph
-//	GET /spanner/{3|5|k|sparse}/edge?u=U&v=V[&k=K]
-//	GET /mis/vertex?v=V
-//	GET /matching/edge?u=U&v=V
-//	GET /coloring/vertex?v=V
-//	GET /estimate/{mis|cover|spanner3}?samples=S
+//	GET /algos
+//	GET /edge/{algo}?u=U&v=V[&param=...]     e.g. /edge/spannerk?u=3&v=9&k=4
+//	GET /vertex/{algo}?v=V[&param=...]       e.g. /vertex/mis?v=7
+//	GET /label/{algo}?v=V[&param=...]        e.g. /label/coloring?v=7
+//	GET /estimate/{algo}?samples=S[&param=...]
 package main
 
 import (

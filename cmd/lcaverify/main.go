@@ -2,42 +2,80 @@
 // element and verifies its invariants — the consistency audit that the
 // theory promises and a deployment never runs.
 //
+// Dispatch is registry-generic: any registered algorithm is verifiable by
+// name with no edits here. The harness is selected by the algorithm's
+// query kind (edge → subgraph assembly, vertex → set assembly, label →
+// labeling assembly) and the invariant check is the one the algorithm's
+// descriptor ships.
+//
 // Usage:
 //
-//	lcaverify -graph g.txt -alg 3            # 3-spanner: stretch+size
-//	lcaverify -graph g.txt -alg k -k 3       # O(k^2): connectivity+stretch
-//	lcaverify -graph g.txt -alg mis          # MIS: independence+maximality
-//	lcaverify -graph g.txt -alg matching     # matching: validity+maximality
-//	lcaverify -graph g.txt -alg coloring     # coloring: properness
+//	lcaverify -list                                # print the catalog
+//	lcaverify -graph g.txt -alg spanner3           # stretch+connectivity
+//	lcaverify -graph g.txt -alg spannerk -param k=3
+//	lcaverify -graph g.txt -alg mis                # independence+maximality
+//	lcaverify -graph g.txt -alg matching           # validity+maximality
+//	lcaverify -graph g.txt -alg coloring           # properness
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"lca/internal/coloring"
 	"lca/internal/core"
 	"lca/internal/graph"
-	"lca/internal/matching"
-	"lca/internal/mis"
 	"lca/internal/oracle"
+	"lca/internal/registry"
 	"lca/internal/rnd"
-	"lca/internal/spanner"
+
+	// Register the built-in algorithm catalog.
+	_ "lca/internal/coloring"
+	_ "lca/internal/matching"
+	_ "lca/internal/mis"
+	_ "lca/internal/spanner"
 )
 
+// paramFlags collects repeated -param name=value flags.
+type paramFlags []string
+
+func (p *paramFlags) String() string { return strings.Join(*p, ",") }
+
+func (p *paramFlags) Set(v string) error { *p = append(*p, v); return nil }
+
 func main() {
+	var params paramFlags
 	var (
-		graphPath = flag.String("graph", "", "edge-list graph file (required)")
-		alg       = flag.String("alg", "3", "3, 5, k, sparse, mis, matching, coloring")
-		k         = flag.Int("k", 3, "stretch parameter for -alg k")
+		graphPath = flag.String("graph", "", "edge-list graph file (required unless -list)")
+		alg       = flag.String("alg", "spanner3", "algorithm name or alias (see -list)")
 		seed      = flag.Uint64("seed", 2019, "random seed")
+		list      = flag.Bool("list", false, "list registered algorithms and exit")
 	)
+	flag.Var(&params, "param", "algorithm parameter as name=value (repeatable)")
 	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "lcaverify: -graph is required")
 		os.Exit(2)
 	}
+	d, err := registry.Get(*alg)
+	if err != nil {
+		fail(err)
+	}
+	p, err := parseParams(d, params)
+	if err != nil {
+		fail(err)
+	}
+	// Verification materializes the full solution, so memoization only
+	// amortizes probes; enable it wherever the algorithm supports it
+	// unless the caller chose explicitly.
+	p = d.WithMemoDefault(p)
+
 	f, err := os.Open(*graphPath)
 	if err != nil {
 		fail(err)
@@ -48,90 +86,88 @@ func main() {
 		fail(err)
 	}
 	s := rnd.Seed(*seed)
-	fmt.Printf("graph: n=%d m=%d maxdeg=%d | alg=%s seed=%d\n", g.N(), g.M(), g.MaxDegree(), *alg, *seed)
+	fmt.Printf("graph: n=%d m=%d maxdeg=%d | alg=%s kind=%s seed=%d\n",
+		g.N(), g.M(), g.MaxDegree(), d.Name, d.Kind, *seed)
 
-	switch *alg {
-	case "3", "5", "k", "sparse":
-		var lca core.EdgeLCA
-		var stretch int
-		memo := spanner.Config{Memo: true}
-		switch *alg {
-		case "3":
-			lca, stretch = spanner.NewSpanner3Config(oracle.New(g), s, memo), 3
-		case "5":
-			lca, stretch = spanner.NewSpanner5Config(oracle.New(g), s, memo), 5
-		case "k":
-			lca, stretch = spanner.NewSpannerKConfig(oracle.New(g), *k, s, spanner.KConfig{Config: memo}), 0
-		case "sparse":
-			lca, stretch = spanner.NewSpannerKConfig(oracle.New(g), kLog(g.N()), s, spanner.KConfig{Config: memo}), 0
+	inst, err := d.Build(oracle.New(g), s, p)
+	if err != nil {
+		fail(err)
+	}
+
+	switch d.Kind {
+	case registry.KindEdge:
+		h, stats := core.BuildSubgraph(g, inst.(core.EdgeLCA))
+		fmt.Printf("assembled subgraph: %d of %d edges (%.1f%%); %s\n",
+			h.M(), g.M(), 100*float64(h.M())/float64(max(g.M(), 1)), stats.String())
+		if d.ReportSubgraph != nil {
+			fmt.Println("metrics:", d.ReportSubgraph(g, h))
 		}
-		h, stats := core.BuildSubgraph(g, lca)
-		fmt.Printf("assembled spanner: %d of %d edges (%.1f%%); %s\n",
-			h.M(), g.M(), 100*float64(h.M())/float64(g.M()), stats.String())
-		if err := core.VerifySubgraphOf(g, h); err != nil {
-			fail(err)
-		}
-		if err := core.VerifyConnectivityPreserved(g, h); err != nil {
-			fail(err)
-		}
-		fmt.Println("connectivity: preserved on every component")
-		if stretch > 0 {
-			rep := core.VerifyStretchSampled(g, h, stretch, 5000, s)
-			if rep.Violations > 0 {
-				fail(fmt.Errorf("stretch violations: %d/%d (max %d)", rep.Violations, rep.Checked, rep.MaxStretch))
-			}
-			fmt.Printf("stretch: <= %d on %d checked edges (max observed %d, mean %.2f)\n",
-				stretch, rep.Checked, rep.MaxStretch, rep.MeanStretch)
-		} else {
-			max := core.ExactMaxStretch(g, h)
-			fmt.Printf("stretch: max observed %d (bound O(k^2) = O(%d))\n", max, (*k)*(*k))
-		}
-	case "mis":
-		lca := mis.New(oracle.New(g), s)
-		in, stats := core.BuildVertexSet(g, lca)
-		if err := core.VerifyMaximalIndependentSet(g, in); err != nil {
-			fail(err)
-		}
+		runCheck(d.CheckSubgraph != nil, func() error { return d.CheckSubgraph(g, h, s) })
+	case registry.KindVertex:
+		in, stats := core.BuildVertexSet(g, inst.(core.VertexLCA))
 		count := 0
 		for _, b := range in {
 			if b {
 				count++
 			}
 		}
-		fmt.Printf("MIS: %d vertices, independent and maximal; %s\n", count, stats.String())
-	case "matching":
-		lca := matching.New(oracle.New(g), s)
-		m, stats := core.BuildSubgraph(g, lca)
-		if err := core.VerifyMaximalMatching(g, m); err != nil {
-			fail(err)
-		}
-		fmt.Printf("matching: %d edges, valid and maximal; %s\n", m.M(), stats.String())
-	case "coloring":
-		lca := coloring.New(oracle.New(g), s)
-		colors, stats := core.BuildLabels(g, lca)
-		if err := core.VerifyColoring(g, colors, g.MaxDegree()+1); err != nil {
-			fail(err)
-		}
+		fmt.Printf("assembled vertex set: %d of %d vertices; %s\n", count, g.N(), stats.String())
+		runCheck(d.CheckVertexSet != nil, func() error { return d.CheckVertexSet(g, in) })
+	case registry.KindLabel:
+		labels, stats := core.BuildLabels(g, inst.(core.LabelLCA))
 		used := map[int]bool{}
-		for _, c := range colors {
+		for _, c := range labels {
 			used[c] = true
 		}
-		fmt.Printf("coloring: proper with %d colors (Delta+1 = %d); %s\n", len(used), g.MaxDegree()+1, stats.String())
-	default:
-		fail(fmt.Errorf("unknown -alg %q", *alg))
+		fmt.Printf("assembled labeling: %d distinct labels over %d vertices; %s\n",
+			len(used), g.N(), stats.String())
+		runCheck(d.CheckLabels != nil, func() error { return d.CheckLabels(g, labels) })
 	}
 	fmt.Println("verification: PASS")
 }
 
-func kLog(n int) int {
-	k := 0
-	for v := 1; v < n; v <<= 1 {
-		k++
+// runCheck runs the descriptor's invariant checker, if it ships one.
+func runCheck(has bool, check func() error) {
+	if !has {
+		fmt.Println("invariants: no checker registered for this algorithm (assembly-only audit)")
+		return
 	}
-	if k < 1 {
-		k = 1
+	if err := check(); err != nil {
+		fail(err)
 	}
-	return k
+	fmt.Println("invariants: hold on the materialized solution")
+}
+
+func parseParams(d *registry.Descriptor, raw []string) (registry.Params, error) {
+	p := registry.Params{}
+	for _, kv := range raw {
+		name, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("-param %q: want name=value", kv)
+		}
+		if _, dup := p[name]; dup {
+			return nil, fmt.Errorf("-param %q given more than once", name)
+		}
+		v, err := d.ParseValue(name, value)
+		if err != nil {
+			return nil, err
+		}
+		p[name] = v
+	}
+	return p, nil
+}
+
+func printCatalog() {
+	for _, d := range registry.All() {
+		alias := ""
+		if len(d.Aliases) > 0 {
+			alias = fmt.Sprintf(" (aliases: %s)", strings.Join(d.Aliases, ", "))
+		}
+		fmt.Printf("%-16s %-6s %s%s\n", d.Name, d.Kind, d.Summary, alias)
+		for _, pr := range d.Params {
+			fmt.Printf("    -param %s=<%s> (default %v): %s\n", pr.Name, pr.Type, pr.Default, pr.Help)
+		}
+	}
 }
 
 func fail(err error) {

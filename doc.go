@@ -12,48 +12,71 @@
 // derived from bounded-independence hash families over vertex IDs, so any
 // two queries — or two independently built instances with the same seed —
 // agree on one fixed global solution. Probe counts are the complexity
-// measure and can be read back from every algorithm via ProbeStats.
+// measure and can be read back from every algorithm.
+//
+// # Sessions and the algorithm registry
+//
+// The primary API is the Session. Every algorithm self-registers a
+// descriptor in an internal registry — name, query kind (edge, vertex or
+// label), tunable parameters, constructor — and a Session dispatches to
+// any of them by name, owning the oracle plumbing, probe accounting, probe
+// budgets and parallel assembly:
+//
+//	g := lca.Gnp(100000, 0.01, 7)          // or any graph behind an Oracle
+//	s := lca.NewSession(g,
+//		lca.WithSeed(42),                   // replicas sharing a seed agree
+//		lca.WithProbeBudget(200000),        // hard per-query probe cap
+//		lca.WithParam("k", 4),              // parameters, by name
+//	)
+//	e := g.Edges()[0]                       // membership is defined for input edges
+//	in, err := s.Edge("spanner3", e.U, e.V) // ~n^{3/4} probes, no global work
+//	set, err := s.Vertex("mis", 9000)
+//	color, err := s.Label("coloring", 17)
+//	h, stats, err := s.BuildSubgraph("spannerk") // full assembly, parallel
+//	est, err := s.EstimateFraction("mis", 2000, 0.05)
+//
+// Session.Algos lists the catalog; the same registry drives the HTTP
+// server (cmd/lcaserve, with /algos discovery), the benchmark suite
+// (cmd/lcabench, including the REG sweep) and the invariant auditor
+// (cmd/lcaverify) — registering a new algorithm makes it appear on all of
+// them with no further wiring.
 //
 // # What is implemented
 //
-// Spanners (Parter, Rubinfeld, Vakilian, Yodpinyanee 2019):
+// Spanners (Parter, Rubinfeld, Vakilian, Yodpinyanee 2019), as registry
+// entries "spanner3", "spanner5", "spannerk", "sparse", "superspanner"
+// and "spanner5mindeg":
 //
-//   - NewSpanner3: 3-spanners with ~O(n^{3/2}) edges and ~O(n^{3/4})
-//     probes per edge query, sublinear even on graphs of maximum degree
-//     Theta(n).
-//   - NewSpanner5: 5-spanners with ~O(n^{4/3}) edges and ~O(n^{5/6})
-//     probes.
-//   - NewSpannerK: O(k^2)-stretch spanners with ~O(n^{1+1/k}) edges for
-//     bounded-degree graphs, and NewSparseSpanning for the
-//     sparse-spanning-graph regime.
+//   - 3-spanners with ~O(n^{3/2}) edges and ~O(n^{3/4}) probes per edge
+//     query, sublinear even on graphs of maximum degree Theta(n).
+//   - 5-spanners with ~O(n^{4/3}) edges and ~O(n^{5/6}) probes.
+//   - O(k^2)-stretch spanners with ~O(n^{1+1/k}) edges for bounded-degree
+//     graphs, and the sparse-spanning-graph regime at k = ceil(log2 n).
 //
-// Classical sparse-regime LCAs (Rubinfeld-Tamir-Vardi-Xie, Alon et al.):
+// Classical sparse-regime LCAs (Rubinfeld-Tamir-Vardi-Xie, Alon et al.),
+// as entries "mis", "matching", "vertexcover", "approxmatching" and
+// "coloring", plus NewBallAssignment for d-choice load balancing.
 //
-//   - NewMIS: maximal independent set membership.
-//   - NewMatching: maximal matching and 2-approximate vertex cover.
-//   - NewApproxMatching: (1-eps)-approximate maximum matching via
-//     bounded-length augmenting-path phases.
-//   - NewColoring: (Delta+1)-coloring.
-//   - NewBallAssignment: d-choice load balancing (power of two choices).
+// Applications and operations: Session.EstimateFraction and the
+// EstimateVertexFraction/EstimateEdgeFraction helpers (Hoeffding-bounded
+// solution-size estimates from sampled queries), parallel assembly
+// (per-worker instances, bit-identical to serial), NewProbeLimiter /
+// WithProbeBudget (hard probe budgets), the graph substrate and
+// generators (Gnp, RandomRegular, ChungLu, ...), global baselines
+// (BaswanaSen, GreedySpanner, ...), the assembly-and-verification harness
+// (BuildSubgraph, VerifyStretch, ...), and the Theorem 1.3 lower-bound
+// apparatus (SampleDPlus/SampleDMinus, BFSMeet).
 //
-// Applications and operations: EstimateVertexFraction and
-// EstimateEdgeFraction (Hoeffding-bounded solution-size estimates from
-// sampled queries), BuildSubgraphParallel (per-worker instances,
-// bit-identical to serial), NewProbeLimiter (hard probe budgets), and the
-// internal/dist Parnas-Ron reduction turning any k-round distributed
-// algorithm into an LCA.
+// # Flat constructors (deprecated surface)
 //
-// Supporting systems: graph substrate and generators (Gnp, RandomRegular,
-// ChungLu, ...), global baselines (BaswanaSen, GreedySpanner, ...), the
-// assembly-and-verification harness (BuildSubgraph, VerifyStretch, ...),
-// the Theorem 1.3 lower-bound apparatus (SampleDPlus/SampleDMinus,
-// BFSMeet), and an HTTP query service (cmd/lcaserve).
-//
-// # Quick start
-//
-//	g := lca.Gnp(100000, 0.01, 42)          // or any graph behind an Oracle
-//	span := lca.NewSpanner3(lca.NewOracle(g), 7)
-//	inSpanner := span.QueryEdge(123, 4567)  // ~n^{3/4} probes, no global work
+// The per-algorithm constructors (NewSpanner3, NewMIS, NewMatching, ...)
+// predate the registry. They remain supported — now as thin wrappers that
+// route through the registry — and are the right tool when a caller needs
+// a concrete algorithm type or a custom oracle chain, but they are a
+// deprecated surface for ordinary use: new code should reach algorithms
+// through NewSession, which owns the oracle, budget and assembly plumbing
+// and extends to newly registered algorithms automatically. No removal is
+// planned; treat them as frozen.
 //
 // See examples/ for runnable end-to-end scenarios and DESIGN.md for the
 // paper-to-module map.

@@ -1,14 +1,17 @@
-// Quickstart: the LCA "illusion" in five steps.
+// Quickstart: the LCA "illusion" in five steps, through the Session API.
 //
 // A 3-spanner of a dense graph is fixed by nothing more than a 64-bit
 // seed; individual edges can be tested for membership with a few hundred
 // probes each, and the answers are mutually consistent — assembling them
-// all yields one coherent low-stretch spanner.
+// all yields one coherent low-stretch spanner. A Session is the front
+// door: it owns the oracle, the seed and the probe accounting, and any
+// registered algorithm is reachable by name.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"lca"
@@ -22,39 +25,58 @@ func main() {
 	g := lca.Gnp(n, 0.08, 7)
 	fmt.Printf("graph: n=%d, m=%d edges, max degree %d\n", g.N(), g.M(), g.MaxDegree())
 
-	// 2. The LCA: all it holds is the oracle handle and the seed.
-	span := lca.NewSpanner3(lca.NewOracle(g), seed)
+	// 2. The session: all it holds is the graph handle and the seed. Every
+	// registered algorithm answers through it by name.
+	s := lca.NewSession(g, lca.WithSeed(seed))
+	fmt.Print("catalog:")
+	for _, a := range s.Algos() {
+		fmt.Printf(" %s", a.Name)
+	}
+	fmt.Println()
 
 	// 3. Query a few edges — each answer costs a probe bill that is
 	// sublinear in n, not a pass over the graph.
 	edges := g.Edges()
 	for _, e := range []lca.Edge{edges[0], edges[len(edges)/2], edges[len(edges)-1]} {
-		before := span.ProbeStats()
-		in := span.QueryEdge(e.U, e.V)
-		probes := span.ProbeStats().Sub(before).Total()
+		before, _ := s.ProbeStats("spanner3")
+		in, err := s.Edge("spanner3", e.U, e.V)
+		if err != nil {
+			panic(err)
+		}
+		after, _ := s.ProbeStats("spanner3")
 		fmt.Printf("  edge (%4d,%4d): in spanner = %-5v  [%d probes, graph has %d edges]\n",
-			e.U, e.V, in, probes, g.M())
+			e.U, e.V, in, after.Sub(before).Total(), g.M())
 	}
 
-	// 4. A second instance with the same seed answers identically — the
-	// spanner is a pure function of (graph, seed).
-	twin := lca.NewSpanner3(lca.NewOracle(g), seed)
+	// 4. A second session with the same seed answers identically — the
+	// spanner is a pure function of (graph, seed). This is why replicas
+	// sharing a seed serve slices of one global solution.
+	twin := lca.NewSession(g, lca.WithSeed(seed))
 	agree := true
 	for _, e := range edges[:200] {
-		if twin.QueryEdge(e.U, e.V) != span.QueryEdge(e.U, e.V) {
+		a, err1 := twin.Edge("spanner3", e.U, e.V)
+		b, err2 := s.Edge("spanner3", e.U, e.V)
+		if err1 != nil || err2 != nil {
+			panic(errors.Join(err1, err2))
+		}
+		if a != b {
 			agree = false
 			break
 		}
 	}
-	fmt.Printf("independent instance, same seed, first 200 edges: agree = %v\n", agree)
+	fmt.Printf("independent session, same seed, first 200 edges: agree = %v\n", agree)
 
 	// 5. Materialize a whole spanner (something a real deployment never
 	// does) and verify the global guarantees the per-edge answers imply.
 	// Sparsification is most dramatic where the n^{3/2} bound bites, i.e.
-	// m >> n^{3/2}: audit on a clique.
+	// m >> n^{3/2}: audit on a clique. Batch builds memoize automatically
+	// where the algorithm supports it, amortizing the probe bill.
 	audit := lca.Complete(400)
-	memo := lca.NewSpanner3Config(lca.NewOracle(audit), seed, lca.SpannerConfig{Memo: true})
-	h, stats := lca.BuildSubgraph(audit, memo)
+	auditSession := lca.NewSession(audit, lca.WithSeed(seed))
+	h, stats, err := auditSession.BuildSubgraph("spanner3")
+	if err != nil {
+		panic(err)
+	}
 	rep := lca.VerifyStretch(audit, h, 3)
 	fmt.Printf("audit on K%d: %d of %d edges kept (%.1f%%), stretch <= 3 on all %d edges: %v\n",
 		audit.N(), h.M(), audit.M(), 100*float64(h.M())/float64(audit.M()), rep.Checked, rep.Violations == 0)

@@ -1,0 +1,3 @@
+module lca
+
+go 1.24

@@ -1,0 +1,26 @@
+package coloring
+
+// Registry descriptor: the coloring LCA self-registers so every downstream
+// surface dispatches to it by name.
+
+import (
+	"lca/internal/core"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+	"lca/internal/rnd"
+)
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:    "coloring",
+		Kind:    registry.KindLabel,
+		Summary: "(Delta+1)-coloring label queries (sparse-regime classic)",
+		New: func(o oracle.Oracle, seed rnd.Seed, _ registry.Params) (any, error) {
+			return New(o, seed), nil
+		},
+		CheckLabels: func(g *graph.Graph, labels []int) error {
+			return core.VerifyColoring(g, labels, g.MaxDegree()+1)
+		},
+	})
+}

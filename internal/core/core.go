@@ -65,6 +65,19 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.Adjacency += delta.Adjacency
 }
 
+// Merge folds another aggregate into q (sums are added, max is the true
+// max), used to combine per-worker stats after parallel assembly.
+func (q *QueryStats) Merge(s QueryStats) {
+	q.Queries += s.Queries
+	q.SumTotal += s.SumTotal
+	if s.MaxTotal > q.MaxTotal {
+		q.MaxTotal = s.MaxTotal
+	}
+	q.ByKind.Neighbor += s.ByKind.Neighbor
+	q.ByKind.Degree += s.ByKind.Degree
+	q.ByKind.Adjacency += s.ByKind.Adjacency
+}
+
 // Mean returns the mean probes per query.
 func (q QueryStats) Mean() float64 {
 	if q.Queries == 0 {

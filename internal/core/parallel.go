@@ -78,16 +78,59 @@ func BuildSubgraphParallel(g *graph.Graph, factory func() EdgeLCA, workers int) 
 		for _, e := range res.kept {
 			b.AddEdge(e.U, e.V)
 		}
-		agg.Queries += res.stats.Queries
-		agg.SumTotal += res.stats.SumTotal
-		if res.stats.MaxTotal > agg.MaxTotal {
-			agg.MaxTotal = res.stats.MaxTotal
-		}
-		agg.ByKind.Neighbor += res.stats.ByKind.Neighbor
-		agg.ByKind.Degree += res.stats.ByKind.Degree
-		agg.ByKind.Adjacency += res.stats.ByKind.Adjacency
+		agg.Merge(res.stats)
 	}
 	return b.Build(), agg
+}
+
+// BuildLabelsParallel is the labeling analogue of BuildSubgraphParallel.
+func BuildLabelsParallel(g *graph.Graph, factory func() LabelLCA, workers int) ([]int, QueryStats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return BuildLabels(g, factory())
+	}
+	labels := make([]int, n)
+	statsPer := make([]QueryStats, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lca := factory()
+			reporter, _ := lca.(ProbeReporter)
+			for v := lo; v < hi; v++ {
+				if reporter != nil {
+					before := reporter.ProbeStats()
+					labels[v] = lca.QueryLabel(v)
+					statsPer[w].Observe(reporter.ProbeStats().Sub(before))
+				} else {
+					labels[v] = lca.QueryLabel(v)
+					statsPer[w].Queries++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var agg QueryStats
+	for _, s := range statsPer {
+		agg.Merge(s)
+	}
+	return labels, agg
 }
 
 // BuildVertexSetParallel is the vertex analogue of BuildSubgraphParallel.
@@ -135,14 +178,7 @@ func BuildVertexSetParallel(g *graph.Graph, factory func() VertexLCA, workers in
 	wg.Wait()
 	var agg QueryStats
 	for _, s := range statsPer {
-		agg.Queries += s.Queries
-		agg.SumTotal += s.SumTotal
-		if s.MaxTotal > agg.MaxTotal {
-			agg.MaxTotal = s.MaxTotal
-		}
-		agg.ByKind.Neighbor += s.ByKind.Neighbor
-		agg.ByKind.Degree += s.ByKind.Degree
-		agg.ByKind.Adjacency += s.ByKind.Adjacency
+		agg.Merge(s)
 	}
 	return in, agg
 }

@@ -1,0 +1,56 @@
+package estimate
+
+// Registry-generic estimation: the bridge every surface (HTTP estimate
+// endpoint, Session.EstimateFraction) shares, so kind dispatch, seed
+// derivation and the memoization default live in exactly one place.
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"lca/internal/core"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+	"lca/internal/rnd"
+)
+
+// Fraction estimates the fraction of elements (edges for an edge-kind
+// algorithm, vertices for a vertex-kind one) in the algorithm's solution
+// from sampled point queries, with a Hoeffding confidence radius at level
+// 1-delta. The instance is built fresh over g; because the estimator
+// issues many queries against it, memoization is enabled by default for
+// algorithms that support it (pass memo explicitly to override). The
+// sampling seed derives from seed and the algorithm name, so repeated
+// calls are deterministic.
+func Fraction(d *registry.Descriptor, g *graph.Graph, seed rnd.Seed, p registry.Params, samples int, delta float64) (Result, error) {
+	if samples < 1 {
+		return Result{}, fmt.Errorf("algorithm %q: samples must be >= 1, got %d", d.Name, samples)
+	}
+	if d.Kind == registry.KindLabel {
+		return Result{}, fmt.Errorf("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name)
+	}
+	if g.N() == 0 {
+		return Result{}, fmt.Errorf("algorithm %q: graph has no vertices to sample", d.Name)
+	}
+	inst, err := d.Build(oracle.New(g), seed, d.WithMemoDefault(p))
+	if err != nil {
+		return Result{}, err
+	}
+	sampleSeed := seed.Derive(hashName(d.Name))
+	switch d.Kind {
+	case registry.KindEdge:
+		if g.M() == 0 {
+			return Result{}, fmt.Errorf("algorithm %q: graph has no edges to sample", d.Name)
+		}
+		return EdgeFraction(g, inst.(core.EdgeLCA), samples, delta, sampleSeed), nil
+	default: // registry.KindVertex
+		return VertexFraction(g.N(), inst.(core.VertexLCA), samples, delta, sampleSeed), nil
+	}
+}
+
+func hashName(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
+}

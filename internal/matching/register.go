@@ -1,0 +1,62 @@
+package matching
+
+// Registry descriptors: the matching LCAs self-register so every
+// downstream surface dispatches to them by name. The maximal-matching
+// construction answers two query kinds (edge membership and vertex-cover
+// membership), so it appears under two entries sharing one constructor.
+
+import (
+	"fmt"
+
+	"lca/internal/core"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+	"lca/internal/rnd"
+)
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:    "matching",
+		Kind:    registry.KindEdge,
+		Summary: "maximal matching edge membership (sparse-regime classic)",
+		New: func(o oracle.Oracle, seed rnd.Seed, _ registry.Params) (any, error) {
+			return New(o, seed), nil
+		},
+		CheckSubgraph: func(g, m *graph.Graph, _ rnd.Seed) error {
+			return core.VerifyMaximalMatching(g, m)
+		},
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "vertexcover",
+		Aliases: []string{"cover"},
+		Kind:    registry.KindVertex,
+		Summary: "2-approximate vertex cover: endpoints of the maximal matching",
+		New: func(o oracle.Oracle, seed rnd.Seed, _ registry.Params) (any, error) {
+			return New(o, seed), nil
+		},
+		CheckVertexSet: func(g *graph.Graph, in []bool) error {
+			return core.VerifyVertexCover(g, in)
+		},
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "approxmatching",
+		Aliases: []string{"approx"},
+		Kind:    registry.KindEdge,
+		Summary: "(1-eps)-approximate maximum matching via bounded augmentation rounds",
+		Params: []registry.Param{
+			{Name: "rounds", Type: registry.TypeInt, Default: 2,
+				Help: "augmentation rounds r; approximation ratio (r+1)/(r+2)"},
+		},
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			rounds := p.Int("rounds")
+			if rounds < 0 {
+				return nil, fmt.Errorf("parameter \"rounds\" must be >= 0, got %d", rounds)
+			}
+			return NewApprox(o, rounds, seed), nil
+		},
+		CheckSubgraph: func(g, m *graph.Graph, _ rnd.Seed) error {
+			return core.VerifyMaximalMatching(g, m)
+		},
+	})
+}

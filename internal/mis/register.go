@@ -1,0 +1,26 @@
+package mis
+
+// Registry descriptor: the MIS LCA self-registers so every downstream
+// surface dispatches to it by name.
+
+import (
+	"lca/internal/core"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+	"lca/internal/rnd"
+)
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:    "mis",
+		Kind:    registry.KindVertex,
+		Summary: "maximal independent set membership (sparse-regime classic)",
+		New: func(o oracle.Oracle, seed rnd.Seed, _ registry.Params) (any, error) {
+			return New(o, seed), nil
+		},
+		CheckVertexSet: func(g *graph.Graph, in []bool) error {
+			return core.VerifyMaximalIndependentSet(g, in)
+		},
+	})
+}

@@ -4,22 +4,43 @@
 // consistently for a fixed seed), so requests are embarrassingly parallel
 // and horizontally scalable — different replicas with the same seed serve
 // slices of the same global solution.
+//
+// Routing is registry-generic: one handler per query kind, dispatching by
+// algorithm name through internal/registry. Registering a new algorithm
+// makes it appear on /algos and become queryable with no edits here.
+//
+//	GET /healthz
+//	GET /graph
+//	GET /algos
+//	GET /edge/{algo}?u=U&v=V[&param=...]
+//	GET /vertex/{algo}?v=V[&param=...]
+//	GET /label/{algo}?v=V[&param=...]
+//	GET /estimate/{algo}?samples=S[&param=...]
+//
+// Every error is a JSON envelope {"error": ..., "status": ...}; malformed
+// or unknown query parameters are 400s, unknown algorithms and kind
+// mismatches are 404s.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
-	"lca/internal/coloring"
+	"lca/internal/core"
 	"lca/internal/estimate"
 	"lca/internal/graph"
-	"lca/internal/matching"
-	"lca/internal/mis"
 	"lca/internal/oracle"
+	"lca/internal/registry"
 	"lca/internal/rnd"
-	"lca/internal/spanner"
+
+	// Register the built-in algorithm catalog.
+	_ "lca/internal/coloring"
+	_ "lca/internal/matching"
+	_ "lca/internal/mis"
+	_ "lca/internal/spanner"
 )
 
 // Server answers LCA queries for one graph under one seed. Construct with
@@ -35,21 +56,23 @@ func New(g *graph.Graph, seed rnd.Seed) *Server {
 	return &Server{g: g, seed: seed}
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table: one route per query kind plus
+// discovery and introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /graph", s.handleGraph)
-	mux.HandleFunc("GET /spanner/{alg}/edge", s.handleSpannerEdge)
-	mux.HandleFunc("GET /mis/vertex", s.handleMISVertex)
-	mux.HandleFunc("GET /matching/edge", s.handleMatchingEdge)
-	mux.HandleFunc("GET /coloring/vertex", s.handleColoringVertex)
-	mux.HandleFunc("GET /estimate/{metric}", s.handleEstimate)
+	mux.HandleFunc("GET /algos", s.handleAlgos)
+	mux.HandleFunc("GET /edge/{algo}", s.handleEdge)
+	mux.HandleFunc("GET /vertex/{algo}", s.handleVertex)
+	mux.HandleFunc("GET /label/{algo}", s.handleLabel)
+	mux.HandleFunc("GET /estimate/{algo}", s.handleEstimate)
 	return mux
 }
 
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -59,35 +82,32 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Status: status})
 }
 
-func (s *Server) vertexParam(r *http.Request, name string) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, fmt.Errorf("missing query parameter %q", name)
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %q: %v", name, err)
-	}
-	if v < 0 || v >= s.g.N() {
-		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.g.N())
-	}
-	return v, nil
+// httpError carries a status code through the request-parsing helpers so
+// every failure path produces the same JSON envelope.
+type httpError struct {
+	status int
+	msg    string
 }
 
-func (s *Server) edgeParams(r *http.Request) (u, v int, err error) {
-	if u, err = s.vertexParam(r, "u"); err != nil {
-		return 0, 0, err
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeHTTPError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		writeErr(w, he.status, "%s", he.msg)
+		return
 	}
-	if v, err = s.vertexParam(r, "v"); err != nil {
-		return 0, 0, err
-	}
-	if !s.g.HasEdge(u, v) {
-		return 0, 0, fmt.Errorf("(%d,%d) is not an edge of the graph", u, v)
-	}
-	return u, v, nil
+	writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -104,139 +124,277 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, graphInfo{N: s.g.N(), M: s.g.M(), MaxDegree: s.g.MaxDegree()})
 }
 
+// algoInfo is one /algos catalog entry.
+type algoInfo struct {
+	Name    string           `json:"name"`
+	Aliases []string         `json:"aliases,omitempty"`
+	Kind    string           `json:"kind"`
+	Summary string           `json:"summary"`
+	Params  []registry.Param `json:"params,omitempty"`
+}
+
+func (s *Server) handleAlgos(w http.ResponseWriter, _ *http.Request) {
+	ds := registry.All()
+	out := make([]algoInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, algoInfo{
+			Name:    d.Name,
+			Aliases: d.Aliases,
+			Kind:    string(d.Kind),
+			Summary: d.Summary,
+			Params:  d.Params,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// request parsing ------------------------------------------------------
+
+// descriptorFor resolves the path's algorithm name against the registry
+// and checks its kind.
+func descriptorFor(r *http.Request, kind registry.Kind) (*registry.Descriptor, error) {
+	name := r.PathValue("algo")
+	d, err := registry.Get(name)
+	if err != nil {
+		return nil, notFound("unknown algorithm %q (see /algos)", name)
+	}
+	if d.Kind != kind {
+		return nil, notFound("algorithm %q answers %s queries, not %s (see /algos)", d.Name, d.Kind, kind)
+	}
+	return d, nil
+}
+
+// queryParams validates the full query string: positional keys (u, v,
+// samples, ...) are parsed by the caller and listed in reserved; every
+// other key must be a parameter the descriptor declares, parsed per its
+// declared type. Unknown keys are 400s — a typo must never degrade into a
+// silently ignored parameter or a zero-value query.
+func queryParams(r *http.Request, d *registry.Descriptor, reserved ...string) (registry.Params, error) {
+	isReserved := func(k string) bool {
+		for _, rk := range reserved {
+			if k == rk {
+				return true
+			}
+		}
+		return false
+	}
+	p := registry.Params{}
+	for key, vals := range r.URL.Query() {
+		if isReserved(key) {
+			continue
+		}
+		if !d.HasParam(key) {
+			return nil, badRequest("unknown query parameter %q for algorithm %q", key, d.Name)
+		}
+		if len(vals) != 1 {
+			return nil, badRequest("parameter %q given %d times, want 1", key, len(vals))
+		}
+		v, err := d.ParseValue(key, vals[0])
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		p[key] = v
+	}
+	return p, nil
+}
+
+// intParam parses a required non-negative integer query parameter.
+func (s *Server) vertexParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %q: %q is not an integer", name, raw)
+	}
+	if v < 0 || v >= s.g.N() {
+		return 0, badRequest("vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	return v, nil
+}
+
+func (s *Server) edgeParams(r *http.Request) (u, v int, err error) {
+	if u, err = s.vertexParam(r, "u"); err != nil {
+		return 0, 0, err
+	}
+	if v, err = s.vertexParam(r, "v"); err != nil {
+		return 0, 0, err
+	}
+	if !s.g.HasEdge(u, v) {
+		return 0, 0, badRequest("(%d,%d) is not an edge of the graph", u, v)
+	}
+	return u, v, nil
+}
+
+// build constructs a fresh per-request instance; parameter errors the
+// registry reports after our own validation (range checks inside New) are
+// the client's fault, hence 400 — except a BadInstanceError, which marks a
+// broken registration and must surface as a server error.
+func (s *Server) build(d *registry.Descriptor, p registry.Params) (any, error) {
+	inst, err := d.Build(oracle.New(s.g), s.seed, p)
+	if err != nil {
+		var bad *registry.BadInstanceError
+		if errors.As(err, &bad) {
+			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		return nil, badRequest("%v", err)
+	}
+	return inst, nil
+}
+
+func probesOf(inst any) uint64 {
+	if rep, ok := inst.(core.ProbeReporter); ok {
+		return rep.ProbeStats().Total()
+	}
+	return 0
+}
+
+// kind handlers --------------------------------------------------------
+
 type edgeAnswer struct {
+	Algo   string `json:"algo"`
 	U      int    `json:"u"`
 	V      int    `json:"v"`
 	In     bool   `json:"in"`
 	Probes uint64 `json:"probes"`
-	Alg    string `json:"alg"`
 }
 
-// edgeLCA is the per-request spanner instance contract.
-type edgeLCA interface {
-	QueryEdge(u, v int) bool
-	ProbeStats() oracle.Stats
-}
-
-func (s *Server) spannerFor(alg string, k int) (edgeLCA, error) {
-	o := oracle.New(s.g)
-	switch alg {
-	case "3":
-		return spanner.NewSpanner3(o, s.seed), nil
-	case "5":
-		return spanner.NewSpanner5(o, s.seed), nil
-	case "k":
-		return spanner.NewSpannerK(o, k, s.seed), nil
-	case "sparse":
-		return spanner.NewSparseSpanning(o, s.seed), nil
-	default:
-		return nil, fmt.Errorf("unknown spanner algorithm %q (want 3, 5, k or sparse)", alg)
-	}
-}
-
-func (s *Server) handleSpannerEdge(w http.ResponseWriter, r *http.Request) {
-	alg := r.PathValue("alg")
-	k := 3
-	if raw := r.URL.Query().Get("k"); raw != "" {
-		parsed, err := strconv.Atoi(raw)
-		if err != nil || parsed < 1 {
-			writeErr(w, http.StatusBadRequest, "bad k %q", raw)
-			return
-		}
-		k = parsed
-	}
-	lca, err := s.spannerFor(alg, k)
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	d, err := descriptorFor(r, registry.KindEdge)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeHTTPError(w, err)
+		return
+	}
+	p, err := queryParams(r, d, "u", "v")
+	if err != nil {
+		writeHTTPError(w, err)
 		return
 	}
 	u, v, err := s.edgeParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeHTTPError(w, err)
 		return
 	}
-	in := lca.QueryEdge(u, v)
-	writeJSON(w, http.StatusOK, edgeAnswer{U: u, V: v, In: in, Probes: lca.ProbeStats().Total(), Alg: alg})
+	inst, err := s.build(d, p)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	in := inst.(core.EdgeLCA).QueryEdge(u, v)
+	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in, Probes: probesOf(inst)})
 }
 
 type vertexAnswer struct {
+	Algo   string `json:"algo"`
 	V      int    `json:"v"`
 	In     bool   `json:"in"`
 	Probes uint64 `json:"probes"`
 }
 
-func (s *Server) handleMISVertex(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	d, err := descriptorFor(r, registry.KindVertex)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	p, err := queryParams(r, d, "v")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	v, err := s.vertexParam(r, "v")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeHTTPError(w, err)
 		return
 	}
-	lca := mis.New(oracle.New(s.g), s.seed)
-	in := lca.QueryVertex(v)
-	writeJSON(w, http.StatusOK, vertexAnswer{V: v, In: in, Probes: lca.ProbeStats().Total()})
-}
-
-func (s *Server) handleMatchingEdge(w http.ResponseWriter, r *http.Request) {
-	u, v, err := s.edgeParams(r)
+	inst, err := s.build(d, p)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeHTTPError(w, err)
 		return
 	}
-	lca := matching.New(oracle.New(s.g), s.seed)
-	in := lca.QueryEdge(u, v)
-	writeJSON(w, http.StatusOK, edgeAnswer{U: u, V: v, In: in, Probes: lca.ProbeStats().Total(), Alg: "matching"})
+	in := inst.(core.VertexLCA).QueryVertex(v)
+	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in, Probes: probesOf(inst)})
 }
 
-type colorAnswer struct {
+type labelAnswer struct {
+	Algo   string `json:"algo"`
 	V      int    `json:"v"`
-	Color  int    `json:"color"`
+	Label  int    `json:"label"`
 	Probes uint64 `json:"probes"`
 }
 
-func (s *Server) handleColoringVertex(w http.ResponseWriter, r *http.Request) {
-	v, err := s.vertexParam(r, "v")
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	d, err := descriptorFor(r, registry.KindLabel)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeHTTPError(w, err)
 		return
 	}
-	lca := coloring.New(oracle.New(s.g), s.seed)
-	writeJSON(w, http.StatusOK, colorAnswer{V: v, Color: lca.QueryLabel(v), Probes: lca.ProbeStats().Total()})
+	p, err := queryParams(r, d, "v")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	inst, err := s.build(d, p)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	label := inst.(core.LabelLCA).QueryLabel(v)
+	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label, Probes: probesOf(inst)})
 }
 
 type estimateAnswer struct {
-	Metric     string  `json:"metric"`
+	Algo       string  `json:"algo"`
+	Kind       string  `json:"kind"`
 	Fraction   float64 `json:"fraction"`
 	ErrorBound float64 `json:"error_bound"`
 	Samples    int     `json:"samples"`
 }
 
+// handleEstimate estimates the solution fraction of any edge- or
+// vertex-kind algorithm by sampled point queries (Hoeffding-bounded, 95%).
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	metric := r.PathValue("metric")
+	name := r.PathValue("algo")
+	d, err := registry.Get(name)
+	if err != nil {
+		writeHTTPError(w, notFound("unknown algorithm %q (see /algos)", name))
+		return
+	}
+	if d.Kind == registry.KindLabel {
+		writeHTTPError(w, notFound("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name))
+		return
+	}
+	p, err := queryParams(r, d, "samples")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	samples := 500
 	if raw := r.URL.Query().Get("samples"); raw != "" {
-		parsed, err := strconv.Atoi(raw)
-		if err != nil || parsed < 1 || parsed > 1_000_000 {
-			writeErr(w, http.StatusBadRequest, "bad samples %q", raw)
+		parsed, perr := strconv.Atoi(raw)
+		if perr != nil || parsed < 1 || parsed > 1_000_000 {
+			writeHTTPError(w, badRequest("parameter \"samples\": %q is not an integer in [1,1000000]", raw))
 			return
 		}
 		samples = parsed
 	}
 	const delta = 0.05
-	var res estimate.Result
-	switch metric {
-	case "mis":
-		res = estimate.VertexFraction(s.g.N(), mis.New(oracle.New(s.g), s.seed), samples, delta, s.seed.Derive(1))
-	case "cover":
-		res = estimate.VertexFraction(s.g.N(), matching.New(oracle.New(s.g), s.seed), samples, delta, s.seed.Derive(2))
-	case "spanner3":
-		lca := spanner.NewSpanner3Config(oracle.New(s.g), s.seed, spanner.Config{Memo: true})
-		res = estimate.EdgeFraction(s.g, lca, samples, delta, s.seed.Derive(3))
-	default:
-		writeErr(w, http.StatusNotFound, "unknown metric %q (want mis, cover or spanner3)", metric)
+	res, err := estimate.Fraction(d, s.g, s.seed, p, samples, delta)
+	if err != nil {
+		// Kind and samples were validated above; what remains is bad
+		// parameter values, which are the client's.
+		writeHTTPError(w, badRequest("%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, estimateAnswer{
-		Metric:     metric,
+		Algo:       d.Name,
+		Kind:       string(d.Kind),
 		Fraction:   res.Fraction,
 		ErrorBound: res.ErrorBound,
 		Samples:    res.Samples,

@@ -44,17 +44,81 @@ func TestHealthAndGraph(t *testing.T) {
 	}
 }
 
-func TestSpannerEdgeEndpoint(t *testing.T) {
+func TestAlgosDiscovery(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	var algos []algoInfo
+	if code := getJSON(t, ts.URL+"/algos", &algos); code != 200 {
+		t.Fatalf("algos: status %d", code)
+	}
+	byName := map[string]algoInfo{}
+	for _, a := range algos {
+		byName[a.Name] = a
+	}
+	for name, kind := range map[string]string{
+		"spanner3": "edge", "spanner5": "edge", "spannerk": "edge",
+		"matching": "edge", "mis": "vertex", "vertexcover": "vertex",
+		"coloring": "label",
+	} {
+		a, ok := byName[name]
+		if !ok {
+			t.Errorf("algorithm %q missing from /algos", name)
+			continue
+		}
+		if a.Kind != kind {
+			t.Errorf("%s: kind %q, want %q", name, a.Kind, kind)
+		}
+	}
+	if k := byName["spannerk"]; len(k.Params) == 0 {
+		t.Error("spannerk lists no parameters")
+	}
+}
+
+// TestEveryAlgoQueryable drives each /algos entry through its kind's
+// endpoint: a registry entry must be queryable with zero serve-side edits.
+func TestEveryAlgoQueryable(t *testing.T) {
+	g := gen.Gnp(120, 0.1, 7)
+	ts := httptest.NewServer(New(g, 42).Handler())
+	defer ts.Close()
+	var algos []algoInfo
+	if code := getJSON(t, ts.URL+"/algos", &algos); code != 200 {
+		t.Fatalf("algos: status %d", code)
+	}
+	if len(algos) < 7 {
+		t.Fatalf("only %d algorithms registered", len(algos))
+	}
+	e := g.Edges()[0]
+	for _, a := range algos {
+		var url string
+		switch a.Kind {
+		case "edge":
+			url = fmt.Sprintf("%s/edge/%s?u=%d&v=%d", ts.URL, a.Name, e.U, e.V)
+		case "vertex":
+			url = fmt.Sprintf("%s/vertex/%s?v=3", ts.URL, a.Name)
+		case "label":
+			url = fmt.Sprintf("%s/label/%s?v=3", ts.URL, a.Name)
+		default:
+			t.Errorf("%s: unknown kind %q", a.Name, a.Kind)
+			continue
+		}
+		var ans map[string]any
+		if code := getJSON(t, url, &ans); code != 200 {
+			t.Errorf("%s: status %d (%v)", a.Name, code, ans)
+		}
+	}
+}
+
+func TestEdgeEndpoint(t *testing.T) {
 	g := gen.Gnp(200, 0.1, 7)
 	ts := httptest.NewServer(New(g, 42).Handler())
 	defer ts.Close()
 	e := g.Edges()[0]
 	var ans edgeAnswer
-	url := fmt.Sprintf("%s/spanner/3/edge?u=%d&v=%d", ts.URL, e.U, e.V)
+	url := fmt.Sprintf("%s/edge/spanner3?u=%d&v=%d", ts.URL, e.U, e.V)
 	if code := getJSON(t, url, &ans); code != 200 {
 		t.Fatalf("status %d", code)
 	}
-	if ans.U != e.U || ans.V != e.V || ans.Probes == 0 {
+	if ans.U != e.U || ans.V != e.V || ans.Probes == 0 || ans.Algo != "spanner3" {
 		t.Fatalf("answer %+v", ans)
 	}
 	// Consistency across requests (fresh instances, same seed).
@@ -63,57 +127,99 @@ func TestSpannerEdgeEndpoint(t *testing.T) {
 	if again.In != ans.In {
 		t.Fatal("two requests for the same edge disagreed")
 	}
+	// Aliases resolve to the same algorithm.
+	var aliased edgeAnswer
+	if code := getJSON(t, fmt.Sprintf("%s/edge/3?u=%d&v=%d", ts.URL, e.U, e.V), &aliased); code != 200 {
+		t.Fatalf("alias status %d", code)
+	}
+	if aliased.In != ans.In || aliased.Algo != "spanner3" {
+		t.Fatalf("alias answer %+v, want consistent with %+v", aliased, ans)
+	}
 }
 
-func TestSpannerEndpointErrors(t *testing.T) {
+func TestEndpointErrors(t *testing.T) {
 	ts, done := newTestServer(t)
 	defer done()
 	cases := []struct {
 		path string
 		want int
 	}{
-		{"/spanner/9/edge?u=0&v=1", 404},     // unknown algorithm
-		{"/spanner/3/edge?u=0", 400},         // missing v
-		{"/spanner/3/edge?u=0&v=betty", 400}, // non-numeric
-		{"/spanner/3/edge?u=0&v=99999", 400}, // out of range
-		{"/spanner/k/edge?u=0&v=1&k=zero", 400},
-		{"/estimate/nothing", 404},
-		{"/estimate/mis?samples=-3", 400},
+		{"/edge/nosuch?u=0&v=1", 404},           // unknown algorithm
+		{"/edge/mis?u=0&v=1", 404},              // kind mismatch: mis is vertex-kind
+		{"/edge/spanner3?u=0", 400},             // missing v
+		{"/edge/spanner3?u=0&v=betty", 400},     // non-numeric vertex
+		{"/edge/spanner3?u=0&v=99999", 400},     // out of range
+		{"/edge/spannerk?u=0&v=1&k=zero", 400},  // malformed parameter value
+		{"/edge/spannerk?u=0&v=1&k=0", 400},     // out-of-range parameter value
+		{"/edge/spanner3?u=0&v=1&bogus=1", 400}, // unknown parameter
+		{"/vertex/mis", 400},                    // missing v
+		{"/vertex/spanner3?v=1", 404},           // kind mismatch
+		{"/label/coloring?v=-1", 400},           // negative vertex
+		{"/estimate/nothing?samples=10", 404},   // unknown algorithm
+		{"/estimate/coloring?samples=10", 404},  // label kind not estimable
+		{"/estimate/mis?samples=-3", 400},       // bad samples
+		{"/estimate/mis?samples=zebra", 400},    // non-numeric samples
 	}
 	for _, c := range cases {
 		var body errorBody
 		if code := getJSON(t, ts.URL+c.path, &body); code != c.want {
 			t.Errorf("%s: status %d, want %d (%+v)", c.path, code, c.want, body)
-		} else if body.Error == "" {
-			t.Errorf("%s: missing error message", c.path)
+		} else if body.Error == "" || body.Status != c.want {
+			t.Errorf("%s: malformed error envelope %+v", c.path, body)
 		}
 	}
 }
 
-func TestSpannerEdgeNotAnEdge(t *testing.T) {
+func TestEdgeNotAnEdge(t *testing.T) {
 	g := gen.Path(10) // (0,5) is not an edge
 	ts := httptest.NewServer(New(g, 1).Handler())
 	defer ts.Close()
 	var body errorBody
-	if code := getJSON(t, ts.URL+"/spanner/3/edge?u=0&v=5", &body); code != 400 {
+	if code := getJSON(t, ts.URL+"/edge/spanner3?u=0&v=5", &body); code != 400 {
 		t.Fatalf("non-edge query returned %d", code)
 	}
 }
 
-func TestVertexEndpoints(t *testing.T) {
+func TestVertexAndLabelEndpoints(t *testing.T) {
 	ts, done := newTestServer(t)
 	defer done()
 	var mis vertexAnswer
-	if code := getJSON(t, ts.URL+"/mis/vertex?v=5", &mis); code != 200 {
-		t.Fatalf("mis status %d", code)
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=5", &mis); code != 200 || mis.Algo != "mis" {
+		t.Fatalf("mis: %d %+v", code, mis)
 	}
-	var color colorAnswer
-	if code := getJSON(t, ts.URL+"/coloring/vertex?v=5", &color); code != 200 || color.Color < 0 {
+	var color labelAnswer
+	if code := getJSON(t, ts.URL+"/label/coloring?v=5", &color); code != 200 || color.Label < 0 {
 		t.Fatalf("coloring: %d %+v", code, color)
 	}
 }
 
-func TestMatchingEndpointConsistentWithMIS(t *testing.T) {
+func TestParamPassing(t *testing.T) {
+	g := gen.Torus(12, 12)
+	ts := httptest.NewServer(New(g, 5).Handler())
+	defer ts.Close()
+	// Same edge under different k must be answered (answers may differ;
+	// both requests must succeed and be internally consistent).
+	e := g.Edges()[0]
+	for _, k := range []int{2, 4} {
+		url := fmt.Sprintf("%s/edge/spannerk?u=%d&v=%d&k=%d", ts.URL, e.U, e.V, k)
+		var ans, again edgeAnswer
+		if code := getJSON(t, url, &ans); code != 200 {
+			t.Fatalf("k=%d: status %d", k, code)
+		}
+		getJSON(t, url, &again)
+		if ans.In != again.In {
+			t.Fatalf("k=%d: inconsistent answers", k)
+		}
+	}
+	// rounds is declared by approxmatching only.
+	url := fmt.Sprintf("%s/edge/approxmatching?u=%d&v=%d&rounds=1", ts.URL, e.U, e.V)
+	var ans edgeAnswer
+	if code := getJSON(t, url, &ans); code != 200 {
+		t.Fatalf("approxmatching: status %d", code)
+	}
+}
+
+func TestMatchingEndpointConsistent(t *testing.T) {
 	g := gen.Torus(8, 8)
 	ts := httptest.NewServer(New(g, 3).Handler())
 	defer ts.Close()
@@ -122,7 +228,7 @@ func TestMatchingEndpointConsistentWithMIS(t *testing.T) {
 	for i := 0; i < g.Degree(0); i++ {
 		w := g.Neighbor(0, i)
 		var ans edgeAnswer
-		getJSON(t, fmt.Sprintf("%s/matching/edge?u=0&v=%d", ts.URL, w), &ans)
+		getJSON(t, fmt.Sprintf("%s/edge/matching?u=0&v=%d", ts.URL, w), &ans)
 		if ans.In {
 			matched++
 		}
@@ -135,13 +241,13 @@ func TestMatchingEndpointConsistentWithMIS(t *testing.T) {
 func TestEstimateEndpoint(t *testing.T) {
 	ts, done := newTestServer(t)
 	defer done()
-	for _, metric := range []string{"mis", "cover", "spanner3"} {
+	for _, algo := range []string{"mis", "vertexcover", "spanner3", "matching"} {
 		var ans estimateAnswer
-		if code := getJSON(t, ts.URL+"/estimate/"+metric+"?samples=100", &ans); code != 200 {
-			t.Fatalf("%s: status %d", metric, code)
+		if code := getJSON(t, ts.URL+"/estimate/"+algo+"?samples=100", &ans); code != 200 {
+			t.Fatalf("%s: status %d", algo, code)
 		}
 		if ans.Fraction < 0 || ans.Fraction > 1 || ans.Samples != 100 {
-			t.Fatalf("%s: %+v", metric, ans)
+			t.Fatalf("%s: %+v", algo, ans)
 		}
 	}
 }
@@ -151,7 +257,7 @@ func TestConcurrentRequestsConsistent(t *testing.T) {
 	ts := httptest.NewServer(New(g, 11).Handler())
 	defer ts.Close()
 	e := g.Edges()[3]
-	url := fmt.Sprintf("%s/spanner/3/edge?u=%d&v=%d", ts.URL, e.U, e.V)
+	url := fmt.Sprintf("%s/edge/spanner3?u=%d&v=%d", ts.URL, e.U, e.V)
 	const goroutines = 16
 	answers := make([]bool, goroutines)
 	var wg sync.WaitGroup

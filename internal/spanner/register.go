@@ -1,0 +1,201 @@
+package spanner
+
+// Registry descriptors: every spanner construction self-registers so the
+// Session facade, HTTP server and CLI harnesses dispatch to it by name.
+
+import (
+	"fmt"
+
+	"lca/internal/core"
+	"lca/internal/graph"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+	"lca/internal/rnd"
+)
+
+// cfgParams are the Config knobs shared by every construction.
+var cfgParams = []registry.Param{
+	{Name: "memo", Type: registry.TypeBool, Default: false,
+		Help: "memoize deterministic intermediate results across queries (answers unchanged, probe stats amortized)"},
+	{Name: "independence", Type: registry.TypeInt, Default: 0,
+		Help: "hash-family independence; 0 selects the Theta(log n)-wise default"},
+	{Name: "hitconst", Type: registry.TypeFloat, Default: 0.0,
+		Help: "hitting-set sampling constant c in p = c*ln(n)/Delta; 0 selects the default 2.5"},
+}
+
+func cfgFrom(p registry.Params) Config {
+	return Config{
+		Memo:         p.Bool("memo"),
+		Independence: p.Int("independence"),
+		HitConst:     p.Float("hitconst"),
+	}
+}
+
+func withParams(extra ...registry.Param) []registry.Param {
+	return append(extra, cfgParams...)
+}
+
+// checkStretch returns a subgraph checker asserting containment,
+// connectivity preservation and sampled stretch at most maxStretch.
+func checkStretch(maxStretch int) func(g, h *graph.Graph, seed rnd.Seed) error {
+	return func(g, h *graph.Graph, seed rnd.Seed) error {
+		if err := core.VerifySubgraphOf(g, h); err != nil {
+			return err
+		}
+		if err := core.VerifyConnectivityPreserved(g, h); err != nil {
+			return err
+		}
+		rep := core.VerifyStretchSampled(g, h, maxStretch, 4000, seed.Derive(0x5eed))
+		if rep.Violations > 0 {
+			return fmt.Errorf("stretch > %d on %d of %d sampled edges (max observed %d)",
+				maxStretch, rep.Violations, rep.Checked, rep.MaxStretch)
+		}
+		return nil
+	}
+}
+
+// checkSpanning asserts containment and connectivity only: the O(k^2)
+// constructions' stretch bound depends on k and hides a constant, so it
+// is measured by reportStretch rather than pass/failed here.
+func checkSpanning(g, h *graph.Graph, _ rnd.Seed) error {
+	if err := core.VerifySubgraphOf(g, h); err != nil {
+		return err
+	}
+	return core.VerifyConnectivityPreserved(g, h)
+}
+
+// reportStretch measures the exact maximum stretch of the materialized
+// spanner, the metric lcaverify prints next to the parameter-dependent
+// bound.
+func reportStretch(bound string) func(g, h *graph.Graph) string {
+	return func(g, h *graph.Graph) string {
+		return fmt.Sprintf("exact max stretch %d (bound %s)", core.ExactMaxStretch(g, h), bound)
+	}
+}
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:    "spanner3",
+		Aliases: []string{"3"},
+		Kind:    registry.KindEdge,
+		Summary: "3-spanner, ~O(n^{3/2}) edges, ~O(n^{3/4}) probes/query (Theorem 1.1, r=2)",
+		Params:  withParams(),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			return NewSpanner3Config(o, seed, cfgFrom(p)), nil
+		},
+		CheckSubgraph: checkStretch(3),
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "spanner5",
+		Aliases: []string{"5"},
+		Kind:    registry.KindEdge,
+		Summary: "5-spanner, ~O(n^{4/3}) edges, ~O(n^{5/6}) probes/query (Theorem 1.1, r=3)",
+		Params:  withParams(),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			return NewSpanner5Config(o, seed, cfgFrom(p)), nil
+		},
+		CheckSubgraph: checkStretch(5),
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "spannerk",
+		Aliases: []string{"k"},
+		Kind:    registry.KindEdge,
+		Summary: "O(k^2)-stretch spanner, ~O(n^{1+1/k}) edges for bounded degree (Theorem 1.2)",
+		Params: withParams(
+			registry.Param{Name: "k", Type: registry.TypeInt, Default: 3,
+				Help: "stretch parameter; the spanner has ~O(n^{1+1/k}) edges and stretch O(k^2)"},
+			registry.Param{Name: "l", Type: registry.TypeInt, Default: 0,
+				Help: "sparse/dense volume threshold; 0 selects ceil(n^{1/3})"},
+			registry.Param{Name: "centerprob", Type: registry.TypeFloat, Default: 0.0,
+				Help: "center-sampling probability; 0 selects the default"},
+			registry.Param{Name: "markprob", Type: registry.TypeFloat, Default: 0.0,
+				Help: "Voronoi-cell marking probability; 0 selects 1/L"},
+			registry.Param{Name: "q", Type: registry.TypeInt, Default: 0,
+				Help: "rank-rule width; 0 selects the default"},
+		),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			k := p.Int("k")
+			if k < 1 {
+				return nil, fmt.Errorf("parameter \"k\" must be >= 1, got %d", k)
+			}
+			return NewSpannerKConfig(o, k, seed, kcfgFrom(p)), nil
+		},
+		CheckSubgraph:  checkSpanning,
+		ReportSubgraph: reportStretch("O(k^2)"),
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "sparse",
+		Aliases: []string{"sparsespanning"},
+		Kind:    registry.KindEdge,
+		Summary: "sparse spanning graph: the O(k^2)-spanner at k = ceil(log2 n)",
+		Params: withParams(
+			registry.Param{Name: "l", Type: registry.TypeInt, Default: 0,
+				Help: "sparse/dense volume threshold; 0 selects ceil(n^{1/3})"},
+			registry.Param{Name: "centerprob", Type: registry.TypeFloat, Default: 0.0,
+				Help: "center-sampling probability; 0 selects the default"},
+			registry.Param{Name: "markprob", Type: registry.TypeFloat, Default: 0.0,
+				Help: "Voronoi-cell marking probability; 0 selects 1/L"},
+			registry.Param{Name: "q", Type: registry.TypeInt, Default: 0,
+				Help: "rank-rule width; 0 selects the default"},
+		),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			k := ceilLog2(o.N())
+			if k < 1 {
+				k = 1
+			}
+			return NewSpannerKConfig(o, k, seed, kcfgFrom(p)), nil
+		},
+		CheckSubgraph:  checkSpanning,
+		ReportSubgraph: reportStretch("polylog(n), the k = ceil(log2 n) regime"),
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "superspanner",
+		Kind:    registry.KindEdge,
+		Summary: "Theorem 3.5 building block: 3-spanner for edges with both endpoint degrees >= n^{1-1/(2r)}",
+		Params: withParams(
+			registry.Param{Name: "r", Type: registry.TypeInt, Default: 2,
+				Help: "density parameter; ~O(n^{1+1/r}) edges, degree threshold n^{1-1/(2r)}"},
+		),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			r := p.Int("r")
+			if r < 1 {
+				return nil, fmt.Errorf("parameter \"r\" must be >= 1, got %d", r)
+			}
+			return NewSuperSpanner(o, r, seed, cfgFrom(p)), nil
+		},
+		// Stretch only binds above the degree threshold, so assert
+		// containment alone.
+		CheckSubgraph: func(g, h *graph.Graph, _ rnd.Seed) error {
+			return core.VerifySubgraphOf(g, h)
+		},
+	})
+	registry.Register(registry.Descriptor{
+		Name:    "spanner5mindeg",
+		Kind:    registry.KindEdge,
+		Summary: "Theorem 3.5: 5-spanner with ~O(n^{1+1/r}) edges on graphs with min degree n^{1/2-1/(2r)}",
+		Params: withParams(
+			registry.Param{Name: "r", Type: registry.TypeInt, Default: 3,
+				Help: "density parameter; r=3 coincides with the general 5-spanner"},
+		),
+		New: func(o oracle.Oracle, seed rnd.Seed, p registry.Params) (any, error) {
+			r := p.Int("r")
+			if r < 1 {
+				return nil, fmt.Errorf("parameter \"r\" must be >= 1, got %d", r)
+			}
+			return NewSpanner5MinDegree(o, r, seed, cfgFrom(p)), nil
+		},
+		CheckSubgraph: func(g, h *graph.Graph, _ rnd.Seed) error {
+			return core.VerifySubgraphOf(g, h)
+		},
+	})
+}
+
+func kcfgFrom(p registry.Params) KConfig {
+	return KConfig{
+		Config:     cfgFrom(p),
+		L:          p.Int("l"),
+		CenterProb: p.Float("centerprob"),
+		MarkProb:   p.Float("markprob"),
+		Q:          p.Int("q"),
+	}
+}

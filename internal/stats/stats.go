@@ -136,6 +136,23 @@ func (t *Table) AddRowf(format string, cols ...interface{}) {
 	t.AddRow(parts...)
 }
 
+// Columns returns the header names.
+func (t *Table) Columns() []string { return append([]string(nil), t.header...) }
+
+// Records returns every row as a column-name-keyed map, the shape consumed
+// by machine-readable emitters.
+func (t *Table) Records() []map[string]string {
+	out := make([]map[string]string, 0, len(t.rows))
+	for _, row := range t.rows {
+		rec := make(map[string]string, len(t.header))
+		for i, h := range t.header {
+			rec[h] = row[i]
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	width := make([]int, len(t.header))

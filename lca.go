@@ -1,6 +1,8 @@
 package lca
 
 import (
+	"fmt"
+
 	"lca/internal/balls"
 	"lca/internal/baseline"
 	"lca/internal/coloring"
@@ -12,6 +14,7 @@ import (
 	"lca/internal/matching"
 	"lca/internal/mis"
 	"lca/internal/oracle"
+	"lca/internal/registry"
 	"lca/internal/rnd"
 	"lca/internal/spanner"
 )
@@ -95,61 +98,142 @@ func NewGraphBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // FromEdges builds a graph from an edge list.
 func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 
+// Flat constructors. These predate the registry and are retained as thin
+// wrappers over it so existing code keeps compiling; new code should reach
+// algorithms through NewSession (which owns the oracle, seed, budget and
+// parallel-assembly plumbing) or, for custom oracle chains, through the
+// registry-backed constructors below. See doc.go for the deprecation
+// status.
+
+// mustBuild routes a flat constructor through the registry. The flat
+// constructors keep their historical non-failing signatures; after
+// parameter clamping the registry build cannot fail, so an error here is a
+// registration bug worth a panic.
+func mustBuild[T any](name string, o Oracle, seed Seed, p registry.Params) T {
+	inst, err := registry.Build(name, o, seed, p)
+	if err != nil {
+		panic(fmt.Sprintf("lca: %v", err))
+	}
+	return inst.(T)
+}
+
+// spannerParams maps a SpannerConfig onto registry parameters.
+func spannerParams(cfg SpannerConfig) registry.Params {
+	return registry.Params{
+		"memo":         cfg.Memo,
+		"independence": cfg.Independence,
+		"hitconst":     cfg.HitConst,
+	}
+}
+
+// spannerKParams maps a SpannerKConfig onto registry parameters.
+func spannerKParams(cfg SpannerKConfig) registry.Params {
+	p := spannerParams(cfg.Config)
+	p["l"] = cfg.L
+	p["centerprob"] = cfg.CenterProb
+	p["markprob"] = cfg.MarkProb
+	p["q"] = cfg.Q
+	return p
+}
+
 // NewSpanner3 returns the 3-spanner LCA of Theorem 1.1 (r=2).
-func NewSpanner3(o Oracle, seed Seed) *Spanner3 { return spanner.NewSpanner3(o, seed) }
+// Prefer NewSession and Session.Edge("spanner3", u, v).
+func NewSpanner3(o Oracle, seed Seed) *Spanner3 {
+	return mustBuild[*Spanner3]("spanner3", o, seed, nil)
+}
 
 // NewSpanner3Config returns a configured 3-spanner LCA.
 func NewSpanner3Config(o Oracle, seed Seed, cfg SpannerConfig) *Spanner3 {
-	return spanner.NewSpanner3Config(o, seed, cfg)
+	return mustBuild[*Spanner3]("spanner3", o, seed, spannerParams(cfg))
 }
 
 // NewSpanner5 returns the 5-spanner LCA of Theorem 1.1 (r=3).
-func NewSpanner5(o Oracle, seed Seed) *Spanner5 { return spanner.NewSpanner5(o, seed) }
+// Prefer NewSession and Session.Edge("spanner5", u, v).
+func NewSpanner5(o Oracle, seed Seed) *Spanner5 {
+	return mustBuild[*Spanner5]("spanner5", o, seed, nil)
+}
 
 // NewSpanner5Config returns a configured 5-spanner LCA.
 func NewSpanner5Config(o Oracle, seed Seed, cfg SpannerConfig) *Spanner5 {
-	return spanner.NewSpanner5Config(o, seed, cfg)
+	return mustBuild[*Spanner5]("spanner5", o, seed, spannerParams(cfg))
 }
 
 // NewSpannerK returns the O(k^2)-spanner LCA of Theorem 1.2.
-func NewSpannerK(o Oracle, k int, seed Seed) *SpannerK { return spanner.NewSpannerK(o, k, seed) }
+// Prefer NewSession with WithParam("k", k) and Session.Edge("spannerk", u, v).
+func NewSpannerK(o Oracle, k int, seed Seed) *SpannerK {
+	if k < 1 {
+		k = 1
+	}
+	return mustBuild[*SpannerK]("spannerk", o, seed, registry.Params{"k": k})
+}
 
 // NewSpannerKConfig returns a configured O(k^2)-spanner LCA.
 func NewSpannerKConfig(o Oracle, k int, seed Seed, cfg SpannerKConfig) *SpannerK {
-	return spanner.NewSpannerKConfig(o, k, seed, cfg)
+	if k < 1 {
+		k = 1
+	}
+	p := spannerKParams(cfg)
+	p["k"] = k
+	return mustBuild[*SpannerK]("spannerk", o, seed, p)
 }
 
 // NewSparseSpanning returns the sparse-spanning-graph specialization
 // (k = ceil(log2 n)).
-func NewSparseSpanning(o Oracle, seed Seed) *SpannerK { return spanner.NewSparseSpanning(o, seed) }
+func NewSparseSpanning(o Oracle, seed Seed) *SpannerK {
+	return mustBuild[*SpannerK]("sparse", o, seed, nil)
+}
 
 // NewSuperSpanner returns the Theorem 3.5 building block for parameter r:
 // a stretch-3 construction for edges with both endpoint degrees at least
 // n^{1-1/(2r)}.
 func NewSuperSpanner(o Oracle, r int, seed Seed, cfg SpannerConfig) *SuperSpanner {
-	return spanner.NewSuperSpanner(o, r, seed, cfg)
+	if r < 1 {
+		r = 1
+	}
+	p := spannerParams(cfg)
+	p["r"] = r
+	return mustBuild[*SuperSpanner]("superspanner", o, seed, p)
 }
 
 // NewSpanner5MinDegree returns the full Theorem 3.5 LCA: on graphs with
 // minimum degree at least n^{1/2-1/(2r)} it answers for a 5-spanner with
 // ~O(n^{1+1/r}) edges — sparser than the general-graph 5-spanner for r>3.
 func NewSpanner5MinDegree(o Oracle, r int, seed Seed, cfg SpannerConfig) *Spanner5 {
-	return spanner.NewSpanner5MinDegree(o, r, seed, cfg)
+	if r < 1 {
+		r = 1
+	}
+	p := spannerParams(cfg)
+	p["r"] = r
+	return mustBuild[*Spanner5]("spanner5mindeg", o, seed, p)
 }
 
 // NewMIS returns the maximal-independent-set LCA.
-func NewMIS(o Oracle, seed Seed) *MIS { return mis.New(o, seed) }
+// Prefer NewSession and Session.Vertex("mis", v).
+func NewMIS(o Oracle, seed Seed) *MIS {
+	return mustBuild[*MIS]("mis", o, seed, nil)
+}
 
 // NewMatching returns the maximal-matching / vertex-cover LCA.
-func NewMatching(o Oracle, seed Seed) *Matching { return matching.New(o, seed) }
+// Prefer NewSession and Session.Edge("matching", u, v) or
+// Session.Vertex("vertexcover", v).
+func NewMatching(o Oracle, seed Seed) *Matching {
+	return mustBuild[*Matching]("matching", o, seed, nil)
+}
 
 // NewColoring returns the (Delta+1)-coloring LCA.
-func NewColoring(o Oracle, seed Seed) *Coloring { return coloring.New(o, seed) }
+// Prefer NewSession and Session.Label("coloring", v).
+func NewColoring(o Oracle, seed Seed) *Coloring {
+	return mustBuild[*Coloring]("coloring", o, seed, nil)
+}
 
 // NewApproxMatching returns the (1-eps)-approximate maximum matching LCA
 // with the given number of augmentation rounds (ratio (r+1)/(r+2)).
+// Prefer NewSession with WithParam("rounds", rounds).
 func NewApproxMatching(o Oracle, rounds int, seed Seed) *ApproxMatching {
-	return matching.NewApprox(o, rounds, seed)
+	if rounds < 0 {
+		rounds = 0
+	}
+	return mustBuild[*ApproxMatching]("approxmatching", o, seed, registry.Params{"rounds": rounds})
 }
 
 // NewProbeLimiter wraps an oracle with a hard probe budget; exceeding it

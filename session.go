@@ -1,0 +1,491 @@
+package lca
+
+// Session is the unified front door to every registered algorithm: one
+// object owning the graph, the seed, the oracle plumbing, probe budgets
+// and parallel assembly, dispatching point and batch queries by algorithm
+// name through the internal registry. It replaces the flat per-algorithm
+// constructors as the primary API.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lca/internal/core"
+	"lca/internal/estimate"
+	"lca/internal/oracle"
+	"lca/internal/registry"
+)
+
+// ErrProbeBudget is returned (wrapped) by Session queries that exhaust the
+// session's per-query probe budget.
+var ErrProbeBudget = errors.New("lca: probe budget exceeded")
+
+// AlgoInfo describes one registered algorithm, as discoverable through
+// Session.Algos.
+type AlgoInfo struct {
+	// Name is the registry key accepted by every Session method.
+	Name string
+	// Kind is "edge", "vertex" or "label" and selects which query methods
+	// the algorithm answers.
+	Kind string
+	// Summary is a one-line description.
+	Summary string
+	// Params lists the names of the tunable parameters the algorithm
+	// accepts via WithParam.
+	Params []string
+}
+
+// Session answers LCA queries for one graph under one seed. Construct with
+// NewSession; the zero value is unusable. Point queries are safe for
+// concurrent use (a mutex serializes them — algorithm instances memoize and
+// are not concurrency-safe); batch Build methods construct independent
+// instances per worker and run embarrassingly parallel.
+type Session struct {
+	g      *Graph
+	seed   Seed
+	budget uint64
+	// workers is the worker count for batch builds; 0 selects GOMAXPROCS,
+	// 1 forces serial assembly.
+	workers int
+	params  map[string]any
+
+	mu        sync.Mutex
+	instances map[string]*boundInstance
+}
+
+// boundInstance is one constructed algorithm bound to the session's oracle
+// chain: base oracle, then the optional probe limiter the budget resets
+// around every point query.
+type boundInstance struct {
+	inst  any
+	limit *oracle.LimitOracle
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithSeed sets the master random seed (default 0). Two sessions over the
+// same graph and seed answer identically — including across processes and
+// replicas.
+func WithSeed(seed Seed) SessionOption {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithProbeBudget enforces a hard per-query probe budget: any point query
+// that would exceed b oracle probes fails with an error wrapping
+// ErrProbeBudget instead of probing further. Batch builds also enforce the
+// budget (per query, serially). 0 disables enforcement.
+func WithProbeBudget(b uint64) SessionOption {
+	return func(s *Session) { s.budget = b }
+}
+
+// WithWorkers sets the worker count for batch Build methods. 0 (the
+// default) selects GOMAXPROCS; 1 forces serial assembly. Parallel assembly
+// gives every worker its own algorithm instance and is bit-identical to
+// serial assembly.
+func WithWorkers(w int) SessionOption {
+	return func(s *Session) { s.workers = w }
+}
+
+// WithParam supplies a tunable parameter (for example WithParam("k", 4) or
+// WithParam("memo", true)). The value applies to every algorithm that
+// declares the parameter and is ignored by algorithms that do not, so one
+// session can carry parameters for several algorithms. Values must be int,
+// float64 or bool per the parameter's declared type; mismatches surface as
+// errors from the query that first builds the algorithm.
+func WithParam(name string, value any) SessionOption {
+	return func(s *Session) { s.params[name] = value }
+}
+
+// NewSession returns a session answering queries about g.
+func NewSession(g *Graph, opts ...SessionOption) *Session {
+	s := &Session{
+		g:         g,
+		params:    map[string]any{},
+		instances: map[string]*boundInstance{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Graph returns the session's graph.
+func (s *Session) Graph() *Graph { return s.g }
+
+// Seed returns the session's master seed.
+func (s *Session) Seed() Seed { return s.seed }
+
+// Algos lists every registered algorithm.
+func (s *Session) Algos() []AlgoInfo {
+	ds := registry.All()
+	out := make([]AlgoInfo, 0, len(ds))
+	for _, d := range ds {
+		info := AlgoInfo{Name: d.Name, Kind: string(d.Kind), Summary: d.Summary}
+		for _, p := range d.Params {
+			info.Params = append(info.Params, p.Name)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// declaredParams filters the session's parameters down to those the
+// descriptor declares, so session-wide parameters may span algorithms.
+func (s *Session) declaredParams(d *registry.Descriptor) registry.Params {
+	p := registry.Params{}
+	for name, v := range s.params {
+		if d.HasParam(name) {
+			p[name] = v
+		}
+	}
+	return p
+}
+
+// descriptor resolves algo against the registry and checks its kind.
+func (s *Session) descriptor(algo string, kind registry.Kind) (*registry.Descriptor, error) {
+	d, err := registry.Get(algo)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind != kind {
+		return nil, fmt.Errorf("lca: algorithm %q answers %s queries, not %s", d.Name, d.Kind, kind)
+	}
+	return d, nil
+}
+
+// buildInstance constructs a fresh instance over a new oracle chain,
+// optionally behind a probe limiter.
+func (s *Session) buildInstance(d *registry.Descriptor, p registry.Params) (any, *oracle.LimitOracle, error) {
+	var o Oracle = oracle.New(s.g)
+	var limit *oracle.LimitOracle
+	if s.budget > 0 {
+		limit = oracle.NewLimit(o, s.budget)
+		o = limit
+	}
+	inst, err := d.Build(o, s.seed, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, limit, nil
+}
+
+// instance returns the session's cached point-query instance for algo,
+// constructing it on first use. The cache is keyed by the canonical
+// registry name, so an alias and its canonical name share one instance
+// (and one probe account). Callers must hold s.mu.
+func (s *Session) instance(algo string, kind registry.Kind) (*boundInstance, error) {
+	d, err := s.descriptor(algo, kind)
+	if err != nil {
+		return nil, err
+	}
+	if bi, ok := s.instances[d.Name]; ok {
+		return bi, nil
+	}
+	inst, limit, err := s.buildInstance(d, s.declaredParams(d))
+	if err != nil {
+		return nil, err
+	}
+	bi := &boundInstance{inst: inst, limit: limit}
+	s.instances[d.Name] = bi
+	return bi, nil
+}
+
+// guarded runs one query against a bound instance, resetting the probe
+// budget window first and converting budget exhaustion into an error.
+func (bi *boundInstance) guarded(fn func()) (err error) {
+	if bi.limit != nil {
+		bi.limit.Reset()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(oracle.ErrBudgetExceeded)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("%w (budget %d)", ErrProbeBudget, be.Budget)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Edge answers an edge-membership point query: whether input edge (u,v)
+// belongs to algo's fixed global solution. (u,v) must be an edge of the
+// graph — the LCA contract only defines answers for input edges.
+func (s *Session) Edge(algo string, u, v int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bi, err := s.instance(algo, registry.KindEdge)
+	if err != nil {
+		return false, err
+	}
+	if err := s.checkVertex(u); err != nil {
+		return false, err
+	}
+	if err := s.checkVertex(v); err != nil {
+		return false, err
+	}
+	if !s.g.HasEdge(u, v) {
+		return false, fmt.Errorf("lca: (%d,%d) is not an edge of the graph", u, v)
+	}
+	var in bool
+	err = bi.guarded(func() { in = bi.inst.(core.EdgeLCA).QueryEdge(u, v) })
+	return in, err
+}
+
+// Vertex answers a vertex-membership point query.
+func (s *Session) Vertex(algo string, v int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bi, err := s.instance(algo, registry.KindVertex)
+	if err != nil {
+		return false, err
+	}
+	if err := s.checkVertex(v); err != nil {
+		return false, err
+	}
+	var in bool
+	err = bi.guarded(func() { in = bi.inst.(core.VertexLCA).QueryVertex(v) })
+	return in, err
+}
+
+// Label answers a vertex-labeling point query.
+func (s *Session) Label(algo string, v int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bi, err := s.instance(algo, registry.KindLabel)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.checkVertex(v); err != nil {
+		return 0, err
+	}
+	var label int
+	err = bi.guarded(func() { label = bi.inst.(core.LabelLCA).QueryLabel(v) })
+	return label, err
+}
+
+func (s *Session) checkVertex(v int) error {
+	if v < 0 || v >= s.g.N() {
+		return fmt.Errorf("lca: vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	return nil
+}
+
+// ProbeStats returns the cumulative probe counts of algo's point-query
+// instance (zero if the session has not queried algo yet). Unknown
+// algorithm names are errors, so a typo cannot read as a free algorithm.
+func (s *Session) ProbeStats(algo string) (ProbeStats, error) {
+	d, err := registry.Get(algo)
+	if err != nil {
+		return ProbeStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bi, ok := s.instances[d.Name]
+	if !ok {
+		return ProbeStats{}, nil
+	}
+	if rep, ok := bi.inst.(core.ProbeReporter); ok {
+		return rep.ProbeStats(), nil
+	}
+	return ProbeStats{}, nil
+}
+
+// batchSetup resolves a batch build: descriptor, parameters (memoized by
+// default — batch assembly is exactly the many-queries-one-instance case
+// memoization amortizes; override with WithParam("memo", false)), and a
+// validated first instance that doubles as the first worker's.
+func (s *Session) batchSetup(algo string, kind registry.Kind) (*registry.Descriptor, registry.Params, any, *oracle.LimitOracle, error) {
+	d, err := s.descriptor(algo, kind)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	p := d.WithMemoDefault(s.declaredParams(d))
+	inst, limit, err := s.buildInstance(d, p)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return d, p, inst, limit, nil
+}
+
+// BuildSubgraph materializes algo's full edge solution by querying every
+// edge of the graph, in parallel over the session's worker count (budget
+// enforcement forces serial assembly so exhaustion can abort cleanly).
+func (s *Session) BuildSubgraph(algo string) (*Graph, QueryStats, error) {
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindEdge)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if s.budget > 0 {
+		var h *Graph
+		var qs QueryStats
+		err := runBudgeted(func() {
+			h, qs = core.BuildSubgraph(s.g, budgetEdge{inst.(core.EdgeLCA), limit})
+		})
+		return h, qs, err
+	}
+	first := handoff(inst)
+	h, qs := core.BuildSubgraphParallel(s.g, func() core.EdgeLCA {
+		return s.workerInstance(d, p, first).(core.EdgeLCA)
+	}, s.workers)
+	return h, qs, nil
+}
+
+// BuildVertexSet materializes algo's full vertex solution.
+func (s *Session) BuildVertexSet(algo string) ([]bool, QueryStats, error) {
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindVertex)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if s.budget > 0 {
+		var in []bool
+		var qs QueryStats
+		err := runBudgeted(func() {
+			in, qs = core.BuildVertexSet(s.g, budgetVertex{inst.(core.VertexLCA), limit})
+		})
+		return in, qs, err
+	}
+	first := handoff(inst)
+	in, qs := core.BuildVertexSetParallel(s.g, func() core.VertexLCA {
+		return s.workerInstance(d, p, first).(core.VertexLCA)
+	}, s.workers)
+	return in, qs, nil
+}
+
+// BuildLabels materializes algo's full labeling.
+func (s *Session) BuildLabels(algo string) ([]int, QueryStats, error) {
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindLabel)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if s.budget > 0 {
+		var labels []int
+		var qs QueryStats
+		err := runBudgeted(func() {
+			labels, qs = core.BuildLabels(s.g, budgetLabel{inst.(core.LabelLCA), limit})
+		})
+		return labels, qs, err
+	}
+	first := handoff(inst)
+	labels, qs := core.BuildLabelsParallel(s.g, func() core.LabelLCA {
+		return s.workerInstance(d, p, first).(core.LabelLCA)
+	}, s.workers)
+	return labels, qs, nil
+}
+
+// handoff returns a take-once accessor for the validated first instance;
+// worker factories run concurrently, so consumption is mutex-guarded.
+func handoff(inst any) func() any {
+	var mu sync.Mutex
+	return func() any {
+		mu.Lock()
+		defer mu.Unlock()
+		i := inst
+		inst = nil
+		return i
+	}
+}
+
+// workerInstance hands the prebuilt instance to the first caller and
+// builds fresh ones for the rest.
+func (s *Session) workerInstance(d *registry.Descriptor, p registry.Params, first func() any) any {
+	if inst := first(); inst != nil {
+		return inst
+	}
+	inst, _, err := s.buildInstance(d, p)
+	if err != nil {
+		panic(err) // unreachable: the first build validated the inputs
+	}
+	return inst
+}
+
+// runBudgeted runs a serial batch assembly, converting budget exhaustion
+// into an error.
+func runBudgeted(run func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(oracle.ErrBudgetExceeded)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("%w (budget %d)", ErrProbeBudget, be.Budget)
+		}
+	}()
+	run()
+	return nil
+}
+
+// budgetEdge resets the probe budget window before every query so the
+// budget is per query, not per batch.
+type budgetEdge struct {
+	inner core.EdgeLCA
+	limit *oracle.LimitOracle
+}
+
+func (b budgetEdge) QueryEdge(u, v int) bool {
+	b.limit.Reset()
+	return b.inner.QueryEdge(u, v)
+}
+
+// ProbeStats forwards probe accounting when the wrapped LCA exposes it.
+func (b budgetEdge) ProbeStats() ProbeStats {
+	if rep, ok := b.inner.(core.ProbeReporter); ok {
+		return rep.ProbeStats()
+	}
+	return ProbeStats{}
+}
+
+type budgetVertex struct {
+	inner core.VertexLCA
+	limit *oracle.LimitOracle
+}
+
+func (b budgetVertex) QueryVertex(v int) bool {
+	b.limit.Reset()
+	return b.inner.QueryVertex(v)
+}
+
+// ProbeStats forwards probe accounting when the wrapped LCA exposes it.
+func (b budgetVertex) ProbeStats() ProbeStats {
+	if rep, ok := b.inner.(core.ProbeReporter); ok {
+		return rep.ProbeStats()
+	}
+	return ProbeStats{}
+}
+
+type budgetLabel struct {
+	inner core.LabelLCA
+	limit *oracle.LimitOracle
+}
+
+func (b budgetLabel) QueryLabel(v int) int {
+	b.limit.Reset()
+	return b.inner.QueryLabel(v)
+}
+
+// ProbeStats forwards probe accounting when the wrapped LCA exposes it.
+func (b budgetLabel) ProbeStats() ProbeStats {
+	if rep, ok := b.inner.(core.ProbeReporter); ok {
+		return rep.ProbeStats()
+	}
+	return ProbeStats{}
+}
+
+// EstimateFraction estimates the fraction of elements (edges for edge-kind
+// algorithms, vertices for vertex-kind) that belong to algo's solution
+// from the given number of sampled point queries, with a Hoeffding
+// confidence radius at level 1-delta. It runs on a fresh unbudgeted
+// instance, memoized when the algorithm supports it (the estimator issues
+// many queries; pass WithParam("memo", false) to override); sampling seeds
+// derive from the session seed and the algorithm name, so repeated calls
+// are deterministic.
+func (s *Session) EstimateFraction(algo string, samples int, delta float64) (EstimateResult, error) {
+	d, err := registry.Get(algo)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	return estimate.Fraction(d, s.g, s.seed, s.declaredParams(d), samples, delta)
+}

@@ -1,0 +1,254 @@
+package lca_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lca"
+)
+
+func sessionGraph() *lca.Graph { return lca.Gnp(150, 0.08, 11) }
+
+func TestSessionPointQueries(t *testing.T) {
+	g := sessionGraph()
+	s := lca.NewSession(g, lca.WithSeed(7))
+	e := g.Edges()[0]
+	in, err := s.Edge("spanner3", e.U, e.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with the flat constructor for the same (graph, seed).
+	if want := lca.NewSpanner3(lca.NewOracle(g), 7).QueryEdge(e.U, e.V); in != want {
+		t.Fatalf("Session.Edge = %v, flat constructor = %v", in, want)
+	}
+	if _, err := s.Vertex("mis", 3); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Label("coloring", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0 || c > g.MaxDegree() {
+		t.Fatalf("color %d outside [0, Delta]", c)
+	}
+	ps, err := s.ProbeStats("spanner3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Total() == 0 {
+		t.Error("no probes accounted for spanner3")
+	}
+	if _, err := s.ProbeStats("spannr3"); err == nil {
+		t.Error("typo'd algorithm name accepted by ProbeStats")
+	}
+}
+
+func TestSessionAliasSharesInstance(t *testing.T) {
+	g := sessionGraph()
+	s := lca.NewSession(g, lca.WithSeed(7))
+	e := g.Edges()[0]
+	if _, err := s.Edge("3", e.U, e.V); err != nil {
+		t.Fatal(err)
+	}
+	// The alias query must be accounted under the canonical name: one
+	// instance, one probe account, regardless of which name is used.
+	canon, err := s.ProbeStats("spanner3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Total() == 0 {
+		t.Error("alias query not accounted under canonical name")
+	}
+	aliased, err := s.ProbeStats("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased != canon {
+		t.Error("alias and canonical probe stats differ")
+	}
+}
+
+func TestSessionConsistentAcrossSessions(t *testing.T) {
+	g := sessionGraph()
+	s1 := lca.NewSession(g, lca.WithSeed(42))
+	s2 := lca.NewSession(g, lca.WithSeed(42))
+	for i, e := range g.Edges() {
+		if i >= 25 {
+			break
+		}
+		a, err1 := s1.Edge("matching", e.U, e.V)
+		b, err2 := s2.Edge("matching", e.U, e.V)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("sessions with equal seeds disagree on edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	g := sessionGraph()
+	s := lca.NewSession(g)
+	if _, err := s.Edge("nosuch", 0, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := s.Edge("mis", 0, 1); err == nil || !strings.Contains(err.Error(), "vertex") {
+		t.Errorf("kind mismatch not reported: %v", err)
+	}
+	if _, err := s.Vertex("mis", -1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := s.Vertex("mis", g.N()); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := s.BuildSubgraph("coloring"); err == nil {
+		t.Error("BuildSubgraph on a label-kind algorithm accepted")
+	}
+	// Non-edges are rejected: the LCA contract only defines answers for
+	// input edges (matches the HTTP surface's 400).
+	nonU, nonV := -1, -1
+outer:
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				nonU, nonV = u, v
+				break outer
+			}
+		}
+	}
+	if nonU >= 0 {
+		if _, err := s.Edge("matching", nonU, nonV); err == nil {
+			t.Error("non-edge query accepted")
+		}
+	}
+}
+
+func TestSessionParams(t *testing.T) {
+	g := lca.Torus(12, 12)
+	// k is declared by spannerk and silently irrelevant to mis: one
+	// session can carry parameters for several algorithms.
+	s := lca.NewSession(g, lca.WithSeed(3), lca.WithParam("k", 2), lca.WithParam("memo", true))
+	h, _, err := s.BuildSubgraph("spannerk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lca.SpannerKConfig{Config: lca.SpannerConfig{Memo: true}}
+	want, _ := lca.BuildSubgraph(g, lca.NewSpannerKConfig(lca.NewOracle(g), 2, 3, cfg))
+	if h.M() != want.M() {
+		t.Fatalf("session build has %d edges, flat build %d", h.M(), want.M())
+	}
+	if _, err := s.Vertex("mis", 0); err != nil {
+		t.Fatalf("undeclared session param leaked into mis: %v", err)
+	}
+	// A mistyped value for a declared param is an error.
+	bad := lca.NewSession(g, lca.WithParam("k", "two"))
+	if _, err := bad.Edge("spannerk", 0, 1); err == nil {
+		t.Error("mistyped parameter accepted")
+	}
+}
+
+func TestSessionBuildMatchesSerial(t *testing.T) {
+	g := sessionGraph()
+	s := lca.NewSession(g, lca.WithSeed(9), lca.WithWorkers(4))
+	h, stats, err := s.BuildSubgraph("spanner3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != g.M() {
+		t.Fatalf("stats cover %d queries, want %d", stats.Queries, g.M())
+	}
+	serial, _ := lca.BuildSubgraph(g, lca.NewSpanner3(lca.NewOracle(g), 9))
+	if h.M() != serial.M() {
+		t.Fatalf("parallel session build %d edges, serial %d", h.M(), serial.M())
+	}
+	for _, e := range serial.Edges() {
+		if !h.HasEdge(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) missing from session build", e.U, e.V)
+		}
+	}
+	in, _, err := s.BuildVertexSet("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lca.VerifyMaximalIndependentSet(g, in); err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := s.BuildLabels("coloring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lca.VerifyColoring(g, labels, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionProbeBudget(t *testing.T) {
+	g := sessionGraph()
+	// A one-probe budget must trip on any real query.
+	s := lca.NewSession(g, lca.WithSeed(5), lca.WithProbeBudget(1))
+	if _, err := s.Vertex("mis", 0); !errors.Is(err, lca.ErrProbeBudget) {
+		t.Fatalf("want ErrProbeBudget, got %v", err)
+	}
+	if _, _, err := s.BuildVertexSet("mis"); !errors.Is(err, lca.ErrProbeBudget) {
+		t.Fatalf("budgeted build: want ErrProbeBudget, got %v", err)
+	}
+	// A generous budget must not trip, and answers must match the
+	// unbudgeted session.
+	roomy := lca.NewSession(g, lca.WithSeed(5), lca.WithProbeBudget(1_000_000))
+	free := lca.NewSession(g, lca.WithSeed(5))
+	for v := 0; v < 20; v++ {
+		a, err := roomy.Vertex("mis", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := free.Vertex("mis", v)
+		if a != b {
+			t.Fatalf("budgeted and unbudgeted sessions disagree on vertex %d", v)
+		}
+	}
+}
+
+func TestSessionEstimate(t *testing.T) {
+	g := sessionGraph()
+	s := lca.NewSession(g, lca.WithSeed(13))
+	res, err := s.EstimateFraction("mis", 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fraction < 0 || res.Fraction > 1 || res.Samples != 200 {
+		t.Fatalf("estimate %+v", res)
+	}
+	again, err := s.EstimateFraction("mis", 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fraction != again.Fraction {
+		t.Error("repeated estimates are not deterministic")
+	}
+	if _, err := s.EstimateFraction("spanner3", 100, 0.05); err != nil {
+		t.Fatalf("edge-kind estimate: %v", err)
+	}
+	if _, err := s.EstimateFraction("coloring", 100, 0.05); err == nil {
+		t.Error("label-kind estimate accepted")
+	}
+	if _, err := s.EstimateFraction("mis", 0, 0.05); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestSessionAlgos(t *testing.T) {
+	s := lca.NewSession(sessionGraph())
+	algos := s.Algos()
+	if len(algos) < 7 {
+		t.Fatalf("only %d algorithms discoverable", len(algos))
+	}
+	kinds := map[string]string{}
+	for _, a := range algos {
+		kinds[a.Name] = a.Kind
+	}
+	if kinds["spanner3"] != "edge" || kinds["mis"] != "vertex" || kinds["coloring"] != "label" {
+		t.Fatalf("unexpected catalog %v", kinds)
+	}
+}
