@@ -1,9 +1,12 @@
-// Command lcagen generates synthetic graph workloads in edge-list text
-// format for use with lcaspan and lcaverify.
+// Command lcagen generates synthetic graph workloads for the cmd/
+// binaries, in edge-list text format or CSR binary format (-format csr) —
+// the latter is the save-once-probe-cold input of the disk-backed source
+// backend (lcaserve -graph csr:g.csr).
 //
 // Usage:
 //
 //	lcagen -kind gnp -n 1000 -p 0.05 [-seed 7] [-out graph.txt]
+//	lcagen -kind gnp -n 100000 -p 0.001 -format csr -out g.csr
 //	lcagen -kind regular -n 1000 -d 4
 //	lcagen -kind powerlaw -n 1000 -beta 2.5 -avgdeg 8
 //	lcagen -kind torus -rows 32 -cols 32
@@ -38,6 +41,7 @@ func main() {
 		core   = flag.Int("core", 100, "core size (densecore)")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "edgelist", "output format: edgelist (text) or csr (binary, for cold probing)")
 	)
 	flag.Parse()
 
@@ -79,9 +83,17 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
+	switch *format {
+	case "edgelist":
+		err = graph.WriteEdgeList(w, g)
+	case "csr":
+		err = graph.WriteCSR(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q (want edgelist or csr)", *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcagen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "lcagen: %s n=%d m=%d maxdeg=%d\n", *kind, g.N(), g.M(), g.MaxDegree())
+	fmt.Fprintf(os.Stderr, "lcagen: %s n=%d m=%d maxdeg=%d (%s)\n", *kind, g.N(), g.M(), g.MaxDegree(), *format)
 }

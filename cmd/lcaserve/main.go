@@ -1,22 +1,31 @@
 // Command lcaserve serves LCA queries over HTTP: the deployment shape of
-// the model. The process holds only the graph and a seed; every request is
-// answered by a fresh LCA instance, so replicas sharing the seed serve
-// consistent slices of the same global solution.
+// the model. The process holds only probe-source handles and a seed; every
+// request is answered by a fresh LCA instance, so replicas sharing the
+// seed serve consistent slices of the same global solution — including
+// over sources too large to ever hold in memory.
 //
 // Usage:
 //
 //	lcaserve -graph g.txt -addr :8080 -seed 2019
+//	lcaserve -graph ring:n=1000000000            # implicit billion-vertex source
+//	lcaserve -graph csr:web.csr                  # disk-backed CSR, probed cold
+//
+// -graph takes a source spec: a family form (ring:n=N, torus:rows=R,cols=C,
+// circulant:n=N,d=D, blockrandom:n=N,d=D, csr:path, edgelist:path) or a
+// bare edge-list file path.
 //
 // Endpoints (registry-generic: every algorithm in /algos is queryable
 // through its kind's route, with tunable parameters as query parameters):
 //
-//	GET /healthz
-//	GET /graph
-//	GET /algos
-//	GET /edge/{algo}?u=U&v=V[&param=...]     e.g. /edge/spannerk?u=3&v=9&k=4
-//	GET /vertex/{algo}?v=V[&param=...]       e.g. /vertex/mis?v=7
-//	GET /label/{algo}?v=V[&param=...]        e.g. /label/coloring?v=7
-//	GET /estimate/{algo}?samples=S[&param=...]
+//	GET  /healthz
+//	GET  /graph[?source=NAME]
+//	GET  /algos
+//	GET  /sources                             discovery: open sources + spec families
+//	POST /sources?name=NAME&spec=SPEC         open another source at runtime
+//	GET  /edge/{algo}?u=U&v=V[&param=...]     e.g. /edge/spannerk?u=3&v=9&k=4
+//	GET  /vertex/{algo}?v=V[&param=...]       e.g. /vertex/mis?v=7
+//	GET  /label/{algo}?v=V[&param=...]        e.g. /label/coloring?v=7
+//	GET  /estimate/{algo}?samples=S[&param=...]
 package main
 
 import (
@@ -27,36 +36,41 @@ import (
 	"os"
 	"time"
 
-	"lca/internal/graph"
 	"lca/internal/rnd"
 	"lca/internal/serve"
+	"lca/internal/source"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list graph file (required)")
+		graphSpec = flag.String("graph", "", "graph source spec: family:args (ring:n=N, csr:path, ...) or an edge-list file path (required)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		seed      = flag.Uint64("seed", 2019, "random seed shared by all replicas")
+		infoCap   = flag.Int("graphcap", serve.DefaultGraphInfoCap, "max n for which /graph may probe O(n) summaries of capability-less sources (413 above)")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "lcaserve: -graph is required")
+	if *graphSpec == "" {
+		fmt.Fprintln(os.Stderr, "lcaserve: -graph is required; source families:")
+		for _, f := range source.Families() {
+			fmt.Fprintln(os.Stderr, "  ", f.Usage)
+		}
 		os.Exit(2)
 	}
-	f, err := os.Open(*graphPath)
+	src, err := source.Parse(*graphSpec, rnd.Seed(*seed))
 	if err != nil {
 		log.Fatalf("lcaserve: %v", err)
 	}
-	g, err := graph.ReadEdgeList(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("lcaserve: %v", err)
+	desc := fmt.Sprintf("n=%d", src.N())
+	if mc, ok := src.(source.EdgeCounter); ok {
+		desc += fmt.Sprintf(" m=%d", mc.M())
 	}
-	log.Printf("lcaserve: graph n=%d m=%d maxdeg=%d, seed=%d, listening on %s",
-		g.N(), g.M(), g.MaxDegree(), *seed, *addr)
+	if db, ok := src.(source.DegreeBounder); ok {
+		desc += fmt.Sprintf(" maxdeg=%d", db.MaxDegree())
+	}
+	log.Printf("lcaserve: source %q %s, seed=%d, listening on %s", *graphSpec, desc, *seed, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(g, rnd.Seed(*seed)).Handler(),
+		Handler:           serve.NewFromSource(src, *graphSpec, rnd.Seed(*seed), serve.WithGraphInfoCap(*infoCap)).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

@@ -8,13 +8,20 @@
 // labeling assembly) and the invariant check is the one the algorithm's
 // descriptor ships.
 //
+// -graph takes a source spec — a bare edge-list path, or any family the
+// source layer understands (ring:n=10000, csr:g.csr, blockrandom:n=5000,d=6,
+// ...). Verification materializes the full solution, so non-materialized
+// sources are first probed into memory, guarded by -maxn: auditing a
+// billion-vertex source makes no sense, sampling its point queries does
+// (see Session.EstimateFraction or /estimate).
+//
 // Usage:
 //
 //	lcaverify -list                                # print the catalog
 //	lcaverify -graph g.txt -alg spanner3           # stretch+connectivity
 //	lcaverify -graph g.txt -alg spannerk -param k=3
-//	lcaverify -graph g.txt -alg mis                # independence+maximality
-//	lcaverify -graph g.txt -alg matching           # validity+maximality
+//	lcaverify -graph torus:rows=40,cols=40 -alg mis
+//	lcaverify -graph csr:g.csr -alg matching       # validity+maximality
 //	lcaverify -graph g.txt -alg coloring           # properness
 package main
 
@@ -25,10 +32,10 @@ import (
 	"strings"
 
 	"lca/internal/core"
-	"lca/internal/graph"
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
+	"lca/internal/source"
 
 	// Register the built-in algorithm catalog.
 	_ "lca/internal/coloring"
@@ -47,10 +54,11 @@ func (p *paramFlags) Set(v string) error { *p = append(*p, v); return nil }
 func main() {
 	var params paramFlags
 	var (
-		graphPath = flag.String("graph", "", "edge-list graph file (required unless -list)")
+		graphSpec = flag.String("graph", "", "graph source spec: family:args or an edge-list file path (required unless -list)")
 		alg       = flag.String("alg", "spanner3", "algorithm name or alias (see -list)")
 		seed      = flag.Uint64("seed", 2019, "random seed")
 		list      = flag.Bool("list", false, "list registered algorithms and exit")
+		maxN      = flag.Int("maxn", 1<<22, "refuse to materialize sources with more vertices than this")
 	)
 	flag.Var(&params, "param", "algorithm parameter as name=value (repeatable)")
 	flag.Parse()
@@ -59,8 +67,11 @@ func main() {
 		printCatalog()
 		return
 	}
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "lcaverify: -graph is required")
+	if *graphSpec == "" {
+		fmt.Fprintln(os.Stderr, "lcaverify: -graph is required; source families:")
+		for _, f := range source.Families() {
+			fmt.Fprintln(os.Stderr, "  ", f.Usage)
+		}
 		os.Exit(2)
 	}
 	d, err := registry.Get(*alg)
@@ -76,16 +87,15 @@ func main() {
 	// unless the caller chose explicitly.
 	p = d.WithMemoDefault(p)
 
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		fail(err)
-	}
-	g, err := graph.ReadEdgeList(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
 	s := rnd.Seed(*seed)
+	src, err := source.Parse(*graphSpec, s)
+	if err != nil {
+		fail(err)
+	}
+	g, err := source.Materialize(src, *maxN)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d | alg=%s kind=%s seed=%d\n",
 		g.N(), g.M(), g.MaxDegree(), d.Name, d.Kind, *seed)
 

@@ -37,9 +37,44 @@
 //
 // Session.Algos lists the catalog; the same registry drives the HTTP
 // server (cmd/lcaserve, with /algos discovery), the benchmark suite
-// (cmd/lcabench, including the REG sweep) and the invariant auditor
-// (cmd/lcaverify) — registering a new algorithm makes it appear on all of
-// them with no further wiring.
+// (cmd/lcabench, including the REG and SRC sweeps) and the invariant
+// auditor (cmd/lcaverify) — registering a new algorithm makes it appear on
+// all of them with no further wiring.
+//
+// # Probe sources: inputs too large to read
+//
+// The input side is pluggable too. A Source is anything answering the
+// model's four probes (N, Degree, Neighbor, Adjacency); a Session can run
+// over any of them, and the whole point of the model — answering queries
+// about inputs too large to ever read — becomes operational:
+//
+//	src, err := lca.OpenSource("ring:n=1000000000", 7) // 24 bytes of state
+//	s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+//	in, err := s.Vertex("mis", 123_456_789)  // O(1) probes, zero O(n) work
+//	est, err := s.EstimateFraction("matching", 2000, 0.05)
+//
+// Spec strings name three backend families (see OpenSource and
+// SourceFamilies):
+//
+//   - Implicit deterministic generators, synthesized per probe from the
+//     parameters and seed with no per-vertex state: ring:n=N,
+//     grid:rows=R,cols=C, torus:rows=R,cols=C, circulant:n=N,d=D
+//     (hash-based d-regular) and blockrandom:n=N,d=D (a G(n, d/n)-style
+//     random family from HMAC-style per-block derived seeds).
+//   - In-memory graphs: a bare path or edgelist:path loads an edge-list
+//     file; NewSession(g) is the same adapter for programmatic graphs.
+//   - Disk-backed CSR (csr:path): a graph saved once — lcagen -format
+//     csr, or graph.WriteCSR/WriteCSRStream — and probed cold through
+//     positioned reads (Degree: 1 read, Neighbor: 2, Adjacency: binary
+//     search), with O(1) resident state.
+//
+// Point queries and EstimateFraction work on every source. The batch
+// Build methods enumerate all elements, so they require an in-memory
+// graph and return ErrNotMaterialized otherwise; use
+// internal/source.Materialize (or lcaverify -maxn) to audit small
+// instances of a source family. The HTTP server opens sources at runtime
+// (POST /sources?name=...&spec=...) and serves point queries against any
+// of them by name.
 //
 // # What is implemented
 //

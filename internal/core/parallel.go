@@ -84,6 +84,11 @@ func BuildSubgraphParallel(g *graph.Graph, factory func() EdgeLCA, workers int) 
 }
 
 // BuildLabelsParallel is the labeling analogue of BuildSubgraphParallel.
+// Label queries recurse through overlapping lower-priority neighborhoods,
+// so the Session's worker factory builds instances over one shared
+// concurrency-safe oracle.CachingOracle: a probe one worker pays for
+// answers every worker's repeats, and answers are unchanged (cached cells
+// are pure functions of graph and seed).
 func BuildLabelsParallel(g *graph.Graph, factory func() LabelLCA, workers int) ([]int, QueryStats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -75,12 +75,11 @@ func VertexFraction(n int, lca core.VertexLCA, s int, delta float64, seed rnd.Se
 
 // EdgeSampler provides uniform random edges of the input graph. In the
 // sublinear-time literature this is the standard "random edge" oracle
-// extension; over a concrete graph it is trivially implementable.
+// extension; concrete graphs and closed-form implicit sources implement it
+// (it coincides with source.RandomEdger).
 type EdgeSampler interface {
 	// RandomEdge returns a uniformly random edge.
 	RandomEdge(prg *rnd.PRG) (u, v int)
-	// M returns the number of edges.
-	M() int
 }
 
 // EdgeFraction estimates the fraction of edges selected by the LCA

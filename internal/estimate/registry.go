@@ -2,51 +2,74 @@ package estimate
 
 // Registry-generic estimation: the bridge every surface (HTTP estimate
 // endpoint, Session.EstimateFraction) shares, so kind dispatch, seed
-// derivation and the memoization default live in exactly one place.
+// derivation and the memoization default live in exactly one place. It
+// runs against any probe source — estimating over a billion-vertex
+// implicit source costs the same bounded number of point queries as over
+// an in-memory graph.
 
 import (
 	"fmt"
 	"hash/fnv"
 
 	"lca/internal/core"
-	"lca/internal/graph"
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
+	"lca/internal/source"
 )
 
 // Fraction estimates the fraction of elements (edges for an edge-kind
 // algorithm, vertices for a vertex-kind one) in the algorithm's solution
 // from sampled point queries, with a Hoeffding confidence radius at level
-// 1-delta. The instance is built fresh over g; because the estimator
+// 1-delta. The instance is built fresh over src; because the estimator
 // issues many queries against it, memoization is enabled by default for
 // algorithms that support it (pass memo explicitly to override). The
 // sampling seed derives from seed and the algorithm name, so repeated
 // calls are deterministic.
-func Fraction(d *registry.Descriptor, g *graph.Graph, seed rnd.Seed, p registry.Params, samples int, delta float64) (Result, error) {
+//
+// Edge-kind estimation needs uniform random edges, so src must implement
+// the source.RandomEdger capability (every in-memory graph and implicit
+// closed-form family does).
+func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p registry.Params, samples int, delta float64) (Result, error) {
 	if samples < 1 {
 		return Result{}, fmt.Errorf("algorithm %q: samples must be >= 1, got %d", d.Name, samples)
 	}
 	if d.Kind == registry.KindLabel {
 		return Result{}, fmt.Errorf("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name)
 	}
-	if g.N() == 0 {
-		return Result{}, fmt.Errorf("algorithm %q: graph has no vertices to sample", d.Name)
+	if src.N() == 0 {
+		return Result{}, fmt.Errorf("algorithm %q: source has no vertices to sample", d.Name)
 	}
-	inst, err := d.Build(oracle.New(g), seed, d.WithMemoDefault(p))
+	inst, err := d.Build(oracle.New(src), seed, d.WithMemoDefault(p))
 	if err != nil {
 		return Result{}, err
 	}
 	sampleSeed := seed.Derive(hashName(d.Name))
 	switch d.Kind {
 	case registry.KindEdge:
-		if g.M() == 0 {
-			return Result{}, fmt.Errorf("algorithm %q: graph has no edges to sample", d.Name)
+		sampler, ok := src.(source.RandomEdger)
+		if !ok {
+			return Result{}, fmt.Errorf("algorithm %q: source does not support random edge sampling (no RandomEdge capability)", d.Name)
 		}
-		return EdgeFraction(g, inst.(core.EdgeLCA), samples, delta, sampleSeed), nil
+		if mc, known := src.(source.EdgeCounter); known && mc.M() == 0 {
+			return Result{}, fmt.Errorf("algorithm %q: source has no edges to sample", d.Name)
+		}
+		return edgeFractionSafe(d.Name, sampler, inst.(core.EdgeLCA), samples, delta, sampleSeed)
 	default: // registry.KindVertex
-		return VertexFraction(g.N(), inst.(core.VertexLCA), samples, delta, sampleSeed), nil
+		return VertexFraction(src.N(), inst.(core.VertexLCA), samples, delta, sampleSeed), nil
 	}
+}
+
+// edgeFractionSafe converts RandomEdge panics — edgeless or effectively
+// edgeless sources whose edge count is unknowable in O(1) — into errors,
+// so servers answer 4xx envelopes instead of dying mid-request.
+func edgeFractionSafe(name string, sampler EdgeSampler, lca core.EdgeLCA, samples int, delta float64, seed rnd.Seed) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("algorithm %q: edge sampling failed: %v", name, r)
+		}
+	}()
+	return EdgeFraction(sampler, lca, samples, delta, seed), nil
 }
 
 func hashName(name string) uint64 {

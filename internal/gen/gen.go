@@ -9,6 +9,7 @@ package gen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"lca/internal/graph"
 	"lca/internal/rnd"
@@ -336,6 +337,128 @@ func DenseCore(n, coreSize int, peripheryDeg float64, seed rnd.Seed) *graph.Grap
 		}
 	}
 	return b.BuildShuffled(rnd.NewPRG(seed.Derive(0xdc)))
+}
+
+// CirculantOffsets derives the offset set of a hash-based d-regular
+// circulant graph from a seed: d/2 distinct offsets sampled uniformly from
+// [1, (n-1)/2], sorted. The construction needs d even (every offset
+// contributes two neighbors) and d/2 <= (n-1)/2 so enough distinct offsets
+// exist. The same derivation backs the implicit "circulant" source family,
+// so a materialized Circulant graph and the probe-native backend agree
+// edge-for-edge.
+func CirculantOffsets(n, d int, seed rnd.Seed) ([]int, error) {
+	if d < 0 || d%2 != 0 {
+		return nil, fmt.Errorf("gen: circulant degree %d must be even and non-negative", d)
+	}
+	if d == 0 {
+		return nil, nil
+	}
+	k := d / 2
+	limit := (n - 1) / 2
+	if k > limit {
+		return nil, fmt.Errorf("gen: circulant degree %d needs %d distinct offsets but n=%d allows only %d", d, k, n, limit)
+	}
+	prg := rnd.NewPRG(seed.Derive(0xc19c))
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		o := 1 + prg.Intn(limit)
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Circulant materializes the circulant graph on n vertices with the given
+// offsets: v is adjacent to (v±o) mod n for every offset o. Offsets must be
+// distinct and in [1, (n-1)/2], which makes the graph exactly
+// 2*len(offsets)-regular with n*len(offsets) edges.
+func Circulant(n int, offsets []int) (*graph.Graph, error) {
+	seen := make(map[int]bool, len(offsets))
+	for _, o := range offsets {
+		if o < 1 || o > (n-1)/2 {
+			return nil, fmt.Errorf("gen: circulant offset %d out of range [1,%d]", o, (n-1)/2)
+		}
+		if seen[o] {
+			return nil, fmt.Errorf("gen: duplicate circulant offset %d", o)
+		}
+		seen[o] = true
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for _, o := range offsets {
+			b.AddEdge(v, (v+o)%n)
+		}
+	}
+	return b.Build(), nil
+}
+
+// BlockRandomProb returns the per-pair edge probability that gives the
+// block-random family mean degree ~avgDeg within blocks of the given size.
+func BlockRandomProb(block int, avgDeg float64) float64 {
+	if block < 2 {
+		return 0
+	}
+	p := avgDeg / float64(block-1)
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// BlockRandomEdge reports whether {x, y} — two distinct vertices of the
+// same block — is an edge of the block-random graph under the master seed.
+// The decision derives a per-block sub-seed HMAC-style (seed keyed by the
+// block index) and hashes it with the pair, so any vertex's neighborhood is
+// recomputable from the short seed alone with no shared state — the
+// property the implicit "blockrandom" source backend relies on.
+func BlockRandomEdge(seed rnd.Seed, block, x, y int, p float64) bool {
+	if x == y || p <= 0 {
+		return false
+	}
+	lo, hi := x, y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	bseed := seed.Derive(0xb10c_0000_0000_0000 | uint64(block))
+	h := uint64(bseed.Derive(rnd.Pair(uint64(lo), uint64(hi))))
+	return float64(h>>11)/(1<<53) < p
+}
+
+// BlockRandom materializes the block-random graph: vertices are split into
+// consecutive blocks of the given size, and each block independently holds
+// a G(b, p)-style random subgraph with p = avgDeg/(block-1), every decision
+// derived from a per-block sub-seed. It is the materialized counterpart of
+// the implicit "blockrandom" source family — a G(n, d/n)-flavored degree
+// distribution whose adjacency is synthesizable locally.
+func BlockRandom(n, block int, avgDeg float64, seed rnd.Seed) *graph.Graph {
+	if block < 2 {
+		block = 2
+	}
+	p := BlockRandomProb(block, avgDeg)
+	b := graph.NewBuilder(n)
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		blk := lo / block
+		for x := lo; x < hi; x++ {
+			for y := x + 1; y < hi; y++ {
+				if BlockRandomEdge(seed, blk, x, y, p) {
+					b.AddEdge(x, y)
+				}
+			}
+		}
+	}
+	return b.Build()
 }
 
 // Barbell returns two cliques of size k joined by a path of length

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	b := NewBuilder(9)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {7, 5}, {0, 8}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadCSRHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != int64(g.N()) || h.Entries != int64(2*g.M()) || !h.Sorted {
+		t.Fatalf("header = %+v, want n=%d entries=%d sorted", h, g.N(), 2*g.M())
+	}
+	got, err := ReadCSR(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		for i := 0; i < g.Degree(v); i++ {
+			if got.Neighbor(v, i) != g.Neighbor(v, i) {
+				t.Fatalf("Neighbor(%d,%d) = %d, want %d", v, i, got.Neighbor(v, i), g.Neighbor(v, i))
+			}
+		}
+	}
+}
+
+func TestWriteCSRStreamRejectsOversizedN(t *testing.T) {
+	var buf bytes.Buffer
+	n := int(int64(1)<<31) + 2 // above the int32 cell space
+	err := WriteCSRStream(&buf, n, func(int) int { return 0 }, func(int, int) int { return -1 })
+	if err == nil {
+		t.Fatal("WriteCSRStream accepted n beyond the int32 vertex space")
+	}
+}
+
+func TestCSRRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSRHeader(bytes.NewReader([]byte("not a csr file at all"))); err == nil {
+		t.Fatal("garbage accepted as CSR header")
+	}
+	var empty bytes.Buffer
+	if err := WriteCSR(&empty, NewBuilder(0).Build()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSR(bytes.NewReader(empty.Bytes())); err != nil {
+		t.Fatalf("empty graph round trip: %v", err)
+	}
+}

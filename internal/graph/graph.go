@@ -87,6 +87,11 @@ func (g *Graph) AdjacencyIndex(u, v int) int {
 	return -1
 }
 
+// Adjacency is AdjacencyIndex under the probe-model name, making *Graph
+// satisfy the source.Source probe substrate directly (the in-memory
+// adapter backend of internal/source).
+func (g *Graph) Adjacency(u, v int) int { return g.AdjacencyIndex(u, v) }
+
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	_, ok := g.pos[pairKey(u, v)]

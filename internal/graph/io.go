@@ -1,6 +1,9 @@
 package graph
 
-// Edge-list text serialization. The format is deliberately trivial:
+// Serialization. Two formats live here:
+//
+// Edge-list text — deliberately trivial, for small inputs and diffable
+// fixtures:
 //
 //	n m
 //	u v
@@ -8,11 +11,30 @@ package graph
 //
 // one edge per line in canonical orientation, so files diff cleanly and
 // external tools can produce inputs for the cmd/ binaries.
+//
+// CSR binary — the cold-probe format behind the disk-backed source backend
+// (internal/source.OpenCSR): a graph is saved once and then probed without
+// ever loading O(n) state. Layout, all fixed-width little-endian:
+//
+//	offset 0:  magic "LCACSR1\n" (8 bytes)
+//	offset 8:  n int64 (vertices)
+//	offset 16: entries int64 (adjacency cells = 2m)
+//	offset 24: flags uint32 (bit 0: every adjacency list is sorted)
+//	offset 28: reserved uint32 (zero)
+//	offset 32: offsets, (n+1) x int64 — offsets[v] is the index of v's
+//	           first adjacency cell; offsets[n] == entries
+//	then:      neighbors, entries x int32, concatenated in probe order
+//
+// Degree(v) is two offset reads, Neighbor(v,i) one more 4-byte read, and
+// with the sorted flag Adjacency(u,v) is a binary search — every probe is
+// O(1) or O(log deg) seeks with zero resident state.
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -85,4 +107,190 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: header declares %d edges, parsed %d distinct", m, g.M())
 	}
 	return g, nil
+}
+
+// CSR binary format constants; see the package comment for the layout.
+const (
+	csrMagic = "LCACSR1\n"
+	// CSRHeaderSize is the byte offset at which the offset table starts.
+	CSRHeaderSize = 32
+	// CSRSortedFlag marks files whose adjacency lists are all sorted,
+	// enabling binary-search Adjacency probes.
+	CSRSortedFlag = 1 << 0
+)
+
+// CSRHeader is the decoded fixed-size header of a CSR file, exposing the
+// byte layout to cold-probing readers.
+type CSRHeader struct {
+	// N is the number of vertices.
+	N int64
+	// Entries is the number of adjacency cells (2m).
+	Entries int64
+	// Sorted reports whether every adjacency list is sorted ascending.
+	Sorted bool
+}
+
+// OffsetPos returns the byte position of offsets[v].
+func (h CSRHeader) OffsetPos(v int64) int64 { return CSRHeaderSize + 8*v }
+
+// NeighborPos returns the byte position of adjacency cell i.
+func (h CSRHeader) NeighborPos(i int64) int64 { return CSRHeaderSize + 8*(h.N+1) + 4*i }
+
+// WriteCSR serializes g in CSR binary format. Adjacency lists are written
+// in probe order; the sorted flag is set iff every list is ascending, so
+// shuffled builds round-trip with their order (and probe answers) intact.
+func WriteCSR(w io.Writer, g *Graph) error {
+	return WriteCSRStream(w, g.N(), g.Degree, g.Neighbor)
+}
+
+// WriteCSRStream writes CSR binary format from any (degree, neighbor)
+// probe pair, streaming — the writer never holds the adjacency in memory,
+// so implicit and disk-backed sources of any edge count can be saved. The
+// probe functions are consulted twice per cell (one pass for offsets, one
+// for neighbors). Neighbor cells are int32, so the vertex count must fit
+// the int32 ID space; larger n is rejected up front (a silent uint32 wrap
+// would corrupt IDs on disk).
+func WriteCSRStream(w io.Writer, n int, degree func(v int) int, neighbor func(v, i int) int) error {
+	if n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if int64(n) > math.MaxInt32+1 {
+		return fmt.Errorf("graph: n=%d exceeds the int32 vertex space of the CSR format", n)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var entries int64
+	for v := 0; v < n; v++ {
+		d := degree(v)
+		if d < 0 {
+			return fmt.Errorf("graph: negative degree %d at vertex %d", d, v)
+		}
+		entries += int64(d)
+	}
+	if _, err := bw.WriteString(csrMagic); err != nil {
+		return err
+	}
+	var buf [8]byte
+	writeU64 := func(x uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		_, err := bw.Write(buf[:8])
+		return err
+	}
+	writeU32 := func(x uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], x)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	// The sorted flag must be known before the header is emitted.
+	sorted := true
+	for v := 0; v < n && sorted; v++ {
+		d := degree(v)
+		prev := -1
+		for i := 0; i < d; i++ {
+			w := neighbor(v, i)
+			if w <= prev {
+				sorted = false
+				break
+			}
+			prev = w
+		}
+	}
+	if err := writeU64(uint64(n)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(entries)); err != nil {
+		return err
+	}
+	flags := uint32(0)
+	if sorted {
+		flags |= CSRSortedFlag
+	}
+	if err := writeU32(flags); err != nil {
+		return err
+	}
+	if err := writeU32(0); err != nil {
+		return err
+	}
+	// Offset table.
+	var acc int64
+	for v := 0; v <= n; v++ {
+		if err := writeU64(uint64(acc)); err != nil {
+			return err
+		}
+		if v < n {
+			acc += int64(degree(v))
+		}
+	}
+	// Neighbor cells.
+	for v := 0; v < n; v++ {
+		d := degree(v)
+		for i := 0; i < d; i++ {
+			w := neighbor(v, i)
+			if w < 0 || w >= n {
+				return fmt.Errorf("graph: neighbor %d of vertex %d out of range [0,%d)", w, v, n)
+			}
+			if err := writeU32(uint32(w)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSRHeader decodes and validates the fixed-size CSR header.
+func ReadCSRHeader(r io.ReaderAt) (CSRHeader, error) {
+	var buf [CSRHeaderSize]byte
+	if _, err := r.ReadAt(buf[:], 0); err != nil {
+		return CSRHeader{}, fmt.Errorf("graph: reading CSR header: %w", err)
+	}
+	if string(buf[:8]) != csrMagic {
+		return CSRHeader{}, fmt.Errorf("graph: bad CSR magic %q", buf[:8])
+	}
+	h := CSRHeader{
+		N:       int64(binary.LittleEndian.Uint64(buf[8:16])),
+		Entries: int64(binary.LittleEndian.Uint64(buf[16:24])),
+		Sorted:  binary.LittleEndian.Uint32(buf[24:28])&CSRSortedFlag != 0,
+	}
+	if h.N < 0 || h.Entries < 0 || h.Entries%2 != 0 {
+		return CSRHeader{}, fmt.Errorf("graph: implausible CSR header n=%d entries=%d", h.N, h.Entries)
+	}
+	return h, nil
+}
+
+// ReadCSR loads a CSR file fully into an in-memory Graph (adjacency order
+// is preserved only up to the Builder's canonical sort; use
+// internal/source.OpenCSR to probe the file cold and order-faithfully).
+func ReadCSR(r io.ReaderAt) (*Graph, error) {
+	h, err := ReadCSRHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.N)
+	b := NewBuilder(n)
+	off := make([]byte, 8*(n+1))
+	if _, err := r.ReadAt(off, CSRHeaderSize); err != nil {
+		return nil, fmt.Errorf("graph: reading CSR offsets: %w", err)
+	}
+	cells := make([]byte, 4*h.Entries)
+	if h.Entries > 0 {
+		if _, err := r.ReadAt(cells, h.NeighborPos(0)); err != nil {
+			return nil, fmt.Errorf("graph: reading CSR neighbors: %w", err)
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo := int64(binary.LittleEndian.Uint64(off[8*v:]))
+		hi := int64(binary.LittleEndian.Uint64(off[8*(v+1):]))
+		if lo > hi || hi > h.Entries {
+			return nil, fmt.Errorf("graph: corrupt CSR offsets at vertex %d", v)
+		}
+		for i := lo; i < hi; i++ {
+			w := int(binary.LittleEndian.Uint32(cells[4*i:]))
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("graph: CSR neighbor %d of vertex %d out of range", w, v)
+			}
+			if w != v {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build(), nil
 }

@@ -16,7 +16,11 @@
 // wrapping it.
 package oracle
 
-import "lca/internal/graph"
+import (
+	"sync"
+
+	"lca/internal/source"
+)
 
 // Oracle is the adjacency-list probe interface of the LCA model.
 type Oracle interface {
@@ -33,27 +37,12 @@ type Oracle interface {
 	Adjacency(u, v int) int
 }
 
-// GraphOracle adapts a concrete graph.Graph to the Oracle interface.
-type GraphOracle struct {
-	g *graph.Graph
-}
-
-var _ Oracle = (*GraphOracle)(nil)
-
-// New returns an oracle view of g.
-func New(g *graph.Graph) *GraphOracle { return &GraphOracle{g: g} }
-
-// N implements Oracle.
-func (o *GraphOracle) N() int { return o.g.N() }
-
-// Degree implements Oracle.
-func (o *GraphOracle) Degree(v int) int { return o.g.Degree(v) }
-
-// Neighbor implements Oracle.
-func (o *GraphOracle) Neighbor(v, i int) int { return o.g.Neighbor(v, i) }
-
-// Adjacency implements Oracle.
-func (o *GraphOracle) Adjacency(u, v int) int { return o.g.AdjacencyIndex(u, v) }
+// New returns an oracle view of a probe source. The probe interface is the
+// source interface — an in-memory *graph.Graph, an implicit generator and
+// a disk-backed CSR file all answer the same four probes — so the oracle
+// boundary is a semantic one: algorithms receive an Oracle, never a
+// backend, and harnesses interpose the accounting wrappers below.
+func New(src source.Source) Oracle { return src }
 
 // Stats is a snapshot of probe counts by type.
 type Stats struct {
@@ -179,60 +168,66 @@ func (r *Recorder) Reset() { r.trace = r.trace[:0] }
 // usually counted once (the algorithm could have cached them itself); the
 // experiments report both raw and deduplicated counts by stacking Counter
 // outside and inside a CachingOracle.
+//
+// CachingOracle is safe for concurrent use when its inner oracle is (every
+// source backend is), so one instance can be shared across parallel
+// assembly workers — probes one worker pays for answer every worker's
+// repeats. Concurrent misses on the same cell may probe the inner oracle
+// more than once; determinism makes the answers identical, so the race is
+// benign and only costs a duplicate probe.
 type CachingOracle struct {
 	inner     Oracle
-	degrees   map[int]int
-	neighbors map[[2]int]int
-	adjacency map[[2]int]int
+	degrees   sync.Map // int -> int
+	neighbors sync.Map // uint64 (v,i) -> int
+	adjacency sync.Map // uint64 (u,v) -> int
 }
 
 var _ Oracle = (*CachingOracle)(nil)
 
 // NewCaching wraps inner with memoization.
 func NewCaching(inner Oracle) *CachingOracle {
-	return &CachingOracle{
-		inner:     inner,
-		degrees:   make(map[int]int),
-		neighbors: make(map[[2]int]int),
-		adjacency: make(map[[2]int]int),
-	}
+	return &CachingOracle{inner: inner}
 }
+
+// cacheKey packs a probe's two operands into one map key (operands are
+// vertex IDs or list indices, both well under 2^32).
+func cacheKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
 
 // N implements Oracle.
 func (c *CachingOracle) N() int { return c.inner.N() }
 
 // Degree implements Oracle.
 func (c *CachingOracle) Degree(v int) int {
-	if d, ok := c.degrees[v]; ok {
-		return d
+	if d, ok := c.degrees.Load(v); ok {
+		return d.(int)
 	}
 	d := c.inner.Degree(v)
-	c.degrees[v] = d
+	c.degrees.Store(v, d)
 	return d
 }
 
 // Neighbor implements Oracle.
 func (c *CachingOracle) Neighbor(v, i int) int {
-	k := [2]int{v, i}
-	if w, ok := c.neighbors[k]; ok {
-		return w
+	k := cacheKey(v, i)
+	if w, ok := c.neighbors.Load(k); ok {
+		return w.(int)
 	}
 	w := c.inner.Neighbor(v, i)
-	c.neighbors[k] = w
+	c.neighbors.Store(k, w)
 	// A Neighbor answer also pins down one Adjacency answer for free.
 	if w >= 0 {
-		c.adjacency[[2]int{v, w}] = i
+		c.adjacency.Store(cacheKey(v, w), i)
 	}
 	return w
 }
 
 // Adjacency implements Oracle.
 func (c *CachingOracle) Adjacency(u, v int) int {
-	k := [2]int{u, v}
-	if i, ok := c.adjacency[k]; ok {
-		return i
+	k := cacheKey(u, v)
+	if i, ok := c.adjacency.Load(k); ok {
+		return i.(int)
 	}
 	i := c.inner.Adjacency(u, v)
-	c.adjacency[k] = i
+	c.adjacency.Store(k, i)
 	return i
 }

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -155,4 +156,45 @@ func gnpLike(n int, p float64, seed rnd.Seed) *graph.Graph {
 		}
 	}
 	return b.Build()
+}
+
+// TestCachingOracleConcurrent hammers one shared CachingOracle from many
+// goroutines with overlapping probes — the shape of parallel batch
+// assembly sharing a probe cache. Run under -race (CI does), this is the
+// concurrency-safety regression test; answers are also checked against an
+// uncached oracle.
+func TestCachingOracleConcurrent(t *testing.T) {
+	g := gnpLike(120, 0.1, 9)
+	plain := New(g)
+	c := NewCaching(New(g))
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			prg := rnd.NewPRG(rnd.Seed(w))
+			for q := 0; q < 3000; q++ {
+				u := prg.Intn(g.N())
+				v := prg.Intn(g.N())
+				if c.Degree(u) != plain.Degree(u) {
+					errc <- fmt.Errorf("Degree(%d) diverged", u)
+					return
+				}
+				i := prg.Intn(g.Degree(u) + 1)
+				if c.Neighbor(u, i) != plain.Neighbor(u, i) {
+					errc <- fmt.Errorf("Neighbor(%d,%d) diverged", u, i)
+					return
+				}
+				if c.Adjacency(u, v) != plain.Adjacency(u, v) {
+					errc <- fmt.Errorf("Adjacency(%d,%d) diverged", u, v)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
 }

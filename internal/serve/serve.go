@@ -1,21 +1,33 @@
 // Package serve exposes LCAs over HTTP: the deployment shape the model
-// implies. A server holds nothing but the graph handle and the seed; each
-// request builds a fresh LCA instance (they are cheap and answer
+// implies. A server holds nothing but probe-source handles and the seed;
+// each request builds a fresh LCA instance (they are cheap and answer
 // consistently for a fixed seed), so requests are embarrassingly parallel
 // and horizontally scalable — different replicas with the same seed serve
-// slices of the same global solution.
+// slices of the same global solution. Sources need not be in memory: the
+// server answers point queries against implicit generators and cold
+// disk-backed CSR files at vertex counts far beyond RAM.
 //
 // Routing is registry-generic: one handler per query kind, dispatching by
 // algorithm name through internal/registry. Registering a new algorithm
 // makes it appear on /algos and become queryable with no edits here.
 //
-//	GET /healthz
-//	GET /graph
-//	GET /algos
-//	GET /edge/{algo}?u=U&v=V[&param=...]
-//	GET /vertex/{algo}?v=V[&param=...]
-//	GET /label/{algo}?v=V[&param=...]
-//	GET /estimate/{algo}?samples=S[&param=...]
+//	GET  /healthz
+//	GET  /graph[?source=NAME]
+//	GET  /algos
+//	GET  /sources
+//	POST /sources?name=NAME&spec=SPEC
+//	GET  /edge/{algo}?u=U&v=V[&source=NAME][&param=...]
+//	GET  /vertex/{algo}?v=V[&source=NAME][&param=...]
+//	GET  /label/{algo}?v=V[&source=NAME][&param=...]
+//	GET  /estimate/{algo}?samples=S[&source=NAME][&param=...]
+//
+// POST /sources opens a source by spec string ("ring:n=1000000000",
+// "csr:web.csr", ...) and names it; query endpoints select named sources
+// with ?source=, defaulting to the source the server was constructed
+// with. /graph summarizes n, m and the maximum degree, but refuses with
+// 413 to probe O(n) state for summaries the source cannot answer in O(1)
+// when n exceeds the configurable cap (WithGraphInfoCap) — the guard that
+// keeps a billion-vertex source from being walked by one curious GET.
 //
 // Every error is a JSON envelope {"error": ..., "status": ...}; malformed
 // or unknown query parameters are 400s, unknown algorithms and kind
@@ -27,7 +39,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 
 	"lca/internal/core"
 	"lca/internal/estimate"
@@ -35,6 +49,7 @@ import (
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
+	"lca/internal/source"
 
 	// Register the built-in algorithm catalog.
 	_ "lca/internal/coloring"
@@ -43,17 +58,58 @@ import (
 	_ "lca/internal/spanner"
 )
 
-// Server answers LCA queries for one graph under one seed. Construct with
-// New; the zero value is unusable. Safe for concurrent use: per-request
-// state only.
+// DefaultGraphInfoCap bounds the vertex count up to which /graph will
+// probe a source lacking O(1) edge-count/max-degree capabilities.
+const DefaultGraphInfoCap = 1 << 22
+
+// Server answers LCA queries about named probe sources under one seed.
+// Construct with New or NewFromSource; the zero value is unusable. Safe
+// for concurrent use.
 type Server struct {
-	g    *graph.Graph
-	seed rnd.Seed
+	seed    rnd.Seed
+	infoCap int
+	mu      sync.RWMutex
+	sources map[string]*namedSource
 }
 
-// New returns a server for g under the given seed.
-func New(g *graph.Graph, seed rnd.Seed) *Server {
-	return &Server{g: g, seed: seed}
+// namedSource is one open source with its provenance.
+type namedSource struct {
+	name string
+	spec string
+	src  source.Source
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithGraphInfoCap sets the vertex-count cap above which /graph answers
+// 413 instead of probing O(n) state for sources without O(1) summary
+// capabilities. Zero or negative restores the default.
+func WithGraphInfoCap(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.infoCap = n
+		}
+	}
+}
+
+// New returns a server whose default source is the in-memory graph g.
+func New(g *graph.Graph, seed rnd.Seed, opts ...Option) *Server {
+	return NewFromSource(g, "(in-memory graph)", seed, opts...)
+}
+
+// NewFromSource returns a server whose default source is src; spec is the
+// provenance string echoed by /sources and /graph.
+func NewFromSource(src source.Source, spec string, seed rnd.Seed, opts ...Option) *Server {
+	s := &Server{
+		seed:    seed,
+		infoCap: DefaultGraphInfoCap,
+		sources: map[string]*namedSource{"": {name: "", spec: spec, src: src}},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the HTTP routing table: one route per query kind plus
@@ -63,6 +119,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /graph", s.handleGraph)
 	mux.HandleFunc("GET /algos", s.handleAlgos)
+	mux.HandleFunc("GET /sources", s.handleSourcesList)
+	mux.HandleFunc("POST /sources", s.handleSourcesOpen)
 	mux.HandleFunc("GET /edge/{algo}", s.handleEdge)
 	mux.HandleFunc("GET /vertex/{algo}", s.handleVertex)
 	mux.HandleFunc("GET /label/{algo}", s.handleLabel)
@@ -114,14 +172,124 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-type graphInfo struct {
-	N         int `json:"n"`
-	M         int `json:"m"`
-	MaxDegree int `json:"max_degree"`
+// sourceFor resolves the request's ?source= selector (default source when
+// absent) against the open-source table.
+func (s *Server) sourceFor(r *http.Request) (*namedSource, error) {
+	name := r.URL.Query().Get("source")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ns, ok := s.sources[name]
+	if !ok {
+		return nil, notFound("unknown source %q (see /sources)", name)
+	}
+	return ns, nil
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, graphInfo{N: s.g.N(), M: s.g.M(), MaxDegree: s.g.MaxDegree()})
+type graphInfo struct {
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	MaxDegree int    `json:"max_degree"`
+	Source    string `json:"source,omitempty"`
+	Spec      string `json:"spec,omitempty"`
+}
+
+// handleGraph summarizes a source. Materialized graphs and closed-form
+// implicit families answer in O(1); anything else is probed vertex by
+// vertex, which the info cap guards — a billion-vertex source answers 413,
+// not an hour of degree probes.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	ns, err := s.sourceFor(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	info := graphInfo{N: ns.src.N(), Source: ns.name, Spec: ns.spec}
+	mc, haveM := ns.src.(source.EdgeCounter)
+	db, haveMax := ns.src.(source.DegreeBounder)
+	if haveM && haveMax {
+		info.M = mc.M()
+		info.MaxDegree = db.MaxDegree()
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	if info.N > s.infoCap {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"graph summary would probe n=%d vertices, above the cap %d; query the source by point probes instead", info.N, s.infoCap)
+		return
+	}
+	stubs := 0
+	for v := 0; v < info.N; v++ {
+		d := ns.src.Degree(v)
+		stubs += d
+		if d > info.MaxDegree {
+			info.MaxDegree = d
+		}
+	}
+	info.M = stubs / 2
+	if haveM {
+		info.M = mc.M()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// sourceInfo is one /sources catalog entry.
+type sourceInfo struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+	N    int    `json:"n"`
+}
+
+type sourcesBody struct {
+	Sources  []sourceInfo `json:"sources"`
+	Families []string     `json:"families"`
+}
+
+func (s *Server) handleSourcesList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]sourceInfo, 0, len(s.sources))
+	for _, ns := range s.sources {
+		out = append(out, sourceInfo{Name: ns.name, Spec: ns.spec, N: ns.src.N()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	fams := source.Families()
+	usages := make([]string, len(fams))
+	for i, f := range fams {
+		usages[i] = f.Usage
+	}
+	writeJSON(w, http.StatusOK, sourcesBody{Sources: out, Families: usages})
+}
+
+// handleSourcesOpen opens a source by spec under a name — the open-by-spec
+// endpoint: a replica can be pointed at a billion-vertex implicit source
+// or a CSR file on its local disk without restarting.
+func (s *Server) handleSourcesOpen(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	spec := r.URL.Query().Get("spec")
+	if name == "" || spec == "" {
+		writeHTTPError(w, badRequest("POST /sources requires non-empty name and spec query parameters"))
+		return
+	}
+	src, err := source.Parse(spec, s.seed)
+	if err != nil {
+		writeHTTPError(w, badRequest("%v", err))
+		return
+	}
+	ns := &namedSource{name: name, spec: spec, src: src}
+	s.mu.Lock()
+	_, dup := s.sources[name]
+	if !dup {
+		s.sources[name] = ns
+	}
+	s.mu.Unlock()
+	if dup {
+		if c, ok := src.(source.Closer); ok {
+			_ = c.Close()
+		}
+		writeErr(w, http.StatusConflict, "source %q already open", name)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sourceInfo{Name: name, Spec: spec, N: src.N()})
 }
 
 // algoInfo is one /algos catalog entry.
@@ -198,8 +366,9 @@ func queryParams(r *http.Request, d *registry.Descriptor, reserved ...string) (r
 	return p, nil
 }
 
-// intParam parses a required non-negative integer query parameter.
-func (s *Server) vertexParam(r *http.Request, name string) (int, error) {
+// vertexParam parses a required vertex-ID query parameter against src's
+// vertex range.
+func vertexParam(r *http.Request, src source.Source, name string) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, badRequest("missing query parameter %q", name)
@@ -208,31 +377,31 @@ func (s *Server) vertexParam(r *http.Request, name string) (int, error) {
 	if err != nil {
 		return 0, badRequest("parameter %q: %q is not an integer", name, raw)
 	}
-	if v < 0 || v >= s.g.N() {
-		return 0, badRequest("vertex %d out of range [0,%d)", v, s.g.N())
+	if v < 0 || v >= src.N() {
+		return 0, badRequest("vertex %d out of range [0,%d)", v, src.N())
 	}
 	return v, nil
 }
 
-func (s *Server) edgeParams(r *http.Request) (u, v int, err error) {
-	if u, err = s.vertexParam(r, "u"); err != nil {
+func edgeParams(r *http.Request, src source.Source) (u, v int, err error) {
+	if u, err = vertexParam(r, src, "u"); err != nil {
 		return 0, 0, err
 	}
-	if v, err = s.vertexParam(r, "v"); err != nil {
+	if v, err = vertexParam(r, src, "v"); err != nil {
 		return 0, 0, err
 	}
-	if !s.g.HasEdge(u, v) {
+	if src.Adjacency(u, v) < 0 {
 		return 0, 0, badRequest("(%d,%d) is not an edge of the graph", u, v)
 	}
 	return u, v, nil
 }
 
-// build constructs a fresh per-request instance; parameter errors the
-// registry reports after our own validation (range checks inside New) are
-// the client's fault, hence 400 — except a BadInstanceError, which marks a
-// broken registration and must surface as a server error.
-func (s *Server) build(d *registry.Descriptor, p registry.Params) (any, error) {
-	inst, err := d.Build(oracle.New(s.g), s.seed, p)
+// build constructs a fresh per-request instance over src; parameter errors
+// the registry reports after our own validation (range checks inside New)
+// are the client's fault, hence 400 — except a BadInstanceError, which
+// marks a broken registration and must surface as a server error.
+func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params) (any, error) {
+	inst, err := d.Build(oracle.New(src), s.seed, p)
 	if err != nil {
 		var bad *registry.BadInstanceError
 		if errors.As(err, &bad) {
@@ -266,17 +435,22 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "u", "v")
+	ns, err := s.sourceFor(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	u, v, err := s.edgeParams(r)
+	p, err := queryParams(r, d, "u", "v", "source")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, p)
+	u, v, err := edgeParams(r, ns.src)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	inst, err := s.build(d, ns.src, p)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -298,17 +472,22 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v")
+	ns, err := s.sourceFor(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	v, err := s.vertexParam(r, "v")
+	p, err := queryParams(r, d, "v", "source")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, p)
+	v, err := vertexParam(r, ns.src, "v")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	inst, err := s.build(d, ns.src, p)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -330,17 +509,22 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v")
+	ns, err := s.sourceFor(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	v, err := s.vertexParam(r, "v")
+	p, err := queryParams(r, d, "v", "source")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, p)
+	v, err := vertexParam(r, ns.src, "v")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	inst, err := s.build(d, ns.src, p)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -370,7 +554,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, notFound("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name))
 		return
 	}
-	p, err := queryParams(r, d, "samples")
+	ns, err := s.sourceFor(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	p, err := queryParams(r, d, "samples", "source")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -385,7 +574,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		samples = parsed
 	}
 	const delta = 0.05
-	res, err := estimate.Fraction(d, s.g, s.seed, p, samples, delta)
+	res, err := estimate.Fraction(d, ns.src, s.seed, p, samples, delta)
 	if err != nil {
 		// Kind and samples were validated above; what remains is bad
 		// parameter values, which are the client's.

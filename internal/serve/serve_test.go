@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"lca/internal/gen"
+	"lca/internal/source"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, func()) {
@@ -284,5 +285,126 @@ func TestConcurrentRequestsConsistent(t *testing.T) {
 		if answers[i] != answers[0] {
 			t.Fatal("concurrent requests disagreed on the same edge")
 		}
+	}
+}
+
+// TestOpenSourceBySpec drives the open-by-spec endpoint: open an implicit
+// billion-vertex ring, list it, query it by name — all against a server
+// started on an ordinary in-memory graph.
+func TestOpenSourceBySpec(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+
+	resp, err := http.Post(ts.URL+"/sources?name=big&spec=ring:n=1e9", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened sourceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || opened.N != 1_000_000_000 {
+		t.Fatalf("open: %d %+v", resp.StatusCode, opened)
+	}
+
+	// Duplicate name conflicts.
+	resp, err = http.Post(ts.URL+"/sources?name=big&spec=ring:n=10", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate open: status %d, want 409", resp.StatusCode)
+	}
+
+	// Bad specs are 400s.
+	resp, err = http.Post(ts.URL+"/sources?name=x&spec=warp:n=10", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400", resp.StatusCode)
+	}
+
+	var listing sourcesBody
+	if code := getJSON(t, ts.URL+"/sources", &listing); code != 200 {
+		t.Fatalf("/sources: status %d", code)
+	}
+	if len(listing.Sources) != 2 || len(listing.Families) == 0 {
+		t.Fatalf("/sources listing: %+v", listing)
+	}
+
+	// Point queries against the opened source, deep inside the ring.
+	var va vertexAnswer
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=123456789&source=big", &va); code != 200 {
+		t.Fatalf("vertex query on named source: status %d", code)
+	}
+	var ea edgeAnswer
+	if code := getJSON(t, ts.URL+"/edge/matching?u=123456789&v=123456790&source=big", &ea); code != 200 {
+		t.Fatalf("edge query on named source: status %d", code)
+	}
+	// The ring has O(1) summaries, so /graph answers even at n=1e9.
+	var info graphInfo
+	if code := getJSON(t, ts.URL+"/graph?source=big", &info); code != 200 || info.M != 1_000_000_000 || info.MaxDegree != 2 {
+		t.Fatalf("/graph on ring: %d %+v", code, info)
+	}
+	// Unknown source names are 404s.
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=1&source=nope", &e); code != 404 {
+		t.Fatalf("unknown source: status %d", code)
+	}
+}
+
+// TestGraphInfoCap413 pins the /graph guard: a source with no O(1)
+// summaries above the cap answers 413 with the JSON envelope instead of
+// walking n degrees.
+func TestGraphInfoCap413(t *testing.T) {
+	src, err := source.Parse("blockrandom:n=1e8,d=6", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewFromSource(src, "blockrandom:n=1e8,d=6", 42, WithGraphInfoCap(10_000)).Handler())
+	defer ts.Close()
+
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/graph", &e); code != http.StatusRequestEntityTooLarge || e.Status != http.StatusRequestEntityTooLarge || e.Error == "" {
+		t.Fatalf("/graph above cap: %d %+v, want 413 envelope", code, e)
+	}
+	// Point queries still work — that is the whole point.
+	var va vertexAnswer
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=99999999", &va); code != 200 {
+		t.Fatalf("vertex query above cap: status %d", code)
+	}
+
+	// Under the cap, probing summaries is allowed.
+	small, err := source.Parse("blockrandom:n=500,d=4", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewFromSource(small, "blockrandom:n=500,d=4", 42, WithGraphInfoCap(10_000)).Handler())
+	defer ts2.Close()
+	var info graphInfo
+	if code := getJSON(t, ts2.URL+"/graph", &info); code != 200 || info.N != 500 || info.M == 0 || info.MaxDegree == 0 {
+		t.Fatalf("/graph under cap: %d %+v", code, info)
+	}
+}
+
+// TestEstimateOnImplicitSource checks /estimate works against an implicit
+// source via its RandomEdge capability.
+func TestEstimateOnImplicitSource(t *testing.T) {
+	src, err := source.Parse("circulant:n=100000,d=8", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewFromSource(src, "circulant:n=100000,d=8", 42).Handler())
+	defer ts.Close()
+	var ans estimateAnswer
+	if code := getJSON(t, ts.URL+"/estimate/matching?samples=200", &ans); code != 200 {
+		t.Fatalf("/estimate on circulant: status %d", code)
+	}
+	if ans.Fraction <= 0 || ans.Fraction > 1 {
+		t.Fatalf("estimate fraction %v out of range", ans.Fraction)
 	}
 }

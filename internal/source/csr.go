@@ -1,0 +1,148 @@
+package source
+
+// Disk-backed CSR: probes a graph.WriteCSR file cold through positioned
+// reads. Resident state is one file handle plus the 32-byte header —
+// Degree is one 16-byte read, Neighbor two reads, Adjacency a binary
+// search over the (sorted) neighbor run — so graphs bounded only by disk
+// are queryable without ever being loaded.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"lca/internal/graph"
+)
+
+// CSR is a cold, disk-backed source over a CSR binary file. Construct with
+// OpenCSR; the zero value is unusable. Safe for concurrent use: all file
+// access is positioned (ReadAt), no shared cursor or cache.
+type CSR struct {
+	f *os.File
+	h graph.CSRHeader
+}
+
+var (
+	_ Source      = (*CSR)(nil)
+	_ EdgeCounter = (*CSR)(nil)
+	_ Closer      = (*CSR)(nil)
+)
+
+// OpenCSR opens a CSR binary file for cold probing.
+func OpenCSR(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := graph.ReadCSRHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if h.N > math.MaxInt32+1 {
+		// Neighbor cells are int32; a bigger N could not have been written.
+		f.Close()
+		return nil, fmt.Errorf("source: CSR header n=%d exceeds the int32 vertex space", h.N)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := h.NeighborPos(h.Entries); st.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("source: CSR file truncated: %d bytes, header requires %d", st.Size(), want)
+	}
+	return &CSR{f: f, h: h}, nil
+}
+
+// Close releases the file handle.
+func (c *CSR) Close() error { return c.f.Close() }
+
+// N implements Source.
+func (c *CSR) N() int { return int(c.h.N) }
+
+// M implements EdgeCounter; the edge count is in the header.
+func (c *CSR) M() int { return int(c.h.Entries / 2) }
+
+// Sorted reports whether the file's adjacency lists are sorted (the
+// writer's flag); sorted files answer Adjacency probes in O(log deg)
+// reads instead of O(deg).
+func (c *CSR) Sorted() bool { return c.h.Sorted }
+
+// run returns the adjacency cell range [lo, hi) of v, or ok=false on any
+// read error or corrupt offset (probe answers degrade to "no neighbor"
+// rather than panicking mid-query).
+func (c *CSR) run(v int) (lo, hi int64, ok bool) {
+	if v < 0 || int64(v) >= c.h.N {
+		return 0, 0, false
+	}
+	var buf [16]byte
+	if _, err := c.f.ReadAt(buf[:], c.h.OffsetPos(int64(v))); err != nil {
+		return 0, 0, false
+	}
+	lo = int64(binary.LittleEndian.Uint64(buf[:8]))
+	hi = int64(binary.LittleEndian.Uint64(buf[8:]))
+	if lo < 0 || lo > hi || hi > c.h.Entries {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// cell returns adjacency cell i, or -1 on a read error.
+func (c *CSR) cell(i int64) int {
+	var buf [4]byte
+	if _, err := c.f.ReadAt(buf[:], c.h.NeighborPos(i)); err != nil {
+		return -1
+	}
+	return int(binary.LittleEndian.Uint32(buf[:]))
+}
+
+// Degree implements Source.
+func (c *CSR) Degree(v int) int {
+	lo, hi, ok := c.run(v)
+	if !ok {
+		return 0
+	}
+	return int(hi - lo)
+}
+
+// Neighbor implements Source.
+func (c *CSR) Neighbor(v, i int) int {
+	lo, hi, ok := c.run(v)
+	if !ok || i < 0 || int64(i) >= hi-lo {
+		return -1
+	}
+	return c.cell(lo + int64(i))
+}
+
+// Adjacency implements Source: binary search on sorted files, linear scan
+// otherwise.
+func (c *CSR) Adjacency(u, v int) int {
+	lo, hi, ok := c.run(u)
+	if !ok {
+		return -1
+	}
+	if c.h.Sorted {
+		origLo, origHi := lo, hi
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if w := c.cell(mid); w < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < origHi && c.cell(lo) == v {
+			return int(lo - origLo)
+		}
+		return -1
+	}
+	for i := lo; i < hi; i++ {
+		if c.cell(i) == v {
+			return int(i - lo)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,530 @@
+package source
+
+// Implicit deterministic backends: adjacency synthesized per probe from
+// the topology parameters and a short seed. No backend here holds any
+// per-vertex state, so N can exceed RAM by any margin; probes are
+// allocation-free, which the bounded-allocation acceptance tests pin down.
+//
+// Every family fixes the same adjacency-list order its materialized
+// internal/gen counterpart produces (the Builder's ascending order), so a
+// probe-equivalence property test can compare the two cell by cell — the
+// ordering is semantically significant in the LCA model.
+
+import (
+	"fmt"
+
+	"lca/internal/gen"
+	"lca/internal/rnd"
+)
+
+// Ring is the implicit cycle 0-1-...-(n-1)-0, the probe-native counterpart
+// of gen.Cycle (degenerating to a path edge at n=2, like the generator).
+func Ring(n int) Source {
+	if n < 0 {
+		n = 0
+	}
+	return ringSource{n: n}
+}
+
+type ringSource struct{ n int }
+
+func (r ringSource) N() int { return r.n }
+
+func (r ringSource) Degree(int) int { return r.MaxDegree() }
+
+// MaxDegree implements DegreeBounder; rings are regular.
+func (r ringSource) MaxDegree() int {
+	switch {
+	case r.n <= 1:
+		return 0
+	case r.n == 2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// M implements EdgeCounter.
+func (r ringSource) M() int {
+	switch {
+	case r.n <= 1:
+		return 0
+	case r.n == 2:
+		return 1
+	default:
+		return r.n
+	}
+}
+
+// neighbors returns v's ascending neighbor pair; b < 0 marks degree < 2.
+func (r ringSource) neighbors(v int) (a, b int) {
+	switch {
+	case r.n <= 1:
+		return -1, -1
+	case r.n == 2:
+		return 1 - v, -1
+	}
+	a, b = (v-1+r.n)%r.n, (v+1)%r.n
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+func (r ringSource) Neighbor(v, i int) int {
+	a, b := r.neighbors(v)
+	switch i {
+	case 0:
+		return a
+	case 1:
+		return b
+	}
+	return -1
+}
+
+func (r ringSource) Adjacency(u, v int) int {
+	a, b := r.neighbors(u)
+	switch v {
+	case a:
+		return 0
+	case b:
+		return 1
+	}
+	return -1
+}
+
+// RandomEdge implements RandomEdger.
+func (r ringSource) RandomEdge(prg *rnd.PRG) (int, int) {
+	if r.M() == 0 {
+		panic("source: RandomEdge on edgeless ring")
+	}
+	return stubRandomEdge(r, 2, prg)
+}
+
+// Grid is the implicit rows x cols grid, the probe-native counterpart of
+// gen.Grid; vertex (r,c) has index r*cols+c.
+func Grid(rows, cols int) Source {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return gridSource{rows: rows, cols: cols}
+}
+
+type gridSource struct{ rows, cols int }
+
+func (g gridSource) N() int { return g.rows * g.cols }
+
+// candidates fills buf with v's neighbors in ascending order and returns
+// the count. The four candidates are generated in increasing index order
+// (up, left, right, down), so no sort is needed.
+func (g gridSource) candidates(v int, buf *[4]int) int {
+	r, c := v/g.cols, v%g.cols
+	k := 0
+	if r > 0 {
+		buf[k] = v - g.cols
+		k++
+	}
+	if c > 0 {
+		buf[k] = v - 1
+		k++
+	}
+	if c+1 < g.cols {
+		buf[k] = v + 1
+		k++
+	}
+	if r+1 < g.rows {
+		buf[k] = v + g.cols
+		k++
+	}
+	return k
+}
+
+func (g gridSource) Degree(v int) int {
+	var buf [4]int
+	return g.candidates(v, &buf)
+}
+
+func (g gridSource) Neighbor(v, i int) int {
+	var buf [4]int
+	k := g.candidates(v, &buf)
+	if i < 0 || i >= k {
+		return -1
+	}
+	return buf[i]
+}
+
+func (g gridSource) Adjacency(u, v int) int {
+	var buf [4]int
+	k := g.candidates(u, &buf)
+	for i := 0; i < k; i++ {
+		if buf[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// M implements EdgeCounter.
+func (g gridSource) M() int {
+	if g.rows == 0 || g.cols == 0 {
+		return 0
+	}
+	return g.rows*(g.cols-1) + (g.rows-1)*g.cols
+}
+
+// MaxDegree implements DegreeBounder.
+func (g gridSource) MaxDegree() int {
+	if g.rows == 0 || g.cols == 0 {
+		return 0
+	}
+	return min(2, g.cols-1) + min(2, g.rows-1)
+}
+
+// RandomEdge implements RandomEdger.
+func (g gridSource) RandomEdge(prg *rnd.PRG) (int, int) {
+	if g.M() == 0 {
+		panic("source: RandomEdge on edgeless grid")
+	}
+	return stubRandomEdge(g, 4, prg)
+}
+
+// Torus is the implicit rows x cols torus (grid with wraparound), the
+// probe-native counterpart of gen.Torus, including its small-dimension
+// degeneracies (a 2-wide wrap collapses to a single edge; a 1-wide wrap
+// disappears).
+func Torus(rows, cols int) Source {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return torusSource{rows: rows, cols: cols}
+}
+
+type torusSource struct{ rows, cols int }
+
+func (t torusSource) N() int { return t.rows * t.cols }
+
+// wrapCount returns the number of distinct wrap-neighbors along a
+// dimension of the given extent: 2 on a proper cycle, 1 when the wrap
+// collapses, 0 when it is a self-loop.
+func wrapCount(extent int) int {
+	switch {
+	case extent >= 3:
+		return 2
+	case extent == 2:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (t torusSource) Degree(int) int { return t.MaxDegree() }
+
+// MaxDegree implements DegreeBounder; tori are regular.
+func (t torusSource) MaxDegree() int {
+	if t.N() == 0 {
+		return 0
+	}
+	return wrapCount(t.cols) + wrapCount(t.rows)
+}
+
+// candidates fills buf with v's distinct neighbors in ascending order and
+// returns the count.
+func (t torusSource) candidates(v int, buf *[4]int) int {
+	r, c := v/t.cols, v%t.cols
+	k := 0
+	add := func(w int) {
+		for i := 0; i < k; i++ {
+			if buf[i] == w {
+				return
+			}
+		}
+		buf[k] = w
+		k++
+	}
+	if t.cols >= 2 {
+		add(r*t.cols + (c+1)%t.cols)
+		add(r*t.cols + (c-1+t.cols)%t.cols)
+	}
+	if t.rows >= 2 {
+		add(((r+1)%t.rows)*t.cols + c)
+		add(((r-1+t.rows)%t.rows)*t.cols + c)
+	}
+	// Insertion sort; at most 4 entries.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return k
+}
+
+func (t torusSource) Neighbor(v, i int) int {
+	var buf [4]int
+	k := t.candidates(v, &buf)
+	if i < 0 || i >= k {
+		return -1
+	}
+	return buf[i]
+}
+
+func (t torusSource) Adjacency(u, v int) int {
+	var buf [4]int
+	k := t.candidates(u, &buf)
+	for i := 0; i < k; i++ {
+		if buf[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// M implements EdgeCounter.
+func (t torusSource) M() int {
+	if t.N() == 0 {
+		return 0
+	}
+	perRow := 0
+	switch {
+	case t.cols >= 3:
+		perRow = t.cols
+	case t.cols == 2:
+		perRow = 1
+	}
+	perCol := 0
+	switch {
+	case t.rows >= 3:
+		perCol = t.rows
+	case t.rows == 2:
+		perCol = 1
+	}
+	return t.rows*perRow + t.cols*perCol
+}
+
+// RandomEdge implements RandomEdger.
+func (t torusSource) RandomEdge(prg *rnd.PRG) (int, int) {
+	if t.M() == 0 {
+		panic("source: RandomEdge on edgeless torus")
+	}
+	return stubRandomEdge(t, 4, prg)
+}
+
+// maxCirculantOffsets caps the offset count so Neighbor/Adjacency can sort
+// candidates in a fixed stack buffer, keeping probes allocation-free.
+const maxCirculantOffsets = 64
+
+// Circulant is the implicit hash-based d-regular family: v is adjacent to
+// (v±o) mod n for every offset o. Offsets must be distinct and in
+// [1, (n-1)/2] (gen.CirculantOffsets derives such a set from a seed),
+// which makes the graph exactly 2*len(offsets)-regular — the probe-native
+// counterpart of gen.Circulant.
+func Circulant(n int, offsets []int) (Source, error) {
+	if n < 0 {
+		n = 0
+	}
+	if len(offsets) > maxCirculantOffsets {
+		return nil, fmt.Errorf("source: %d circulant offsets exceed the supported maximum %d", len(offsets), maxCirculantOffsets)
+	}
+	seen := make(map[int]bool, len(offsets))
+	for _, o := range offsets {
+		if o < 1 || o > (n-1)/2 {
+			return nil, fmt.Errorf("source: circulant offset %d out of range [1,%d]", o, (n-1)/2)
+		}
+		if seen[o] {
+			return nil, fmt.Errorf("source: duplicate circulant offset %d", o)
+		}
+		seen[o] = true
+	}
+	c := &circulantSource{n: n}
+	c.k = len(offsets)
+	copy(c.offsets[:], offsets)
+	return c, nil
+}
+
+type circulantSource struct {
+	n       int
+	k       int
+	offsets [maxCirculantOffsets]int
+}
+
+func (c *circulantSource) N() int { return c.n }
+
+func (c *circulantSource) Degree(int) int { return 2 * c.k }
+
+// MaxDegree implements DegreeBounder; circulants are regular.
+func (c *circulantSource) MaxDegree() int { return 2 * c.k }
+
+// M implements EdgeCounter: the offset constraints make all n*k edges
+// distinct.
+func (c *circulantSource) M() int { return c.n * c.k }
+
+// candidates fills buf with v's 2k neighbors in ascending order and
+// returns the count. The offset constraints guarantee the 2k values are
+// pairwise distinct.
+func (c *circulantSource) candidates(v int, buf *[2 * maxCirculantOffsets]int) int {
+	k := 0
+	for j := 0; j < c.k; j++ {
+		o := c.offsets[j]
+		buf[k] = (v + o) % c.n
+		buf[k+1] = (v - o + c.n) % c.n
+		k += 2
+	}
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return k
+}
+
+func (c *circulantSource) Neighbor(v, i int) int {
+	if i < 0 || i >= 2*c.k {
+		return -1
+	}
+	var buf [2 * maxCirculantOffsets]int
+	c.candidates(v, &buf)
+	return buf[i]
+}
+
+func (c *circulantSource) Adjacency(u, v int) int {
+	var buf [2 * maxCirculantOffsets]int
+	k := c.candidates(u, &buf)
+	// Binary search; the candidate list is sorted.
+	lo, hi := 0, k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if buf[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < k && buf[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// RandomEdge implements RandomEdger: a uniform (vertex, slot) pair is a
+// uniform stub on a regular graph.
+func (c *circulantSource) RandomEdge(prg *rnd.PRG) (int, int) {
+	if c.M() == 0 {
+		panic("source: RandomEdge on edgeless circulant")
+	}
+	return stubRandomEdge(c, 2*c.k, prg)
+}
+
+// BlockRandom is the implicit G(n, d/n)-style random-neighbor family:
+// consecutive blocks of the given size each hold an independent
+// G(block, p) subgraph with p = avgDeg/(block-1), every pair decision
+// derived HMAC-style from a per-block sub-seed (gen.BlockRandomEdge). Any
+// vertex's neighborhood is synthesizable by scanning its block — O(block)
+// work, independent of n — and degrees are Binomial(block-1, p), the
+// Poisson-like profile of sparse random graphs. gen.BlockRandom is the
+// materialized counterpart.
+func BlockRandom(n, block int, avgDeg float64, seed rnd.Seed) Source {
+	if n < 0 {
+		n = 0
+	}
+	if block < 2 {
+		block = 2
+	}
+	return blockRandomSource{
+		n:     n,
+		block: block,
+		p:     gen.BlockRandomProb(block, avgDeg),
+		seed:  seed,
+	}
+}
+
+type blockRandomSource struct {
+	n     int
+	block int
+	p     float64
+	seed  rnd.Seed
+}
+
+func (b blockRandomSource) N() int { return b.n }
+
+// bounds returns the half-open vertex range of v's block and its index.
+func (b blockRandomSource) bounds(v int) (lo, hi, blk int) {
+	blk = v / b.block
+	lo = blk * b.block
+	hi = lo + b.block
+	if hi > b.n {
+		hi = b.n
+	}
+	return lo, hi, blk
+}
+
+func (b blockRandomSource) Degree(v int) int {
+	lo, hi, blk := b.bounds(v)
+	d := 0
+	for y := lo; y < hi; y++ {
+		if y != v && gen.BlockRandomEdge(b.seed, blk, v, y, b.p) {
+			d++
+		}
+	}
+	return d
+}
+
+func (b blockRandomSource) Neighbor(v, i int) int {
+	if i < 0 {
+		return -1
+	}
+	lo, hi, blk := b.bounds(v)
+	for y := lo; y < hi; y++ {
+		if y != v && gen.BlockRandomEdge(b.seed, blk, v, y, b.p) {
+			if i == 0 {
+				return y
+			}
+			i--
+		}
+	}
+	return -1
+}
+
+func (b blockRandomSource) Adjacency(u, v int) int {
+	lo, hi, blk := b.bounds(u)
+	if v < lo || v >= hi || v == u || !gen.BlockRandomEdge(b.seed, blk, u, v, b.p) {
+		return -1
+	}
+	idx := 0
+	for y := lo; y < v; y++ {
+		if y != u && gen.BlockRandomEdge(b.seed, blk, u, y, b.p) {
+			idx++
+		}
+	}
+	return idx
+}
+
+// RandomEdge implements RandomEdger by stub rejection; degrees are bounded
+// by block-1. It panics if no edge is found after many attempts (an
+// effectively edgeless parameterization).
+func (b blockRandomSource) RandomEdge(prg *rnd.PRG) (int, int) {
+	maxDeg := b.block - 1
+	if b.n < b.block {
+		maxDeg = b.n - 1
+	}
+	if b.n < 2 || maxDeg < 1 || b.p <= 0 {
+		panic("source: RandomEdge on edgeless block-random source")
+	}
+	for attempt := 0; attempt < 1_000_000; attempt++ {
+		v := prg.Intn(b.n)
+		i := prg.Intn(maxDeg)
+		if i >= b.Degree(v) {
+			continue
+		}
+		w := b.Neighbor(v, i)
+		if v > w {
+			v, w = w, v
+		}
+		return v, w
+	}
+	panic("source: RandomEdge found no edge (effectively edgeless block-random source)")
+}

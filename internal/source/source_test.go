@@ -1,0 +1,384 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// probeEquivalent asserts that src and the materialized graph g agree on
+// every probe: N, all degrees, full neighbor lists (including one index
+// past the end) and Adjacency for all pairs among sample vertices plus
+// every neighbor pair. With small inputs this is exhaustive.
+func probeEquivalent(t *testing.T, name string, src Source, g *graph.Graph) {
+	t.Helper()
+	if src.N() != g.N() {
+		t.Fatalf("%s: N = %d, want %d", name, src.N(), g.N())
+	}
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if got, want := src.Degree(v), g.Degree(v); got != want {
+			t.Fatalf("%s: Degree(%d) = %d, want %d", name, v, got, want)
+		}
+		for i := 0; i <= g.Degree(v); i++ { // one past the end too
+			if got, want := src.Neighbor(v, i), g.Neighbor(v, i); got != want {
+				t.Fatalf("%s: Neighbor(%d,%d) = %d, want %d", name, v, i, got, want)
+			}
+		}
+	}
+	// Adjacency over a vertex sample (all pairs when small).
+	step := 1
+	if n > 40 {
+		step = n / 40
+	}
+	for u := 0; u < n; u += step {
+		for v := 0; v < n; v += step {
+			if got, want := src.Adjacency(u, v), g.AdjacencyIndex(u, v); got != want {
+				t.Fatalf("%s: Adjacency(%d,%d) = %d, want %d", name, u, v, got, want)
+			}
+		}
+		// Every real edge of u, both orientations.
+		for i := 0; i < g.Degree(u); i++ {
+			w := g.Neighbor(u, i)
+			if got := src.Adjacency(u, w); got != i {
+				t.Fatalf("%s: Adjacency(%d,%d) = %d, want %d", name, u, w, got, i)
+			}
+			if got, want := src.Adjacency(w, u), g.AdjacencyIndex(w, u); got != want {
+				t.Fatalf("%s: Adjacency(%d,%d) = %d, want %d", name, w, u, got, want)
+			}
+		}
+	}
+}
+
+// TestRingMatchesGen pins the implicit ring to gen.Cycle across sizes,
+// including the degenerate ones.
+func TestRingMatchesGen(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 7, 50} {
+		probeEquivalent(t, "ring", Ring(n), gen.Cycle(n))
+	}
+}
+
+// TestGridMatchesGen pins the implicit grid to gen.Grid.
+func TestGridMatchesGen(t *testing.T) {
+	for _, d := range [][2]int{{1, 1}, {1, 5}, {5, 1}, {2, 2}, {2, 7}, {3, 3}, {6, 9}} {
+		probeEquivalent(t, "grid", Grid(d[0], d[1]), gen.Grid(d[0], d[1]))
+	}
+}
+
+// TestTorusMatchesGen pins the implicit torus to gen.Torus, whose
+// small-extent wraparounds degenerate (2-wide collapses to one edge,
+// 1-wide to none).
+func TestTorusMatchesGen(t *testing.T) {
+	for _, d := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {2, 5}, {3, 3}, {3, 2}, {5, 8}} {
+		probeEquivalent(t, "torus", Torus(d[0], d[1]), gen.Torus(d[0], d[1]))
+	}
+}
+
+// TestCirculantMatchesGen is the property test over seeds: for every seed
+// the hash-derived offsets give an implicit source agreeing with the
+// materialized gen.Circulant cell by cell.
+func TestCirculantMatchesGen(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		for _, c := range []struct{ n, d int }{{3, 2}, {9, 4}, {20, 6}, {61, 8}, {64, 10}} {
+			offsets, err := gen.CirculantOffsets(c.n, c.d, rnd.Seed(seed))
+			if err != nil {
+				t.Fatalf("offsets(n=%d,d=%d,seed=%d): %v", c.n, c.d, seed, err)
+			}
+			src, err := Circulant(c.n, offsets)
+			if err != nil {
+				t.Fatalf("Circulant(n=%d,seed=%d): %v", c.n, seed, err)
+			}
+			g, err := gen.Circulant(c.n, offsets)
+			if err != nil {
+				t.Fatalf("gen.Circulant: %v", err)
+			}
+			probeEquivalent(t, "circulant", src, g)
+			if src.(EdgeCounter).M() != g.M() {
+				t.Fatalf("circulant M = %d, want %d", src.(EdgeCounter).M(), g.M())
+			}
+			if d := src.Degree(0); d != c.d {
+				t.Fatalf("circulant degree %d, want %d", d, c.d)
+			}
+		}
+	}
+}
+
+// TestBlockRandomMatchesGen is the property test over seeds for the
+// derived-seed random family: the implicit source and the materialized
+// generator share only the pair predicate; enumeration, ordering, offsets
+// and block boundaries are independent code paths that must coincide.
+func TestBlockRandomMatchesGen(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, c := range []struct {
+			n, block int
+			d        float64
+		}{{10, 4, 2}, {64, 16, 5}, {100, 32, 6}, {37, 16, 4} /* ragged last block */} {
+			src := BlockRandom(c.n, c.block, c.d, rnd.Seed(seed))
+			g := gen.BlockRandom(c.n, c.block, c.d, rnd.Seed(seed))
+			probeEquivalent(t, "blockrandom", src, g)
+		}
+	}
+}
+
+// TestImplicitRandomEdge checks the RandomEdge capability returns valid,
+// canonical edges on every implicit family.
+func TestImplicitRandomEdge(t *testing.T) {
+	offsets, _ := gen.CirculantOffsets(30, 4, 7)
+	circ, _ := Circulant(30, offsets)
+	srcs := map[string]Source{
+		"ring":        Ring(12),
+		"grid":        Grid(4, 5),
+		"torus":       Torus(4, 5),
+		"circulant":   circ,
+		"blockrandom": BlockRandom(64, 16, 6, 3),
+	}
+	for name, src := range srcs {
+		sampler, ok := src.(RandomEdger)
+		if !ok {
+			t.Fatalf("%s: no RandomEdge capability", name)
+		}
+		prg := rnd.NewPRG(1)
+		for i := 0; i < 200; i++ {
+			u, v := sampler.RandomEdge(prg)
+			if u >= v {
+				t.Fatalf("%s: RandomEdge returned non-canonical (%d,%d)", name, u, v)
+			}
+			if src.Adjacency(u, v) < 0 || src.Adjacency(v, u) < 0 {
+				t.Fatalf("%s: RandomEdge returned non-edge (%d,%d)", name, u, v)
+			}
+		}
+	}
+}
+
+// TestMaterialize checks probing a source into memory reproduces the
+// generator graph, and that the cap refuses oversized sources.
+func TestMaterialize(t *testing.T) {
+	g, err := Materialize(Ring(20), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.Cycle(20)
+	if g.N() != want.N() || g.M() != want.M() {
+		t.Fatalf("materialized ring: n=%d m=%d, want n=%d m=%d", g.N(), g.M(), want.N(), want.M())
+	}
+	probeEquivalent(t, "materialized-ring", g, want)
+	if _, err := Materialize(Ring(101), 100); err == nil {
+		t.Fatal("Materialize above the cap did not fail")
+	}
+	// Graphs materialize to themselves.
+	g2, err := Materialize(want, 1)
+	if err != nil || g2 != want {
+		t.Fatalf("Materialize(*Graph) = (%p, %v), want identity", g2, err)
+	}
+}
+
+// TestCSRColdProbes writes a random graph to CSR and compares cold probes
+// against the in-memory original, for both sorted and shuffled adjacency.
+func TestCSRColdProbes(t *testing.T) {
+	dir := t.TempDir()
+	for _, shuffled := range []bool{false, true} {
+		// Gnp builds shuffled lists (the linear-scan path); rebuild sorted
+		// for the binary-search path.
+		g := gen.Gnp(150, 0.06, 21)
+		if !shuffled {
+			b := graph.NewBuilder(g.N())
+			for _, e := range g.Edges() {
+				b.AddEdge(e.U, e.V)
+			}
+			g = b.Build()
+		}
+		path := filepath.Join(dir, "g.csr")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.WriteCSR(f, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCSR(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Sorted() == shuffled {
+			t.Fatalf("sorted flag = %v for shuffled=%v", c.Sorted(), shuffled)
+		}
+		if c.M() != g.M() {
+			t.Fatalf("CSR M = %d, want %d", c.M(), g.M())
+		}
+		probeEquivalent(t, "csr", c, g)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWriteCSRStreamFromSource saves an implicit source cold and re-opens
+// it: generate once, probe from disk forever.
+func TestWriteCSRStreamFromSource(t *testing.T) {
+	src := BlockRandom(200, 32, 5, 11)
+	path := filepath.Join(t.TempDir(), "br.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSRStream(f, src.N(), src.Degree, src.Neighbor); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := gen.BlockRandom(200, 32, 5, 11)
+	probeEquivalent(t, "csr-from-source", c, g)
+}
+
+// TestParseSpecs drives the spec grammar: happy paths, aliases, flexible
+// integers, seed overrides and error cases.
+func TestParseSpecs(t *testing.T) {
+	good := map[string]int{ // spec -> want N
+		"ring:n=100":                     100,
+		"cycle:n=1_000":                  1000,
+		"ring:n=1e6":                     1_000_000,
+		"grid:rows=3,cols=7":             21,
+		"torus:rows=4,cols=4":            16,
+		"circulant:n=50,d=6":             50,
+		"circulant:n=50,d=6,seed=9":      50,
+		"blockrandom:n=500,d=4":          500,
+		"blockrandom:n=500,d=4,block=32": 500,
+	}
+	for spec, wantN := range good {
+		src, err := Parse(spec, 7)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if src.N() != wantN {
+			t.Errorf("Parse(%q).N() = %d, want %d", spec, src.N(), wantN)
+		}
+	}
+	bad := []string{
+		"",
+		"ring",              // no colon and not a file
+		"ring:",             // missing n
+		"ring:n=-4",         // negative
+		"ring:n=abc",        // not a number
+		"ring:n=2.5e0",      // non-integral
+		"warp:n=10",         // unknown family
+		"ring:n=10,n=20",    // duplicate key
+		"ring:n=10,z=1",     // ...unknown key is tolerated? no: n parses, z ignored would be silent
+		"circulant:n=9,d=3", // odd degree
+		"csr:",              // missing path
+		"ring:n=5e9",        // above MaxVertices: IDs would overflow packed keys
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 7); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", spec)
+		}
+	}
+	// Seed override changes circulant offsets.
+	a, _ := Parse("circulant:n=101,d=8,seed=1", 7)
+	b, _ := Parse("circulant:n=101,d=8,seed=2", 7)
+	c, _ := Parse("circulant:n=101,d=8,seed=1", 99)
+	if a == nil || b == nil || c == nil {
+		t.Fatal("seeded circulant specs failed to parse")
+	}
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Neighbor(0, i) != c.Neighbor(0, i) {
+			t.Fatalf("spec seed did not override the default seed")
+		}
+		if a.Neighbor(0, i) != b.Neighbor(0, i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct spec seeds produced identical circulants")
+	}
+}
+
+// TestParseBarePathAndFiles checks the file-backed families and the bare
+// path fallback.
+func TestParseBarePathAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Gnp(40, 0.2, 3)
+	elPath := filepath.Join(dir, "g.txt")
+	f, err := os.Create(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	csrPath := filepath.Join(dir, "g.csr")
+	f, err = os.Create(csrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSR(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for _, spec := range []string{elPath, "edgelist:" + elPath, "file:" + elPath, "csr:" + csrPath} {
+		src, err := Parse(spec, 7)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if src.N() != g.N() {
+			t.Fatalf("Parse(%q).N() = %d, want %d", spec, src.N(), g.N())
+		}
+		if src.Degree(0) != g.Degree(0) {
+			t.Fatalf("Parse(%q).Degree(0) mismatch", spec)
+		}
+		if c, ok := src.(Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+// TestImplicitProbesAllocationFree pins the headline property: implicit
+// sources synthesize adjacency with zero heap allocations per probe, at
+// vertex counts far beyond what adjacency-in-memory could hold.
+func TestImplicitProbesAllocationFree(t *testing.T) {
+	const n = 1_000_000_000
+	offsets, err := gen.CirculantOffsets(n, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := Circulant(n, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]Source{
+		"ring":        Ring(n),
+		"torus":       Torus(31623, 31623),
+		"grid":        Grid(31623, 31623),
+		"circulant":   circ,
+		"blockrandom": BlockRandom(n, 64, 6, 7),
+	}
+	for name, src := range srcs {
+		v := src.N() / 3
+		allocs := testing.AllocsPerRun(200, func() {
+			d := src.Degree(v)
+			for i := 0; i < d; i++ {
+				w := src.Neighbor(v, i)
+				src.Adjacency(v, w)
+			}
+			v = (v + 977_771) % src.N()
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per probe round, want 0", name, allocs)
+		}
+	}
+}

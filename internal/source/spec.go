@@ -1,0 +1,321 @@
+package source
+
+// The graph-spec grammar: one string names any backend, so every surface
+// (Session, HTTP server, CLIs) opens sources uniformly. A spec is either
+//
+//	family:key=value,key=value,...   e.g. ring:n=1000000000
+//	family:path                      e.g. csr:web.csr, edgelist:g.txt
+//	path                             bare path, treated as edgelist:path
+//
+// Integer values accept underscores and integral e-notation
+// (n=1_000_000_000, n=1e9). A seed=... key overrides the seed passed to
+// Parse for the families that consume one.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// Family describes one spec-addressable backend family.
+type Family struct {
+	// Name is the spec prefix.
+	Name string
+	// Usage is the one-line argument summary surfaced by CLIs and /sources.
+	Usage string
+	// Keys are the accepted argument names (seed is accepted everywhere);
+	// an unknown key is an error, never silently ignored.
+	Keys []string
+	// Open constructs the source. For key=value families args holds the
+	// parsed pairs; for path families args holds {"path": ...}.
+	Open func(args map[string]string, seed rnd.Seed) (Source, error)
+}
+
+// pathFamilies take a single positional path argument instead of key=value
+// pairs.
+var pathFamilies = map[string]bool{"edgelist": true, "csr": true}
+
+var families = map[string]*Family{
+	"ring": {
+		Name:  "ring",
+		Keys:  []string{"n"},
+		Usage: "ring:n=N — the n-cycle (implicit, O(1) state)",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			n, err := intArg(args, "n", -1)
+			if err != nil {
+				return nil, err
+			}
+			return Ring(n), nil
+		},
+	},
+	"grid": {
+		Name:  "grid",
+		Keys:  []string{"rows", "cols"},
+		Usage: "grid:rows=R,cols=C — the R x C grid (implicit)",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			rows, err := intArg(args, "rows", -1)
+			if err != nil {
+				return nil, err
+			}
+			cols, err := intArg(args, "cols", -1)
+			if err != nil {
+				return nil, err
+			}
+			return Grid(rows, cols), nil
+		},
+	},
+	"torus": {
+		Name:  "torus",
+		Keys:  []string{"rows", "cols"},
+		Usage: "torus:rows=R,cols=C — the R x C torus (implicit)",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			rows, err := intArg(args, "rows", -1)
+			if err != nil {
+				return nil, err
+			}
+			cols, err := intArg(args, "cols", -1)
+			if err != nil {
+				return nil, err
+			}
+			return Torus(rows, cols), nil
+		},
+	},
+	"circulant": {
+		Name:  "circulant",
+		Keys:  []string{"n", "d"},
+		Usage: "circulant:n=N,d=D[,seed=S] — hash-based d-regular circulant (implicit; d even)",
+		Open: func(args map[string]string, seed rnd.Seed) (Source, error) {
+			n, err := intArg(args, "n", -1)
+			if err != nil {
+				return nil, err
+			}
+			d, err := intArg(args, "d", -1)
+			if err != nil {
+				return nil, err
+			}
+			offsets, err := gen.CirculantOffsets(n, d, seed)
+			if err != nil {
+				return nil, err
+			}
+			return Circulant(n, offsets)
+		},
+	},
+	"blockrandom": {
+		Name:  "blockrandom",
+		Keys:  []string{"n", "d", "block"},
+		Usage: "blockrandom:n=N,d=D[,block=B][,seed=S] — per-block G(B, d/(B-1)) random graph (implicit; block default 64)",
+		Open: func(args map[string]string, seed rnd.Seed) (Source, error) {
+			n, err := intArg(args, "n", -1)
+			if err != nil {
+				return nil, err
+			}
+			d, err := floatArg(args, "d", -1)
+			if err != nil {
+				return nil, err
+			}
+			block, err := intArg(args, "block", 64)
+			if err != nil {
+				return nil, err
+			}
+			if block < 2 {
+				return nil, fmt.Errorf("source: blockrandom block must be >= 2, got %d", block)
+			}
+			return BlockRandom(n, block, d, seed), nil
+		},
+	},
+	"edgelist": {
+		Name:  "edgelist",
+		Usage: "edgelist:path (or a bare path) — edge-list text file, loaded in memory",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			f, err := os.Open(args["path"])
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			g, err := graph.ReadEdgeList(f)
+			if err != nil {
+				return nil, fmt.Errorf("source: %s: %w", args["path"], err)
+			}
+			return g, nil
+		},
+	},
+	"csr": {
+		Name:  "csr",
+		Usage: "csr:path — CSR binary file, probed cold from disk",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			return OpenCSR(args["path"])
+		},
+	},
+}
+
+// aliases maps alternative family names onto catalog entries.
+var aliases = map[string]string{
+	"cycle": "ring",
+	"graph": "edgelist",
+	"file":  "edgelist",
+}
+
+// Families lists the spec-addressable families, sorted by name.
+func Families() []Family {
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames lists the family names, sorted.
+func FamilyNames() []string {
+	fs := Families()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Parse opens the source a spec describes. seed is the default randomness
+// for seed-consuming families; a seed=... key in the spec overrides it. A
+// bare string with no family prefix is treated as an edge-list file path.
+func Parse(spec string, seed rnd.Seed) (Source, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("source: empty spec")
+	}
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		name, rest = "edgelist", spec
+	}
+	canon := name
+	if a, isAlias := aliases[canon]; isAlias {
+		canon = a
+	}
+	fam, known := families[canon]
+	if !known {
+		return nil, fmt.Errorf("source: unknown family %q in spec %q (known: %s; prefix a file path with edgelist: or csr:)",
+			name, spec, strings.Join(FamilyNames(), ", "))
+	}
+	if pathFamilies[canon] {
+		if rest == "" {
+			return nil, fmt.Errorf("source: spec %q: missing path", spec)
+		}
+		return fam.Open(map[string]string{"path": rest}, seed)
+	}
+	args, err := parseArgs(rest)
+	if err != nil {
+		return nil, fmt.Errorf("source: spec %q: %w", spec, err)
+	}
+	if raw, hasSeed := args["seed"]; hasSeed {
+		s, err := parseIntFlex(raw)
+		if err != nil {
+			return nil, fmt.Errorf("source: spec %q: seed: %w", spec, err)
+		}
+		seed = rnd.Seed(s)
+		delete(args, "seed")
+	}
+	for key := range args {
+		known := false
+		for _, k := range fam.Keys {
+			if k == key {
+				known = true
+				break
+			}
+		}
+		if !known {
+			// A typo must never degrade into a silently ignored argument.
+			return nil, fmt.Errorf("source: spec %q: unknown argument %q for family %q (accepted: %s, seed)",
+				spec, key, fam.Name, strings.Join(fam.Keys, ", "))
+		}
+	}
+	src, err := fam.Open(args, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Vertex IDs must fit the 32-bit packed-key space the library's memo
+	// tables and edge keys use (see Source's doc); a bigger source would
+	// answer probes fine and then silently collide in algorithm memos.
+	if src.N() > MaxVertices {
+		if c, ok := src.(Closer); ok {
+			_ = c.Close()
+		}
+		return nil, fmt.Errorf("source: spec %q yields n=%d vertices, above the supported maximum %d", spec, src.N(), MaxVertices)
+	}
+	return src, nil
+}
+
+// parseArgs splits "k=v,k=v" into a map; empty input is an empty map.
+func parseArgs(s string) (map[string]string, error) {
+	args := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return args, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("argument %q: want key=value", kv)
+		}
+		if _, dup := args[k]; dup {
+			return nil, fmt.Errorf("argument %q given more than once", k)
+		}
+		args[k] = v
+	}
+	return args, nil
+}
+
+// intArg fetches and parses an integer argument; def < 0 marks it
+// required.
+func intArg(args map[string]string, key string, def int) (int, error) {
+	raw, ok := args[key]
+	if !ok {
+		if def < 0 {
+			return 0, fmt.Errorf("source: missing required argument %q", key)
+		}
+		return def, nil
+	}
+	v, err := parseIntFlex(raw)
+	if err != nil {
+		return 0, fmt.Errorf("source: argument %q: %w", key, err)
+	}
+	if v > math.MaxInt {
+		return 0, fmt.Errorf("source: argument %q: %s overflows int", key, raw)
+	}
+	return int(v), nil
+}
+
+// floatArg fetches and parses a float argument; def < 0 marks it required.
+func floatArg(args map[string]string, key string, def float64) (float64, error) {
+	raw, ok := args[key]
+	if !ok {
+		if def < 0 {
+			return 0, fmt.Errorf("source: missing required argument %q", key)
+		}
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("source: argument %q: %q is not a number", key, raw)
+	}
+	return v, nil
+}
+
+// parseIntFlex parses a non-negative integer, accepting underscore
+// separators and integral e-notation (1_000_000, 1e9).
+func parseIntFlex(raw string) (uint64, error) {
+	s := strings.ReplaceAll(strings.TrimSpace(raw), "_", "")
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 || f != math.Trunc(f) || f > math.MaxUint64 {
+		return 0, fmt.Errorf("%q is not a non-negative integer", raw)
+	}
+	return uint64(f), nil
+}

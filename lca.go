@@ -16,6 +16,7 @@ import (
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
+	"lca/internal/source"
 	"lca/internal/spanner"
 )
 
@@ -29,6 +30,10 @@ type (
 	Builder = graph.Builder
 	// Oracle is the adjacency-list probe interface every LCA runs against.
 	Oracle = oracle.Oracle
+	// Source is the pluggable probe substrate behind a session: an
+	// in-memory *Graph, an implicit deterministic generator, or a cold
+	// disk-backed CSR file (see OpenSource and NewSessionFromSource).
+	Source = source.Source
 	// ProbeCounter wraps an Oracle with probe accounting.
 	ProbeCounter = oracle.Counter
 	// ProbeStats is a snapshot of probe counts by probe type.

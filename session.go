@@ -1,10 +1,10 @@
 package lca
 
 // Session is the unified front door to every registered algorithm: one
-// object owning the graph, the seed, the oracle plumbing, probe budgets
-// and parallel assembly, dispatching point and batch queries by algorithm
-// name through the internal registry. It replaces the flat per-algorithm
-// constructors as the primary API.
+// object owning the probe source, the seed, the oracle plumbing, probe
+// budgets and parallel assembly, dispatching point and batch queries by
+// algorithm name through the internal registry. It replaces the flat
+// per-algorithm constructors as the primary API.
 
 import (
 	"errors"
@@ -13,13 +13,22 @@ import (
 
 	"lca/internal/core"
 	"lca/internal/estimate"
+	"lca/internal/graph"
 	"lca/internal/oracle"
 	"lca/internal/registry"
+	"lca/internal/source"
 )
 
 // ErrProbeBudget is returned (wrapped) by Session queries that exhaust the
 // session's per-query probe budget.
 var ErrProbeBudget = errors.New("lca: probe budget exceeded")
+
+// ErrNotMaterialized is returned (wrapped) by batch Build methods on
+// sessions whose source is not an in-memory graph: materializing a full
+// solution enumerates every element, which is exactly the O(n) work
+// implicit and disk-backed sources exist to avoid. Point queries and
+// EstimateFraction remain available on any source.
+var ErrNotMaterialized = errors.New("lca: batch assembly requires an in-memory graph source")
 
 // AlgoInfo describes one registered algorithm, as discoverable through
 // Session.Algos.
@@ -37,12 +46,15 @@ type AlgoInfo struct {
 }
 
 // Session answers LCA queries for one graph under one seed. Construct with
-// NewSession; the zero value is unusable. Point queries are safe for
-// concurrent use (a mutex serializes them — algorithm instances memoize and
-// are not concurrency-safe); batch Build methods construct independent
-// instances per worker and run embarrassingly parallel.
+// NewSession (in-memory graph) or NewSessionFromSource (any probe backend:
+// implicit generators, disk-backed CSR, spec strings via OpenSource); the
+// zero value is unusable. Point queries are safe for concurrent use (a
+// mutex serializes them — algorithm instances memoize and are not
+// concurrency-safe); batch Build methods construct independent instances
+// per worker and run embarrassingly parallel.
 type Session struct {
-	g      *Graph
+	src    Source
+	g      *Graph // non-nil iff the source is an in-memory graph
 	seed   Seed
 	budget uint64
 	// workers is the worker count for batch builds; 0 selects GOMAXPROCS,
@@ -100,10 +112,24 @@ func WithParam(name string, value any) SessionOption {
 
 // NewSession returns a session answering queries about g.
 func NewSession(g *Graph, opts ...SessionOption) *Session {
+	return NewSessionFromSource(g, opts...)
+}
+
+// NewSessionFromSource returns a session answering queries through any
+// probe source — an implicit generator, a cold disk-backed CSR file, or an
+// in-memory graph (NewSession is this function specialized to graphs).
+// Point queries and EstimateFraction work on every source without ever
+// holding O(n) state; the batch Build methods additionally require an
+// in-memory graph (they enumerate all elements) and return
+// ErrNotMaterialized otherwise.
+func NewSessionFromSource(src Source, opts ...SessionOption) *Session {
 	s := &Session{
-		g:         g,
+		src:       src,
 		params:    map[string]any{},
 		instances: map[string]*boundInstance{},
+	}
+	if g, ok := src.(*graph.Graph); ok {
+		s.g = g
 	}
 	for _, o := range opts {
 		o(s)
@@ -111,8 +137,31 @@ func NewSession(g *Graph, opts ...SessionOption) *Session {
 	return s
 }
 
-// Graph returns the session's graph.
+// OpenSource opens a probe source from a spec string — the grammar every
+// CLI and the HTTP server share: "ring:n=1000000000", "csr:web.csr",
+// "blockrandom:n=1e9,d=8", or a bare edge-list file path. seed feeds the
+// randomized families (a seed=... key in the spec overrides it).
+func OpenSource(spec string, seed Seed) (Source, error) {
+	return source.Parse(spec, seed)
+}
+
+// SourceFamilies lists the spec families OpenSource understands, with
+// usage strings.
+func SourceFamilies() []string {
+	fs := source.Families()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Usage
+	}
+	return out
+}
+
+// Graph returns the session's in-memory graph, or nil when the session
+// runs over a non-materialized source.
 func (s *Session) Graph() *Graph { return s.g }
+
+// Source returns the session's probe source.
+func (s *Session) Source() Source { return s.src }
 
 // Seed returns the session's master seed.
 func (s *Session) Seed() Seed { return s.seed }
@@ -155,10 +204,14 @@ func (s *Session) descriptor(algo string, kind registry.Kind) (*registry.Descrip
 	return d, nil
 }
 
-// buildInstance constructs a fresh instance over a new oracle chain,
-// optionally behind a probe limiter.
-func (s *Session) buildInstance(d *registry.Descriptor, p registry.Params) (any, *oracle.LimitOracle, error) {
-	var o Oracle = oracle.New(s.g)
+// buildInstance constructs a fresh instance over a new oracle chain rooted
+// at base (nil selects the session source), optionally behind a probe
+// limiter.
+func (s *Session) buildInstance(d *registry.Descriptor, p registry.Params, base Oracle) (any, *oracle.LimitOracle, error) {
+	o := base
+	if o == nil {
+		o = oracle.New(s.src)
+	}
 	var limit *oracle.LimitOracle
 	if s.budget > 0 {
 		limit = oracle.NewLimit(o, s.budget)
@@ -183,7 +236,7 @@ func (s *Session) instance(algo string, kind registry.Kind) (*boundInstance, err
 	if bi, ok := s.instances[d.Name]; ok {
 		return bi, nil
 	}
-	inst, limit, err := s.buildInstance(d, s.declaredParams(d))
+	inst, limit, err := s.buildInstance(d, s.declaredParams(d), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +280,7 @@ func (s *Session) Edge(algo string, u, v int) (bool, error) {
 	if err := s.checkVertex(v); err != nil {
 		return false, err
 	}
-	if !s.g.HasEdge(u, v) {
+	if s.src.Adjacency(u, v) < 0 {
 		return false, fmt.Errorf("lca: (%d,%d) is not an edge of the graph", u, v)
 	}
 	var in bool
@@ -268,8 +321,8 @@ func (s *Session) Label(algo string, v int) (int, error) {
 }
 
 func (s *Session) checkVertex(v int) error {
-	if v < 0 || v >= s.g.N() {
-		return fmt.Errorf("lca: vertex %d out of range [0,%d)", v, s.g.N())
+	if v < 0 || v >= s.src.N() {
+		return fmt.Errorf("lca: vertex %d out of range [0,%d)", v, s.src.N())
 	}
 	return nil
 }
@@ -297,14 +350,19 @@ func (s *Session) ProbeStats(algo string) (ProbeStats, error) {
 // batchSetup resolves a batch build: descriptor, parameters (memoized by
 // default — batch assembly is exactly the many-queries-one-instance case
 // memoization amortizes; override with WithParam("memo", false)), and a
-// validated first instance that doubles as the first worker's.
-func (s *Session) batchSetup(algo string, kind registry.Kind) (*registry.Descriptor, registry.Params, any, *oracle.LimitOracle, error) {
+// validated first instance — built over base when non-nil — that doubles
+// as the first worker's. Batch assembly enumerates every element of the
+// graph, so it refuses non-materialized sources.
+func (s *Session) batchSetup(algo string, kind registry.Kind, base Oracle) (*registry.Descriptor, registry.Params, any, *oracle.LimitOracle, error) {
 	d, err := s.descriptor(algo, kind)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	if s.g == nil {
+		return nil, nil, nil, nil, fmt.Errorf("%w (point queries and EstimateFraction work on any source)", ErrNotMaterialized)
+	}
 	p := d.WithMemoDefault(s.declaredParams(d))
-	inst, limit, err := s.buildInstance(d, p)
+	inst, limit, err := s.buildInstance(d, p, base)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -315,7 +373,7 @@ func (s *Session) batchSetup(algo string, kind registry.Kind) (*registry.Descrip
 // edge of the graph, in parallel over the session's worker count (budget
 // enforcement forces serial assembly so exhaustion can abort cleanly).
 func (s *Session) BuildSubgraph(algo string) (*Graph, QueryStats, error) {
-	d, p, inst, limit, err := s.batchSetup(algo, registry.KindEdge)
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindEdge, nil)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -329,14 +387,14 @@ func (s *Session) BuildSubgraph(algo string) (*Graph, QueryStats, error) {
 	}
 	first := handoff(inst)
 	h, qs := core.BuildSubgraphParallel(s.g, func() core.EdgeLCA {
-		return s.workerInstance(d, p, first).(core.EdgeLCA)
+		return s.workerInstance(d, p, first, nil).(core.EdgeLCA)
 	}, s.workers)
 	return h, qs, nil
 }
 
 // BuildVertexSet materializes algo's full vertex solution.
 func (s *Session) BuildVertexSet(algo string) ([]bool, QueryStats, error) {
-	d, p, inst, limit, err := s.batchSetup(algo, registry.KindVertex)
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindVertex, nil)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -350,14 +408,20 @@ func (s *Session) BuildVertexSet(algo string) ([]bool, QueryStats, error) {
 	}
 	first := handoff(inst)
 	in, qs := core.BuildVertexSetParallel(s.g, func() core.VertexLCA {
-		return s.workerInstance(d, p, first).(core.VertexLCA)
+		return s.workerInstance(d, p, first, nil).(core.VertexLCA)
 	}, s.workers)
 	return in, qs, nil
 }
 
 // BuildLabels materializes algo's full labeling.
 func (s *Session) BuildLabels(algo string) ([]int, QueryStats, error) {
-	d, p, inst, limit, err := s.batchSetup(algo, registry.KindLabel)
+	// Every label worker — the validated first instance included — builds
+	// over one shared concurrency-safe caching oracle: label queries
+	// recurse through overlapping lower-priority neighborhoods, so a probe
+	// one worker pays for answers every worker's repeats. Answers are
+	// unchanged (cached cells are pure functions of graph and seed).
+	shared := oracle.NewCaching(oracle.New(s.src))
+	d, p, inst, limit, err := s.batchSetup(algo, registry.KindLabel, shared)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -371,7 +435,7 @@ func (s *Session) BuildLabels(algo string) ([]int, QueryStats, error) {
 	}
 	first := handoff(inst)
 	labels, qs := core.BuildLabelsParallel(s.g, func() core.LabelLCA {
-		return s.workerInstance(d, p, first).(core.LabelLCA)
+		return s.workerInstance(d, p, first, shared).(core.LabelLCA)
 	}, s.workers)
 	return labels, qs, nil
 }
@@ -390,12 +454,13 @@ func handoff(inst any) func() any {
 }
 
 // workerInstance hands the prebuilt instance to the first caller and
-// builds fresh ones for the rest.
-func (s *Session) workerInstance(d *registry.Descriptor, p registry.Params, first func() any) any {
+// builds fresh ones for the rest, over base when non-nil (the shared
+// caching oracle of parallel label assembly).
+func (s *Session) workerInstance(d *registry.Descriptor, p registry.Params, first func() any, base Oracle) any {
 	if inst := first(); inst != nil {
 		return inst
 	}
-	inst, _, err := s.buildInstance(d, p)
+	inst, _, err := s.buildInstance(d, p, base)
 	if err != nil {
 		panic(err) // unreachable: the first build validated the inputs
 	}
@@ -487,5 +552,5 @@ func (s *Session) EstimateFraction(algo string, samples int, delta float64) (Est
 	if err != nil {
 		return EstimateResult{}, err
 	}
-	return estimate.Fraction(d, s.g, s.seed, s.declaredParams(d), samples, delta)
+	return estimate.Fraction(d, s.src, s.seed, s.declaredParams(d), samples, delta)
 }
