@@ -1,0 +1,187 @@
+// Command benchgate compares two lcabench -json outputs and fails when a
+// benchmark metric regresses — the CI gate that turns the uploaded
+// BENCH_ci.json artifacts into an enforced perf trajectory instead of a
+// graph nobody reads.
+//
+// Usage:
+//
+//	benchgate -old prev/BENCH_ci.json -new BENCH_ci.json [-metric "mean probes"] [-tolerance 0.20] [-slack 2]
+//
+// Rows are matched by experiment plus their identity columns (algorithm,
+// source, config, ...); a row regresses when new > old*(1+tolerance) +
+// slack. The absolute slack keeps tiny-probe rows (mean 3 -> 4) from
+// tripping a 20% relative gate on noise. Rows only present on one side
+// are reported but never fail the gate: new benchmarks have no baseline
+// and removed ones have no current value.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// record mirrors lcabench's JSON Lines shape.
+type record struct {
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Row        map[string]string `json:"row"`
+}
+
+// identityCols are the row columns that identify a scenario (as opposed
+// to carrying measurements); the key is the experiment plus every
+// identity column the row has, so each experiment's schema works
+// unmodified.
+var identityCols = []string{
+	"algorithm", "source", "config", "construction", "class", "side", "graph",
+	"kind", "model", "independence", "workload degree",
+	"n", "d", "k", "q", "rounds", "samples", "budget", "block",
+}
+
+func key(rec record) string {
+	parts := []string{rec.Experiment}
+	for _, c := range identityCols {
+		if v, ok := rec.Row[c]; ok {
+			parts = append(parts, c+"="+v)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+func parseRecords(r io.Reader) ([]record, error) {
+	var out []record
+	dec := json.NewDecoder(r)
+	for {
+		var rec record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// metricValues indexes a record list by scenario key, keeping only rows
+// that carry a parseable value for the metric.
+func metricValues(recs []record, metric string) map[string]float64 {
+	out := map[string]float64{}
+	for _, rec := range recs {
+		raw, ok := rec.Row[metric]
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			continue
+		}
+		out[key(rec)] = v
+	}
+	return out
+}
+
+// gateResult is the comparison outcome for one scenario.
+type gateResult struct {
+	key      string
+	old, new float64
+	regress  bool
+}
+
+// compare evaluates every scenario present on both sides.
+func compare(oldRecs, newRecs []record, metric string, tolerance, slack float64) (results []gateResult, onlyOld, onlyNew []string) {
+	oldV := metricValues(oldRecs, metric)
+	newV := metricValues(newRecs, metric)
+	for k, nv := range newV {
+		ov, ok := oldV[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		results = append(results, gateResult{
+			key: k, old: ov, new: nv,
+			regress: nv > ov*(1+tolerance)+slack,
+		})
+	}
+	for k := range oldV {
+		if _, ok := newV[k]; !ok {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].key < results[j].key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return results, onlyOld, onlyNew
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline lcabench -json file (required)")
+		newPath   = flag.String("new", "", "current lcabench -json file (required)")
+		metric    = flag.String("metric", "mean probes", "row column to gate on")
+		tolerance = flag.Float64("tolerance", 0.20, "relative regression allowance (0.20 = +20%)")
+		slack     = flag.Float64("slack", 2, "absolute allowance added on top of the relative one")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRecs, err := readFile(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRecs, err := readFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	results, onlyOld, onlyNew := compare(oldRecs, newRecs, *metric, *tolerance, *slack)
+	bad := 0
+	for _, res := range results {
+		if res.regress {
+			bad++
+			rel := ""
+			if res.old > 0 {
+				rel = fmt.Sprintf("+%.1f%%, ", 100*(res.new-res.old)/res.old)
+			}
+			fmt.Printf("REGRESSION %s: %s %.2f -> %.2f (%sgate %.0f%%+%.0f)\n",
+				res.key, *metric, res.old, res.new, rel, 100**tolerance, *slack)
+		}
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("note: no baseline for %s (new benchmark, not gated)\n", k)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("note: baseline row %s missing from the current run\n", k)
+	}
+	fmt.Printf("benchgate: %d scenarios compared on %q, %d regressions\n", len(results), *metric, bad)
+	if len(results) == 0 {
+		fmt.Println("benchgate: warning: nothing to compare (schema drift or empty inputs)")
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func readFile(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := parseRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

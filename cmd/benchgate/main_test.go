@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldJSON = `{"experiment":"REG","title":"t","row":{"algorithm":"mis","kind":"vertex","queries":"60","mean probes":"100","mean us/query":"5.0"}}
+{"experiment":"REG","title":"t","row":{"algorithm":"coloring","kind":"label","queries":"60","mean probes":"50"}}
+{"experiment":"SRC","title":"t","row":{"source":"ring","algorithm":"mis","n":"1000000","mean probes":"4"}}
+{"experiment":"SRC","title":"t","row":{"source":"ring","algorithm":"gone","n":"1000000","mean probes":"9"}}
+`
+
+const newJSON = `{"experiment":"REG","title":"t","row":{"algorithm":"mis","kind":"vertex","queries":"60","mean probes":"150","mean us/query":"9.0"}}
+{"experiment":"REG","title":"t","row":{"algorithm":"coloring","kind":"label","queries":"60","mean probes":"55"}}
+{"experiment":"SRC","title":"t","row":{"source":"ring","algorithm":"mis","n":"1000000","mean probes":"5"}}
+{"experiment":"NET","title":"t","row":{"config":"remote x1","algorithm":"mis","n":"1000000","mean probes":"4"}}
+`
+
+func mustParse(t *testing.T, s string) []record {
+	t.Helper()
+	recs, err := parseRecords(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	oldRecs := mustParse(t, oldJSON)
+	newRecs := mustParse(t, newJSON)
+	results, onlyOld, onlyNew := compare(oldRecs, newRecs, "mean probes", 0.20, 2)
+	byKey := map[string]gateResult{}
+	for _, r := range results {
+		byKey[r.key] = r
+	}
+	if len(results) != 3 {
+		t.Fatalf("compared %d scenarios, want 3", len(results))
+	}
+	// mis REG: 100 -> 150 is +50%, above 20%+2 — regression.
+	mis := byKey["REG|algorithm=mis|kind=vertex|n=1000000"]
+	for k, r := range byKey {
+		if strings.Contains(k, "REG") && strings.Contains(k, "mis") {
+			mis = r
+		}
+	}
+	if !mis.regress {
+		t.Fatalf("mis +50%% not flagged: %+v", mis)
+	}
+	// coloring: 50 -> 55 is +10%, inside tolerance.
+	for k, r := range byKey {
+		if strings.Contains(k, "coloring") && r.regress {
+			t.Fatalf("coloring +10%% flagged as regression: %s %+v", k, r)
+		}
+	}
+	// SRC mis: 4 -> 5 is +25% relative but inside the absolute slack.
+	for k, r := range byKey {
+		if strings.Contains(k, "SRC") && r.regress {
+			t.Fatalf("tiny-probe row tripped the gate despite slack: %s %+v", k, r)
+		}
+	}
+	if len(onlyNew) != 1 || !strings.Contains(onlyNew[0], "NET") {
+		t.Fatalf("onlyNew = %v, want the NET row", onlyNew)
+	}
+	if len(onlyOld) != 1 || !strings.Contains(onlyOld[0], "gone") {
+		t.Fatalf("onlyOld = %v, want the removed row", onlyOld)
+	}
+}
+
+func TestCompareImprovementsPass(t *testing.T) {
+	oldRecs := mustParse(t, `{"experiment":"REG","title":"t","row":{"algorithm":"mis","mean probes":"100"}}`)
+	newRecs := mustParse(t, `{"experiment":"REG","title":"t","row":{"algorithm":"mis","mean probes":"60"}}`)
+	results, _, _ := compare(oldRecs, newRecs, "mean probes", 0.20, 2)
+	if len(results) != 1 || results[0].regress {
+		t.Fatalf("improvement flagged: %+v", results)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	oldRecs := mustParse(t, `{"experiment":"REG","title":"t","row":{"algorithm":"x","mean probes":"0"}}`)
+	newRecs := mustParse(t, `{"experiment":"REG","title":"t","row":{"algorithm":"x","mean probes":"3"}}`)
+	results, _, _ := compare(oldRecs, newRecs, "mean probes", 0.20, 2)
+	if len(results) != 1 || !results[0].regress {
+		t.Fatalf("0 -> 3 (above slack) not flagged: %+v", results)
+	}
+}
+
+func TestCompareUnparseableMetricSkipped(t *testing.T) {
+	oldRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"-"}}`)
+	newRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"12"}}`)
+	results, _, onlyNew := compare(oldRecs, newRecs, "mean probes", 0.20, 2)
+	if len(results) != 0 {
+		t.Fatalf("unparseable baseline compared anyway: %+v", results)
+	}
+	if len(onlyNew) != 1 {
+		t.Fatalf("row with fresh parseable value should be reported as ungated, got %v", onlyNew)
+	}
+}

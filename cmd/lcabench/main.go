@@ -2,16 +2,18 @@
 // the theory tables of the LCA papers (see DESIGN.md's experiment index
 // E1-E13), plus a registry-generic sweep (REG) benchmarking every
 // registered algorithm — an algorithm added to internal/registry appears
-// there with no edits here — and an implicit-source sweep (SRC) running
+// there with no edits here — an implicit-source sweep (SRC) running
 // point queries on generator-backed sources at vertex counts far beyond
-// RAM (10^8 at the default scale, 10^9 at -scale large).
+// RAM (10^8 at the default scale, 10^9 at -scale large), and a network
+// sweep (NET) that spins up real loopback HTTP shards and answers point
+// queries through the remote:/sharded: source layer end to end.
 //
 // Usage:
 //
-//	lcabench [-exp all|REG|SRC|E1,E4,...] [-seed N] [-scale small|medium|large] [-md] [-json]
+//	lcabench [-exp all|REG|SRC|NET|E1,E4,...] [-seed N] [-scale small|medium|large] [-md] [-json]
 //
-// -exp all runs REG, SRC and E1..E13; pass an explicit list (e.g. -exp
-// E1,E5) to reproduce only the paper tables.
+// -exp all runs REG, SRC, NET and E1..E13; pass an explicit list (e.g.
+// -exp E1,E5) to reproduce only the paper tables.
 //
 // With -json, results are emitted as JSON Lines on stdout: one object per
 // benchmark scenario (table row), shaped
@@ -24,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -42,6 +46,7 @@ import (
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
+	"lca/internal/serve"
 	"lca/internal/source"
 	"lca/internal/spanner"
 	"lca/internal/stats"
@@ -49,7 +54,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13, REG) or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13, REG, SRC, NET) or 'all'")
 		seedFlag  = flag.Uint64("seed", 2019, "master random seed")
 		scaleFlag = flag.String("scale", "medium", "problem sizes: small, medium or large")
 		mdFlag    = flag.Bool("md", false, "emit markdown tables")
@@ -65,6 +70,7 @@ func main() {
 	all := []exp{
 		{"REG", "Registry sweep: point-query cost of every registered algorithm", r.reg},
 		{"SRC", "Implicit sources: point queries at n beyond RAM", r.src},
+		{"NET", "Network sources: point queries through remote/sharded HTTP shards", r.net},
 		{"E1", "Table 1 (this-work rows): size / stretch / probes", r.e1},
 		{"E2", "Table 2: 5-spanner probes by degree class", r.e2},
 		{"E3", "Table 3: O(k^2)-spanner probes and edges by side", r.e3},
@@ -232,53 +238,136 @@ func (r *runner) src() {
 		}
 		family := strings.SplitN(spec, ":", 2)[0]
 		for _, name := range algos {
-			d, err := registry.Get(name)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "SRC: %v\n", err)
-				continue
-			}
-			inst, err := d.Build(oracle.New(src), r.seed, nil)
+			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x5bc)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "SRC: %s: %v\n", name, err)
 				continue
 			}
-			rep, _ := inst.(core.ProbeReporter)
-			prg := rnd.NewPRG(r.seed.Derive(0x5bc))
-			var q core.QueryStats
-			start := time.Now()
-			for i := 0; i < samples; i++ {
-				v := prg.Intn(n)
-				var before oracle.Stats
-				if rep != nil {
-					before = rep.ProbeStats()
-				}
-				switch d.Kind {
-				case registry.KindEdge:
-					// Query the edge to v's first neighbor; skip the rare
-					// isolated vertex (blockrandom has a few).
-					w := src.Neighbor(v, 0)
-					if w < 0 {
-						continue
-					}
-					inst.(core.EdgeLCA).QueryEdge(v, w)
-				case registry.KindVertex:
-					inst.(core.VertexLCA).QueryVertex(v)
-				case registry.KindLabel:
-					inst.(core.LabelLCA).QueryLabel(v)
-				}
-				if rep != nil {
-					q.Observe(rep.ProbeStats().Sub(before))
-				} else {
-					q.Queries++
-				}
-			}
-			elapsed := time.Since(start)
-			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f", family, d.Name, n, q.Queries, q.Mean(), q.MaxTotal,
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f", family, name, n, q.Queries, q.Mean(), q.MaxTotal,
 				float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
 		}
 	}
 	r.print(t)
 	r.note("\nNo row ever holds adjacency in memory: sources synthesize neighborhoods per probe from the seed. Probe counts are flat in n — the whole point of the model.")
+}
+
+// measurePointQueries runs `samples` point queries of the named
+// algorithm's kind against src on one fresh instance, returning probe
+// stats and elapsed wall time — the shared measurement loop of the SRC
+// and NET sweeps. Edge-kind queries target (v, first neighbor of v),
+// skipping the rare isolated vertex (blockrandom has a few).
+func (r *runner) measurePointQueries(src source.Source, algo string, n, samples int, deriveLabel uint64) (core.QueryStats, time.Duration, error) {
+	d, err := registry.Get(algo)
+	if err != nil {
+		return core.QueryStats{}, 0, err
+	}
+	inst, err := d.Build(oracle.New(src), r.seed, nil)
+	if err != nil {
+		return core.QueryStats{}, 0, err
+	}
+	rep, _ := inst.(core.ProbeReporter)
+	prg := rnd.NewPRG(r.seed.Derive(deriveLabel))
+	var q core.QueryStats
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		v := prg.Intn(n)
+		var before oracle.Stats
+		if rep != nil {
+			before = rep.ProbeStats()
+		}
+		switch d.Kind {
+		case registry.KindEdge:
+			w := src.Neighbor(v, 0)
+			if w < 0 {
+				continue
+			}
+			inst.(core.EdgeLCA).QueryEdge(v, w)
+		case registry.KindVertex:
+			inst.(core.VertexLCA).QueryVertex(v)
+		case registry.KindLabel:
+			inst.(core.LabelLCA).QueryLabel(v)
+		}
+		if rep != nil {
+			q.Observe(rep.ProbeStats().Sub(before))
+		} else {
+			q.Queries++
+		}
+	}
+	return q, time.Since(start), nil
+}
+
+// net benchmarks the network source layer end to end: real loopback HTTP
+// shards (full lcaserve handlers, each wrapping its own replica of one
+// implicit source) probed through the remote:/sharded: spec grammar. A
+// local row over the same backing spec is the control: every config runs
+// the same queries, so the mean-probe column must be identical down the
+// table — the wire protocol is transparent — while us/query prices the
+// round trips and shows what the sharded LRU tier buys back.
+func (r *runner) net() {
+	var n int
+	switch r.scale {
+	case "small":
+		n = 100_000
+	case "large":
+		n = 10_000_000
+	default:
+		n = 1_000_000
+	}
+	backingSpec := fmt.Sprintf("circulant:n=%d,d=8", n)
+	const shardCount = 2
+	urls := make([]string, shardCount)
+	var cleanup []func()
+	defer func() {
+		for _, c := range cleanup {
+			c()
+		}
+	}()
+	for i := 0; i < shardCount; i++ {
+		backing, err := source.Parse(backingSpec, r.seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
+			return
+		}
+		srv := &http.Server{Handler: serve.NewFromSource(backing, backingSpec, r.seed).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		urls[i] = "http://" + ln.Addr().String()
+		cleanup = append(cleanup, func() { _ = srv.Close() })
+	}
+	configs := []struct{ name, spec string }{
+		{"local", backingSpec},
+		{"remote x1", "remote:" + urls[0]},
+		{"sharded x2", "sharded:remote:" + urls[0] + ",remote:" + urls[1]},
+		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1]},
+	}
+	algos := []string{"mis", "coloring"}
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean us/query")
+	const samples = 15
+	for _, cfg := range configs {
+		src, err := source.Parse(cfg.spec, r.seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "NET: %s: %v\n", cfg.name, err)
+			continue
+		}
+		for _, name := range algos {
+			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x6e7)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "NET: %s: %v\n", name, err)
+				continue
+			}
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
+				float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+		}
+		if c, ok := src.(source.Closer); ok {
+			_ = c.Close()
+		}
+	}
+	r.print(t)
+	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; only us/query pays the round trips. The lru row shows the client-side cache absorbing repeated neighborhood probes.")
 }
 
 // sizes returns the n grid for the current scale.

@@ -9,10 +9,17 @@
 //	lcaserve -graph g.txt -addr :8080 -seed 2019
 //	lcaserve -graph ring:n=1000000000            # implicit billion-vertex source
 //	lcaserve -graph csr:web.csr                  # disk-backed CSR, probed cold
+//	lcaserve -graph remote:http://shard0:8080    # probe another lcaserve
+//	lcaserve -graph sharded:remote:http://a:8080,remote:http://b:8080
 //
 // -graph takes a source spec: a family form (ring:n=N, torus:rows=R,cols=C,
-// circulant:n=N,d=D, blockrandom:n=N,d=D, csr:path, edgelist:path) or a
-// bare edge-list file path.
+// circulant:n=N,d=D, blockrandom:n=N,d=D, csr:path, edgelist:path,
+// remote:URL, sharded:spec;spec;...) or a bare edge-list file path.
+//
+// Every instance also answers the probe wire protocol (GET/POST /probe,
+// GET /probe/meta), so replicas compose: one lcaserve can front the graph
+// held by another, and a sharded: spec consistent-hashes probes across a
+// fleet of them.
 //
 // Endpoints (registry-generic: every algorithm in /algos is queryable
 // through its kind's route, with tunable parameters as query parameters):

@@ -96,6 +96,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// The audit runs on the materialized copy; release whatever the
+	// source holds (CSR file handles, remote shard connections) now.
+	if c, ok := src.(source.Closer); ok {
+		if err := c.Close(); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d | alg=%s kind=%s seed=%d\n",
 		g.N(), g.M(), g.MaxDegree(), d.Name, d.Kind, *seed)
 

@@ -53,7 +53,7 @@
 //	in, err := s.Vertex("mis", 123_456_789)  // O(1) probes, zero O(n) work
 //	est, err := s.EstimateFraction("matching", 2000, 0.05)
 //
-// Spec strings name three backend families (see OpenSource and
+// Spec strings name four backend families (see OpenSource and
 // SourceFamilies):
 //
 //   - Implicit deterministic generators, synthesized per probe from the
@@ -61,12 +61,27 @@
 //     grid:rows=R,cols=C, torus:rows=R,cols=C, circulant:n=N,d=D
 //     (hash-based d-regular) and blockrandom:n=N,d=D (a G(n, d/n)-style
 //     random family from HMAC-style per-block derived seeds).
+//
 //   - In-memory graphs: a bare path or edgelist:path loads an edge-list
 //     file; NewSession(g) is the same adapter for programmatic graphs.
+//
 //   - Disk-backed CSR (csr:path): a graph saved once — lcagen -format
 //     csr, or graph.WriteCSR/WriteCSRStream — and probed cold through
 //     positioned reads (Degree: 1 read, Neighbor: 2, Adjacency: binary
 //     search), with O(1) resident state.
+//
+//   - Network shards (remote:, sharded:): every lcaserve instance
+//     answers the probe wire protocol (GET/POST /probe, /probe/meta), so
+//     remote:http://host:port probes another process's source — with
+//     connection reuse, per-request timeouts and retry-with-backoff —
+//     and sharded:remote:a,remote:b,... consistent-hashes vertices
+//     across replica shards (";"-separated when sub-specs contain
+//     commas; a cache=N item adds a client-side probe LRU):
+//
+//     src, err := lca.OpenSource("sharded:cache=65536;remote:http://a:8080;remote:http://b:8080", 7)
+//     s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+//     defer s.Close()                        // releases shard connections
+//     in, err := s.Vertex("mis", 123456789)  // probes cross the network transparently
 //
 // Point queries and EstimateFraction work on every source. The batch
 // Build methods enumerate all elements, so they require an in-memory
@@ -74,7 +89,12 @@
 // internal/source.Materialize (or lcaverify -maxn) to audit small
 // instances of a source family. The HTTP server opens sources at runtime
 // (POST /sources?name=...&spec=...) and serves point queries against any
-// of them by name.
+// of them by name. Call Session.Close when done: it releases whatever
+// the source holds (CSR file handles, remote connections). All backends
+// answer identically under the Source contract — internal/source's
+// TestConformance suite enforces it, and cross-backend goldens pin
+// byte-identical answers whether a probe is answered from RAM, disk or
+// the network.
 //
 // # What is implemented
 //

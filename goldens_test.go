@@ -1,0 +1,111 @@
+package lca_test
+
+// Cross-backend determinism goldens: one spec + seed must yield
+// byte-identical answers no matter which backend answers the probes —
+// implicit in-process, cold CSR from disk, a remote shard over HTTP, or a
+// consistent-hashed fleet of shards. This is the property that lets a
+// deployment move a graph between RAM, disk and the network without the
+// served solution shifting underneath its users.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lca"
+	"lca/internal/graph"
+	"lca/internal/source"
+)
+
+// answerDigest queries mis (vertex), spanner3 (edge) and coloring (label)
+// point-wise over a deterministic sample and hashes the transcript.
+func answerDigest(t *testing.T, src lca.Source) string {
+	t.Helper()
+	s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+	defer s.Close()
+	n := src.N()
+	transcript := ""
+	for i := 0; i < 60; i++ {
+		v := (i * 977) % n
+		in, err := s.Vertex("mis", v)
+		if err != nil {
+			t.Fatalf("mis(%d): %v", v, err)
+		}
+		label, err := s.Label("coloring", v)
+		if err != nil {
+			t.Fatalf("coloring(%d): %v", v, err)
+		}
+		transcript += fmt.Sprintf("v%d:%v c%d;", v, in, label)
+		if w := src.Neighbor(v, 0); w >= 0 {
+			in, err := s.Edge("spanner3", v, w)
+			if err != nil {
+				t.Fatalf("spanner3(%d,%d): %v", v, w, err)
+			}
+			transcript += fmt.Sprintf("e%d-%d:%v;", v, w, in)
+		}
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(transcript)))
+}
+
+func TestCrossBackendDeterminismGoldens(t *testing.T) {
+	const spec = "circulant:n=500,d=6,seed=11"
+	implicit, err := lca.OpenSource(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same graph saved cold: CSR written by probing the implicit
+	// source (both fix the ascending adjacency order).
+	csrPath := filepath.Join(t.TempDir(), "g.csr")
+	f, err := os.Create(csrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSRStream(f, implicit.N(), implicit.Degree, implicit.Neighbor); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two HTTP shards, each wrapping its own replica of the implicit
+	// source.
+	shardFor := func() *httptest.Server {
+		replica, err := lca.OpenSource(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(source.NewProbeHandler(replica))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	shardA, shardB := shardFor(), shardFor()
+
+	backends := []struct {
+		name string
+		spec string
+	}{
+		{"implicit", spec},
+		{"csr", "csr:" + csrPath},
+		{"remote", "remote:" + shardA.URL},
+		{"sharded-x2", "sharded:remote:" + shardA.URL + ",remote:" + shardB.URL},
+		{"sharded-x2-lru", "sharded:cache=4096;remote:" + shardA.URL + ";remote:" + shardB.URL},
+	}
+	digests := map[string]string{}
+	for _, b := range backends {
+		src, err := lca.OpenSource(b.spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		digests[b.name] = answerDigest(t, src)
+	}
+	golden := digests["implicit"]
+	for name, d := range digests {
+		if d != golden {
+			t.Errorf("backend %s digest %s differs from implicit %s: the same spec+seed must answer byte-identically", name, d, golden)
+		}
+	}
+}

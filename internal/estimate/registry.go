@@ -62,11 +62,19 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 
 // edgeFractionSafe converts RandomEdge panics — edgeless or effectively
 // edgeless sources whose edge count is unknowable in O(1) — into errors,
-// so servers answer 4xx envelopes instead of dying mid-request.
+// so servers answer 4xx envelopes instead of dying mid-request. Those
+// panics are string payloads by convention; anything else (a runtime
+// error, a network source's typed probe failure) is a genuine defect or
+// a different contract and must keep propagating, not read as a client
+// fault.
 func edgeFractionSafe(name string, sampler EdgeSampler, lca core.EdgeLCA, samples int, delta float64, seed rnd.Seed) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("algorithm %q: edge sampling failed: %v", name, r)
+			msg, ok := r.(string)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("algorithm %q: edge sampling failed: %s", name, msg)
 		}
 	}()
 	return EdgeFraction(sampler, lca, samples, delta, seed), nil

@@ -145,9 +145,11 @@ func WriteCSR(w io.Writer, g *Graph) error {
 
 // WriteCSRStream writes CSR binary format from any (degree, neighbor)
 // probe pair, streaming — the writer never holds the adjacency in memory,
-// so implicit and disk-backed sources of any edge count can be saved. The
-// probe functions are consulted twice per cell (one pass for offsets, one
-// for neighbors). Neighbor cells are int32, so the vertex count must fit
+// so implicit and disk-backed sources of any edge count can be saved.
+// Each neighbor cell is probed at most twice (one fused header pass for
+// totals and sortedness, one emission pass) and each degree three times
+// (header, offset table, emission). Neighbor cells are int32, so the
+// vertex count must fit
 // the int32 ID space; larger n is rejected up front (a silent uint32 wrap
 // would corrupt IDs on disk).
 func WriteCSRStream(w io.Writer, n int, degree func(v int) int, neighbor func(v, i int) int) error {
@@ -158,13 +160,28 @@ func WriteCSRStream(w io.Writer, n int, degree func(v int) int, neighbor func(v,
 		return fmt.Errorf("graph: n=%d exceeds the int32 vertex space of the CSR format", n)
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
+	// One fused pass computes the entry count and the sorted flag (both
+	// must be known before the header is emitted): probes can be
+	// expensive — an O(block) scan on blockrandom, a network round trip
+	// on a remote source — so no sweep is spent that a previous sweep
+	// already paid for.
 	var entries int64
+	sorted := true
 	for v := 0; v < n; v++ {
 		d := degree(v)
 		if d < 0 {
 			return fmt.Errorf("graph: negative degree %d at vertex %d", d, v)
 		}
 		entries += int64(d)
+		prev := -1
+		for i := 0; sorted && i < d; i++ {
+			w := neighbor(v, i)
+			if w <= prev {
+				sorted = false
+				break
+			}
+			prev = w
+		}
 	}
 	if _, err := bw.WriteString(csrMagic); err != nil {
 		return err
@@ -179,20 +196,6 @@ func WriteCSRStream(w io.Writer, n int, degree func(v int) int, neighbor func(v,
 		binary.LittleEndian.PutUint32(buf[:4], x)
 		_, err := bw.Write(buf[:4])
 		return err
-	}
-	// The sorted flag must be known before the header is emitted.
-	sorted := true
-	for v := 0; v < n && sorted; v++ {
-		d := degree(v)
-		prev := -1
-		for i := 0; i < d; i++ {
-			w := neighbor(v, i)
-			if w <= prev {
-				sorted = false
-				break
-			}
-			prev = w
-		}
 	}
 	if err := writeU64(uint64(n)); err != nil {
 		return err

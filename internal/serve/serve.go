@@ -20,6 +20,15 @@
 //	GET  /vertex/{algo}?v=V[&source=NAME][&param=...]
 //	GET  /label/{algo}?v=V[&source=NAME][&param=...]
 //	GET  /estimate/{algo}?samples=S[&source=NAME][&param=...]
+//	GET  /probe?op=OP&a=A[&b=B][&source=NAME]
+//	POST /probe[?source=NAME]
+//	GET  /probe/meta[?source=NAME]
+//
+// The /probe endpoints speak the probe wire protocol (internal/source,
+// wire.go): they answer raw Degree/Neighbor/Adjacency probes about any
+// named source, so every lcaserve instance doubles as a shard that
+// remote: and sharded: sources (and other lcaserve replicas) can probe
+// over the network.
 //
 // POST /sources opens a source by spec string ("ring:n=1000000000",
 // "csr:web.csr", ...) and names it; query endpoints select named sources
@@ -125,7 +134,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /vertex/{algo}", s.handleVertex)
 	mux.HandleFunc("GET /label/{algo}", s.handleLabel)
 	mux.HandleFunc("GET /estimate/{algo}", s.handleEstimate)
+	mux.HandleFunc("GET /probe", s.probeHandler(source.ServeProbe))
+	mux.HandleFunc("POST /probe", s.probeHandler(source.ServeProbeBatch))
+	mux.HandleFunc("GET /probe/meta", s.probeHandler(source.ServeProbeMeta))
 	return mux
+}
+
+// probeHandler adapts one wire-protocol handler to the named-source
+// table, making the server act as a probe shard for any of its sources.
+func (s *Server) probeHandler(serve func(http.ResponseWriter, *http.Request, source.Source)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ns, err := s.sourceFor(r)
+		if err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		serve(w, r, ns.src)
+	}
+}
+
+// Close closes every named source holding external resources (CSR file
+// handles, remote shard connections). The server must not be queried
+// afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for _, ns := range s.sources {
+		if c, ok := ns.src.(source.Closer); ok {
+			errs = append(errs, c.Close())
+		}
+	}
+	s.sources = map[string]*namedSource{}
+	return errors.Join(errs...)
 }
 
 type errorBody struct {
@@ -166,6 +207,24 @@ func writeHTTPError(w http.ResponseWriter, err error) {
 		return
 	}
 	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+// runProbing runs fn, converting a remote-shard probe failure — which
+// surfaces as a typed panic, the Source interface having no error returns
+// — into a 502, so a server fronting unreachable shards degrades to an
+// error envelope instead of a crashed connection.
+func runProbing(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*source.ProbeError)
+			if !ok {
+				panic(r)
+			}
+			err = &httpError{status: http.StatusBadGateway, msg: pe.Error()}
+		}
+	}()
+	fn()
+	return nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -218,12 +277,17 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stubs := 0
-	for v := 0; v < info.N; v++ {
-		d := ns.src.Degree(v)
-		stubs += d
-		if d > info.MaxDegree {
-			info.MaxDegree = d
+	if err := runProbing(func() {
+		for v := 0; v < info.N; v++ {
+			d := ns.src.Degree(v)
+			stubs += d
+			if d > info.MaxDegree {
+				info.MaxDegree = d
+			}
 		}
+	}); err != nil {
+		writeHTTPError(w, err)
+		return
 	}
 	info.M = stubs / 2
 	if haveM {
@@ -445,7 +509,10 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	u, v, err := edgeParams(r, ns.src)
+	var u, v int
+	if perr := runProbing(func() { u, v, err = edgeParams(r, ns.src) }); perr != nil {
+		err = perr
+	}
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -455,7 +522,11 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	in := inst.(core.EdgeLCA).QueryEdge(u, v)
+	var in bool
+	if err := runProbing(func() { in = inst.(core.EdgeLCA).QueryEdge(u, v) }); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in, Probes: probesOf(inst)})
 }
 
@@ -492,7 +563,11 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	in := inst.(core.VertexLCA).QueryVertex(v)
+	var in bool
+	if err := runProbing(func() { in = inst.(core.VertexLCA).QueryVertex(v) }); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in, Probes: probesOf(inst)})
 }
 
@@ -529,7 +604,11 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	label := inst.(core.LabelLCA).QueryLabel(v)
+	var label int
+	if err := runProbing(func() { label = inst.(core.LabelLCA).QueryLabel(v) }); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label, Probes: probesOf(inst)})
 }
 
@@ -574,7 +653,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		samples = parsed
 	}
 	const delta = 0.05
-	res, err := estimate.Fraction(d, ns.src, s.seed, p, samples, delta)
+	var res estimate.Result
+	if perr := runProbing(func() { res, err = estimate.Fraction(d, ns.src, s.seed, p, samples, delta) }); perr != nil {
+		writeHTTPError(w, perr)
+		return
+	}
 	if err != nil {
 		// Kind and samples were validated above; what remains is bad
 		// parameter values, which are the client's.

@@ -1,0 +1,234 @@
+package source
+
+// The executable Source contract. With four backend families behind one
+// interface — implicit generators, the in-memory adapter, disk-backed
+// CSR, and network-backed remote/sharded — "behaves like a Source" must
+// be a test every backend passes, not folklore. TestConformance is that
+// test: backends register a Factory and inherit the full suite, so a new
+// backend is conformant by construction or visibly broken.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lca/internal/rnd"
+)
+
+// Factory opens a fresh instance of one backend for TestConformance. It
+// is called once per subtest; factories needing scratch state (temp
+// files, test servers) hang cleanup on t. The harness closes every source
+// it opens.
+type Factory func(t testing.TB) Source
+
+// maxConformanceSample bounds the vertices each subtest probes — the
+// suite must stay exhaustive on small backends and affordable on remote
+// ones.
+const maxConformanceSample = 48
+
+// TestConformance runs the cross-backend Source contract suite against
+// one backend:
+//
+//   - probes: Degree and Neighbor agree (exactly deg(v) in-range
+//     neighbors, no self-loops or duplicates), and out-of-range neighbor
+//     indices answer -1.
+//   - adjacency: Adjacency(v, w) returns w's index for every real
+//     neighbor, edges are symmetric, and non-edges (including self-pairs)
+//     answer -1.
+//   - determinism: equal probes answer equally across passes.
+//   - close: Close (when the backend holds resources) succeeds and is
+//     idempotent.
+//   - concurrent: racing probers observe the same answers; run the suite
+//     under -race to make this subtest a race detector.
+func TestConformance(t *testing.T, open Factory) {
+	t.Run("probes", func(t *testing.T) {
+		src := open(t)
+		defer closeConformance(t, src)
+		n := src.N()
+		if n < 0 || n > MaxVertices {
+			t.Fatalf("N() = %d, outside [0,%d]", n, MaxVertices)
+		}
+		for _, v := range conformanceSample(n) {
+			d := src.Degree(v)
+			if d < 0 || d >= n {
+				t.Fatalf("Degree(%d) = %d, outside [0,%d) on a simple graph", v, d, n)
+			}
+			seen := make(map[int]bool, d)
+			for i := 0; i < d; i++ {
+				w := src.Neighbor(v, i)
+				if w < 0 || w >= n {
+					t.Fatalf("Neighbor(%d,%d) = %d, out of range [0,%d) with Degree(%d)=%d", v, i, w, n, v, d)
+				}
+				if w == v {
+					t.Fatalf("Neighbor(%d,%d) = %d: self-loop on a simple graph", v, i, w)
+				}
+				if seen[w] {
+					t.Fatalf("Neighbor(%d,*) lists %d twice", v, w)
+				}
+				seen[w] = true
+			}
+			for _, i := range []int{-1, d, d + 1, d + 1000} {
+				if got := src.Neighbor(v, i); got != -1 {
+					t.Fatalf("Neighbor(%d,%d) = %d with Degree(%d)=%d, want -1 for out-of-range index", v, i, got, v, d)
+				}
+			}
+		}
+	})
+	t.Run("adjacency", func(t *testing.T) {
+		src := open(t)
+		defer closeConformance(t, src)
+		n := src.N()
+		sample := conformanceSample(n)
+		for _, v := range sample {
+			if n > 0 {
+				if got := src.Adjacency(v, v); got != -1 {
+					t.Fatalf("Adjacency(%d,%d) = %d, want -1 (no self-loops)", v, v, got)
+				}
+			}
+			d := src.Degree(v)
+			neighbors := make(map[int]bool, d)
+			for i := 0; i < d; i++ {
+				w := src.Neighbor(v, i)
+				neighbors[w] = true
+				if got := src.Adjacency(v, w); got != i {
+					t.Fatalf("Adjacency(%d,%d) = %d, want %d (w is the %d-th neighbor of v)", v, w, got, i, i)
+				}
+				j := src.Adjacency(w, v)
+				if j < 0 {
+					t.Fatalf("Adjacency(%d,%d) = %d: edge (%d,%d) exists but is not symmetric", w, v, j, v, w)
+				}
+				if got := src.Neighbor(w, j); got != v {
+					t.Fatalf("Neighbor(%d,%d) = %d, want %d (Adjacency(%d,%d) said index %d)", w, j, got, v, w, v, j)
+				}
+			}
+			for _, u := range sample {
+				if u != v && !neighbors[u] {
+					if got := src.Adjacency(v, u); got != -1 {
+						t.Fatalf("Adjacency(%d,%d) = %d, want -1 (%d is not among %d's %d neighbors)", v, u, got, u, v, d)
+					}
+				}
+			}
+		}
+	})
+	t.Run("determinism", func(t *testing.T) {
+		src := open(t)
+		defer closeConformance(t, src)
+		sample := conformanceSample(src.N())
+		first := conformanceSnapshot(src, sample)
+		for pass := 0; pass < 2; pass++ {
+			if got := conformanceSnapshot(src, sample); got != first {
+				t.Fatalf("pass %d answered differently:\n got %s\nwant %s", pass+1, got, first)
+			}
+		}
+	})
+	t.Run("close", func(t *testing.T) {
+		src := open(t)
+		c, ok := src.(Closer)
+		if !ok {
+			t.Skip("backend holds no external resources")
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("second Close: %v (Close must be idempotent)", err)
+		}
+	})
+	t.Run("concurrent", func(t *testing.T) {
+		src := open(t)
+		defer closeConformance(t, src)
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		type cell struct{ deg, first, adj int }
+		want := make([]cell, len(sample))
+		for i, v := range sample {
+			want[i] = cell{deg: src.Degree(v), first: src.Neighbor(v, 0)}
+			if want[i].first >= 0 {
+				want[i].adj = src.Adjacency(want[i].first, v)
+			}
+		}
+		const workers = 8
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				prg := rnd.NewPRG(rnd.Seed(1000 + w))
+				for it := 0; it < 150; it++ {
+					i := prg.Intn(len(sample))
+					v := sample[i]
+					if d := src.Degree(v); d != want[i].deg {
+						errs[w] = fmt.Errorf("worker %d: Degree(%d) = %d, want %d", w, v, d, want[i].deg)
+						return
+					}
+					if first := src.Neighbor(v, 0); first != want[i].first {
+						errs[w] = fmt.Errorf("worker %d: Neighbor(%d,0) = %d, want %d", w, v, first, want[i].first)
+						return
+					}
+					if want[i].first >= 0 {
+						if adj := src.Adjacency(want[i].first, v); adj != want[i].adj {
+							errs[w] = fmt.Errorf("worker %d: Adjacency(%d,%d) = %d, want %d", w, want[i].first, v, adj, want[i].adj)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// conformanceSample picks the probed vertices: every vertex when small,
+// a deterministic spread otherwise.
+func conformanceSample(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n <= maxConformanceSample {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, maxConformanceSample)
+	stride := n / maxConformanceSample
+	for i := range out {
+		out[i] = i * stride
+	}
+	return out
+}
+
+// conformanceSnapshot renders the sampled probe answers into one
+// comparable string.
+func conformanceSnapshot(src Source, sample []int) string {
+	s := ""
+	for _, v := range sample {
+		d := src.Degree(v)
+		s += fmt.Sprintf("%d:%d[", v, d)
+		for i := 0; i < d; i++ {
+			w := src.Neighbor(v, i)
+			s += fmt.Sprintf("%d@%d ", w, src.Adjacency(v, w))
+		}
+		s += "] "
+	}
+	return s
+}
+
+// closeConformance closes the backend under test when it can be closed,
+// failing the test on error.
+func closeConformance(t testing.TB, src Source) {
+	if c, ok := src.(Closer); ok {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}
+}

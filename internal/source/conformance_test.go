@@ -1,0 +1,316 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/rnd"
+)
+
+// writeCSRFile saves g as a CSR binary under the test's temp dir and
+// returns the path.
+func writeCSRFile(t testing.TB, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSR(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestConformanceBackends runs the Source contract suite against every
+// local backend family — the implicit generators across their degenerate
+// shapes, the in-memory adapter, and the CSR reader on both sorted and
+// shuffled files. The remote and sharded backends run the same suite over
+// httptest shards in remote_test.go.
+func TestConformanceBackends(t *testing.T) {
+	static := func(src Source) Factory {
+		return func(testing.TB) Source { return src }
+	}
+	offsets, err := gen.CirculantOffsets(64, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := Circulant(64, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		open Factory
+	}{
+		{"ring/0", static(Ring(0))},
+		{"ring/2", static(Ring(2))},
+		{"ring/5", static(Ring(5))},
+		{"ring/100", static(Ring(100))},
+		{"grid/1x1", static(Grid(1, 1))},
+		{"grid/1x6", static(Grid(1, 6))},
+		{"grid/4x7", static(Grid(4, 7))},
+		{"torus/2x2", static(Torus(2, 2))},
+		{"torus/5x6", static(Torus(5, 6))},
+		{"circulant/64d8", static(circ)},
+		{"blockrandom/100", static(BlockRandom(100, 16, 5, 11))},
+		{"blockrandom/ragged", static(BlockRandom(37, 16, 4, 3))},
+		{"graph/gnp", static(FromGraph(gen.Gnp(120, 0.07, 3)))},
+		{"graph/empty", static(FromGraph(gen.Gnp(10, 0, 1)))},
+		{"csr/shuffled", func(t testing.TB) Source {
+			c, err := OpenCSR(writeCSRFile(t, gen.Gnp(150, 0.06, 21)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"csr/sorted", func(t testing.TB) Source {
+			g := gen.Gnp(150, 0.06, 21)
+			b := graph.NewBuilder(g.N())
+			for _, e := range g.Edges() {
+				b.AddEdge(e.U, e.V)
+			}
+			c, err := OpenCSR(writeCSRFile(t, b.Build()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"sharded/local-replicas", func(t testing.TB) Source {
+			s, err := NewSharded([]Source{Ring(60), Ring(60), Ring(60)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"sharded/local-lru", func(t testing.TB) Source {
+			s, err := NewSharded(
+				[]Source{BlockRandom(90, 16, 5, 4), BlockRandom(90, 16, 5, 4)},
+				WithProbeCache(64),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { TestConformance(t, c.open) })
+	}
+}
+
+// TestConformanceSampleIsExhaustiveWhenSmall pins the suite's probing
+// breadth so a refactor cannot silently hollow it out.
+func TestConformanceSampleIsExhaustiveWhenSmall(t *testing.T) {
+	if got := conformanceSample(5); len(got) != 5 {
+		t.Fatalf("sample(5) has %d vertices, want all 5", len(got))
+	}
+	big := conformanceSample(1_000_000)
+	if len(big) != maxConformanceSample {
+		t.Fatalf("sample(1e6) has %d vertices, want %d", len(big), maxConformanceSample)
+	}
+	for _, v := range big {
+		if v < 0 || v >= 1_000_000 {
+			t.Fatalf("sampled vertex %d out of range", v)
+		}
+	}
+}
+
+// TestShardedRouting pins the consistent-hash router: deterministic,
+// in-range, and spreading load across shards rather than collapsing onto
+// one.
+func TestShardedRouting(t *testing.T) {
+	s, err := newSharded([]Source{Ring(10_000), Ring(10_000), Ring(10_000), Ring(10_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for v := 0; v < 10_000; v++ {
+		sh := s.shardFor(v)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("shardFor(%d) = %d, out of range", v, sh)
+		}
+		if again := s.shardFor(v); again != sh {
+			t.Fatalf("shardFor(%d) flapped: %d then %d", v, sh, again)
+		}
+		counts[sh]++
+	}
+	for i, c := range counts {
+		// Uniform would be 2500; require each shard to own a fair share.
+		if c < 1500 || c > 3500 {
+			t.Fatalf("shard %d owns %d of 10000 vertices, outside [1500,3500]: %v", i, c, counts)
+		}
+	}
+	// Consistency: dropping the last shard must not remap vertices owned
+	// by the surviving shards among themselves.
+	s3, err := newSharded([]Source{Ring(10_000), Ring(10_000), Ring(10_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10_000; v++ {
+		before := s.shardFor(v)
+		if before < 3 && s3.shardFor(v) != before {
+			t.Fatalf("vertex %d moved from surviving shard %d to %d when shard 3 left", v, before, s3.shardFor(v))
+		}
+	}
+}
+
+// TestShardedRejectsMismatchedReplicas pins the replica invariant.
+func TestShardedRejectsMismatchedReplicas(t *testing.T) {
+	if _, err := NewSharded([]Source{Ring(10), Ring(11)}); err == nil {
+		t.Fatal("NewSharded accepted shards with different n")
+	}
+	if _, err := NewSharded(nil); err == nil {
+		t.Fatal("NewSharded accepted zero shards")
+	}
+	if _, err := NewSharded([]Source{Ring(10), Grid(2, 5)}); err == nil {
+		t.Fatal("NewSharded accepted shards with mismatched edge counts")
+	}
+}
+
+// TestShardedCapabilities: capabilities surface iff every shard agrees.
+func TestShardedCapabilities(t *testing.T) {
+	s, err := NewSharded([]Source{Ring(30), Ring(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc, ok := s.(EdgeCounter); !ok || mc.M() != 30 {
+		t.Fatalf("sharded ring lost EdgeCounter (ok=%v)", ok)
+	}
+	if db, ok := s.(DegreeBounder); !ok || db.MaxDegree() != 2 {
+		t.Fatalf("sharded ring lost DegreeBounder (ok=%v)", ok)
+	}
+	// blockrandom has neither capability; the composite must not invent
+	// them.
+	s2, err := NewSharded([]Source{BlockRandom(50, 16, 4, 1), BlockRandom(50, 16, 4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.(EdgeCounter); ok {
+		t.Fatal("sharded blockrandom invented an EdgeCounter capability")
+	}
+	if _, ok := s2.(DegreeBounder); ok {
+		t.Fatal("sharded blockrandom invented a DegreeBounder capability")
+	}
+}
+
+// TestProbeLRU exercises the bounded cache directly: hits, eviction
+// order, and the neighbor->adjacency priming path via Sharded.
+func TestProbeLRU(t *testing.T) {
+	c := newProbeLRU(2)
+	k1 := probeKey{op: opDeg, ab: packProbe(1, 0)}
+	k2 := probeKey{op: opDeg, ab: packProbe(2, 0)}
+	k3 := probeKey{op: opDeg, ab: packProbe(3, 0)}
+	c.put(k1, 10)
+	c.put(k2, 20)
+	if v, ok := c.get(k1); !ok || v != 10 {
+		t.Fatalf("get(k1) = %d,%v want 10,true", v, ok)
+	}
+	c.put(k3, 30) // evicts k2 (k1 was refreshed by the get)
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 survived eviction; LRU order broken")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 evicted despite being most recently used")
+	}
+	if c.lruLen() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.lruLen())
+	}
+
+	// Through Sharded: a Neighbor answer primes the adjacency cell, so the
+	// follow-up Adjacency probe is answered without touching any shard.
+	probes := 0
+	counted := countingSource{Source: Ring(50), calls: &probes}
+	s, err := newSharded([]Source{counted}, WithProbeCache(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Neighbor(10, 0)
+	if w != 9 {
+		t.Fatalf("Neighbor(10,0) = %d, want 9", w)
+	}
+	before := probes
+	if got := s.Adjacency(10, 9); got != 0 {
+		t.Fatalf("Adjacency(10,9) = %d, want 0", got)
+	}
+	if probes != before {
+		t.Fatalf("primed Adjacency probe still reached the shard (%d calls)", probes-before)
+	}
+	if d := s.Degree(10); d != 2 {
+		t.Fatalf("Degree(10) = %d, want 2", d)
+	}
+	before = probes
+	for i := 0; i < 5; i++ {
+		s.Degree(10)
+		s.Neighbor(10, 0)
+		s.Adjacency(10, 9)
+	}
+	if probes != before {
+		t.Fatalf("cached probes reached the shard %d times", probes-before)
+	}
+}
+
+// countingSource counts probe calls reaching the wrapped source.
+type countingSource struct {
+	Source
+	calls *int
+}
+
+func (c countingSource) Degree(v int) int {
+	*c.calls++
+	return c.Source.Degree(v)
+}
+
+func (c countingSource) Neighbor(v, i int) int {
+	*c.calls++
+	return c.Source.Neighbor(v, i)
+}
+
+func (c countingSource) Adjacency(u, v int) int {
+	*c.calls++
+	return c.Source.Adjacency(u, v)
+}
+
+// TestShardedProbeBatch checks index alignment and shard fan-out of the
+// batch path over plain local shards.
+func TestShardedProbeBatch(t *testing.T) {
+	s, err := NewSharded([]Source{Ring(40), Ring(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := s.(BatchProber)
+	var probes []ProbeReq
+	var want []int
+	direct := Ring(40)
+	prg := rnd.NewPRG(5)
+	for i := 0; i < 64; i++ {
+		v := prg.Intn(40)
+		switch i % 3 {
+		case 0:
+			probes = append(probes, ProbeReq{Op: OpDegree, A: v})
+			want = append(want, direct.Degree(v))
+		case 1:
+			probes = append(probes, ProbeReq{Op: OpNeighbor, A: v, B: i % 3})
+			want = append(want, direct.Neighbor(v, i%3))
+		default:
+			w := direct.Neighbor(v, 0)
+			probes = append(probes, ProbeReq{Op: OpAdjacency, A: v, B: w})
+			want = append(want, direct.Adjacency(v, w))
+		}
+	}
+	got, err := bp.ProbeBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch answer %d = %d, want %d (probe %+v)", i, got[i], want[i], probes[i])
+		}
+	}
+}

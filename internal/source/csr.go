@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 
 	"lca/internal/graph"
 )
@@ -21,6 +22,9 @@ import (
 type CSR struct {
 	f *os.File
 	h graph.CSRHeader
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 var (
@@ -57,8 +61,12 @@ func OpenCSR(path string) (*CSR, error) {
 	return &CSR{f: f, h: h}, nil
 }
 
-// Close releases the file handle.
-func (c *CSR) Close() error { return c.f.Close() }
+// Close releases the file handle. Idempotent: repeated calls return the
+// first result, so session teardown and deferred cleanup can both fire.
+func (c *CSR) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.f.Close() })
+	return c.closeErr
+}
 
 // N implements Source.
 func (c *CSR) N() int { return int(c.h.N) }

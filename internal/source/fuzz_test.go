@@ -1,0 +1,145 @@
+package source
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedSpecs is the checked-in corpus (mirrored under
+// testdata/fuzz/FuzzParse): every family, the alias and separator forms,
+// and the malformed shapes past bugs hid in.
+var fuzzSeedSpecs = []string{
+	"ring:n=100",
+	"cycle:n=1_000",
+	"ring:n=1e6",
+	"ring:n=5e9",
+	"ring:",
+	"ring",
+	"grid:rows=3,cols=7",
+	"grid:rows=1e5,cols=1e5",
+	"grid:rows=3000000000,cols=3000000000",
+	"torus:rows=4,cols=4",
+	"torus:rows=0,cols=9",
+	"circulant:n=50,d=6",
+	"circulant:n=50,d=6,seed=9",
+	"circulant:n=9,d=3",
+	"blockrandom:n=500,d=4",
+	"blockrandom:n=500,d=4,block=32",
+	"blockrandom:n=500,d=NaN",
+	"blockrandom:n=500,d=-3",
+	"blockrandom:n=500,d=4,block=999999999",
+	"edgelist:/nonexistent/g.txt",
+	"csr:/nonexistent/g.csr",
+	"warp:n=10",
+	"ring:n=10,n=20",
+	"ring:n=10,z=1",
+	"ring:n=,",
+	"ring:n==5",
+	"ring:seed=3",
+	"sharded:ring:n=5,ring:n=5",
+	"sharded:cache=64;grid:rows=2,cols=3;grid:rows=2,cols=3",
+	"sharded:ring:n=5;ring:n=6",
+	"sharded:",
+	"sharded:cache=10",
+	"sharded:sharded:ring:n=4,ring:n=4",
+	"  ring:n=8  ",
+	"::::",
+	"=",
+	"ring:n=+5",
+	"ring:n=0x10",
+}
+
+// fuzzSafeSpec reports whether a generated spec is safe to open during
+// fuzzing: no network dials (remote:) and no reads of pre-existing or
+// special files (a generated "/dev/zero" must not be opened as an edge
+// list). Nonexistent paths are fine — Parse fails fast on them.
+func fuzzSafeSpec(spec string, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	s := strings.TrimSpace(spec)
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		name, rest = "edgelist", s
+	}
+	canon := name
+	if a, isAlias := aliases[canon]; isAlias {
+		canon = a
+	}
+	switch {
+	case canon == "remote":
+		return false
+	case canon == "sharded":
+		for _, item := range splitShardSpecs(rest) {
+			item = strings.TrimSpace(item)
+			if item == "" || strings.HasPrefix(item, "cache=") {
+				continue
+			}
+			if !fuzzSafeSpec(item, depth+1) {
+				return false
+			}
+		}
+		return true
+	case pathFamilies[canon]:
+		st, err := os.Stat(rest)
+		if err != nil {
+			return true // nonexistent: Parse errors without reading anything
+		}
+		return st.Mode().IsRegular() && st.Size() < 1<<20
+	}
+	return true
+}
+
+// FuzzParse fuzzes the spec grammar: Parse must never panic, never hand
+// back a source outside the supported vertex range, and every opened
+// source must answer a probe round and close idempotently. Malformed
+// specs must fail with an error that names the offending input.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeedSpecs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if !fuzzSafeSpec(spec, 0) {
+			t.Skip()
+		}
+		src, err := Parse(spec, 7)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("Parse(%q): empty error message", spec)
+			}
+			return
+		}
+		n := src.N()
+		if n < 0 || n > MaxVertices {
+			t.Fatalf("Parse(%q): n=%d outside [0,%d]", spec, n, MaxVertices)
+		}
+		if n > 0 {
+			v := n / 2
+			d := src.Degree(v)
+			if d < 0 || d >= n {
+				t.Fatalf("Parse(%q): Degree(%d)=%d outside [0,%d)", spec, v, d, n)
+			}
+			if w := src.Neighbor(v, d); w != -1 {
+				t.Fatalf("Parse(%q): Neighbor(%d,deg)=%d, want -1", spec, v, w)
+			}
+			if d > 0 {
+				w := src.Neighbor(v, 0)
+				if w < 0 || w >= n {
+					t.Fatalf("Parse(%q): Neighbor(%d,0)=%d out of range", spec, v, w)
+				}
+				if idx := src.Adjacency(v, w); idx != 0 {
+					t.Fatalf("Parse(%q): Adjacency(%d,%d)=%d, want 0", spec, v, w, idx)
+				}
+			}
+		}
+		if c, ok := src.(Closer); ok {
+			if err := c.Close(); err != nil {
+				t.Fatalf("Parse(%q): Close: %v", spec, err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("Parse(%q): second Close: %v (not idempotent)", spec, err)
+			}
+		}
+	})
+}

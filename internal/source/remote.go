@@ -1,0 +1,338 @@
+package source
+
+// Remote: a Source whose probes are answered by another process speaking
+// the probe wire protocol (wire.go) — the backend that turns the library
+// into a horizontally scalable service. One lcaserve replica can answer
+// queries whose probes are served by another, and Sharded composes N of
+// these into one consistent-hashed fleet.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProbeError is the panic payload raised by network-backed sources when a
+// probe cannot be answered after all retries. The Source interface has no
+// error returns — local backends cannot fail — so network failure
+// surfaces as a typed panic that the Session layer (and internal/serve)
+// recover into ordinary errors; code probing a Remote directly should do
+// the same.
+type ProbeError struct {
+	// Shard is the base URL of the failing shard.
+	Shard string
+	// Op, A, B identify the probe that failed.
+	Op   string
+	A, B int
+	// Err is the underlying transport or protocol error.
+	Err error
+}
+
+func (e *ProbeError) Error() string {
+	return fmt.Sprintf("source: shard %s: probe %s(%d,%d): %v", e.Shard, e.Op, e.A, e.B, e.Err)
+}
+
+func (e *ProbeError) Unwrap() error { return e.Err }
+
+// Remote probes a shard over HTTP. Construct with OpenRemote; the zero
+// value is unusable. Safe for concurrent use: the underlying http.Client
+// reuses pooled keep-alive connections across goroutines.
+//
+// Failed requests are retried with exponential backoff (transport errors,
+// 5xx and 429 responses; protocol-level 4xx errors are not retried); a
+// probe that still fails panics with *ProbeError, which Session queries
+// and the HTTP server convert back into errors.
+type Remote struct {
+	base      string // scheme://host[:port], no trailing slash
+	name      string // optional ?source= selector on the shard
+	client    *http.Client
+	ownClient bool          // we built the client: WithTimeout may mutate it
+	timeout   time.Duration // requested WithTimeout, applied post-options
+	retries   int
+	backoff   time.Duration
+
+	n               int
+	m, maxDeg       int
+	hasM, hasMaxDeg bool
+	closeOnce       sync.Once
+}
+
+var (
+	_ Source      = (*Remote)(nil)
+	_ Closer      = (*Remote)(nil)
+	_ BatchProber = (*Remote)(nil)
+)
+
+// RemoteOption configures a Remote at construction.
+type RemoteOption func(*Remote)
+
+// WithHTTPClient replaces the default client (5s per-request timeout,
+// pooled keep-alive connections). The caller keeps ownership — the
+// client is never mutated; Close only releases idle connections.
+func WithHTTPClient(c *http.Client) RemoteOption {
+	return func(r *Remote) {
+		if c != nil {
+			r.client = c
+			r.ownClient = false
+		}
+	}
+}
+
+// WithTimeout sets the per-request timeout (default 5s). Ignored when a
+// caller-owned client is supplied with WithHTTPClient (in either option
+// order): that client's configuration belongs to the caller.
+func WithTimeout(d time.Duration) RemoteOption {
+	return func(r *Remote) {
+		if d > 0 {
+			r.timeout = d
+		}
+	}
+}
+
+// WithRetries sets how many times a failed probe request is retried
+// (default 2, so 3 attempts in total). 0 disables retrying; negative is 0.
+func WithRetries(n int) RemoteOption {
+	return func(r *Remote) {
+		if n < 0 {
+			n = 0
+		}
+		r.retries = n
+	}
+}
+
+// WithRetryBackoff sets the first retry's backoff (default 50ms); the k-th
+// retry waits 2^(k-1) times as long.
+func WithRetryBackoff(d time.Duration) RemoteOption {
+	return func(r *Remote) {
+		if d > 0 {
+			r.backoff = d
+		}
+	}
+}
+
+// OpenRemote connects to a probe shard and fetches its O(1) metadata. The
+// URL names the shard's base ("http://host:port"; a bare host:port gets
+// http://); a fragment selects a named source on a multi-source shard
+// ("http://host:port#web"). The returned Source carries the EdgeCounter /
+// DegreeBounder capabilities exactly when the shard's backing source does.
+func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
+	base := strings.TrimSpace(rawURL)
+	if base == "" {
+		return nil, fmt.Errorf("source: remote: empty shard URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("source: remote: shard URL %q: %w", rawURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("source: remote: shard URL %q: unsupported scheme %q (want http or https)", rawURL, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("source: remote: shard URL %q: missing host", rawURL)
+	}
+	name := u.Fragment
+	u.Fragment = ""
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	u.RawQuery = ""
+	r := &Remote{
+		base:      u.String(),
+		name:      name,
+		client:    &http.Client{Timeout: 5 * time.Second},
+		ownClient: true,
+		retries:   2,
+		backoff:   50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.ownClient && r.timeout > 0 {
+		r.client.Timeout = r.timeout
+	}
+	meta, err := r.fetchMeta()
+	if err != nil {
+		return nil, err
+	}
+	r.n = meta.N
+	if meta.M != nil {
+		r.m, r.hasM = *meta.M, true
+	}
+	if meta.MaxDegree != nil {
+		r.maxDeg, r.hasMaxDeg = *meta.MaxDegree, true
+	}
+	switch {
+	case r.hasM && r.hasMaxDeg:
+		return remoteMDeg{r}, nil
+	case r.hasM:
+		return remoteM{r}, nil
+	case r.hasMaxDeg:
+		return remoteDeg{r}, nil
+	}
+	return r, nil
+}
+
+// Capability wrappers: a Remote advertises M / MaxDegree exactly when the
+// shard's meta did, so capability type assertions mirror the shard's
+// backing source. Embedding *Remote keeps the full method set (Source,
+// Closer, BatchProber).
+type remoteM struct{ *Remote }
+
+func (r remoteM) M() int { return r.m }
+
+type remoteDeg struct{ *Remote }
+
+func (r remoteDeg) MaxDegree() int { return r.maxDeg }
+
+type remoteMDeg struct{ *Remote }
+
+func (r remoteMDeg) M() int { return r.m }
+
+func (r remoteMDeg) MaxDegree() int { return r.maxDeg }
+
+// Base returns the shard's base URL (for error reporting and bench
+// labels).
+func (r *Remote) Base() string { return r.base }
+
+// N implements Source from the metadata snapshot; free, as in the model.
+func (r *Remote) N() int { return r.n }
+
+// Degree implements Source.
+func (r *Remote) Degree(v int) int { return r.probe(OpDegree, v, 0) }
+
+// Neighbor implements Source.
+func (r *Remote) Neighbor(v, i int) int { return r.probe(OpNeighbor, v, i) }
+
+// Adjacency implements Source.
+func (r *Remote) Adjacency(u, v int) int {
+	// Out-of-range endpoints answer -1 locally (the wire contract answers
+	// the same), saving the round trip algorithms never need.
+	if u < 0 || u >= r.n || v < 0 || v >= r.n {
+		return -1
+	}
+	return r.probe(OpAdjacency, u, v)
+}
+
+// Close releases the client's idle connections. Idempotent; a closed
+// Remote remains usable (new probes open fresh connections).
+func (r *Remote) Close() error {
+	r.closeOnce.Do(r.client.CloseIdleConnections)
+	return nil
+}
+
+func (r *Remote) probe(op string, a, b int) int {
+	ans, err := r.probeErr(op, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return ans
+}
+
+func (r *Remote) probeErr(op string, a, b int) (int, *ProbeError) {
+	probeURL := fmt.Sprintf("%s/probe?op=%s&a=%d&b=%d%s", r.base, op, a, b, r.sourceParam())
+	var ans probeAnswer
+	if err := r.getJSON(probeURL, &ans); err != nil {
+		return 0, &ProbeError{Shard: r.base, Op: op, A: a, B: b, Err: err}
+	}
+	return ans.Answer, nil
+}
+
+// ProbeBatch implements BatchProber with one POST round trip.
+func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	if len(probes) == 0 {
+		return nil, nil
+	}
+	body, err := json.Marshal(probeBatchReq{Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
+	var out probeBatchAnswer
+	if err := r.doJSON(func() (*http.Response, error) {
+		return r.client.Post(batchURL, "application/json", strings.NewReader(string(body)))
+	}, &out); err != nil {
+		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes), Err: err}
+	}
+	if len(out.Answers) != len(probes) {
+		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes),
+			Err: fmt.Errorf("shard answered %d of %d probes", len(out.Answers), len(probes))}
+	}
+	return out.Answers, nil
+}
+
+func (r *Remote) fetchMeta() (probeMeta, error) {
+	var meta probeMeta
+	if err := r.getJSON(r.base+"/probe/meta"+strings.Replace(r.sourceParam(), "&", "?", 1), &meta); err != nil {
+		return meta, fmt.Errorf("source: remote: %s is not answering as a probe shard: %w", r.base, err)
+	}
+	if meta.N < 0 || meta.N > MaxVertices {
+		return meta, fmt.Errorf("source: remote: shard %s reports n=%d, outside [0,%d]", r.base, meta.N, MaxVertices)
+	}
+	return meta, nil
+}
+
+func (r *Remote) sourceParam() string {
+	if r.name == "" {
+		return ""
+	}
+	return "&source=" + url.QueryEscape(r.name)
+}
+
+func (r *Remote) getJSON(u string, out any) error {
+	return r.doJSON(func() (*http.Response, error) { return r.client.Get(u) }, out)
+}
+
+// doJSON issues the request with retry-with-backoff and decodes a 200
+// body into out. Transport errors, 5xx and 429 retry; other statuses are
+// terminal (the request itself is wrong, sending it again cannot help).
+func (r *Remote) doJSON(do func() (*http.Response, error), out any) error {
+	var last error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff << (attempt - 1))
+		}
+		resp, err := do()
+		if err != nil {
+			last = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxProbeBody))
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, out); err != nil {
+				last = fmt.Errorf("malformed shard response: %w", err)
+				continue
+			}
+			return nil
+		}
+		last = fmt.Errorf("status %d: %s", resp.StatusCode, shardErrText(body))
+		if resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return last
+		}
+	}
+	return fmt.Errorf("%w (after %d attempts)", last, r.retries+1)
+}
+
+// shardErrText extracts the error envelope's message, falling back to the
+// trimmed raw body.
+func shardErrText(body []byte) string {
+	var we wireError
+	if json.Unmarshal(body, &we) == nil && we.Error != "" {
+		return we.Error
+	}
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -1,0 +1,472 @@
+package source
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lca/internal/gen"
+)
+
+// newShard spins up an httptest server speaking the probe wire protocol
+// over src — the minimal network shard.
+func newShard(t testing.TB, src Source) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewProbeHandler(src))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// openRemoteShard opens a Remote over a fresh shard backed by src.
+func openRemoteShard(t testing.TB, src Source) Source {
+	t.Helper()
+	r, err := OpenRemote(newShard(t, src).URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestConformanceRemote runs the Source contract suite over network
+// shards: a remote wrapping an implicit backend, a remote wrapping a
+// random family, a sharded fleet of remote replicas, and the same fleet
+// with the LRU tier — the acceptance shape of the remote layer.
+func TestConformanceRemote(t *testing.T) {
+	offsets, err := gen.CirculantOffsets(60, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		open Factory
+	}{
+		{"remote/circulant", func(t testing.TB) Source {
+			circ, err := Circulant(60, offsets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return openRemoteShard(t, circ)
+		}},
+		{"remote/blockrandom", func(t testing.TB) Source {
+			return openRemoteShard(t, BlockRandom(80, 16, 5, 2))
+		}},
+		{"sharded/remote-x2", func(t testing.TB) Source {
+			s, err := NewSharded([]Source{
+				openRemoteShard(t, Ring(70)),
+				openRemoteShard(t, Ring(70)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"sharded/remote-x3-lru", func(t testing.TB) Source {
+			var shards []Source
+			for i := 0; i < 3; i++ {
+				shards = append(shards, openRemoteShard(t, BlockRandom(64, 16, 4, 8)))
+			}
+			s, err := NewSharded(shards, WithProbeCache(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { TestConformance(t, c.open) })
+	}
+}
+
+// TestRemoteMatchesBacking pins protocol transparency: a remote source
+// answers cell-for-cell identically to the backend its shard wraps.
+func TestRemoteMatchesBacking(t *testing.T) {
+	backing := BlockRandom(90, 16, 5, 6)
+	r := openRemoteShard(t, backing)
+	if r.N() != backing.N() {
+		t.Fatalf("remote N = %d, want %d", r.N(), backing.N())
+	}
+	for v := 0; v < backing.N(); v += 3 {
+		if got, want := r.Degree(v), backing.Degree(v); got != want {
+			t.Fatalf("remote Degree(%d) = %d, want %d", v, got, want)
+		}
+		d := backing.Degree(v)
+		for i := 0; i <= d; i++ {
+			if got, want := r.Neighbor(v, i), backing.Neighbor(v, i); got != want {
+				t.Fatalf("remote Neighbor(%d,%d) = %d, want %d", v, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRemoteCapabilities: the remote mirrors the shard's EdgeCounter /
+// DegreeBounder capabilities through /probe/meta — present for a ring,
+// absent for blockrandom.
+func TestRemoteCapabilities(t *testing.T) {
+	ring := openRemoteShard(t, Ring(40))
+	if mc, ok := ring.(EdgeCounter); !ok || mc.M() != 40 {
+		t.Fatalf("remote ring: EdgeCounter ok=%v", ok)
+	}
+	if db, ok := ring.(DegreeBounder); !ok || db.MaxDegree() != 2 {
+		t.Fatalf("remote ring: DegreeBounder ok=%v", ok)
+	}
+	br := openRemoteShard(t, BlockRandom(40, 8, 3, 1))
+	if _, ok := br.(EdgeCounter); ok {
+		t.Fatal("remote blockrandom invented EdgeCounter")
+	}
+	if _, ok := br.(DegreeBounder); ok {
+		t.Fatal("remote blockrandom invented DegreeBounder")
+	}
+}
+
+// TestRemoteRetries: transient 5xx answers are retried with backoff and
+// the probe still succeeds; the failure never leaks to the caller.
+func TestRemoteRetries(t *testing.T) {
+	inner := NewProbeHandler(Ring(30))
+	var fails int32 = 2
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/probe") && r.URL.Query().Get("op") != "" &&
+			atomic.AddInt32(&fails, -1) >= 0 {
+			http.Error(w, "shard warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+	r, err := OpenRemote(ts.URL, WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Degree(7); d != 2 {
+		t.Fatalf("Degree(7) = %d after transient failures, want 2", d)
+	}
+	if atomic.LoadInt32(&fails) != -1 {
+		t.Fatalf("expected both injected failures consumed, fails=%d", fails)
+	}
+}
+
+// recoverProbeError runs fn and returns the *ProbeError it panics with,
+// failing the test if it does not panic that way.
+func recoverProbeError(t *testing.T, fn func()) (pe *ProbeError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("probe unexpectedly succeeded")
+		}
+		var ok bool
+		if pe, ok = r.(*ProbeError); !ok {
+			t.Fatalf("panic payload %T, want *ProbeError", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestRemoteExhaustedRetriesPanicTyped: a shard that stays down surfaces
+// as a typed *ProbeError panic naming the shard and probe.
+func TestRemoteExhaustedRetriesPanicTyped(t *testing.T) {
+	inner := NewProbeHandler(Ring(30))
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("op") != "" {
+			http.Error(w, "shard down", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(down)
+	defer ts.Close()
+	r, err := OpenRemote(ts.URL, WithRetries(1), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := recoverProbeError(t, func() { r.Degree(3) })
+	if pe.Op != OpDegree || pe.A != 3 {
+		t.Fatalf("ProbeError identifies %s(%d,%d), want degree(3,0)", pe.Op, pe.A, pe.B)
+	}
+	if !strings.Contains(pe.Error(), ts.URL) {
+		t.Fatalf("ProbeError %q does not name the shard %s", pe.Error(), ts.URL)
+	}
+}
+
+// TestRemoteTimeout: a hung shard trips the per-request timeout instead
+// of blocking the query forever.
+func TestRemoteTimeout(t *testing.T) {
+	inner := NewProbeHandler(Ring(30))
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("op") != "" {
+			time.Sleep(300 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+	r, err := OpenRemote(ts.URL, WithTimeout(30*time.Millisecond), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	recoverProbeError(t, func() { r.Neighbor(5, 0) })
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("timeout took %v, want well under the shard's 300ms hang", elapsed)
+	}
+}
+
+// TestRemoteBadRequestNotRetried: protocol-level 4xx answers fail fast —
+// retrying a request the shard rejected cannot help.
+func TestRemoteBadRequestNotRetried(t *testing.T) {
+	var calls int32
+	inner := NewProbeHandler(Ring(30))
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("op") != "" {
+			atomic.AddInt32(&calls, 1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	defer ts.Close()
+	r, err := OpenRemote(ts.URL, WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoverProbeError(t, func() { r.Degree(999) }) // out of range: shard answers 400
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("400 answer was requested %d times, want exactly 1 (no retries)", got)
+	}
+}
+
+// TestRemoteBatch round-trips a batch POST and checks index alignment.
+func TestRemoteBatch(t *testing.T) {
+	backing := Ring(50)
+	r := openRemoteShard(t, backing)
+	probes := []ProbeReq{
+		{Op: OpDegree, A: 10},
+		{Op: OpNeighbor, A: 10, B: 1},
+		{Op: OpAdjacency, A: 10, B: 11},
+		{Op: OpNeighbor, A: 10, B: 99},
+		{Op: OpAdjacency, A: 10, B: 20},
+	}
+	got, err := r.(BatchProber).ProbeBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 11, 1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch answer %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemoteNamedSource: the URL fragment selects a named source on a
+// multi-source shard (exercised against a handler that routes ?source=).
+func TestRemoteNamedSource(t *testing.T) {
+	ringH := NewProbeHandler(Ring(20))
+	gridH := NewProbeHandler(Grid(4, 5))
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("source") {
+		case "":
+			ringH.ServeHTTP(w, r)
+		case "grid":
+			gridH.ServeHTTP(w, r)
+		default:
+			http.Error(w, "unknown source", http.StatusNotFound)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	grid, err := OpenRemote(ts.URL + "#grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid 4x5 corner 0 has degree 2; the ring default would answer 2 as
+	// well, so check an interior vertex where the answers differ.
+	if d := grid.Degree(6); d != 4 {
+		t.Fatalf("named grid source Degree(6) = %d, want 4", d)
+	}
+}
+
+// TestOpenRemoteErrors: URL validation and non-shard endpoints fail with
+// errors, never panics.
+func TestOpenRemoteErrors(t *testing.T) {
+	for _, bad := range []string{"", "ftp://host", "http://"} {
+		if _, err := OpenRemote(bad, WithRetries(0)); err == nil {
+			t.Errorf("OpenRemote(%q) unexpectedly succeeded", bad)
+		}
+	}
+	notAShard := httptest.NewServer(http.NotFoundHandler())
+	defer notAShard.Close()
+	if _, err := OpenRemote(notAShard.URL, WithRetries(0)); err == nil {
+		t.Error("OpenRemote against a non-shard endpoint unexpectedly succeeded")
+	}
+}
+
+// TestProbeHandlerBatchForwardsAsBatch: a shard fronting a remote source
+// must relay a POST /probe batch as one upstream round trip, not one GET
+// per probe.
+func TestProbeHandlerBatchForwardsAsBatch(t *testing.T) {
+	var gets, posts int32
+	inner := NewProbeHandler(Ring(40))
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/probe" {
+			switch r.Method {
+			case http.MethodGet:
+				atomic.AddInt32(&gets, 1)
+			case http.MethodPost:
+				atomic.AddInt32(&posts, 1)
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+	upstream := httptest.NewServer(counting)
+	defer upstream.Close()
+	mid, err := OpenRemote(upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewProbeHandler(mid))
+	defer front.Close()
+	body := `{"probes":[{"op":"degree","a":1},{"op":"degree","a":2},{"op":"neighbor","a":3,"b":0},{"op":"adjacency","a":4,"b":5}]}`
+	resp, err := http.Post(front.URL+"/probe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out probeBatchAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 2, 1} // adjacency(4,5): 5 is the second of 4's ascending neighbors (3,5)
+	for i := range want {
+		if out.Answers[i] != want[i] {
+			t.Fatalf("answer %d = %d, want %d", i, out.Answers[i], want[i])
+		}
+	}
+	if g, p := atomic.LoadInt32(&gets), atomic.LoadInt32(&posts); g != 0 || p != 1 {
+		t.Fatalf("upstream saw %d GETs and %d POSTs for one 4-probe batch, want 0 and 1", g, p)
+	}
+}
+
+// TestProbeHandlerDeadUpstream502: a shard that itself fronts other
+// shards (remote-of-remote composition) must answer a 502 envelope when
+// its upstream dies, not crash the HTTP connection.
+func TestProbeHandlerDeadUpstream502(t *testing.T) {
+	upstream := httptest.NewServer(NewProbeHandler(Ring(50)))
+	mid, err := OpenRemote(upstream.URL, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewProbeHandler(mid))
+	defer front.Close()
+	upstream.Close()
+	for _, probe := range []string{"/probe?op=degree&a=1", "/probe?op=neighbor&a=1&b=0"} {
+		resp, err := http.Get(front.URL + probe)
+		if err != nil {
+			t.Fatalf("%s: transport error %v, want a 502 response", probe, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("%s: status %d, want 502", probe, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(front.URL+"/probe", "application/json",
+		strings.NewReader(`{"probes":[{"op":"degree","a":3}]}`))
+	if err != nil {
+		t.Fatalf("batch: transport error %v, want a 502 response", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("batch: status %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestWithTimeoutNeverMutatesCallerClient: a caller-owned client supplied
+// via WithHTTPClient keeps its configuration regardless of option order.
+func TestWithTimeoutNeverMutatesCallerClient(t *testing.T) {
+	ts := newShard(t, Ring(10))
+	shared := &http.Client{Timeout: 7 * time.Second}
+	if _, err := OpenRemote(ts.URL, WithHTTPClient(shared), WithTimeout(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRemote(ts.URL, WithTimeout(time.Second), WithHTTPClient(shared)); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Timeout != 7*time.Second {
+		t.Fatalf("caller-owned client timeout mutated to %v", shared.Timeout)
+	}
+}
+
+// TestRemoteCloseIdempotent: Close twice is fine and the source stays
+// usable afterwards (Close only drops idle connections).
+func TestRemoteCloseIdempotent(t *testing.T) {
+	r := openRemoteShard(t, Ring(15))
+	c := r.(Closer)
+	if err := errors.Join(c.Close(), c.Close()); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Degree(0); d != 2 {
+		t.Fatalf("Degree after Close = %d, want 2", d)
+	}
+}
+
+// TestParseRemoteAndShardedSpecs drives the new grammar end to end: a
+// remote: spec against a live shard, and sharded: lists in both
+// separator forms with a cache item.
+func TestParseRemoteAndShardedSpecs(t *testing.T) {
+	a := newShard(t, Ring(25))
+	b := newShard(t, Ring(25))
+	src, err := Parse("remote:"+a.URL, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.N() != 25 || src.Degree(3) != 2 {
+		t.Fatalf("remote spec: n=%d deg(3)=%d", src.N(), src.Degree(3))
+	}
+	sharded, err := Parse("sharded:remote:"+a.URL+",remote:"+b.URL, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.N() != 25 || sharded.Neighbor(10, 1) != 11 {
+		t.Fatalf("sharded spec: n=%d nbr(10,1)=%d", sharded.N(), sharded.Neighbor(10, 1))
+	}
+	if c, ok := sharded.(Closer); !ok {
+		t.Fatal("sharded source is not a Closer")
+	} else if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Semicolon form with comma-bearing sub-specs plus a cache tier.
+	mixed, err := Parse("sharded:cache=128;grid:rows=6,cols=7;grid:rows=6,cols=7", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.N() != 42 || mixed.Degree(0) != 2 {
+		t.Fatalf("mixed sharded spec: n=%d deg(0)=%d", mixed.N(), mixed.Degree(0))
+	}
+	// Error cases must name the offending token.
+	for spec, token := range map[string]string{
+		"sharded:":                   "sharded",
+		"sharded:ring:n=5;ring:n=6":  "replicas",
+		"sharded:ring:n=5;;ring:n=5": "empty shard",
+		"sharded:cache=xyz;ring:n=5": "cache",
+		"remote:":                    "remote",
+		"remote:ftp://host":          "scheme",
+		"sharded:warp:n=5":           "warp",
+	} {
+		_, err := Parse(spec, 7)
+		if err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), token) {
+			t.Errorf("Parse(%q) error %q does not name %q", spec, err, token)
+		}
+	}
+}

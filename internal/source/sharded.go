@@ -1,0 +1,396 @@
+package source
+
+// Sharded: one Source fronting N replica shards. Every shard answers
+// probes about the same graph (same spec, same seed — replicas of one
+// lcaserve fleet, or any mix of local and remote backends); rendezvous
+// hashing on the probed vertex routes each probe to one shard, so a fleet
+// splits the probe load ~uniformly while keeping per-vertex affinity —
+// the shard that answered Degree(v) also answers v's Neighbor probes, so
+// any per-shard page cache or memo stays hot. An optional LRU tier
+// absorbs repeated neighborhood probes client-side, the bounded-memory
+// counterpart of oracle.CachingOracle's unbounded memoization.
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sharded fans probes out across replica shards. Construct with
+// NewSharded; the zero value is unusable. Safe for concurrent use when
+// the shards are (every backend here is); the LRU tier is mutex-guarded.
+type Sharded struct {
+	shards []Source
+	n      int
+	cache  *probeLRU
+
+	m, maxDeg       int
+	hasM, hasMaxDeg bool
+	closeOnce       sync.Once
+	closeErr        error
+}
+
+var (
+	_ Source      = (*Sharded)(nil)
+	_ Closer      = (*Sharded)(nil)
+	_ BatchProber = (*Sharded)(nil)
+)
+
+// ShardedOption configures a Sharded at construction.
+type ShardedOption func(*Sharded)
+
+// WithProbeCache adds a client-side LRU over probe answers with the given
+// entry capacity (0 disables it, the default). Cached cells are pure
+// functions of the graph, so the tier never changes an answer — it only
+// absorbs the repeated neighborhood probes recursive LCAs issue, which on
+// remote shards saves whole round trips.
+func WithProbeCache(entries int) ShardedOption {
+	return func(s *Sharded) {
+		if entries > 0 {
+			s.cache = newProbeLRU(entries)
+		}
+	}
+}
+
+// NewSharded combines replica shards into one Source. All shards must
+// agree on the vertex count (they are replicas of one graph); the O(1)
+// summary capabilities (EdgeCounter, DegreeBounder) are exposed exactly
+// when every shard has them and they agree.
+func NewSharded(shards []Source, opts ...ShardedOption) (Source, error) {
+	s, err := newSharded(shards, opts...)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case s.hasM && s.hasMaxDeg:
+		return shardedMDeg{s}, nil
+	case s.hasM:
+		return shardedM{s}, nil
+	case s.hasMaxDeg:
+		return shardedDeg{s}, nil
+	}
+	return s, nil
+}
+
+func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("source: sharded: need at least one shard")
+	}
+	s := &Sharded{shards: shards, n: shards[0].N()}
+	for i, sh := range shards {
+		if sh.N() != s.n {
+			return nil, fmt.Errorf("source: sharded: shard %d has n=%d, shard 0 has n=%d (shards must be replicas of one graph)",
+				i, sh.N(), s.n)
+		}
+	}
+	s.hasM, s.hasMaxDeg = true, true
+	for i, sh := range shards {
+		if mc, ok := sh.(EdgeCounter); ok {
+			if i > 0 && s.hasM && mc.M() != s.m {
+				return nil, fmt.Errorf("source: sharded: shard %d reports m=%d, earlier shards m=%d (shards must be replicas)", i, mc.M(), s.m)
+			}
+			s.m = mc.M()
+		} else {
+			s.hasM = false
+		}
+		if db, ok := sh.(DegreeBounder); ok {
+			if i > 0 && s.hasMaxDeg && db.MaxDegree() != s.maxDeg {
+				return nil, fmt.Errorf("source: sharded: shard %d reports maxdeg=%d, earlier shards %d (shards must be replicas)", i, db.MaxDegree(), s.maxDeg)
+			}
+			s.maxDeg = db.MaxDegree()
+		} else {
+			s.hasMaxDeg = false
+		}
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Capability wrappers, mirroring the Remote pattern: the capability is
+// advertised only when every shard has it.
+type shardedM struct{ *Sharded }
+
+func (s shardedM) M() int { return s.m }
+
+type shardedDeg struct{ *Sharded }
+
+func (s shardedDeg) MaxDegree() int { return s.maxDeg }
+
+type shardedMDeg struct{ *Sharded }
+
+func (s shardedMDeg) M() int { return s.m }
+
+func (s shardedMDeg) MaxDegree() int { return s.maxDeg }
+
+// Shards returns the shard count (for bench labels and tests).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardFor routes a vertex to its owning shard by rendezvous (highest
+// random weight) hashing: each (vertex, shard) pair gets an independent
+// 64-bit score and the max wins. Removing one shard remaps only the keys
+// it owned — the consistent-hashing property — with no ring state at all.
+func (s *Sharded) shardFor(v int) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	for i := range s.shards {
+		x := uint64(v)*0x9e3779b97f4a7c15 ^ uint64(i)*0xda942042e4dd58b5
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x >= bestScore {
+			best, bestScore = i, x
+		}
+	}
+	return best
+}
+
+// N implements Source.
+func (s *Sharded) N() int { return s.n }
+
+// Degree implements Source, routed by v.
+func (s *Sharded) Degree(v int) int {
+	k := probeKey{op: opDeg, ab: packProbe(v, 0)}
+	if s.cache != nil {
+		if ans, ok := s.cache.get(k); ok {
+			return ans
+		}
+	}
+	ans := s.shards[s.shardFor(v)].Degree(v)
+	if s.cache != nil {
+		s.cache.put(k, ans)
+	}
+	return ans
+}
+
+// Neighbor implements Source, routed by v.
+func (s *Sharded) Neighbor(v, i int) int {
+	if i < 0 {
+		return -1
+	}
+	k := probeKey{op: opNbr, ab: packProbe(v, i)}
+	if s.cache != nil {
+		if ans, ok := s.cache.get(k); ok {
+			return ans
+		}
+	}
+	ans := s.shards[s.shardFor(v)].Neighbor(v, i)
+	if s.cache != nil {
+		s.cache.put(k, ans)
+		if ans >= 0 {
+			// A Neighbor answer pins down one Adjacency answer for free,
+			// mirroring oracle.CachingOracle.
+			s.cache.put(probeKey{op: opAdj, ab: packProbe(v, ans)}, i)
+		}
+	}
+	return ans
+}
+
+// Adjacency implements Source, routed by the list owner u.
+func (s *Sharded) Adjacency(u, v int) int {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		return -1
+	}
+	k := probeKey{op: opAdj, ab: packProbe(u, v)}
+	if s.cache != nil {
+		if ans, ok := s.cache.get(k); ok {
+			return ans
+		}
+	}
+	ans := s.shards[s.shardFor(u)].Adjacency(u, v)
+	if s.cache != nil {
+		s.cache.put(k, ans)
+	}
+	return ans
+}
+
+// ProbeBatch implements BatchProber: probes are grouped by owning shard
+// and fanned out concurrently, one goroutine (and, on remote shards, one
+// POST round trip) per shard touched. Answers are index-aligned with the
+// request. The LRU tier is consulted first and filled from the answers.
+func (s *Sharded) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	answers := make([]int, len(probes))
+	perShard := make(map[int][]int) // shard -> indices into probes
+	for i, p := range probes {
+		if s.cache != nil {
+			if k, ok := keyOf(p); ok {
+				if ans, hit := s.cache.get(k); hit {
+					answers[i] = ans
+					continue
+				}
+			}
+		}
+		sh := s.shardFor(p.A)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for shard, idxs := range perShard {
+		wg.Add(1)
+		go func(shard int, idxs []int) {
+			defer wg.Done()
+			errs[shard] = s.batchOnShard(shard, idxs, probes, answers)
+		}(shard, idxs)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		for i, p := range probes {
+			if k, ok := keyOf(p); ok {
+				s.cache.put(k, answers[i])
+			}
+		}
+	}
+	return answers, nil
+}
+
+// batchOnShard answers the probes at idxs against one shard, using its
+// batch capability when it has one.
+func (s *Sharded) batchOnShard(shard int, idxs []int, probes []ProbeReq, answers []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			err = pe
+		}
+	}()
+	sh := s.shards[shard]
+	if bp, ok := sh.(BatchProber); ok {
+		sub := make([]ProbeReq, len(idxs))
+		for j, i := range idxs {
+			sub[j] = probes[i]
+		}
+		got, err := bp.ProbeBatch(sub)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			answers[i] = got[j]
+		}
+		return nil
+	}
+	for _, i := range idxs {
+		p := probes[i]
+		ans, status, msg := answerProbe(sh, p.Op, p.A, p.B)
+		if status != 0 {
+			return fmt.Errorf("source: sharded: probe %d: %s", i, msg)
+		}
+		answers[i] = ans
+	}
+	return nil
+}
+
+// Close closes every shard holding external resources. Idempotent;
+// repeated calls return the first result.
+func (s *Sharded) Close() error {
+	s.closeOnce.Do(func() {
+		var errs []error
+		for _, sh := range s.shards {
+			if c, ok := sh.(Closer); ok {
+				errs = append(errs, c.Close())
+			}
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}
+
+// probe-answer LRU ------------------------------------------------------
+
+const (
+	opDeg uint8 = iota
+	opNbr
+	opAdj
+)
+
+type probeKey struct {
+	op uint8
+	ab uint64
+}
+
+// packProbe packs a probe's operands like oracle.cacheKey (operands are
+// vertex IDs or list indices, both under 2^32).
+func packProbe(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// keyOf maps a wire probe to its cache key; unknown ops are uncacheable.
+func keyOf(p ProbeReq) (probeKey, bool) {
+	switch p.Op {
+	case OpDegree:
+		return probeKey{op: opDeg, ab: packProbe(p.A, 0)}, true
+	case OpNeighbor:
+		return probeKey{op: opNbr, ab: packProbe(p.A, p.B)}, true
+	case OpAdjacency:
+		return probeKey{op: opAdj, ab: packProbe(p.A, p.B)}, true
+	}
+	return probeKey{}, false
+}
+
+// probeLRU is a bounded, mutex-guarded LRU over probe answers. Answers
+// are pure functions of the fixed graph, so staleness cannot exist;
+// eviction only trades hit rate for memory.
+type probeLRU struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[probeKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	k   probeKey
+	ans int
+}
+
+func newProbeLRU(capacity int) *probeLRU {
+	// The map grows with actual residency; pre-sizing to the full
+	// capacity would turn a large cache=N spec into an eager multi-GB
+	// allocation before the first probe is ever cached.
+	return &probeLRU{
+		cap:     capacity,
+		entries: make(map[probeKey]*list.Element, min(capacity, 1<<16)),
+		order:   list.New(),
+	}
+}
+
+func (c *probeLRU) get(k probeKey) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).ans, true
+}
+
+func (c *probeLRU) put(k probeKey, ans int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*lruEntry).ans = ans
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&lruEntry{k: k, ans: ans})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).k)
+	}
+}
+
+// lruLen reports the resident entry count (tests).
+func (c *probeLRU) lruLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

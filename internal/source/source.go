@@ -4,7 +4,7 @@
 // that the graph is resident in memory.
 //
 // The point of the LCA model is answering queries about inputs too large
-// to read; this package supplies the input side of that promise with three
+// to read; this package supplies the input side of that promise with four
 // backend families:
 //
 //   - Implicit deterministic generators (Ring, Grid, Torus, Circulant,
@@ -17,16 +17,26 @@
 //   - The disk-backed CSR reader (OpenCSR): a graph saved once with
 //     graph.WriteCSR / WriteCSR is probed cold via positioned reads, with
 //     O(1) resident state per open file.
+//   - Network shards (OpenRemote, NewSharded): probes answered by other
+//     processes over the probe wire protocol (wire.go), with connection
+//     reuse, timeouts and retry-with-backoff; Sharded consistent-hashes
+//     vertices across replica shards and can add a bounded client-side
+//     probe LRU.
 //
 // Sources are addressed by spec strings ("ring:n=1000000000",
-// "csr:web.csr", a bare edge-list path) parsed by Parse; the Session API,
-// the HTTP server and the CLIs all accept specs, so any backend is
-// reachable from every surface.
+// "csr:web.csr", "remote:http://host:8080", "sharded:remote:a,remote:b",
+// a bare edge-list path) parsed by Parse; the Session API, the HTTP
+// server and the CLIs all accept specs, so any backend is reachable from
+// every surface.
 //
 // Every Source must be safe for concurrent use: probe handlers and
 // parallel assembly workers share one instance. All backends here are
 // stateless per probe (or, for files, use positioned reads), which also
-// keeps per-probe allocation at zero on the implicit families.
+// keeps per-probe allocation at zero on the implicit families. The
+// executable contract — including the -1 conventions, adjacency symmetry,
+// determinism, Close idempotence and concurrency safety — is the
+// TestConformance suite (conformance.go), which every backend family
+// passes, network ones included.
 package source
 
 import (

@@ -6,10 +6,15 @@ package source
 //	family:key=value,key=value,...   e.g. ring:n=1000000000
 //	family:path                      e.g. csr:web.csr, edgelist:g.txt
 //	path                             bare path, treated as edgelist:path
+//	remote:http://host:port[#name]   probe a shard over HTTP
+//	sharded:spec;spec;...            consistent-hash across replica shards
 //
 // Integer values accept underscores and integral e-notation
 // (n=1_000_000_000, n=1e9). A seed=... key overrides the seed passed to
-// Parse for the families that consume one.
+// Parse for the families that consume one. The sharded list takes any
+// sub-specs plus an optional cache=N item (client-side probe LRU),
+// ";"-separated — or ","-separated when no sub-spec contains a comma, so
+// sharded:remote:http://a,remote:http://b works.
 
 import (
 	"fmt"
@@ -38,9 +43,9 @@ type Family struct {
 	Open func(args map[string]string, seed rnd.Seed) (Source, error)
 }
 
-// pathFamilies take a single positional path argument instead of key=value
-// pairs.
-var pathFamilies = map[string]bool{"edgelist": true, "csr": true}
+// pathFamilies take a single positional argument (a path, a URL, a shard
+// list) instead of key=value pairs.
+var pathFamilies = map[string]bool{"edgelist": true, "csr": true, "remote": true, "sharded": true}
 
 var families = map[string]*Family{
 	"ring": {
@@ -60,11 +65,7 @@ var families = map[string]*Family{
 		Keys:  []string{"rows", "cols"},
 		Usage: "grid:rows=R,cols=C — the R x C grid (implicit)",
 		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
-			rows, err := intArg(args, "rows", -1)
-			if err != nil {
-				return nil, err
-			}
-			cols, err := intArg(args, "cols", -1)
+			rows, cols, err := extentArgs(args)
 			if err != nil {
 				return nil, err
 			}
@@ -76,11 +77,7 @@ var families = map[string]*Family{
 		Keys:  []string{"rows", "cols"},
 		Usage: "torus:rows=R,cols=C — the R x C torus (implicit)",
 		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
-			rows, err := intArg(args, "rows", -1)
-			if err != nil {
-				return nil, err
-			}
-			cols, err := intArg(args, "cols", -1)
+			rows, cols, err := extentArgs(args)
 			if err != nil {
 				return nil, err
 			}
@@ -124,8 +121,11 @@ var families = map[string]*Family{
 			if err != nil {
 				return nil, err
 			}
-			if block < 2 {
-				return nil, fmt.Errorf("source: blockrandom block must be >= 2, got %d", block)
+			if block < 2 || block > maxSpecBlock {
+				return nil, fmt.Errorf("blockrandom block must be in [2,%d], got %d", maxSpecBlock, block)
+			}
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return nil, fmt.Errorf("blockrandom degree %q must be a finite non-negative number", args["d"])
 			}
 			return BlockRandom(n, block, d, seed), nil
 		},
@@ -153,6 +153,100 @@ var families = map[string]*Family{
 			return OpenCSR(args["path"])
 		},
 	},
+	"remote": {
+		Name:  "remote",
+		Usage: "remote:http://host:port[#name] — probe another lcaserve shard over HTTP",
+		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
+			return OpenRemote(args["path"])
+		},
+	},
+	"sharded": {
+		Name: "sharded",
+		Usage: "sharded:spec;spec;... — consistent-hash probes across replica shards " +
+			"(any sub-specs; ';' or ',' separated; a cache=N item adds a client-side LRU)",
+		// Open is assigned in init: it recurses into Parse, and a literal
+		// here would be an initialization cycle.
+	},
+}
+
+func init() { families["sharded"].Open = openShardedSpec }
+
+// maxSpecBlock caps the blockrandom block size reachable through a spec:
+// probes scan the block, so an absurd block turns O(1) probes into O(n)
+// scans — a spec typo must not do that silently.
+const maxSpecBlock = 1 << 20
+
+// extentArgs parses the rows/cols arguments shared by grid and torus,
+// refusing extent products that overflow the vertex space (the post-parse
+// N() check cannot catch a product that wrapped negative).
+func extentArgs(args map[string]string) (rows, cols int, err error) {
+	if rows, err = intArg(args, "rows", -1); err != nil {
+		return 0, 0, err
+	}
+	if cols, err = intArg(args, "cols", -1); err != nil {
+		return 0, 0, err
+	}
+	if rows > 0 && cols > MaxVertices/rows {
+		return 0, 0, fmt.Errorf("%d x %d vertices overflow the supported maximum %d", rows, cols, MaxVertices)
+	}
+	return rows, cols, nil
+}
+
+// splitShardSpecs splits a sharded spec body into items: on ";" when one
+// is present (required when sub-specs themselves contain commas, like
+// grid:rows=3,cols=3), else on "," per the compact remote-list form.
+func splitShardSpecs(rest string) []string {
+	sep := ","
+	if strings.Contains(rest, ";") {
+		sep = ";"
+	}
+	return strings.Split(rest, sep)
+}
+
+// openShardedSpec opens every sub-spec of a sharded: list and combines
+// them; already-open shards are closed again on any failure.
+func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
+	var shards []Source
+	closeAll := func() {
+		for _, sh := range shards {
+			if c, ok := sh.(Closer); ok {
+				_ = c.Close()
+			}
+		}
+	}
+	var opts []ShardedOption
+	for _, item := range splitShardSpecs(args["path"]) {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			closeAll()
+			return nil, fmt.Errorf("empty shard spec in list %q", args["path"])
+		}
+		if raw, ok := strings.CutPrefix(item, "cache="); ok {
+			entries, err := parseIntFlex(raw)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("cache size: %w", err)
+			}
+			if entries > 1<<30 {
+				closeAll()
+				return nil, fmt.Errorf("cache size %d exceeds the maximum %d entries", entries, 1<<30)
+			}
+			opts = append(opts, WithProbeCache(int(entries)))
+			continue
+		}
+		sh, err := Parse(item, seed)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	src, err := NewSharded(shards, opts...)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return src, nil
 }
 
 // aliases maps alternative family names onto catalog entries.
@@ -205,9 +299,13 @@ func Parse(spec string, seed rnd.Seed) (Source, error) {
 	}
 	if pathFamilies[canon] {
 		if rest == "" {
-			return nil, fmt.Errorf("source: spec %q: missing path", spec)
+			return nil, fmt.Errorf("source: spec %q: missing %s argument", spec, fam.Name)
 		}
-		return fam.Open(map[string]string{"path": rest}, seed)
+		src, err := fam.Open(map[string]string{"path": rest}, seed)
+		if err != nil {
+			return nil, specErr(spec, err)
+		}
+		return checkParsed(spec, src)
 	}
 	args, err := parseArgs(rest)
 	if err != nil {
@@ -237,18 +335,40 @@ func Parse(spec string, seed rnd.Seed) (Source, error) {
 	}
 	src, err := fam.Open(args, seed)
 	if err != nil {
-		return nil, err
+		return nil, specErr(spec, err)
 	}
-	// Vertex IDs must fit the 32-bit packed-key space the library's memo
-	// tables and edge keys use (see Source's doc); a bigger source would
-	// answer probes fine and then silently collide in algorithm memos.
-	if src.N() > MaxVertices {
-		if c, ok := src.(Closer); ok {
-			_ = c.Close()
-		}
-		return nil, fmt.Errorf("source: spec %q yields n=%d vertices, above the supported maximum %d", spec, src.N(), MaxVertices)
+	return checkParsed(spec, src)
+}
+
+// specErr wraps a family-open failure with the offending spec. Errors
+// from nested Parse calls (sharded: sub-specs) already name the precise
+// offending sub-spec, which is the more useful token — they pass through
+// unwrapped instead of accumulating one prefix per nesting level.
+func specErr(spec string, err error) error {
+	if strings.HasPrefix(err.Error(), "source: spec ") {
+		return err
 	}
-	return src, nil
+	return fmt.Errorf("source: spec %q: %w", spec, err)
+}
+
+// checkParsed applies the post-open invariants every spec-opened source
+// must satisfy. Vertex IDs must fit the 32-bit packed-key space the
+// library's memo tables and edge keys use (see Source's doc); a bigger
+// source would answer probes fine and then silently collide in algorithm
+// memos. A negative count marks a broken backend (an overflow the family
+// failed to guard).
+func checkParsed(spec string, src Source) (Source, error) {
+	n := src.N()
+	if n >= 0 && n <= MaxVertices {
+		return src, nil
+	}
+	if c, ok := src.(Closer); ok {
+		_ = c.Close()
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("source: spec %q yields a negative vertex count %d", spec, n)
+	}
+	return nil, fmt.Errorf("source: spec %q yields n=%d vertices, above the supported maximum %d", spec, n, MaxVertices)
 }
 
 // parseArgs splits "k=v,k=v" into a map; empty input is an empty map.
@@ -276,16 +396,16 @@ func intArg(args map[string]string, key string, def int) (int, error) {
 	raw, ok := args[key]
 	if !ok {
 		if def < 0 {
-			return 0, fmt.Errorf("source: missing required argument %q", key)
+			return 0, fmt.Errorf("missing required argument %q", key)
 		}
 		return def, nil
 	}
 	v, err := parseIntFlex(raw)
 	if err != nil {
-		return 0, fmt.Errorf("source: argument %q: %w", key, err)
+		return 0, fmt.Errorf("argument %q: %w", key, err)
 	}
 	if v > math.MaxInt {
-		return 0, fmt.Errorf("source: argument %q: %s overflows int", key, raw)
+		return 0, fmt.Errorf("argument %q: %s overflows int", key, raw)
 	}
 	return int(v), nil
 }
@@ -295,13 +415,13 @@ func floatArg(args map[string]string, key string, def float64) (float64, error) 
 	raw, ok := args[key]
 	if !ok {
 		if def < 0 {
-			return 0, fmt.Errorf("source: missing required argument %q", key)
+			return 0, fmt.Errorf("missing required argument %q", key)
 		}
 		return def, nil
 	}
 	v, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
-		return 0, fmt.Errorf("source: argument %q: %q is not a number", key, raw)
+		return 0, fmt.Errorf("argument %q: %q is not a number", key, raw)
 	}
 	return v, nil
 }

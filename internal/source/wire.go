@@ -1,0 +1,268 @@
+package source
+
+// The probe wire protocol: how one process answers another's adjacency
+// probes, so any lcaserve instance (or anything mounting these handlers)
+// can act as a network shard for a Remote or Sharded source.
+//
+//	GET  /probe?op=degree|neighbor|adjacency&a=A[&b=B][&source=NAME]
+//	POST /probe[?source=NAME]      {"probes":[{"op":"neighbor","a":5,"b":2},...]}
+//	GET  /probe/meta[?source=NAME] {"n":N[,"m":M][,"max_degree":D]}
+//
+// Answers keep the Source interface's conventions exactly (-1 for
+// out-of-range neighbor indices and non-edges), so remote probing is
+// transparent: an LCA cannot tell a network shard from a local backend,
+// and probe counts are identical. /probe/meta is O(1) by construction —
+// the optional m and max_degree fields appear only when the backing
+// source has the EdgeCounter / DegreeBounder capability, never from O(n)
+// probing. Errors use the same JSON envelope as internal/serve:
+// {"error": ..., "status": ...}.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Wire names of the three probe operations.
+const (
+	OpDegree    = "degree"
+	OpNeighbor  = "neighbor"
+	OpAdjacency = "adjacency"
+)
+
+// MaxProbeBatch caps the probe count of one POST /probe request; larger
+// batches are a 400, never an unbounded allocation.
+const MaxProbeBatch = 1 << 16
+
+// maxProbeBody bounds the batch request body (MaxProbeBatch probes at a
+// generous ~64 bytes of JSON each).
+const maxProbeBody = MaxProbeBatch * 64
+
+// ProbeReq is one probe on the wire. A holds the probed vertex (Degree,
+// Neighbor) or the list owner u (Adjacency); B holds the neighbor index
+// (Neighbor) or the sought vertex v (Adjacency) and is ignored for Degree.
+type ProbeReq struct {
+	Op string `json:"op"`
+	A  int    `json:"a"`
+	B  int    `json:"b,omitempty"`
+}
+
+// BatchProber is the optional capability of answering many probes in one
+// round trip — Remote sends one POST instead of len(probes) GETs, and
+// Sharded fans a batch out to its shards concurrently.
+type BatchProber interface {
+	ProbeBatch(probes []ProbeReq) ([]int, error)
+}
+
+type probeAnswer struct {
+	Answer int `json:"answer"`
+}
+
+type probeBatchReq struct {
+	Probes []ProbeReq `json:"probes"`
+}
+
+type probeBatchAnswer struct {
+	Answers []int `json:"answers"`
+}
+
+// probeMeta is the /probe/meta body: the O(1) facts a Remote needs at
+// construction. M and MaxDegree are present only when the shard's source
+// has the corresponding capability.
+type probeMeta struct {
+	N         int  `json:"n"`
+	M         *int `json:"m,omitempty"`
+	MaxDegree *int `json:"max_degree,omitempty"`
+}
+
+// metaOf snapshots src's O(1) summary capabilities.
+func metaOf(src Source) probeMeta {
+	meta := probeMeta{N: src.N()}
+	if mc, ok := src.(EdgeCounter); ok {
+		m := mc.M()
+		meta.M = &m
+	}
+	if db, ok := src.(DegreeBounder); ok {
+		d := db.MaxDegree()
+		meta.MaxDegree = &d
+	}
+	return meta
+}
+
+// wireError is the shared JSON error envelope ({"error","status"}), the
+// same shape internal/serve uses, so shard and query endpoints fail alike.
+type wireError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeWireJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeWireErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeWireJSON(w, status, wireError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// answerProbeRecover is answerProbe behind a *ProbeError recover: when
+// the probed source is itself network-backed (a shard fronting other
+// shards) and its upstream dies, the handler must answer a 502 envelope,
+// not crash the connection.
+func answerProbeRecover(src Source, op string, a, b int) (ans, status int, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			ans, status, msg = 0, http.StatusBadGateway, pe.Error()
+		}
+	}()
+	return answerProbe(src, op, a, b)
+}
+
+// validateProbe applies the wire protocol's checks without probing:
+// unknown ops and out-of-range probed vertices are the client's fault.
+// Adjacency endpoints need no validation — out of range means "not an
+// edge", answered -1.
+func validateProbe(src Source, p ProbeReq) (status int, msg string) {
+	switch p.Op {
+	case OpDegree, OpNeighbor:
+		if n := src.N(); p.A < 0 || p.A >= n {
+			return http.StatusBadRequest, fmt.Sprintf("probe %s: vertex %d out of range [0,%d)", p.Op, p.A, n)
+		}
+	case OpAdjacency:
+	default:
+		return http.StatusBadRequest, fmt.Sprintf("unknown probe op %q (want %s, %s or %s)", p.Op, OpDegree, OpNeighbor, OpAdjacency)
+	}
+	return 0, ""
+}
+
+// answerProbe answers one wire probe against src. A non-zero status marks
+// a protocol error; Adjacency with either endpoint out of range answers
+// -1 — "not an edge" is the honest model answer and keeps clients from
+// having to pre-validate.
+func answerProbe(src Source, op string, a, b int) (ans, status int, msg string) {
+	if status, msg := validateProbe(src, ProbeReq{Op: op, A: a, B: b}); status != 0 {
+		return 0, status, msg
+	}
+	switch op {
+	case OpDegree:
+		return src.Degree(a), 0, ""
+	case OpNeighbor:
+		return src.Neighbor(a, b), 0, ""
+	}
+	if n := src.N(); a < 0 || a >= n || b < 0 || b >= n {
+		return -1, 0, ""
+	}
+	return src.Adjacency(a, b), 0, ""
+}
+
+// ServeProbeMeta answers GET /probe/meta for src. Callers that serve
+// several named sources resolve ?source= themselves and pass the winner.
+func ServeProbeMeta(w http.ResponseWriter, r *http.Request, src Source) {
+	writeWireJSON(w, http.StatusOK, metaOf(src))
+}
+
+// ServeProbe answers one GET /probe request for src.
+func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
+	q := r.URL.Query()
+	op := q.Get("op")
+	a, err := wireInt(q.Get("a"), "a")
+	if err != nil {
+		writeWireErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b := 0
+	if raw := q.Get("b"); raw != "" {
+		if b, err = wireInt(raw, "b"); err != nil {
+			writeWireErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else if op == OpNeighbor || op == OpAdjacency {
+		// A forgotten index must not silently read as "the 0th neighbor".
+		writeWireErr(w, http.StatusBadRequest, "probe %s requires parameter \"b\"", op)
+		return
+	}
+	ans, status, msg := answerProbeRecover(src, op, a, b)
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
+		return
+	}
+	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: ans})
+}
+
+// ServeProbeBatch answers one POST /probe request for src: the answers
+// slice is index-aligned with the request's probes.
+func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
+	var req probeBatchReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProbeBody))
+	if err := dec.Decode(&req); err != nil {
+		writeWireErr(w, http.StatusBadRequest, "malformed probe batch: %v", err)
+		return
+	}
+	if len(req.Probes) > MaxProbeBatch {
+		writeWireErr(w, http.StatusBadRequest, "probe batch of %d exceeds the maximum %d", len(req.Probes), MaxProbeBatch)
+		return
+	}
+	for i, p := range req.Probes {
+		if status, msg := validateProbe(src, p); status != 0 {
+			writeWireErr(w, status, "probe %d: %s", i, msg)
+			return
+		}
+	}
+	// A network-backed source (a shard fronting other shards) forwards
+	// the whole batch in its own single round trip instead of one
+	// upstream request per probe.
+	if bp, ok := src.(BatchProber); ok {
+		answers, err := bp.ProbeBatch(req.Probes)
+		if err != nil {
+			writeWireErr(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers})
+		return
+	}
+	answers := make([]int, len(req.Probes))
+	for i, p := range req.Probes {
+		ans, status, msg := answerProbeRecover(src, p.Op, p.A, p.B)
+		if status != 0 {
+			writeWireErr(w, status, "probe %d: %s", i, msg)
+			return
+		}
+		answers[i] = ans
+	}
+	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers})
+}
+
+func wireInt(raw, name string) (int, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing probe parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("probe parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// NewProbeHandler returns a standalone shard handler over one fixed
+// source: the minimal process shape that can back a Remote. lcaserve
+// mounts the Serve* functions against its named-source table instead, so
+// a full query server doubles as a shard.
+func NewProbeHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /probe/meta", func(w http.ResponseWriter, r *http.Request) {
+		ServeProbeMeta(w, r, src)
+	})
+	mux.HandleFunc("GET /probe", func(w http.ResponseWriter, r *http.Request) {
+		ServeProbe(w, r, src)
+	})
+	mux.HandleFunc("POST /probe", func(w http.ResponseWriter, r *http.Request) {
+		ServeProbeBatch(w, r, src)
+	})
+	return mux
+}

@@ -64,6 +64,9 @@ type Session struct {
 
 	mu        sync.Mutex
 	instances map[string]*boundInstance
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // boundInstance is one constructed algorithm bound to the session's oracle
@@ -156,6 +159,21 @@ func SourceFamilies() []string {
 	return out
 }
 
+// Close releases the session's probe source when it holds external
+// resources — the CSR backend's file handle, a remote source's shard
+// connections, every such shard of a sharded source. Sources without
+// resources (in-memory graphs, implicit generators) make Close a no-op.
+// Idempotent: repeated calls return the first result. The session must
+// not be queried after Close.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		if c, ok := s.src.(source.Closer); ok {
+			s.closeErr = c.Close()
+		}
+	})
+	return s.closeErr
+}
+
 // Graph returns the session's in-memory graph, or nil when the session
 // runs over a non-materialized source.
 func (s *Session) Graph() *Graph { return s.g }
@@ -246,22 +264,32 @@ func (s *Session) instance(algo string, kind registry.Kind) (*boundInstance, err
 }
 
 // guarded runs one query against a bound instance, resetting the probe
-// budget window first and converting budget exhaustion into an error.
+// budget window first and converting budget exhaustion — and remote-shard
+// probe failure — into errors.
 func (bi *boundInstance) guarded(fn func()) (err error) {
 	if bi.limit != nil {
 		bi.limit.Reset()
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			be, ok := r.(oracle.ErrBudgetExceeded)
-			if !ok {
-				panic(r)
-			}
-			err = fmt.Errorf("%w (budget %d)", ErrProbeBudget, be.Budget)
+			err = queryPanicErr(r)
 		}
 	}()
 	fn()
 	return nil
+}
+
+// queryPanicErr converts the two expected query panics — the probe
+// limiter's budget signal and a network source's probe failure — into
+// errors, repanicking on anything else.
+func queryPanicErr(r any) error {
+	if be, ok := r.(oracle.ErrBudgetExceeded); ok {
+		return fmt.Errorf("%w (budget %d)", ErrProbeBudget, be.Budget)
+	}
+	if pe, ok := r.(*source.ProbeError); ok {
+		return fmt.Errorf("lca: %w", pe)
+	}
+	panic(r)
 }
 
 // Edge answers an edge-membership point query: whether input edge (u,v)
@@ -280,7 +308,13 @@ func (s *Session) Edge(algo string, u, v int) (bool, error) {
 	if err := s.checkVertex(v); err != nil {
 		return false, err
 	}
-	if s.src.Adjacency(u, v) < 0 {
+	// The non-edge precheck probes the source, so it needs the same
+	// panic-to-error conversion as the query itself.
+	var isEdge bool
+	if err := runRecovered(func() { isEdge = s.src.Adjacency(u, v) >= 0 }); err != nil {
+		return false, err
+	}
+	if !isEdge {
 		return false, fmt.Errorf("lca: (%d,%d) is not an edge of the graph", u, v)
 	}
 	var in bool
@@ -380,7 +414,7 @@ func (s *Session) BuildSubgraph(algo string) (*Graph, QueryStats, error) {
 	if s.budget > 0 {
 		var h *Graph
 		var qs QueryStats
-		err := runBudgeted(func() {
+		err := runRecovered(func() {
 			h, qs = core.BuildSubgraph(s.g, budgetEdge{inst.(core.EdgeLCA), limit})
 		})
 		return h, qs, err
@@ -401,7 +435,7 @@ func (s *Session) BuildVertexSet(algo string) ([]bool, QueryStats, error) {
 	if s.budget > 0 {
 		var in []bool
 		var qs QueryStats
-		err := runBudgeted(func() {
+		err := runRecovered(func() {
 			in, qs = core.BuildVertexSet(s.g, budgetVertex{inst.(core.VertexLCA), limit})
 		})
 		return in, qs, err
@@ -428,7 +462,7 @@ func (s *Session) BuildLabels(algo string) ([]int, QueryStats, error) {
 	if s.budget > 0 {
 		var labels []int
 		var qs QueryStats
-		err := runBudgeted(func() {
+		err := runRecovered(func() {
 			labels, qs = core.BuildLabels(s.g, budgetLabel{inst.(core.LabelLCA), limit})
 		})
 		return labels, qs, err
@@ -467,16 +501,13 @@ func (s *Session) workerInstance(d *registry.Descriptor, p registry.Params, firs
 	return inst
 }
 
-// runBudgeted runs a serial batch assembly, converting budget exhaustion
-// into an error.
-func runBudgeted(run func()) (err error) {
+// runRecovered runs a probing code path — a serial batch assembly, an
+// estimator, a single source probe — converting budget exhaustion and
+// remote probe failure into errors.
+func runRecovered(run func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			be, ok := r.(oracle.ErrBudgetExceeded)
-			if !ok {
-				panic(r)
-			}
-			err = fmt.Errorf("%w (budget %d)", ErrProbeBudget, be.Budget)
+			err = queryPanicErr(r)
 		}
 	}()
 	run()
@@ -552,5 +583,15 @@ func (s *Session) EstimateFraction(algo string, samples int, delta float64) (Est
 	if err != nil {
 		return EstimateResult{}, err
 	}
-	return estimate.Fraction(d, s.src, s.seed, s.declaredParams(d), samples, delta)
+	var res EstimateResult
+	var ferr error
+	// The estimator probes the source directly, so a network source's
+	// probe failure surfaces here exactly as in point queries: as an
+	// error, never a panic through user code.
+	if perr := runRecovered(func() {
+		res, ferr = estimate.Fraction(d, s.src, s.seed, s.declaredParams(d), samples, delta)
+	}); perr != nil {
+		return EstimateResult{}, perr
+	}
+	return res, ferr
 }

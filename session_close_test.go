@@ -1,0 +1,165 @@
+package lca_test
+
+// Close-propagation audit: session teardown must release whatever the
+// probe source holds — CSR file handles, remote shard connections, every
+// shard of a sharded source — and double teardown must be harmless.
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lca"
+	"lca/internal/gen"
+	"lca/internal/graph"
+	"lca/internal/source"
+)
+
+func writeTestCSR(t *testing.T) string {
+	t.Helper()
+	g := gen.Gnp(80, 0.08, 5)
+	path := filepath.Join(t.TempDir(), "g.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSR(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openFDs counts this process's open file descriptors (linux).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestSessionCloseReleasesCSRHandle is the leak check: opening and
+// closing many CSR-backed sessions must not accumulate file descriptors.
+func TestSessionCloseReleasesCSRHandle(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("fd accounting reads /proc")
+	}
+	path := writeTestCSR(t)
+	before := openFDs(t)
+	for i := 0; i < 50; i++ {
+		src, err := lca.OpenSource("csr:"+path, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lca.NewSessionFromSource(src, lca.WithSeed(3))
+		if _, err := s.Vertex("mis", 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("iteration %d: Close: %v", i, err)
+		}
+	}
+	after := openFDs(t)
+	// Allow a little slack for runtime pollers etc.; 50 leaked handles
+	// would show unmistakably.
+	if after > before+5 {
+		t.Fatalf("fd count grew from %d to %d across 50 open/close cycles: file handles leak", before, after)
+	}
+}
+
+// TestSessionCloseIdempotent: double Close is fine on every source shape,
+// and sources without resources make Close a no-op.
+func TestSessionCloseIdempotent(t *testing.T) {
+	path := writeTestCSR(t)
+	for _, spec := range []string{"ring:n=100", "csr:" + path} {
+		src, err := lca.OpenSource(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lca.NewSessionFromSource(src)
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", spec, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: second Close: %v", spec, err)
+		}
+	}
+	// In-memory graphs have nothing to release.
+	s := lca.NewSession(lca.Gnp(50, 0.1, 1))
+	if err := s.Close(); err != nil {
+		t.Fatalf("graph-backed Close: %v", err)
+	}
+}
+
+// TestSessionCloseReachesEveryShard: closing a session over a sharded
+// source propagates to each shard (the CSR shard's handle is released —
+// probes degrade to the closed-file answers — and double close stays
+// nil).
+func TestSessionCloseReachesEveryShard(t *testing.T) {
+	path := writeTestCSR(t)
+	a, err := lca.OpenSource("csr:"+path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lca.OpenSource("csr:"+path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := source.NewSharded([]source.Source{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lca.NewSessionFromSource(sharded)
+	if _, err := s.Vertex("mis", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both CSR shards must now be closed: direct Close again reports the
+	// stored (nil) result, and a fresh close of the underlying sources is
+	// also nil — the idempotence contract.
+	for i, sh := range []lca.Source{a, b} {
+		if err := sh.(source.Closer).Close(); err != nil {
+			t.Fatalf("shard %d: close after session teardown: %v", i, err)
+		}
+	}
+}
+
+// TestSessionRemoteProbeFailureIsError: a dead shard surfaces as an error
+// from the query, not a panic through user code.
+func TestSessionRemoteProbeFailureIsError(t *testing.T) {
+	shard := httptest.NewServer(source.NewProbeHandler(source.Ring(100)))
+	remote, err := source.OpenRemote(shard.URL, source.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lca.NewSessionFromSource(remote, lca.WithSeed(1))
+	if _, err := s.Vertex("mis", 10); err != nil {
+		t.Fatalf("query against a live shard: %v", err)
+	}
+	shard.Close()
+	_, err = s.Vertex("mis", 77)
+	if err == nil {
+		t.Fatal("query against a dead shard returned no error")
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("error %q does not name the failing shard", err)
+	}
+	// The estimator path must honor the same contract.
+	if _, err := s.EstimateFraction("mis", 50, 0.05); err == nil {
+		t.Fatal("EstimateFraction against a dead shard returned no error")
+	}
+	// Edge queries probe the source in their non-edge precheck before the
+	// algorithm ever runs; that path must also surface as an error.
+	if _, err := s.Edge("matching", 3, 4); err == nil {
+		t.Fatal("Edge against a dead shard returned no error")
+	}
+}
