@@ -5,14 +5,24 @@
 //
 // Usage:
 //
-//	benchgate -old prev/BENCH_ci.json -new BENCH_ci.json [-metric "mean probes"] [-tolerance 0.20] [-slack 2]
+//	benchgate -old prev/BENCH_ci.json -new BENCH_ci.json \
+//	  [-metric "mean probes,mean rt/query"] [-tolerance 0.20] [-slack 2] \
+//	  [-time-metric "mean us/query"] [-time-tolerance 1.0] [-time-floor 500]
 //
 // Rows are matched by experiment plus their identity columns (algorithm,
 // source, config, ...); a row regresses when new > old*(1+tolerance) +
 // slack. The absolute slack keeps tiny-probe rows (mean 3 -> 4) from
-// tripping a 20% relative gate on noise. Rows only present on one side
-// are reported but never fail the gate: new benchmarks have no baseline
-// and removed ones have no current value.
+// tripping a 20% relative gate on noise. -metric accepts a
+// comma-separated list, so deterministic counters (probes, round trips)
+// share one strict gate. Rows only present on one side are reported but
+// never fail the gate: new benchmarks have no baseline and removed ones
+// have no current value.
+//
+// The time gate (-time-metric, off when empty) guards wall-clock columns
+// with deliberately generous settings: CI runners are noisy, so the
+// default tolerance is +100%, and rows whose current value sits at or
+// below the absolute floor (microseconds) never fail — a 3us row doubling
+// to 6us is scheduler jitter, a 3000us row doubling is a regression.
 package main
 
 import (
@@ -118,13 +128,37 @@ func compare(oldRecs, newRecs []record, metric string, tolerance, slack float64)
 	return results, onlyOld, onlyNew
 }
 
+// compareTime evaluates the wall-clock gate: a row regresses when its
+// current value exceeds both the absolute floor (tiny rows are pure
+// scheduler noise) and the relative allowance over the baseline.
+func compareTime(oldRecs, newRecs []record, metric string, tolerance, floor float64) []gateResult {
+	oldV := metricValues(oldRecs, metric)
+	newV := metricValues(newRecs, metric)
+	var results []gateResult
+	for k, nv := range newV {
+		ov, ok := oldV[k]
+		if !ok {
+			continue // unbaselined rows are the count gates' job to report
+		}
+		results = append(results, gateResult{
+			key: k, old: ov, new: nv,
+			regress: nv > floor && nv > ov*(1+tolerance),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].key < results[j].key })
+	return results
+}
+
 func main() {
 	var (
 		oldPath   = flag.String("old", "", "baseline lcabench -json file (required)")
 		newPath   = flag.String("new", "", "current lcabench -json file (required)")
-		metric    = flag.String("metric", "mean probes", "row column to gate on")
+		metrics   = flag.String("metric", "mean probes", "comma-separated row columns to gate on")
 		tolerance = flag.Float64("tolerance", 0.20, "relative regression allowance (0.20 = +20%)")
 		slack     = flag.Float64("slack", 2, "absolute allowance added on top of the relative one")
+		timeMet   = flag.String("time-metric", "", "wall-clock row column to gate on (empty disables the time gate)")
+		timeTol   = flag.Float64("time-tolerance", 1.0, "relative allowance of the time gate (1.0 = +100%; CI runners are noisy)")
+		timeFloor = flag.Float64("time-floor", 500, "absolute floor of the time gate: rows at or below it never fail")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -140,27 +174,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	results, onlyOld, onlyNew := compare(oldRecs, newRecs, *metric, *tolerance, *slack)
-	bad := 0
-	for _, res := range results {
-		if res.regress {
-			bad++
-			rel := ""
-			if res.old > 0 {
-				rel = fmt.Sprintf("+%.1f%%, ", 100*(res.new-res.old)/res.old)
-			}
-			fmt.Printf("REGRESSION %s: %s %.2f -> %.2f (%sgate %.0f%%+%.0f)\n",
-				res.key, *metric, res.old, res.new, rel, 100**tolerance, *slack)
+	bad, compared := 0, 0
+	for _, metric := range strings.Split(*metrics, ",") {
+		metric = strings.TrimSpace(metric)
+		if metric == "" {
+			continue
 		}
+		results, onlyOld, onlyNew := compare(oldRecs, newRecs, metric, *tolerance, *slack)
+		compared += len(results)
+		metricBad := 0
+		for _, res := range results {
+			if res.regress {
+				metricBad++
+				rel := ""
+				if res.old > 0 {
+					rel = fmt.Sprintf("+%.1f%%, ", 100*(res.new-res.old)/res.old)
+				}
+				fmt.Printf("REGRESSION %s: %s %.2f -> %.2f (%sgate %.0f%%+%.0f)\n",
+					res.key, metric, res.old, res.new, rel, 100**tolerance, *slack)
+			}
+		}
+		for _, k := range onlyNew {
+			fmt.Printf("note: no %q baseline for %s (new benchmark, not gated)\n", metric, k)
+		}
+		for _, k := range onlyOld {
+			fmt.Printf("note: baseline row %s missing %q in the current run\n", k, metric)
+		}
+		fmt.Printf("benchgate: %d scenarios compared on %q, %d regressions\n", len(results), metric, metricBad)
+		bad += metricBad
 	}
-	for _, k := range onlyNew {
-		fmt.Printf("note: no baseline for %s (new benchmark, not gated)\n", k)
+	if *timeMet != "" {
+		results := compareTime(oldRecs, newRecs, *timeMet, *timeTol, *timeFloor)
+		compared += len(results)
+		timeBad := 0
+		for _, res := range results {
+			if res.regress {
+				timeBad++
+				rel := ""
+				if res.old > 0 {
+					rel = fmt.Sprintf("+%.1f%%, ", 100*(res.new-res.old)/res.old)
+				}
+				fmt.Printf("REGRESSION %s: %s %.2f -> %.2f (%stime gate %.0f%% above floor %.0f)\n",
+					res.key, *timeMet, res.old, res.new, rel, 100**timeTol, *timeFloor)
+			}
+		}
+		fmt.Printf("benchgate: %d scenarios compared on %q (time gate), %d regressions\n", len(results), *timeMet, timeBad)
+		bad += timeBad
 	}
-	for _, k := range onlyOld {
-		fmt.Printf("note: baseline row %s missing from the current run\n", k)
-	}
-	fmt.Printf("benchgate: %d scenarios compared on %q, %d regressions\n", len(results), *metric, bad)
-	if len(results) == 0 {
+	if compared == 0 {
 		fmt.Println("benchgate: warning: nothing to compare (schema drift or empty inputs)")
 	}
 	if bad > 0 {

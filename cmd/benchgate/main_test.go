@@ -85,6 +85,47 @@ func TestCompareZeroBaseline(t *testing.T) {
 	}
 }
 
+func TestCompareTimeGate(t *testing.T) {
+	oldRecs := mustParse(t, `{"experiment":"NET","title":"t","row":{"config":"remote x1","algorithm":"mis","mean us/query":"3000"}}
+{"experiment":"NET","title":"t","row":{"config":"local","algorithm":"mis","mean us/query":"3"}}
+{"experiment":"NET","title":"t","row":{"config":"sharded x2","algorithm":"mis","mean us/query":"2000"}}
+`)
+	newRecs := mustParse(t, `{"experiment":"NET","title":"t","row":{"config":"remote x1","algorithm":"mis","mean us/query":"9000"}}
+{"experiment":"NET","title":"t","row":{"config":"local","algorithm":"mis","mean us/query":"9"}}
+{"experiment":"NET","title":"t","row":{"config":"sharded x2","algorithm":"mis","mean us/query":"3500"}}
+`)
+	results := compareTime(oldRecs, newRecs, "mean us/query", 1.0, 500)
+	if len(results) != 3 {
+		t.Fatalf("compared %d scenarios, want 3", len(results))
+	}
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.key, "remote x1"):
+			// 3000 -> 9000 is +200%, above the +100% gate and the floor.
+			if !r.regress {
+				t.Fatalf("large wall-clock regression not flagged: %+v", r)
+			}
+		case strings.Contains(r.key, "local"):
+			// 3 -> 9 triples but sits under the absolute floor: noise.
+			if r.regress {
+				t.Fatalf("tiny row tripped the time gate despite the floor: %+v", r)
+			}
+		case strings.Contains(r.key, "sharded"):
+			// 2000 -> 3500 is +75%, inside the generous tolerance.
+			if r.regress {
+				t.Fatalf("+75%% flagged by a +100%% gate: %+v", r)
+			}
+		}
+	}
+}
+
+func TestCompareTimeGateSkipsUnbaselined(t *testing.T) {
+	newRecs := mustParse(t, `{"experiment":"NET","title":"t","row":{"config":"remote x1 prefetch","algorithm":"mis","mean us/query":"9000"}}`)
+	if results := compareTime(nil, newRecs, "mean us/query", 1.0, 500); len(results) != 0 {
+		t.Fatalf("unbaselined rows must not be time-gated: %+v", results)
+	}
+}
+
 func TestCompareUnparseableMetricSkipped(t *testing.T) {
 	oldRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"-"}}`)
 	newRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"12"}}`)

@@ -238,7 +238,7 @@ func (r *runner) src() {
 		}
 		family := strings.SplitN(spec, ":", 2)[0]
 		for _, name := range algos {
-			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x5bc)
+			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x5bc, false)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "SRC: %s: %v\n", name, err)
 				continue
@@ -255,13 +255,20 @@ func (r *runner) src() {
 // algorithm's kind against src on one fresh instance, returning probe
 // stats and elapsed wall time — the shared measurement loop of the SRC
 // and NET sweeps. Edge-kind queries target (v, first neighbor of v),
-// skipping the rare isolated vertex (blockrandom has a few).
-func (r *runner) measurePointQueries(src source.Source, algo string, n, samples int, deriveLabel uint64) (core.QueryStats, time.Duration, error) {
+// skipping the rare isolated vertex (blockrandom has a few). With
+// prefetch, the instance runs over a prefetching exploration oracle; the
+// per-query stats then show the round-trip collapse while the probe
+// columns stay identical.
+func (r *runner) measurePointQueries(src source.Source, algo string, n, samples int, deriveLabel uint64, prefetch bool) (core.QueryStats, time.Duration, error) {
 	d, err := registry.Get(algo)
 	if err != nil {
 		return core.QueryStats{}, 0, err
 	}
-	inst, err := d.Build(oracle.New(src), r.seed, nil)
+	o := oracle.New(src)
+	if prefetch {
+		o = oracle.NewPrefetch(src)
+	}
+	inst, err := d.Build(o, r.seed, nil)
 	if err != nil {
 		return core.QueryStats{}, 0, err
 	}
@@ -301,8 +308,12 @@ func (r *runner) measurePointQueries(src source.Source, algo string, n, samples 
 // implicit source) probed through the remote:/sharded: spec grammar. A
 // local row over the same backing spec is the control: every config runs
 // the same queries, so the mean-probe column must be identical down the
-// table — the wire protocol is transparent — while us/query prices the
-// round trips and shows what the sharded LRU tier buys back.
+// table — the wire protocol is transparent — while "mean rt/query"
+// counts the real HTTP round trips and us/query prices them. Each
+// network config runs twice, scalar and prefetch: the prefetch rows route
+// through the exploration oracle, whose batched neighborhood fetches
+// collapse the round trips per query (probes unchanged — the collapse is
+// pure transport).
 func (r *runner) net() {
 	var n int
 	switch r.scale {
@@ -338,14 +349,20 @@ func (r *runner) net() {
 		urls[i] = "http://" + ln.Addr().String()
 		cleanup = append(cleanup, func() { _ = srv.Close() })
 	}
-	configs := []struct{ name, spec string }{
-		{"local", backingSpec},
-		{"remote x1", "remote:" + urls[0]},
-		{"sharded x2", "sharded:remote:" + urls[0] + ",remote:" + urls[1]},
-		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1]},
+	configs := []struct {
+		name, spec string
+		prefetch   bool
+	}{
+		{"local", backingSpec, false},
+		{"remote x1", "remote:" + urls[0], false},
+		{"remote x1 prefetch", "remote:" + urls[0], true},
+		{"sharded x2", "sharded:remote:" + urls[0] + ",remote:" + urls[1], false},
+		{"sharded x2 prefetch", "sharded:remote:" + urls[0] + ",remote:" + urls[1], true},
+		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], false},
+		{"sharded x2 lru prefetch", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], true},
 	}
 	algos := []string{"mis", "coloring"}
-	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean us/query")
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "mean us/query")
 	const samples = 15
 	for _, cfg := range configs {
 		src, err := source.Parse(cfg.spec, r.seed)
@@ -354,20 +371,20 @@ func (r *runner) net() {
 			continue
 		}
 		for _, name := range algos {
-			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x6e7)
+			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x6e7, cfg.prefetch)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "NET: %s: %v\n", name, err)
 				continue
 			}
-			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
-				float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
+				q.MeanRoundTrips(), float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
 		}
 		if c, ok := src.(source.Closer); ok {
 			_ = c.Close()
 		}
 	}
 	r.print(t)
-	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; only us/query pays the round trips. The lru row shows the client-side cache absorbing repeated neighborhood probes.")
+	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top.")
 }
 
 // sizes returns the n grid for the current scale.

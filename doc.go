@@ -83,18 +83,68 @@
 //     defer s.Close()                        // releases shard connections
 //     in, err := s.Vertex("mis", 123456789)  // probes cross the network transparently
 //
-// Point queries and EstimateFraction work on every source. The batch
-// Build methods enumerate all elements, so they require an in-memory
-// graph and return ErrNotMaterialized otherwise; use
-// internal/source.Materialize (or lcaverify -maxn) to audit small
-// instances of a source family. The HTTP server opens sources at runtime
-// (POST /sources?name=...&spec=...) and serves point queries against any
-// of them by name. Call Session.Close when done: it releases whatever
-// the source holds (CSR file handles, remote connections). All backends
-// answer identically under the Source contract — internal/source's
-// TestConformance suite enforces it, and cross-backend goldens pin
+// Point queries and EstimateFraction work on every source — edge-kind
+// estimation included on network backends, via the wire protocol's
+// seeded op=randomedge extension. The batch Build methods enumerate all
+// elements, so they require an in-memory graph and return
+// ErrNotMaterialized otherwise; use internal/source.Materialize (or
+// lcaverify -maxn) to audit small instances of a source family. The HTTP
+// server opens sources at runtime (POST /sources?name=...&spec=...) and
+// serves point queries against any of them by name. Call Session.Close
+// when done: it releases whatever the source holds (CSR file handles,
+// remote connections). All backends answer identically under the Source
+// contract — internal/source's TestConformance suite enforces it
+// (batched probing included), and cross-backend goldens pin
 // byte-identical answers whether a probe is answered from RAM, disk or
-// the network.
+// the network, with prefetching on or off.
+//
+// # Neighborhood exploration and prefetching
+//
+// An LCA query explores a small neighborhood, so over a network source
+// every scalar probe costing one round trip is the wrong transport. The
+// oracle layer's exploration API fixes the unit: Neighbors(v) fetches one
+// full adjacency row, Prefetch(vs...) hints rows about to be read, and
+// the prefetching oracle turns both into single batched round trips
+// (POST /probe) on remote: and sharded: backends, serving subsequent
+// scalar probes from the primed rows. Enable it per session:
+//
+//	src, err := lca.OpenSource("sharded:remote:http://a:8080,remote:http://b:8080", 7)
+//	s := lca.NewSessionFromSource(src,
+//		lca.WithSeed(42),
+//		lca.WithPrefetch(true), // neighborhoods become one round trip each
+//	)
+//	in, err := s.Vertex("mis", 123456)
+//	ps, _ := s.ProbeStats("mis")     // ps.RoundTrips: the transport bill
+//
+// Answers, probe counts and probe budgets are identical with or without
+// prefetching — budgets charge per cell read, and round trips are
+// accounted separately (ProbeStats.RoundTrips, ProbeStats.Batches) — so
+// it is safe on any source; local backends simply have nothing to
+// collapse. The HTTP server exposes the same switch per query
+// (&prefetch=1, answers carry round_trips), and the lcabench NET sweep
+// reports mean rt/query so the collapse lands in BENCH artifacts.
+//
+// Migrating algorithm-style code from scalar loops: a full-row scan
+//
+//	deg := o.Degree(v)
+//	for i := 0; i < deg; i++ {
+//		w := o.Neighbor(v, i)
+//		...
+//	}
+//
+// becomes one exploration, identical in probe count and answers:
+//
+//	for _, w := range oracle.Neighbors(o, v) { ... }
+//
+// and a partial scan (prefix, early break, scattered Adjacency probes
+// into one row) keeps its loop but hints the row first:
+//
+//	oracle.Prefetch(o, v)   // free; one batched round trip on network backends
+//	deg := o.Degree(v)      // served from the primed row
+//	...
+//
+// Every built-in algorithm (mis, coloring, matching, approxmatching, the
+// three spanner families, balls, the estimators) already speaks this API.
 //
 // # What is implemented
 //

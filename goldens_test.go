@@ -21,10 +21,13 @@ import (
 )
 
 // answerDigest queries mis (vertex), spanner3 (edge) and coloring (label)
-// point-wise over a deterministic sample and hashes the transcript.
-func answerDigest(t *testing.T, src lca.Source) string {
+// point-wise over a deterministic sample and hashes the transcript. With
+// prefetch, the session explores neighborhoods through the batching
+// oracle — the digest must not move: prefetching changes transport, never
+// answers.
+func answerDigest(t *testing.T, src lca.Source, prefetch bool) string {
 	t.Helper()
-	s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+	s := lca.NewSessionFromSource(src, lca.WithSeed(42), lca.WithPrefetch(prefetch))
 	defer s.Close()
 	n := src.N()
 	transcript := ""
@@ -96,11 +99,17 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 	}
 	digests := map[string]string{}
 	for _, b := range backends {
-		src, err := lca.OpenSource(b.spec, 7)
-		if err != nil {
-			t.Fatalf("%s: %v", b.name, err)
+		for _, prefetch := range []bool{false, true} {
+			name := b.name
+			if prefetch {
+				name += "+prefetch"
+			}
+			src, err := lca.OpenSource(b.spec, 7)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			digests[name] = answerDigest(t, src, prefetch)
 		}
-		digests[b.name] = answerDigest(t, src)
 	}
 	golden := digests["implicit"]
 	for name, d := range digests {

@@ -34,6 +34,15 @@ type Oracle interface {
 	Candidates(bin int) []int
 }
 
+// Prefetcher is the optional exploration capability of a choice oracle,
+// mirroring the graph oracles' Prefetch hint: the caller is about to read
+// the candidate rows of the listed bins, so a remote backend can fetch
+// them in one round trip. Hints never change answers or probe counts; the
+// Assignment LCA issues them before each recursion fan-out.
+type Prefetcher interface {
+	PrefetchCandidates(bins ...int)
+}
+
 // ChoiceTable is a concrete materialized choice structure.
 type ChoiceTable struct {
 	choices    [][]int
@@ -87,6 +96,11 @@ func (t *ChoiceTable) Candidates(bin int) []int {
 // Probes returns the probe count so far.
 func (t *ChoiceTable) Probes() uint64 { return t.probes }
 
+// PrefetchCandidates implements Prefetcher as a no-op: the rows are
+// already resident, so the hint is free — it exists so harnesses can
+// exercise the exploration path against the in-memory table.
+func (t *ChoiceTable) PrefetchCandidates(bins ...int) {}
+
 // Assignment is the LCA answering placement queries consistently with the
 // greedy d-choice process under a hash-random arrival order. Construct
 // with New; not safe for concurrent use.
@@ -126,6 +140,11 @@ func (a *Assignment) QueryBall(b int) int {
 	if len(choices) == 0 {
 		a.memo[b] = -1
 		return -1
+	}
+	// The load computation below reads every choice's candidate row; hint
+	// them as one exploration for backends that can batch.
+	if p, ok := a.o.(Prefetcher); ok {
+		p.PrefetchCandidates(choices...)
 	}
 	bestBin, bestLoad := -1, 0
 	for _, bin := range choices {

@@ -44,18 +44,17 @@ func (c *Coloring) Before(u, v int) bool {
 }
 
 // QueryLabel returns v's color: the smallest color not taken by any
-// neighbor preceding v in the random order.
+// neighbor preceding v in the random order. The full neighbor row is
+// always needed here, so the scan is one exploration — a single batched
+// round trip on network backends.
 func (c *Coloring) QueryLabel(v int) int {
 	if col, ok := c.memo[v]; ok {
 		return col
 	}
-	deg := c.counter.Degree(v)
+	row := c.counter.Neighbors(v)
+	deg := len(row)
 	used := make([]bool, deg+1)
-	for i := 0; i < deg; i++ {
-		w := c.counter.Neighbor(v, i)
-		if w < 0 {
-			break
-		}
+	for _, w := range row {
 		if c.Before(w, v) {
 			if wc := c.QueryLabel(w); wc <= deg {
 				used[wc] = true

@@ -45,6 +45,11 @@ type ProbeReporter interface {
 }
 
 // QueryStats aggregates per-query probe counts across a batch of queries.
+// ByKind carries the exploration-era transport accounting too: Batches
+// (neighborhood operations issued) and RoundTrips (backend network round
+// trips, 0 on local chains) accumulate alongside the cell counts, while
+// MaxTotal/SumTotal/Mean stay pure cell-probe measures — the theory's
+// metric is untouched by how probes are transported.
 type QueryStats struct {
 	Queries  int
 	MaxTotal uint64
@@ -63,6 +68,8 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.Neighbor += delta.Neighbor
 	q.ByKind.Degree += delta.Degree
 	q.ByKind.Adjacency += delta.Adjacency
+	q.ByKind.Batches += delta.Batches
+	q.ByKind.RoundTrips += delta.RoundTrips
 }
 
 // Merge folds another aggregate into q (sums are added, max is the true
@@ -76,6 +83,8 @@ func (q *QueryStats) Merge(s QueryStats) {
 	q.ByKind.Neighbor += s.ByKind.Neighbor
 	q.ByKind.Degree += s.ByKind.Degree
 	q.ByKind.Adjacency += s.ByKind.Adjacency
+	q.ByKind.Batches += s.ByKind.Batches
+	q.ByKind.RoundTrips += s.ByKind.RoundTrips
 }
 
 // Mean returns the mean probes per query.
@@ -86,10 +95,24 @@ func (q QueryStats) Mean() float64 {
 	return float64(q.SumTotal) / float64(q.Queries)
 }
 
-// String renders the stats compactly.
+// MeanRoundTrips returns the mean backend round trips per query (0 on
+// local chains).
+func (q QueryStats) MeanRoundTrips() float64 {
+	if q.Queries == 0 {
+		return 0
+	}
+	return float64(q.ByKind.RoundTrips) / float64(q.Queries)
+}
+
+// String renders the stats compactly; the round-trip figure appears only
+// when a network backend made it meaningful.
 func (q QueryStats) String() string {
-	return fmt.Sprintf("queries=%d max=%d mean=%.1f (nbr=%d deg=%d adj=%d)",
+	s := fmt.Sprintf("queries=%d max=%d mean=%.1f (nbr=%d deg=%d adj=%d)",
 		q.Queries, q.MaxTotal, q.Mean(), q.ByKind.Neighbor, q.ByKind.Degree, q.ByKind.Adjacency)
+	if q.ByKind.RoundTrips > 0 {
+		s += fmt.Sprintf(" rt=%d", q.ByKind.RoundTrips)
+	}
+	return s
 }
 
 // BuildSubgraph queries the LCA on every edge of g and assembles the

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"lca/internal/core"
+	"lca/internal/oracle"
 	"lca/internal/rnd"
 )
 
@@ -59,10 +60,25 @@ func SamplesFor(epsilon, delta float64) int {
 // VertexFraction estimates the fraction of vertices of a universe of size
 // n selected by the LCA, using s uniform samples.
 func VertexFraction(n int, lca core.VertexLCA, s int, delta float64, seed rnd.Seed) Result {
+	return vertexFractionOver(nil, n, lca, s, delta, seed)
+}
+
+// vertexFractionOver is VertexFraction with an optional oracle for
+// exploration hints: the whole sample set is drawn up front (the PRG is
+// untouched by queries, so the sampled vertices — and the estimate — are
+// identical to the interleaved loop) and prefetched as one batch, priming
+// every sampled query's first row in a single round trip on batched
+// backends.
+func vertexFractionOver(o oracle.Oracle, n int, lca core.VertexLCA, s int, delta float64, seed rnd.Seed) Result {
 	prg := rnd.NewPRG(seed.Derive(0xe5))
+	vs := make([]int, s)
+	for i := range vs {
+		vs[i] = prg.Intn(n)
+	}
+	oracle.Prefetch(o, vs...)
 	hits := 0
-	for i := 0; i < s; i++ {
-		if lca.QueryVertex(prg.Intn(n)) {
+	for _, v := range vs {
+		if lca.QueryVertex(v) {
 			hits++
 		}
 	}
@@ -85,11 +101,25 @@ type EdgeSampler interface {
 // EdgeFraction estimates the fraction of edges selected by the LCA
 // (spanner density, matching density, ...), using s uniform edge samples.
 func EdgeFraction(sampler EdgeSampler, lca core.EdgeLCA, s int, delta float64, seed rnd.Seed) Result {
+	return edgeFractionOver(nil, sampler, lca, s, delta, seed)
+}
+
+// edgeFractionOver is EdgeFraction with an optional oracle for exploration
+// hints; the sampled endpoints are prefetched together, like
+// vertexFractionOver.
+func edgeFractionOver(o oracle.Oracle, sampler EdgeSampler, lca core.EdgeLCA, s int, delta float64, seed rnd.Seed) Result {
 	prg := rnd.NewPRG(seed.Derive(0xe6))
+	us := make([]int, s)
+	vs := make([]int, s)
+	endpoints := make([]int, 0, 2*s)
+	for i := 0; i < s; i++ {
+		us[i], vs[i] = sampler.RandomEdge(prg)
+		endpoints = append(endpoints, us[i], vs[i])
+	}
+	oracle.Prefetch(o, endpoints...)
 	hits := 0
 	for i := 0; i < s; i++ {
-		u, v := sampler.RandomEdge(prg)
-		if lca.QueryEdge(u, v) {
+		if lca.QueryEdge(us[i], vs[i]) {
 			hits++
 		}
 	}

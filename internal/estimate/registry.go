@@ -28,9 +28,14 @@ import (
 // calls are deterministic.
 //
 // Edge-kind estimation needs uniform random edges, so src must implement
-// the source.RandomEdger capability (every in-memory graph and implicit
-// closed-form family does).
-func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p registry.Params, samples int, delta float64) (Result, error) {
+// the source.RandomEdger capability (in-memory graphs, implicit
+// closed-form families, and network sources whose shards have it).
+//
+// With prefetch set, the instance is built over a prefetching exploration
+// oracle and the sample set is hinted up front, so on batched network
+// backends the estimator's round trips collapse; answers are identical
+// either way.
+func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p registry.Params, samples int, delta float64, prefetch bool) (Result, error) {
 	if samples < 1 {
 		return Result{}, fmt.Errorf("algorithm %q: samples must be >= 1, got %d", d.Name, samples)
 	}
@@ -40,7 +45,11 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 	if src.N() == 0 {
 		return Result{}, fmt.Errorf("algorithm %q: source has no vertices to sample", d.Name)
 	}
-	inst, err := d.Build(oracle.New(src), seed, d.WithMemoDefault(p))
+	o := oracle.New(src)
+	if prefetch {
+		o = oracle.NewPrefetch(src)
+	}
+	inst, err := d.Build(o, seed, d.WithMemoDefault(p))
 	if err != nil {
 		return Result{}, err
 	}
@@ -54,9 +63,9 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 		if mc, known := src.(source.EdgeCounter); known && mc.M() == 0 {
 			return Result{}, fmt.Errorf("algorithm %q: source has no edges to sample", d.Name)
 		}
-		return edgeFractionSafe(d.Name, sampler, inst.(core.EdgeLCA), samples, delta, sampleSeed)
+		return edgeFractionSafe(d.Name, o, sampler, inst.(core.EdgeLCA), samples, delta, sampleSeed)
 	default: // registry.KindVertex
-		return VertexFraction(src.N(), inst.(core.VertexLCA), samples, delta, sampleSeed), nil
+		return vertexFractionOver(o, src.N(), inst.(core.VertexLCA), samples, delta, sampleSeed), nil
 	}
 }
 
@@ -67,7 +76,7 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 // error, a network source's typed probe failure) is a genuine defect or
 // a different contract and must keep propagating, not read as a client
 // fault.
-func edgeFractionSafe(name string, sampler EdgeSampler, lca core.EdgeLCA, samples int, delta float64, seed rnd.Seed) (res Result, err error) {
+func edgeFractionSafe(name string, o oracle.Oracle, sampler EdgeSampler, lca core.EdgeLCA, samples int, delta float64, seed rnd.Seed) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			msg, ok := r.(string)
@@ -77,7 +86,7 @@ func edgeFractionSafe(name string, sampler EdgeSampler, lca core.EdgeLCA, sample
 			err = fmt.Errorf("algorithm %q: edge sampling failed: %s", name, msg)
 		}
 	}()
-	return EdgeFraction(sampler, lca, samples, delta, seed), nil
+	return edgeFractionOver(o, sampler, lca, samples, delta, seed), nil
 }
 
 func hashName(name string) uint64 {

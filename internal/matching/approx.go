@@ -79,9 +79,8 @@ func (a *ApproxMatching) QueryEdge(u, v int) bool {
 
 // QueryVertex reports whether v is matched in the final matching.
 func (a *ApproxMatching) QueryVertex(v int) bool {
-	deg := a.counter.Degree(v)
-	for i := 0; i < deg; i++ {
-		if a.inMatching(a.rounds, v, a.counter.Neighbor(v, i)) {
+	for _, w := range a.counter.Neighbors(v) {
+		if a.inMatching(a.rounds, v, w) {
 			return true
 		}
 	}
@@ -171,10 +170,8 @@ func (a *ApproxMatching) alternating(round, start, avoid, steps int, firstMatche
 		return [][]int{{start}}
 	}
 	var out [][]int
-	deg := a.counter.Degree(start)
-	for i := 0; i < deg; i++ {
-		w := a.counter.Neighbor(start, i)
-		if w < 0 || w == avoid {
+	for _, w := range a.counter.Neighbors(start) {
+		if w == avoid {
 			continue
 		}
 		if a.inMatching(round-1, start, w) != firstMatched {
@@ -195,10 +192,8 @@ func (a *ApproxMatching) alternating(round, start, avoid, steps int, firstMatche
 // matchedExcept reports whether v has a matched edge in M_round other than
 // to `except`.
 func (a *ApproxMatching) matchedExcept(round, v, except int) bool {
-	deg := a.counter.Degree(v)
-	for i := 0; i < deg; i++ {
-		w := a.counter.Neighbor(v, i)
-		if w < 0 || w == except {
+	for _, w := range a.counter.Neighbors(v) {
+		if w == except {
 			continue
 		}
 		if a.inMatching(round, v, w) {
@@ -317,12 +312,7 @@ scan:
 // pathsAt enumerates the round's augmenting paths through vertex x.
 func (a *ApproxMatching) pathsAt(round, x int) [][]int {
 	var out [][]int
-	deg := a.counter.Degree(x)
-	for i := 0; i < deg; i++ {
-		w := a.counter.Neighbor(x, i)
-		if w < 0 {
-			continue
-		}
+	for _, w := range a.counter.Neighbors(x) {
 		out = append(out, a.pathsThrough(round, x, w)...)
 	}
 	return dedupePaths(out)

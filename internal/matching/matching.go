@@ -52,21 +52,19 @@ func (m *Matching) Before(aU, aV, bU, bV int) bool {
 }
 
 // QueryEdge reports whether (u,v) is in the maximal matching: it is iff no
-// adjacent edge preceding it in the random order is matched.
+// adjacent edge preceding it in the random order is matched. Both endpoint
+// rows are hinted together, so one batched round trip covers the whole
+// adjacent-edge scan on network backends.
 func (m *Matching) QueryEdge(u, v int) bool {
 	key := edgeKey(u, v)
 	if ans, ok := m.memo[key]; ok {
 		return ans
 	}
 	in := true
+	m.counter.Prefetch(u, v)
 scan:
 	for _, x := range [2]int{u, v} {
-		deg := m.counter.Degree(x)
-		for i := 0; i < deg; i++ {
-			w := m.counter.Neighbor(x, i)
-			if w < 0 {
-				break
-			}
+		for _, w := range m.counter.Neighbors(x) {
 			if edgeKey(x, w) == key {
 				continue
 			}
@@ -84,12 +82,7 @@ scan:
 // covered iff some incident edge is matched. By maximality this set covers
 // every edge, and its size is at most twice the minimum vertex cover.
 func (m *Matching) QueryVertex(v int) bool {
-	deg := m.counter.Degree(v)
-	for i := 0; i < deg; i++ {
-		w := m.counter.Neighbor(v, i)
-		if w < 0 {
-			break
-		}
+	for _, w := range m.counter.Neighbors(v) {
 		if m.QueryEdge(v, w) {
 			return true
 		}

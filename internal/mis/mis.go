@@ -48,19 +48,17 @@ func (m *MIS) Before(u, v int) bool {
 
 // QueryVertex reports whether v is in the MIS. The recursion follows the
 // greedy rule: v joins iff every neighbor preceding v in the random order
-// stays out. Results are memoized across queries (they are pure functions
-// of graph and seed), which also keeps repeated sub-queries cheap.
+// stays out. The neighborhood arrives as one exploration (a single batched
+// round trip on network backends); the recursion still stops at the first
+// lower-priority neighbor found inside. Results are memoized across
+// queries (they are pure functions of graph and seed), which also keeps
+// repeated sub-queries cheap.
 func (m *MIS) QueryVertex(v int) bool {
 	if ans, ok := m.memo[v]; ok {
 		return ans
 	}
 	in := true
-	deg := m.counter.Degree(v)
-	for i := 0; i < deg; i++ {
-		w := m.counter.Neighbor(v, i)
-		if w < 0 {
-			break
-		}
+	for _, w := range m.counter.Neighbors(v) {
 		if m.Before(w, v) && m.QueryVertex(w) {
 			in = false
 			break

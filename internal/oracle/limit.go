@@ -5,7 +5,11 @@ package oracle
 // deployments can prove — not just measure — that an algorithm stays
 // local.
 
-import "fmt"
+import (
+	"fmt"
+
+	"lca/internal/source"
+)
 
 // ErrBudgetExceeded is the panic value raised by LimitOracle when a probe
 // would exceed the budget. It is a typed value so harnesses can recover it
@@ -22,13 +26,22 @@ func (e ErrBudgetExceeded) Error() string {
 // LimitOracle wraps an Oracle and panics with ErrBudgetExceeded once more
 // than Budget probes have been issued since construction or the last
 // Reset. Not safe for concurrent use.
+//
+// The budget is charged per cell, exploration included: Neighbors spends
+// one probe for the degree plus one per returned cell, and Prefetch hints
+// spend nothing — a backend batching rows into fewer round trips does not
+// loosen the theory's probe bound, and round trips are accounted
+// separately (Stats.RoundTrips).
 type LimitOracle struct {
 	inner  Oracle
 	budget uint64
 	used   uint64
 }
 
-var _ Oracle = (*LimitOracle)(nil)
+var (
+	_ Oracle   = (*LimitOracle)(nil)
+	_ Explorer = (*LimitOracle)(nil)
+)
 
 // NewLimit wraps inner with a hard probe budget.
 func NewLimit(inner Oracle, budget uint64) *LimitOracle {
@@ -67,6 +80,54 @@ func (l *LimitOracle) Neighbor(v, i int) int {
 func (l *LimitOracle) Adjacency(u, v int) int {
 	l.spend()
 	return l.inner.Adjacency(u, v)
+}
+
+// Neighbors implements Explorer, spending one probe for the degree plus
+// one per cell of the row — the scalar loop's exact account. Over a
+// plain backend the loop spends before each cell is probed, so the
+// backend never serves a probe past the budget — the strict contract.
+// Over an exploring inner oracle the row arrives as one speculative
+// batch (exactly what a free Prefetch hint would fetch) and the per-cell
+// charges land as the cells are accounted: the budget panic still fires
+// before any answer beyond it reaches the caller's logic, while the
+// transport-level overshoot is bounded by the one row — the same
+// speculation Prefetch is documented to perform.
+func (l *LimitOracle) Neighbors(v int) []int {
+	e, ok := l.inner.(Explorer)
+	if !ok {
+		l.spend()
+		deg := l.inner.Degree(v)
+		row := make([]int, 0, deg)
+		for i := 0; i < deg; i++ {
+			l.spend()
+			w := l.inner.Neighbor(v, i)
+			if w < 0 {
+				break
+			}
+			row = append(row, w)
+		}
+		return row
+	}
+	l.spend()
+	row := e.Neighbors(v)
+	for range row {
+		l.spend()
+	}
+	return row
+}
+
+// Prefetch implements Explorer; hints are free — only cells the algorithm
+// actually reads count against the budget.
+func (l *LimitOracle) Prefetch(vs ...int) { Prefetch(l.inner, vs...) }
+
+// RoundTrips forwards the chain's round-trip count (0 when local), keeping
+// the source.RoundTripCounter capability visible through the budget
+// wrapper.
+func (l *LimitOracle) RoundTrips() uint64 {
+	if rt, ok := l.inner.(source.RoundTripCounter); ok {
+		return rt.RoundTrips()
+	}
+	return 0
 }
 
 // WithinBudget runs fn and reports whether it completed without exhausting

@@ -14,6 +14,30 @@
 // Algorithms must interact with the input graph only through this
 // interface; the harness enforces probe budgets and records statistics by
 // wrapping it.
+//
+// # Neighborhood exploration
+//
+// The unit of work in every LCA here is not one cell but one neighborhood:
+// a query explores a bounded recursion tree of adjacency rows (the framing
+// of Reingold-Vardi's "New Techniques and Tighter Bounds for LCAs"). The
+// exploration API makes that unit explicit:
+//
+//   - Neighbors(o, v) returns v's full adjacency row.
+//   - Prefetch(o, vs...) hints that the caller is about to read cells of
+//     the listed rows.
+//
+// Both are free-function helpers that work over any Oracle: when the
+// oracle implements the optional Explorer capability they delegate to it,
+// otherwise they fall back to the equivalent scalar probe loop, so
+// algorithms written against the exploration API run unchanged on every
+// backend. The payoff is the PrefetchOracle (prefetch.go): over a
+// network-backed source with the source.BatchProber capability it turns
+// one exploration into one batched round trip and serves the subsequent
+// scalar probes from the primed rows — collapsing deg+1 round trips per
+// neighborhood into one or two, while per-cell probe accounting (Counter,
+// LimitOracle) is unchanged: budgets and probe counts charge the cells the
+// algorithm reads, and round trips are measured separately (Stats.Batches,
+// Stats.RoundTrips).
 package oracle
 
 import (
@@ -44,37 +68,122 @@ type Oracle interface {
 // backend, and harnesses interpose the accounting wrappers below.
 func New(src source.Source) Oracle { return src }
 
-// Stats is a snapshot of probe counts by type.
+// Explorer is the optional neighborhood-exploration capability of an
+// oracle: fetching one full adjacency row, and hinting that several rows
+// are about to be read. Answers must agree cell-for-cell with the scalar
+// probes — Neighbors(v)[i] == Neighbor(v, i) and len == Degree(v) — so
+// exploration never changes what an algorithm computes, only how the
+// backend is asked. Use the package-level Neighbors and Prefetch helpers
+// rather than asserting the interface directly: they supply the scalar
+// fallback on oracles without the capability.
+type Explorer interface {
+	// Neighbors returns v's full adjacency row. The slice may be shared
+	// with the oracle's cache; callers must not modify it.
+	Neighbors(v int) []int
+	// Prefetch hints that the caller is about to read cells of the listed
+	// rows. It is free at the probe-accounting level (only cells actually
+	// read are charged) and may fetch speculatively.
+	Prefetch(vs ...int)
+}
+
+// Neighbors returns v's full adjacency row through o: the Explorer
+// capability when o has it, otherwise the equivalent scalar loop (one
+// Degree probe plus one Neighbor probe per cell, stopping at the first
+// out-of-range answer).
+func Neighbors(o Oracle, v int) []int {
+	if e, ok := o.(Explorer); ok {
+		return e.Neighbors(v)
+	}
+	deg := o.Degree(v)
+	row := make([]int, 0, deg)
+	for i := 0; i < deg; i++ {
+		w := o.Neighbor(v, i)
+		if w < 0 {
+			break
+		}
+		row = append(row, w)
+	}
+	return row
+}
+
+// Prefetch hints to o that the listed adjacency rows are about to be read.
+// On oracles without the Explorer capability it is a no-op — the hint only
+// ever changes how probes are transported, never their answers or their
+// per-cell accounting. A nil oracle is tolerated (also a no-op) so shared
+// helpers can hint opportunistically.
+func Prefetch(o Oracle, vs ...int) {
+	if o == nil || len(vs) == 0 {
+		return
+	}
+	if e, ok := o.(Explorer); ok {
+		e.Prefetch(vs...)
+	}
+}
+
+// Stats is a snapshot of probe counts by type, plus the batch/round-trip
+// accounting of the exploration API. Total — the theory's probe-complexity
+// measure — counts cells only; Batches and RoundTrips price the transport
+// and are reported separately.
 type Stats struct {
 	Neighbor  uint64
 	Degree    uint64
 	Adjacency uint64
+	// Batches counts neighborhood-exploration operations issued through
+	// the oracle (one per Neighbors call and per non-empty Prefetch hint).
+	Batches uint64
+	// RoundTrips counts backend network round trips consumed, read through
+	// the source.RoundTripCounter capability when the wrapped oracle chain
+	// exposes one; 0 on purely local chains.
+	RoundTrips uint64
 }
 
-// Total returns the total probe count.
+// Total returns the total cell-probe count (the model's complexity
+// measure; batches and round trips are transport accounting, not probes).
 func (s Stats) Total() uint64 { return s.Neighbor + s.Degree + s.Adjacency }
 
 // Sub returns s - t componentwise, for before/after deltas.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		Neighbor:  s.Neighbor - t.Neighbor,
-		Degree:    s.Degree - t.Degree,
-		Adjacency: s.Adjacency - t.Adjacency,
+		Neighbor:   s.Neighbor - t.Neighbor,
+		Degree:     s.Degree - t.Degree,
+		Adjacency:  s.Adjacency - t.Adjacency,
+		Batches:    s.Batches - t.Batches,
+		RoundTrips: s.RoundTrips - t.RoundTrips,
 	}
 }
 
 // Counter wraps an Oracle and counts probes by type. It is not safe for
 // concurrent use; harnesses that parallelize give each worker its own
 // Counter (LCA instances are cheap and deterministic to rebuild).
+//
+// Counter is exploration-aware: Neighbors charges exactly what the scalar
+// loop would (one Degree plus one Neighbor per cell) and Prefetch charges
+// nothing per cell — both count one batch operation — so probe complexity
+// is measured identically however the algorithm expresses its scans. When
+// the wrapped chain exposes the source.RoundTripCounter capability, Stats
+// additionally reports the network round trips consumed since
+// construction (or the last Reset).
 type Counter struct {
 	inner Oracle
 	stats Stats
+	rt    source.RoundTripCounter // non-nil when the chain reports round trips
+	rt0   uint64                  // round-trip count at construction/Reset
 }
 
-var _ Oracle = (*Counter)(nil)
+var (
+	_ Oracle   = (*Counter)(nil)
+	_ Explorer = (*Counter)(nil)
+)
 
 // NewCounter wraps inner with probe accounting.
-func NewCounter(inner Oracle) *Counter { return &Counter{inner: inner} }
+func NewCounter(inner Oracle) *Counter {
+	c := &Counter{inner: inner}
+	if rt, ok := inner.(source.RoundTripCounter); ok {
+		c.rt = rt
+		c.rt0 = rt.RoundTrips()
+	}
+	return c
+}
 
 // N implements Oracle (not counted; n is public knowledge in the model).
 func (c *Counter) N() int { return c.inner.N() }
@@ -97,11 +206,50 @@ func (c *Counter) Adjacency(u, v int) int {
 	return c.inner.Adjacency(u, v)
 }
 
+// Neighbors implements Explorer, charging one Degree probe plus one
+// Neighbor probe per returned cell — exactly the scalar loop's account.
+func (c *Counter) Neighbors(v int) []int {
+	row := Neighbors(c.inner, v)
+	c.stats.Degree++
+	c.stats.Neighbor += uint64(len(row))
+	c.stats.Batches++
+	return row
+}
+
+// Prefetch implements Explorer; hints are free at the cell level.
+func (c *Counter) Prefetch(vs ...int) {
+	if len(vs) == 0 {
+		return
+	}
+	c.stats.Batches++
+	Prefetch(c.inner, vs...)
+}
+
+// RoundTrips forwards the chain's round-trip count (0 when local), so
+// stacked wrappers keep the capability visible.
+func (c *Counter) RoundTrips() uint64 {
+	if c.rt != nil {
+		return c.rt.RoundTrips()
+	}
+	return 0
+}
+
 // Stats returns the probe counts so far.
-func (c *Counter) Stats() Stats { return c.stats }
+func (c *Counter) Stats() Stats {
+	s := c.stats
+	if c.rt != nil {
+		s.RoundTrips = c.rt.RoundTrips() - c.rt0
+	}
+	return s
+}
 
 // Reset zeroes the counters.
-func (c *Counter) Reset() { c.stats = Stats{} }
+func (c *Counter) Reset() {
+	c.stats = Stats{}
+	if c.rt != nil {
+		c.rt0 = c.rt.RoundTrips()
+	}
+}
 
 // ProbeKind identifies a probe type in a recorded trace.
 type ProbeKind uint8
@@ -155,6 +303,20 @@ func (r *Recorder) Adjacency(u, v int) int {
 	r.trace = append(r.trace, Record{Kind: KindAdjacency, A: u, B: v, Answer: ans})
 	return ans
 }
+
+// Neighbors implements Explorer, recording the same trace the scalar loop
+// would (one Degree record plus one Neighbor record per cell).
+func (r *Recorder) Neighbors(v int) []int {
+	row := Neighbors(r.inner, v)
+	r.trace = append(r.trace, Record{Kind: KindDegree, A: v, Answer: len(row)})
+	for i, w := range row {
+		r.trace = append(r.trace, Record{Kind: KindNeighbor, A: v, B: i, Answer: w})
+	}
+	return row
+}
+
+// Prefetch implements Explorer; hints leave no trace (they read nothing).
+func (r *Recorder) Prefetch(vs ...int) { Prefetch(r.inner, vs...) }
 
 // Trace returns the recorded probes. The slice is shared; callers must not
 // modify it.
@@ -230,4 +392,48 @@ func (c *CachingOracle) Adjacency(u, v int) int {
 	i := c.inner.Adjacency(u, v)
 	c.adjacency.Store(k, i)
 	return i
+}
+
+// Neighbors implements Explorer: a fully cached row is assembled locally,
+// anything else is fetched through the inner oracle and memoized cell by
+// cell (priming the Adjacency cache on the way, like Neighbor does).
+func (c *CachingOracle) Neighbors(v int) []int {
+	if d, ok := c.degrees.Load(v); ok {
+		deg := d.(int)
+		row := make([]int, 0, deg)
+		for i := 0; i < deg; i++ {
+			w, ok := c.neighbors.Load(cacheKey(v, i))
+			if !ok {
+				row = nil
+				break
+			}
+			row = append(row, w.(int))
+		}
+		if row != nil || deg == 0 {
+			return row
+		}
+	}
+	row := Neighbors(c.inner, v)
+	c.degrees.Store(v, len(row))
+	for i, w := range row {
+		c.neighbors.Store(cacheKey(v, i), w)
+		if w >= 0 {
+			c.adjacency.Store(cacheKey(v, w), i)
+		}
+	}
+	return row
+}
+
+// Prefetch implements Explorer, forwarding the hint so a prefetching inner
+// oracle can prime its rows; the memo itself fills only from reads.
+func (c *CachingOracle) Prefetch(vs ...int) { Prefetch(c.inner, vs...) }
+
+// RoundTrips forwards the chain's round-trip count (0 when local), so a
+// Counter stacked above a shared caching tier — the parallel label
+// assembly's chain — still reports the network cost underneath.
+func (c *CachingOracle) RoundTrips() uint64 {
+	if rt, ok := c.inner.(source.RoundTripCounter); ok {
+		return rt.RoundTrips()
+	}
+	return 0
 }

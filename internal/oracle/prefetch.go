@@ -1,0 +1,372 @@
+package oracle
+
+// PrefetchOracle: the backend side of the exploration API. An LCA query
+// explores a small neighborhood, yet over a network-backed source every
+// scalar probe is a round trip; this wrapper translates Neighbors and
+// Prefetch into single source.BatchProber round trips and answers the
+// subsequent scalar probes from the primed rows, so a neighborhood costs
+// one or two round trips instead of deg+1. On backends without the batch
+// capability it degrades to the equivalent scalar loops — same answers,
+// no transport advantage — so Session.WithPrefetch is safe to enable
+// unconditionally.
+
+import (
+	"errors"
+	"sync"
+
+	"lca/internal/source"
+)
+
+// DefaultFetchWidth is the speculative number of neighbor cells fetched
+// alongside a row's degree probe when the backend's maximum degree is
+// unknown. Rows at most this long cost one round trip; longer rows cost a
+// second for the remainder. When the source has the DegreeBounder
+// capability and its bound fits MaxFetchWidth, the bound replaces the
+// default and every row costs exactly one round trip.
+const DefaultFetchWidth = 64
+
+// MaxFetchWidth caps the speculative width so a degree bound in the
+// millions cannot turn one hint into a flood of wasted cells.
+const MaxFetchWidth = 4096
+
+// DefaultRowCap bounds the number of cached rows; see WithRowCap.
+const DefaultRowCap = 1 << 16
+
+// PrefetchOracle caches full adjacency rows fetched in batched round
+// trips. Construct with NewPrefetch; the zero value is unusable. Safe for
+// concurrent use (a mutex guards the row cache; batch fetches serialize).
+// Cached rows are pure functions of the fixed graph, so the cache never
+// changes an answer.
+type PrefetchOracle struct {
+	src   source.Source
+	bp    source.BatchProber // nil: backend answers per cell, fall back to loops
+	n     int
+	width int // speculative cells fetched with each degree probe
+	cap   int // cached-row bound; the cache is cleared when exceeded
+
+	mu    sync.Mutex
+	rows  map[int][]int       // full adjacency rows
+	index map[int]map[int]int // per-row neighbor -> position, built on first Adjacency
+	stats PrefetchStats
+}
+
+var (
+	_ Oracle   = (*PrefetchOracle)(nil)
+	_ Explorer = (*PrefetchOracle)(nil)
+)
+
+// PrefetchStats is the transport-side accounting of a PrefetchOracle.
+type PrefetchStats struct {
+	// Batches counts BatchProber round trips issued.
+	Batches uint64
+	// BatchedCells counts cells fetched through those batches (including
+	// speculative cells beyond a row's degree).
+	BatchedCells uint64
+	// RowHits counts scalar probes answered from primed rows.
+	RowHits uint64
+	// Misses counts scalar probes that fell through to the backend.
+	Misses uint64
+}
+
+// PrefetchOption configures a PrefetchOracle at construction.
+type PrefetchOption func(*PrefetchOracle)
+
+// WithFetchWidth overrides the speculative fetch width (see
+// DefaultFetchWidth). Values above MaxFetchWidth are clamped.
+func WithFetchWidth(w int) PrefetchOption {
+	return func(p *PrefetchOracle) {
+		if w > 0 {
+			p.width = min(w, MaxFetchWidth)
+		}
+	}
+}
+
+// WithRowCap bounds the number of cached rows (default DefaultRowCap).
+// When a fetch would exceed the cap the whole cache is dropped — answers
+// are unaffected (rows are pure functions of the graph); only subsequent
+// hit rates pay.
+func WithRowCap(rows int) PrefetchOption {
+	return func(p *PrefetchOracle) {
+		if rows > 0 {
+			p.cap = rows
+		}
+	}
+}
+
+// NewPrefetch returns a prefetching exploration oracle over src. The
+// BatchProber and DegreeBounder capabilities are detected here: the first
+// enables batched round trips, the second lets a known small maximum
+// degree make every row fetch a single round trip.
+func NewPrefetch(src source.Source, opts ...PrefetchOption) *PrefetchOracle {
+	p := &PrefetchOracle{
+		src:   src,
+		n:     src.N(),
+		width: DefaultFetchWidth,
+		cap:   DefaultRowCap,
+		rows:  make(map[int][]int),
+		index: make(map[int]map[int]int),
+	}
+	if bp, ok := src.(source.BatchProber); ok {
+		p.bp = bp
+	}
+	if db, ok := src.(source.DegreeBounder); ok {
+		if d := db.MaxDegree(); d >= 0 && d <= MaxFetchWidth {
+			p.width = d
+		}
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// PrefetchStats returns the transport accounting so far.
+func (p *PrefetchOracle) PrefetchStats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// RoundTrips implements source.RoundTripCounter by forwarding the
+// backend's count: the true network cost, scalar fallthroughs included.
+// Local backends (no capability) report 0 — their batches cross no wire.
+func (p *PrefetchOracle) RoundTrips() uint64 {
+	if rt, ok := p.src.(source.RoundTripCounter); ok {
+		return rt.RoundTrips()
+	}
+	return 0
+}
+
+// N implements Oracle (free, as everywhere in the model).
+func (p *PrefetchOracle) N() int { return p.n }
+
+// Degree implements Oracle, served from the primed row when present.
+func (p *PrefetchOracle) Degree(v int) int {
+	p.mu.Lock()
+	if row, ok := p.rows[v]; ok {
+		p.stats.RowHits++
+		p.mu.Unlock()
+		return len(row)
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+	return p.src.Degree(v)
+}
+
+// Neighbor implements Oracle, served from the primed row when present.
+func (p *PrefetchOracle) Neighbor(v, i int) int {
+	p.mu.Lock()
+	if row, ok := p.rows[v]; ok {
+		p.stats.RowHits++
+		p.mu.Unlock()
+		if i < 0 || i >= len(row) {
+			return -1
+		}
+		return row[i]
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+	return p.src.Neighbor(v, i)
+}
+
+// Adjacency implements Oracle. A primed row answers locally: the first
+// Adjacency probe against a row builds its neighbor->position index, so
+// repeated membership tests (the spanners' bread and butter) stay O(1).
+func (p *PrefetchOracle) Adjacency(u, v int) int {
+	if u < 0 || u >= p.n || v < 0 || v >= p.n {
+		return -1
+	}
+	p.mu.Lock()
+	if row, ok := p.rows[u]; ok {
+		p.stats.RowHits++
+		idx, ok := p.index[u]
+		if !ok {
+			idx = make(map[int]int, len(row))
+			for i, w := range row {
+				idx[w] = i
+			}
+			p.index[u] = idx
+		}
+		p.mu.Unlock()
+		if i, ok := idx[v]; ok {
+			return i
+		}
+		return -1
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+	return p.src.Adjacency(u, v)
+}
+
+// Neighbors implements Explorer: one (or, past the speculative width, two)
+// batched round trips for an uncached row. The returned slice is the
+// cached row; callers must not modify it.
+func (p *PrefetchOracle) Neighbors(v int) []int {
+	if v < 0 || v >= p.n {
+		return nil
+	}
+	p.mu.Lock()
+	if row, ok := p.rows[v]; ok {
+		p.stats.RowHits++
+		p.mu.Unlock()
+		return row
+	}
+	p.mu.Unlock()
+	// Use the fetched copy directly: a concurrent fetch tripping the row
+	// cap could clear the cache between our store and a re-read.
+	return p.fetchRows([]int{v})[v]
+}
+
+// Prefetch implements Explorer: the uncached in-range rows among vs are
+// fetched together — one batch covering every row's degree and
+// speculative prefix, plus at most one more for the remainders.
+func (p *PrefetchOracle) Prefetch(vs ...int) {
+	p.mu.Lock()
+	var want []int
+	seen := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		if v < 0 || v >= p.n || seen[v] {
+			continue
+		}
+		seen[v] = true
+		if _, ok := p.rows[v]; !ok {
+			want = append(want, v)
+		}
+	}
+	p.mu.Unlock()
+	if len(want) > 0 {
+		p.fetchRows(want)
+	}
+}
+
+// fetchRows fetches the full adjacency rows of vs (in-range,
+// deduplicated), stores them, and returns them. The network work runs
+// without the lock — concurrent probers keep hitting already-primed rows
+// meanwhile — so two goroutines racing on the same row may both fetch
+// it; determinism makes the copies identical and the race costs only a
+// duplicate trip, the same benign-race stance as CachingOracle.
+func (p *PrefetchOracle) fetchRows(vs []int) map[int][]int {
+	rows := make(map[int][]int, len(vs))
+	var batches, cells uint64
+	if p.bp == nil {
+		for _, v := range vs {
+			rows[v] = scalarRow(p.src, v)
+		}
+	} else {
+		p.fetchBatched(vs, rows, &batches, &cells)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Batches += batches
+	p.stats.BatchedCells += cells
+	if len(p.rows)+len(rows) > p.cap {
+		// Clearing instead of evicting keeps the cache a plain map; rows
+		// are pure functions of the graph, so only hit rate is at stake.
+		p.rows = make(map[int][]int)
+		p.index = make(map[int]map[int]int)
+	}
+	for v, row := range rows {
+		p.rows[v] = row
+	}
+	return rows
+}
+
+// fetchBatched fills rows via batched round trips: every row's degree
+// plus its speculative prefix in one batch, then at most one more for the
+// cells beyond the width. Runs without the lock.
+func (p *PrefetchOracle) fetchBatched(vs []int, rows map[int][]int, batches, cells *uint64) {
+	stride := p.width + 1
+	probes := make([]source.ProbeReq, 0, len(vs)*stride)
+	for _, v := range vs {
+		probes = append(probes, source.ProbeReq{Op: source.OpDegree, A: v})
+		for i := 0; i < p.width; i++ {
+			probes = append(probes, source.ProbeReq{Op: source.OpNeighbor, A: v, B: i})
+		}
+	}
+	answers := p.batch(probes, batches, cells)
+	type remainder struct{ v, deg int }
+	var rest []remainder
+	for j, v := range vs {
+		base := j * stride
+		deg := answers[base]
+		take := min(deg, p.width)
+		row := trimRow(answers[base+1:base+1+take], deg)
+		rows[v] = row
+		if len(row) == take && deg > p.width {
+			rest = append(rest, remainder{v: v, deg: deg})
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	probes = probes[:0]
+	for _, r := range rest {
+		for i := p.width; i < r.deg; i++ {
+			probes = append(probes, source.ProbeReq{Op: source.OpNeighbor, A: r.v, B: i})
+		}
+	}
+	answers = p.batch(probes, batches, cells)
+	k := 0
+	for _, r := range rest {
+		tail := trimRow(answers[k:k+r.deg-p.width], r.deg)
+		k += r.deg - p.width
+		rows[r.v] = append(rows[r.v], tail...)
+	}
+}
+
+// batch issues one logical batch, chunked to the wire protocol's
+// MaxProbeBatch, accumulating transport counts into the caller's locals
+// (folded into stats under the lock afterwards). A failed batch panics
+// with *source.ProbeError, matching the scalar network-probe contract
+// that Session queries and the HTTP server recover into errors.
+func (p *PrefetchOracle) batch(probes []source.ProbeReq, batches, cells *uint64) []int {
+	out := make([]int, 0, len(probes))
+	for len(probes) > 0 {
+		chunk := probes
+		if len(chunk) > source.MaxProbeBatch {
+			chunk = probes[:source.MaxProbeBatch]
+		}
+		answers, err := p.bp.ProbeBatch(chunk)
+		if err != nil {
+			var pe *source.ProbeError
+			if errors.As(err, &pe) {
+				panic(pe)
+			}
+			panic(&source.ProbeError{Op: "batch", A: len(chunk), Err: err})
+		}
+		*batches++
+		*cells += uint64(len(answers))
+		out = append(out, answers...)
+		probes = probes[len(chunk):]
+	}
+	return out
+}
+
+// trimRow copies a fetched prefix, stopping at the first out-of-range cell
+// (a conformant source has none below the degree; the trim keeps a
+// misreporting backend from poisoning the cache with -1 neighbors).
+func trimRow(cells []int, deg int) []int {
+	row := make([]int, 0, deg)
+	for _, w := range cells {
+		if w < 0 {
+			break
+		}
+		row = append(row, w)
+	}
+	return row
+}
+
+// scalarRow reads one full row cell by cell — the fallback for backends
+// without the batch capability.
+func scalarRow(src source.Source, v int) []int {
+	deg := src.Degree(v)
+	row := make([]int, 0, deg)
+	for i := 0; i < deg; i++ {
+		w := src.Neighbor(v, i)
+		if w < 0 {
+			break
+		}
+		row = append(row, w)
+	}
+	return row
+}

@@ -16,19 +16,27 @@
 //	GET  /algos
 //	GET  /sources
 //	POST /sources?name=NAME&spec=SPEC
-//	GET  /edge/{algo}?u=U&v=V[&source=NAME][&param=...]
-//	GET  /vertex/{algo}?v=V[&source=NAME][&param=...]
-//	GET  /label/{algo}?v=V[&source=NAME][&param=...]
-//	GET  /estimate/{algo}?samples=S[&source=NAME][&param=...]
+//	GET  /edge/{algo}?u=U&v=V[&source=NAME][&prefetch=1][&param=...]
+//	GET  /vertex/{algo}?v=V[&source=NAME][&prefetch=1][&param=...]
+//	GET  /label/{algo}?v=V[&source=NAME][&prefetch=1][&param=...]
+//	GET  /estimate/{algo}?samples=S[&source=NAME][&prefetch=1][&param=...]
 //	GET  /probe?op=OP&a=A[&b=B][&source=NAME]
 //	POST /probe[?source=NAME]
 //	GET  /probe/meta[?source=NAME]
 //
 // The /probe endpoints speak the probe wire protocol (internal/source,
-// wire.go): they answer raw Degree/Neighbor/Adjacency probes about any
+// wire.go): they answer raw Degree/Neighbor/Adjacency probes (plus the
+// seeded op=randomedge extension and batched POST /probe) about any
 // named source, so every lcaserve instance doubles as a shard that
 // remote: and sharded: sources (and other lcaserve replicas) can probe
 // over the network.
+//
+// prefetch=1 routes the query through a prefetching exploration oracle:
+// when the selected source is network-backed and batchable (remote:,
+// sharded:), each neighborhood the LCA explores becomes one batched
+// round trip instead of one per cell. Answers and probe counts are
+// identical either way; query answers carry a round_trips field so the
+// transport saving is observable per query.
 //
 // POST /sources opens a source by spec string ("ring:n=1000000000",
 // "csr:web.csr", ...) and names it; query endpoints select named sources
@@ -460,12 +468,30 @@ func edgeParams(r *http.Request, src source.Source) (u, v int, err error) {
 	return u, v, nil
 }
 
-// build constructs a fresh per-request instance over src; parameter errors
-// the registry reports after our own validation (range checks inside New)
-// are the client's fault, hence 400 — except a BadInstanceError, which
-// marks a broken registration and must surface as a server error.
-func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params) (any, error) {
-	inst, err := d.Build(oracle.New(src), s.seed, p)
+// prefetchParam parses the optional prefetch=0|1|false|true selector.
+func prefetchParam(r *http.Request) (bool, error) {
+	switch raw := r.URL.Query().Get("prefetch"); raw {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, badRequest("parameter \"prefetch\": %q is not a boolean (want 0/1/false/true)", raw)
+	}
+}
+
+// build constructs a fresh per-request instance over src — behind a
+// prefetching exploration oracle when the request asked for one;
+// parameter errors the registry reports after our own validation (range
+// checks inside New) are the client's fault, hence 400 — except a
+// BadInstanceError, which marks a broken registration and must surface as
+// a server error.
+func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool) (any, error) {
+	o := oracle.New(src)
+	if prefetch {
+		o = oracle.NewPrefetch(src)
+	}
+	inst, err := d.Build(o, s.seed, p)
 	if err != nil {
 		var bad *registry.BadInstanceError
 		if errors.As(err, &bad) {
@@ -483,14 +509,28 @@ func probesOf(inst any) uint64 {
 	return 0
 }
 
+// roundTripsOf reports the backend round trips the instance's probes
+// consumed (0 over local sources). The figure is a delta of the named
+// source's shared trip counter, so under concurrent requests against the
+// same network source it can include a neighbor request's trips — it is
+// a transparency aid, exact when requests don't overlap, never part of
+// the answer's correctness contract.
+func roundTripsOf(inst any) uint64 {
+	if rep, ok := inst.(core.ProbeReporter); ok {
+		return rep.ProbeStats().RoundTrips
+	}
+	return 0
+}
+
 // kind handlers --------------------------------------------------------
 
 type edgeAnswer struct {
-	Algo   string `json:"algo"`
-	U      int    `json:"u"`
-	V      int    `json:"v"`
-	In     bool   `json:"in"`
-	Probes uint64 `json:"probes"`
+	Algo       string `json:"algo"`
+	U          int    `json:"u"`
+	V          int    `json:"v"`
+	In         bool   `json:"in"`
+	Probes     uint64 `json:"probes"`
+	RoundTrips uint64 `json:"round_trips,omitempty"`
 }
 
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
@@ -504,7 +544,12 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "u", "v", "source")
+	p, err := queryParams(r, d, "u", "v", "source", "prefetch")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	prefetch, err := prefetchParam(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -517,7 +562,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p)
+	inst, err := s.build(d, ns.src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -527,14 +572,16 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in, Probes: probesOf(inst)})
+	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
+		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
 }
 
 type vertexAnswer struct {
-	Algo   string `json:"algo"`
-	V      int    `json:"v"`
-	In     bool   `json:"in"`
-	Probes uint64 `json:"probes"`
+	Algo       string `json:"algo"`
+	V          int    `json:"v"`
+	In         bool   `json:"in"`
+	Probes     uint64 `json:"probes"`
+	RoundTrips uint64 `json:"round_trips,omitempty"`
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -548,7 +595,12 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v", "source")
+	p, err := queryParams(r, d, "v", "source", "prefetch")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	prefetch, err := prefetchParam(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -558,7 +610,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p)
+	inst, err := s.build(d, ns.src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -568,14 +620,16 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in, Probes: probesOf(inst)})
+	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in,
+		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
 }
 
 type labelAnswer struct {
-	Algo   string `json:"algo"`
-	V      int    `json:"v"`
-	Label  int    `json:"label"`
-	Probes uint64 `json:"probes"`
+	Algo       string `json:"algo"`
+	V          int    `json:"v"`
+	Label      int    `json:"label"`
+	Probes     uint64 `json:"probes"`
+	RoundTrips uint64 `json:"round_trips,omitempty"`
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
@@ -589,7 +643,12 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v", "source")
+	p, err := queryParams(r, d, "v", "source", "prefetch")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	prefetch, err := prefetchParam(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -599,7 +658,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p)
+	inst, err := s.build(d, ns.src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -609,7 +668,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label, Probes: probesOf(inst)})
+	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label,
+		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
 }
 
 type estimateAnswer struct {
@@ -638,7 +698,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "samples", "source")
+	p, err := queryParams(r, d, "samples", "source", "prefetch")
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	prefetch, err := prefetchParam(r)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -654,7 +719,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	const delta = 0.05
 	var res estimate.Result
-	if perr := runProbing(func() { res, err = estimate.Fraction(d, ns.src, s.seed, p, samples, delta) }); perr != nil {
+	if perr := runProbing(func() { res, err = estimate.Fraction(d, ns.src, s.seed, p, samples, delta, prefetch) }); perr != nil {
 		writeHTTPError(w, perr)
 		return
 	}

@@ -408,3 +408,60 @@ func TestEstimateOnImplicitSource(t *testing.T) {
 		t.Fatalf("estimate fraction %v out of range", ans.Fraction)
 	}
 }
+
+func TestPrefetchQueryParam(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	// prefetch=1 answers identically to the scalar path (same instance
+	// seed, same solution) and reports zero round trips on a local source.
+	var plain, pre vertexAnswer
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=7", &plain); code != 200 {
+		t.Fatalf("scalar vertex query: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=7&prefetch=1", &pre); code != 200 {
+		t.Fatalf("prefetch vertex query: status %d", code)
+	}
+	if plain.In != pre.In || plain.Probes != pre.Probes {
+		t.Fatalf("prefetch changed the answer or probe count: %+v vs %+v", plain, pre)
+	}
+	if pre.RoundTrips != 0 {
+		t.Fatalf("local source reported %d round trips", pre.RoundTrips)
+	}
+	var envelope errorBody
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=7&prefetch=2", &envelope); code != 400 {
+		t.Fatalf("malformed prefetch flag: status %d, want 400", code)
+	}
+}
+
+func TestPrefetchOverNetworkSourceReportsRoundTrips(t *testing.T) {
+	// A server fronting a remote source: prefetch=1 must collapse the
+	// round trips the query answer reports.
+	backing, err := source.Parse("circulant:n=2000,d=8,seed=3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := httptest.NewServer(source.NewProbeHandler(backing))
+	defer shard.Close()
+	remote, err := source.Parse("remote:"+shard.URL, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewFromSource(remote, "remote", 42).Handler())
+	defer ts.Close()
+	var plain, pre vertexAnswer
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=11", &plain); code != 200 {
+		t.Fatalf("scalar: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=11&prefetch=1", &pre); code != 200 {
+		t.Fatalf("prefetch: status %d", code)
+	}
+	if plain.In != pre.In || plain.Probes != pre.Probes {
+		t.Fatalf("prefetch changed answer/probes over the network: %+v vs %+v", plain, pre)
+	}
+	if plain.RoundTrips == 0 || pre.RoundTrips == 0 {
+		t.Fatalf("network queries reported no round trips: %+v vs %+v", plain, pre)
+	}
+	if pre.RoundTrips*3 > plain.RoundTrips {
+		t.Fatalf("prefetch round trips %d vs scalar %d: want at least a 3x collapse", pre.RoundTrips, plain.RoundTrips)
+	}
+}

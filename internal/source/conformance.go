@@ -35,6 +35,9 @@ const maxConformanceSample = 48
 //   - adjacency: Adjacency(v, w) returns w's index for every real
 //     neighbor, edges are symmetric, and non-edges (including self-pairs)
 //     answer -1.
+//   - batch (BatchProber backends): a mixed-op batch answers exactly the
+//     scalar answers in request order; empty batches answer empty;
+//     batches above MaxProbeBatch are rejected.
 //   - determinism: equal probes answer equally across passes.
 //   - close: Close (when the backend holds resources) succeeds and is
 //     idempotent.
@@ -108,6 +111,62 @@ func TestConformance(t *testing.T, open Factory) {
 					}
 				}
 			}
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		src := open(t)
+		defer closeConformance(t, src)
+		bp, ok := src.(BatchProber)
+		if !ok {
+			t.Skip("backend has no batch capability")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		// A mixed-op batch spanning every scalar answer shape: degrees,
+		// real and out-of-range neighbor cells, real and non-edge
+		// adjacency cells. Batch answers must equal the scalar answers in
+		// request order.
+		var probes []ProbeReq
+		var want []int
+		for _, v := range sample {
+			d := src.Degree(v)
+			probes = append(probes, ProbeReq{Op: OpDegree, A: v})
+			want = append(want, d)
+			for i := 0; i < d; i++ {
+				w := src.Neighbor(v, i)
+				probes = append(probes, ProbeReq{Op: OpNeighbor, A: v, B: i})
+				want = append(want, w)
+				probes = append(probes, ProbeReq{Op: OpAdjacency, A: v, B: w})
+				want = append(want, i)
+			}
+			probes = append(probes, ProbeReq{Op: OpNeighbor, A: v, B: d})
+			want = append(want, -1)
+			probes = append(probes, ProbeReq{Op: OpAdjacency, A: v, B: v})
+			want = append(want, -1)
+		}
+		got, err := bp.ProbeBatch(probes)
+		if err != nil {
+			t.Fatalf("ProbeBatch(%d probes): %v", len(probes), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ProbeBatch answered %d of %d probes", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("probe %d (%+v): batch answered %d, scalar answered %d", i, probes[i], got[i], want[i])
+			}
+		}
+		if ans, err := bp.ProbeBatch(nil); err != nil || len(ans) != 0 {
+			t.Fatalf("empty batch: got %v, %v; want no answers, no error", ans, err)
+		}
+		oversized := make([]ProbeReq, MaxProbeBatch+1)
+		for i := range oversized {
+			oversized[i] = ProbeReq{Op: OpDegree, A: sample[0]}
+		}
+		if _, err := bp.ProbeBatch(oversized); err == nil {
+			t.Fatalf("batch of %d probes accepted; the protocol maximum is %d", len(oversized), MaxProbeBatch)
 		}
 	})
 	t.Run("determinism", func(t *testing.T) {

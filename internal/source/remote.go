@@ -14,7 +14,10 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"lca/internal/rnd"
 )
 
 // ProbeError is the panic payload raised by network-backed sources when a
@@ -59,13 +62,19 @@ type Remote struct {
 	n               int
 	m, maxDeg       int
 	hasM, hasMaxDeg bool
+	hasRE           bool
 	closeOnce       sync.Once
+	// requests counts logical shard requests (one per probe, batch or meta
+	// fetch; retries of one request are not re-counted) — the
+	// RoundTripCounter capability.
+	requests atomic.Uint64
 }
 
 var (
-	_ Source      = (*Remote)(nil)
-	_ Closer      = (*Remote)(nil)
-	_ BatchProber = (*Remote)(nil)
+	_ Source           = (*Remote)(nil)
+	_ Closer           = (*Remote)(nil)
+	_ BatchProber      = (*Remote)(nil)
+	_ RoundTripCounter = (*Remote)(nil)
 )
 
 // RemoteOption configures a Remote at construction.
@@ -167,21 +176,35 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 	if meta.MaxDegree != nil {
 		r.maxDeg, r.hasMaxDeg = *meta.MaxDegree, true
 	}
-	switch {
-	case r.hasM && r.hasMaxDeg:
-		return remoteMDeg{r}, nil
-	case r.hasM:
-		return remoteM{r}, nil
-	case r.hasMaxDeg:
-		return remoteDeg{r}, nil
-	}
-	return r, nil
+	r.hasRE = meta.RandomEdge
+	return wrapRemoteCaps(r), nil
 }
 
-// Capability wrappers: a Remote advertises M / MaxDegree exactly when the
-// shard's meta did, so capability type assertions mirror the shard's
-// backing source. Embedding *Remote keeps the full method set (Source,
-// Closer, BatchProber).
+// wrapRemoteCaps selects the capability wrapper matching the shard's meta:
+// a Remote advertises M / MaxDegree / RandomEdge exactly when the shard's
+// backing source does, so capability type assertions mirror the shard.
+// Embedding *Remote keeps the full method set (Source, Closer,
+// BatchProber, RoundTripCounter).
+func wrapRemoteCaps(r *Remote) Source {
+	switch {
+	case r.hasM && r.hasMaxDeg && r.hasRE:
+		return remoteMDegRE{remoteMDeg{r}}
+	case r.hasM && r.hasMaxDeg:
+		return remoteMDeg{r}
+	case r.hasM && r.hasRE:
+		return remoteMRE{remoteM{r}}
+	case r.hasMaxDeg && r.hasRE:
+		return remoteDegRE{remoteDeg{r}}
+	case r.hasM:
+		return remoteM{r}
+	case r.hasMaxDeg:
+		return remoteDeg{r}
+	case r.hasRE:
+		return remoteRE{r}
+	}
+	return r
+}
+
 type remoteM struct{ *Remote }
 
 func (r remoteM) M() int { return r.m }
@@ -195,6 +218,22 @@ type remoteMDeg struct{ *Remote }
 func (r remoteMDeg) M() int { return r.m }
 
 func (r remoteMDeg) MaxDegree() int { return r.maxDeg }
+
+type remoteRE struct{ *Remote }
+
+func (r remoteRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
+
+type remoteMRE struct{ remoteM }
+
+func (r remoteMRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
+
+type remoteDegRE struct{ remoteDeg }
+
+func (r remoteDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
+
+type remoteMDegRE struct{ remoteMDeg }
+
+func (r remoteMDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
 
 // Base returns the shard's base URL (for error reporting and bench
 // labels).
@@ -219,11 +258,30 @@ func (r *Remote) Adjacency(u, v int) int {
 	return r.probe(OpAdjacency, u, v)
 }
 
+// RoundTrips implements RoundTripCounter: logical shard requests issued so
+// far (probes, batches and the construction-time meta fetch; retries of a
+// failing request are not re-counted).
+func (r *Remote) RoundTrips() uint64 { return r.requests.Load() }
+
 // Close releases the client's idle connections. Idempotent; a closed
 // Remote remains usable (new probes open fresh connections).
 func (r *Remote) Close() error {
 	r.closeOnce.Do(r.client.CloseIdleConnections)
 	return nil
+}
+
+// randomEdge implements the RandomEdger capability over the wire: one
+// uint64 drawn from the caller's PRG becomes the shard-side sampling seed,
+// so the answer is a deterministic function of the caller's PRG state and
+// identical on every replica of the graph.
+func (r *Remote) randomEdge(prg *rnd.PRG) (int, int) {
+	seed := prg.Uint64()
+	reqURL := fmt.Sprintf("%s/probe?op=%s&seed=%d%s", r.base, OpRandomEdge, seed, r.sourceParam())
+	var ans randomEdgeAnswer
+	if err := r.getJSON(reqURL, &ans); err != nil {
+		panic(&ProbeError{Shard: r.base, Op: OpRandomEdge, Err: err})
+	}
+	return ans.U, ans.V
 }
 
 func (r *Remote) probe(op string, a, b int) int {
@@ -292,6 +350,7 @@ func (r *Remote) getJSON(u string, out any) error {
 // body into out. Transport errors, 5xx and 429 retry; other statuses are
 // terminal (the request itself is wrong, sending it again cannot help).
 func (r *Remote) doJSON(do func() (*http.Response, error), out any) error {
+	r.requests.Add(1)
 	var last error
 	for attempt := 0; attempt <= r.retries; attempt++ {
 		if attempt > 0 {

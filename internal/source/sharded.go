@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"lca/internal/rnd"
 )
 
 // Sharded fans probes out across replica shards. Construct with
@@ -27,14 +29,16 @@ type Sharded struct {
 
 	m, maxDeg       int
 	hasM, hasMaxDeg bool
+	hasRE           bool
 	closeOnce       sync.Once
 	closeErr        error
 }
 
 var (
-	_ Source      = (*Sharded)(nil)
-	_ Closer      = (*Sharded)(nil)
-	_ BatchProber = (*Sharded)(nil)
+	_ Source           = (*Sharded)(nil)
+	_ Closer           = (*Sharded)(nil)
+	_ BatchProber      = (*Sharded)(nil)
+	_ RoundTripCounter = (*Sharded)(nil)
 )
 
 // ShardedOption configures a Sharded at construction.
@@ -63,12 +67,20 @@ func NewSharded(shards []Source, opts ...ShardedOption) (Source, error) {
 		return nil, err
 	}
 	switch {
+	case s.hasM && s.hasMaxDeg && s.hasRE:
+		return shardedMDegRE{shardedMDeg{s}}, nil
 	case s.hasM && s.hasMaxDeg:
 		return shardedMDeg{s}, nil
+	case s.hasM && s.hasRE:
+		return shardedMRE{shardedM{s}}, nil
+	case s.hasMaxDeg && s.hasRE:
+		return shardedDegRE{shardedDeg{s}}, nil
 	case s.hasM:
 		return shardedM{s}, nil
 	case s.hasMaxDeg:
 		return shardedDeg{s}, nil
+	case s.hasRE:
+		return shardedRE{s}, nil
 	}
 	return s, nil
 }
@@ -84,8 +96,11 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 				i, sh.N(), s.n)
 		}
 	}
-	s.hasM, s.hasMaxDeg = true, true
+	s.hasM, s.hasMaxDeg, s.hasRE = true, true, true
 	for i, sh := range shards {
+		if _, ok := sh.(RandomEdger); !ok {
+			s.hasRE = false
+		}
 		if mc, ok := sh.(EdgeCounter); ok {
 			if i > 0 && s.hasM && mc.M() != s.m {
 				return nil, fmt.Errorf("source: sharded: shard %d reports m=%d, earlier shards m=%d (shards must be replicas)", i, mc.M(), s.m)
@@ -125,8 +140,47 @@ func (s shardedMDeg) M() int { return s.m }
 
 func (s shardedMDeg) MaxDegree() int { return s.maxDeg }
 
+type shardedRE struct{ *Sharded }
+
+func (s shardedRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
+
+type shardedMRE struct{ shardedM }
+
+func (s shardedMRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
+
+type shardedDegRE struct{ shardedDeg }
+
+func (s shardedDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
+
+type shardedMDegRE struct{ shardedMDeg }
+
+func (s shardedMDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
+
+// randomEdge implements the RandomEdger capability when every shard has
+// it: one uint64 drawn from the caller's PRG picks the serving shard and
+// seeds a derived PRG for the shard-side sampler. Shards are replicas and
+// samplers are deterministic in their PRG, so the answer is a function of
+// the caller's PRG state alone — any shard would answer identically.
+func (s *Sharded) randomEdge(prg *rnd.PRG) (int, int) {
+	seed := prg.Uint64()
+	sh := s.shards[int(seed%uint64(len(s.shards)))]
+	return sh.(RandomEdger).RandomEdge(rnd.NewPRG(rnd.Seed(seed).Derive(0x5e)))
+}
+
 // Shards returns the shard count (for bench labels and tests).
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// RoundTrips implements RoundTripCounter by summing the shards that report
+// (local shards cost no round trips and don't count).
+func (s *Sharded) RoundTrips() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		if rt, ok := sh.(RoundTripCounter); ok {
+			total += rt.RoundTrips()
+		}
+	}
+	return total
+}
 
 // shardFor routes a vertex to its owning shard by rendezvous (highest
 // random weight) hashing: each (vertex, shard) pair gets an independent
@@ -214,7 +268,12 @@ func (s *Sharded) Adjacency(u, v int) int {
 // and fanned out concurrently, one goroutine (and, on remote shards, one
 // POST round trip) per shard touched. Answers are index-aligned with the
 // request. The LRU tier is consulted first and filled from the answers.
+// Batches above MaxProbeBatch are rejected, matching the wire protocol's
+// limit whichever backend a batch lands on.
 func (s *Sharded) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	if len(probes) > MaxProbeBatch {
+		return nil, fmt.Errorf("source: sharded: probe batch of %d exceeds the maximum %d", len(probes), MaxProbeBatch)
+	}
 	answers := make([]int, len(probes))
 	perShard := make(map[int][]int) // shard -> indices into probes
 	for i, p := range probes {

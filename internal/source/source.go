@@ -97,6 +97,17 @@ type Closer interface {
 	Close() error
 }
 
+// RoundTripCounter is the optional capability of reporting how many
+// network round trips a source has issued so far (monotone, safe for
+// concurrent use). Remote counts its HTTP requests; Sharded sums its
+// shards'. Purely local backends lack the capability — their probes cost
+// no round trips — so harnesses read it through a type assertion and
+// report 0 otherwise. The count is transport accounting, deliberately
+// separate from the model's per-cell probe counts.
+type RoundTripCounter interface {
+	RoundTrips() uint64
+}
+
 // FromGraph returns the in-memory source backed by g. *graph.Graph
 // implements Source (and RandomEdger, EdgeCounter, DegreeBounder)
 // directly, so this is the identity — it exists to document the adapter

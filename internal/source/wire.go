@@ -5,30 +5,43 @@ package source
 // can act as a network shard for a Remote or Sharded source.
 //
 //	GET  /probe?op=degree|neighbor|adjacency&a=A[&b=B][&source=NAME]
+//	GET  /probe?op=randomedge&seed=S[&source=NAME]
 //	POST /probe[?source=NAME]      {"probes":[{"op":"neighbor","a":5,"b":2},...]}
-//	GET  /probe/meta[?source=NAME] {"n":N[,"m":M][,"max_degree":D]}
+//	GET  /probe/meta[?source=NAME] {"n":N[,"m":M][,"max_degree":D][,"random_edge":true]}
 //
 // Answers keep the Source interface's conventions exactly (-1 for
 // out-of-range neighbor indices and non-edges), so remote probing is
 // transparent: an LCA cannot tell a network shard from a local backend,
 // and probe counts are identical. /probe/meta is O(1) by construction —
-// the optional m and max_degree fields appear only when the backing
-// source has the EdgeCounter / DegreeBounder capability, never from O(n)
-// probing. Errors use the same JSON envelope as internal/serve:
-// {"error": ..., "status": ...}.
+// the optional m, max_degree and random_edge fields appear only when the
+// backing source has the EdgeCounter / DegreeBounder / RandomEdger
+// capability, never from O(n) probing. Errors use the same JSON envelope
+// as internal/serve: {"error": ..., "status": ...}.
+//
+// op=randomedge samples a uniform edge in canonical (u < v) orientation,
+// answering {"u":U,"v":V}. It is seeded: the shard derives a fresh PRG
+// from the client-supplied seed, so equal seeds answer equal edges on
+// every replica — the property that lets a Remote expose the RandomEdger
+// capability deterministically. It is GET-only: batch answers are flat
+// int slices, and a two-valued op has no slot there.
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"lca/internal/rnd"
 )
 
-// Wire names of the three probe operations.
+// Wire names of the probe operations.
 const (
 	OpDegree    = "degree"
 	OpNeighbor  = "neighbor"
 	OpAdjacency = "adjacency"
+	// OpRandomEdge is the seeded random-edge extension (GET-only; not
+	// batchable).
+	OpRandomEdge = "randomedge"
 )
 
 // MaxProbeBatch caps the probe count of one POST /probe request; larger
@@ -59,6 +72,13 @@ type probeAnswer struct {
 	Answer int `json:"answer"`
 }
 
+// randomEdgeAnswer is the op=randomedge body: one uniform edge in
+// canonical (u < v) orientation.
+type randomEdgeAnswer struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
 type probeBatchReq struct {
 	Probes []ProbeReq `json:"probes"`
 }
@@ -68,12 +88,13 @@ type probeBatchAnswer struct {
 }
 
 // probeMeta is the /probe/meta body: the O(1) facts a Remote needs at
-// construction. M and MaxDegree are present only when the shard's source
-// has the corresponding capability.
+// construction. M, MaxDegree and RandomEdge are present only when the
+// shard's source has the corresponding capability.
 type probeMeta struct {
-	N         int  `json:"n"`
-	M         *int `json:"m,omitempty"`
-	MaxDegree *int `json:"max_degree,omitempty"`
+	N          int  `json:"n"`
+	M          *int `json:"m,omitempty"`
+	MaxDegree  *int `json:"max_degree,omitempty"`
+	RandomEdge bool `json:"random_edge,omitempty"`
 }
 
 // metaOf snapshots src's O(1) summary capabilities.
@@ -86,6 +107,9 @@ func metaOf(src Source) probeMeta {
 	if db, ok := src.(DegreeBounder); ok {
 		d := db.MaxDegree()
 		meta.MaxDegree = &d
+	}
+	if _, ok := src.(RandomEdger); ok {
+		meta.RandomEdge = true
 	}
 	return meta
 }
@@ -135,6 +159,9 @@ func validateProbe(src Source, p ProbeReq) (status int, msg string) {
 			return http.StatusBadRequest, fmt.Sprintf("probe %s: vertex %d out of range [0,%d)", p.Op, p.A, n)
 		}
 	case OpAdjacency:
+	case OpRandomEdge:
+		// Answers are (u,v) pairs; batch answers are flat int slices.
+		return http.StatusBadRequest, fmt.Sprintf("probe op %q is not batchable (use GET /probe?op=%s&seed=...)", OpRandomEdge, OpRandomEdge)
 	default:
 		return http.StatusBadRequest, fmt.Sprintf("unknown probe op %q (want %s, %s or %s)", p.Op, OpDegree, OpNeighbor, OpAdjacency)
 	}
@@ -171,6 +198,10 @@ func ServeProbeMeta(w http.ResponseWriter, r *http.Request, src Source) {
 func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 	q := r.URL.Query()
 	op := q.Get("op")
+	if op == OpRandomEdge {
+		serveRandomEdge(w, q.Get("seed"), src)
+		return
+	}
 	a, err := wireInt(q.Get("a"), "a")
 	if err != nil {
 		writeWireErr(w, http.StatusBadRequest, "%v", err)
@@ -236,6 +267,62 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 		answers[i] = ans
 	}
 	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers})
+}
+
+// serveRandomEdge answers op=randomedge: a uniform edge drawn from a PRG
+// derived from the client's seed, so equal seeds answer equally on every
+// replica of the graph. Refused (400) when the backing source lacks the
+// RandomEdger capability or provably has no edges; a sampler panic on an
+// effectively edgeless source (string payload by the RandomEdge
+// convention) is also the client's 400, not a crashed connection.
+func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source) {
+	re, ok := src.(RandomEdger)
+	if !ok {
+		writeWireErr(w, http.StatusBadRequest, "source does not support probe op %q (no RandomEdge capability)", OpRandomEdge)
+		return
+	}
+	if rawSeed == "" {
+		writeWireErr(w, http.StatusBadRequest, "probe %s requires parameter \"seed\"", OpRandomEdge)
+		return
+	}
+	seed, err := strconv.ParseUint(rawSeed, 10, 64)
+	if err != nil {
+		writeWireErr(w, http.StatusBadRequest, "probe parameter \"seed\": %q is not an unsigned integer", rawSeed)
+		return
+	}
+	if mc, ok := src.(EdgeCounter); ok && mc.M() == 0 {
+		writeWireErr(w, http.StatusBadRequest, "probe %s: source has no edges", OpRandomEdge)
+		return
+	}
+	u, v, status, msg := sampleRandomEdge(re, seed)
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
+		return
+	}
+	writeWireJSON(w, http.StatusOK, randomEdgeAnswer{U: u, V: v})
+}
+
+// sampleRandomEdge draws the edge behind a recover: string panics mark
+// edgeless sources (client fault), *ProbeError marks a dead upstream
+// (502); anything else is a genuine defect and propagates.
+func sampleRandomEdge(re RandomEdger, seed uint64) (u, v, status int, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case string:
+				u, v, status, msg = 0, 0, http.StatusBadRequest, fmt.Sprintf("probe %s: %s", OpRandomEdge, e)
+			case *ProbeError:
+				u, v, status, msg = 0, 0, http.StatusBadGateway, e.Error()
+			default:
+				panic(r)
+			}
+		}
+	}()
+	u, v = re.RandomEdge(rnd.NewPRG(rnd.Seed(seed)))
+	if u > v {
+		u, v = v, u
+	}
+	return u, v, 0, ""
 }
 
 func wireInt(raw, name string) (int, error) {

@@ -147,8 +147,11 @@ func (s *scanPart) isCenter(v int) bool {
 
 // centerSet returns the sampled centers among the first
 // min(deg(v), centerPrefix) neighbors of v, in list order.
-// Probes: 1 Degree + min(deg, centerPrefix) Neighbor.
+// Probes: 1 Degree + min(deg, centerPrefix) Neighbor. The hint lets a
+// prefetching oracle deliver the whole prefix in one round trip; only the
+// cells below actually count as probes.
 func (s *scanPart) centerSet(v int) []int {
+	oracle.Prefetch(s.o, v)
 	deg := s.o.Degree(v)
 	limit := deg
 	if limit > s.centerPrefix {
@@ -182,7 +185,10 @@ func (s *scanPart) memberEdge(u, v int) bool {
 
 // scanKeep reports whether scanner w keeps the edge (w, x): within w's scan
 // range before x, no earlier neighbor's center set covers all of S(x).
+// The scanner's row is hinted up front: its degree, the position of x and
+// the scan range all read from one prefetched row on batched backends.
 func (s *scanPart) scanKeep(w, x int) bool {
+	oracle.Prefetch(s.o, w)
 	if s.scannerMaxDeg > 0 && s.o.Degree(w) > s.scannerMaxDeg {
 		return false
 	}

@@ -219,8 +219,10 @@ func (s *Spanner5) inBcktCenterSet(w, c int) bool {
 }
 
 // bcktCenters returns S+(v): centers among the first min(deg, dMed)
-// neighbors of v, plus v itself if v is a center.
+// neighbors of v, plus v itself if v is a center. The prefix scan is
+// hinted as one exploration; per-cell probe accounting is unchanged.
 func (s *Spanner5) bcktCenters(v int) []int {
+	s.counter.Prefetch(v)
 	deg := s.degree(v)
 	limit := deg
 	if limit > s.dMed {
@@ -248,6 +250,9 @@ func (s *Spanner5) cluster(c int) []int {
 			return m
 		}
 	}
+	// The center's whole row is scanned below; one hint fetches it in a
+	// single batched round trip on network backends.
+	s.counter.Prefetch(c)
 	deg := s.degree(c)
 	members := []int{c}
 	for i := 0; i < deg; i++ {
@@ -337,6 +342,9 @@ func (s *Spanner5) firstBucketEdge(cs, bi int, bu []int, ct, bj int, bv []int) (
 		bi, bj = bj, bi
 		bu, bv = bv, bu
 	}
+	// Both buckets' rows in one exploration hint: the degree screening and
+	// the Adjacency pair scan below all read prefetched rows.
+	s.counter.Prefetch(append(append(make([]int, 0, len(bu)+len(bv)), bu...), bv...)...)
 	// Degree screening, one probe per candidate.
 	okA := make([]bool, len(bu))
 	for i, a := range bu {
@@ -371,6 +379,7 @@ func (s *Spanner5) reps(v int) []int {
 			return r
 		}
 	}
+	s.counter.Prefetch(v)
 	deg := s.degree(v)
 	limit := deg
 	if limit > s.dMed {
@@ -418,6 +427,7 @@ func (s *Spanner5) repScan(u, v int) bool {
 	if len(rs) == 0 {
 		return false
 	}
+	s.counter.Prefetch(u)
 	pos := s.counter.Adjacency(u, v)
 	if pos < 0 {
 		return false

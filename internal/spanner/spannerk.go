@@ -249,7 +249,10 @@ func (s *SpannerK) query(u, v int) bool {
 
 // status runs the center-search BFS variant from v: explore in increasing
 // distance, neighbors in increasing ID order, stop at the first discovered
-// center or at depth k. Probes: O(Delta L) w.h.p.
+// center or at depth k. Probes: O(Delta L) w.h.p. Each dequeued vertex's
+// row is one exploration, and newly discovered vertices are prefetched as
+// a group — on batched backends a BFS level costs a handful of round
+// trips instead of one per cell.
 func (s *SpannerK) status(v int) *vstatus {
 	if s.memo {
 		if st, ok := s.statusMemo[v]; ok {
@@ -276,14 +279,18 @@ func (s *SpannerK) searchCenter(v int) *vstatus {
 		if d == s.k {
 			continue
 		}
-		deg := s.counter.Degree(x)
-		nbrs := make([]int, 0, deg)
-		for i := 0; i < deg; i++ {
-			if w := s.counter.Neighbor(x, i); w >= 0 {
-				nbrs = append(nbrs, w)
+		nbrs := append([]int(nil), s.counter.Neighbors(x)...)
+		sort.Ints(nbrs)
+		var fresh []int
+		for _, w := range nbrs {
+			if _, seen := dist[w]; !seen {
+				fresh = append(fresh, w)
 			}
 		}
-		sort.Ints(nbrs)
+		if d+1 < s.k {
+			// The next level will explore these rows; fetch them together.
+			s.counter.Prefetch(fresh...)
+		}
 		for _, w := range nbrs {
 			if _, seen := dist[w]; seen {
 				continue
@@ -332,12 +339,7 @@ func (s *SpannerK) children(v int) []int {
 	st := s.status(v)
 	var out []int
 	if !st.sparse {
-		deg := s.counter.Degree(v)
-		for i := 0; i < deg; i++ {
-			w := s.counter.Neighbor(v, i)
-			if w < 0 {
-				continue
-			}
+		for _, w := range s.counter.Neighbors(v) {
 			stw := s.status(w)
 			if !stw.sparse && stw.center == st.center && s.nextHop(stw) == v {
 				out = append(out, w)
@@ -507,13 +509,10 @@ func (s *SpannerK) scanCluster(ci *clusterInfo) map[int]cellEdge {
 		}
 	}
 	out := make(map[int]cellEdge)
+	// All member rows in one exploration hint before the sweep.
+	s.counter.Prefetch(ci.members...)
 	for _, a := range ci.members {
-		deg := s.counter.Degree(a)
-		for i := 0; i < deg; i++ {
-			w := s.counter.Neighbor(a, i)
-			if w < 0 {
-				continue
-			}
+		for _, w := range s.counter.Neighbors(a) {
 			stw := s.status(w)
 			if stw.sparse || stw.center == ci.cell {
 				continue
@@ -535,13 +534,9 @@ func (s *SpannerK) scanCluster(ci *clusterInfo) map[int]cellEdge {
 func (s *SpannerK) minEdgeToCluster(a, b *clusterInfo) (cellEdge, bool) {
 	best := cellEdge{Inside: -1, Outside: -1}
 	found := false
+	s.counter.Prefetch(a.members...)
 	for _, x := range a.members {
-		deg := s.counter.Degree(x)
-		for i := 0; i < deg; i++ {
-			w := s.counter.Neighbor(x, i)
-			if w < 0 {
-				continue
-			}
+		for _, w := range s.counter.Neighbors(x) {
 			if _, isMember := b.memberSet[w]; !isMember {
 				continue
 			}
@@ -674,13 +669,8 @@ func (s *SpannerK) collectSparseBall(u, v int) (order []int, nbrs map[int][]int,
 // sparse, else only the sparse ones.
 func (s *SpannerK) sparseNeighbors(x int) []int {
 	xSparse := s.status(x).sparse
-	deg := s.counter.Degree(x)
 	var out []int
-	for i := 0; i < deg; i++ {
-		w := s.counter.Neighbor(x, i)
-		if w < 0 {
-			continue
-		}
+	for _, w := range s.counter.Neighbors(x) {
 		if xSparse || s.status(w).sparse {
 			out = append(out, w)
 		}

@@ -1,0 +1,143 @@
+package lca_test
+
+// Session-level contract of the exploration redesign: WithPrefetch never
+// changes answers or probe counts, collapses network round trips by the
+// documented margin, and composes with probe budgets; the wire RandomEdge
+// extension makes edge-kind estimation work over network backends.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"lca"
+	"lca/internal/source"
+)
+
+// shardPair spins up two httptest probe shards over replicas of one spec
+// and returns the sharded spec string addressing them.
+func shardPair(t *testing.T, spec string) string {
+	t.Helper()
+	urls := make([]string, 2)
+	for i := range urls {
+		replica, err := lca.OpenSource(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(source.NewProbeHandler(replica))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return "sharded:remote:" + urls[0] + ",remote:" + urls[1]
+}
+
+func TestWithPrefetchAnswersAndProbesUnchanged(t *testing.T) {
+	g := lca.Gnp(300, 0.03, 5)
+	plain := lca.NewSession(g, lca.WithSeed(9))
+	pre := lca.NewSession(g, lca.WithSeed(9), lca.WithPrefetch(true))
+	for v := 0; v < g.N(); v += 7 {
+		a, err := plain.Vertex("mis", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pre.Vertex("mis", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("mis(%d): %v without prefetch, %v with", v, a, b)
+		}
+		ca, err := plain.Label("coloring", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := pre.Label("coloring", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb {
+			t.Fatalf("coloring(%d): %d without prefetch, %d with", v, ca, cb)
+		}
+	}
+	sa, err := plain.ProbeStats("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := pre.ProbeStats("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Total() != sb.Total() || sa.Neighbor != sb.Neighbor || sa.Degree != sb.Degree {
+		t.Fatalf("probe counts moved under prefetch: %+v vs %+v (transport must not change the complexity measure)", sa, sb)
+	}
+}
+
+func TestWithPrefetchCollapsesRoundTripsOverShards(t *testing.T) {
+	const spec = "circulant:n=3000,d=8,seed=3"
+	roundTrips := func(prefetch bool) uint64 {
+		src, err := lca.OpenSource(shardPair(t, spec), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lca.NewSessionFromSource(src, lca.WithSeed(11), lca.WithPrefetch(prefetch))
+		defer s.Close()
+		for i := 0; i < 8; i++ {
+			if _, err := s.Vertex("mis", (i*977)%3000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ps, err := s.ProbeStats("mis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.RoundTrips == 0 {
+			t.Fatal("network session reported zero round trips")
+		}
+		return ps.RoundTrips
+	}
+	scalar := roundTrips(false)
+	prefetched := roundTrips(true)
+	if prefetched*3 > scalar {
+		t.Fatalf("prefetch round trips %d vs scalar %d: want at least a 3x collapse", prefetched, scalar)
+	}
+}
+
+func TestWithPrefetchBudgetStillEnforced(t *testing.T) {
+	g := lca.Gnp(200, 0.05, 5)
+	s := lca.NewSession(g, lca.WithSeed(5), lca.WithProbeBudget(1), lca.WithPrefetch(true))
+	if _, err := s.Vertex("mis", 0); !errors.Is(err, lca.ErrProbeBudget) {
+		t.Fatalf("want ErrProbeBudget through the prefetching chain, got %v", err)
+	}
+}
+
+func TestEstimateFractionEdgeKindOverNetwork(t *testing.T) {
+	const spec = "circulant:n=2000,d=6,seed=3"
+	replica, err := lca.OpenSource(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(source.NewProbeHandler(replica))
+	t.Cleanup(ts.Close)
+
+	estimateOver := func(srcSpec string) lca.EstimateResult {
+		src, err := lca.OpenSource(srcSpec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lca.NewSessionFromSource(src, lca.WithSeed(13), lca.WithPrefetch(true))
+		defer s.Close()
+		res, err := s.EstimateFraction("spanner3", 60, 0.05)
+		if err != nil {
+			t.Fatalf("edge-kind estimate over %s: %v", srcSpec, err)
+		}
+		return res
+	}
+	remote := estimateOver("remote:" + ts.URL)
+	again := estimateOver("remote:" + ts.URL)
+	if remote.Fraction != again.Fraction {
+		t.Fatalf("remote edge estimate not deterministic: %v vs %v", remote.Fraction, again.Fraction)
+	}
+	if remote.Fraction < 0 || remote.Fraction > 1 {
+		t.Fatalf("nonsense fraction %v", remote.Fraction)
+	}
+}

@@ -60,7 +60,10 @@ type Session struct {
 	// workers is the worker count for batch builds; 0 selects GOMAXPROCS,
 	// 1 forces serial assembly.
 	workers int
-	params  map[string]any
+	// prefetch roots every oracle chain at a prefetching exploration
+	// oracle (WithPrefetch).
+	prefetch bool
+	params   map[string]any
 
 	mu        sync.Mutex
 	instances map[string]*boundInstance
@@ -101,6 +104,19 @@ func WithProbeBudget(b uint64) SessionOption {
 // serial assembly.
 func WithWorkers(w int) SessionOption {
 	return func(s *Session) { s.workers = w }
+}
+
+// WithPrefetch routes the session's probes through a prefetching
+// exploration oracle (oracle.NewPrefetch): algorithms' neighborhood
+// explorations become single batched round trips on sources with the
+// batch capability (remote and sharded backends), and subsequent scalar
+// probes are served from the primed rows. Answers, probe counts and probe
+// budgets are identical with or without it — only the transport changes —
+// so it is safe to enable on any source; on purely local backends it buys
+// nothing but costs only the row cache. Per-query round trips are
+// reported via ProbeStats().RoundTrips.
+func WithPrefetch(on bool) SessionOption {
+	return func(s *Session) { s.prefetch = on }
 }
 
 // WithParam supplies a tunable parameter (for example WithParam("k", 4) or
@@ -222,13 +238,24 @@ func (s *Session) descriptor(algo string, kind registry.Kind) (*registry.Descrip
 	return d, nil
 }
 
+// rootOracle returns the base of a fresh oracle chain over the session
+// source: the plain source view, or a prefetching exploration oracle when
+// WithPrefetch is on.
+func (s *Session) rootOracle() Oracle {
+	if s.prefetch {
+		return oracle.NewPrefetch(s.src)
+	}
+	return oracle.New(s.src)
+}
+
 // buildInstance constructs a fresh instance over a new oracle chain rooted
-// at base (nil selects the session source), optionally behind a probe
-// limiter.
+// at base (nil selects the session's root oracle), optionally behind a
+// probe limiter. The limiter sits above the prefetching tier, so budgets
+// charge per cell while batching only changes the transport underneath.
 func (s *Session) buildInstance(d *registry.Descriptor, p registry.Params, base Oracle) (any, *oracle.LimitOracle, error) {
 	o := base
 	if o == nil {
-		o = oracle.New(s.src)
+		o = s.rootOracle()
 	}
 	var limit *oracle.LimitOracle
 	if s.budget > 0 {
@@ -453,8 +480,9 @@ func (s *Session) BuildLabels(algo string) ([]int, QueryStats, error) {
 	// over one shared concurrency-safe caching oracle: label queries
 	// recurse through overlapping lower-priority neighborhoods, so a probe
 	// one worker pays for answers every worker's repeats. Answers are
-	// unchanged (cached cells are pure functions of graph and seed).
-	shared := oracle.NewCaching(oracle.New(s.src))
+	// unchanged (cached cells are pure functions of graph and seed). The
+	// chain roots at the session's root oracle, so WithPrefetch composes.
+	shared := oracle.NewCaching(s.rootOracle())
 	d, p, inst, limit, err := s.batchSetup(algo, registry.KindLabel, shared)
 	if err != nil {
 		return nil, QueryStats{}, err
@@ -589,7 +617,7 @@ func (s *Session) EstimateFraction(algo string, samples int, delta float64) (Est
 	// probe failure surfaces here exactly as in point queries: as an
 	// error, never a panic through user code.
 	if perr := runRecovered(func() {
-		res, ferr = estimate.Fraction(d, s.src, s.seed, s.declaredParams(d), samples, delta)
+		res, ferr = estimate.Fraction(d, s.src, s.seed, s.declaredParams(d), samples, delta, s.prefetch)
 	}); perr != nil {
 		return EstimateResult{}, perr
 	}
