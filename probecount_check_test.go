@@ -1,0 +1,42 @@
+package lca_test
+
+import (
+	"fmt"
+	"testing"
+
+	lca "lca"
+)
+
+func TestProbeCountCheck(t *testing.T) {
+	for _, algo := range []string{"mis", "matching", "coloring"} {
+		src, err := lca.OpenSource("grid:side=40", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+		n := src.N()
+		switch algo {
+		case "mis":
+			for v := 0; v < n; v += 3 {
+				if _, err := s.QueryVertex("mis", v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case "matching":
+			for v := 0; v < n; v += 3 {
+				if _, err := s.QueryVertex("matching", v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case "coloring":
+			for v := 0; v < n; v += 3 {
+				if _, err := s.QueryLabel("coloring", v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st, _ := s.ProbeStats(algo)
+		fmt.Printf("%s: queries=%d sum=%d mean=%.2f max=%d\n", algo, st.Queries, st.SumTotal, st.Mean(), st.MaxTotal)
+		s.Close()
+	}
+}
