@@ -71,6 +71,7 @@ func main() {
 		{"REG", "Registry sweep: point-query cost of every registered algorithm", r.reg},
 		{"SRC", "Implicit sources: point queries at n beyond RAM", r.src},
 		{"NET", "Network sources: point queries through remote/sharded HTTP shards", r.net},
+		{"FAIL", "Failover: a sharded fleet keeps answering with a replica killed mid-sweep", r.fail},
 		{"E1", "Table 1 (this-work rows): size / stretch / probes", r.e1},
 		{"E2", "Table 2: 5-spanner probes by degree class", r.e2},
 		{"E3", "Table 3: O(k^2)-spanner probes and edges by side", r.e3},
@@ -385,6 +386,85 @@ func (r *runner) net() {
 	}
 	r.print(t)
 	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top.")
+}
+
+// fail benchmarks the failover path end to end: two loopback lcaserve
+// shards behind one sharded: spec (hedged), one of them killed between
+// the healthy and degraded phases. The degraded rows must keep the mean
+// probe column identical to the healthy rows — failover re-routes
+// transport, never changes answers — while the failover column shows the
+// dead shard's keys being served by the survivor and "mean rt/query"
+// prices the detour (the dead shard is marked dead after the failure
+// threshold, so the price is a few failed attempts, not one per probe).
+func (r *runner) fail() {
+	var n int
+	switch r.scale {
+	case "small":
+		n = 100_000
+	case "large":
+		n = 10_000_000
+	default:
+		n = 1_000_000
+	}
+	backingSpec := fmt.Sprintf("circulant:n=%d,d=8", n)
+	const shardCount = 2
+	urls := make([]string, shardCount)
+	servers := make([]*http.Server, shardCount)
+	defer func() {
+		for _, srv := range servers {
+			if srv != nil {
+				_ = srv.Close()
+			}
+		}
+	}()
+	for i := 0; i < shardCount; i++ {
+		backing, err := source.Parse(backingSpec, r.seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+			return
+		}
+		servers[i] = &http.Server{Handler: serve.NewFromSource(backing, backingSpec, r.seed).Handler()}
+		go func(srv *http.Server) { _ = srv.Serve(ln) }(servers[i])
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	spec := "sharded:remote:" + urls[0] + ";remote:" + urls[1] + ";hedge=100ms"
+	src, err := source.Parse(spec, r.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+		return
+	}
+	defer func() {
+		if c, ok := src.(source.Closer); ok {
+			_ = c.Close()
+		}
+	}()
+	algos := []string{"mis", "coloring"}
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "failovers", "mean us/query")
+	const samples = 15
+	measure := func(config string, deriveLabel uint64) {
+		for _, name := range algos {
+			q, elapsed, err := r.measurePointQueries(src, name, n, samples, deriveLabel, false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL: %s: %v\n", name, err)
+				continue
+			}
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%d|%.1f", config, name, n, q.Queries, q.Mean(), q.MaxTotal,
+				q.MeanRoundTrips(), q.ByKind.Failovers, float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+		}
+	}
+	measure("sharded x2 healthy", 0x7a1)
+	// Kill one replica mid-sweep: the same source keeps answering, the
+	// dead shard's keys re-routed to the survivor.
+	_ = servers[1].Close()
+	servers[1] = nil
+	measure("sharded x2 one-killed", 0x7a1)
+	r.print(t)
+	r.note("\nBoth phases run the same query mix on one open sharded source; a replica is killed in between. Mean probes must be identical down the table (failover never changes answers); the failover column counts probes served away from their rendezvous shard, and rt/query prices the detection window (threshold failures, then the dead shard stops being tried).")
 }
 
 // sizes returns the n grid for the current scale.

@@ -68,11 +68,14 @@ func main() {
 		log.Fatalf("lcaserve: %v", err)
 	}
 	desc := fmt.Sprintf("n=%d", src.N())
-	if mc, ok := src.(source.EdgeCounter); ok {
+	if mc, ok := source.EdgeCounterOf(src); ok {
 		desc += fmt.Sprintf(" m=%d", mc.M())
 	}
-	if db, ok := src.(source.DegreeBounder); ok {
+	if db, ok := source.DegreeBounderOf(src); ok {
 		desc += fmt.Sprintf(" maxdeg=%d", db.MaxDegree())
+	}
+	if health, ok := source.HealthOf(src); ok {
+		desc += fmt.Sprintf(" shards=%d (health on /sources and /probe/meta)", len(health))
 	}
 	log.Printf("lcaserve: source %q %s, seed=%d, listening on %s", *graphSpec, desc, *seed, *addr)
 	srv := &http.Server{

@@ -96,6 +96,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// A sharded source may have failed probes over to surviving replicas
+	// while materializing; surface the fleet's health so a degraded-but-
+	// correct audit is visible as such.
+	if health, ok := source.HealthOf(src); ok {
+		for _, h := range health {
+			line := fmt.Sprintf("shard %s: %s", h.Shard, h.State)
+			if h.LastError != "" {
+				line += " (" + h.LastError + ")"
+			}
+			fmt.Println(line)
+		}
+	}
 	// The audit runs on the materialized copy; release whatever the
 	// source holds (CSR file handles, remote shard connections) now.
 	if c, ok := src.(source.Closer); ok {

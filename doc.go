@@ -146,6 +146,51 @@
 // Every built-in algorithm (mis, coloring, matching, approxmatching, the
 // three spanner families, balls, the estimators) already speaks this API.
 //
+// # Shard health, failover and hedging: a runbook
+//
+// A sharded: fleet survives replica failure without operator action, but
+// the mechanics are worth knowing when a page fires. The state machine
+// (internal/source, health.go): every replica starts live; a probe
+// failure that is the shard's fault (transport error, 5xx, 429) counts
+// toward a consecutive-failure threshold (default 3) and the failing
+// probe is immediately retried on the next replica in the vertex's
+// rendezvous ranking, so queries keep answering — correctly, because
+// replicas of one graph are interchangeable — while the failure is
+// still being detected. At the threshold the shard is marked dead: its
+// keys route to the next-ranked live replica and a background reviver
+// re-probes the shard's /probe/meta (the health plane; never a data
+// probe) half-open with jittered exponential backoff, reviving it on
+// the first success. Queries error only when no live replica remains.
+//
+// An optional hedge delay (the hedge=DURATION spec item, e.g.
+// sharded:remote:a;remote:b;hedge=20ms) additionally races tail
+// latency: a probe still unanswered after the delay is fired again at
+// the second-ranked live replica, the first response wins and the loser
+// is cancelled. Slow is not down — hedging alone never marks a shard
+// dead — but a hedge that masked a hard failure still records it, so a
+// dead replica cannot hide behind its faster peer.
+//
+// What to watch. Per-query: ProbeStats/QueryStats carry RoundTrips,
+// Failovers and Hedges (serve answers mirror them as round_trips,
+// failovers, hedges — exact per request, not bled across concurrent
+// requests). Per-fleet: GET /probe/meta and GET /sources list each
+// replica's state (live, dead, probing), consecutive failures and last
+// error. Symptom table: failovers rising + a shard dead in /sources →
+// a replica is down, capacity is degraded but answers are unaffected;
+// hedges rising with no failovers → a replica is slow (GC, page cache
+// cold, noisy neighbor); "no live replica" errors → the whole fleet is
+// unreachable from this client, look at the network before the shards.
+// A runnable end-to-end walkthrough is ExampleOpenSource_shardedFailover.
+//
+// # Further documentation
+//
+// ARCHITECTURE.md maps the layers (source → oracle → algorithms →
+// registry/session → serve/CLIs), tabulates every Source/Oracle
+// capability per backend, and gives the full spec grammar in one table.
+// docs/WIRE.md specifies the probe wire protocol (endpoints, op table,
+// error envelope, status-code contract, health/meta fields) precisely
+// enough to implement a third-party shard without reading wire.go.
+//
 // # What is implemented
 //
 // Spanners (Parter, Rubinfeld, Vakilian, Yodpinyanee 2019), as registry

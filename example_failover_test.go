@@ -1,0 +1,65 @@
+package lca_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"lca"
+	"lca/internal/source"
+)
+
+// A sharded session surviving replica failure: two HTTP shards serve
+// replicas of one graph, one of them dies mid-session, and the session
+// keeps answering — byte-identically to a healthy cluster — by routing
+// the dead shard's keys to the survivor. The hedge=50ms item additionally
+// races slow probes against the second-ranked replica. Failovers are
+// observable per algorithm through ProbeStats (and per request through
+// the HTTP server's failovers answer field).
+func ExampleOpenSource_shardedFailover() {
+	const backing = "circulant:n=4000,d=6,seed=11"
+	shard := func() *httptest.Server {
+		replica, err := lca.OpenSource(backing, 7)
+		if err != nil {
+			panic(err)
+		}
+		return httptest.NewServer(source.NewProbeHandler(replica))
+	}
+	shardA, shardB := shard(), shard()
+	defer shardA.Close()
+	defer shardB.Close()
+
+	spec := "sharded:remote:" + shardA.URL + ";remote:" + shardB.URL + ";hedge=50ms"
+	src, err := lca.OpenSource(spec, 7)
+	if err != nil {
+		panic(err)
+	}
+	s := lca.NewSessionFromSource(src, lca.WithSeed(42))
+	defer s.Close()
+
+	// The healthy-cluster control: the same graph and seed served locally.
+	control, err := lca.OpenSource(backing, 7)
+	if err != nil {
+		panic(err)
+	}
+	local := lca.NewSessionFromSource(control, lca.WithSeed(42))
+
+	shardB.Close() // one replica dies mid-session
+
+	agree := true
+	for i := 0; i < 40; i++ {
+		v := (i * 131) % 4000
+		got, err := s.Vertex("mis", v)
+		if err != nil {
+			fmt.Println("query failed:", err)
+			return
+		}
+		want, _ := local.Vertex("mis", v)
+		agree = agree && got == want
+	}
+	stats, _ := s.ProbeStats("mis")
+	fmt.Println("answers match the healthy cluster:", agree)
+	fmt.Println("failovers observed:", stats.Failovers > 0)
+	// Output:
+	// answers match the healthy cluster: true
+	// failovers observed: true
+}

@@ -111,6 +111,25 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 			digests[name] = answerDigest(t, src, prefetch)
 		}
 	}
+	// Failover golden: a sharded fleet with one of its two replicas killed
+	// mid-session must keep answering byte-identically to the healthy
+	// cluster — replicas are interchangeable, so the survivor serves the
+	// dead shard's keys. The sources are opened while both replicas are up
+	// (construction validates every shard), then the replica dies.
+	shardC, shardD := shardFor(), shardFor()
+	deadSpec := "sharded:remote:" + shardC.URL + ";remote:" + shardD.URL + ";hedge=50ms"
+	deadScalar, err := lca.OpenSource(deadSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadPrefetch, err := lca.OpenSource(deadSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardD.Close()
+	digests["sharded-x2-deadshard"] = answerDigest(t, deadScalar, false)
+	digests["sharded-x2-deadshard+prefetch"] = answerDigest(t, deadPrefetch, true)
+
 	golden := digests["implicit"]
 	for name, d := range digests {
 		if d != golden {

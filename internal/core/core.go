@@ -70,6 +70,8 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.Adjacency += delta.Adjacency
 	q.ByKind.Batches += delta.Batches
 	q.ByKind.RoundTrips += delta.RoundTrips
+	q.ByKind.Failovers += delta.Failovers
+	q.ByKind.Hedges += delta.Hedges
 }
 
 // Merge folds another aggregate into q (sums are added, max is the true
@@ -85,6 +87,8 @@ func (q *QueryStats) Merge(s QueryStats) {
 	q.ByKind.Adjacency += s.ByKind.Adjacency
 	q.ByKind.Batches += s.ByKind.Batches
 	q.ByKind.RoundTrips += s.ByKind.RoundTrips
+	q.ByKind.Failovers += s.ByKind.Failovers
+	q.ByKind.Hedges += s.ByKind.Hedges
 }
 
 // Mean returns the mean probes per query.
@@ -104,13 +108,19 @@ func (q QueryStats) MeanRoundTrips() float64 {
 	return float64(q.ByKind.RoundTrips) / float64(q.Queries)
 }
 
-// String renders the stats compactly; the round-trip figure appears only
-// when a network backend made it meaningful.
+// String renders the stats compactly; the round-trip, failover and hedge
+// figures appear only when a network backend made them meaningful.
 func (q QueryStats) String() string {
 	s := fmt.Sprintf("queries=%d max=%d mean=%.1f (nbr=%d deg=%d adj=%d)",
 		q.Queries, q.MaxTotal, q.Mean(), q.ByKind.Neighbor, q.ByKind.Degree, q.ByKind.Adjacency)
 	if q.ByKind.RoundTrips > 0 {
 		s += fmt.Sprintf(" rt=%d", q.ByKind.RoundTrips)
+	}
+	if q.ByKind.Failovers > 0 {
+		s += fmt.Sprintf(" failover=%d", q.ByKind.Failovers)
+	}
+	if q.ByKind.Hedges > 0 {
+		s += fmt.Sprintf(" hedge=%d", q.ByKind.Hedges)
 	}
 	return s
 }

@@ -56,11 +56,11 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 	sampleSeed := seed.Derive(hashName(d.Name))
 	switch d.Kind {
 	case registry.KindEdge:
-		sampler, ok := src.(source.RandomEdger)
+		sampler, ok := source.RandomEdgerOf(src)
 		if !ok {
 			return Result{}, fmt.Errorf("algorithm %q: source does not support random edge sampling (no RandomEdge capability)", d.Name)
 		}
-		if mc, known := src.(source.EdgeCounter); known && mc.M() == 0 {
+		if mc, known := source.EdgeCounterOf(src); known && mc.M() == 0 {
 			return Result{}, fmt.Errorf("algorithm %q: source has no edges to sample", d.Name)
 		}
 		return edgeFractionSafe(d.Name, o, sampler, inst.(core.EdgeLCA), samples, delta, sampleSeed)

@@ -130,6 +130,24 @@ func (l *LimitOracle) RoundTrips() uint64 {
 	return 0
 }
 
+// Failovers forwards the chain's failover count (0 when non-sharded),
+// keeping the source.FailoverCounter capability visible through the
+// budget wrapper.
+func (l *LimitOracle) Failovers() uint64 {
+	if fo, ok := l.inner.(source.FailoverCounter); ok {
+		return fo.Failovers()
+	}
+	return 0
+}
+
+// Hedges forwards the chain's hedge count (0 when non-sharded).
+func (l *LimitOracle) Hedges() uint64 {
+	if fo, ok := l.inner.(source.FailoverCounter); ok {
+		return fo.Hedges()
+	}
+	return 0
+}
+
 // WithinBudget runs fn and reports whether it completed without exhausting
 // the budget; the budget window is reset first. Other panics propagate.
 func (l *LimitOracle) WithinBudget(fn func()) (ok bool) {

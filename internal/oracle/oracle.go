@@ -135,6 +135,13 @@ type Stats struct {
 	// the source.RoundTripCounter capability when the wrapped oracle chain
 	// exposes one; 0 on purely local chains.
 	RoundTrips uint64
+	// Failovers counts probe operations a sharded backend served away from
+	// their rendezvous replica (dead or erroring shards), read through the
+	// source.FailoverCounter capability; 0 on non-sharded chains.
+	Failovers uint64
+	// Hedges counts hedged requests a sharded backend fired because the
+	// first-ranked replica exceeded the hedge delay.
+	Hedges uint64
 }
 
 // Total returns the total cell-probe count (the model's complexity
@@ -149,6 +156,8 @@ func (s Stats) Sub(t Stats) Stats {
 		Adjacency:  s.Adjacency - t.Adjacency,
 		Batches:    s.Batches - t.Batches,
 		RoundTrips: s.RoundTrips - t.RoundTrips,
+		Failovers:  s.Failovers - t.Failovers,
+		Hedges:     s.Hedges - t.Hedges,
 	}
 }
 
@@ -168,6 +177,9 @@ type Counter struct {
 	stats Stats
 	rt    source.RoundTripCounter // non-nil when the chain reports round trips
 	rt0   uint64                  // round-trip count at construction/Reset
+	fo    source.FailoverCounter  // non-nil when the chain reports failovers/hedges
+	fo0   uint64                  // failover count at construction/Reset
+	he0   uint64                  // hedge count at construction/Reset
 }
 
 var (
@@ -181,6 +193,10 @@ func NewCounter(inner Oracle) *Counter {
 	if rt, ok := inner.(source.RoundTripCounter); ok {
 		c.rt = rt
 		c.rt0 = rt.RoundTrips()
+	}
+	if fo, ok := inner.(source.FailoverCounter); ok {
+		c.fo = fo
+		c.fo0, c.he0 = fo.Failovers(), fo.Hedges()
 	}
 	return c
 }
@@ -234,11 +250,32 @@ func (c *Counter) RoundTrips() uint64 {
 	return 0
 }
 
+// Failovers forwards the chain's failover count (0 when non-sharded), so
+// stacked wrappers keep the capability visible.
+func (c *Counter) Failovers() uint64 {
+	if c.fo != nil {
+		return c.fo.Failovers()
+	}
+	return 0
+}
+
+// Hedges forwards the chain's hedge count (0 when non-sharded).
+func (c *Counter) Hedges() uint64 {
+	if c.fo != nil {
+		return c.fo.Hedges()
+	}
+	return 0
+}
+
 // Stats returns the probe counts so far.
 func (c *Counter) Stats() Stats {
 	s := c.stats
 	if c.rt != nil {
 		s.RoundTrips = c.rt.RoundTrips() - c.rt0
+	}
+	if c.fo != nil {
+		s.Failovers = c.fo.Failovers() - c.fo0
+		s.Hedges = c.fo.Hedges() - c.he0
 	}
 	return s
 }
@@ -248,6 +285,9 @@ func (c *Counter) Reset() {
 	c.stats = Stats{}
 	if c.rt != nil {
 		c.rt0 = c.rt.RoundTrips()
+	}
+	if c.fo != nil {
+		c.fo0, c.he0 = c.fo.Failovers(), c.fo.Hedges()
 	}
 }
 
@@ -434,6 +474,22 @@ func (c *CachingOracle) Prefetch(vs ...int) { Prefetch(c.inner, vs...) }
 func (c *CachingOracle) RoundTrips() uint64 {
 	if rt, ok := c.inner.(source.RoundTripCounter); ok {
 		return rt.RoundTrips()
+	}
+	return 0
+}
+
+// Failovers forwards the chain's failover count (0 when non-sharded).
+func (c *CachingOracle) Failovers() uint64 {
+	if fo, ok := c.inner.(source.FailoverCounter); ok {
+		return fo.Failovers()
+	}
+	return 0
+}
+
+// Hedges forwards the chain's hedge count (0 when non-sharded).
+func (c *CachingOracle) Hedges() uint64 {
+	if fo, ok := c.inner.(source.FailoverCounter); ok {
+		return fo.Hedges()
 	}
 	return 0
 }

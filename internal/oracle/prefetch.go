@@ -109,7 +109,7 @@ func NewPrefetch(src source.Source, opts ...PrefetchOption) *PrefetchOracle {
 	if bp, ok := src.(source.BatchProber); ok {
 		p.bp = bp
 	}
-	if db, ok := src.(source.DegreeBounder); ok {
+	if db, ok := source.DegreeBounderOf(src); ok {
 		if d := db.MaxDegree(); d >= 0 && d <= MaxFetchWidth {
 			p.width = d
 		}
@@ -133,6 +133,24 @@ func (p *PrefetchOracle) PrefetchStats() PrefetchStats {
 func (p *PrefetchOracle) RoundTrips() uint64 {
 	if rt, ok := p.src.(source.RoundTripCounter); ok {
 		return rt.RoundTrips()
+	}
+	return 0
+}
+
+// Failovers forwards the backend's failover count (0 when non-sharded),
+// keeping the source.FailoverCounter capability visible through the
+// prefetching tier.
+func (p *PrefetchOracle) Failovers() uint64 {
+	if fo, ok := p.src.(source.FailoverCounter); ok {
+		return fo.Failovers()
+	}
+	return 0
+}
+
+// Hedges forwards the backend's hedge count (0 when non-sharded).
+func (p *PrefetchOracle) Hedges() uint64 {
+	if fo, ok := p.src.(source.FailoverCounter); ok {
+		return fo.Hedges()
 	}
 	return 0
 }

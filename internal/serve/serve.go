@@ -271,8 +271,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := graphInfo{N: ns.src.N(), Source: ns.name, Spec: ns.spec}
-	mc, haveM := ns.src.(source.EdgeCounter)
-	db, haveMax := ns.src.(source.DegreeBounder)
+	mc, haveM := source.EdgeCounterOf(ns.src)
+	db, haveMax := source.DegreeBounderOf(ns.src)
 	if haveM && haveMax {
 		info.M = mc.M()
 		info.MaxDegree = db.MaxDegree()
@@ -304,11 +304,14 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// sourceInfo is one /sources catalog entry.
+// sourceInfo is one /sources catalog entry. Health carries the
+// per-replica state of sharded sources (absent otherwise), so the source
+// listing doubles as the fleet's failover dashboard.
 type sourceInfo struct {
-	Name string `json:"name"`
-	Spec string `json:"spec"`
-	N    int    `json:"n"`
+	Name   string               `json:"name"`
+	Spec   string               `json:"spec"`
+	N      int                  `json:"n"`
+	Health []source.ShardHealth `json:"health,omitempty"`
 }
 
 type sourcesBody struct {
@@ -320,7 +323,11 @@ func (s *Server) handleSourcesList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	out := make([]sourceInfo, 0, len(s.sources))
 	for _, ns := range s.sources {
-		out = append(out, sourceInfo{Name: ns.name, Spec: ns.spec, N: ns.src.N()})
+		info := sourceInfo{Name: ns.name, Spec: ns.spec, N: ns.src.N()}
+		if health, ok := source.HealthOf(ns.src); ok {
+			info.Health = health
+		}
+		out = append(out, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -502,24 +509,24 @@ func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Par
 	return inst, nil
 }
 
-func probesOf(inst any) uint64 {
-	if rep, ok := inst.(core.ProbeReporter); ok {
-		return rep.ProbeStats().Total()
+// requestScoped returns the per-request view of a source: network
+// backends with the TripScoper capability are scoped so each request's
+// round-trip / failover / hedge figures count exactly its own traffic —
+// concurrent requests against one shared source no longer bleed into
+// each other's accounting. Local sources (no capability) are returned
+// unchanged.
+func requestScoped(src source.Source) source.Source {
+	if ts, ok := src.(source.TripScoper); ok {
+		return ts.ScopeTrips()
 	}
-	return 0
+	return src
 }
 
-// roundTripsOf reports the backend round trips the instance's probes
-// consumed (0 over local sources). The figure is a delta of the named
-// source's shared trip counter, so under concurrent requests against the
-// same network source it can include a neighbor request's trips — it is
-// a transparency aid, exact when requests don't overlap, never part of
-// the answer's correctness contract.
-func roundTripsOf(inst any) uint64 {
+func statsOf(inst any) oracle.Stats {
 	if rep, ok := inst.(core.ProbeReporter); ok {
-		return rep.ProbeStats().RoundTrips
+		return rep.ProbeStats()
 	}
-	return 0
+	return oracle.Stats{}
 }
 
 // kind handlers --------------------------------------------------------
@@ -531,6 +538,8 @@ type edgeAnswer struct {
 	In         bool   `json:"in"`
 	Probes     uint64 `json:"probes"`
 	RoundTrips uint64 `json:"round_trips,omitempty"`
+	Failovers  uint64 `json:"failovers,omitempty"`
+	Hedges     uint64 `json:"hedges,omitempty"`
 }
 
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
@@ -554,15 +563,16 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	src := requestScoped(ns.src)
 	var u, v int
-	if perr := runProbing(func() { u, v, err = edgeParams(r, ns.src) }); perr != nil {
+	if perr := runProbing(func() { u, v, err = edgeParams(r, src) }); perr != nil {
 		err = perr
 	}
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p, prefetch)
+	inst, err := s.build(d, src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -572,8 +582,9 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	st := statsOf(inst)
 	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
-		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
+		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
 }
 
 type vertexAnswer struct {
@@ -582,6 +593,8 @@ type vertexAnswer struct {
 	In         bool   `json:"in"`
 	Probes     uint64 `json:"probes"`
 	RoundTrips uint64 `json:"round_trips,omitempty"`
+	Failovers  uint64 `json:"failovers,omitempty"`
+	Hedges     uint64 `json:"hedges,omitempty"`
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -605,12 +618,13 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	v, err := vertexParam(r, ns.src, "v")
+	src := requestScoped(ns.src)
+	v, err := vertexParam(r, src, "v")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p, prefetch)
+	inst, err := s.build(d, src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -620,8 +634,9 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	st := statsOf(inst)
 	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in,
-		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
+		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
 }
 
 type labelAnswer struct {
@@ -630,6 +645,8 @@ type labelAnswer struct {
 	Label      int    `json:"label"`
 	Probes     uint64 `json:"probes"`
 	RoundTrips uint64 `json:"round_trips,omitempty"`
+	Failovers  uint64 `json:"failovers,omitempty"`
+	Hedges     uint64 `json:"hedges,omitempty"`
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
@@ -653,12 +670,13 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	v, err := vertexParam(r, ns.src, "v")
+	src := requestScoped(ns.src)
+	v, err := vertexParam(r, src, "v")
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
-	inst, err := s.build(d, ns.src, p, prefetch)
+	inst, err := s.build(d, src, p, prefetch)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -668,8 +686,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	st := statsOf(inst)
 	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label,
-		Probes: probesOf(inst), RoundTrips: roundTripsOf(inst)})
+		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
 }
 
 type estimateAnswer struct {
@@ -718,8 +737,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		samples = parsed
 	}
 	const delta = 0.05
+	src := requestScoped(ns.src)
 	var res estimate.Result
-	if perr := runProbing(func() { res, err = estimate.Fraction(d, ns.src, s.seed, p, samples, delta, prefetch) }); perr != nil {
+	if perr := runProbing(func() { res, err = estimate.Fraction(d, src, s.seed, p, samples, delta, prefetch) }); perr != nil {
 		writeHTTPError(w, perr)
 		return
 	}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lca/internal/source"
+)
+
+// newRemoteBackedServer builds a query server whose default source probes
+// a loopback shard — the deployment shape where round-trip accounting is
+// observable.
+func newRemoteBackedServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	shard := httptest.NewServer(source.NewProbeHandler(source.Ring(400)))
+	t.Cleanup(shard.Close)
+	remote, err := source.OpenRemote(shard.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFromSource(remote, "remote:"+shard.URL, 42)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+	return ts, srv
+}
+
+// TestRoundTripsScopedPerRequest is the regression test for per-request
+// transport attribution: a serve answer's round_trips used to delta the
+// named source's shared counter, so concurrent requests against one
+// network source bled into each other's figure. With request scoping,
+// every concurrent answer must report exactly what the same query reports
+// when it runs alone.
+func TestRoundTripsScopedPerRequest(t *testing.T) {
+	ts, _ := newRemoteBackedServer(t)
+	vertices := []int{3, 57, 111, 198, 250, 301, 350, 399}
+
+	type answer struct {
+		In         bool   `json:"in"`
+		Probes     uint64 `json:"probes"`
+		RoundTrips uint64 `json:"round_trips"`
+	}
+	query := func(v int) answer {
+		var a answer
+		if code := getJSON(t, fmt.Sprintf("%s/vertex/mis?v=%d", ts.URL, v), &a); code != 200 {
+			t.Errorf("vertex %d: status %d", v, code)
+		}
+		return a
+	}
+
+	// Serial baseline: every query alone on the wire. Requests build fresh
+	// deterministic instances, so per-vertex figures are reproducible.
+	baseline := make(map[int]answer, len(vertices))
+	for _, v := range vertices {
+		baseline[v] = query(v)
+	}
+	for _, v := range vertices {
+		if again := query(v); again != baseline[v] {
+			t.Fatalf("vertex %d not deterministic: %+v then %+v", v, baseline[v], again)
+		}
+		if baseline[v].RoundTrips == 0 {
+			t.Fatalf("vertex %d reports 0 round trips over a remote source", v)
+		}
+	}
+
+	// Concurrent storm: many overlapping requests per vertex. Each answer
+	// must still carry its own exact figure.
+	const rounds = 4
+	var wg sync.WaitGroup
+	got := make([]answer, len(vertices)*rounds)
+	for r := 0; r < rounds; r++ {
+		for i, v := range vertices {
+			wg.Add(1)
+			go func(slot, v int) {
+				defer wg.Done()
+				got[slot] = query(v)
+			}(r*len(vertices)+i, v)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		for i, v := range vertices {
+			if a := got[r*len(vertices)+i]; a != baseline[v] {
+				t.Errorf("concurrent vertex %d answered %+v, serial baseline %+v (transport accounting bled across requests)",
+					v, a, baseline[v])
+			}
+		}
+	}
+}
+
+// TestSourcesListHealth: a sharded source's /sources entry carries the
+// fleet's per-replica health.
+func TestSourcesListHealth(t *testing.T) {
+	shardA := httptest.NewServer(source.NewProbeHandler(source.Ring(50)))
+	t.Cleanup(shardA.Close)
+	shardB := httptest.NewServer(source.NewProbeHandler(source.Ring(50)))
+	t.Cleanup(shardB.Close)
+	spec := "sharded:remote:" + shardA.URL + ";remote:" + shardB.URL
+	src, err := source.Parse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFromSource(src, spec, 42)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var body struct {
+		Sources []struct {
+			Name   string `json:"name"`
+			Health []struct {
+				Shard string `json:"shard"`
+				State string `json:"state"`
+			} `json:"health"`
+		} `json:"sources"`
+	}
+	if code := getJSON(t, ts.URL+"/sources", &body); code != 200 {
+		t.Fatalf("/sources: status %d", code)
+	}
+	if len(body.Sources) != 1 {
+		t.Fatalf("%d sources listed, want 1", len(body.Sources))
+	}
+	health := body.Sources[0].Health
+	if len(health) != 2 {
+		t.Fatalf("health lists %d shards, want 2", len(health))
+	}
+	for i, h := range health {
+		if h.State != source.ShardLive {
+			t.Fatalf("shard %d state %q, want %q", i, h.State, source.ShardLive)
+		}
+		if h.Shard == "" {
+			t.Fatalf("shard %d unlabeled", i)
+		}
+	}
+}

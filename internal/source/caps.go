@@ -1,0 +1,112 @@
+package source
+
+// The dynamic capability view. Optional Source capabilities (EdgeCounter,
+// DegreeBounder, RandomEdger, HealthReporter) used to be advertised by
+// static wrapper types: Remote and Sharded each hand-wrote one struct per
+// capability combination — 7 apiece for three optional capabilities — and
+// every additional capability would double both lattices again. Instead,
+// backends whose capabilities are decided at runtime implement CapSource:
+// one method returning a Caps value whose non-nil fields are the
+// capabilities present on this instance. Callers never type-assert the
+// optional interfaces directly; they go through the *Of accessors below,
+// which consult the dynamic view first and fall back to the static
+// interfaces for backends (in-memory graphs, implicit families, CSR)
+// whose capabilities are fixed by their type.
+
+import "lca/internal/rnd"
+
+// Caps is the dynamic capability view of one source instance: each non-nil
+// field is an optional capability the instance has. The zero value has no
+// optional capabilities.
+type Caps struct {
+	// M returns the edge count in O(1) (the EdgeCounter capability).
+	M func() int
+	// MaxDegree returns the maximum degree in O(1) (the DegreeBounder
+	// capability).
+	MaxDegree func() int
+	// RandomEdge samples a uniform edge in canonical u < v orientation
+	// (the RandomEdger capability).
+	RandomEdge func(prg *rnd.PRG) (u, v int)
+	// Health reports per-replica health (the HealthReporter capability of
+	// sharded fleets).
+	Health func() []ShardHealth
+}
+
+// CapSource is implemented by sources whose optional capabilities are
+// decided per instance at construction time (Remote mirrors its shard's
+// /probe/meta, Sharded intersects its replicas') rather than by their
+// static type. Capability discovery must go through the *Of accessors,
+// which understand both this view and the static interfaces.
+type CapSource interface {
+	Source
+	Caps() Caps
+}
+
+// EdgeCounterOf returns src's EdgeCounter capability, dynamic view first,
+// static interface second.
+func EdgeCounterOf(src Source) (EdgeCounter, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().M; f != nil {
+			return edgeCounterFunc(f), true
+		}
+		return nil, false
+	}
+	ec, ok := src.(EdgeCounter)
+	return ec, ok
+}
+
+// DegreeBounderOf returns src's DegreeBounder capability, dynamic view
+// first, static interface second.
+func DegreeBounderOf(src Source) (DegreeBounder, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().MaxDegree; f != nil {
+			return degreeBounderFunc(f), true
+		}
+		return nil, false
+	}
+	db, ok := src.(DegreeBounder)
+	return db, ok
+}
+
+// RandomEdgerOf returns src's RandomEdger capability, dynamic view first,
+// static interface second.
+func RandomEdgerOf(src Source) (RandomEdger, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().RandomEdge; f != nil {
+			return randomEdgerFunc(f), true
+		}
+		return nil, false
+	}
+	re, ok := src.(RandomEdger)
+	return re, ok
+}
+
+// HealthOf returns src's per-replica health snapshot when it has the
+// HealthReporter capability (sharded fleets; dynamic view first, static
+// interface second).
+func HealthOf(src Source) ([]ShardHealth, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().Health; f != nil {
+			return f(), true
+		}
+		return nil, false
+	}
+	if hr, ok := src.(HealthReporter); ok {
+		return hr.Health(), true
+	}
+	return nil, false
+}
+
+// Function adapters lifting Caps fields back onto the static interfaces,
+// so accessor callers keep one calling convention.
+type edgeCounterFunc func() int
+
+func (f edgeCounterFunc) M() int { return f() }
+
+type degreeBounderFunc func() int
+
+func (f degreeBounderFunc) MaxDegree() int { return f() }
+
+type randomEdgerFunc func(prg *rnd.PRG) (int, int)
+
+func (f randomEdgerFunc) RandomEdge(prg *rnd.PRG) (int, int) { return f(prg) }

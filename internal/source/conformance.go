@@ -9,8 +9,10 @@ package source
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lca/internal/rnd"
 )
@@ -243,6 +245,243 @@ func TestConformance(t *testing.T, open Factory) {
 			}
 		}
 	})
+}
+
+// FaultInjector controls the failure modes of a fault-injectable fleet
+// for TestConformanceFaults: harnesses wrap each shard's transport (an
+// httptest middleware, typically) so the suite can kill, hang and heal
+// replicas at will.
+type FaultInjector interface {
+	// Shards returns the replica count.
+	Shards() int
+	// Fail makes shard i answer every request with a 500 until healed.
+	Fail(i int)
+	// Hang makes shard i delay every data-plane answer by d until healed.
+	Hang(i int, d time.Duration)
+	// Heal restores shard i to normal service.
+	Heal(i int)
+}
+
+// FaultFactory opens a fresh fault-injectable source — a Sharded over at
+// least two replicas, configured with a fast failure threshold, fast
+// revival and a hedge delay well below the hang used by the suite — plus
+// the injector controlling its shards. Cleanup hangs on t.
+type FaultFactory func(t testing.TB) (Source, FaultInjector)
+
+// faultDeadline bounds the polls for health-state transitions; factories
+// configure revival well below it.
+const faultDeadline = 10 * time.Second
+
+// TestConformanceFaults runs the failure-mode contract suite against a
+// fault-injectable sharded backend:
+//
+//   - failover: with one replica answering 500s, every probe (scalar and
+//     batched, raced across goroutines — run under -race) still answers
+//     exactly the healthy fleet's answers, the dead replica is reported
+//     dead and failovers are counted; healing the replica revives it and
+//     routing returns to normal.
+//   - hedge: with one replica hanging past the hedge delay, probes answer
+//     (from the other replica) long before the hang expires and hedges
+//     are counted; the hanging replica is never marked dead — slow is not
+//     down.
+//   - alldead: with every replica failing, probes fail with a typed
+//     *ProbeError naming the no-live-replica condition instead of
+//     hanging or succeeding; healing the fleet restores service.
+func TestConformanceFaults(t *testing.T, open FaultFactory) {
+	t.Run("failover", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		if inj.Shards() < 2 {
+			t.Fatal("fault suite needs at least two replicas")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		want := conformanceSnapshot(src, sample)
+		inj.Fail(0)
+		// Racing probers must keep seeing the healthy answers throughout
+		// the detection window and after the shard is marked dead.
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for w := range errs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pass := 0; pass < 3; pass++ {
+					if got := conformanceSnapshot(src, sample); got != want {
+						errs[w] = fmt.Errorf("worker %d pass %d: answers changed under failover:\n got %s\nwant %s", w, pass, got, want)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bp, ok := src.(BatchProber); ok {
+			var probes []ProbeReq
+			var wantAns []int
+			for _, v := range sample {
+				probes = append(probes, ProbeReq{Op: OpDegree, A: v})
+				wantAns = append(wantAns, src.Degree(v))
+			}
+			got, err := bp.ProbeBatch(probes)
+			if err != nil {
+				t.Fatalf("batch under failover: %v", err)
+			}
+			for i := range wantAns {
+				if got[i] != wantAns[i] {
+					t.Fatalf("batch under failover: probe %d answered %d, want %d", i, got[i], wantAns[i])
+				}
+			}
+		}
+		if fo, ok := src.(FailoverCounter); !ok {
+			t.Fatal("fault-injectable source lacks the FailoverCounter capability")
+		} else if fo.Failovers() == 0 {
+			t.Fatal("probes were re-routed off a failing replica but Failovers() == 0")
+		}
+		waitShardState(t, src, 0, ShardDead, "after consecutive failures")
+		inj.Heal(0)
+		waitShardState(t, src, 0, ShardLive, "after healing")
+		if got := conformanceSnapshot(src, sample); got != want {
+			t.Fatalf("answers changed after revival:\n got %s\nwant %s", got, want)
+		}
+	})
+	t.Run("hedge", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		want := make([]int, len(sample))
+		for i, v := range sample {
+			want[i] = src.Degree(v)
+		}
+		const hang = 3 * time.Second
+		inj.Hang(0, hang)
+		start := time.Now()
+		for i, v := range sample {
+			if got := src.Degree(v); got != want[i] {
+				t.Fatalf("Degree(%d) = %d under a hanging replica, want %d", v, got, want[i])
+			}
+		}
+		// Every probe owned by the hanging replica must have been answered
+		// by the hedge, not the hang: well under one hang for the whole
+		// sweep.
+		if elapsed := time.Since(start); elapsed > hang {
+			t.Fatalf("sweep under a hanging replica took %v; hedging is not kicking in", elapsed)
+		}
+		fo, ok := src.(FailoverCounter)
+		if !ok {
+			t.Fatal("fault-injectable source lacks the FailoverCounter capability")
+		}
+		if fo.Hedges() == 0 {
+			t.Fatal("a replica hung past the hedge delay but Hedges() == 0")
+		}
+		if got := fo.Failovers(); got != 0 {
+			t.Fatalf("Failovers() = %d under a slow-but-healthy replica; hedge wins must not read as failovers (slow is not down)", got)
+		}
+		if health, ok := HealthOf(src); !ok {
+			t.Fatal("fault-injectable source lacks the HealthReporter capability")
+		} else if health[0].State != ShardLive {
+			t.Fatalf("hanging replica reports %q; slow must not read as down", health[0].State)
+		}
+		inj.Heal(0)
+	})
+	t.Run("alldead", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		healthy := src.Degree(sample[0])
+		for i := 0; i < inj.Shards(); i++ {
+			inj.Fail(i)
+		}
+		pe := mustProbeError(t, func() {
+			for range sample {
+				src.Degree(sample[0])
+			}
+		})
+		if !strings.Contains(pe.Error(), "no live replica") {
+			t.Fatalf("all-replicas-dead error %q does not name the no-live-replica condition", pe.Error())
+		}
+		for i := 0; i < inj.Shards(); i++ {
+			inj.Heal(i)
+		}
+		deadline := time.Now().Add(faultDeadline)
+		for {
+			if ans, ok := tryProbe(src, sample[0]); ok {
+				if ans != healthy {
+					t.Fatalf("Degree(%d) = %d after fleet recovery, want %d", sample[0], ans, healthy)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("fleet never recovered after healing every replica")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// waitShardState polls the fleet's health until shard i reaches the
+// wanted state or the deadline passes.
+func waitShardState(t *testing.T, src Source, i int, state, context string) {
+	t.Helper()
+	deadline := time.Now().Add(faultDeadline)
+	for {
+		health, ok := HealthOf(src)
+		if !ok {
+			t.Fatal("source lacks the HealthReporter capability")
+		}
+		if health[i].State == state {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d stuck in state %q, want %q %s", i, health[i].State, state, context)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// mustProbeError runs fn, which must panic with a *ProbeError before
+// completing; lone pre-dead-marking successes are tolerated by fn's
+// construction (it probes repeatedly).
+func mustProbeError(t *testing.T, fn func()) (pe *ProbeError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("probing an all-dead fleet unexpectedly succeeded")
+		}
+		var ok bool
+		if pe, ok = r.(*ProbeError); !ok {
+			t.Fatalf("panic payload %T, want *ProbeError", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// tryProbe probes Degree(v) and reports success, recovering the
+// no-live-replica panic while the fleet is still reviving.
+func tryProbe(src Source, v int) (ans int, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isProbe := r.(*ProbeError); !isProbe {
+				panic(r)
+			}
+			ans, ok = 0, false
+		}
+	}()
+	return src.Degree(v), true
 }
 
 // conformanceSample picks the probed vertices: every vertex when small,

@@ -174,16 +174,17 @@ func TestShardedRejectsMismatchedReplicas(t *testing.T) {
 	}
 }
 
-// TestShardedCapabilities: capabilities surface iff every shard agrees.
+// TestShardedCapabilities: capabilities surface on the dynamic view iff
+// every shard agrees.
 func TestShardedCapabilities(t *testing.T) {
 	s, err := NewSharded([]Source{Ring(30), Ring(30)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mc, ok := s.(EdgeCounter); !ok || mc.M() != 30 {
+	if mc, ok := EdgeCounterOf(s); !ok || mc.M() != 30 {
 		t.Fatalf("sharded ring lost EdgeCounter (ok=%v)", ok)
 	}
-	if db, ok := s.(DegreeBounder); !ok || db.MaxDegree() != 2 {
+	if db, ok := DegreeBounderOf(s); !ok || db.MaxDegree() != 2 {
 		t.Fatalf("sharded ring lost DegreeBounder (ok=%v)", ok)
 	}
 	// blockrandom has neither capability; the composite must not invent
@@ -192,11 +193,21 @@ func TestShardedCapabilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s2.(EdgeCounter); ok {
+	if _, ok := EdgeCounterOf(s2); ok {
 		t.Fatal("sharded blockrandom invented an EdgeCounter capability")
 	}
-	if _, ok := s2.(DegreeBounder); ok {
+	if _, ok := DegreeBounderOf(s2); ok {
 		t.Fatal("sharded blockrandom invented a DegreeBounder capability")
+	}
+	// Every fleet reports per-replica health, live at rest.
+	health, ok := HealthOf(s)
+	if !ok || len(health) != 2 {
+		t.Fatalf("sharded fleet health: ok=%v, %d entries, want 2", ok, len(health))
+	}
+	for i, h := range health {
+		if h.State != ShardLive {
+			t.Fatalf("healthy shard %d reports state %q, want %q", i, h.State, ShardLive)
+		}
 	}
 }
 

@@ -1,0 +1,269 @@
+package source
+
+// Shard health: the state machine that lets a Sharded fleet survive
+// replica failure. Every shard starts live; consecutive probe failures
+// past a threshold mark it dead, a background reviver re-probes it
+// half-open with jittered exponential backoff (on Remote shards via the
+// health-plane GET /probe/meta, never a data probe), and a successful
+// re-probe returns it to live. While a shard is dead, rendezvous routing
+// hands its keys to the next-ranked live replica — replicas of one graph
+// are interchangeable, so answers never change, only which process serves
+// them — and the detour is counted as a failover.
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shard health states.
+const (
+	// ShardLive marks a shard serving its rendezvous share.
+	ShardLive = "live"
+	// ShardDead marks a shard past the consecutive-failure threshold; its
+	// keys are re-routed until a background re-probe revives it.
+	ShardDead = "dead"
+	// ShardProbing marks a dead shard with a half-open revival probe in
+	// flight.
+	ShardProbing = "probing"
+)
+
+// ShardHealth is one replica's health snapshot, as reported by the
+// HealthReporter capability and surfaced on /probe/meta and /sources.
+type ShardHealth struct {
+	// Shard labels the replica (a Remote's base URL, or shard<i> for
+	// local backends).
+	Shard string `json:"shard"`
+	// State is ShardLive, ShardDead or ShardProbing.
+	State string `json:"state"`
+	// ConsecutiveFails counts probe failures since the last success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// LastError is the most recent failure, empty on a healthy shard.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// HealthReporter is the optional capability of reporting per-replica
+// health — Sharded has it; single-backend sources do not. Discover it
+// through HealthOf, which also understands the dynamic capability view.
+type HealthReporter interface {
+	Health() []ShardHealth
+}
+
+// FailoverCounter is the optional capability of reporting how many probe
+// operations were failed over (served by a replica other than their
+// rendezvous winner) and how many hedged requests were fired. Monotone
+// and safe for concurrent use; like RoundTripCounter it is transport
+// accounting, never part of an answer's correctness contract.
+type FailoverCounter interface {
+	Failovers() uint64
+	Hedges() uint64
+}
+
+// Pinger is the optional capability of cheaply checking liveness on the
+// health plane, without issuing a data probe. Remote pings GET
+// /probe/meta with a single uncounted, unretried request; the reviver
+// uses it for half-open re-probes of dead shards.
+type Pinger interface {
+	Ping() error
+}
+
+// TripScoper is the optional capability of deriving a request-scoped view
+// of a network source. The view answers identically and shares the
+// backend's connections, caches and health state, but its RoundTrips()
+// (and Failovers()/Hedges() on fleets) count only traffic issued through
+// the view — so concurrent requests against one shared source each see
+// exactly their own transport bill. Views are cheap, need no Close, and
+// must not outlive the source they scope.
+type TripScoper interface {
+	ScopeTrips() Source
+}
+
+// tripCount is a nil-safe atomic request counter shared between a source
+// and the scoped views attributing traffic to it.
+type tripCount struct{ n atomic.Uint64 }
+
+func (t *tripCount) add(d uint64) {
+	if t != nil {
+		t.n.Add(d)
+	}
+}
+
+func (t *tripCount) load() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// scopeSink accumulates one view's transport accounting: round trips,
+// failovers and hedges. The nil sink (unscoped probing) is valid
+// everywhere.
+type scopeSink struct {
+	trips tripCount
+	fo    atomic.Uint64
+	he    atomic.Uint64
+}
+
+func (s *scopeSink) tripsCounter() *tripCount {
+	if s == nil {
+		return nil
+	}
+	return &s.trips
+}
+
+func (s *scopeSink) failover() {
+	if s != nil {
+		s.fo.Add(1)
+	}
+}
+
+func (s *scopeSink) hedge() {
+	if s != nil {
+		s.he.Add(1)
+	}
+}
+
+// Internal state codes; ShardHealth reports the string names.
+const (
+	stateLive int32 = iota
+	stateDead
+	stateProbing
+)
+
+func stateName(code int32) string {
+	switch code {
+	case stateDead:
+		return ShardDead
+	case stateProbing:
+		return ShardProbing
+	default:
+		return ShardLive
+	}
+}
+
+// shardState is one replica's mutable health record inside a Sharded.
+// The state and failure-streak words are atomics so the hot probe path
+// (pickLive sweeping every shard, noteSuccess after every probe) reads
+// them lock-free; the mutex guards the failure transitions, lastErr and
+// the reviver handshake.
+type shardState struct {
+	state atomic.Int32
+	fails atomic.Int32
+	// mu guards lastErr and the dead-transition/reviving handshake.
+	mu       sync.Mutex
+	lastErr  string
+	reviving bool // a reviver goroutine owns this shard's recovery
+}
+
+func newShardState() *shardState { return &shardState{} }
+
+// alive reports whether the shard may serve data probes right now. A
+// probing shard stays out of rotation until its half-open re-probe
+// succeeds, so one revival ping — not live traffic — decides revival.
+func (st *shardState) alive() bool { return st.state.Load() == stateLive }
+
+// noteSuccess resets the consecutive-failure streak of a live shard.
+// Lock-free on the pure-success fast path; a concurrent failure racing
+// the reset only perturbs the heuristic streak, never an answer.
+func (st *shardState) noteSuccess() {
+	if st.state.Load() != stateLive || st.fails.Load() == 0 {
+		return
+	}
+	st.fails.Store(0)
+	st.mu.Lock()
+	st.lastErr = ""
+	st.mu.Unlock()
+}
+
+// noteFailure records one probe failure; it reports whether this failure
+// crossed the threshold and the caller must start a reviver.
+func (st *shardState) noteFailure(err error, threshold int) (startReviver bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fails := st.fails.Add(1)
+	st.lastErr = err.Error()
+	if st.state.Load() == stateLive && int(fails) >= threshold {
+		st.state.Store(stateDead)
+		if !st.reviving {
+			st.reviving = true
+			return true
+		}
+	}
+	return false
+}
+
+// setState moves the shard between the reviver-owned states.
+func (st *shardState) setState(state int32, err error) {
+	st.mu.Lock()
+	st.state.Store(state)
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+	if state == stateLive {
+		st.fails.Store(0)
+		st.lastErr = ""
+		st.reviving = false
+	}
+	st.mu.Unlock()
+}
+
+func (st *shardState) snapshot(label string) ShardHealth {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return ShardHealth{Shard: label, State: stateName(st.state.Load()),
+		ConsecutiveFails: int(st.fails.Load()), LastError: st.lastErr}
+}
+
+// reviveLoop is the background half-open re-prober of one dead shard: it
+// sleeps a jittered exponential backoff, marks the shard probing, pings
+// it (Pinger when the shard has it, a guarded data probe otherwise), and
+// either revives the shard or doubles the backoff and tries again. It
+// exits when the shard revives or the fleet closes.
+func (s *Sharded) reviveLoop(i int) {
+	defer s.wg.Done()
+	st := s.health[i]
+	backoff := s.reviveMin
+	for {
+		// Jitter desynchronizes a fleet of clients re-probing one revived
+		// replica; the exact delay is immaterial to correctness.
+		delay := backoff + time.Duration(rand.Int64N(int64(backoff)/2+1))
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(delay):
+		}
+		st.setState(stateProbing, nil)
+		if err := s.pingShard(i); err != nil {
+			st.setState(stateDead, err)
+			if backoff < s.reviveMax {
+				backoff = min(backoff*2, s.reviveMax)
+			}
+			continue
+		}
+		st.setState(stateLive, nil)
+		return
+	}
+}
+
+// pingShard checks one shard's liveness: the health plane when the shard
+// has it, otherwise a recovered data probe (local backends cannot fail,
+// so this path exists for completeness, not load).
+func (s *Sharded) pingShard(i int) (err error) {
+	if p, ok := s.shards[i].(Pinger); ok {
+		return p.Ping()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			err = pe
+		}
+	}()
+	if s.n > 0 {
+		s.shards[i].Degree(0)
+	}
+	return nil
+}

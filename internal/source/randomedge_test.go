@@ -12,18 +12,21 @@ type bareSource struct{ Source }
 
 func TestRemoteRandomEdgeCapabilityMirrorsShard(t *testing.T) {
 	withRE := openRemoteShard(t, Ring(40))
-	if _, ok := withRE.(RandomEdger); !ok {
+	if _, ok := RandomEdgerOf(withRE); !ok {
 		t.Fatal("remote over a RandomEdger backend lacks the capability")
 	}
 	withoutRE := openRemoteShard(t, bareSource{Ring(40)})
-	if _, ok := withoutRE.(RandomEdger); ok {
+	if _, ok := RandomEdgerOf(withoutRE); ok {
 		t.Fatal("remote invented the RandomEdge capability")
 	}
 }
 
 func TestRemoteRandomEdgeDeterministicAndValid(t *testing.T) {
 	backing := Ring(40)
-	r := openRemoteShard(t, backing).(RandomEdger)
+	r, ok := RandomEdgerOf(openRemoteShard(t, backing))
+	if !ok {
+		t.Fatal("remote over a RandomEdger backend lacks the capability")
+	}
 	var first []int
 	for pass := 0; pass < 2; pass++ {
 		prg := rnd.NewPRG(17)
@@ -57,7 +60,7 @@ func TestShardedRandomEdgeCapability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, ok := s.(RandomEdger)
+	re, ok := RandomEdgerOf(s)
 	if !ok {
 		t.Fatal("sharded fleet of RandomEdger shards lacks the capability")
 	}
@@ -90,7 +93,7 @@ func TestShardedRandomEdgeRequiresEveryShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.(RandomEdger); ok {
+	if _, ok := RandomEdgerOf(s); ok {
 		t.Fatal("sharded advertised RandomEdge with a capability-less shard")
 	}
 }

@@ -4,17 +4,18 @@ package source
 // the probe wire protocol (wire.go) — the backend that turns the library
 // into a horizontally scalable service. One lcaserve replica can answer
 // queries whose probes are served by another, and Sharded composes N of
-// these into one consistent-hashed fleet.
+// these into one consistent-hashed fleet with failover and hedging.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"lca/internal/rnd"
@@ -27,11 +28,14 @@ import (
 // recover into ordinary errors; code probing a Remote directly should do
 // the same.
 type ProbeError struct {
-	// Shard is the base URL of the failing shard.
+	// Shard is the base URL of the failing shard (or a fleet label).
 	Shard string
 	// Op, A, B identify the probe that failed.
 	Op   string
 	A, B int
+	// Status is the HTTP status of a terminal protocol answer, 0 for
+	// transport failures. Temporary() is derived from it.
+	Status int
 	// Err is the underlying transport or protocol error.
 	Err error
 }
@@ -42,6 +46,33 @@ func (e *ProbeError) Error() string {
 
 func (e *ProbeError) Unwrap() error { return e.Err }
 
+// Temporary reports whether the failure is the shard's fault (transport
+// error, 5xx, 429) rather than the request's: only temporary failures
+// justify failing the probe over to another replica — a 400 would just be
+// answered 400 again.
+func (e *ProbeError) Temporary() bool {
+	return e.Status == 0 || e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// statusError carries the HTTP status of a non-200 shard answer through
+// the retry loop so ProbeError.Status can report it.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.status, e.msg) }
+
+// statusOf extracts the terminal HTTP status from a probe failure chain
+// (0 for pure transport errors).
+func statusOf(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return 0
+}
+
 // Remote probes a shard over HTTP. Construct with OpenRemote; the zero
 // value is unusable. Safe for concurrent use: the underlying http.Client
 // reuses pooled keep-alive connections across goroutines.
@@ -50,6 +81,12 @@ func (e *ProbeError) Unwrap() error { return e.Err }
 // 5xx and 429 responses; protocol-level 4xx errors are not retried); a
 // probe that still fails panics with *ProbeError, which Session queries
 // and the HTTP server convert back into errors.
+//
+// Optional capabilities (EdgeCounter, DegreeBounder, RandomEdger) mirror
+// the shard's /probe/meta and are exposed through the dynamic capability
+// view (Caps; discover them with the *Of accessors). Remote additionally
+// implements Pinger (health-plane liveness checks for Sharded's reviver)
+// and TripScoper (request-scoped round-trip attribution).
 type Remote struct {
 	base      string // scheme://host[:port], no trailing slash
 	name      string // optional ?source= selector on the shard
@@ -66,15 +103,18 @@ type Remote struct {
 	closeOnce       sync.Once
 	// requests counts logical shard requests (one per probe, batch or meta
 	// fetch; retries of one request are not re-counted) — the
-	// RoundTripCounter capability.
-	requests atomic.Uint64
+	// RoundTripCounter capability. Health-plane pings are not counted.
+	requests tripCount
 }
 
 var (
 	_ Source           = (*Remote)(nil)
+	_ CapSource        = (*Remote)(nil)
 	_ Closer           = (*Remote)(nil)
 	_ BatchProber      = (*Remote)(nil)
 	_ RoundTripCounter = (*Remote)(nil)
+	_ Pinger           = (*Remote)(nil)
+	_ TripScoper       = (*Remote)(nil)
 )
 
 // RemoteOption configures a Remote at construction.
@@ -128,7 +168,8 @@ func WithRetryBackoff(d time.Duration) RemoteOption {
 // URL names the shard's base ("http://host:port"; a bare host:port gets
 // http://); a fragment selects a named source on a multi-source shard
 // ("http://host:port#web"). The returned Source carries the EdgeCounter /
-// DegreeBounder capabilities exactly when the shard's backing source does.
+// DegreeBounder / RandomEdger capabilities — on its dynamic capability
+// view — exactly when the shard's backing source does.
 func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 	base := strings.TrimSpace(rawURL)
 	if base == "" {
@@ -177,63 +218,27 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 		r.maxDeg, r.hasMaxDeg = *meta.MaxDegree, true
 	}
 	r.hasRE = meta.RandomEdge
-	return wrapRemoteCaps(r), nil
+	return r, nil
 }
 
-// wrapRemoteCaps selects the capability wrapper matching the shard's meta:
-// a Remote advertises M / MaxDegree / RandomEdge exactly when the shard's
-// backing source does, so capability type assertions mirror the shard.
-// Embedding *Remote keeps the full method set (Source, Closer,
-// BatchProber, RoundTripCounter).
-func wrapRemoteCaps(r *Remote) Source {
-	switch {
-	case r.hasM && r.hasMaxDeg && r.hasRE:
-		return remoteMDegRE{remoteMDeg{r}}
-	case r.hasM && r.hasMaxDeg:
-		return remoteMDeg{r}
-	case r.hasM && r.hasRE:
-		return remoteMRE{remoteM{r}}
-	case r.hasMaxDeg && r.hasRE:
-		return remoteDegRE{remoteDeg{r}}
-	case r.hasM:
-		return remoteM{r}
-	case r.hasMaxDeg:
-		return remoteDeg{r}
-	case r.hasRE:
-		return remoteRE{r}
+// Caps implements CapSource from the construction-time /probe/meta
+// snapshot: the remote advertises M / MaxDegree / RandomEdge exactly when
+// the shard's backing source does.
+func (r *Remote) Caps() Caps {
+	c := Caps{}
+	if r.hasM {
+		m := r.m
+		c.M = func() int { return m }
 	}
-	return r
+	if r.hasMaxDeg {
+		d := r.maxDeg
+		c.MaxDegree = func() int { return d }
+	}
+	if r.hasRE {
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return r.randomEdge(nil, prg) }
+	}
+	return c
 }
-
-type remoteM struct{ *Remote }
-
-func (r remoteM) M() int { return r.m }
-
-type remoteDeg struct{ *Remote }
-
-func (r remoteDeg) MaxDegree() int { return r.maxDeg }
-
-type remoteMDeg struct{ *Remote }
-
-func (r remoteMDeg) M() int { return r.m }
-
-func (r remoteMDeg) MaxDegree() int { return r.maxDeg }
-
-type remoteRE struct{ *Remote }
-
-func (r remoteRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
-
-type remoteMRE struct{ remoteM }
-
-func (r remoteMRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
-
-type remoteDegRE struct{ remoteDeg }
-
-func (r remoteDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
-
-type remoteMDegRE struct{ remoteMDeg }
-
-func (r remoteMDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return r.randomEdge(prg) }
 
 // Base returns the shard's base URL (for error reporting and bench
 // labels).
@@ -243,10 +248,10 @@ func (r *Remote) Base() string { return r.base }
 func (r *Remote) N() int { return r.n }
 
 // Degree implements Source.
-func (r *Remote) Degree(v int) int { return r.probe(OpDegree, v, 0) }
+func (r *Remote) Degree(v int) int { return r.probe(nil, OpDegree, v, 0) }
 
 // Neighbor implements Source.
-func (r *Remote) Neighbor(v, i int) int { return r.probe(OpNeighbor, v, i) }
+func (r *Remote) Neighbor(v, i int) int { return r.probe(nil, OpNeighbor, v, i) }
 
 // Adjacency implements Source.
 func (r *Remote) Adjacency(u, v int) int {
@@ -255,13 +260,40 @@ func (r *Remote) Adjacency(u, v int) int {
 	if u < 0 || u >= r.n || v < 0 || v >= r.n {
 		return -1
 	}
-	return r.probe(OpAdjacency, u, v)
+	return r.probe(nil, OpAdjacency, u, v)
 }
 
 // RoundTrips implements RoundTripCounter: logical shard requests issued so
 // far (probes, batches and the construction-time meta fetch; retries of a
-// failing request are not re-counted).
-func (r *Remote) RoundTrips() uint64 { return r.requests.Load() }
+// failing request are not re-counted, health-plane pings never count).
+func (r *Remote) RoundTrips() uint64 { return r.requests.load() }
+
+// ScopeTrips implements TripScoper: the view shares this remote's
+// connections but counts round trips into its own counter only.
+func (r *Remote) ScopeTrips() Source { return &remoteScope{r: r, tc: &tripCount{}} }
+
+// Ping implements Pinger: one uncounted, unretried health-plane request
+// against /probe/meta. A 200 with a well-formed body means alive;
+// anything else reports the failure.
+func (r *Remote) Ping() error {
+	resp, err := r.client.Get(r.metaURL())
+	if err != nil {
+		return fmt.Errorf("source: ping %s: %w", r.base, err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProbeBody))
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("source: ping %s: %w", r.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("source: ping %s: status %d: %s", r.base, resp.StatusCode, shardErrText(body))
+	}
+	var meta probeMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return fmt.Errorf("source: ping %s: malformed meta: %w", r.base, err)
+	}
+	return nil
+}
 
 // Close releases the client's idle connections. Idempotent; a closed
 // Remote remains usable (new probes open fresh connections).
@@ -274,35 +306,58 @@ func (r *Remote) Close() error {
 // uint64 drawn from the caller's PRG becomes the shard-side sampling seed,
 // so the answer is a deterministic function of the caller's PRG state and
 // identical on every replica of the graph.
-func (r *Remote) randomEdge(prg *rnd.PRG) (int, int) {
-	seed := prg.Uint64()
-	reqURL := fmt.Sprintf("%s/probe?op=%s&seed=%d%s", r.base, OpRandomEdge, seed, r.sourceParam())
-	var ans randomEdgeAnswer
-	if err := r.getJSON(reqURL, &ans); err != nil {
-		panic(&ProbeError{Shard: r.base, Op: OpRandomEdge, Err: err})
+func (r *Remote) randomEdge(tc *tripCount, prg *rnd.PRG) (int, int) {
+	u, v, err := r.randomEdgeScoped(tc, prg.Uint64())
+	if err != nil {
+		panic(err)
 	}
-	return ans.U, ans.V
+	return u, v
 }
 
-func (r *Remote) probe(op string, a, b int) int {
-	ans, err := r.probeErr(op, a, b)
+// randomEdgeScoped is the error-returning seeded sampler shared by the
+// public capability and Sharded's failover path.
+func (r *Remote) randomEdgeScoped(tc *tripCount, seed uint64) (int, int, *ProbeError) {
+	reqURL := fmt.Sprintf("%s/probe?op=%s&seed=%d%s", r.base, OpRandomEdge, seed, r.sourceParam())
+	var ans randomEdgeAnswer
+	if err := r.getJSON(tc, reqURL, &ans); err != nil {
+		return 0, 0, &ProbeError{Shard: r.base, Op: OpRandomEdge, Status: statusOf(err), Err: err}
+	}
+	return ans.U, ans.V, nil
+}
+
+func (r *Remote) probe(tc *tripCount, op string, a, b int) int {
+	ans, err := r.probeScoped(context.Background(), tc, op, a, b)
 	if err != nil {
 		panic(err)
 	}
 	return ans
 }
 
-func (r *Remote) probeErr(op string, a, b int) (int, *ProbeError) {
+// probeScoped issues one scalar probe, attributing the round trip to tc
+// (nil: unscoped) and honouring ctx cancellation — the hedging hook: the
+// loser of a hedged race is cancelled rather than completed.
+func (r *Remote) probeScoped(ctx context.Context, tc *tripCount, op string, a, b int) (int, *ProbeError) {
 	probeURL := fmt.Sprintf("%s/probe?op=%s&a=%d&b=%d%s", r.base, op, a, b, r.sourceParam())
 	var ans probeAnswer
-	if err := r.getJSON(probeURL, &ans); err != nil {
-		return 0, &ProbeError{Shard: r.base, Op: op, A: a, B: b, Err: err}
+	if err := r.doJSON(ctx, tc, func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.client.Do(req)
+	}, &ans); err != nil {
+		return 0, &ProbeError{Shard: r.base, Op: op, A: a, B: b, Status: statusOf(err), Err: err}
 	}
 	return ans.Answer, nil
 }
 
 // ProbeBatch implements BatchProber with one POST round trip.
 func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	return r.batchScoped(nil, probes)
+}
+
+// batchScoped is ProbeBatch with per-view trip attribution.
+func (r *Remote) batchScoped(tc *tripCount, probes []ProbeReq) ([]int, error) {
 	if len(probes) == 0 {
 		return nil, nil
 	}
@@ -312,10 +367,15 @@ func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
 	}
 	batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
 	var out probeBatchAnswer
-	if err := r.doJSON(func() (*http.Response, error) {
-		return r.client.Post(batchURL, "application/json", strings.NewReader(string(body)))
+	if err := r.doJSON(context.Background(), tc, func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, batchURL, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return r.client.Do(req)
 	}, &out); err != nil {
-		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes), Err: err}
+		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes), Status: statusOf(err), Err: err}
 	}
 	if len(out.Answers) != len(probes) {
 		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes),
@@ -324,9 +384,13 @@ func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
 	return out.Answers, nil
 }
 
+func (r *Remote) metaURL() string {
+	return r.base + "/probe/meta" + strings.Replace(r.sourceParam(), "&", "?", 1)
+}
+
 func (r *Remote) fetchMeta() (probeMeta, error) {
 	var meta probeMeta
-	if err := r.getJSON(r.base+"/probe/meta"+strings.Replace(r.sourceParam(), "&", "?", 1), &meta); err != nil {
+	if err := r.getJSON(nil, r.metaURL(), &meta); err != nil {
 		return meta, fmt.Errorf("source: remote: %s is not answering as a probe shard: %w", r.base, err)
 	}
 	if meta.N < 0 || meta.N > MaxVertices {
@@ -342,23 +406,40 @@ func (r *Remote) sourceParam() string {
 	return "&source=" + url.QueryEscape(r.name)
 }
 
-func (r *Remote) getJSON(u string, out any) error {
-	return r.doJSON(func() (*http.Response, error) { return r.client.Get(u) }, out)
+func (r *Remote) getJSON(tc *tripCount, u string, out any) error {
+	return r.doJSON(context.Background(), tc, func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.client.Do(req)
+	}, out)
 }
 
 // doJSON issues the request with retry-with-backoff and decodes a 200
 // body into out. Transport errors, 5xx and 429 retry; other statuses are
 // terminal (the request itself is wrong, sending it again cannot help).
-func (r *Remote) doJSON(do func() (*http.Response, error), out any) error {
-	r.requests.Add(1)
+// One logical request counts one round trip — on the shared counter and,
+// when scoped, on tc — regardless of retries. ctx cancellation aborts
+// both in-flight attempts and backoff sleeps.
+func (r *Remote) doJSON(ctx context.Context, tc *tripCount, do func(context.Context) (*http.Response, error), out any) error {
+	r.requests.add(1)
+	tc.add(1)
 	var last error
 	for attempt := 0; attempt <= r.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w (cancelled after %d attempts)", last, attempt)
+			case <-time.After(r.backoff << (attempt - 1)):
+			}
 		}
-		resp, err := do()
+		resp, err := do(ctx)
 		if err != nil {
 			last = err
+			if ctx.Err() != nil {
+				return last
+			}
 			continue
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, maxProbeBody))
@@ -374,7 +455,7 @@ func (r *Remote) doJSON(do func() (*http.Response, error), out any) error {
 			}
 			return nil
 		}
-		last = fmt.Errorf("status %d: %s", resp.StatusCode, shardErrText(body))
+		last = &statusError{status: resp.StatusCode, msg: shardErrText(body)}
 		if resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			return last
 		}
@@ -395,3 +476,47 @@ func shardErrText(body []byte) string {
 	}
 	return s
 }
+
+// remoteScope is the TripScoper view of a Remote: same shard, same
+// connections, round trips counted into the view's own counter.
+type remoteScope struct {
+	r  *Remote
+	tc *tripCount
+}
+
+var (
+	_ Source           = (*remoteScope)(nil)
+	_ CapSource        = (*remoteScope)(nil)
+	_ BatchProber      = (*remoteScope)(nil)
+	_ RoundTripCounter = (*remoteScope)(nil)
+)
+
+func (s *remoteScope) N() int { return s.r.n }
+
+func (s *remoteScope) Degree(v int) int { return s.r.probe(s.tc, OpDegree, v, 0) }
+
+func (s *remoteScope) Neighbor(v, i int) int { return s.r.probe(s.tc, OpNeighbor, v, i) }
+
+func (s *remoteScope) Adjacency(u, v int) int {
+	if u < 0 || u >= s.r.n || v < 0 || v >= s.r.n {
+		return -1
+	}
+	return s.r.probe(s.tc, OpAdjacency, u, v)
+}
+
+func (s *remoteScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	return s.r.batchScoped(s.tc, probes)
+}
+
+// Caps forwards the remote's capability view, with RandomEdge attributed
+// to this scope.
+func (s *remoteScope) Caps() Caps {
+	c := s.r.Caps()
+	if c.RandomEdge != nil {
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.r.randomEdge(s.tc, prg) }
+	}
+	return c
+}
+
+// RoundTrips reports only the trips issued through this view.
+func (s *remoteScope) RoundTrips() uint64 { return s.tc.load() }

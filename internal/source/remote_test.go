@@ -105,20 +105,20 @@ func TestRemoteMatchesBacking(t *testing.T) {
 
 // TestRemoteCapabilities: the remote mirrors the shard's EdgeCounter /
 // DegreeBounder capabilities through /probe/meta — present for a ring,
-// absent for blockrandom.
+// absent for blockrandom — on its dynamic capability view.
 func TestRemoteCapabilities(t *testing.T) {
 	ring := openRemoteShard(t, Ring(40))
-	if mc, ok := ring.(EdgeCounter); !ok || mc.M() != 40 {
+	if mc, ok := EdgeCounterOf(ring); !ok || mc.M() != 40 {
 		t.Fatalf("remote ring: EdgeCounter ok=%v", ok)
 	}
-	if db, ok := ring.(DegreeBounder); !ok || db.MaxDegree() != 2 {
+	if db, ok := DegreeBounderOf(ring); !ok || db.MaxDegree() != 2 {
 		t.Fatalf("remote ring: DegreeBounder ok=%v", ok)
 	}
 	br := openRemoteShard(t, BlockRandom(40, 8, 3, 1))
-	if _, ok := br.(EdgeCounter); ok {
+	if _, ok := EdgeCounterOf(br); ok {
 		t.Fatal("remote blockrandom invented EdgeCounter")
 	}
-	if _, ok := br.(DegreeBounder); ok {
+	if _, ok := DegreeBounderOf(br); ok {
 		t.Fatal("remote blockrandom invented DegreeBounder")
 	}
 }

@@ -9,36 +9,100 @@ package source
 // any per-shard page cache or memo stays hot. An optional LRU tier
 // absorbs repeated neighborhood probes client-side, the bounded-memory
 // counterpart of oracle.CachingOracle's unbounded memoization.
+//
+// Because replicas are interchangeable, the fleet survives them failing:
+// a probe whose rendezvous shard errors is failed over to the next-ranked
+// live replica, a shard past the consecutive-failure threshold is marked
+// dead and its keys re-routed until a background half-open re-probe
+// (health.go) revives it, and an optional hedge delay fires a second
+// request at the next-ranked replica when the first is slow — first
+// response wins, the loser is cancelled. Probes error only when no live
+// replica can serve them. Failovers and hedges are counted (the
+// FailoverCounter capability) but never change answers.
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lca/internal/rnd"
 )
 
+// Failure-handling defaults, overridable per fleet with the options below.
+const (
+	// DefaultFailureThreshold is the consecutive-failure count that marks
+	// a shard dead.
+	DefaultFailureThreshold = 3
+	// DefaultReviveMin / DefaultReviveMax bound the reviver's jittered
+	// exponential backoff between half-open re-probes of a dead shard.
+	DefaultReviveMin = 250 * time.Millisecond
+	DefaultReviveMax = 5 * time.Second
+)
+
+// scopedProber is the internal seam between a fleet and its network
+// shards: probes carry the per-view trip counter down, so request-scoped
+// accounting (TripScoper) attributes every shard request — failover
+// retries and hedges included — to the view that caused it. *Remote
+// implements it; shards without it (local backends, nested fleets) are
+// probed through the plain Source interface.
+type scopedProber interface {
+	probeScoped(ctx context.Context, tc *tripCount, op string, a, b int) (int, *ProbeError)
+	batchScoped(tc *tripCount, probes []ProbeReq) ([]int, error)
+	randomEdgeScoped(tc *tripCount, seed uint64) (int, int, *ProbeError)
+}
+
 // Sharded fans probes out across replica shards. Construct with
 // NewSharded; the zero value is unusable. Safe for concurrent use when
-// the shards are (every backend here is); the LRU tier is mutex-guarded.
+// the shards are (every backend here is); the LRU tier is mutex-guarded
+// and the health state per-shard locked.
+//
+// Optional capabilities (EdgeCounter, DegreeBounder, RandomEdger) are
+// exposed on the dynamic capability view exactly when every shard has
+// them; Health (HealthReporter), Failovers/Hedges (FailoverCounter) and
+// ScopeTrips (TripScoper) are always present.
 type Sharded struct {
 	shards []Source
+	labels []string
 	n      int
 	cache  *probeLRU
 
 	m, maxDeg       int
 	hasM, hasMaxDeg bool
 	hasRE           bool
-	closeOnce       sync.Once
-	closeErr        error
+
+	hedge         time.Duration
+	failThreshold int
+	reviveMin     time.Duration
+	reviveMax     time.Duration
+
+	health []*shardState
+	stop   chan struct{}
+	// reviveMu serializes reviver spawning against Close: wg.Add must
+	// never race wg.Wait, even from detached hedge-loser harvesters that
+	// can outlive the probe that spawned them.
+	reviveMu  sync.Mutex
+	closed    bool
+	wg        sync.WaitGroup
+	failovers atomic.Uint64
+	hedges    atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 var (
 	_ Source           = (*Sharded)(nil)
+	_ CapSource        = (*Sharded)(nil)
 	_ Closer           = (*Sharded)(nil)
 	_ BatchProber      = (*Sharded)(nil)
 	_ RoundTripCounter = (*Sharded)(nil)
+	_ HealthReporter   = (*Sharded)(nil)
+	_ FailoverCounter  = (*Sharded)(nil)
+	_ TripScoper       = (*Sharded)(nil)
 )
 
 // ShardedOption configures a Sharded at construction.
@@ -57,39 +121,67 @@ func WithProbeCache(entries int) ShardedOption {
 	}
 }
 
+// WithHedge enables hedged scalar probes: when the rendezvous shard has
+// not answered within d, the same probe is fired at the next-ranked live
+// replica and the first response wins, the loser cancelled. 0 (the
+// default) disables hedging. Replicas answer identically, so hedging
+// never changes an answer — it trades a bounded amount of duplicate work
+// for tail latency.
+func WithHedge(d time.Duration) ShardedOption {
+	return func(s *Sharded) {
+		if d > 0 {
+			s.hedge = d
+		}
+	}
+}
+
+// WithFailureThreshold sets how many consecutive failures mark a shard
+// dead (default DefaultFailureThreshold). Values below 1 are ignored.
+func WithFailureThreshold(k int) ShardedOption {
+	return func(s *Sharded) {
+		if k >= 1 {
+			s.failThreshold = k
+		}
+	}
+}
+
+// WithRevival sets the reviver's backoff window between half-open
+// re-probes of a dead shard (defaults DefaultReviveMin/DefaultReviveMax).
+// Non-positive values are ignored; max is clamped up to min.
+func WithRevival(min, max time.Duration) ShardedOption {
+	return func(s *Sharded) {
+		if min > 0 {
+			s.reviveMin = min
+		}
+		if max > 0 {
+			s.reviveMax = max
+		}
+		if s.reviveMax < s.reviveMin {
+			s.reviveMax = s.reviveMin
+		}
+	}
+}
+
 // NewSharded combines replica shards into one Source. All shards must
 // agree on the vertex count (they are replicas of one graph); the O(1)
 // summary capabilities (EdgeCounter, DegreeBounder) are exposed exactly
 // when every shard has them and they agree.
 func NewSharded(shards []Source, opts ...ShardedOption) (Source, error) {
-	s, err := newSharded(shards, opts...)
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case s.hasM && s.hasMaxDeg && s.hasRE:
-		return shardedMDegRE{shardedMDeg{s}}, nil
-	case s.hasM && s.hasMaxDeg:
-		return shardedMDeg{s}, nil
-	case s.hasM && s.hasRE:
-		return shardedMRE{shardedM{s}}, nil
-	case s.hasMaxDeg && s.hasRE:
-		return shardedDegRE{shardedDeg{s}}, nil
-	case s.hasM:
-		return shardedM{s}, nil
-	case s.hasMaxDeg:
-		return shardedDeg{s}, nil
-	case s.hasRE:
-		return shardedRE{s}, nil
-	}
-	return s, nil
+	return newSharded(shards, opts...)
 }
 
 func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("source: sharded: need at least one shard")
 	}
-	s := &Sharded{shards: shards, n: shards[0].N()}
+	s := &Sharded{
+		shards:        shards,
+		n:             shards[0].N(),
+		failThreshold: DefaultFailureThreshold,
+		reviveMin:     DefaultReviveMin,
+		reviveMax:     DefaultReviveMax,
+		stop:          make(chan struct{}),
+	}
 	for i, sh := range shards {
 		if sh.N() != s.n {
 			return nil, fmt.Errorf("source: sharded: shard %d has n=%d, shard 0 has n=%d (shards must be replicas of one graph)",
@@ -97,11 +189,15 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 		}
 	}
 	s.hasM, s.hasMaxDeg, s.hasRE = true, true, true
+	s.labels = make([]string, len(shards))
+	s.health = make([]*shardState, len(shards))
 	for i, sh := range shards {
-		if _, ok := sh.(RandomEdger); !ok {
+		s.labels[i] = shardLabel(sh, i)
+		s.health[i] = newShardState()
+		if _, ok := RandomEdgerOf(sh); !ok {
 			s.hasRE = false
 		}
-		if mc, ok := sh.(EdgeCounter); ok {
+		if mc, ok := EdgeCounterOf(sh); ok {
 			if i > 0 && s.hasM && mc.M() != s.m {
 				return nil, fmt.Errorf("source: sharded: shard %d reports m=%d, earlier shards m=%d (shards must be replicas)", i, mc.M(), s.m)
 			}
@@ -109,7 +205,7 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 		} else {
 			s.hasM = false
 		}
-		if db, ok := sh.(DegreeBounder); ok {
+		if db, ok := DegreeBounderOf(sh); ok {
 			if i > 0 && s.hasMaxDeg && db.MaxDegree() != s.maxDeg {
 				return nil, fmt.Errorf("source: sharded: shard %d reports maxdeg=%d, earlier shards %d (shards must be replicas)", i, db.MaxDegree(), s.maxDeg)
 			}
@@ -124,48 +220,59 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 	return s, nil
 }
 
-// Capability wrappers, mirroring the Remote pattern: the capability is
-// advertised only when every shard has it.
-type shardedM struct{ *Sharded }
-
-func (s shardedM) M() int { return s.m }
-
-type shardedDeg struct{ *Sharded }
-
-func (s shardedDeg) MaxDegree() int { return s.maxDeg }
-
-type shardedMDeg struct{ *Sharded }
-
-func (s shardedMDeg) M() int { return s.m }
-
-func (s shardedMDeg) MaxDegree() int { return s.maxDeg }
-
-type shardedRE struct{ *Sharded }
-
-func (s shardedRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
-
-type shardedMRE struct{ shardedM }
-
-func (s shardedMRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
-
-type shardedDegRE struct{ shardedDeg }
-
-func (s shardedDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
-
-type shardedMDegRE struct{ shardedMDeg }
-
-func (s shardedMDegRE) RandomEdge(prg *rnd.PRG) (int, int) { return s.randomEdge(prg) }
-
-// randomEdge implements the RandomEdger capability when every shard has
-// it: one uint64 drawn from the caller's PRG picks the serving shard and
-// seeds a derived PRG for the shard-side sampler. Shards are replicas and
-// samplers are deterministic in their PRG, so the answer is a function of
-// the caller's PRG state alone — any shard would answer identically.
-func (s *Sharded) randomEdge(prg *rnd.PRG) (int, int) {
-	seed := prg.Uint64()
-	sh := s.shards[int(seed%uint64(len(s.shards)))]
-	return sh.(RandomEdger).RandomEdge(rnd.NewPRG(rnd.Seed(seed).Derive(0x5e)))
+// shardLabel names one replica for health reports and errors.
+func shardLabel(sh Source, i int) string {
+	if b, ok := sh.(interface{ Base() string }); ok {
+		return b.Base()
+	}
+	return fmt.Sprintf("shard%d", i)
 }
+
+// label names the fleet in probe errors.
+func (s *Sharded) label() string { return fmt.Sprintf("sharded(%d replicas)", len(s.shards)) }
+
+// Caps implements CapSource: the summary capabilities are the
+// intersection of the replicas' (snapshotted at construction), and the
+// fleet-level Health capability is always present.
+func (s *Sharded) Caps() Caps {
+	c := Caps{Health: s.Health}
+	if s.hasM {
+		m := s.m
+		c.M = func() int { return m }
+	}
+	if s.hasMaxDeg {
+		d := s.maxDeg
+		c.MaxDegree = func() int { return d }
+	}
+	if s.hasRE {
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.randomEdge(nil, prg) }
+	}
+	return c
+}
+
+// Health implements HealthReporter: one snapshot per replica, in shard
+// order.
+func (s *Sharded) Health() []ShardHealth {
+	out := make([]ShardHealth, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.health[i].snapshot(s.labels[i])
+	}
+	return out
+}
+
+// Failovers implements FailoverCounter: probe operations served by a
+// replica other than their rendezvous winner (because it was dead or
+// erroring).
+func (s *Sharded) Failovers() uint64 { return s.failovers.Load() }
+
+// Hedges implements FailoverCounter: hedged requests fired because the
+// first-ranked replica exceeded the hedge delay.
+func (s *Sharded) Hedges() uint64 { return s.hedges.Load() }
+
+// ScopeTrips implements TripScoper: the view shares the fleet's shards,
+// cache and health state, but counts round trips, failovers and hedges
+// into its own counters only.
+func (s *Sharded) ScopeTrips() Source { return &shardedScope{s: s} }
 
 // Shards returns the shard count (for bench labels and tests).
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -182,41 +289,109 @@ func (s *Sharded) RoundTrips() uint64 {
 	return total
 }
 
-// shardFor routes a vertex to its owning shard by rendezvous (highest
-// random weight) hashing: each (vertex, shard) pair gets an independent
-// 64-bit score and the max wins. Removing one shard remaps only the keys
-// it owned — the consistent-hashing property — with no ring state at all.
+// shardScore is the rendezvous (highest-random-weight) score of the
+// (vertex, shard) pair: each pair gets an independent 64-bit score and
+// the max wins, so removing one shard remaps only the keys it owned — the
+// consistent-hashing property — with no ring state at all.
+func shardScore(v, i int) uint64 {
+	x := uint64(v)*0x9e3779b97f4a7c15 ^ uint64(i)*0xda942042e4dd58b5
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardFor returns v's rendezvous winner, health-blind — the shard that
+// owns v whenever it is alive (tests pin the routing against it).
 func (s *Sharded) shardFor(v int) int {
 	if len(s.shards) == 1 {
 		return 0
 	}
 	best, bestScore := 0, uint64(0)
 	for i := range s.shards {
-		x := uint64(v)*0x9e3779b97f4a7c15 ^ uint64(i)*0xda942042e4dd58b5
-		x ^= x >> 30
-		x *= 0xbf58476d1ce4e5b9
-		x ^= x >> 27
-		x *= 0x94d049bb133111eb
-		x ^= x >> 31
-		if x >= bestScore {
+		if x := shardScore(v, i); x >= bestScore {
 			best, bestScore = i, x
 		}
 	}
 	return best
 }
 
+// pickLive ranks v's replicas: want is the health-blind rendezvous winner
+// (for failover accounting), primary and secondary the two highest-ranked
+// live replicas outside exclude (-1 when none qualify).
+func (s *Sharded) pickLive(v int, exclude []bool) (primary, secondary, want int) {
+	primary, secondary, want = -1, -1, -1
+	var pBest, sBest, wBest uint64
+	for i := range s.shards {
+		x := shardScore(v, i)
+		if want < 0 || x >= wBest {
+			want, wBest = i, x
+		}
+		if exclude != nil && exclude[i] {
+			continue
+		}
+		if !s.health[i].alive() {
+			continue
+		}
+		switch {
+		case primary < 0:
+			primary, pBest = i, x
+		case x >= pBest:
+			secondary, sBest = primary, pBest
+			primary, pBest = i, x
+		case secondary < 0 || x >= sBest:
+			secondary, sBest = i, x
+		}
+	}
+	return primary, secondary, want
+}
+
+// markFailure records a temporary failure on shard i, starting the
+// background reviver when the failure crossed the dead threshold. After
+// Close no reviver starts — the fleet is shutting down, and a wg.Add
+// racing Close's wg.Wait would be a WaitGroup misuse.
+func (s *Sharded) markFailure(i int, err error) {
+	if !s.health[i].noteFailure(err, s.failThreshold) {
+		return
+	}
+	s.reviveMu.Lock()
+	defer s.reviveMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.wg.Add(1)
+	go s.reviveLoop(i)
+}
+
+// noteFailover counts one probe operation served away from its rendezvous
+// winner, globally and on the issuing view.
+func (s *Sharded) noteFailover(sink *scopeSink) {
+	s.failovers.Add(1)
+	sink.failover()
+}
+
+// noteHedge counts one hedged request fired.
+func (s *Sharded) noteHedge(sink *scopeSink) {
+	s.hedges.Add(1)
+	sink.hedge()
+}
+
 // N implements Source.
 func (s *Sharded) N() int { return s.n }
 
 // Degree implements Source, routed by v.
-func (s *Sharded) Degree(v int) int {
+func (s *Sharded) Degree(v int) int { return s.degree(nil, v) }
+
+func (s *Sharded) degree(sink *scopeSink, v int) int {
 	k := probeKey{op: opDeg, ab: packProbe(v, 0)}
 	if s.cache != nil {
 		if ans, ok := s.cache.get(k); ok {
 			return ans
 		}
 	}
-	ans := s.shards[s.shardFor(v)].Degree(v)
+	ans := s.scalar(sink, OpDegree, v, v, 0)
 	if s.cache != nil {
 		s.cache.put(k, ans)
 	}
@@ -224,7 +399,9 @@ func (s *Sharded) Degree(v int) int {
 }
 
 // Neighbor implements Source, routed by v.
-func (s *Sharded) Neighbor(v, i int) int {
+func (s *Sharded) Neighbor(v, i int) int { return s.neighbor(nil, v, i) }
+
+func (s *Sharded) neighbor(sink *scopeSink, v, i int) int {
 	if i < 0 {
 		return -1
 	}
@@ -234,7 +411,7 @@ func (s *Sharded) Neighbor(v, i int) int {
 			return ans
 		}
 	}
-	ans := s.shards[s.shardFor(v)].Neighbor(v, i)
+	ans := s.scalar(sink, OpNeighbor, v, v, i)
 	if s.cache != nil {
 		s.cache.put(k, ans)
 		if ans >= 0 {
@@ -247,7 +424,9 @@ func (s *Sharded) Neighbor(v, i int) int {
 }
 
 // Adjacency implements Source, routed by the list owner u.
-func (s *Sharded) Adjacency(u, v int) int {
+func (s *Sharded) Adjacency(u, v int) int { return s.adjacency(nil, u, v) }
+
+func (s *Sharded) adjacency(sink *scopeSink, u, v int) int {
 	if u < 0 || u >= s.n || v < 0 || v >= s.n {
 		return -1
 	}
@@ -257,25 +436,279 @@ func (s *Sharded) Adjacency(u, v int) int {
 			return ans
 		}
 	}
-	ans := s.shards[s.shardFor(u)].Adjacency(u, v)
+	ans := s.scalar(sink, OpAdjacency, u, u, v)
 	if s.cache != nil {
 		s.cache.put(k, ans)
 	}
 	return ans
 }
 
-// ProbeBatch implements BatchProber: probes are grouped by owning shard
-// and fanned out concurrently, one goroutine (and, on remote shards, one
-// POST round trip) per shard touched. Answers are index-aligned with the
-// request. The LRU tier is consulted first and filled from the answers.
+// scalar answers one scalar probe with failover: the probe is tried on
+// v's highest-ranked live replica (hedged against the second-ranked one
+// when a hedge delay is configured), temporary failures mark the shard
+// and re-route to the next live replica, and only when no live replica
+// can serve does the probe fail — a typed *ProbeError panic, the network
+// source contract. Non-temporary failures (4xx: the request itself is
+// wrong) propagate immediately; no replica would answer differently.
+func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
+	var exclude []bool
+	var lastErr error
+	for tries := 0; tries <= len(s.shards); tries++ {
+		primary, secondary, want := s.pickLive(route, exclude)
+		if primary < 0 {
+			break
+		}
+		var ans, served int
+		var perr *ProbeError
+		var failed []shardFailure
+		if s.hedge > 0 && secondary >= 0 {
+			ans, served, failed, perr = s.hedgedProbe(sink, primary, secondary, op, a, b)
+		} else {
+			served = primary
+			ans, perr = s.probeOnShard(context.Background(), sink, primary, op, a, b)
+			if perr != nil && perr.Temporary() {
+				failed = []shardFailure{{i: primary, err: perr}}
+			}
+		}
+		for _, f := range failed {
+			s.markFailure(f.i, f.err)
+		}
+		if perr == nil {
+			s.health[served].noteSuccess()
+			// A failover is a probe served away from its rendezvous winner
+			// because that winner was dead (skipped by pickLive) or erred
+			// on this probe. A pure hedge win — the rendezvous shard merely
+			// slow, the secondary faster — is NOT a failover: the runbook's
+			// "hedges rising with no failovers → slow, not down" depends on
+			// the distinction.
+			primaryFailed := false
+			for _, f := range failed {
+				if f.i == primary {
+					primaryFailed = true
+				}
+			}
+			if primary != want || (served != primary && primaryFailed) {
+				s.noteFailover(sink)
+			}
+			return ans
+		}
+		if !perr.Temporary() {
+			panic(perr)
+		}
+		lastErr = perr
+		if exclude == nil {
+			exclude = make([]bool, len(s.shards))
+		}
+		for _, f := range failed {
+			exclude[f.i] = true
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("all replicas are dead")
+	}
+	panic(&ProbeError{Shard: s.label(), Op: op, A: a, B: b,
+		Err: fmt.Errorf("no live replica can serve the probe: %w", lastErr)})
+}
+
+// shardFailure pairs a failing shard with its error for health recording.
+type shardFailure struct {
+	i   int
+	err error
+}
+
+// hedgeResult is one contender's outcome in a hedged race.
+type hedgeResult struct {
+	ans   int
+	err   *ProbeError
+	shard int
+}
+
+// hedgedProbe races primary against secondary: secondary is fired when
+// primary errors (failover) or exceeds the hedge delay (hedge); the first
+// success wins and the loser's request is cancelled via context. Returns
+// the temporary failures observed so the caller can record and exclude
+// them.
+func (s *Sharded) hedgedProbe(sink *scopeSink, primary, secondary int, op string, a, b int) (ans, served int, failed []shardFailure, perr *ProbeError) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan hedgeResult, 2)
+	launch := func(i int) {
+		go func() {
+			ans, err := s.probeOnShard(ctx, sink, i, op, a, b)
+			ch <- hedgeResult{ans: ans, err: err, shard: i}
+		}()
+	}
+	launch(primary)
+	timer := time.NewTimer(s.hedge)
+	defer timer.Stop()
+	launched, settled := 1, 0
+	for {
+		select {
+		case res := <-ch:
+			settled++
+			if res.err == nil {
+				if settled < launched {
+					// The loser is still in flight (cancelled above). Its
+					// verdict matters for health: a shard that had already
+					// failed hard before the cancellation (the hedge that
+					// masked a refused connection) must accumulate the
+					// failure, or a dead replica would hide behind the
+					// hedge forever and every probe it owns would pay the
+					// hedge delay. Pure cancellations are not failures.
+					go s.harvestLoser(ch)
+				}
+				return res.ans, res.shard, failed, nil
+			}
+			if !res.err.Temporary() {
+				return 0, 0, failed, res.err
+			}
+			failed = append(failed, shardFailure{i: res.shard, err: res.err})
+			if launched == 1 {
+				// Primary failed before the hedge delay: escalate now.
+				// This is a failover, not a hedge — the timer never fired.
+				launch(secondary)
+				launched = 2
+			} else if settled == launched {
+				return 0, 0, failed, res.err
+			}
+		case <-timer.C:
+			if launched == 1 {
+				s.noteHedge(sink)
+				launch(secondary)
+				launched = 2
+			}
+		}
+	}
+}
+
+// harvestLoser drains a hedged race's losing result and records its
+// failure when it is a genuine shard fault rather than our own
+// cancellation — the path that lets a dead replica cross the failure
+// threshold even though the hedge keeps winning first.
+func (s *Sharded) harvestLoser(ch <-chan hedgeResult) {
+	res := <-ch
+	if res.err != nil && res.err.Temporary() && !errors.Is(res.err, context.Canceled) {
+		s.markFailure(res.shard, res.err)
+	}
+}
+
+// probeOnShard answers one scalar probe on shard i. Network shards take
+// the scoped path (per-view trip attribution, context cancellation for
+// hedging); other shards are called directly with *ProbeError panics
+// recovered — a nested network-backed shard fails like a flat one.
+func (s *Sharded) probeOnShard(ctx context.Context, sink *scopeSink, i int, op string, a, b int) (ans int, perr *ProbeError) {
+	sh := s.shards[i]
+	if sp, ok := sh.(scopedProber); ok {
+		return sp.probeScoped(ctx, sink.tripsCounter(), op, a, b)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			ans, perr = 0, pe
+		}
+	}()
+	switch op {
+	case OpDegree:
+		return sh.Degree(a), nil
+	case OpNeighbor:
+		return sh.Neighbor(a, b), nil
+	default:
+		return sh.Adjacency(a, b), nil
+	}
+}
+
+// randomEdge implements the RandomEdger capability when every shard has
+// it: one uint64 drawn from the caller's PRG picks the serving replica
+// among the live ones and seeds a derived PRG for the shard-side sampler.
+// Shards are replicas and samplers are deterministic in their PRG, so the
+// answer is a function of the caller's PRG state alone — any shard would
+// answer identically — and a failing replica is simply skipped (and
+// marked) in favour of the next live one.
+func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
+	seed := prg.Uint64()
+	derived := rnd.Seed(seed).Derive(0x5e)
+	var live []int
+	for i := range s.shards {
+		if s.health[i].alive() {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		panic(&ProbeError{Shard: s.label(), Op: OpRandomEdge,
+			Err: errors.New("no live replica can serve a random-edge probe: all replicas are dead")})
+	}
+	start := int(seed % uint64(len(live)))
+	var lastErr error
+	for k := range live {
+		i := live[(start+k)%len(live)]
+		u, v, perr := s.randomEdgeOnShard(sink, i, derived)
+		if perr == nil {
+			s.health[i].noteSuccess()
+			if k > 0 {
+				s.noteFailover(sink)
+			}
+			return u, v
+		}
+		if !perr.Temporary() {
+			panic(perr)
+		}
+		s.markFailure(i, perr)
+		lastErr = perr
+	}
+	panic(&ProbeError{Shard: s.label(), Op: OpRandomEdge,
+		Err: fmt.Errorf("no live replica can serve a random-edge probe: %w", lastErr)})
+}
+
+func (s *Sharded) randomEdgeOnShard(sink *scopeSink, i int, derived rnd.Seed) (u, v int, perr *ProbeError) {
+	if sp, ok := s.shards[i].(scopedProber); ok {
+		// The wire seed is the first draw of the derived PRG — exactly what
+		// a local sampler would consume — so local and remote replicas of a
+		// deterministic sampler agree.
+		return sp.randomEdgeScoped(sink.tripsCounter(), rnd.NewPRG(derived).Uint64())
+	}
+	re, ok := RandomEdgerOf(s.shards[i])
+	if !ok {
+		// Unreachable: the capability is advertised only when every shard
+		// has it.
+		return 0, 0, &ProbeError{Shard: s.labels[i], Op: OpRandomEdge, Err: errors.New("shard lost the RandomEdge capability")}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				// String panics mark edgeless sources by convention and are
+				// the caller's contract, not a shard failure.
+				panic(r)
+			}
+			perr = pe
+		}
+	}()
+	u, v = re.RandomEdge(rnd.NewPRG(derived))
+	return u, v, nil
+}
+
+// ProbeBatch implements BatchProber: probes are grouped by their owning
+// live shard and fanned out concurrently, one goroutine (and, on remote
+// shards, one POST round trip) per shard touched. Answers are
+// index-aligned with the request. The LRU tier is consulted first and
+// filled from the answers. A shard group that fails temporarily is
+// re-routed to the next-ranked live replicas round by round; the batch
+// errors only when probes remain that no live replica can serve.
 // Batches above MaxProbeBatch are rejected, matching the wire protocol's
 // limit whichever backend a batch lands on.
 func (s *Sharded) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	return s.batch(nil, probes)
+}
+
+func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 	if len(probes) > MaxProbeBatch {
 		return nil, fmt.Errorf("source: sharded: probe batch of %d exceeds the maximum %d", len(probes), MaxProbeBatch)
 	}
 	answers := make([]int, len(probes))
-	perShard := make(map[int][]int) // shard -> indices into probes
+	var pending []int // indices still needing a backend answer
 	for i, p := range probes {
 		if s.cache != nil {
 			if k, ok := keyOf(p); ok {
@@ -285,21 +718,62 @@ func (s *Sharded) ProbeBatch(probes []ProbeReq) ([]int, error) {
 				}
 			}
 		}
-		sh := s.shardFor(p.A)
-		perShard[sh] = append(perShard[sh], i)
+		pending = append(pending, i)
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
-	for shard, idxs := range perShard {
-		wg.Add(1)
-		go func(shard int, idxs []int) {
-			defer wg.Done()
-			errs[shard] = s.batchOnShard(shard, idxs, probes, answers)
-		}(shard, idxs)
+	var exclude []bool
+	var lastErr error
+	for round := 0; len(pending) > 0 && round <= len(s.shards); round++ {
+		groups := make(map[int][]int)            // shard -> indices into probes
+		wants := make(map[int]int, len(pending)) // index -> rendezvous winner
+		for _, i := range pending {
+			primary, _, want := s.pickLive(probes[i].A, exclude)
+			if primary < 0 {
+				if lastErr == nil {
+					lastErr = errors.New("all replicas are dead")
+				}
+				return nil, &ProbeError{Shard: s.label(), Op: "batch", A: len(probes),
+					Err: fmt.Errorf("no live replica can serve the batch: %w", lastErr)}
+			}
+			groups[primary] = append(groups[primary], i)
+			wants[i] = want
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(s.shards))
+		for shard, idxs := range groups {
+			wg.Add(1)
+			go func(shard int, idxs []int) {
+				defer wg.Done()
+				errs[shard] = s.batchOnShard(sink, shard, idxs, probes, answers)
+			}(shard, idxs)
+		}
+		wg.Wait()
+		pending = pending[:0]
+		for shard, idxs := range groups {
+			err := errs[shard]
+			if err == nil {
+				s.health[shard].noteSuccess()
+				for _, i := range idxs {
+					if shard != wants[i] {
+						s.noteFailover(sink)
+					}
+				}
+				continue
+			}
+			if !temporaryProbeErr(err) {
+				return nil, err
+			}
+			s.markFailure(shard, err)
+			lastErr = err
+			if exclude == nil {
+				exclude = make([]bool, len(s.shards))
+			}
+			exclude[shard] = true
+			pending = append(pending, idxs...)
+		}
 	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	if len(pending) > 0 {
+		return nil, &ProbeError{Shard: s.label(), Op: "batch", A: len(probes),
+			Err: fmt.Errorf("no live replica can serve the batch: %w", lastErr)}
 	}
 	if s.cache != nil {
 		for i, p := range probes {
@@ -311,48 +785,81 @@ func (s *Sharded) ProbeBatch(probes []ProbeReq) ([]int, error) {
 	return answers, nil
 }
 
+// temporaryProbeErr reports whether a batch failure justifies re-routing:
+// transport and 5xx failures do, protocol-level errors (the request is
+// wrong) do not.
+func temporaryProbeErr(err error) bool {
+	var pe *ProbeError
+	if errors.As(err, &pe) {
+		return pe.Temporary()
+	}
+	return false
+}
+
 // batchOnShard answers the probes at idxs against one shard, using its
 // batch capability when it has one.
-func (s *Sharded) batchOnShard(shard int, idxs []int, probes []ProbeReq, answers []int) (err error) {
+func (s *Sharded) batchOnShard(sink *scopeSink, shard int, idxs []int, probes []ProbeReq, answers []int) error {
+	sh := s.shards[shard]
+	sub := make([]ProbeReq, len(idxs))
+	for j, i := range idxs {
+		sub[j] = probes[i]
+	}
+	var got []int
+	var err error
+	switch b := sh.(type) {
+	case scopedProber:
+		got, err = b.batchScoped(sink.tripsCounter(), sub)
+	case BatchProber:
+		got, err = recoverBatch(func() ([]int, error) { return b.ProbeBatch(sub) })
+	default:
+		got, err = recoverBatch(func() ([]int, error) {
+			out := make([]int, len(sub))
+			for j, p := range sub {
+				ans, status, msg := answerProbe(sh, p.Op, p.A, p.B)
+				if status != 0 {
+					return nil, fmt.Errorf("source: sharded: probe %d: %s", idxs[j], msg)
+				}
+				out[j] = ans
+			}
+			return out, nil
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if len(got) != len(sub) {
+		return fmt.Errorf("source: sharded: shard %s answered %d of %d probes", s.labels[shard], len(got), len(sub))
+	}
+	for j, i := range idxs {
+		answers[i] = got[j]
+	}
+	return nil
+}
+
+// recoverBatch converts a *ProbeError panic from a shard's batch or
+// scalar path into an error; anything else propagates.
+func recoverBatch(fn func() ([]int, error)) (got []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pe, ok := r.(*ProbeError)
 			if !ok {
 				panic(r)
 			}
-			err = pe
+			got, err = nil, pe
 		}
 	}()
-	sh := s.shards[shard]
-	if bp, ok := sh.(BatchProber); ok {
-		sub := make([]ProbeReq, len(idxs))
-		for j, i := range idxs {
-			sub[j] = probes[i]
-		}
-		got, err := bp.ProbeBatch(sub)
-		if err != nil {
-			return err
-		}
-		for j, i := range idxs {
-			answers[i] = got[j]
-		}
-		return nil
-	}
-	for _, i := range idxs {
-		p := probes[i]
-		ans, status, msg := answerProbe(sh, p.Op, p.A, p.B)
-		if status != 0 {
-			return fmt.Errorf("source: sharded: probe %d: %s", i, msg)
-		}
-		answers[i] = ans
-	}
-	return nil
+	return fn()
 }
 
-// Close closes every shard holding external resources. Idempotent;
-// repeated calls return the first result.
+// Close stops the background revivers and closes every shard holding
+// external resources. Idempotent; repeated calls return the first result.
 func (s *Sharded) Close() error {
 	s.closeOnce.Do(func() {
+		s.reviveMu.Lock()
+		s.closed = true
+		s.reviveMu.Unlock()
+		close(s.stop)
+		s.wg.Wait()
 		var errs []error
 		for _, sh := range s.shards {
 			if c, ok := sh.(Closer); ok {
@@ -363,6 +870,53 @@ func (s *Sharded) Close() error {
 	})
 	return s.closeErr
 }
+
+// shardedScope is the TripScoper view of a fleet: same shards, same
+// cache, same health machine — round trips, failovers and hedges counted
+// into the view's own sink.
+type shardedScope struct {
+	s    *Sharded
+	sink scopeSink
+}
+
+var (
+	_ Source           = (*shardedScope)(nil)
+	_ CapSource        = (*shardedScope)(nil)
+	_ BatchProber      = (*shardedScope)(nil)
+	_ RoundTripCounter = (*shardedScope)(nil)
+	_ FailoverCounter  = (*shardedScope)(nil)
+)
+
+func (sc *shardedScope) N() int { return sc.s.n }
+
+func (sc *shardedScope) Degree(v int) int { return sc.s.degree(&sc.sink, v) }
+
+func (sc *shardedScope) Neighbor(v, i int) int { return sc.s.neighbor(&sc.sink, v, i) }
+
+func (sc *shardedScope) Adjacency(u, v int) int { return sc.s.adjacency(&sc.sink, u, v) }
+
+func (sc *shardedScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
+	return sc.s.batch(&sc.sink, probes)
+}
+
+// Caps forwards the fleet's capability view with RandomEdge attributed to
+// this scope.
+func (sc *shardedScope) Caps() Caps {
+	c := sc.s.Caps()
+	if c.RandomEdge != nil {
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return sc.s.randomEdge(&sc.sink, prg) }
+	}
+	return c
+}
+
+// RoundTrips reports only the shard requests issued through this view.
+func (sc *shardedScope) RoundTrips() uint64 { return sc.sink.trips.load() }
+
+// Failovers reports only the failovers of probes issued through this view.
+func (sc *shardedScope) Failovers() uint64 { return sc.sink.fo.Load() }
+
+// Hedges reports only the hedges fired for probes issued through this view.
+func (sc *shardedScope) Hedges() uint64 { return sc.sink.he.Load() }
 
 // probe-answer LRU ------------------------------------------------------
 

@@ -12,8 +12,9 @@ package source
 // Integer values accept underscores and integral e-notation
 // (n=1_000_000_000, n=1e9). A seed=... key overrides the seed passed to
 // Parse for the families that consume one. The sharded list takes any
-// sub-specs plus an optional cache=N item (client-side probe LRU),
-// ";"-separated — or ","-separated when no sub-spec contains a comma, so
+// sub-specs plus optional cache=N (client-side probe LRU) and
+// hedge=DURATION (hedged probes, e.g. hedge=20ms) items, ";"-separated —
+// or ","-separated when no sub-spec contains a comma, so
 // sharded:remote:http://a,remote:http://b works.
 
 import (
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"lca/internal/gen"
 	"lca/internal/graph"
@@ -162,8 +164,8 @@ var families = map[string]*Family{
 	},
 	"sharded": {
 		Name: "sharded",
-		Usage: "sharded:spec;spec;... — consistent-hash probes across replica shards " +
-			"(any sub-specs; ';' or ',' separated; a cache=N item adds a client-side LRU)",
+		Usage: "sharded:spec;spec;... — consistent-hash probes across replica shards with failover " +
+			"(any sub-specs; ';' or ',' separated; cache=N adds a client-side LRU, hedge=20ms hedges slow probes)",
 		// Open is assigned in init: it recurses into Parse, and a literal
 		// here would be an initialization cycle.
 	},
@@ -232,6 +234,19 @@ func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
 				return nil, fmt.Errorf("cache size %d exceeds the maximum %d entries", entries, 1<<30)
 			}
 			opts = append(opts, WithProbeCache(int(entries)))
+			continue
+		}
+		if raw, ok := strings.CutPrefix(item, "hedge="); ok {
+			d, err := time.ParseDuration(raw)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("hedge delay: %w", err)
+			}
+			if d <= 0 || d > time.Minute {
+				closeAll()
+				return nil, fmt.Errorf("hedge delay %s must be in (0s,1m]", d)
+			}
+			opts = append(opts, WithHedge(d))
 			continue
 		}
 		sh, err := Parse(item, seed)

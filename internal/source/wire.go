@@ -89,27 +89,34 @@ type probeBatchAnswer struct {
 
 // probeMeta is the /probe/meta body: the O(1) facts a Remote needs at
 // construction. M, MaxDegree and RandomEdge are present only when the
-// shard's source has the corresponding capability.
+// shard's source has the corresponding capability; Shards carries the
+// per-replica health of a sharded source (HealthReporter), so operators
+// can watch a fleet's failover state through any shard that fronts it.
 type probeMeta struct {
-	N          int  `json:"n"`
-	M          *int `json:"m,omitempty"`
-	MaxDegree  *int `json:"max_degree,omitempty"`
-	RandomEdge bool `json:"random_edge,omitempty"`
+	N          int           `json:"n"`
+	M          *int          `json:"m,omitempty"`
+	MaxDegree  *int          `json:"max_degree,omitempty"`
+	RandomEdge bool          `json:"random_edge,omitempty"`
+	Shards     []ShardHealth `json:"shards,omitempty"`
 }
 
-// metaOf snapshots src's O(1) summary capabilities.
+// metaOf snapshots src's O(1) summary capabilities through the dynamic
+// capability view (static interfaces as the fallback).
 func metaOf(src Source) probeMeta {
 	meta := probeMeta{N: src.N()}
-	if mc, ok := src.(EdgeCounter); ok {
+	if mc, ok := EdgeCounterOf(src); ok {
 		m := mc.M()
 		meta.M = &m
 	}
-	if db, ok := src.(DegreeBounder); ok {
+	if db, ok := DegreeBounderOf(src); ok {
 		d := db.MaxDegree()
 		meta.MaxDegree = &d
 	}
-	if _, ok := src.(RandomEdger); ok {
+	if _, ok := RandomEdgerOf(src); ok {
 		meta.RandomEdge = true
+	}
+	if health, ok := HealthOf(src); ok {
+		meta.Shards = health
 	}
 	return meta
 }
@@ -276,7 +283,7 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 // effectively edgeless source (string payload by the RandomEdge
 // convention) is also the client's 400, not a crashed connection.
 func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source) {
-	re, ok := src.(RandomEdger)
+	re, ok := RandomEdgerOf(src)
 	if !ok {
 		writeWireErr(w, http.StatusBadRequest, "source does not support probe op %q (no RandomEdge capability)", OpRandomEdge)
 		return
@@ -290,7 +297,7 @@ func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source) {
 		writeWireErr(w, http.StatusBadRequest, "probe parameter \"seed\": %q is not an unsigned integer", rawSeed)
 		return
 	}
-	if mc, ok := src.(EdgeCounter); ok && mc.M() == 0 {
+	if mc, ok := EdgeCounterOf(src); ok && mc.M() == 0 {
 		writeWireErr(w, http.StatusBadRequest, "probe %s: source has no edges", OpRandomEdge)
 		return
 	}

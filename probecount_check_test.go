@@ -1,42 +1,58 @@
 package lca_test
 
 import (
-	"fmt"
 	"testing"
 
-	lca "lca"
+	"lca"
 )
 
+// TestProbeCountCheck sanity-checks the sparse-regime LCAs' probe
+// accounting through the Session API: point queries over an implicit grid
+// must spend probes (the accounting is wired) while staying strongly
+// sublinear in n per query (the locality promise).
 func TestProbeCountCheck(t *testing.T) {
-	for _, algo := range []string{"mis", "matching", "coloring"} {
-		src, err := lca.OpenSource("grid:side=40", 7)
+	for _, algo := range []struct{ name, kind string }{
+		{"mis", "vertex"},
+		{"matching", "edge"},
+		{"coloring", "label"},
+	} {
+		src, err := lca.OpenSource("grid:rows=40,cols=40", 7)
 		if err != nil {
 			t.Fatal(err)
 		}
 		s := lca.NewSessionFromSource(src, lca.WithSeed(42))
 		n := src.N()
-		switch algo {
-		case "mis":
-			for v := 0; v < n; v += 3 {
-				if _, err := s.QueryVertex("mis", v); err != nil {
-					t.Fatal(err)
+		queries := 0
+		for v := 0; v < n; v += 3 {
+			switch algo.kind {
+			case "vertex":
+				_, err = s.Vertex(algo.name, v)
+			case "edge":
+				w := src.Neighbor(v, 0)
+				if w < 0 {
+					continue
 				}
+				_, err = s.Edge(algo.name, v, w)
+			case "label":
+				_, err = s.Label(algo.name, v)
 			}
-		case "matching":
-			for v := 0; v < n; v += 3 {
-				if _, err := s.QueryVertex("matching", v); err != nil {
-					t.Fatal(err)
-				}
+			if err != nil {
+				t.Fatalf("%s(%d): %v", algo.name, v, err)
 			}
-		case "coloring":
-			for v := 0; v < n; v += 3 {
-				if _, err := s.QueryLabel("coloring", v); err != nil {
-					t.Fatal(err)
-				}
-			}
+			queries++
 		}
-		st, _ := s.ProbeStats(algo)
-		fmt.Printf("%s: queries=%d sum=%d mean=%.2f max=%d\n", algo, st.Queries, st.SumTotal, st.Mean(), st.MaxTotal)
-		s.Close()
+		st, err := s.ProbeStats(algo.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Total() == 0 {
+			t.Fatalf("%s: %d queries spent no probes; accounting is broken", algo.name, queries)
+		}
+		if mean := float64(st.Total()) / float64(queries); mean > float64(n)/4 {
+			t.Fatalf("%s: mean %.1f probes/query on n=%d is not local", algo.name, mean, n)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
