@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lca/internal/gen"
+	"lca/internal/metrics"
+	"lca/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("3xvertex/mis, 1xlabel/coloring?colors=8,edge/spannerk?k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mixEntry{
+		{Weight: 3, Kind: "vertex", Algo: "mis"},
+		{Weight: 1, Kind: "label", Algo: "coloring", Extra: "colors=8"},
+		{Weight: 1, Kind: "edge", Algo: "spannerk", Extra: "k=4"},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %+v", len(mix), len(want), mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "vertex", "0xvertex/mis", "teapot/mis", "vertex/mis?%zz"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted, want error", bad)
+		}
+	}
+	// A weight-less entry whose algo happens to contain "x" still parses.
+	mix, err = parseMix("vertex/maxmatch")
+	if err != nil || mix[0].Algo != "maxmatch" || mix[0].Weight != 1 {
+		t.Fatalf("parseMix(vertex/maxmatch) = %+v, %v", mix, err)
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	mix := []mixEntry{{Weight: 3}, {Weight: 1}}
+	rng := rand.New(rand.NewSource(7))
+	counts := [2]int{}
+	for i := 0; i < 4000; i++ {
+		counts[weightedPick(mix, 4, rng)]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("3:1 mix drew %v (ratio %.2f)", counts, ratio)
+	}
+}
+
+// TestClientAgainstServe runs a short closed loop against an in-process
+// serve.Server and checks discovery, edge pre-sampling and the recorded
+// stats end to end.
+func TestClientAgainstServe(t *testing.T) {
+	g := gen.Gnp(400, 0.03, 11)
+	srv := serve.New(g, 42)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &client{http: ts.Client(), base: ts.URL}
+	if err := c.discoverN(); err != nil {
+		t.Fatal(err)
+	}
+	if c.n != 400 {
+		t.Fatalf("discovered n=%d, want 400", c.n)
+	}
+	if err := c.sampleEdges(16, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.edges) != 16 {
+		t.Fatalf("sampled %d edges, want 16", len(c.edges))
+	}
+
+	mix, err := parseMix("2xvertex/mis,1xedge/spannerk?k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := []*entryStats{
+		{latency: metrics.NewHistogram(metrics.LatencyBucketsUS)},
+		{latency: metrics.NewHistogram(metrics.LatencyBucketsUS)},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		j := weightedPick(mix, 3, rng)
+		c.fire(mix[j], stats[j], rng, false, time.Now())
+	}
+	var totalOK, totalErr uint64
+	for i, st := range stats {
+		totalOK += st.queries.Load()
+		totalErr += st.errors.Load()
+		if st.queries.Load() > 0 {
+			snap := st.latency.Snapshot()
+			if snap.Count != st.queries.Load() || snap.P99 <= 0 {
+				t.Errorf("entry %d: histogram %+v inconsistent with %d queries", i, snap, st.queries.Load())
+			}
+			if st.probes.Load() == 0 {
+				t.Errorf("entry %d: zero probes over %d queries", i, st.queries.Load())
+			}
+		}
+	}
+	if totalErr != 0 {
+		t.Fatalf("%d requests failed", totalErr)
+	}
+	if totalOK != 30 {
+		t.Fatalf("fired 30, recorded %d", totalOK)
+	}
+}
+
+// TestClientSendsTenantToken: the Bearer token reaches the server and a
+// budget rejection is surfaced as a fire() error, not a success.
+func TestClientSendsTenantToken(t *testing.T) {
+	g := gen.Gnp(300, 0.05, 7)
+	srv := serve.New(g, 42, serve.WithTenants(
+		serve.Tenant{Name: "capped", Token: "tiny", ProbeBudget: 1},
+		serve.Tenant{Name: "free", Token: "open"},
+	))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mix, _ := parseMix("vertex/mis")
+	rng := rand.New(rand.NewSource(1))
+
+	capped := &client{http: ts.Client(), base: ts.URL, token: "tiny", n: 300}
+	st := &entryStats{latency: metrics.NewHistogram(metrics.LatencyBucketsUS)}
+	capped.fire(mix[0], st, rng, false, time.Now())
+	if st.errors.Load() != 1 || st.queries.Load() != 0 {
+		t.Fatalf("capped tenant: %d ok, %d errors (want 0, 1)", st.queries.Load(), st.errors.Load())
+	}
+
+	free := &client{http: ts.Client(), base: ts.URL, token: "open", n: 300}
+	st = &entryStats{latency: metrics.NewHistogram(metrics.LatencyBucketsUS)}
+	free.fire(mix[0], st, rng, false, time.Now())
+	if st.queries.Load() != 1 {
+		t.Fatalf("unlimited tenant failed: %d errors", st.errors.Load())
+	}
+}
+
+func TestBuildPathShapes(t *testing.T) {
+	c := &client{n: 100, edges: [][2]int{{3, 9}}, source: "aux"}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		entry    mixEntry
+		prefetch bool
+		want     []string
+	}{
+		{mixEntry{Kind: "vertex", Algo: "mis"}, false, []string{"/vertex/mis?", "v=", "source=aux"}},
+		{mixEntry{Kind: "edge", Algo: "spannerk", Extra: "k=4"}, true, []string{"/edge/spannerk?", "u=3", "v=9", "k=4", "prefetch=1"}},
+		{mixEntry{Kind: "estimate", Algo: "mis"}, false, []string{"/estimate/mis?", "samples=50"}},
+		{mixEntry{Kind: "estimate", Algo: "mis", Extra: "samples=9"}, false, []string{"samples=9"}},
+	} {
+		path := c.buildPath(tc.entry, rng, tc.prefetch)
+		for _, frag := range tc.want {
+			if !strings.Contains(path, frag) {
+				t.Errorf("buildPath(%+v) = %q, missing %q", tc.entry, path, frag)
+			}
+		}
+	}
+}
+
+// TestRowFormatMatchesBenchgate: the JSON record decodes into the
+// {"experiment","title","row"} shape benchgate consumes, with the
+// quantile columns the CI time gate reads.
+func TestRowFormatMatchesBenchgate(t *testing.T) {
+	raw := fmt.Sprintf(`{"experiment":"LOAD","title":"t","row":{"kind":"vertex","algorithm":"mis","config":"-","queries":"10","errors":"0","achieved qps":"120.0","mean probes":"8.2","mean us/query":"410.0","p50 us/query":"300.0","p95 us/query":"900.0","p99 us/query":"1500.0"}}`)
+	var rec struct {
+		Experiment string            `json:"experiment"`
+		Title      string            `json:"title"`
+		Row        map[string]string `json:"row"`
+	}
+	if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"kind", "algorithm", "config", "p99 us/query", "mean probes", "errors"} {
+		if _, ok := rec.Row[col]; !ok {
+			t.Errorf("row missing column %q", col)
+		}
+	}
+}

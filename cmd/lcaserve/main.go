@@ -11,10 +11,21 @@
 //	lcaserve -graph csr:web.csr                  # disk-backed CSR, probed cold
 //	lcaserve -graph remote:http://shard0:8080    # probe another lcaserve
 //	lcaserve -graph sharded:remote:http://a:8080,remote:http://b:8080
+//	lcaserve -graph ring:n=1e6 -tenants tenants.json -drain 15s
 //
 // -graph takes a source spec: a family form (ring:n=N, torus:rows=R,cols=C,
 // circulant:n=N,d=D, blockrandom:n=N,d=D, csr:path, edgelist:path,
 // remote:URL, sharded:spec;spec;...) or a bare edge-list file path.
+//
+// -tenants points at a JSON array of tenant entries
+// ({"name","token","probe_budget","round_trip_budget","qps","burst"});
+// when set, the query plane requires a tenant token on every request and
+// enforces the per-tenant budgets (429 on exhaustion). Without it the
+// server is open, the trusted-network default.
+//
+// On SIGINT/SIGTERM the server drains: in-flight requests get up to
+// -drain to complete while new connections are refused, then named
+// sources are closed and the process exits 0.
 //
 // Every instance also answers the probe wire protocol (GET/POST /probe,
 // GET /probe/meta), so replicas compose: one lcaserve can front the graph
@@ -25,6 +36,7 @@
 // through its kind's route, with tunable parameters as query parameters):
 //
 //	GET  /healthz
+//	GET  /metrics[?format=text]               serving-tier counters and histograms
 //	GET  /graph[?source=NAME]
 //	GET  /algos
 //	GET  /sources                             discovery: open sources + spec families
@@ -36,11 +48,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lca/internal/rnd"
@@ -50,10 +66,12 @@ import (
 
 func main() {
 	var (
-		graphSpec = flag.String("graph", "", "graph source spec: family:args (ring:n=N, csr:path, ...) or an edge-list file path (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Uint64("seed", 2019, "random seed shared by all replicas")
-		infoCap   = flag.Int("graphcap", serve.DefaultGraphInfoCap, "max n for which /graph may probe O(n) summaries of capability-less sources (413 above)")
+		graphSpec   = flag.String("graph", "", "graph source spec: family:args (ring:n=N, csr:path, ...) or an edge-list file path (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 2019, "random seed shared by all replicas")
+		infoCap     = flag.Int("graphcap", serve.DefaultGraphInfoCap, "max n for which /graph may probe O(n) summaries of capability-less sources (413 above)")
+		tenantsPath = flag.String("tenants", "", "JSON tenant config; when set, the query plane requires a tenant token and enforces per-tenant budgets")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *graphSpec == "" {
@@ -77,11 +95,44 @@ func main() {
 	if health, ok := source.HealthOf(src); ok {
 		desc += fmt.Sprintf(" shards=%d (health on /sources and /probe/meta)", len(health))
 	}
+
+	opts := []serve.Option{serve.WithGraphInfoCap(*infoCap)}
+	if *tenantsPath != "" {
+		tenants, err := serve.LoadTenantsFile(*tenantsPath)
+		if err != nil {
+			log.Fatalf("lcaserve: %v", err)
+		}
+		opts = append(opts, serve.WithTenants(tenants...))
+		desc += fmt.Sprintf(" tenants=%d", len(tenants))
+	}
+	lca := serve.NewFromSource(src, *graphSpec, rnd.Seed(*seed), opts...)
+
 	log.Printf("lcaserve: source %q %s, seed=%d, listening on %s", *graphSpec, desc, *seed, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewFromSource(src, *graphSpec, rnd.Seed(*seed), serve.WithGraphInfoCap(*infoCap)).Handler(),
+		Handler:           lca.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lcaserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal during the drain kills the process the default way
+	log.Printf("lcaserve: shutting down, draining for up to %s", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("lcaserve: drain incomplete: %v", err)
+	}
+	if err := lca.Close(); err != nil {
+		log.Printf("lcaserve: closing sources: %v", err)
+	}
+	log.Printf("lcaserve: bye")
 }

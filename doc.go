@@ -180,7 +180,12 @@
 // hedges rising with no failovers → a replica is slow (GC, page cache
 // cold, noisy neighbor); "no live replica" errors → the whole fleet is
 // unreachable from this client, look at the network before the shards.
-// A runnable end-to-end walkthrough is ExampleOpenSource_shardedFailover.
+// Process-wide, GET /metrics aggregates the same signals as counters
+// and latency/probe histograms (serve_failovers_total,
+// serve_query_latency_us{kind=...}, per-tenant rejection counters);
+// cmd/lcaload drives measured query load against a server to read them
+// under traffic. A runnable end-to-end walkthrough is
+// ExampleOpenSource_shardedFailover.
 //
 // # Further documentation
 //

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"lca/internal/serve"
 	"lca/internal/source"
 )
 
@@ -113,6 +114,35 @@ func TestDocsWireProtocol(t *testing.T) {
 	} {
 		if !strings.Contains(doc, token) {
 			t.Errorf("docs/WIRE.md does not mention %s", token)
+		}
+	}
+}
+
+// TestDocsServingTier: the serving-tier contract — auth headers, the
+// metrics endpoint, the 401/429 statuses, the envelope's request_id
+// field and the tenant config keys — is documented in docs/WIRE.md and
+// ARCHITECTURE.md with the code's own names.
+func TestDocsServingTier(t *testing.T) {
+	wire := readDoc(t, "docs/WIRE.md")
+	for _, token := range []string{
+		serve.TokenHeader, serve.RequestIDHeader, serve.MetricsPath,
+		"Authorization: Bearer", "`401`", "`429`", "Retry-After",
+		`"request_id"`, "?format=text",
+		`"probe_budget"`, `"round_trip_budget"`, `"qps"`, `"burst"`,
+	} {
+		if !strings.Contains(wire, token) {
+			t.Errorf("docs/WIRE.md does not mention %s", token)
+		}
+	}
+	arch := readDoc(t, "ARCHITECTURE.md")
+	for _, token := range []string{
+		serve.MetricsPath, serve.TokenHeader, serve.RequestIDHeader,
+		"internal/metrics", "cmd/lcaload", "coalesc",
+		"oracle.NewLimit", "oracle.NewLimitTrips",
+		"serve_queries_total", "tenant_budget_rejected_total",
+	} {
+		if !strings.Contains(arch, token) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", token)
 		}
 	}
 }

@@ -36,6 +36,16 @@ import (
 // backends the estimator's round trips collapse; answers are identical
 // either way.
 func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p registry.Params, samples int, delta float64, prefetch bool) (Result, error) {
+	return FractionOver(d, src, seed, p, samples, delta, prefetch, nil)
+}
+
+// FractionOver is Fraction with a caller-supplied oracle wrapper applied
+// to the freshly built chain before the instance is constructed. The
+// serving tier threads per-tenant enforcement (probe and round-trip
+// budgets) through it, so one budget covers the whole estimate — every
+// sampled point query included — rather than leaking around the
+// estimator. A nil wrap is Fraction exactly.
+func FractionOver(d *registry.Descriptor, src source.Source, seed rnd.Seed, p registry.Params, samples int, delta float64, prefetch bool, wrap func(oracle.Oracle) oracle.Oracle) (Result, error) {
 	if samples < 1 {
 		return Result{}, fmt.Errorf("algorithm %q: samples must be >= 1, got %d", d.Name, samples)
 	}
@@ -48,6 +58,9 @@ func Fraction(d *registry.Descriptor, src source.Source, seed rnd.Seed, p regist
 	o := oracle.New(src)
 	if prefetch {
 		o = oracle.NewPrefetch(src)
+	}
+	if wrap != nil {
+		o = wrap(o)
 	}
 	inst, err := d.Build(o, seed, d.WithMemoDefault(p))
 	if err != nil {

@@ -1,0 +1,317 @@
+// Package metrics is the serving tier's observability plane: atomic
+// counters and fixed-bucket histograms collected into a registry with
+// JSON and text export.
+//
+// The design constraint is the same o(n)-state discipline the LCA model
+// imposes on algorithms (Alon–Rubinfeld–Vardi–Xie, space-efficient
+// LCAs): observing a query must cost O(1) time and the whole plane O(1)
+// memory, independent of traffic. Counters are single atomics;
+// histograms hold a fixed bucket ladder chosen at construction and never
+// grow, so quantiles (p50/p95/p99) are estimates interpolated within a
+// bucket — accurate to the bucket resolution, bounded in state, and safe
+// to read while writers are recording. Nothing here allocates on the
+// observation path.
+//
+// A Registry is a flat name → metric table. Names are plain strings; by
+// convention a dimension is folded into the name Prometheus-style
+// ("serve_queries_total{kind=vertex}"), which keeps the table bounded as
+// long as dimensions are drawn from fixed sets (query kinds, HTTP
+// statuses, configured tenants) — never from request data.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram records observations into a fixed ladder of buckets: bounds
+// holds the inclusive upper bound of each bucket, and one implicit
+// overflow bucket catches everything above the last bound. State is
+// fixed at construction — an arbitrarily long run of observations costs
+// the same few hundred bytes. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// finite bucket bounds. Panics on an empty or unsorted ladder —
+// histogram shapes are compile-time decisions, not request data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) || (i > 0 && b <= bounds[i-1]) {
+			panic("metrics: histogram bounds must be finite and strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the mean observation, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the rank. Observations above the last bound
+// clamp to it — pick a ladder whose top exceeds plausible values.
+// Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		inBucket := float64(h.counts[i].Load())
+		if cum+inBucket >= rank && inBucket > 0 {
+			if i == len(h.bounds) { // overflow bucket: clamp
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / inBucket
+			return lo + (hi-lo)*frac
+		}
+		cum += inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencyBucketsUS is the default ladder for latency histograms in
+// microseconds: 1us .. 10s on a 1-2-5 progression.
+var LatencyBucketsUS = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+	1e6, 2e6, 5e6, 1e7,
+}
+
+// CountBuckets is the default ladder for per-query count histograms
+// (probes, round trips): powers of two up to 2^20.
+var CountBuckets = func() []float64 {
+	b := make([]float64, 21)
+	for i := range b {
+		b[i] = float64(uint64(1) << i)
+	}
+	return b
+}()
+
+// Registry is a named collection of metrics. Metrics are created lazily
+// and live for the registry's lifetime; reads for export are lock-free
+// snapshots of the atomics. The zero value is not usable — construct
+// with NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it over bounds on
+// first use; an existing histogram keeps its original ladder.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Bucket is one exported histogram bucket: the count of observations at
+// or below the upper bound LE (non-cumulative; the overflow count above
+// the last bound is reported separately).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      float64  `json:"sum"`
+	Mean     float64  `json:"mean"`
+	P50      float64  `json:"p50"`
+	P95      float64  `json:"p95"`
+	P99      float64  `json:"p99"`
+	Overflow uint64   `json:"overflow,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the exported state of a registry at one instant. Counter
+// and histogram reads are individually atomic (the snapshot as a whole
+// is not a consistent cut — observability, not accounting).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports this histogram's summary without its buckets (the
+// form standalone consumers like lcaload report).
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot(false) }
+
+func (h *Histogram) snapshot(withBuckets bool) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	s.Overflow = h.counts[len(h.bounds)].Load()
+	if withBuckets {
+		for i, b := range h.bounds {
+			if c := h.counts[i].Load(); c > 0 {
+				s.Buckets = append(s.Buckets, Bucket{LE: b, Count: c})
+			}
+		}
+	}
+	return s
+}
+
+// Snapshot exports every metric, including non-empty histogram buckets.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot(true)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes one line per metric, sorted by name — the greppable
+// form for terminals and runbooks.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%.1f mean=%.2f p50=%.1f p95=%.1f p99=%.1f\n",
+			name, h.Count, h.Sum, h.Mean, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 50})
+	for _, v := range []float64{1, 5, 15, 30, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 151 {
+		t.Fatalf("sum = %v, want 151", h.Sum())
+	}
+	if got, want := h.Mean(), 151.0/5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// The overflow observation (100) clamps quantiles to the last bound.
+	if got := h.Quantile(1); got != 50 {
+		t.Fatalf("p100 = %v, want clamp to 50", got)
+	}
+	if got := h.Quantile(0); got < 0 || got > 10 {
+		t.Fatalf("p0 = %v, want within first bucket", got)
+	}
+}
+
+// TestHistogramQuantileAccuracy: with one observation per unit value, the
+// interpolated quantile must land within one bucket width of the truth.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(LatencyBucketsUS)
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 500, 100},
+		{0.95, 950, 100},
+		{0.99, 990, 100},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestHistogramEmptyAndBadBounds(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must answer zeros")
+	}
+	for _, bad := range [][]float64{nil, {}, {2, 1}, {1, 1}, {math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bad)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+}
+
+func TestRegistryLazyAndStable(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Add(7)
+	if c2 := r.Counter("x"); c2 != c1 || c2.Value() != 7 {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	h1 := r.Histogram("lat", LatencyBucketsUS)
+	if h2 := r.Histogram("lat", CountBuckets); h2 != h1 {
+		t.Fatal("Histogram must keep the first ladder per name")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Histogram("lat", LatencyBucketsUS).Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", LatencyBucketsUS).Count(); got != 8000 {
+		t.Fatalf("observations = %d, want 8000", got)
+	}
+}
+
+func TestExportJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_queries_total{kind=vertex}").Add(3)
+	h := r.Histogram("serve_query_latency_us{kind=vertex}", LatencyBucketsUS)
+	h.Observe(120)
+	h.Observe(80)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON export does not round-trip: %v", err)
+	}
+	if snap.Counters["serve_queries_total{kind=vertex}"] != 3 {
+		t.Fatalf("counter missing from JSON export: %+v", snap.Counters)
+	}
+	hs := snap.Histograms["serve_query_latency_us{kind=vertex}"]
+	if hs.Count != 2 || hs.Sum != 200 || hs.P99 == 0 {
+		t.Fatalf("histogram export wrong: %+v", hs)
+	}
+
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"serve_queries_total{kind=vertex} 3", "count=2", "p99="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -148,6 +148,112 @@ func (l *LimitOracle) Hedges() uint64 {
 	return 0
 }
 
+// ErrTripBudgetExceeded is the panic value raised by the round-trip
+// limiter once the backend has consumed more than Budget network round
+// trips for the wrapped chain. Typed like ErrBudgetExceeded so harnesses
+// and servers can recover it selectively.
+type ErrTripBudgetExceeded struct {
+	Budget uint64
+}
+
+// Error implements the error interface.
+func (e ErrTripBudgetExceeded) Error() string {
+	return fmt.Sprintf("oracle: round-trip budget %d exceeded", e.Budget)
+}
+
+// NewLimitTrips wraps inner with a hard network round-trip budget: once
+// the chain's source.RoundTripCounter has advanced more than budget trips
+// past its value at construction, the next oracle operation panics with
+// ErrTripBudgetExceeded. Round trips are consumed inside the backend, so
+// the check runs after each operation — the overshoot is bounded by one
+// operation's trips (one batch at most), and no answer past the budget
+// ever reaches the caller's logic. Chains without the capability (local
+// backends) have nothing to bound and are returned unchanged.
+func NewLimitTrips(inner Oracle, budget uint64) Oracle {
+	rt, ok := inner.(source.RoundTripCounter)
+	if !ok {
+		return inner
+	}
+	return &limitTripsOracle{inner: inner, rt: rt, budget: budget, rt0: rt.RoundTrips()}
+}
+
+type limitTripsOracle struct {
+	inner  Oracle
+	rt     source.RoundTripCounter
+	budget uint64
+	rt0    uint64
+}
+
+var (
+	_ Oracle   = (*limitTripsOracle)(nil)
+	_ Explorer = (*limitTripsOracle)(nil)
+)
+
+func (l *limitTripsOracle) check() {
+	if l.rt.RoundTrips()-l.rt0 > l.budget {
+		panic(ErrTripBudgetExceeded{Budget: l.budget})
+	}
+}
+
+// N implements Oracle (free, no transport).
+func (l *limitTripsOracle) N() int { return l.inner.N() }
+
+// Degree implements Oracle.
+func (l *limitTripsOracle) Degree(v int) int {
+	d := l.inner.Degree(v)
+	l.check()
+	return d
+}
+
+// Neighbor implements Oracle.
+func (l *limitTripsOracle) Neighbor(v, i int) int {
+	w := l.inner.Neighbor(v, i)
+	l.check()
+	return w
+}
+
+// Adjacency implements Oracle.
+func (l *limitTripsOracle) Adjacency(u, v int) int {
+	i := l.inner.Adjacency(u, v)
+	l.check()
+	return i
+}
+
+// Neighbors implements Explorer.
+func (l *limitTripsOracle) Neighbors(v int) []int {
+	row := Neighbors(l.inner, v)
+	l.check()
+	return row
+}
+
+// Prefetch implements Explorer; speculative fetches consume round trips,
+// so hints are checked too — a budget-capped tenant cannot smuggle
+// unbounded transport through free hints.
+func (l *limitTripsOracle) Prefetch(vs ...int) {
+	Prefetch(l.inner, vs...)
+	l.check()
+}
+
+// RoundTrips forwards the chain's round-trip count, keeping the
+// capability visible through the wrapper.
+func (l *limitTripsOracle) RoundTrips() uint64 { return l.rt.RoundTrips() }
+
+// Failovers forwards the chain's failover count (0 when non-sharded).
+func (l *limitTripsOracle) Failovers() uint64 {
+	if fo, ok := l.inner.(source.FailoverCounter); ok {
+		return fo.Failovers()
+	}
+	return 0
+}
+
+// Hedges forwards the chain's hedge count (0 when non-sharded).
+func (l *limitTripsOracle) Hedges() uint64 {
+	if fo, ok := l.inner.(source.FailoverCounter); ok {
+		return fo.Hedges()
+	}
+	return 0
+}
+
 // WithinBudget runs fn and reports whether it completed without exhausting
 // the budget; the budget window is reset first. Other panics propagate.
 func (l *LimitOracle) WithinBudget(fn func()) (ok bool) {

@@ -76,3 +76,63 @@ func TestWithinBudgetPropagatesOtherPanics(t *testing.T) {
 	}()
 	l.WithinBudget(func() { panic("unrelated") })
 }
+
+// tripCountingOracle is a test double for a network-backed chain: every
+// probe consumes one "round trip" visible through the
+// source.RoundTripCounter capability.
+type tripCountingOracle struct {
+	Oracle
+	trips uint64
+}
+
+func (o *tripCountingOracle) Degree(v int) int {
+	o.trips++
+	return o.Oracle.Degree(v)
+}
+
+func (o *tripCountingOracle) Neighbor(v, i int) int {
+	o.trips++
+	return o.Oracle.Neighbor(v, i)
+}
+
+func (o *tripCountingOracle) Adjacency(u, v int) int {
+	o.trips++
+	return o.Oracle.Adjacency(u, v)
+}
+
+func (o *tripCountingOracle) RoundTrips() uint64 { return o.trips }
+
+func TestLimitTripsLocalChainUnchanged(t *testing.T) {
+	inner := New(testGraph())
+	if got := NewLimitTrips(inner, 1); got != inner {
+		t.Fatal("a chain without RoundTripCounter must be returned unchanged")
+	}
+}
+
+func TestLimitTripsPanicsOverBudget(t *testing.T) {
+	inner := &tripCountingOracle{Oracle: New(testGraph())}
+	l := NewLimitTrips(inner, 2)
+	l.Degree(0)
+	l.Degree(1) // at the budget: still allowed
+	defer func() {
+		r := recover()
+		e, ok := r.(ErrTripBudgetExceeded)
+		if !ok {
+			t.Fatalf("expected ErrTripBudgetExceeded, got %v", r)
+		}
+		if e.Budget != 2 || e.Error() == "" {
+			t.Fatalf("bad error payload: %+v", e)
+		}
+	}()
+	l.Degree(2)
+}
+
+func TestLimitTripsForwardsCounters(t *testing.T) {
+	inner := &tripCountingOracle{Oracle: New(testGraph())}
+	inner.trips = 7 // pre-existing traffic: the budget window starts here
+	l := NewLimitTrips(inner, 100)
+	l.Degree(0)
+	if rt := l.(interface{ RoundTrips() uint64 }).RoundTrips(); rt != 8 {
+		t.Fatalf("RoundTrips = %d, want 8", rt)
+	}
+}

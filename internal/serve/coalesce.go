@@ -1,0 +1,83 @@
+package serve
+
+// Single-flight request coalescing: identical in-flight queries share
+// one oracle execution. LCA answers are pure functions of
+// (source, kind, algorithm, params, query coordinates, seed), so a hot
+// key under concurrent load — the million-user case — costs one
+// instance build and one probe sequence no matter how many requests
+// arrive while it runs; duplicates wait and receive the same answer.
+// Probes, round trips and budgets are charged once, to the executing
+// request. The table holds only in-flight keys (it is not a cache):
+// entries are deleted the moment the execution finishes, so its size is
+// bounded by concurrency, never by traffic history.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flight is one in-flight execution; waiters block on wg and then read
+// the shared result.
+type flight struct {
+	wg  sync.WaitGroup
+	ans any
+	err error
+}
+
+// flightGroup deduplicates executions by key. The zero value is ready.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do runs fn once per key among concurrent callers: the first caller
+// executes, the rest wait and share the result. shared reports whether
+// this caller was a waiter; onShare (if non-nil) runs when a waiter
+// joins, before it blocks — the observation point for the coalescing
+// counter. A panicking fn fails its waiters with a 500 envelope and
+// repanics in the leader (http.Server turns that into a logged 500 for
+// the leader itself).
+func (g *flightGroup) do(key string, onShare func(), fn func() (any, error)) (ans any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if onShare != nil {
+			onShare()
+		}
+		f.wg.Wait()
+		return f.ans, f.err, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = &httpError{status: 500, msg: fmt.Sprintf("internal error: %v", r)}
+			g.finish(key, f)
+			panic(r)
+		}
+		g.finish(key, f)
+	}()
+	f.ans, f.err = fn()
+	return f.ans, f.err, false
+}
+
+func (g *flightGroup) finish(key string, f *flight) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.wg.Done()
+}
+
+// inFlight reports the number of distinct keys currently executing
+// (introspection for tests and the metrics plane).
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -12,6 +12,7 @@
 // makes it appear on /algos and become queryable with no edits here.
 //
 //	GET  /healthz
+//	GET  /metrics[?format=text]
 //	GET  /graph[?source=NAME]
 //	GET  /algos
 //	GET  /sources
@@ -46,9 +47,29 @@
 // when n exceeds the configurable cap (WithGraphInfoCap) — the guard that
 // keeps a billion-vertex source from being walked by one curious GET.
 //
-// Every error is a JSON envelope {"error": ..., "status": ...}; malformed
-// or unknown query parameters are 400s, unknown algorithms and kind
-// mismatches are 404s.
+// The serving tier around the query plane (tenant.go, coalesce.go,
+// metrics.go):
+//
+//   - Tenants: WithTenants installs a static token → tenant table; the
+//     query plane then requires a token per request (Authorization:
+//     Bearer or X-LCA-Token) and enforces per-tenant probe/round-trip
+//     budgets (per query, through the oracle budget wrappers) and a
+//     sustained-QPS token bucket. Rejections are 429 envelopes; missing
+//     or unknown tokens are 401s.
+//   - Coalescing: identical in-flight queries share one oracle
+//     execution (answers are pure functions of source, kind, params,
+//     query and seed), so a hot key is charged once however many
+//     requests pile onto it.
+//   - Metrics: GET /metrics exports per-kind query counts and latency
+//     histograms, probe/round-trip/failover/hedge totals, coalescing
+//     and per-tenant counters (see metrics.go for the name table).
+//   - Request IDs: every response carries X-Request-ID (client-supplied
+//     or generated), and every error envelope embeds it as request_id.
+//
+// Every error is a JSON envelope {"error": ..., "status": ...,
+// "request_id": ...}; malformed or unknown query parameters are 400s,
+// unknown algorithms and kind mismatches are 404s, auth failures 401s,
+// admission and budget rejections 429s.
 package serve
 
 import (
@@ -58,11 +79,14 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"lca/internal/core"
 	"lca/internal/estimate"
 	"lca/internal/graph"
+	"lca/internal/metrics"
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/rnd"
@@ -87,6 +111,9 @@ type Server struct {
 	infoCap int
 	mu      sync.RWMutex
 	sources map[string]*namedSource
+	tenants map[string]*tenantState // token -> tenant; empty = open server
+	met     *serverMetrics
+	flights flightGroup
 }
 
 // namedSource is one open source with its provenance.
@@ -122,18 +149,22 @@ func NewFromSource(src source.Source, spec string, seed rnd.Seed, opts ...Option
 		seed:    seed,
 		infoCap: DefaultGraphInfoCap,
 		sources: map[string]*namedSource{"": {name: "", spec: spec, src: src}},
+		met:     newServerMetrics(metrics.NewRegistry()),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.bindTenantMetrics()
 	return s
 }
 
 // Handler returns the HTTP routing table: one route per query kind plus
-// discovery and introspection endpoints.
+// discovery, introspection and metrics endpoints. The whole table sits
+// behind the request-ID middleware, so every response is correlatable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET "+MetricsPath, s.handleMetrics)
 	mux.HandleFunc("GET /graph", s.handleGraph)
 	mux.HandleFunc("GET /algos", s.handleAlgos)
 	mux.HandleFunc("GET /sources", s.handleSourcesList)
@@ -145,16 +176,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /probe", s.probeHandler(source.ServeProbe))
 	mux.HandleFunc("POST /probe", s.probeHandler(source.ServeProbeBatch))
 	mux.HandleFunc("GET /probe/meta", s.probeHandler(source.ServeProbeMeta))
-	return mux
+	return withRequestID(mux)
 }
 
 // probeHandler adapts one wire-protocol handler to the named-source
 // table, making the server act as a probe shard for any of its sources.
 func (s *Server) probeHandler(serve func(http.ResponseWriter, *http.Request, source.Source)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.probeRequests.Inc()
 		ns, err := s.sourceFor(r)
 		if err != nil {
-			writeHTTPError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		serve(w, r, ns.src)
@@ -178,8 +210,9 @@ func (s *Server) Close() error {
 }
 
 type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -189,7 +222,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Status: status})
+	writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		Status:    status,
+		RequestID: w.Header().Get(RequestIDHeader),
+	})
 }
 
 // httpError carries a status code through the request-parsing helpers so
@@ -217,18 +254,28 @@ func writeHTTPError(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
-// runProbing runs fn, converting a remote-shard probe failure — which
-// surfaces as a typed panic, the Source interface having no error returns
-// — into a 502, so a server fronting unreachable shards degrades to an
-// error envelope instead of a crashed connection.
+// runProbing runs fn, converting the expected typed probe panics — the
+// Source and Oracle interfaces have no error returns — into envelope
+// errors: a remote-shard probe failure becomes a 502 (the server
+// degrades instead of crashing the connection), and a tenant budget
+// exhaustion becomes a 429 (the admission-control contract: the query
+// cost more probes or round trips than the tenant is allowed per
+// query).
 func runProbing(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			pe, ok := r.(*source.ProbeError)
-			if !ok {
+			switch e := r.(type) {
+			case *source.ProbeError:
+				err = &httpError{status: http.StatusBadGateway, msg: e.Error()}
+			case oracle.ErrBudgetExceeded:
+				err = &httpError{status: http.StatusTooManyRequests,
+					msg: fmt.Sprintf("per-query probe budget %d exhausted; narrow the query or raise the tenant budget", e.Budget)}
+			case oracle.ErrTripBudgetExceeded:
+				err = &httpError{status: http.StatusTooManyRequests,
+					msg: fmt.Sprintf("per-query round-trip budget %d exhausted; narrow the query or raise the tenant budget", e.Budget)}
+			default:
 				panic(r)
 			}
-			err = &httpError{status: http.StatusBadGateway, msg: pe.Error()}
 		}
 	}()
 	fn()
@@ -265,9 +312,15 @@ type graphInfo struct {
 // vertex, which the info cap guards — a billion-vertex source answers 413,
 // not an hour of degree probes.
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	// The summary may probe O(n) state on capability-less sources, so it
+	// is tenant-gated traffic like the query plane.
+	if _, err := s.admitTenant(w, r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	ns, err := s.sourceFor(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	info := graphInfo{N: ns.src.N(), Source: ns.name, Spec: ns.spec}
@@ -294,7 +347,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}); err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	info.M = stubs / 2
@@ -343,15 +396,22 @@ func (s *Server) handleSourcesList(w http.ResponseWriter, _ *http.Request) {
 // endpoint: a replica can be pointed at a billion-vertex implicit source
 // or a CSR file on its local disk without restarting.
 func (s *Server) handleSourcesOpen(w http.ResponseWriter, r *http.Request) {
+	// Opening sources mutates server state: on a tenant-gated server it
+	// requires a configured token (no admission charge — it is rare,
+	// administrative traffic).
+	if _, err := s.tenantFor(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	name := r.URL.Query().Get("name")
 	spec := r.URL.Query().Get("spec")
 	if name == "" || spec == "" {
-		writeHTTPError(w, badRequest("POST /sources requires non-empty name and spec query parameters"))
+		s.writeError(w, badRequest("POST /sources requires non-empty name and spec query parameters"))
 		return
 	}
 	src, err := source.Parse(spec, s.seed)
 	if err != nil {
-		writeHTTPError(w, badRequest("%v", err))
+		s.writeError(w, badRequest("%v", err))
 		return
 	}
 	ns := &namedSource{name: name, spec: spec, src: src}
@@ -462,19 +522,6 @@ func vertexParam(r *http.Request, src source.Source, name string) (int, error) {
 	return v, nil
 }
 
-func edgeParams(r *http.Request, src source.Source) (u, v int, err error) {
-	if u, err = vertexParam(r, src, "u"); err != nil {
-		return 0, 0, err
-	}
-	if v, err = vertexParam(r, src, "v"); err != nil {
-		return 0, 0, err
-	}
-	if src.Adjacency(u, v) < 0 {
-		return 0, 0, badRequest("(%d,%d) is not an edge of the graph", u, v)
-	}
-	return u, v, nil
-}
-
 // prefetchParam parses the optional prefetch=0|1|false|true selector.
 func prefetchParam(r *http.Request) (bool, error) {
 	switch raw := r.URL.Query().Get("prefetch"); raw {
@@ -488,16 +535,18 @@ func prefetchParam(r *http.Request) (bool, error) {
 }
 
 // build constructs a fresh per-request instance over src — behind a
-// prefetching exploration oracle when the request asked for one;
-// parameter errors the registry reports after our own validation (range
-// checks inside New) are the client's fault, hence 400 — except a
-// BadInstanceError, which marks a broken registration and must surface as
-// a server error.
-func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool) (any, error) {
+// prefetching exploration oracle when the request asked for one, and
+// behind the tenant's per-query budget wrappers when the tenant has
+// budgets; parameter errors the registry reports after our own
+// validation (range checks inside New) are the client's fault, hence
+// 400 — except a BadInstanceError, which marks a broken registration and
+// must surface as a server error.
+func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool, ten *tenantState) (any, error) {
 	o := oracle.New(src)
 	if prefetch {
 		o = oracle.NewPrefetch(src)
 	}
+	o = ten.budgetWrap(o)
 	inst, err := d.Build(o, s.seed, p)
 	if err != nil {
 		var bad *registry.BadInstanceError
@@ -507,6 +556,39 @@ func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Par
 		return nil, badRequest("%v", err)
 	}
 	return inst, nil
+}
+
+// queryKey is the coalescing identity of a query: kind, algorithm,
+// source, canonical parameters, prefetch selector, the server seed and
+// the tenant's budget shape (only identically budgeted requests may
+// share an execution), plus the query coordinates. Everything an answer
+// depends on, nothing more — two requests with equal keys are guaranteed
+// byte-identical answers.
+func (s *Server) queryKey(kind, algo, srcName string, p registry.Params, prefetch bool, ten *tenantState, coords string) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	params := make([]string, len(keys))
+	for i, k := range keys {
+		params[i] = fmt.Sprintf("%s=%v", k, p[k])
+	}
+	return strings.Join([]string{
+		kind, algo, srcName, strings.Join(params, ","),
+		strconv.FormatBool(prefetch), strconv.FormatUint(uint64(s.seed), 10),
+		ten.budgetKey(), coords,
+	}, "\x00")
+}
+
+// failQuery writes the error envelope and attributes budget rejections
+// to the tenant's metrics (admission rejections are counted at the
+// gate).
+func (s *Server) failQuery(w http.ResponseWriter, ten *tenantState, err error) {
+	if he, ok := err.(*httpError); ok && he.status == http.StatusTooManyRequests && ten != nil {
+		ten.budgetRejected.Inc()
+	}
+	s.writeError(w, err)
 }
 
 // requestScoped returns the per-request view of a source: network
@@ -543,48 +625,71 @@ type edgeAnswer struct {
 }
 
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ten, err := s.admitTenant(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	d, err := descriptorFor(r, registry.KindEdge)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ns, err := s.sourceFor(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := queryParams(r, d, "u", "v", "source", "prefetch")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	src := requestScoped(ns.src)
 	var u, v int
-	if perr := runProbing(func() { u, v, err = edgeParams(r, src) }); perr != nil {
-		err = perr
+	if u, err = vertexParam(r, ns.src, "u"); err == nil {
+		v, err = vertexParam(r, ns.src, "v")
 	}
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	inst, err := s.build(d, src, p, prefetch)
+	key := s.queryKey("edge", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("u=%d,v=%d", u, v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
+		src := requestScoped(ns.src)
+		// The input-edge validation probe runs inside the flight: it is
+		// oracle traffic, shared once per coalesced key like the query.
+		var isEdge bool
+		if perr := runProbing(func() { isEdge = src.Adjacency(u, v) >= 0 }); perr != nil {
+			return nil, perr
+		}
+		if !isEdge {
+			return nil, badRequest("(%d,%d) is not an edge of the graph", u, v)
+		}
+		inst, err := s.build(d, src, p, prefetch, ten)
+		if err != nil {
+			return nil, err
+		}
+		var in bool
+		if err := runProbing(func() { in = inst.(core.EdgeLCA).QueryEdge(u, v) }); err != nil {
+			return nil, err
+		}
+		st := statsOf(inst)
+		s.met.observeExec(st)
+		return edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+	})
 	if err != nil {
-		writeHTTPError(w, err)
+		s.failQuery(w, ten, err)
 		return
 	}
-	var in bool
-	if err := runProbing(func() { in = inst.(core.EdgeLCA).QueryEdge(u, v) }); err != nil {
-		writeHTTPError(w, err)
-		return
-	}
-	st := statsOf(inst)
-	writeJSON(w, http.StatusOK, edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
-		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
+	s.met.observeRequest("edge", time.Since(start))
+	writeJSON(w, http.StatusOK, ans)
 }
 
 type vertexAnswer struct {
@@ -598,45 +703,59 @@ type vertexAnswer struct {
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ten, err := s.admitTenant(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	d, err := descriptorFor(r, registry.KindVertex)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ns, err := s.sourceFor(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := queryParams(r, d, "v", "source", "prefetch")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	src := requestScoped(ns.src)
-	v, err := vertexParam(r, src, "v")
+	v, err := vertexParam(r, ns.src, "v")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	inst, err := s.build(d, src, p, prefetch)
+	key := s.queryKey("vertex", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("v=%d", v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
+		src := requestScoped(ns.src)
+		inst, err := s.build(d, src, p, prefetch, ten)
+		if err != nil {
+			return nil, err
+		}
+		var in bool
+		if err := runProbing(func() { in = inst.(core.VertexLCA).QueryVertex(v) }); err != nil {
+			return nil, err
+		}
+		st := statsOf(inst)
+		s.met.observeExec(st)
+		return vertexAnswer{Algo: d.Name, V: v, In: in,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+	})
 	if err != nil {
-		writeHTTPError(w, err)
+		s.failQuery(w, ten, err)
 		return
 	}
-	var in bool
-	if err := runProbing(func() { in = inst.(core.VertexLCA).QueryVertex(v) }); err != nil {
-		writeHTTPError(w, err)
-		return
-	}
-	st := statsOf(inst)
-	writeJSON(w, http.StatusOK, vertexAnswer{Algo: d.Name, V: v, In: in,
-		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
+	s.met.observeRequest("vertex", time.Since(start))
+	writeJSON(w, http.StatusOK, ans)
 }
 
 type labelAnswer struct {
@@ -650,45 +769,59 @@ type labelAnswer struct {
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ten, err := s.admitTenant(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	d, err := descriptorFor(r, registry.KindLabel)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ns, err := s.sourceFor(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := queryParams(r, d, "v", "source", "prefetch")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	src := requestScoped(ns.src)
-	v, err := vertexParam(r, src, "v")
+	v, err := vertexParam(r, ns.src, "v")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	inst, err := s.build(d, src, p, prefetch)
+	key := s.queryKey("label", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("v=%d", v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
+		src := requestScoped(ns.src)
+		inst, err := s.build(d, src, p, prefetch, ten)
+		if err != nil {
+			return nil, err
+		}
+		var label int
+		if err := runProbing(func() { label = inst.(core.LabelLCA).QueryLabel(v) }); err != nil {
+			return nil, err
+		}
+		st := statsOf(inst)
+		s.met.observeExec(st)
+		return labelAnswer{Algo: d.Name, V: v, Label: label,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+	})
 	if err != nil {
-		writeHTTPError(w, err)
+		s.failQuery(w, ten, err)
 		return
 	}
-	var label int
-	if err := runProbing(func() { label = inst.(core.LabelLCA).QueryLabel(v) }); err != nil {
-		writeHTTPError(w, err)
-		return
-	}
-	st := statsOf(inst)
-	writeJSON(w, http.StatusOK, labelAnswer{Algo: d.Name, V: v, Label: label,
-		Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges})
+	s.met.observeRequest("label", time.Since(start))
+	writeJSON(w, http.StatusOK, ans)
 }
 
 type estimateAnswer struct {
@@ -702,58 +835,74 @@ type estimateAnswer struct {
 // handleEstimate estimates the solution fraction of any edge- or
 // vertex-kind algorithm by sampled point queries (Hoeffding-bounded, 95%).
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ten, err := s.admitTenant(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	name := r.PathValue("algo")
 	d, err := registry.Get(name)
 	if err != nil {
-		writeHTTPError(w, notFound("unknown algorithm %q (see /algos)", name))
+		s.writeError(w, notFound("unknown algorithm %q (see /algos)", name))
 		return
 	}
 	if d.Kind == registry.KindLabel {
-		writeHTTPError(w, notFound("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name))
+		s.writeError(w, notFound("algorithm %q answers label queries; fractions are estimable for edge and vertex kinds", d.Name))
 		return
 	}
 	ns, err := s.sourceFor(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := queryParams(r, d, "samples", "source", "prefetch")
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
 	if err != nil {
-		writeHTTPError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	samples := 500
 	if raw := r.URL.Query().Get("samples"); raw != "" {
 		parsed, perr := strconv.Atoi(raw)
 		if perr != nil || parsed < 1 || parsed > 1_000_000 {
-			writeHTTPError(w, badRequest("parameter \"samples\": %q is not an integer in [1,1000000]", raw))
+			s.writeError(w, badRequest("parameter \"samples\": %q is not an integer in [1,1000000]", raw))
 			return
 		}
 		samples = parsed
 	}
 	const delta = 0.05
-	src := requestScoped(ns.src)
-	var res estimate.Result
-	if perr := runProbing(func() { res, err = estimate.Fraction(d, src, s.seed, p, samples, delta, prefetch) }); perr != nil {
-		writeHTTPError(w, perr)
-		return
-	}
-	if err != nil {
-		// Kind and samples were validated above; what remains is bad
-		// parameter values, which are the client's.
-		writeHTTPError(w, badRequest("%v", err))
-		return
-	}
-	writeJSON(w, http.StatusOK, estimateAnswer{
-		Algo:       d.Name,
-		Kind:       string(d.Kind),
-		Fraction:   res.Fraction,
-		ErrorBound: res.ErrorBound,
-		Samples:    res.Samples,
+	key := s.queryKey("estimate", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("samples=%d", samples))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
+		src := requestScoped(ns.src)
+		var res estimate.Result
+		var ferr error
+		if perr := runProbing(func() {
+			res, ferr = estimate.FractionOver(d, src, s.seed, p, samples, delta, prefetch, ten.budgetWrap)
+		}); perr != nil {
+			return nil, perr
+		}
+		if ferr != nil {
+			// Kind and samples were validated above; what remains is bad
+			// parameter values, which are the client's.
+			return nil, badRequest("%v", ferr)
+		}
+		return estimateAnswer{
+			Algo:       d.Name,
+			Kind:       string(d.Kind),
+			Fraction:   res.Fraction,
+			ErrorBound: res.ErrorBound,
+			Samples:    res.Samples,
+		}, nil
 	})
+	if err != nil {
+		s.failQuery(w, ten, err)
+		return
+	}
+	s.met.observeRequest("estimate", time.Since(start))
+	writeJSON(w, http.StatusOK, ans)
 }
