@@ -24,6 +24,12 @@
 // *scheduled* arrival time, so queueing delay under overload is visible
 // (a closed loop would hide it by slowing the arrival rate).
 //
+// -trace-sample N forces trace=1 on one request in N, so a load run
+// doubles as a trace harvest: the server records a span tree for each
+// sampled query, the answer carries its trace id, and lcaload reports
+// the slowest traced query per mix entry (fetch the tree from
+// GET /traces/{id} on the server while its ring still holds it).
+//
 // With -json, one JSON-Lines record per mix entry is written to stdout
 // in lcabench's format — {"experiment":"LOAD","title":...,"row":{...}}
 // — so cmd/benchgate can gate p99 regressions between runs via
@@ -105,6 +111,20 @@ type entryStats struct {
 	errors  atomic.Uint64
 	probes  atomic.Uint64
 	latency *metrics.Histogram // microseconds
+
+	mu           sync.Mutex
+	slowestUS    int64
+	slowestTrace string
+}
+
+// noteTrace keeps the slowest traced query's id: the one trace worth
+// pulling from the server after an over-threshold run.
+func (st *entryStats) noteTrace(id string, us int64) {
+	st.mu.Lock()
+	if st.slowestTrace == "" || us > st.slowestUS {
+		st.slowestUS, st.slowestTrace = us, id
+	}
+	st.mu.Unlock()
 }
 
 // client wraps the target server: base URL, auth, discovery and the
@@ -118,6 +138,9 @@ type client struct {
 	edges   [][2]int
 	reqSeq  atomic.Uint64
 	verbose bool
+
+	traceEvery int // -trace-sample: force trace=1 on 1 in N requests
+	traceSeq   atomic.Uint64
 }
 
 func (c *client) get(path string, into any) error {
@@ -192,7 +215,7 @@ func (c *client) sampleEdges(count int, seed uint64) error {
 }
 
 // buildPath renders one request for a mix entry using the worker's rng.
-func (c *client) buildPath(e mixEntry, rng *rand.Rand, prefetch bool) string {
+func (c *client) buildPath(e mixEntry, rng *rand.Rand, prefetch, traced bool) string {
 	q := url.Values{}
 	if e.Extra != "" {
 		q, _ = url.ParseQuery(e.Extra)
@@ -215,15 +238,20 @@ func (c *client) buildPath(e mixEntry, rng *rand.Rand, prefetch bool) string {
 	if prefetch {
 		q.Set("prefetch", "1")
 	}
+	if traced {
+		q.Set("trace", "1")
+	}
 	return "/" + e.Kind + "/" + e.Algo + "?" + q.Encode()
 }
 
 // fire issues one query and records it into st; sched is the moment the
 // request was (logically) due, so open-loop latency includes queue delay.
 func (c *client) fire(e mixEntry, st *entryStats, rng *rand.Rand, prefetch bool, sched time.Time) {
-	path := c.buildPath(e, rng, prefetch)
+	traced := c.traceEvery > 0 && (c.traceSeq.Add(1)-1)%uint64(c.traceEvery) == 0
+	path := c.buildPath(e, rng, prefetch, traced)
 	var answer struct {
-		Probes uint64 `json:"probes"`
+		Probes  uint64 `json:"probes"`
+		TraceID string `json:"trace_id"`
 	}
 	err := c.get(path, &answer)
 	elapsed := time.Since(sched)
@@ -237,6 +265,9 @@ func (c *client) fire(e mixEntry, st *entryStats, rng *rand.Rand, prefetch bool,
 	st.queries.Add(1)
 	st.probes.Add(answer.Probes)
 	st.latency.Observe(float64(elapsed.Microseconds()))
+	if answer.TraceID != "" {
+		st.noteTrace(answer.TraceID, elapsed.Microseconds())
+	}
 }
 
 // weightedPick draws a mix entry index by weight.
@@ -263,6 +294,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "seed for target sampling")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		edgePool    = flag.Int("edgepool", 256, "pre-sampled edge targets for edge-kind entries")
+		traceEvery  = flag.Int("trace-sample", 0, "force trace=1 on 1 in N requests and report the slowest traced query (0 disables)")
 		jsonOut     = flag.Bool("json", false, "emit JSON Lines on stdout (lcabench/benchgate format)")
 		verbose     = flag.Bool("v", false, "log each failed request")
 	)
@@ -282,6 +314,8 @@ func main() {
 		token:   *token,
 		source:  *sourceFlag,
 		verbose: *verbose,
+
+		traceEvery: *traceEvery,
 	}
 	if err := c.discoverN(); err != nil {
 		fmt.Fprintf(os.Stderr, "lcaload: %v\n", err)
@@ -395,6 +429,10 @@ func main() {
 				"p95 us/query":  fmt.Sprintf("%.1f", snap.P95),
 				"p99 us/query":  fmt.Sprintf("%.1f", snap.P99),
 			}
+			if st.slowestTrace != "" {
+				row["slowest trace"] = st.slowestTrace
+				row["slowest trace us"] = strconv.FormatInt(st.slowestUS, 10)
+			}
 			_ = enc.Encode(struct {
 				Experiment string            `json:"experiment"`
 				Title      string            `json:"title"`
@@ -405,6 +443,17 @@ func main() {
 				e.Kind, e.Algo, ok, st.errors.Load(), achieved, meanProbes,
 				snap.Mean, snap.P50, snap.P95, snap.P99)
 		}
+	}
+	var slowestID string
+	var slowestUS int64
+	for _, st := range stats {
+		if st.slowestTrace != "" && (slowestID == "" || st.slowestUS > slowestUS) {
+			slowestID, slowestUS = st.slowestTrace, st.slowestUS
+		}
+	}
+	if slowestID != "" {
+		fmt.Fprintf(os.Stderr, "lcaload: slowest traced query %d us — GET %s/traces/%s\n",
+			slowestUS, c.base, slowestID)
 	}
 	fmt.Fprintf(os.Stderr, "lcaload: %d queries ok in %s\n", totalOK, elapsed.Round(time.Millisecond))
 	if totalOK == 0 {

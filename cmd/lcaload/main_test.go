@@ -66,7 +66,7 @@ func TestClientAgainstServe(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	c := &client{http: ts.Client(), base: ts.URL}
+	c := &client{http: ts.Client(), base: ts.URL, traceEvery: 10}
 	if err := c.discoverN(); err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +113,13 @@ func TestClientAgainstServe(t *testing.T) {
 	if totalOK != 30 {
 		t.Fatalf("fired 30, recorded %d", totalOK)
 	}
+	sawTrace := false
+	for _, st := range stats {
+		sawTrace = sawTrace || st.slowestTrace != ""
+	}
+	if !sawTrace {
+		t.Error("traceEvery=10 over 30 queries recorded no slowest traced query")
+	}
 }
 
 // TestClientSendsTenantToken: the Bearer token reaches the server and a
@@ -150,14 +157,16 @@ func TestBuildPathShapes(t *testing.T) {
 	for _, tc := range []struct {
 		entry    mixEntry
 		prefetch bool
+		traced   bool
 		want     []string
 	}{
-		{mixEntry{Kind: "vertex", Algo: "mis"}, false, []string{"/vertex/mis?", "v=", "source=aux"}},
-		{mixEntry{Kind: "edge", Algo: "spannerk", Extra: "k=4"}, true, []string{"/edge/spannerk?", "u=3", "v=9", "k=4", "prefetch=1"}},
-		{mixEntry{Kind: "estimate", Algo: "mis"}, false, []string{"/estimate/mis?", "samples=50"}},
-		{mixEntry{Kind: "estimate", Algo: "mis", Extra: "samples=9"}, false, []string{"samples=9"}},
+		{mixEntry{Kind: "vertex", Algo: "mis"}, false, false, []string{"/vertex/mis?", "v=", "source=aux"}},
+		{mixEntry{Kind: "edge", Algo: "spannerk", Extra: "k=4"}, true, false, []string{"/edge/spannerk?", "u=3", "v=9", "k=4", "prefetch=1"}},
+		{mixEntry{Kind: "estimate", Algo: "mis"}, false, false, []string{"/estimate/mis?", "samples=50"}},
+		{mixEntry{Kind: "estimate", Algo: "mis", Extra: "samples=9"}, false, false, []string{"samples=9"}},
+		{mixEntry{Kind: "vertex", Algo: "mis"}, false, true, []string{"trace=1"}},
 	} {
-		path := c.buildPath(tc.entry, rng, tc.prefetch)
+		path := c.buildPath(tc.entry, rng, tc.prefetch, tc.traced)
 		for _, frag := range tc.want {
 			if !strings.Contains(path, frag) {
 				t.Errorf("buildPath(%+v) = %q, missing %q", tc.entry, path, frag)

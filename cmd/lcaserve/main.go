@@ -12,6 +12,7 @@
 //	lcaserve -graph remote:http://shard0:8080    # probe another lcaserve
 //	lcaserve -graph sharded:remote:http://a:8080,remote:http://b:8080
 //	lcaserve -graph ring:n=1e6 -tenants tenants.json -drain 15s
+//	lcaserve -graph ring:n=1e6 -trace-sample 100 -trace-slow 250ms -log-format json
 //
 // -graph takes a source spec: a family form (ring:n=N, torus:rows=R,cols=C,
 // circulant:n=N,d=D, blockrandom:n=N,d=D, csr:path, edgelist:path,
@@ -23,6 +24,21 @@
 // enforces the per-tenant budgets (429 on exhaustion). Without it the
 // server is open, the trusted-network default.
 //
+// Observability flags:
+//
+//   - -trace-sample N traces 1 in N queries head-sampled (0 disables);
+//     ?trace=1 on any query forces a trace regardless.
+//   - -trace-slow DUR and -trace-slow-probes N retain a full span tree in
+//     the slow ring for every query over either threshold, even when the
+//     sampler did not pick it.
+//   - -log-format text|json selects the structured-log encoding; request
+//     lines carry request_id, tenant, kind, probes, round_trips and
+//     trace_id when sampled.
+//   - -debug-addr starts a second listener — kept off the query port so
+//     it can stay firewalled — with net/http/pprof under /debug/pprof/
+//     and a /debug/vars JSON snapshot of runtime stats (goroutines,
+//     heap, GC).
+//
 // On SIGINT/SIGTERM the server drains: in-flight requests get up to
 // -drain to complete while new connections are refused, then named
 // sources are closed and the process exits 0.
@@ -30,13 +46,16 @@
 // Every instance also answers the probe wire protocol (GET/POST /probe,
 // GET /probe/meta), so replicas compose: one lcaserve can front the graph
 // held by another, and a sharded: spec consistent-hashes probes across a
-// fleet of them.
+// fleet of them. Traced clients propagate X-LCA-Trace on probe requests
+// and this server's shard-side spans ride back in the probe response.
 //
 // Endpoints (registry-generic: every algorithm in /algos is queryable
 // through its kind's route, with tunable parameters as query parameters):
 //
 //	GET  /healthz
 //	GET  /metrics[?format=text]               serving-tier counters and histograms
+//	GET  /traces[?slow=1]                     recently retained span trees
+//	GET  /traces/{id}                         one span tree by trace id
 //	GET  /graph[?source=NAME]
 //	GET  /algos
 //	GET  /sources                             discovery: open sources + spec families
@@ -49,13 +68,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -72,8 +94,22 @@ func main() {
 		infoCap     = flag.Int("graphcap", serve.DefaultGraphInfoCap, "max n for which /graph may probe O(n) summaries of capability-less sources (413 above)")
 		tenantsPath = flag.String("tenants", "", "JSON tenant config; when set, the query plane requires a tenant token and enforces per-tenant budgets")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+		logFormat   = flag.String("log-format", "text", "structured-log encoding: text or json")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the pprof/debug plane (/debug/pprof/, /debug/vars); empty disables it")
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N queries into the trace ring (0 disables; ?trace=1 always forces)")
+		traceSlow   = flag.Duration("trace-slow", 0, "retain a span tree for every query slower than this (0 disables)")
+		slowProbes  = flag.Uint64("trace-slow-probes", 0, "retain a span tree for every query issuing more than this many probes (0 disables)")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcaserve: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
 	if *graphSpec == "" {
 		fmt.Fprintln(os.Stderr, "lcaserve: -graph is required; source families:")
 		for _, f := range source.Families() {
@@ -83,31 +119,36 @@ func main() {
 	}
 	src, err := source.Parse(*graphSpec, rnd.Seed(*seed))
 	if err != nil {
-		log.Fatalf("lcaserve: %v", err)
+		fatal(err)
 	}
-	desc := fmt.Sprintf("n=%d", src.N())
+	info := []any{"source", *graphSpec, "seed", *seed, "n", src.N()}
 	if mc, ok := source.EdgeCounterOf(src); ok {
-		desc += fmt.Sprintf(" m=%d", mc.M())
+		info = append(info, "m", mc.M())
 	}
 	if db, ok := source.DegreeBounderOf(src); ok {
-		desc += fmt.Sprintf(" maxdeg=%d", db.MaxDegree())
+		info = append(info, "maxdeg", db.MaxDegree())
 	}
 	if health, ok := source.HealthOf(src); ok {
-		desc += fmt.Sprintf(" shards=%d (health on /sources and /probe/meta)", len(health))
+		info = append(info, "shards", len(health))
 	}
 
-	opts := []serve.Option{serve.WithGraphInfoCap(*infoCap)}
+	opts := []serve.Option{
+		serve.WithGraphInfoCap(*infoCap),
+		serve.WithLogger(logger),
+		serve.WithTraceSample(*traceSample),
+		serve.WithSlowQuery(*traceSlow, *slowProbes),
+	}
 	if *tenantsPath != "" {
 		tenants, err := serve.LoadTenantsFile(*tenantsPath)
 		if err != nil {
-			log.Fatalf("lcaserve: %v", err)
+			fatal(err)
 		}
 		opts = append(opts, serve.WithTenants(tenants...))
-		desc += fmt.Sprintf(" tenants=%d", len(tenants))
+		info = append(info, "tenants", len(tenants))
 	}
 	lca := serve.NewFromSource(src, *graphSpec, rnd.Seed(*seed), opts...)
 
-	log.Printf("lcaserve: source %q %s, seed=%d, listening on %s", *graphSpec, desc, *seed, *addr)
+	logger.Info("listening", append([]any{"addr", *addr}, info...)...)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           lca.Handler(),
@@ -118,21 +159,83 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *debugAddr != "" {
+		// The debug plane is best-effort: a bind failure is logged, not
+		// fatal, and shutdown does not drain it.
+		dbg := &http.Server{Addr: *debugAddr, Handler: debugMux(), ReadHeaderTimeout: 5 * time.Second}
+		logger.Info("debug plane listening", "addr", *debugAddr)
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug plane", "error", err.Error())
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("lcaserve: %v", err)
+		fatal(err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal during the drain kills the process the default way
-	log.Printf("lcaserve: shutting down, draining for up to %s", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("lcaserve: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err.Error())
 	}
 	if err := lca.Close(); err != nil {
-		log.Printf("lcaserve: closing sources: %v", err)
+		logger.Warn("closing sources", "error", err.Error())
 	}
-	log.Printf("lcaserve: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from -log-format. Logs go to
+// stderr either way; json is the choice for log pipelines, text for
+// humans tailing a terminal.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
+}
+
+// debugMux is the pprof/debug plane: a separate mux on a separate
+// listener so profiling endpoints never share a port (or a firewall
+// rule) with the query plane. pprof handlers are registered explicitly —
+// the net/http/pprof side effect only touches http.DefaultServeMux,
+// which this process never serves.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/vars", handleDebugVars)
+	return mux
+}
+
+// handleDebugVars is a /debug/vars in the expvar spirit without the
+// expvar global registry: one JSON snapshot of the runtime stats a
+// first-response runbook asks for — goroutine count, heap shape, GC
+// cadence.
+func handleDebugVars(w http.ResponseWriter, _ *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"goroutines":         runtime.NumGoroutine(),
+		"heap_alloc_bytes":   ms.HeapAlloc,
+		"heap_sys_bytes":     ms.HeapSys,
+		"heap_objects":       ms.HeapObjects,
+		"stack_inuse_bytes":  ms.StackInuse,
+		"next_gc_bytes":      ms.NextGC,
+		"gc_runs":            ms.NumGC,
+		"gc_pause_total_ns":  ms.PauseTotalNs,
+		"last_gc_unix_ns":    ms.LastGC,
+		"mallocs_cumulative": ms.Mallocs,
+	})
 }

@@ -187,6 +187,20 @@
 // under traffic. A runnable end-to-end walkthrough is
 // ExampleOpenSource_shardedFailover.
 //
+// When the aggregates say "slow" but not why, switch planes: append
+// trace=1 to the query (or run lcaserve with -trace-sample N /
+// -trace-slow DUR) and read the span tree — query root, oracle-layer
+// spans with cache-hit and budget tags, one rpc span per shard round
+// trip with failover/hedge-won outcomes, and the shard's own spans
+// stitched in over the X-LCA-Trace wire header. Trees are retained on
+// GET /traces (slow-query captures under /traces?slow=1, one tree on
+// /traces/{id}); library code gets the same via WithTracer. Structured
+// request logs (lcaserve -log-format json) carry the trace_id for the
+// pivot. For CPU or heap suspicions, lcaserve -debug-addr starts a
+// separate listener — firewall it — serving net/http/pprof profiles
+// under /debug/pprof/ and a /debug/vars runtime snapshot (goroutines,
+// heap, GC) for the first minute of any incident.
+//
 // # Further documentation
 //
 // ARCHITECTURE.md maps the layers (source → oracle → algorithms →

@@ -13,6 +13,7 @@ import (
 
 	"lca/internal/serve"
 	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 func readDoc(t *testing.T, path string) string {
@@ -111,6 +112,10 @@ func TestDocsWireProtocol(t *testing.T) {
 		`"n"`, `"m"`, `"max_degree"`, `"random_edge"`, `"shards"`,
 		`"error"`, `"status"`, "65536",
 		"`400`", "`404`", "`429`", "`5xx`", "`200`",
+		// The trace-propagation contract: header name, span fields, and
+		// the optionality guidance third-party shards rely on.
+		trace.Header, `"trace"`, `"start_us"`, `"duration_us"`,
+		`"parent"`, `"tags"`, "16 hex", "8 hex",
 	} {
 		if !strings.Contains(doc, token) {
 			t.Errorf("docs/WIRE.md does not mention %s", token)
@@ -126,6 +131,7 @@ func TestDocsServingTier(t *testing.T) {
 	wire := readDoc(t, "docs/WIRE.md")
 	for _, token := range []string{
 		serve.TokenHeader, serve.RequestIDHeader, serve.MetricsPath,
+		serve.TracesPath, "trace=1", "trace_id",
 		"Authorization: Bearer", "`401`", "`429`", "Retry-After",
 		`"request_id"`, "?format=text",
 		`"probe_budget"`, `"round_trip_budget"`, `"qps"`, `"burst"`,
@@ -143,6 +149,32 @@ func TestDocsServingTier(t *testing.T) {
 	} {
 		if !strings.Contains(arch, token) {
 			t.Errorf("ARCHITECTURE.md does not mention %s", token)
+		}
+	}
+}
+
+// TestDocsObservability: the tracing plane's surface — endpoints, the
+// wire header, the lcaserve knobs, the slow-query log and the debug
+// listener — is documented in ARCHITECTURE.md and the doc.go runbook.
+func TestDocsObservability(t *testing.T) {
+	arch := readDoc(t, "ARCHITECTURE.md")
+	for _, token := range []string{
+		"internal/trace", serve.TracesPath, trace.Header,
+		"slow-query", "?trace=1", "-trace-sample",
+		"serve_traces_total", "serve_slow_queries_total",
+		"-debug-addr", "pprof", "/debug/vars", "-log-format",
+	} {
+		if !strings.Contains(arch, token) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", token)
+		}
+	}
+	docGo := readDoc(t, "doc.go")
+	for _, token := range []string{
+		trace.Header, serve.TracesPath, "trace=1", "WithTracer",
+		"-trace-sample", "-debug-addr", "/debug/pprof", "/debug/vars",
+	} {
+		if !strings.Contains(docGo, token) {
+			t.Errorf("doc.go runbook does not mention %s", token)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 // ErrBudgetExceeded is the panic value raised by LimitOracle when a probe
@@ -36,6 +37,9 @@ type LimitOracle struct {
 	inner  Oracle
 	budget uint64
 	used   uint64
+	// tr, when non-nil, records a budget-exhausted event just before the
+	// ErrBudgetExceeded panic (tracing.go).
+	tr *trace.Tracer
 }
 
 var (
@@ -56,6 +60,9 @@ func (l *LimitOracle) Reset() { l.used = 0 }
 
 func (l *LimitOracle) spend() {
 	if l.used >= l.budget {
+		if tr := l.tr; tr != nil {
+			tr.Event("oracle:budget", -1, "budget-exhausted")
+		}
 		panic(ErrBudgetExceeded{Budget: l.budget})
 	}
 	l.used++
@@ -182,6 +189,9 @@ type limitTripsOracle struct {
 	rt     source.RoundTripCounter
 	budget uint64
 	rt0    uint64
+	// tr, when non-nil, records a trip-budget-exhausted event just before
+	// the ErrTripBudgetExceeded panic (tracing.go).
+	tr *trace.Tracer
 }
 
 var (
@@ -191,6 +201,9 @@ var (
 
 func (l *limitTripsOracle) check() {
 	if l.rt.RoundTrips()-l.rt0 > l.budget {
+		if tr := l.tr; tr != nil {
+			tr.Event("oracle:budget", -1, "trip-budget-exhausted")
+		}
 		panic(ErrTripBudgetExceeded{Budget: l.budget})
 	}
 }

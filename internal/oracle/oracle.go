@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 // Oracle is the adjacency-list probe interface of the LCA model.
@@ -382,6 +383,9 @@ type CachingOracle struct {
 	degrees   sync.Map // int -> int
 	neighbors sync.Map // uint64 (v,i) -> int
 	adjacency sync.Map // uint64 (u,v) -> int
+	// tr, when non-nil, records cache-hit events on fully-memoized
+	// Neighbors assemblies (tracing.go).
+	tr *trace.Tracer
 }
 
 var _ Oracle = (*CachingOracle)(nil)
@@ -450,6 +454,9 @@ func (c *CachingOracle) Neighbors(v int) []int {
 			row = append(row, w.(int))
 		}
 		if row != nil || deg == 0 {
+			if tr := c.tr; tr != nil {
+				tr.Event("oracle:neighbors", v, "cache-hit")
+			}
 			return row
 		}
 	}

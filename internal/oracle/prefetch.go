@@ -12,9 +12,11 @@ package oracle
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 // DefaultFetchWidth is the speculative number of neighbor cells fetched
@@ -43,6 +45,10 @@ type PrefetchOracle struct {
 	n     int
 	width int // speculative cells fetched with each degree probe
 	cap   int // cached-row bound; the cache is cleared when exceeded
+
+	// tr, when non-nil, records oracle:prefetch spans around batched row
+	// fetches and cache-hit events on primed Neighbors reads (tracing.go).
+	tr *trace.Tracer
 
 	mu    sync.Mutex
 	rows  map[int][]int       // full adjacency rows
@@ -227,6 +233,9 @@ func (p *PrefetchOracle) Neighbors(v int) []int {
 	if row, ok := p.rows[v]; ok {
 		p.stats.RowHits++
 		p.mu.Unlock()
+		if tr := p.tr; tr != nil {
+			tr.Event("oracle:neighbors", v, "cache-hit")
+		}
 		return row
 	}
 	p.mu.Unlock()
@@ -264,6 +273,17 @@ func (p *PrefetchOracle) Prefetch(vs ...int) {
 // it; determinism makes the copies identical and the race costs only a
 // duplicate trip, the same benign-race stance as CachingOracle.
 func (p *PrefetchOracle) fetchRows(vs []int) map[int][]int {
+	if tr := p.tr; tr != nil {
+		// Push so the rpc spans recorded by the backend nest under the
+		// exploration that caused them; fetchRows runs on the caller's
+		// goroutine, so the implicit parent stack pairs correctly.
+		h := tr.Start("oracle:prefetch", prefetchTarget(vs))
+		tr.Push(h)
+		defer func() {
+			tr.Pop()
+			tr.End(h, fmt.Sprintf("rows=%d", len(vs)))
+		}()
+	}
 	rows := make(map[int][]int, len(vs))
 	var batches, cells uint64
 	if p.bp == nil {

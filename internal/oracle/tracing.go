@@ -1,0 +1,57 @@
+package oracle
+
+// Oracle-layer tracing. The accounting wrappers optionally record spans
+// into a request's tracer: the prefetching tier spans its batched row
+// fetches (so the rpc round trips recorded by the source layer nest
+// under the exploration that caused them), the caching tiers mark rows
+// served without touching the backend, and the budget wrappers mark the
+// exact probe at which a budget ran out. Every site guards on a nil
+// tracer before doing any work, so the untraced hot path stays
+// allocation-free.
+//
+// SetTracer mirrors the source layer's TracerSetter capability (the
+// interfaces are structurally identical, so serve-side plumbing asserts
+// one interface across both layers). Set the tracer before issuing
+// probes through the oracle; the field is not synchronized with
+// concurrent probing, matching the request-scoped views in source.
+
+import (
+	"lca/internal/source"
+	"lca/internal/trace"
+)
+
+// Compile-time checks that the wrappers expose the same capability as
+// the source layer's request-scoped views.
+var (
+	_ source.TracerSetter = (*PrefetchOracle)(nil)
+	_ source.TracerSetter = (*CachingOracle)(nil)
+	_ source.TracerSetter = (*LimitOracle)(nil)
+	_ source.TracerSetter = (*limitTripsOracle)(nil)
+)
+
+// SetTracer attaches a tracer to the prefetching tier: batched row
+// fetches record oracle:prefetch spans (with the backend's rpc spans
+// nested under them) and row-cache hits on Neighbors record cache-hit
+// events. A nil tracer disables tracing.
+func (p *PrefetchOracle) SetTracer(tr *trace.Tracer) { p.tr = tr }
+
+// SetTracer attaches a tracer to the memo tier: fully-cached Neighbors
+// assemblies record cache-hit events. A nil tracer disables tracing.
+func (c *CachingOracle) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// SetTracer attaches a tracer to the budget wrapper: the probe that
+// exhausts the budget records a budget-exhausted event just before the
+// ErrBudgetExceeded panic. A nil tracer disables tracing.
+func (l *LimitOracle) SetTracer(tr *trace.Tracer) { l.tr = tr }
+
+// SetTracer attaches a tracer to the round-trip budget wrapper.
+func (l *limitTripsOracle) SetTracer(tr *trace.Tracer) { l.tr = tr }
+
+// prefetchTarget labels an oracle:prefetch span with the single row it
+// fetches, or -1 for a multi-row hint.
+func prefetchTarget(vs []int) int {
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	return -1
+}

@@ -21,6 +21,8 @@ package serve
 //	serve_round_trips_per_query             histogram (network sources)
 //	serve_coalesced_total                   duplicate requests that shared an execution
 //	serve_probe_requests_total              wire-plane (/probe*) requests
+//	serve_traces_total                      traces retained in the /traces rings
+//	serve_slow_queries_total                queries over the slow-query thresholds
 //	serve_errors_total{status=NNN}          error envelopes written
 //	tenant_queries_total{tenant=NAME}       admitted requests per tenant
 //	tenant_admission_rejected_total{tenant=NAME}
@@ -65,6 +67,8 @@ type serverMetrics struct {
 
 	coalesced     *metrics.Counter
 	probeRequests *metrics.Counter
+	traces        *metrics.Counter
+	slowQueries   *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry) *serverMetrics {
@@ -80,6 +84,8 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		rtPerQuery:     reg.Histogram("serve_round_trips_per_query", metrics.CountBuckets),
 		coalesced:      reg.Counter("serve_coalesced_total"),
 		probeRequests:  reg.Counter("serve_probe_requests_total"),
+		traces:         reg.Counter("serve_traces_total"),
+		slowQueries:    reg.Counter("serve_slow_queries_total"),
 	}
 	for _, kind := range queryKinds {
 		m.queries[kind] = reg.Counter(fmt.Sprintf("serve_queries_total{kind=%s}", kind))
@@ -195,5 +201,6 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = he.status
 	}
 	s.met.errCounter(status).Inc()
+	s.logError(w, status, err)
 	writeHTTPError(w, err)
 }

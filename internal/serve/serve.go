@@ -24,6 +24,8 @@
 //	GET  /probe?op=OP&a=A[&b=B][&source=NAME]
 //	POST /probe[?source=NAME]
 //	GET  /probe/meta[?source=NAME]
+//	GET  /traces[?slow=1]
+//	GET  /traces/{id}
 //
 // The /probe endpoints speak the probe wire protocol (internal/source,
 // wire.go): they answer raw Degree/Neighbor/Adjacency probes (plus the
@@ -65,6 +67,13 @@
 //     and per-tenant counters (see metrics.go for the name table).
 //   - Request IDs: every response carries X-Request-ID (client-supplied
 //     or generated), and every error envelope embeds it as request_id.
+//   - Tracing (tracing.go): ?trace=1 on any query endpoint — or the
+//     WithTraceSample head sampler — records a probe-level span tree
+//     (query root, oracle exploration, per-round-trip rpc spans with
+//     failover/hedge tags, shard-side spans stitched over the
+//     X-LCA-Trace header) and attaches it to the answer; WithSlowQuery
+//     force-retains threshold violators. GET /traces serves the
+//     bounded retention rings.
 //
 // Every error is a JSON envelope {"error": ..., "status": ...,
 // "request_id": ...}; malformed or unknown query parameters are 400s,
@@ -76,6 +85,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -91,6 +101,7 @@ import (
 	"lca/internal/registry"
 	"lca/internal/rnd"
 	"lca/internal/source"
+	"lca/internal/trace"
 
 	// Register the built-in algorithm catalog.
 	_ "lca/internal/coloring"
@@ -114,6 +125,15 @@ type Server struct {
 	tenants map[string]*tenantState // token -> tenant; empty = open server
 	met     *serverMetrics
 	flights flightGroup
+	log     *slog.Logger // nil: silent (the library default)
+
+	// The tracing plane (tracing.go): head-based sampler (nil = sample
+	// nothing), slow-query thresholds (zero = capture off) and the
+	// bounded retention rings behind /traces.
+	sampler    *trace.Sampler
+	slowDur    time.Duration
+	slowProbes uint64
+	traces     *trace.Ring
 }
 
 // namedSource is one open source with its provenance.
@@ -150,6 +170,7 @@ func NewFromSource(src source.Source, spec string, seed rnd.Seed, opts ...Option
 		infoCap: DefaultGraphInfoCap,
 		sources: map[string]*namedSource{"": {name: "", spec: spec, src: src}},
 		met:     newServerMetrics(metrics.NewRegistry()),
+		traces:  trace.NewRing(0, 0),
 	}
 	for _, o := range opts {
 		o(s)
@@ -176,6 +197,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /probe", s.probeHandler(source.ServeProbe))
 	mux.HandleFunc("POST /probe", s.probeHandler(source.ServeProbeBatch))
 	mux.HandleFunc("GET /probe/meta", s.probeHandler(source.ServeProbeMeta))
+	mux.HandleFunc("GET "+TracesPath, s.handleTraces)
+	mux.HandleFunc("GET "+TracesPath+"/{id}", s.handleTraceGet)
 	return withRequestID(mux)
 }
 
@@ -541,12 +564,14 @@ func prefetchParam(r *http.Request) (bool, error) {
 // validation (range checks inside New) are the client's fault, hence
 // 400 — except a BadInstanceError, which marks a broken registration and
 // must surface as a server error.
-func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool, ten *tenantState) (any, error) {
+func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool, ten *tenantState, tr *trace.Tracer) (any, error) {
 	o := oracle.New(src)
 	if prefetch {
-		o = oracle.NewPrefetch(src)
+		po := oracle.NewPrefetch(src)
+		po.SetTracer(tr)
+		o = po
 	}
-	o = ten.budgetWrap(o)
+	o = ten.budgetWrapTraced(o, tr)
 	inst, err := d.Build(o, s.seed, p)
 	if err != nil {
 		var bad *registry.BadInstanceError
@@ -559,12 +584,13 @@ func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Par
 }
 
 // queryKey is the coalescing identity of a query: kind, algorithm,
-// source, canonical parameters, prefetch selector, the server seed and
-// the tenant's budget shape (only identically budgeted requests may
-// share an execution), plus the query coordinates. Everything an answer
-// depends on, nothing more — two requests with equal keys are guaranteed
-// byte-identical answers.
-func (s *Server) queryKey(kind, algo, srcName string, p registry.Params, prefetch bool, ten *tenantState, coords string) string {
+// source, canonical parameters, prefetch selector, the server seed, the
+// tenant's budget shape (only identically budgeted requests may share
+// an execution) and the tracing decision (a traced execution must not
+// serve untraced callers, nor bill them its overhead), plus the query
+// coordinates. Everything an answer depends on, nothing more — two
+// requests with equal keys are guaranteed byte-identical answers.
+func (s *Server) queryKey(kind, algo, srcName string, p registry.Params, prefetch bool, dec traceDecision, ten *tenantState, coords string) string {
 	keys := make([]string, 0, len(p))
 	for k := range p {
 		keys = append(keys, k)
@@ -577,7 +603,7 @@ func (s *Server) queryKey(kind, algo, srcName string, p registry.Params, prefetc
 	return strings.Join([]string{
 		kind, algo, srcName, strings.Join(params, ","),
 		strconv.FormatBool(prefetch), strconv.FormatUint(uint64(s.seed), 10),
-		ten.budgetKey(), coords,
+		ten.budgetKey(), dec.key(), coords,
 	}, "\x00")
 }
 
@@ -614,14 +640,16 @@ func statsOf(inst any) oracle.Stats {
 // kind handlers --------------------------------------------------------
 
 type edgeAnswer struct {
-	Algo       string `json:"algo"`
-	U          int    `json:"u"`
-	V          int    `json:"v"`
-	In         bool   `json:"in"`
-	Probes     uint64 `json:"probes"`
-	RoundTrips uint64 `json:"round_trips,omitempty"`
-	Failovers  uint64 `json:"failovers,omitempty"`
-	Hedges     uint64 `json:"hedges,omitempty"`
+	Algo       string       `json:"algo"`
+	U          int          `json:"u"`
+	V          int          `json:"v"`
+	In         bool         `json:"in"`
+	Probes     uint64       `json:"probes"`
+	RoundTrips uint64       `json:"round_trips,omitempty"`
+	Failovers  uint64       `json:"failovers,omitempty"`
+	Hedges     uint64       `json:"hedges,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	Trace      []trace.Span `json:"trace,omitempty"`
 }
 
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
@@ -641,12 +669,17 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "u", "v", "source", "prefetch")
+	p, err := queryParams(r, d, "u", "v", "source", "prefetch", "trace")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	forced, err := traceParam(r)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -659,9 +692,12 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	key := s.queryKey("edge", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("u=%d,v=%d", u, v))
-	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
-		src := requestScoped(ns.src)
+	dec := s.traceDecision(forced)
+	key := s.queryKey("edge", d.Name, ns.name, p, prefetch, dec, ten, fmt.Sprintf("u=%d,v=%d", u, v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (_ any, ferr error) {
+		qt := dec.begin("query:edge", u, d.Name)
+		defer func() { s.finishTrace(qt, oracle.Stats{}, ferr) }()
+		src := qt.scoped(ns.src)
 		// The input-edge validation probe runs inside the flight: it is
 		// oracle traffic, shared once per coalesced key like the query.
 		var isEdge bool
@@ -671,7 +707,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		if !isEdge {
 			return nil, badRequest("(%d,%d) is not an edge of the graph", u, v)
 		}
-		inst, err := s.build(d, src, p, prefetch, ten)
+		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -681,25 +717,30 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		}
 		st := statsOf(inst)
 		s.met.observeExec(st)
-		return edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+		ans := edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
+		return ans, nil
 	})
 	if err != nil {
 		s.failQuery(w, ten, err)
 		return
 	}
 	s.met.observeRequest("edge", time.Since(start))
+	s.logQuery(w, "edge", d.Name, ten, time.Since(start), ans)
 	writeJSON(w, http.StatusOK, ans)
 }
 
 type vertexAnswer struct {
-	Algo       string `json:"algo"`
-	V          int    `json:"v"`
-	In         bool   `json:"in"`
-	Probes     uint64 `json:"probes"`
-	RoundTrips uint64 `json:"round_trips,omitempty"`
-	Failovers  uint64 `json:"failovers,omitempty"`
-	Hedges     uint64 `json:"hedges,omitempty"`
+	Algo       string       `json:"algo"`
+	V          int          `json:"v"`
+	In         bool         `json:"in"`
+	Probes     uint64       `json:"probes"`
+	RoundTrips uint64       `json:"round_trips,omitempty"`
+	Failovers  uint64       `json:"failovers,omitempty"`
+	Hedges     uint64       `json:"hedges,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	Trace      []trace.Span `json:"trace,omitempty"`
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -719,7 +760,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v", "source", "prefetch")
+	p, err := queryParams(r, d, "v", "source", "prefetch", "trace")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -729,15 +770,23 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	forced, err := traceParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	v, err := vertexParam(r, ns.src, "v")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	key := s.queryKey("vertex", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("v=%d", v))
-	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
-		src := requestScoped(ns.src)
-		inst, err := s.build(d, src, p, prefetch, ten)
+	dec := s.traceDecision(forced)
+	key := s.queryKey("vertex", d.Name, ns.name, p, prefetch, dec, ten, fmt.Sprintf("v=%d", v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (_ any, ferr error) {
+		qt := dec.begin("query:vertex", v, d.Name)
+		defer func() { s.finishTrace(qt, oracle.Stats{}, ferr) }()
+		src := qt.scoped(ns.src)
+		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -747,25 +796,30 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		}
 		st := statsOf(inst)
 		s.met.observeExec(st)
-		return vertexAnswer{Algo: d.Name, V: v, In: in,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+		ans := vertexAnswer{Algo: d.Name, V: v, In: in,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
+		return ans, nil
 	})
 	if err != nil {
 		s.failQuery(w, ten, err)
 		return
 	}
 	s.met.observeRequest("vertex", time.Since(start))
+	s.logQuery(w, "vertex", d.Name, ten, time.Since(start), ans)
 	writeJSON(w, http.StatusOK, ans)
 }
 
 type labelAnswer struct {
-	Algo       string `json:"algo"`
-	V          int    `json:"v"`
-	Label      int    `json:"label"`
-	Probes     uint64 `json:"probes"`
-	RoundTrips uint64 `json:"round_trips,omitempty"`
-	Failovers  uint64 `json:"failovers,omitempty"`
-	Hedges     uint64 `json:"hedges,omitempty"`
+	Algo       string       `json:"algo"`
+	V          int          `json:"v"`
+	Label      int          `json:"label"`
+	Probes     uint64       `json:"probes"`
+	RoundTrips uint64       `json:"round_trips,omitempty"`
+	Failovers  uint64       `json:"failovers,omitempty"`
+	Hedges     uint64       `json:"hedges,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	Trace      []trace.Span `json:"trace,omitempty"`
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
@@ -785,7 +839,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "v", "source", "prefetch")
+	p, err := queryParams(r, d, "v", "source", "prefetch", "trace")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -795,15 +849,23 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	forced, err := traceParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	v, err := vertexParam(r, ns.src, "v")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	key := s.queryKey("label", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("v=%d", v))
-	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
-		src := requestScoped(ns.src)
-		inst, err := s.build(d, src, p, prefetch, ten)
+	dec := s.traceDecision(forced)
+	key := s.queryKey("label", d.Name, ns.name, p, prefetch, dec, ten, fmt.Sprintf("v=%d", v))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (_ any, ferr error) {
+		qt := dec.begin("query:label", v, d.Name)
+		defer func() { s.finishTrace(qt, oracle.Stats{}, ferr) }()
+		src := qt.scoped(ns.src)
+		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -813,23 +875,28 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		}
 		st := statsOf(inst)
 		s.met.observeExec(st)
-		return labelAnswer{Algo: d.Name, V: v, Label: label,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}, nil
+		ans := labelAnswer{Algo: d.Name, V: v, Label: label,
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
+		return ans, nil
 	})
 	if err != nil {
 		s.failQuery(w, ten, err)
 		return
 	}
 	s.met.observeRequest("label", time.Since(start))
+	s.logQuery(w, "label", d.Name, ten, time.Since(start), ans)
 	writeJSON(w, http.StatusOK, ans)
 }
 
 type estimateAnswer struct {
-	Algo       string  `json:"algo"`
-	Kind       string  `json:"kind"`
-	Fraction   float64 `json:"fraction"`
-	ErrorBound float64 `json:"error_bound"`
-	Samples    int     `json:"samples"`
+	Algo       string       `json:"algo"`
+	Kind       string       `json:"kind"`
+	Fraction   float64      `json:"fraction"`
+	ErrorBound float64      `json:"error_bound"`
+	Samples    int          `json:"samples"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	Trace      []trace.Span `json:"trace,omitempty"`
 }
 
 // handleEstimate estimates the solution fraction of any edge- or
@@ -856,12 +923,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, err := queryParams(r, d, "samples", "source", "prefetch")
+	p, err := queryParams(r, d, "samples", "source", "prefetch", "trace")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	prefetch, err := prefetchParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	forced, err := traceParam(r)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -876,13 +948,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		samples = parsed
 	}
 	const delta = 0.05
-	key := s.queryKey("estimate", d.Name, ns.name, p, prefetch, ten, fmt.Sprintf("samples=%d", samples))
-	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (any, error) {
-		src := requestScoped(ns.src)
+	dec := s.traceDecision(forced)
+	key := s.queryKey("estimate", d.Name, ns.name, p, prefetch, dec, ten, fmt.Sprintf("samples=%d", samples))
+	ans, err, _ := s.flights.do(key, s.met.coalesced.Inc, func() (_ any, flightErr error) {
+		qt := dec.begin("query:estimate", -1, d.Name)
+		defer func() { s.finishTrace(qt, oracle.Stats{}, flightErr) }()
+		src := qt.scoped(ns.src)
+		wrap := func(o oracle.Oracle) oracle.Oracle { return ten.budgetWrapTraced(o, qt.tracer()) }
 		var res estimate.Result
 		var ferr error
 		if perr := runProbing(func() {
-			res, ferr = estimate.FractionOver(d, src, s.seed, p, samples, delta, prefetch, ten.budgetWrap)
+			res, ferr = estimate.FractionOver(d, src, s.seed, p, samples, delta, prefetch, wrap)
 		}); perr != nil {
 			return nil, perr
 		}
@@ -891,18 +967,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			// parameter values, which are the client's.
 			return nil, badRequest("%v", ferr)
 		}
-		return estimateAnswer{
+		ans := estimateAnswer{
 			Algo:       d.Name,
 			Kind:       string(d.Kind),
 			Fraction:   res.Fraction,
 			ErrorBound: res.ErrorBound,
 			Samples:    res.Samples,
-		}, nil
+		}
+		ans.TraceID, ans.Trace = s.finishTrace(qt, oracle.Stats{}, nil)
+		return ans, nil
 	})
 	if err != nil {
 		s.failQuery(w, ten, err)
 		return
 	}
 	s.met.observeRequest("estimate", time.Since(start))
+	s.logQuery(w, "estimate", d.Name, ten, time.Since(start), ans)
 	writeJSON(w, http.StatusOK, ans)
 }

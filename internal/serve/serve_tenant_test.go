@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -216,7 +217,7 @@ func TestCoalescingChargedOnce(t *testing.T) {
 		if codes[i] != 200 {
 			t.Fatalf("request %d: status %d", i, codes[i])
 		}
-		if answers[i] != answers[0] {
+		if !reflect.DeepEqual(answers[i], answers[0]) {
 			t.Fatalf("coalesced answers diverge: %+v vs %+v", answers[i], answers[0])
 		}
 	}

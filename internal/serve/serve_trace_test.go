@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lca/internal/source"
+	"lca/internal/trace"
+)
+
+// spanTreeConsistent checks the structural invariants of a span tree as
+// serialized into answers and /traces records: ids dense from 1, every
+// parent either 0 (root level) or an already-seen id, timestamps set.
+func spanTreeConsistent(t *testing.T, spans []trace.Span) {
+	t.Helper()
+	for i, s := range spans {
+		if s.ID != uint32(i+1) {
+			t.Fatalf("span %d has id %d, want dense ids starting at 1", i, s.ID)
+		}
+		if s.Parent >= s.ID {
+			t.Fatalf("span %d parent %d not an earlier id", s.ID, s.Parent)
+		}
+		if s.Op == "" {
+			t.Fatalf("span %d has empty op", s.ID)
+		}
+		if s.Start <= 0 || s.Duration < 0 {
+			t.Fatalf("span %d times start=%d duration=%d", s.ID, s.Start, s.Duration)
+		}
+	}
+}
+
+// TestTraceWirePropagation is the stitching end-to-end: a sharded query
+// through two loopback lcaserve-shaped shards yields ONE span tree —
+// the client's query/probe/rpc spans plus the shard-side spans each
+// probe response carried back over X-LCA-Trace — and the same tree is
+// retrievable from /traces/{id}.
+func TestTraceWirePropagation(t *testing.T) {
+	shardA := NewFromSource(source.Ring(50), "ring:n=50", 42)
+	tsA := httptest.NewServer(shardA.Handler())
+	t.Cleanup(tsA.Close)
+	shardB := NewFromSource(source.Ring(50), "ring:n=50", 42)
+	tsB := httptest.NewServer(shardB.Handler())
+	t.Cleanup(tsB.Close)
+
+	spec := "sharded:remote:" + tsA.URL + ";remote:" + tsB.URL
+	src, err := source.Parse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFromSource(src, spec, 42)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var ans struct {
+		In         bool         `json:"in"`
+		Probes     uint64       `json:"probes"`
+		RoundTrips uint64       `json:"round_trips"`
+		TraceID    string       `json:"trace_id"`
+		Trace      []trace.Span `json:"trace"`
+	}
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=7&trace=1", &ans); code != 200 {
+		t.Fatalf("traced query: status %d", code)
+	}
+	if len(ans.TraceID) != 16 {
+		t.Fatalf("trace_id %q, want 16 hex digits", ans.TraceID)
+	}
+	if ans.RoundTrips == 0 {
+		t.Fatal("sharded query reported zero round trips")
+	}
+	spanTreeConsistent(t, ans.Trace)
+
+	if ans.Trace[0].Op != "query:vertex" || ans.Trace[0].Parent != 0 {
+		t.Fatalf("first span = %+v, want root query:vertex", ans.Trace[0])
+	}
+	ops := make(map[uint32]string, len(ans.Trace))
+	for _, s := range ans.Trace {
+		ops[s.ID] = s.Op
+	}
+	var rpcs, shards int
+	for _, s := range ans.Trace {
+		switch {
+		case strings.HasPrefix(s.Op, "rpc:"):
+			rpcs++
+		case strings.HasPrefix(s.Op, "shard:"):
+			shards++
+			// The wire-stitched shard span must hang under the client rpc
+			// span for the round trip that carried it back.
+			if !strings.HasPrefix(ops[s.Parent], "rpc:") {
+				t.Fatalf("shard span %+v parented under %q, want an rpc: span", s, ops[s.Parent])
+			}
+		}
+	}
+	if rpcs == 0 {
+		t.Fatal("stitched tree has no rpc: spans")
+	}
+	if shards == 0 {
+		t.Fatal("stitched tree has no shard-side spans; X-LCA-Trace did not propagate")
+	}
+
+	// The forced trace is retained: /traces lists it and /traces/{id}
+	// returns the same tree.
+	var rec trace.Record
+	if code := getJSON(t, ts.URL+TracesPath+"/"+ans.TraceID, &rec); code != 200 {
+		t.Fatalf("GET %s/%s: status %d", TracesPath, ans.TraceID, code)
+	}
+	if rec.ID != ans.TraceID || len(rec.Spans) != len(ans.Trace) {
+		t.Fatalf("retained record id=%q spans=%d, answer id=%q spans=%d",
+			rec.ID, len(rec.Spans), ans.TraceID, len(ans.Trace))
+	}
+	if rec.Root != "query:vertex" || rec.Probes != ans.Probes || rec.RoundTrips != ans.RoundTrips {
+		t.Fatalf("record %+v does not match answer (probes=%d round_trips=%d)", rec, ans.Probes, ans.RoundTrips)
+	}
+	spanTreeConsistent(t, rec.Spans)
+
+	var listing struct {
+		Traces   []trace.Record `json:"traces"`
+		Captured uint64         `json:"captured"`
+	}
+	if code := getJSON(t, ts.URL+TracesPath, &listing); code != 200 {
+		t.Fatalf("GET %s: status %d", TracesPath, code)
+	}
+	if listing.Captured == 0 || len(listing.Traces) == 0 {
+		t.Fatalf("listing captured=%d traces=%d, want the forced trace retained", listing.Captured, len(listing.Traces))
+	}
+	if listing.Traces[0].ID != ans.TraceID {
+		t.Fatalf("newest listed trace %q, want %q", listing.Traces[0].ID, ans.TraceID)
+	}
+}
+
+// TestUntracedAnswerOmitsTrace: without ?trace=1 and with no sampler
+// configured, answers carry no trace fields and nothing is retained.
+func TestUntracedAnswerOmitsTrace(t *testing.T) {
+	srv := NewFromSource(source.Ring(64), "ring:n=64", 42)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var raw map[string]any
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=3", &raw); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if _, ok := raw["trace_id"]; ok {
+		t.Fatal("untraced answer carries trace_id")
+	}
+	if _, ok := raw["trace"]; ok {
+		t.Fatal("untraced answer carries a span tree")
+	}
+	var listing struct {
+		Traces   []trace.Record `json:"traces"`
+		Captured uint64         `json:"captured"`
+	}
+	if code := getJSON(t, ts.URL+TracesPath, &listing); code != 200 {
+		t.Fatalf("GET %s: status %d", TracesPath, code)
+	}
+	if listing.Captured != 0 || len(listing.Traces) != 0 {
+		t.Fatalf("untraced server retained %d traces", listing.Captured)
+	}
+}
+
+// TestSlowQueryCapture: with a slow-probes threshold every query is
+// traced behind the scenes, over-threshold ones land in the slow ring,
+// and un-forced answers still omit the tree (capture is server-side).
+func TestSlowQueryCapture(t *testing.T) {
+	srv := NewFromSource(source.Ring(64), "ring:n=64", 42,
+		WithSlowQuery(0, 1)) // >1 probe = slow: everything qualifies
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var raw map[string]any
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=3", &raw); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if _, ok := raw["trace_id"]; ok {
+		t.Fatal("slow-capture answer carries trace_id; capture must be server-side only")
+	}
+	var listing struct {
+		Traces []trace.Record `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+TracesPath+"?slow=1", &listing); code != 200 {
+		t.Fatalf("GET %s?slow=1: status %d", TracesPath, code)
+	}
+	if len(listing.Traces) != 1 {
+		t.Fatalf("slow ring holds %d traces, want 1", len(listing.Traces))
+	}
+	rec := listing.Traces[0]
+	if !rec.Slow || rec.Probes <= 1 || rec.Root != "query:vertex" {
+		t.Fatalf("slow record %+v, want slow vertex query with >1 probes", rec)
+	}
+	spanTreeConsistent(t, rec.Spans)
+	if dur := time.Duration(rec.DurationUS) * time.Microsecond; dur < 0 {
+		t.Fatalf("negative duration %v", dur)
+	}
+}

@@ -34,6 +34,8 @@ import (
 
 	"lca/internal/metrics"
 	"lca/internal/oracle"
+	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 // TokenHeader is the dedicated tenant-token request header. The standard
@@ -120,14 +122,28 @@ func (t *tenantState) admit(now time.Time) bool {
 // budgetWrap applies the tenant's per-query budgets to a freshly built
 // oracle chain; a nil state (open server) leaves the chain unchanged.
 func (t *tenantState) budgetWrap(o oracle.Oracle) oracle.Oracle {
+	return t.budgetWrapTraced(o, nil)
+}
+
+// budgetWrapTraced is budgetWrap with the execution's tracer attached
+// to each budget wrapper, so an exhaustion marks the exact probe in the
+// query's span tree. A nil tracer (untraced execution) leaves the
+// wrappers silent.
+func (t *tenantState) budgetWrapTraced(o oracle.Oracle, tr *trace.Tracer) oracle.Oracle {
 	if t == nil {
 		return o
 	}
 	if t.ProbeBudget > 0 {
-		o = oracle.NewLimit(o, t.ProbeBudget)
+		lo := oracle.NewLimit(o, t.ProbeBudget)
+		lo.SetTracer(tr)
+		o = lo
 	}
 	if t.RoundTripBudget > 0 {
-		o = oracle.NewLimitTrips(o, t.RoundTripBudget)
+		lt := oracle.NewLimitTrips(o, t.RoundTripBudget)
+		if ts, ok := lt.(source.TracerSetter); ok {
+			ts.SetTracer(tr)
+		}
+		o = lt
 	}
 	return o
 }

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lca/internal/trace"
 )
 
 // Shard health states.
@@ -97,12 +99,23 @@ func (t *tripCount) load() uint64 {
 }
 
 // scopeSink accumulates one view's transport accounting: round trips,
-// failovers and hedges. The nil sink (unscoped probing) is valid
+// failovers and hedges, plus the request's tracer when the view is
+// traced (TracerSetter). The nil sink (unscoped probing) is valid
 // everywhere.
 type scopeSink struct {
 	trips tripCount
 	fo    atomic.Uint64
 	he    atomic.Uint64
+	tr    *trace.Tracer
+}
+
+// tracer returns the view's tracer, nil for untraced or unscoped
+// probing.
+func (s *scopeSink) tracer() *trace.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
 }
 
 func (s *scopeSink) tripsCounter() *tripCount {

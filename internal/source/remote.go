@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lca/internal/rnd"
+	"lca/internal/trace"
 )
 
 // ProbeError is the panic payload raised by network-backed sources when a
@@ -235,7 +236,7 @@ func (r *Remote) Caps() Caps {
 		c.MaxDegree = func() int { return d }
 	}
 	if r.hasRE {
-		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return r.randomEdge(nil, prg) }
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return r.randomEdge(probeScope{}, prg) }
 	}
 	return c
 }
@@ -248,10 +249,10 @@ func (r *Remote) Base() string { return r.base }
 func (r *Remote) N() int { return r.n }
 
 // Degree implements Source.
-func (r *Remote) Degree(v int) int { return r.probe(nil, OpDegree, v, 0) }
+func (r *Remote) Degree(v int) int { return r.probe(probeScope{}, OpDegree, v, 0) }
 
 // Neighbor implements Source.
-func (r *Remote) Neighbor(v, i int) int { return r.probe(nil, OpNeighbor, v, i) }
+func (r *Remote) Neighbor(v, i int) int { return r.probe(probeScope{}, OpNeighbor, v, i) }
 
 // Adjacency implements Source.
 func (r *Remote) Adjacency(u, v int) int {
@@ -260,7 +261,7 @@ func (r *Remote) Adjacency(u, v int) int {
 	if u < 0 || u >= r.n || v < 0 || v >= r.n {
 		return -1
 	}
-	return r.probe(nil, OpAdjacency, u, v)
+	return r.probe(probeScope{}, OpAdjacency, u, v)
 }
 
 // RoundTrips implements RoundTripCounter: logical shard requests issued so
@@ -306,8 +307,8 @@ func (r *Remote) Close() error {
 // uint64 drawn from the caller's PRG becomes the shard-side sampling seed,
 // so the answer is a deterministic function of the caller's PRG state and
 // identical on every replica of the graph.
-func (r *Remote) randomEdge(tc *tripCount, prg *rnd.PRG) (int, int) {
-	u, v, err := r.randomEdgeScoped(tc, prg.Uint64())
+func (r *Remote) randomEdge(ps probeScope, prg *rnd.PRG) (int, int) {
+	u, v, err := r.randomEdgeScoped(ps, prg.Uint64())
 	if err != nil {
 		panic(err)
 	}
@@ -316,35 +317,34 @@ func (r *Remote) randomEdge(tc *tripCount, prg *rnd.PRG) (int, int) {
 
 // randomEdgeScoped is the error-returning seeded sampler shared by the
 // public capability and Sharded's failover path.
-func (r *Remote) randomEdgeScoped(tc *tripCount, seed uint64) (int, int, *ProbeError) {
+func (r *Remote) randomEdgeScoped(ps probeScope, seed uint64) (int, int, *ProbeError) {
 	reqURL := fmt.Sprintf("%s/probe?op=%s&seed=%d%s", r.base, OpRandomEdge, seed, r.sourceParam())
 	var ans randomEdgeAnswer
-	if err := r.getJSON(tc, reqURL, &ans); err != nil {
+	if err := r.doJSON(context.Background(), ps, "rpc:randomedge", -1, nil, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
+	}, &ans); err != nil {
 		return 0, 0, &ProbeError{Shard: r.base, Op: OpRandomEdge, Status: statusOf(err), Err: err}
 	}
 	return ans.U, ans.V, nil
 }
 
-func (r *Remote) probe(tc *tripCount, op string, a, b int) int {
-	ans, err := r.probeScoped(context.Background(), tc, op, a, b)
+func (r *Remote) probe(ps probeScope, op string, a, b int) int {
+	ans, err := r.probeScoped(context.Background(), ps, op, a, b)
 	if err != nil {
 		panic(err)
 	}
 	return ans
 }
 
-// probeScoped issues one scalar probe, attributing the round trip to tc
-// (nil: unscoped) and honouring ctx cancellation — the hedging hook: the
-// loser of a hedged race is cancelled rather than completed.
-func (r *Remote) probeScoped(ctx context.Context, tc *tripCount, op string, a, b int) (int, *ProbeError) {
+// probeScoped issues one scalar probe, attributing the round trip to
+// ps.tc (nil: unscoped), recording an rpc span when ps is traced, and
+// honouring ctx cancellation — the hedging hook: the loser of a hedged
+// race is cancelled rather than completed.
+func (r *Remote) probeScoped(ctx context.Context, ps probeScope, op string, a, b int) (int, *ProbeError) {
 	probeURL := fmt.Sprintf("%s/probe?op=%s&a=%d&b=%d%s", r.base, op, a, b, r.sourceParam())
 	var ans probeAnswer
-	if err := r.doJSON(ctx, tc, func(ctx context.Context) (*http.Response, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
-		if err != nil {
-			return nil, err
-		}
-		return r.client.Do(req)
+	if err := r.doJSON(ctx, ps, rpcSpanOp(op), a, nil, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
 	}, &ans); err != nil {
 		return 0, &ProbeError{Shard: r.base, Op: op, A: a, B: b, Status: statusOf(err), Err: err}
 	}
@@ -353,11 +353,11 @@ func (r *Remote) probeScoped(ctx context.Context, tc *tripCount, op string, a, b
 
 // ProbeBatch implements BatchProber with one POST round trip.
 func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
-	return r.batchScoped(nil, probes)
+	return r.batchScoped(probeScope{}, probes)
 }
 
 // batchScoped is ProbeBatch with per-view trip attribution.
-func (r *Remote) batchScoped(tc *tripCount, probes []ProbeReq) ([]int, error) {
+func (r *Remote) batchScoped(ps probeScope, probes []ProbeReq) ([]int, error) {
 	if len(probes) == 0 {
 		return nil, nil
 	}
@@ -366,14 +366,18 @@ func (r *Remote) batchScoped(tc *tripCount, probes []ProbeReq) ([]int, error) {
 		return nil, err
 	}
 	batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
+	var tags []string
+	if ps.tr != nil {
+		tags = []string{fmt.Sprintf("batch=%d", len(probes))}
+	}
 	var out probeBatchAnswer
-	if err := r.doJSON(context.Background(), tc, func(ctx context.Context) (*http.Response, error) {
+	if err := r.doJSON(context.Background(), ps, "rpc:batch", -1, tags, func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, batchURL, strings.NewReader(string(body)))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		return r.client.Do(req)
+		return req, nil
 	}, &out); err != nil {
 		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes), Status: statusOf(err), Err: err}
 	}
@@ -390,7 +394,7 @@ func (r *Remote) metaURL() string {
 
 func (r *Remote) fetchMeta() (probeMeta, error) {
 	var meta probeMeta
-	if err := r.getJSON(nil, r.metaURL(), &meta); err != nil {
+	if err := r.getJSON(r.metaURL(), &meta); err != nil {
 		return meta, fmt.Errorf("source: remote: %s is not answering as a probe shard: %w", r.base, err)
 	}
 	if meta.N < 0 || meta.N > MaxVertices {
@@ -406,39 +410,78 @@ func (r *Remote) sourceParam() string {
 	return "&source=" + url.QueryEscape(r.name)
 }
 
-func (r *Remote) getJSON(tc *tripCount, u string, out any) error {
-	return r.doJSON(context.Background(), tc, func(ctx context.Context) (*http.Response, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return nil, err
-		}
-		return r.client.Do(req)
+// getJSON fetches one unscoped, untraced document (the meta plane).
+func (r *Remote) getJSON(u string, out any) error {
+	return r.doJSON(context.Background(), probeScope{}, "rpc:meta", -1, nil, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	}, out)
 }
 
-// doJSON issues the request with retry-with-backoff and decodes a 200
-// body into out. Transport errors, 5xx and 429 retry; other statuses are
-// terminal (the request itself is wrong, sending it again cannot help).
-// One logical request counts one round trip — on the shared counter and,
-// when scoped, on tc — regardless of retries. ctx cancellation aborts
-// both in-flight attempts and backoff sleeps.
-func (r *Remote) doJSON(ctx context.Context, tc *tripCount, do func(context.Context) (*http.Response, error), out any) error {
+// traceCarrier is implemented by wire answer bodies that can carry a
+// shard's server-side spans back to the client (wire.go).
+type traceCarrier interface {
+	traceSpans() []trace.Span
+}
+
+// doJSON issues one logical request with retry-with-backoff and decodes
+// a 200 body into out. Transport errors, 5xx and 429 retry; other
+// statuses are terminal (the request itself is wrong, sending it again
+// cannot help). One logical request counts one round trip — on the
+// shared counter and, when scoped, on ps.tc — regardless of retries.
+// When ps is traced, the logical request records one rpc span under
+// ps.parent (retries fold into an attempts tag), every attempt carries
+// the X-LCA-Trace header, and shard-side spans returned in the answer
+// are grafted under the rpc span. ctx cancellation aborts both
+// in-flight attempts and backoff sleeps.
+func (r *Remote) doJSON(ctx context.Context, ps probeScope, spanOp string, target int, tags []string, build func(context.Context) (*http.Request, error), out any) error {
 	r.requests.add(1)
-	tc.add(1)
+	ps.tc.add(1)
+	if ps.tr == nil {
+		_, err := r.attempt(ctx, "", build, out)
+		return err
+	}
+	h := ps.tr.StartUnder(ps.parent, spanOp, target)
+	attempts, err := r.attempt(ctx, trace.FormatHeader(ps.tr.ID(), h.ID()), build, out)
+	if err == nil {
+		if c, ok := out.(traceCarrier); ok {
+			ps.tr.Merge(h.ID(), c.traceSpans())
+		}
+	}
+	if attempts > 1 {
+		tags = append(tags, fmt.Sprintf("attempts=%d", attempts))
+	}
+	if err != nil {
+		tags = append(tags, "error")
+	}
+	ps.tr.End(h, tags...)
+	return err
+}
+
+// attempt runs doJSON's retry loop, reporting how many attempts the
+// logical request took.
+func (r *Remote) attempt(ctx context.Context, traceHdr string, build func(context.Context) (*http.Request, error), out any) (attempts int, _ error) {
 	var last error
-	for attempt := 0; attempt <= r.retries; attempt++ {
-		if attempt > 0 {
+	for a := 0; a <= r.retries; a++ {
+		attempts = a + 1
+		if a > 0 {
 			select {
 			case <-ctx.Done():
-				return fmt.Errorf("%w (cancelled after %d attempts)", last, attempt)
-			case <-time.After(r.backoff << (attempt - 1)):
+				return attempts, fmt.Errorf("%w (cancelled after %d attempts)", last, a)
+			case <-time.After(r.backoff << (a - 1)):
 			}
 		}
-		resp, err := do(ctx)
+		req, err := build(ctx)
+		if err != nil {
+			return attempts, err
+		}
+		if traceHdr != "" {
+			req.Header.Set(trace.Header, traceHdr)
+		}
+		resp, err := r.client.Do(req)
 		if err != nil {
 			last = err
 			if ctx.Err() != nil {
-				return last
+				return attempts, last
 			}
 			continue
 		}
@@ -453,14 +496,14 @@ func (r *Remote) doJSON(ctx context.Context, tc *tripCount, do func(context.Cont
 				last = fmt.Errorf("malformed shard response: %w", err)
 				continue
 			}
-			return nil
+			return attempts, nil
 		}
 		last = &statusError{status: resp.StatusCode, msg: shardErrText(body)}
 		if resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
-			return last
+			return attempts, last
 		}
 	}
-	return fmt.Errorf("%w (after %d attempts)", last, r.retries+1)
+	return attempts, fmt.Errorf("%w (after %d attempts)", last, r.retries+1)
 }
 
 // shardErrText extracts the error envelope's message, falling back to the
@@ -478,10 +521,12 @@ func shardErrText(body []byte) string {
 }
 
 // remoteScope is the TripScoper view of a Remote: same shard, same
-// connections, round trips counted into the view's own counter.
+// connections, round trips counted into the view's own counter, spans
+// recorded into the view's tracer when one is set.
 type remoteScope struct {
 	r  *Remote
 	tc *tripCount
+	tr *trace.Tracer
 }
 
 var (
@@ -489,23 +534,36 @@ var (
 	_ CapSource        = (*remoteScope)(nil)
 	_ BatchProber      = (*remoteScope)(nil)
 	_ RoundTripCounter = (*remoteScope)(nil)
+	_ TracerSetter     = (*remoteScope)(nil)
 )
+
+// SetTracer implements TracerSetter: subsequent probes through this
+// view record rpc spans (and stitch the shard's spans) into tr. Set it
+// before probing; the view is per-request, not concurrent with setup.
+func (s *remoteScope) SetTracer(tr *trace.Tracer) { s.tr = tr }
+
+// scope captures the per-call probe scope. The parent is read at call
+// time: this view is probed serially (by the query's oracle stack), so
+// the tracer's implicit parent is the enclosing oracle span.
+func (s *remoteScope) scope() probeScope {
+	return probeScope{tc: s.tc, tr: s.tr, parent: s.tr.Parent()}
+}
 
 func (s *remoteScope) N() int { return s.r.n }
 
-func (s *remoteScope) Degree(v int) int { return s.r.probe(s.tc, OpDegree, v, 0) }
+func (s *remoteScope) Degree(v int) int { return s.r.probe(s.scope(), OpDegree, v, 0) }
 
-func (s *remoteScope) Neighbor(v, i int) int { return s.r.probe(s.tc, OpNeighbor, v, i) }
+func (s *remoteScope) Neighbor(v, i int) int { return s.r.probe(s.scope(), OpNeighbor, v, i) }
 
 func (s *remoteScope) Adjacency(u, v int) int {
 	if u < 0 || u >= s.r.n || v < 0 || v >= s.r.n {
 		return -1
 	}
-	return s.r.probe(s.tc, OpAdjacency, u, v)
+	return s.r.probe(s.scope(), OpAdjacency, u, v)
 }
 
 func (s *remoteScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
-	return s.r.batchScoped(s.tc, probes)
+	return s.r.batchScoped(s.scope(), probes)
 }
 
 // Caps forwards the remote's capability view, with RandomEdge attributed
@@ -513,7 +571,7 @@ func (s *remoteScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
 func (s *remoteScope) Caps() Caps {
 	c := s.r.Caps()
 	if c.RandomEdge != nil {
-		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.r.randomEdge(s.tc, prg) }
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.r.randomEdge(s.scope(), prg) }
 	}
 	return c
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lca/internal/rnd"
+	"lca/internal/trace"
 )
 
 // Failure-handling defaults, overridable per fleet with the options below.
@@ -44,15 +45,17 @@ const (
 )
 
 // scopedProber is the internal seam between a fleet and its network
-// shards: probes carry the per-view trip counter down, so request-scoped
-// accounting (TripScoper) attributes every shard request — failover
-// retries and hedges included — to the view that caused it. *Remote
-// implements it; shards without it (local backends, nested fleets) are
-// probed through the plain Source interface.
+// shards: probes carry the per-view probe scope (trip counter, tracer,
+// parent span) down, so request-scoped accounting (TripScoper)
+// attributes every shard request — failover retries and hedges included
+// — to the view that caused it, and a traced request's rpc spans land
+// under the right probe span. *Remote implements it; shards without it
+// (local backends, nested fleets) are probed through the plain Source
+// interface.
 type scopedProber interface {
-	probeScoped(ctx context.Context, tc *tripCount, op string, a, b int) (int, *ProbeError)
-	batchScoped(tc *tripCount, probes []ProbeReq) ([]int, error)
-	randomEdgeScoped(tc *tripCount, seed uint64) (int, int, *ProbeError)
+	probeScoped(ctx context.Context, ps probeScope, op string, a, b int) (int, *ProbeError)
+	batchScoped(ps probeScope, probes []ProbeReq) ([]int, error)
+	randomEdgeScoped(ps probeScope, seed uint64) (int, int, *ProbeError)
 }
 
 // Sharded fans probes out across replica shards. Construct with
@@ -388,6 +391,9 @@ func (s *Sharded) degree(sink *scopeSink, v int) int {
 	k := probeKey{op: opDeg, ab: packProbe(v, 0)}
 	if s.cache != nil {
 		if ans, ok := s.cache.get(k); ok {
+			if tr := sink.tracer(); tr != nil {
+				tr.Event("probe:degree", v, "cache-hit")
+			}
 			return ans
 		}
 	}
@@ -408,6 +414,9 @@ func (s *Sharded) neighbor(sink *scopeSink, v, i int) int {
 	k := probeKey{op: opNbr, ab: packProbe(v, i)}
 	if s.cache != nil {
 		if ans, ok := s.cache.get(k); ok {
+			if tr := sink.tracer(); tr != nil {
+				tr.Event("probe:neighbor", v, "cache-hit")
+			}
 			return ans
 		}
 	}
@@ -433,6 +442,9 @@ func (s *Sharded) adjacency(sink *scopeSink, u, v int) int {
 	k := probeKey{op: opAdj, ab: packProbe(u, v)}
 	if s.cache != nil {
 		if ans, ok := s.cache.get(k); ok {
+			if tr := sink.tracer(); tr != nil {
+				tr.Event("probe:adjacency", u, "cache-hit")
+			}
 			return ans
 		}
 	}
@@ -451,6 +463,29 @@ func (s *Sharded) adjacency(sink *scopeSink, u, v int) int {
 // source contract. Non-temporary failures (4xx: the request itself is
 // wrong) propagate immediately; no replica would answer differently.
 func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
+	tr := sink.tracer()
+	var h trace.Handle
+	var tagFailover, tagHedge, tagHedgeWon, done bool
+	if tr != nil {
+		h = tr.Start(probeSpanOp(op), a)
+		defer func() {
+			tags := make([]string, 0, 4)
+			if tagFailover {
+				tags = append(tags, "failover")
+			}
+			if tagHedge {
+				tags = append(tags, "hedge")
+			}
+			if tagHedgeWon {
+				tags = append(tags, "hedge-won")
+			}
+			if !done {
+				tags = append(tags, "error")
+			}
+			tr.End(h, tags...)
+		}()
+	}
+	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
 	var exclude []bool
 	var lastErr error
 	for tries := 0; tries <= len(s.shards); tries++ {
@@ -459,13 +494,15 @@ func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
 			break
 		}
 		var ans, served int
+		var hedged bool
 		var perr *ProbeError
 		var failed []shardFailure
 		if s.hedge > 0 && secondary >= 0 {
-			ans, served, failed, perr = s.hedgedProbe(sink, primary, secondary, op, a, b)
+			ans, served, hedged, failed, perr = s.hedgedProbe(sink, ps, primary, secondary, op, a, b)
+			tagHedge = tagHedge || hedged
 		} else {
 			served = primary
-			ans, perr = s.probeOnShard(context.Background(), sink, primary, op, a, b)
+			ans, perr = s.probeOnShard(context.Background(), ps, primary, op, a, b)
 			if perr != nil && perr.Temporary() {
 				failed = []shardFailure{{i: primary, err: perr}}
 			}
@@ -489,7 +526,12 @@ func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
 			}
 			if primary != want || (served != primary && primaryFailed) {
 				s.noteFailover(sink)
+				tagFailover = true
 			}
+			if hedged && served != primary && !primaryFailed {
+				tagHedgeWon = true
+			}
+			done = true
 			return ans
 		}
 		if !perr.Temporary() {
@@ -526,15 +568,15 @@ type hedgeResult struct {
 // hedgedProbe races primary against secondary: secondary is fired when
 // primary errors (failover) or exceeds the hedge delay (hedge); the first
 // success wins and the loser's request is cancelled via context. Returns
-// the temporary failures observed so the caller can record and exclude
-// them.
-func (s *Sharded) hedgedProbe(sink *scopeSink, primary, secondary int, op string, a, b int) (ans, served int, failed []shardFailure, perr *ProbeError) {
+// whether the hedge timer fired and the temporary failures observed so
+// the caller can record and exclude them.
+func (s *Sharded) hedgedProbe(sink *scopeSink, ps probeScope, primary, secondary int, op string, a, b int) (ans, served int, hedged bool, failed []shardFailure, perr *ProbeError) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ch := make(chan hedgeResult, 2)
 	launch := func(i int) {
 		go func() {
-			ans, err := s.probeOnShard(ctx, sink, i, op, a, b)
+			ans, err := s.probeOnShard(ctx, ps, i, op, a, b)
 			ch <- hedgeResult{ans: ans, err: err, shard: i}
 		}()
 	}
@@ -557,10 +599,10 @@ func (s *Sharded) hedgedProbe(sink *scopeSink, primary, secondary int, op string
 					// hedge delay. Pure cancellations are not failures.
 					go s.harvestLoser(ch)
 				}
-				return res.ans, res.shard, failed, nil
+				return res.ans, res.shard, hedged, failed, nil
 			}
 			if !res.err.Temporary() {
-				return 0, 0, failed, res.err
+				return 0, 0, hedged, failed, res.err
 			}
 			failed = append(failed, shardFailure{i: res.shard, err: res.err})
 			if launched == 1 {
@@ -569,11 +611,12 @@ func (s *Sharded) hedgedProbe(sink *scopeSink, primary, secondary int, op string
 				launch(secondary)
 				launched = 2
 			} else if settled == launched {
-				return 0, 0, failed, res.err
+				return 0, 0, hedged, failed, res.err
 			}
 		case <-timer.C:
 			if launched == 1 {
 				s.noteHedge(sink)
+				hedged = true
 				launch(secondary)
 				launched = 2
 			}
@@ -596,10 +639,10 @@ func (s *Sharded) harvestLoser(ch <-chan hedgeResult) {
 // the scoped path (per-view trip attribution, context cancellation for
 // hedging); other shards are called directly with *ProbeError panics
 // recovered — a nested network-backed shard fails like a flat one.
-func (s *Sharded) probeOnShard(ctx context.Context, sink *scopeSink, i int, op string, a, b int) (ans int, perr *ProbeError) {
+func (s *Sharded) probeOnShard(ctx context.Context, ps probeScope, i int, op string, a, b int) (ans int, perr *ProbeError) {
 	sh := s.shards[i]
 	if sp, ok := sh.(scopedProber); ok {
-		return sp.probeScoped(ctx, sink.tripsCounter(), op, a, b)
+		return sp.probeScoped(ctx, ps, op, a, b)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -628,6 +671,23 @@ func (s *Sharded) probeOnShard(ctx context.Context, sink *scopeSink, i int, op s
 // answer identically — and a failing replica is simply skipped (and
 // marked) in favour of the next live one.
 func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
+	tr := sink.tracer()
+	var h trace.Handle
+	var tagFailover, done bool
+	if tr != nil {
+		h = tr.Start("probe:randomedge", -1)
+		defer func() {
+			tags := make([]string, 0, 2)
+			if tagFailover {
+				tags = append(tags, "failover")
+			}
+			if !done {
+				tags = append(tags, "error")
+			}
+			tr.End(h, tags...)
+		}()
+	}
+	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
 	seed := prg.Uint64()
 	derived := rnd.Seed(seed).Derive(0x5e)
 	var live []int
@@ -644,12 +704,14 @@ func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
 	var lastErr error
 	for k := range live {
 		i := live[(start+k)%len(live)]
-		u, v, perr := s.randomEdgeOnShard(sink, i, derived)
+		u, v, perr := s.randomEdgeOnShard(ps, i, derived)
 		if perr == nil {
 			s.health[i].noteSuccess()
 			if k > 0 {
 				s.noteFailover(sink)
+				tagFailover = true
 			}
+			done = true
 			return u, v
 		}
 		if !perr.Temporary() {
@@ -662,12 +724,12 @@ func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
 		Err: fmt.Errorf("no live replica can serve a random-edge probe: %w", lastErr)})
 }
 
-func (s *Sharded) randomEdgeOnShard(sink *scopeSink, i int, derived rnd.Seed) (u, v int, perr *ProbeError) {
+func (s *Sharded) randomEdgeOnShard(ps probeScope, i int, derived rnd.Seed) (u, v int, perr *ProbeError) {
 	if sp, ok := s.shards[i].(scopedProber); ok {
 		// The wire seed is the first draw of the derived PRG — exactly what
 		// a local sampler would consume — so local and remote replicas of a
 		// deterministic sampler agree.
-		return sp.randomEdgeScoped(sink.tripsCounter(), rnd.NewPRG(derived).Uint64())
+		return sp.randomEdgeScoped(ps, rnd.NewPRG(derived).Uint64())
 	}
 	re, ok := RandomEdgerOf(s.shards[i])
 	if !ok {
@@ -707,6 +769,25 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 	if len(probes) > MaxProbeBatch {
 		return nil, fmt.Errorf("source: sharded: probe batch of %d exceeds the maximum %d", len(probes), MaxProbeBatch)
 	}
+	tr := sink.tracer()
+	var h trace.Handle
+	var hits int
+	done := false
+	if tr != nil {
+		h = tr.Start("probe:batch", -1)
+		defer func() {
+			tags := make([]string, 0, 3)
+			tags = append(tags, fmt.Sprintf("batch=%d", len(probes)))
+			if hits > 0 {
+				tags = append(tags, fmt.Sprintf("cache-hits=%d", hits))
+			}
+			if !done {
+				tags = append(tags, "error")
+			}
+			tr.End(h, tags...)
+		}()
+	}
+	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
 	answers := make([]int, len(probes))
 	var pending []int // indices still needing a backend answer
 	for i, p := range probes {
@@ -714,6 +795,7 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 			if k, ok := keyOf(p); ok {
 				if ans, hit := s.cache.get(k); hit {
 					answers[i] = ans
+					hits++
 					continue
 				}
 			}
@@ -743,7 +825,7 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 			wg.Add(1)
 			go func(shard int, idxs []int) {
 				defer wg.Done()
-				errs[shard] = s.batchOnShard(sink, shard, idxs, probes, answers)
+				errs[shard] = s.batchOnShard(ps, shard, idxs, probes, answers)
 			}(shard, idxs)
 		}
 		wg.Wait()
@@ -782,6 +864,7 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 			}
 		}
 	}
+	done = true
 	return answers, nil
 }
 
@@ -798,7 +881,7 @@ func temporaryProbeErr(err error) bool {
 
 // batchOnShard answers the probes at idxs against one shard, using its
 // batch capability when it has one.
-func (s *Sharded) batchOnShard(sink *scopeSink, shard int, idxs []int, probes []ProbeReq, answers []int) error {
+func (s *Sharded) batchOnShard(ps probeScope, shard int, idxs []int, probes []ProbeReq, answers []int) error {
 	sh := s.shards[shard]
 	sub := make([]ProbeReq, len(idxs))
 	for j, i := range idxs {
@@ -808,7 +891,7 @@ func (s *Sharded) batchOnShard(sink *scopeSink, shard int, idxs []int, probes []
 	var err error
 	switch b := sh.(type) {
 	case scopedProber:
-		got, err = b.batchScoped(sink.tripsCounter(), sub)
+		got, err = b.batchScoped(ps, sub)
 	case BatchProber:
 		got, err = recoverBatch(func() ([]int, error) { return b.ProbeBatch(sub) })
 	default:
@@ -873,7 +956,8 @@ func (s *Sharded) Close() error {
 
 // shardedScope is the TripScoper view of a fleet: same shards, same
 // cache, same health machine — round trips, failovers and hedges counted
-// into the view's own sink.
+// into the view's own sink, spans recorded into the view's tracer when
+// one is set.
 type shardedScope struct {
 	s    *Sharded
 	sink scopeSink
@@ -885,7 +969,14 @@ var (
 	_ BatchProber      = (*shardedScope)(nil)
 	_ RoundTripCounter = (*shardedScope)(nil)
 	_ FailoverCounter  = (*shardedScope)(nil)
+	_ TracerSetter     = (*shardedScope)(nil)
 )
+
+// SetTracer implements TracerSetter: subsequent probes through this view
+// record probe spans (with cache-hit/failover/hedge outcome tags) and
+// per-round-trip rpc spans into tr. Set it before probing; the view is
+// per-request, not concurrent with setup.
+func (sc *shardedScope) SetTracer(tr *trace.Tracer) { sc.sink.tr = tr }
 
 func (sc *shardedScope) N() int { return sc.s.n }
 

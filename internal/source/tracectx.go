@@ -1,0 +1,102 @@
+package source
+
+// Trace context for the network probing paths. The Source interface is
+// deliberately context-free (probes are the model's unit of cost, not
+// an RPC framework), so trace context rides the same seam as round-trip
+// attribution: the per-request scoped views (TripScoper.ScopeTrips)
+// optionally accept a tracer, and every layer below threads a probeScope
+// value instead of growing its signatures one tracing argument at a
+// time. The zero probeScope — unscoped, untraced — is valid everywhere
+// and costs a nil test per site.
+
+import "lca/internal/trace"
+
+// TracerSetter is the optional capability of request-scoped source
+// views (the values returned by TripScoper.ScopeTrips on Remote and
+// Sharded) to record probe-level spans into a trace: rpc spans per
+// shard round trip, probe spans with failover/hedge outcome tags, and
+// shard-side spans stitched back over the wire. Set the tracer before
+// issuing probes through the view; a nil tracer disables tracing.
+type TracerSetter interface {
+	SetTracer(*trace.Tracer)
+}
+
+// probeScope bundles the per-request attribution state threaded down
+// the network probing paths: the view's round-trip counter plus, when
+// the request is traced, the tracer and the span id that rpc spans
+// parent under. Parent is captured by the caller before any concurrent
+// fan-out (hedges, per-shard batch goroutines), so the implicit Push/Pop
+// parent is never read from a goroutine.
+type probeScope struct {
+	tc     *tripCount
+	tr     *trace.Tracer
+	parent uint32
+}
+
+// TracedView returns a view of src that records its network spans into
+// tr: the request-scoped view (TripScoper) with the tracer attached
+// (TracerSetter). Shard servers use it so a probe shard that is itself
+// backed by remote shards shows the whole chain in the client's trace,
+// and Sessions use it to root a traced oracle chain. Sources without
+// request scoping (local backends) are returned unchanged: their probes
+// are memory reads, not spans.
+func TracedView(src Source, tr *trace.Tracer) Source {
+	ts, ok := src.(TripScoper)
+	if !ok {
+		return src
+	}
+	scoped := ts.ScopeTrips()
+	set, ok := scoped.(TracerSetter)
+	if !ok {
+		return src
+	}
+	set.SetTracer(tr)
+	return scoped
+}
+
+// Span op names for the client-side probing layers. Constants, so the
+// untraced path never concatenates.
+func rpcSpanOp(op string) string {
+	switch op {
+	case OpDegree:
+		return "rpc:degree"
+	case OpNeighbor:
+		return "rpc:neighbor"
+	case OpAdjacency:
+		return "rpc:adjacency"
+	case OpRandomEdge:
+		return "rpc:randomedge"
+	}
+	return "rpc:probe"
+}
+
+// probeSpanOp names a fleet-level probe span ("probe:degree"), the span
+// whose children are the rpc attempts the probe actually cost.
+func probeSpanOp(op string) string {
+	switch op {
+	case OpDegree:
+		return "probe:degree"
+	case OpNeighbor:
+		return "probe:neighbor"
+	case OpAdjacency:
+		return "probe:adjacency"
+	case OpRandomEdge:
+		return "probe:randomedge"
+	}
+	return "probe:probe"
+}
+
+// shardSpanOp names a shard-side (server) span for one wire probe.
+func shardSpanOp(op string) string {
+	switch op {
+	case OpDegree:
+		return "shard:degree"
+	case OpNeighbor:
+		return "shard:neighbor"
+	case OpAdjacency:
+		return "shard:adjacency"
+	case OpRandomEdge:
+		return "shard:randomedge"
+	}
+	return "shard:probe"
+}

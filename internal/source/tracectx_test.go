@@ -1,0 +1,40 @@
+package source
+
+import (
+	"testing"
+
+	"lca/internal/trace"
+)
+
+// TestUntracedHotPathZeroAlloc pins the cost of the disabled tracing
+// plane at exactly nothing: probing an implicit source through the
+// instrumented hot path with a nil tracer — the off state every
+// un-sampled query runs in — must not allocate. This is the allocation
+// half of the "tracing off changes nothing" acceptance bar; the probe
+// counts are covered by the conformance suite.
+func TestUntracedHotPathZeroAlloc(t *testing.T) {
+	const n = 1 << 16
+	src := Ring(n)
+	var tr *trace.Tracer // nil: tracing off
+	sc := probeScope{}   // zero scope: unscoped, untraced
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		v := sink & (n - 1)
+		sink += src.Degree(v)
+		sink += src.Neighbor(v, v&1)
+		sink += src.Adjacency(v, (v+1)&(n-1))
+		// The per-site instrumentation pattern: one nil test, then
+		// span calls that must no-op without touching the heap.
+		h := tr.StartUnder(sc.parent, probeSpanOp(OpDegree), v)
+		tr.End(h)
+		if sc.tr != nil {
+			sc.tr.Event("oracle:neighbors", v, "cache-hit")
+		}
+	})
+	if sink == 0 {
+		t.Fatal("probe loop optimized away")
+	}
+	if allocs != 0 {
+		t.Fatalf("untraced implicit-source hot path allocates %.1f per probe round, want 0", allocs)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strconv"
 
 	"lca/internal/rnd"
+	"lca/internal/trace"
 )
 
 // Wire names of the probe operations.
@@ -68,15 +69,22 @@ type BatchProber interface {
 	ProbeBatch(probes []ProbeReq) ([]int, error)
 }
 
+// The answer bodies optionally carry the shard's server-side spans back
+// to a traced client (the X-LCA-Trace contract, docs/WIRE.md): Trace is
+// present exactly when the request carried a well-formed trace header.
+// Span ids in it are the shard's own; the client renumbers and grafts
+// them under its rpc span (trace.Tracer.Merge).
 type probeAnswer struct {
-	Answer int `json:"answer"`
+	Answer int          `json:"answer"`
+	Trace  []trace.Span `json:"trace,omitempty"`
 }
 
 // randomEdgeAnswer is the op=randomedge body: one uniform edge in
 // canonical (u < v) orientation.
 type randomEdgeAnswer struct {
-	U int `json:"u"`
-	V int `json:"v"`
+	U     int          `json:"u"`
+	V     int          `json:"v"`
+	Trace []trace.Span `json:"trace,omitempty"`
 }
 
 type probeBatchReq struct {
@@ -84,7 +92,29 @@ type probeBatchReq struct {
 }
 
 type probeBatchAnswer struct {
-	Answers []int `json:"answers"`
+	Answers []int        `json:"answers"`
+	Trace   []trace.Span `json:"trace,omitempty"`
+}
+
+func (a *probeAnswer) traceSpans() []trace.Span      { return a.Trace }
+func (a *randomEdgeAnswer) traceSpans() []trace.Span { return a.Trace }
+func (a *probeBatchAnswer) traceSpans() []trace.Span { return a.Trace }
+
+// shardMaxSpans caps the spans one probe request records server-side —
+// enough for a batch span plus nested upstream rpc spans on a multi-hop
+// fleet, bounded so a traced batch cannot inflate the answer unboundedly.
+const shardMaxSpans = 256
+
+// shardTracer returns a tracer for one probe request when the client
+// sent well-formed trace context in X-LCA-Trace, nil otherwise (the
+// untraced fast path). Malformed headers are ignored, never an error —
+// tracing is best-effort by contract.
+func shardTracer(r *http.Request) *trace.Tracer {
+	id, _, ok := trace.ParseHeader(r.Header.Get(trace.Header))
+	if !ok {
+		return nil
+	}
+	return trace.New(id, shardMaxSpans)
 }
 
 // probeMeta is the /probe/meta body: the O(1) facts a Remote needs at
@@ -201,12 +231,16 @@ func ServeProbeMeta(w http.ResponseWriter, r *http.Request, src Source) {
 	writeWireJSON(w, http.StatusOK, metaOf(src))
 }
 
-// ServeProbe answers one GET /probe request for src.
+// ServeProbe answers one GET /probe request for src. A request carrying
+// trace context records a shard:<op> span (nested upstream spans
+// included when src is itself network-backed) and returns the spans in
+// the answer.
 func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 	q := r.URL.Query()
 	op := q.Get("op")
+	tr := shardTracer(r)
 	if op == OpRandomEdge {
-		serveRandomEdge(w, q.Get("seed"), src)
+		serveRandomEdge(w, q.Get("seed"), src, tr)
 		return
 	}
 	a, err := wireInt(q.Get("a"), "a")
@@ -225,12 +259,23 @@ func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 		writeWireErr(w, http.StatusBadRequest, "probe %s requires parameter \"b\"", op)
 		return
 	}
-	ans, status, msg := answerProbeRecover(src, op, a, b)
+	view := src
+	var h trace.Handle
+	if tr != nil {
+		h = tr.Start(shardSpanOp(op), a)
+		tr.Push(h)
+		view = TracedView(src, tr)
+	}
+	ans, status, msg := answerProbeRecover(view, op, a, b)
+	if tr != nil {
+		tr.Pop()
+		tr.End(h)
+	}
 	if status != 0 {
 		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: ans})
+	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: ans, Trace: tr.Spans()})
 }
 
 // ServeProbeBatch answers one POST /probe request for src: the answers
@@ -252,28 +297,48 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 			return
 		}
 	}
-	// A network-backed source (a shard fronting other shards) forwards
-	// the whole batch in its own single round trip instead of one
-	// upstream request per probe.
-	if bp, ok := src.(BatchProber); ok {
-		answers, err := bp.ProbeBatch(req.Probes)
-		if err != nil {
-			writeWireErr(w, http.StatusBadGateway, "%v", err)
-			return
-		}
-		writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers})
+	tr := shardTracer(r)
+	view := src
+	var h trace.Handle
+	if tr != nil {
+		h = tr.Start("shard:batch", -1)
+		tr.Tag(h, fmt.Sprintf("batch=%d", len(req.Probes)))
+		tr.Push(h)
+		view = TracedView(src, tr)
+	}
+	answers, status, msg := answerBatch(view, req.Probes)
+	if tr != nil {
+		tr.Pop()
+		tr.End(h)
+	}
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	answers := make([]int, len(req.Probes))
-	for i, p := range req.Probes {
+	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers, Trace: tr.Spans()})
+}
+
+// answerBatch answers a validated probe batch against src. A
+// network-backed source (a shard fronting other shards) forwards the
+// whole batch in its own single round trip instead of one upstream
+// request per probe.
+func answerBatch(src Source, probes []ProbeReq) (answers []int, status int, msg string) {
+	if bp, ok := src.(BatchProber); ok {
+		answers, err := bp.ProbeBatch(probes)
+		if err != nil {
+			return nil, http.StatusBadGateway, err.Error()
+		}
+		return answers, 0, ""
+	}
+	answers = make([]int, len(probes))
+	for i, p := range probes {
 		ans, status, msg := answerProbeRecover(src, p.Op, p.A, p.B)
 		if status != 0 {
-			writeWireErr(w, status, "probe %d: %s", i, msg)
-			return
+			return nil, status, fmt.Sprintf("probe %d: %s", i, msg)
 		}
 		answers[i] = ans
 	}
-	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers})
+	return answers, 0, ""
 }
 
 // serveRandomEdge answers op=randomedge: a uniform edge drawn from a PRG
@@ -282,8 +347,12 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 // RandomEdger capability or provably has no edges; a sampler panic on an
 // effectively edgeless source (string payload by the RandomEdge
 // convention) is also the client's 400, not a crashed connection.
-func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source) {
-	re, ok := RandomEdgerOf(src)
+func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source, tr *trace.Tracer) {
+	view := src
+	if tr != nil {
+		view = TracedView(src, tr)
+	}
+	re, ok := RandomEdgerOf(view)
 	if !ok {
 		writeWireErr(w, http.StatusBadRequest, "source does not support probe op %q (no RandomEdge capability)", OpRandomEdge)
 		return
@@ -301,12 +370,21 @@ func serveRandomEdge(w http.ResponseWriter, rawSeed string, src Source) {
 		writeWireErr(w, http.StatusBadRequest, "probe %s: source has no edges", OpRandomEdge)
 		return
 	}
+	var h trace.Handle
+	if tr != nil {
+		h = tr.Start(shardSpanOp(OpRandomEdge), -1)
+		tr.Push(h)
+	}
 	u, v, status, msg := sampleRandomEdge(re, seed)
+	if tr != nil {
+		tr.Pop()
+		tr.End(h)
+	}
 	if status != 0 {
 		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	writeWireJSON(w, http.StatusOK, randomEdgeAnswer{U: u, V: v})
+	writeWireJSON(w, http.StatusOK, randomEdgeAnswer{U: u, V: v, Trace: tr.Spans()})
 }
 
 // sampleRandomEdge draws the edge behind a recover: string panics mark

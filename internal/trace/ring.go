@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Record is one finished, retained trace: the exported form served by
+// GET /traces and attached to traced answers. Root carries the root
+// span's op ("query:vertex/mis"); Probes and RoundTrips are the query's
+// totals so the ring is scannable without walking span trees.
+type Record struct {
+	ID         string `json:"id"` // 16-hex trace id
+	Root       string `json:"root"`
+	Start      int64  `json:"start_us"`
+	DurationUS int64  `json:"duration_us"`
+	Probes     uint64 `json:"probes,omitempty"`
+	RoundTrips uint64 `json:"round_trips,omitempty"`
+	Slow       bool   `json:"slow,omitempty"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	Dropped    uint64 `json:"dropped_spans,omitempty"`
+	Spans      []Span `json:"spans"`
+}
+
+// Ring retains recently finished traces in two bounded circular
+// buffers: a recent ring that sampled traces rotate through, and a slow
+// ring that force-retains threshold violators so a burst of ordinary
+// traffic cannot evict the evidence for a latency incident. Memory is
+// O(recentCap + slowCap) · MaxSpans regardless of traffic.
+type Ring struct {
+	mu     sync.Mutex
+	recent []Record
+	rpos   int
+	slow   []Record
+	spos   int
+	rcap   int
+	scap   int
+
+	added atomic.Uint64
+}
+
+// NewRing returns a ring retaining up to recentCap sampled traces and
+// slowCap slow-query traces (defaults 256 and 64 for non-positive
+// values).
+func NewRing(recentCap, slowCap int) *Ring {
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	if slowCap <= 0 {
+		slowCap = 64
+	}
+	return &Ring{rcap: recentCap, scap: slowCap}
+}
+
+// Add retains a finished trace. A record with Slow set goes to the slow
+// ring, others to the recent ring; the oldest entry in the target ring
+// is overwritten once it is full.
+func (r *Ring) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.added.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Slow {
+		r.slow, r.spos = ringPut(r.slow, r.spos, r.scap, rec)
+		return
+	}
+	r.recent, r.rpos = ringPut(r.recent, r.rpos, r.rcap, rec)
+}
+
+func ringPut(buf []Record, pos, cap_ int, rec Record) ([]Record, int) {
+	if len(buf) < cap_ {
+		return append(buf, rec), pos
+	}
+	buf[pos] = rec
+	return buf, (pos + 1) % cap_
+}
+
+// Recent returns the retained sampled traces, newest first.
+func (r *Ring) Recent() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSnapshot(r.recent, r.rpos)
+}
+
+// Slow returns the retained slow-query traces, newest first.
+func (r *Ring) Slow() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSnapshot(r.slow, r.spos)
+}
+
+// ringSnapshot copies buf newest-first. pos is the next overwrite slot,
+// i.e. the oldest entry once the buffer is full.
+func ringSnapshot(buf []Record, pos int) []Record {
+	out := make([]Record, 0, len(buf))
+	if len(buf) == 0 {
+		return out
+	}
+	// Newest is the slot just before pos (or the last append).
+	start := pos - 1
+	if start < 0 {
+		start = len(buf) - 1
+	}
+	for i := 0; i < len(buf); i++ {
+		j := start - i
+		if j < 0 {
+			j += len(buf)
+		}
+		out = append(out, buf[j])
+	}
+	return out
+}
+
+// Get returns the retained trace with the given 16-hex id, preferring
+// the slow ring (its retention is the stronger promise).
+func (r *Ring) Get(id string) (Record, bool) {
+	if r == nil {
+		return Record{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.slow {
+		if r.slow[i].ID == id {
+			return r.slow[i], true
+		}
+	}
+	for i := range r.recent {
+		if r.recent[i].ID == id {
+			return r.recent[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Added returns the total number of traces ever retained.
+func (r *Ring) Added() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.added.Load()
+}
+
+// Sampler makes head-based 1-in-N sampling decisions with a single
+// atomic counter. The nil sampler and N <= 0 never sample; N == 1
+// samples everything.
+type Sampler struct {
+	n   uint64
+	ctr atomic.Uint64
+}
+
+// NewSampler returns a sampler admitting one in every n decisions
+// (nil for n <= 0, so the disabled plane costs a nil test).
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		return nil
+	}
+	return &Sampler{n: uint64(n)}
+}
+
+// Sample reports whether this request is sampled. The first request is
+// always sampled (so a fresh server's smoke test sees a trace), then
+// every n-th after it.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return (s.ctr.Add(1)-1)%s.n == 0
+}

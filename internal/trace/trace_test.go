@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	h := tr.Start("op", 1)
+	tr.End(h, "tag")
+	tr.Tag(h, "tag")
+	tr.Event("ev", 2)
+	tr.Push(h)
+	tr.Pop()
+	tr.Merge(0, []Span{{ID: 1, Op: "x"}})
+	if tr.ID() != 0 || tr.IDString() != "" || tr.Parent() != 0 ||
+		tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestNilTracerAllocFree(t *testing.T) {
+	var tr *Tracer
+	n := testing.AllocsPerRun(1000, func() {
+		h := tr.Start("op", 3)
+		tr.End(h)
+		if tr.Parent() != 0 {
+			t.Fatal("parent")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("nil tracer allocated %.1f per op, want 0", n)
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New(NewID(), 0)
+	root := tr.Start("query:vertex/mis", 7)
+	tr.Push(root)
+	child := tr.Start("oracle:neighbors", 7)
+	tr.Push(child)
+	leaf := tr.Start("rpc:degree", 7)
+	tr.End(leaf, "attempts=1")
+	tr.Pop()
+	tr.End(child)
+	tr.Event("cache-hit", 9)
+	tr.Pop()
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byOp := map[string]Span{}
+	for _, s := range spans {
+		byOp[s.Op] = s
+	}
+	if byOp["query:vertex/mis"].Parent != 0 {
+		t.Error("root span has a parent")
+	}
+	if byOp["oracle:neighbors"].Parent != byOp["query:vertex/mis"].ID {
+		t.Error("oracle span not under root")
+	}
+	if byOp["rpc:degree"].Parent != byOp["oracle:neighbors"].ID {
+		t.Error("rpc span not under oracle span")
+	}
+	if byOp["cache-hit"].Parent != byOp["query:vertex/mis"].ID {
+		t.Error("event after Pop not under root")
+	}
+	if got := byOp["rpc:degree"].Tags; len(got) != 1 || got[0] != "attempts=1" {
+		t.Errorf("rpc tags = %v", got)
+	}
+	for i, s := range spans {
+		if s.ID != uint32(i+1) {
+			t.Fatalf("ids not dense: spans[%d].ID = %d", i, s.ID)
+		}
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := New(1, 3)
+	for i := 0; i < 10; i++ {
+		h := tr.Start("op", i)
+		tr.End(h)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestMergeRenumbersAndGrafts(t *testing.T) {
+	client := New(NewID(), 0)
+	rpc := client.Start("rpc:neighbor", 4)
+
+	// Shard-side tracer with its own id space, including an internal
+	// parent link that must be remapped, not grafted.
+	shard := New(42, 0)
+	top := shard.Start("shard:batch", -1)
+	shard.Push(top)
+	shard.Start("shard:neighbor", 4)
+	shard.Pop()
+
+	client.Merge(rpc.ID(), shard.Spans())
+	client.End(rpc)
+
+	spans := client.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byOp := map[string]Span{}
+	for _, s := range spans {
+		byOp[s.Op] = s
+	}
+	if byOp["shard:batch"].Parent != byOp["rpc:neighbor"].ID {
+		t.Error("shard root span not grafted under rpc span")
+	}
+	if byOp["shard:neighbor"].Parent != byOp["shard:batch"].ID {
+		t.Error("shard-internal parent link not remapped")
+	}
+	seen := map[uint32]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d after merge", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestConcurrentStartUnder(t *testing.T) {
+	tr := New(NewID(), 0)
+	root := tr.Start("root", -1)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := tr.StartUnder(root.ID(), "probe", i)
+			tr.End(h)
+		}(i)
+	}
+	wg.Wait()
+	tr.End(root)
+	spans := tr.Spans()
+	if len(spans) != 33 {
+		t.Fatalf("got %d spans, want 33", len(spans))
+	}
+	for _, s := range spans[1:] {
+		if s.Parent != root.ID() {
+			t.Fatalf("span %d parent = %d, want %d", s.ID, s.Parent, root.ID())
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	id := NewID()
+	s := FormatHeader(id, 0x1234)
+	gotID, gotParent, ok := ParseHeader(s)
+	if !ok || gotID != id || gotParent != 0x1234 {
+		t.Fatalf("round trip %q -> (%x, %x, %v)", s, gotID, gotParent, ok)
+	}
+	for _, bad := range []string{
+		"", "garbage", FormatHeader(id, 7) + "x",
+		"00000000000000000-0000001",                 // wrong split
+		"0000000000000000-00000001",                 // zero trace id
+		"XYZ4567890abcdef-00000001",                 // bad hex
+		"0123456789ABCDEF-00000001",                 // uppercase rejected
+		fmt.Sprintf("%015x-%08x", uint64(0xabc), 1), // short
+		fmt.Sprintf("%016x--%07x", id, 1),           // double dash
+		fmt.Sprintf("%016x %08x", id, 1),            // space separator
+		fmt.Sprintf("%016x-%08x ", id, 1),           // trailing junk
+		fmt.Sprintf("%016x-%08x-ff", id, 1),         // extra field
+	} {
+		if _, _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewIDNonZeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if seen[id] {
+			t.Fatal("NewID repeated")
+		}
+		seen[id] = true
+	}
+}
+
+func TestRingRotationAndSlowRetention(t *testing.T) {
+	r := NewRing(3, 2)
+	for i := 0; i < 5; i++ {
+		r.Add(Record{ID: fmt.Sprintf("%016x", i+1), Root: "q"})
+	}
+	r.Add(Record{ID: "slow-1", Root: "q", Slow: true})
+	r.Add(Record{ID: "slow-2", Root: "q", Slow: true})
+	r.Add(Record{ID: "slow-3", Root: "q", Slow: true})
+
+	recent := r.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent len = %d, want 3", len(recent))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []string{"0000000000000005", "0000000000000004", "0000000000000003"} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	slow := r.Slow()
+	if len(slow) != 2 || slow[0].ID != "slow-3" || slow[1].ID != "slow-2" {
+		t.Fatalf("slow ring = %+v", slow)
+	}
+	if _, ok := r.Get("slow-2"); !ok {
+		t.Error("Get missed a slow trace")
+	}
+	if _, ok := r.Get("0000000000000004"); !ok {
+		t.Error("Get missed a recent trace")
+	}
+	if _, ok := r.Get("0000000000000001"); ok {
+		t.Error("Get found an evicted trace")
+	}
+	if r.Added() != 8 {
+		t.Errorf("Added = %d, want 8", r.Added())
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0) != nil || NewSampler(-1) != nil {
+		t.Fatal("non-positive N must yield the nil sampler")
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if got := s.Sample(); got {
+			hits++
+			if i%4 != 0 {
+				t.Errorf("sampled at %d", i)
+			}
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("hits = %d, want 4", hits)
+	}
+	all := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !all.Sample() {
+			t.Fatal("N=1 must sample everything")
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"lca/internal/rnd"
 	"lca/internal/source"
 	"lca/internal/spanner"
+	"lca/internal/trace"
 )
 
 // Core model types.
@@ -40,6 +41,11 @@ type (
 	ProbeStats = oracle.Stats
 	// Seed is the master random seed an LCA derives all decisions from.
 	Seed = rnd.Seed
+	// Tracer records a probe-level span tree for traced queries (see
+	// Session WithTracer and NewTracer).
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded span of a trace.
+	TraceSpan = trace.Span
 	// PRG is a deterministic pseudo-random generator for workloads.
 	PRG = rnd.PRG
 	// HashFamily is a bounded-independence hash family.
@@ -93,6 +99,11 @@ type (
 
 // NewOracle wraps a concrete graph as a probe oracle.
 func NewOracle(g *Graph) Oracle { return oracle.New(g) }
+
+// NewTracer returns a tracer with a fresh trace ID and the default span
+// cap, ready for Session's WithTracer. Read the recorded tree with
+// Spans() after querying.
+func NewTracer() *Tracer { return trace.New(trace.NewID(), trace.DefaultMaxSpans) }
 
 // NewProbeCounter wraps an oracle with probe accounting.
 func NewProbeCounter(o Oracle) *ProbeCounter { return oracle.NewCounter(o) }

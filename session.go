@@ -17,6 +17,7 @@ import (
 	"lca/internal/oracle"
 	"lca/internal/registry"
 	"lca/internal/source"
+	"lca/internal/trace"
 )
 
 // ErrProbeBudget is returned (wrapped) by Session queries that exhaust the
@@ -63,7 +64,10 @@ type Session struct {
 	// prefetch roots every oracle chain at a prefetching exploration
 	// oracle (WithPrefetch).
 	prefetch bool
-	params   map[string]any
+	// tracer, when non-nil, records a probe-level span tree for every
+	// point query (WithTracer).
+	tracer *Tracer
+	params map[string]any
 
 	mu        sync.Mutex
 	instances map[string]*boundInstance
@@ -117,6 +121,20 @@ func WithWorkers(w int) SessionOption {
 // reported via ProbeStats().RoundTrips.
 func WithPrefetch(on bool) SessionOption {
 	return func(s *Session) { s.prefetch = on }
+}
+
+// WithTracer records probe-level span trees into tr: every point query
+// opens a query:edge/query:vertex/query:label root span, the oracle
+// layers add exploration, cache-hit and budget spans, and network
+// sources add per-round-trip rpc spans — with remote shards' serverside
+// spans stitched in over the X-LCA-Trace wire header. Spans from
+// successive queries accumulate in tr (one tree per query, side by
+// side) up to its span cap; use a fresh session and tracer per traced
+// run to keep trees separate. Point queries are mutex-serialized, so
+// one tracer serves them all. A nil tracer leaves tracing off — the
+// default, which costs the probing hot path nothing.
+func WithTracer(tr *Tracer) SessionOption {
+	return func(s *Session) { s.tracer = tr }
 }
 
 // WithParam supplies a tunable parameter (for example WithParam("k", 4) or
@@ -240,12 +258,20 @@ func (s *Session) descriptor(algo string, kind registry.Kind) (*registry.Descrip
 
 // rootOracle returns the base of a fresh oracle chain over the session
 // source: the plain source view, or a prefetching exploration oracle when
-// WithPrefetch is on.
+// WithPrefetch is on. A traced session (WithTracer) roots the chain at a
+// traced view of the source, so network backends record their rpc spans
+// into the session's tracer.
 func (s *Session) rootOracle() Oracle {
-	if s.prefetch {
-		return oracle.NewPrefetch(s.src)
+	src := s.src
+	if s.tracer != nil {
+		src = source.TracedView(src, s.tracer)
 	}
-	return oracle.New(s.src)
+	if s.prefetch {
+		po := oracle.NewPrefetch(src)
+		po.SetTracer(s.tracer)
+		return po
+	}
+	return oracle.New(src)
 }
 
 // buildInstance constructs a fresh instance over a new oracle chain rooted
@@ -260,6 +286,7 @@ func (s *Session) buildInstance(d *registry.Descriptor, p registry.Params, base 
 	var limit *oracle.LimitOracle
 	if s.budget > 0 {
 		limit = oracle.NewLimit(o, s.budget)
+		limit.SetTracer(s.tracer)
 		o = limit
 	}
 	inst, err := d.Build(o, s.seed, p)
@@ -306,6 +333,31 @@ func (bi *boundInstance) guarded(fn func()) (err error) {
 	return nil
 }
 
+// beginQuerySpan opens a point query's root span and pushes it as the
+// implicit parent, so every span the layers below record nests under it.
+// No-op (zero Handle) on untraced sessions.
+func (s *Session) beginQuerySpan(op string, v int) trace.Handle {
+	if s.tracer == nil {
+		return trace.Handle{}
+	}
+	h := s.tracer.Start(op, v)
+	s.tracer.Push(h)
+	return h
+}
+
+// endQuerySpan closes a point query's root span, tagging failures.
+func (s *Session) endQuerySpan(h trace.Handle, err error) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Pop()
+	if err != nil {
+		s.tracer.End(h, "error")
+		return
+	}
+	s.tracer.End(h)
+}
+
 // queryPanicErr converts the two expected query panics — the probe
 // limiter's budget signal and a network source's probe failure — into
 // errors, repanicking on anything else.
@@ -345,7 +397,9 @@ func (s *Session) Edge(algo string, u, v int) (bool, error) {
 		return false, fmt.Errorf("lca: (%d,%d) is not an edge of the graph", u, v)
 	}
 	var in bool
+	h := s.beginQuerySpan("query:edge", u)
 	err = bi.guarded(func() { in = bi.inst.(core.EdgeLCA).QueryEdge(u, v) })
+	s.endQuerySpan(h, err)
 	return in, err
 }
 
@@ -361,7 +415,9 @@ func (s *Session) Vertex(algo string, v int) (bool, error) {
 		return false, err
 	}
 	var in bool
+	h := s.beginQuerySpan("query:vertex", v)
 	err = bi.guarded(func() { in = bi.inst.(core.VertexLCA).QueryVertex(v) })
+	s.endQuerySpan(h, err)
 	return in, err
 }
 
@@ -377,7 +433,9 @@ func (s *Session) Label(algo string, v int) (int, error) {
 		return 0, err
 	}
 	var label int
+	h := s.beginQuerySpan("query:label", v)
 	err = bi.guarded(func() { label = bi.inst.(core.LabelLCA).QueryLabel(v) })
+	s.endQuerySpan(h, err)
 	return label, err
 }
 
