@@ -239,7 +239,7 @@ func (r *runner) src() {
 		}
 		family := strings.SplitN(spec, ":", 2)[0]
 		for _, name := range algos {
-			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x5bc, false)
+			q, elapsed, _, err := r.measurePointQueries(src, name, n, samples, 0x5bc, queryConfig{})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "SRC: %s: %v\n", name, err)
 				continue
@@ -252,30 +252,88 @@ func (r *runner) src() {
 	r.note("\nNo row ever holds adjacency in memory: sources synthesize neighborhoods per probe from the seed. Probe counts are flat in n — the whole point of the model.")
 }
 
+// queryConfig tunes how measurePointQueries builds its oracle chain:
+// prefetch routes exploration through the prefetching tier, width pins
+// its speculative width (0 lets the learned-width estimator run), and
+// legacy strips the rowfull and degree-bound capabilities off the source
+// — simulating a pre-rowfull shard, the regime the width estimator
+// exists for.
+type queryConfig struct {
+	prefetch bool
+	width    int
+	legacy   bool
+}
+
+// legacySource forwards the probe interface, batching and trip
+// accounting of a network source while hiding its RowFetcher and
+// DegreeBounder capabilities — the capability surface of a shard that
+// predates the rowfull op, against which the prefetching tier must guess
+// speculative widths.
+type legacySource struct{ inner source.Source }
+
+func (l *legacySource) N() int                 { return l.inner.N() }
+func (l *legacySource) Degree(v int) int       { return l.inner.Degree(v) }
+func (l *legacySource) Neighbor(v, i int) int  { return l.inner.Neighbor(v, i) }
+func (l *legacySource) Adjacency(u, v int) int { return l.inner.Adjacency(u, v) }
+
+func (l *legacySource) ProbeBatch(probes []source.ProbeReq) ([]int, error) {
+	if bp, ok := l.inner.(source.BatchProber); ok {
+		return bp.ProbeBatch(probes)
+	}
+	out := make([]int, len(probes))
+	for i, p := range probes {
+		switch p.Op {
+		case source.OpDegree:
+			out[i] = l.inner.Degree(p.A)
+		case source.OpNeighbor:
+			out[i] = l.inner.Neighbor(p.A, p.B)
+		default:
+			out[i] = l.inner.Adjacency(p.A, p.B)
+		}
+	}
+	return out, nil
+}
+
+func (l *legacySource) RoundTrips() uint64 {
+	if rt, ok := l.inner.(source.RoundTripCounter); ok {
+		return rt.RoundTrips()
+	}
+	return 0
+}
+
 // measurePointQueries runs `samples` point queries of the named
 // algorithm's kind against src on one fresh instance, returning probe
-// stats and elapsed wall time — the shared measurement loop of the SRC
-// and NET sweeps. Edge-kind queries target (v, first neighbor of v),
-// skipping the rare isolated vertex (blockrandom has a few). With
-// prefetch, the instance runs over a prefetching exploration oracle; the
-// per-query stats then show the round-trip collapse while the probe
-// columns stay identical.
-func (r *runner) measurePointQueries(src source.Source, algo string, n, samples int, deriveLabel uint64, prefetch bool) (core.QueryStats, time.Duration, error) {
+// stats, elapsed wall time and the p99 round trips per query — the
+// shared measurement loop of the SRC, NET and FAIL sweeps. Edge-kind
+// queries target (v, first neighbor of v), skipping the rare isolated
+// vertex (blockrandom has a few). With prefetch, the instance runs over
+// a prefetching exploration oracle; the per-query stats then show the
+// round-trip collapse while the probe columns stay identical.
+func (r *runner) measurePointQueries(src source.Source, algo string, n, samples int, deriveLabel uint64, qc queryConfig) (core.QueryStats, time.Duration, float64, error) {
 	d, err := registry.Get(algo)
 	if err != nil {
-		return core.QueryStats{}, 0, err
+		return core.QueryStats{}, 0, 0, err
 	}
-	o := oracle.New(src)
-	if prefetch {
-		o = oracle.NewPrefetch(src)
+	probeSrc := src
+	if qc.legacy {
+		probeSrc = &legacySource{inner: src}
+	}
+	o := oracle.New(probeSrc)
+	if qc.prefetch {
+		var opts []oracle.PrefetchOption
+		if qc.width > 0 {
+			opts = append(opts, oracle.WithFetchWidth(qc.width))
+		}
+		o = oracle.NewPrefetch(probeSrc, opts...)
 	}
 	inst, err := d.Build(o, r.seed, nil)
 	if err != nil {
-		return core.QueryStats{}, 0, err
+		return core.QueryStats{}, 0, 0, err
 	}
 	rep, _ := inst.(core.ProbeReporter)
 	prg := rnd.NewPRG(r.seed.Derive(deriveLabel))
 	var q core.QueryStats
+	var rts []uint64
 	start := time.Now()
 	for i := 0; i < samples; i++ {
 		v := prg.Intn(n)
@@ -296,12 +354,30 @@ func (r *runner) measurePointQueries(src source.Source, algo string, n, samples 
 			inst.(core.LabelLCA).QueryLabel(v)
 		}
 		if rep != nil {
-			q.Observe(rep.ProbeStats().Sub(before))
+			delta := rep.ProbeStats().Sub(before)
+			q.Observe(delta)
+			rts = append(rts, delta.RoundTrips)
 		} else {
 			q.Queries++
 		}
 	}
-	return q, time.Since(start), nil
+	return q, time.Since(start), p99(rts), nil
+}
+
+// p99 returns the 99th-percentile of the per-query round-trip counts (0
+// when nothing was observed).
+func p99(rts []uint64) float64 {
+	if len(rts) == 0 {
+		return 0
+	}
+	sorted := make([]uint64, len(rts))
+	copy(sorted, rts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(sorted[idx])
 }
 
 // net benchmarks the network source layer end to end: real loopback HTTP
@@ -326,44 +402,67 @@ func (r *runner) net() {
 		n = 1_000_000
 	}
 	backingSpec := fmt.Sprintf("circulant:n=%d,d=8", n)
-	const shardCount = 2
-	urls := make([]string, shardCount)
+	blockSpec := fmt.Sprintf("blockrandom:n=%d,d=6,block=64", n)
 	var cleanup []func()
 	defer func() {
 		for _, c := range cleanup {
 			c()
 		}
 	}()
-	for i := 0; i < shardCount; i++ {
-		backing, err := source.Parse(backingSpec, r.seed)
+	spawnShard := func(spec string) (string, bool) {
+		backing, err := source.Parse(spec, r.seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
-			return
+			return "", false
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
+			return "", false
+		}
+		srv := &http.Server{Handler: serve.NewFromSource(backing, spec, r.seed).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		cleanup = append(cleanup, func() { _ = srv.Close() })
+		return "http://" + ln.Addr().String(), true
+	}
+	urls := make([]string, 2)
+	for i := range urls {
+		u, ok := spawnShard(backingSpec)
+		if !ok {
 			return
 		}
-		srv := &http.Server{Handler: serve.NewFromSource(backing, backingSpec, r.seed).Handler()}
-		go func() { _ = srv.Serve(ln) }()
-		urls[i] = "http://" + ln.Addr().String()
-		cleanup = append(cleanup, func() { _ = srv.Close() })
+		urls[i] = u
+	}
+	blockURL, ok := spawnShard(blockSpec)
+	if !ok {
+		return
 	}
 	configs := []struct {
 		name, spec string
-		prefetch   bool
+		qc         queryConfig
 	}{
-		{"local", backingSpec, false},
-		{"remote x1", "remote:" + urls[0], false},
-		{"remote x1 prefetch", "remote:" + urls[0], true},
-		{"sharded x2", "sharded:remote:" + urls[0] + ",remote:" + urls[1], false},
-		{"sharded x2 prefetch", "sharded:remote:" + urls[0] + ",remote:" + urls[1], true},
-		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], false},
-		{"sharded x2 lru prefetch", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], true},
+		{"local", backingSpec, queryConfig{}},
+		{"remote x1", "remote:" + urls[0], queryConfig{}},
+		{"remote x1 prefetch", "remote:" + urls[0], queryConfig{prefetch: true}},
+		{"sharded x2", "sharded:remote:" + urls[0] + ",remote:" + urls[1], queryConfig{}},
+		{"sharded x2 prefetch", "sharded:remote:" + urls[0] + ",remote:" + urls[1], queryConfig{prefetch: true}},
+		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], queryConfig{}},
+		{"sharded x2 lru prefetch", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], queryConfig{prefetch: true}},
+		// Width-learner rows: a blockrandom-backed shard whose client is
+		// capped to the legacy capability surface (no rowfull op, no
+		// degree bound), so the prefetching tier must speculate widths.
+		// The static row pins the pre-learner default guess; the adaptive
+		// row lets the degree estimator size the batches, so its
+		// remainder trips/query must fall strictly below the static
+		// baseline once the first neighborhoods are observed. The rowfull
+		// row is the modern shard: whole rows in one answer, zero
+		// remainders by construction.
+		{"block remote rowfull prefetch", "remote:" + blockURL, queryConfig{prefetch: true}},
+		{"block remote legacy static", "remote:" + blockURL, queryConfig{prefetch: true, width: 4, legacy: true}},
+		{"block remote legacy adaptive", "remote:" + blockURL, queryConfig{prefetch: true, legacy: true}},
 	}
 	algos := []string{"mis", "coloring"}
-	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "mean us/query")
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "p99 rt/query", "remainder trips/query", "mean us/query")
 	const samples = 15
 	for _, cfg := range configs {
 		src, err := source.Parse(cfg.spec, r.seed)
@@ -372,20 +471,21 @@ func (r *runner) net() {
 			continue
 		}
 		for _, name := range algos {
-			q, elapsed, err := r.measurePointQueries(src, name, n, samples, 0x6e7, cfg.prefetch)
+			q, elapsed, p99rt, err := r.measurePointQueries(src, name, n, samples, 0x6e7, cfg.qc)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "NET: %s: %v\n", name, err)
 				continue
 			}
-			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
-				q.MeanRoundTrips(), float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f|%.2f|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
+				q.MeanRoundTrips(), p99rt, float64(q.ByKind.RemainderTrips)/float64(max(q.Queries, 1)),
+				float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
 		}
 		if c, ok := src.(source.Closer); ok {
 			_ = c.Close()
 		}
 	}
 	r.print(t)
-	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top.")
+	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests (p99 the tail) and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top. The block-remote trio isolates the width learner: against a legacy shard (no rowfull op) the adaptive row's remainder trips/query must undercut the static-width baseline, and the rowfull row retires remainders entirely.")
 }
 
 // fail benchmarks the failover path end to end: two loopback lcaserve
@@ -432,39 +532,57 @@ func (r *runner) fail() {
 		go func(srv *http.Server) { _ = srv.Serve(ln) }(servers[i])
 		urls[i] = "http://" + ln.Addr().String()
 	}
-	spec := "sharded:remote:" + urls[0] + ";remote:" + urls[1] + ";hedge=100ms"
-	src, err := source.Parse(spec, r.seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
-		return
+	// Two sharded clients over the same replica pair: one with the fixed
+	// hedge delay, one letting the per-shard latency estimator pick it.
+	// Both see the same kill, so the adaptive rows price what the learned
+	// delay buys on the degraded tail.
+	hedges := []struct{ label, spec string }{
+		{"", "sharded:remote:" + urls[0] + ";remote:" + urls[1] + ";hedge=100ms"},
+		{"adaptive", "sharded:remote:" + urls[0] + ";remote:" + urls[1] + ";hedge=adaptive"},
 	}
-	defer func() {
-		if c, ok := src.(source.Closer); ok {
-			_ = c.Close()
+	srcs := make([]source.Source, len(hedges))
+	for i, h := range hedges {
+		src, err := source.Parse(h.spec, r.seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+			return
 		}
-	}()
-	algos := []string{"mis", "coloring"}
-	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "failovers", "mean us/query")
-	const samples = 15
-	measure := func(config string, deriveLabel uint64) {
-		for _, name := range algos {
-			q, elapsed, err := r.measurePointQueries(src, name, n, samples, deriveLabel, false)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "FAIL: %s: %v\n", name, err)
-				continue
+		srcs[i] = src
+		defer func() {
+			if c, ok := src.(source.Closer); ok {
+				_ = c.Close()
 			}
-			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%d|%.1f", config, name, n, q.Queries, q.Mean(), q.MaxTotal,
-				q.MeanRoundTrips(), q.ByKind.Failovers, float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+		}()
+	}
+	algos := []string{"mis", "coloring"}
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "p99 rt/query", "remainder trips/query", "failovers", "mean us/query")
+	const samples = 15
+	measure := func(phase string, deriveLabel uint64) {
+		for i, h := range hedges {
+			config := "sharded x2 " + phase
+			if h.label != "" {
+				config = "sharded x2 " + h.label + " " + phase
+			}
+			for _, name := range algos {
+				q, elapsed, p99rt, err := r.measurePointQueries(srcs[i], name, n, samples, deriveLabel, queryConfig{})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "FAIL: %s: %v\n", name, err)
+					continue
+				}
+				t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f|%.2f|%d|%.1f", config, name, n, q.Queries, q.Mean(), q.MaxTotal,
+					q.MeanRoundTrips(), p99rt, float64(q.ByKind.RemainderTrips)/float64(max(q.Queries, 1)),
+					q.ByKind.Failovers, float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
+			}
 		}
 	}
-	measure("sharded x2 healthy", 0x7a1)
-	// Kill one replica mid-sweep: the same source keeps answering, the
+	measure("healthy", 0x7a1)
+	// Kill one replica mid-sweep: the same sources keep answering, the
 	// dead shard's keys re-routed to the survivor.
 	_ = servers[1].Close()
 	servers[1] = nil
-	measure("sharded x2 one-killed", 0x7a1)
+	measure("one-killed", 0x7a1)
 	r.print(t)
-	r.note("\nBoth phases run the same query mix on one open sharded source; a replica is killed in between. Mean probes must be identical down the table (failover never changes answers); the failover column counts probes served away from their rendezvous shard, and rt/query prices the detection window (threshold failures, then the dead shard stops being tried).")
+	r.note("\nBoth phases run the same query mix on the same open sharded sources; a replica is killed in between. Mean probes must be identical down the table (failover never changes answers); the failover column counts probes served away from their rendezvous shard, and rt/query prices the detection window (threshold failures, then the dead shard stops being tried). The adaptive rows hedge at the learned per-shard p95 instead of the fixed 100ms, so their p99 rt/query on the degraded phase must not exceed the fixed-hedge rows'.")
 }
 
 // sizes returns the n grid for the current scale.

@@ -90,8 +90,13 @@ func TestDocsArchitectureSpecGrammar(t *testing.T) {
 		t.Errorf("only %d spec examples found in ARCHITECTURE.md for %d families; the grammar table looks incomplete",
 			checked, len(source.FamilyNames()))
 	}
-	// The failure-semantics knobs must be documented where the grammar is.
-	for _, token := range []string{"cache=", "hedge=", "rendezvous", "failover"} {
+	// The failure-semantics and adaptive-transport knobs must be
+	// documented where the grammar is.
+	for _, token := range []string{
+		"cache=", "hedge=", "rendezvous", "failover",
+		"hedge=adaptive", "hedgefloor=", "hedgeceil=",
+		"rowfull", "row_full", "RowFetcher", "FetchWidth", "RemainderTrips",
+	} {
 		if !strings.Contains(doc, token) {
 			t.Errorf("ARCHITECTURE.md does not mention %q", token)
 		}
@@ -102,14 +107,15 @@ func TestDocsArchitectureSpecGrammar(t *testing.T) {
 // meta field and the error envelope.
 func TestDocsWireProtocol(t *testing.T) {
 	doc := readDoc(t, "docs/WIRE.md")
-	for _, op := range []string{source.OpDegree, source.OpNeighbor, source.OpAdjacency, source.OpRandomEdge} {
+	for _, op := range []string{source.OpDegree, source.OpNeighbor, source.OpAdjacency, source.OpRandomEdge, source.OpRowFull} {
 		if !strings.Contains(doc, "`"+op+"`") {
 			t.Errorf("docs/WIRE.md does not document the %q op", op)
 		}
 	}
 	for _, token := range []string{
 		"/probe/meta", "POST /probe", "GET  /probe",
-		`"n"`, `"m"`, `"max_degree"`, `"random_edge"`, `"shards"`,
+		`"n"`, `"m"`, `"max_degree"`, `"random_edge"`, `"row_full"`,
+		`"row"`, `"rows"`, `"shards"`,
 		`"error"`, `"status"`, "65536",
 		"`400`", "`404`", "`429`", "`5xx`", "`200`",
 		// The trace-propagation contract: header name, span fields, and

@@ -96,6 +96,10 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 		{"remote", "remote:" + shardA.URL},
 		{"sharded-x2", "sharded:remote:" + shardA.URL + ",remote:" + shardB.URL},
 		{"sharded-x2-lru", "sharded:cache=4096;remote:" + shardA.URL + ";remote:" + shardB.URL},
+		// Adaptive hedging tunes when the secondary is raced, never what
+		// either replica answers; the digest must not move.
+		{"sharded-x2-adaptive", "sharded:remote:" + shardA.URL + ";remote:" + shardB.URL + ";hedge=adaptive"},
+		{"sharded-x2-adaptive-bounded", "sharded:remote:" + shardA.URL + ";remote:" + shardB.URL + ";hedge=adaptive;hedgefloor=2ms;hedgeceil=20ms"},
 	}
 	digests := map[string]string{}
 	for _, b := range backends {

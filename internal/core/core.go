@@ -72,6 +72,12 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.RoundTrips += delta.RoundTrips
 	q.ByKind.Failovers += delta.Failovers
 	q.ByKind.Hedges += delta.Hedges
+	q.ByKind.RemainderTrips += delta.RemainderTrips
+	// FetchWidth is a gauge, not a counter: keep the latest nonzero
+	// snapshot rather than summing widths across queries.
+	if delta.FetchWidth > 0 {
+		q.ByKind.FetchWidth = delta.FetchWidth
+	}
 }
 
 // Merge folds another aggregate into q (sums are added, max is the true
@@ -89,6 +95,10 @@ func (q *QueryStats) Merge(s QueryStats) {
 	q.ByKind.RoundTrips += s.ByKind.RoundTrips
 	q.ByKind.Failovers += s.ByKind.Failovers
 	q.ByKind.Hedges += s.ByKind.Hedges
+	q.ByKind.RemainderTrips += s.ByKind.RemainderTrips
+	if s.ByKind.FetchWidth > 0 {
+		q.ByKind.FetchWidth = s.ByKind.FetchWidth
+	}
 }
 
 // Mean returns the mean probes per query.
@@ -121,6 +131,12 @@ func (q QueryStats) String() string {
 	}
 	if q.ByKind.Hedges > 0 {
 		s += fmt.Sprintf(" hedge=%d", q.ByKind.Hedges)
+	}
+	if q.ByKind.RemainderTrips > 0 {
+		s += fmt.Sprintf(" remainder=%d", q.ByKind.RemainderTrips)
+	}
+	if q.ByKind.FetchWidth > 0 {
+		s += fmt.Sprintf(" width=%d", q.ByKind.FetchWidth)
 	}
 	return s
 }

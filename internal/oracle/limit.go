@@ -155,6 +155,24 @@ func (l *LimitOracle) Hedges() uint64 {
 	return 0
 }
 
+// FetchWidth forwards the chain's speculative prefetch width (0 when no
+// prefetch tier is underneath).
+func (l *LimitOracle) FetchWidth() int {
+	if pr, ok := l.inner.(PrefetchReporter); ok {
+		return pr.FetchWidth()
+	}
+	return 0
+}
+
+// RemainderTrips forwards the chain's remainder-trip count (0 when no
+// prefetch tier is underneath).
+func (l *LimitOracle) RemainderTrips() uint64 {
+	if pr, ok := l.inner.(PrefetchReporter); ok {
+		return pr.RemainderTrips()
+	}
+	return 0
+}
+
 // ErrTripBudgetExceeded is the panic value raised by the round-trip
 // limiter once the backend has consumed more than Budget network round
 // trips for the wrapped chain. Typed like ErrBudgetExceeded so harnesses
@@ -263,6 +281,24 @@ func (l *limitTripsOracle) Failovers() uint64 {
 func (l *limitTripsOracle) Hedges() uint64 {
 	if fo, ok := l.inner.(source.FailoverCounter); ok {
 		return fo.Hedges()
+	}
+	return 0
+}
+
+// FetchWidth forwards the chain's speculative prefetch width (0 when no
+// prefetch tier is underneath).
+func (l *limitTripsOracle) FetchWidth() int {
+	if pr, ok := l.inner.(PrefetchReporter); ok {
+		return pr.FetchWidth()
+	}
+	return 0
+}
+
+// RemainderTrips forwards the chain's remainder-trip count (0 when no
+// prefetch tier is underneath).
+func (l *limitTripsOracle) RemainderTrips() uint64 {
+	if pr, ok := l.inner.(PrefetchReporter); ok {
+		return pr.RemainderTrips()
 	}
 	return 0
 }

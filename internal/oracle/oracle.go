@@ -143,6 +143,15 @@ type Stats struct {
 	// Hedges counts hedged requests a sharded backend fired because the
 	// first-ranked replica exceeded the hedge delay.
 	Hedges uint64
+	// RemainderTrips counts the extra batches a prefetching tier issued
+	// because a row's degree exceeded its speculative width (0 when no
+	// PrefetchOracle is in the chain, or when the backend answers full
+	// rows natively).
+	RemainderTrips uint64
+	// FetchWidth is the prefetching tier's current speculative width — a
+	// gauge, not a counter; with the learned-width estimator it moves as
+	// observed degrees accumulate. 0 when no PrefetchOracle is in the chain.
+	FetchWidth uint64
 }
 
 // Total returns the total cell-probe count (the model's complexity
@@ -159,7 +168,23 @@ func (s Stats) Sub(t Stats) Stats {
 		RoundTrips: s.RoundTrips - t.RoundTrips,
 		Failovers:  s.Failovers - t.Failovers,
 		Hedges:     s.Hedges - t.Hedges,
+		// RemainderTrips is a counter like the rest; FetchWidth is a gauge,
+		// so the delta keeps the newer snapshot's value.
+		RemainderTrips: s.RemainderTrips - t.RemainderTrips,
+		FetchWidth:     s.FetchWidth,
 	}
+}
+
+// PrefetchReporter is the optional capability of a prefetching oracle tier
+// to report its speculative width and remainder-trip count. PrefetchOracle
+// implements it; the accounting wrappers forward it so a Counter stacked
+// anywhere above the tier can include both in its Stats.
+type PrefetchReporter interface {
+	// FetchWidth returns the current speculative width (a gauge).
+	FetchWidth() int
+	// RemainderTrips returns the cumulative count of remainder batches
+	// issued because a row exceeded the speculative width.
+	RemainderTrips() uint64
 }
 
 // Counter wraps an Oracle and counts probes by type. It is not safe for
@@ -181,6 +206,8 @@ type Counter struct {
 	fo    source.FailoverCounter  // non-nil when the chain reports failovers/hedges
 	fo0   uint64                  // failover count at construction/Reset
 	he0   uint64                  // hedge count at construction/Reset
+	pr    PrefetchReporter        // non-nil when the chain has a prefetch tier
+	rem0  uint64                  // remainder-trip count at construction/Reset
 }
 
 var (
@@ -198,6 +225,10 @@ func NewCounter(inner Oracle) *Counter {
 	if fo, ok := inner.(source.FailoverCounter); ok {
 		c.fo = fo
 		c.fo0, c.he0 = fo.Failovers(), fo.Hedges()
+	}
+	if pr, ok := inner.(PrefetchReporter); ok {
+		c.pr = pr
+		c.rem0 = pr.RemainderTrips()
 	}
 	return c
 }
@@ -268,6 +299,25 @@ func (c *Counter) Hedges() uint64 {
 	return 0
 }
 
+// FetchWidth forwards the chain's speculative prefetch width (0 when no
+// prefetch tier is present), so stacked wrappers keep the capability
+// visible.
+func (c *Counter) FetchWidth() int {
+	if c.pr != nil {
+		return c.pr.FetchWidth()
+	}
+	return 0
+}
+
+// RemainderTrips forwards the chain's remainder-trip count (0 when no
+// prefetch tier is present).
+func (c *Counter) RemainderTrips() uint64 {
+	if c.pr != nil {
+		return c.pr.RemainderTrips()
+	}
+	return 0
+}
+
 // Stats returns the probe counts so far.
 func (c *Counter) Stats() Stats {
 	s := c.stats
@@ -277,6 +327,10 @@ func (c *Counter) Stats() Stats {
 	if c.fo != nil {
 		s.Failovers = c.fo.Failovers() - c.fo0
 		s.Hedges = c.fo.Hedges() - c.he0
+	}
+	if c.pr != nil {
+		s.RemainderTrips = c.pr.RemainderTrips() - c.rem0
+		s.FetchWidth = uint64(c.pr.FetchWidth())
 	}
 	return s
 }
@@ -289,6 +343,9 @@ func (c *Counter) Reset() {
 	}
 	if c.fo != nil {
 		c.fo0, c.he0 = c.fo.Failovers(), c.fo.Hedges()
+	}
+	if c.pr != nil {
+		c.rem0 = c.pr.RemainderTrips()
 	}
 }
 
@@ -497,6 +554,24 @@ func (c *CachingOracle) Failovers() uint64 {
 func (c *CachingOracle) Hedges() uint64 {
 	if fo, ok := c.inner.(source.FailoverCounter); ok {
 		return fo.Hedges()
+	}
+	return 0
+}
+
+// FetchWidth forwards the chain's speculative prefetch width (0 when no
+// prefetch tier is underneath).
+func (c *CachingOracle) FetchWidth() int {
+	if pr, ok := c.inner.(PrefetchReporter); ok {
+		return pr.FetchWidth()
+	}
+	return 0
+}
+
+// RemainderTrips forwards the chain's remainder-trip count (0 when no
+// prefetch tier is underneath).
+func (c *CachingOracle) RemainderTrips() uint64 {
+	if pr, ok := c.inner.(PrefetchReporter); ok {
+		return pr.RemainderTrips()
 	}
 	return 0
 }

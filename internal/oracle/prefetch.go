@@ -13,6 +13,8 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"sync"
 
 	"lca/internal/source"
@@ -34,17 +36,41 @@ const MaxFetchWidth = 4096
 // DefaultRowCap bounds the number of cached rows; see WithRowCap.
 const DefaultRowCap = 1 << 16
 
+// The learned-width estimator: unless the width is pinned (WithFetchWidth,
+// or a degree bound at most MaxFetchWidth — then every row fits and there
+// is nothing to learn), each fetched row's degree feeds an EWMA and a
+// power-of-two histogram, and the speculative width becomes the high
+// quantile's bucket bound — rounded up, so constant-degree families
+// converge to exactly their degree and remainder trips vanish, while
+// heavy-tailed rows stop over-fetching the sparse majority. Width only
+// changes batching, never an answer.
+const (
+	// degHistBuckets spans degrees 1 .. 2^13; bucket i covers
+	// (2^(i-1), 2^i]. MaxFetchWidth clamps whatever the walk reports.
+	degHistBuckets = 14
+	// widthWindow triggers halving, so the histogram tracks the current
+	// workload's degree mix, not the lifetime union.
+	widthWindow = 1024
+	// widthMinSamples gates re-choosing: below it the starting width holds.
+	widthMinSamples = 16
+	// widthQuantile is the tail the speculative width must cover.
+	widthQuantile = 0.95
+	// degEWMAAlpha smooths the mean-degree estimate the quantile is
+	// sanity-checked against.
+	degEWMAAlpha = 0.1
+)
+
 // PrefetchOracle caches full adjacency rows fetched in batched round
 // trips. Construct with NewPrefetch; the zero value is unusable. Safe for
 // concurrent use (a mutex guards the row cache; batch fetches serialize).
 // Cached rows are pure functions of the fixed graph, so the cache never
 // changes an answer.
 type PrefetchOracle struct {
-	src   source.Source
-	bp    source.BatchProber // nil: backend answers per cell, fall back to loops
-	n     int
-	width int // speculative cells fetched with each degree probe
-	cap   int // cached-row bound; the cache is cleared when exceeded
+	src source.Source
+	bp  source.BatchProber // nil: backend answers per cell, fall back to loops
+	rf  source.RowFetcher  // non-nil: rowfull wire op, no speculation needed
+	n   int
+	cap int // cached-row bound; the cache is cleared when exceeded
 
 	// tr, when non-nil, records oracle:prefetch spans around batched row
 	// fetches and cache-hit events on primed Neighbors reads (tracing.go).
@@ -54,11 +80,20 @@ type PrefetchOracle struct {
 	rows  map[int][]int       // full adjacency rows
 	index map[int]map[int]int // per-row neighbor -> position, built on first Adjacency
 	stats PrefetchStats
+
+	// The learned-width state (guarded by mu; fetchBatched reads a width
+	// snapshot taken under the lock).
+	width    int  // speculative cells fetched with each degree probe
+	adapt    bool // learn width from observed degrees (off when pinned)
+	degEWMA  float64
+	degHist  [degHistBuckets]uint64
+	degTotal uint64
 }
 
 var (
-	_ Oracle   = (*PrefetchOracle)(nil)
-	_ Explorer = (*PrefetchOracle)(nil)
+	_ Oracle           = (*PrefetchOracle)(nil)
+	_ Explorer         = (*PrefetchOracle)(nil)
+	_ PrefetchReporter = (*PrefetchOracle)(nil)
 )
 
 // PrefetchStats is the transport-side accounting of a PrefetchOracle.
@@ -72,17 +107,23 @@ type PrefetchStats struct {
 	RowHits uint64
 	// Misses counts scalar probes that fell through to the backend.
 	Misses uint64
+	// RemainderTrips counts the extra round trips spent fetching the row
+	// cells beyond the speculative width — the trips the learned width
+	// (and the rowfull wire op) exist to erase.
+	RemainderTrips uint64
 }
 
 // PrefetchOption configures a PrefetchOracle at construction.
 type PrefetchOption func(*PrefetchOracle)
 
-// WithFetchWidth overrides the speculative fetch width (see
-// DefaultFetchWidth). Values above MaxFetchWidth are clamped.
+// WithFetchWidth pins the speculative fetch width (see DefaultFetchWidth),
+// disabling the learned-width estimator. Values above MaxFetchWidth are
+// clamped.
 func WithFetchWidth(w int) PrefetchOption {
 	return func(p *PrefetchOracle) {
 		if w > 0 {
 			p.width = min(w, MaxFetchWidth)
+			p.adapt = false
 		}
 	}
 }
@@ -112,18 +153,46 @@ func NewPrefetch(src source.Source, opts ...PrefetchOption) *PrefetchOracle {
 		rows:  make(map[int][]int),
 		index: make(map[int]map[int]int),
 	}
+	p.adapt = true
 	if bp, ok := src.(source.BatchProber); ok {
 		p.bp = bp
 	}
+	if rf, ok := source.RowFetcherOf(src); ok {
+		p.rf = rf
+	}
 	if db, ok := source.DegreeBounderOf(src); ok {
-		if d := db.MaxDegree(); d >= 0 && d <= MaxFetchWidth {
-			p.width = d
+		if d := db.MaxDegree(); d >= 0 {
+			// The same clamp WithFetchWidth applies: a source reporting a
+			// huge degree bound must not turn every exploration batch into
+			// an unbounded speculative prefix.
+			p.width = min(d, MaxFetchWidth)
+			if d <= MaxFetchWidth {
+				// An exact bound means every row already fits one trip;
+				// there is nothing left to learn. A clamped bound keeps the
+				// estimator on — observed degrees may run far below it.
+				p.adapt = false
+			}
 		}
 	}
 	for _, o := range opts {
 		o(p)
 	}
 	return p
+}
+
+// FetchWidth reports the current speculative fetch width — fixed when
+// pinned, the estimator's latest choice otherwise.
+func (p *PrefetchOracle) FetchWidth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.width
+}
+
+// RemainderTrips reports the remainder round trips issued so far.
+func (p *PrefetchOracle) RemainderTrips() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.RemainderTrips
 }
 
 // PrefetchStats returns the transport accounting so far.
@@ -285,18 +354,26 @@ func (p *PrefetchOracle) fetchRows(vs []int) map[int][]int {
 		}()
 	}
 	rows := make(map[int][]int, len(vs))
-	var batches, cells uint64
-	if p.bp == nil {
+	var batches, cells, remTrips uint64
+	switch {
+	case p.rf != nil:
+		p.fetchFull(vs, rows, &batches, &cells)
+	case p.bp == nil:
 		for _, v := range vs {
 			rows[v] = scalarRow(p.src, v)
 		}
-	} else {
-		p.fetchBatched(vs, rows, &batches, &cells)
+	default:
+		p.mu.Lock()
+		width := p.width
+		p.mu.Unlock()
+		p.fetchBatched(vs, width, rows, &batches, &cells, &remTrips)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Batches += batches
 	p.stats.BatchedCells += cells
+	p.stats.RemainderTrips += remTrips
+	p.observeDegreesLocked(rows)
 	if len(p.rows)+len(rows) > p.cap {
 		// Clearing instead of evicting keeps the cache a plain map; rows
 		// are pure functions of the graph, so only hit rate is at stake.
@@ -309,15 +386,116 @@ func (p *PrefetchOracle) fetchRows(vs []int) map[int][]int {
 	return rows
 }
 
+// fetchFull fills rows through the backend's RowFetcher capability (the
+// rowfull wire op): degree plus full row per vertex in one answer, so no
+// width guess and no remainder trip exist on this path at all. Runs
+// without the lock.
+func (p *PrefetchOracle) fetchFull(vs []int, rows map[int][]int, batches, cells *uint64) {
+	for start := 0; start < len(vs); start += source.MaxProbeBatch {
+		chunk := vs[start:min(start+source.MaxProbeBatch, len(vs))]
+		got, err := p.rf.FetchRows(chunk)
+		if err != nil {
+			var pe *source.ProbeError
+			if errors.As(err, &pe) {
+				panic(pe)
+			}
+			panic(&source.ProbeError{Op: source.OpRowFull, A: len(chunk), Err: err})
+		}
+		*batches++
+		for i, v := range chunk {
+			row := trimRow(got[i], len(got[i]))
+			rows[v] = row
+			*cells += uint64(len(row)) + 1 // the row plus its degree answer
+		}
+	}
+}
+
+// observeDegreesLocked feeds freshly fetched row degrees into the width
+// estimator and re-chooses the speculative width. Caller holds mu.
+func (p *PrefetchOracle) observeDegreesLocked(rows map[int][]int) {
+	if !p.adapt {
+		return
+	}
+	for _, row := range rows {
+		d := len(row)
+		if p.degTotal == 0 {
+			p.degEWMA = float64(d)
+		} else {
+			p.degEWMA += degEWMAAlpha * (float64(d) - p.degEWMA)
+		}
+		p.degHist[degBucket(d)]++
+		p.degTotal++
+		if p.degTotal >= widthWindow {
+			var kept uint64
+			for i := range p.degHist {
+				p.degHist[i] /= 2
+				kept += p.degHist[i]
+			}
+			p.degTotal = kept
+		}
+	}
+	p.width = p.chooseWidthLocked()
+}
+
+// degBucket maps a degree to its histogram bucket; bucket i covers
+// (2^(i-1), 2^i].
+func degBucket(d int) int {
+	if d < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(d) - 1)
+	if i >= degHistBuckets {
+		i = degHistBuckets - 1
+	}
+	return i
+}
+
+// chooseWidthLocked picks the speculative width: the widthQuantile
+// bucket's upper bound (rounded up to a power of two, so constant-degree
+// rows converge exactly), floored by the EWMA's power-of-two ceiling and
+// clamped into [1, MaxFetchWidth]. Below widthMinSamples the current
+// width holds. Caller holds mu.
+func (p *PrefetchOracle) chooseWidthLocked() int {
+	if p.degTotal < widthMinSamples {
+		return p.width
+	}
+	rank := uint64(widthQuantile * float64(p.degTotal))
+	if rank == 0 {
+		rank = 1
+	}
+	w := 1 << (degHistBuckets - 1)
+	var cum uint64
+	for i, c := range p.degHist {
+		cum += c
+		if cum >= rank {
+			w = 1 << i
+			break
+		}
+	}
+	if e := pow2Ceil(int(math.Ceil(p.degEWMA))); e > w {
+		w = e
+	}
+	return min(max(w, 1), MaxFetchWidth)
+}
+
+// pow2Ceil is the smallest power of two at least x (1 for x <= 1).
+func pow2Ceil(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
+}
+
 // fetchBatched fills rows via batched round trips: every row's degree
 // plus its speculative prefix in one batch, then at most one more for the
-// cells beyond the width. Runs without the lock.
-func (p *PrefetchOracle) fetchBatched(vs []int, rows map[int][]int, batches, cells *uint64) {
-	stride := p.width + 1
+// cells beyond the width. Runs without the lock; width is the caller's
+// snapshot of the (possibly learned) speculative width.
+func (p *PrefetchOracle) fetchBatched(vs []int, width int, rows map[int][]int, batches, cells, rem *uint64) {
+	stride := width + 1
 	probes := make([]source.ProbeReq, 0, len(vs)*stride)
 	for _, v := range vs {
 		probes = append(probes, source.ProbeReq{Op: source.OpDegree, A: v})
-		for i := 0; i < p.width; i++ {
+		for i := 0; i < width; i++ {
 			probes = append(probes, source.ProbeReq{Op: source.OpNeighbor, A: v, B: i})
 		}
 	}
@@ -327,10 +505,10 @@ func (p *PrefetchOracle) fetchBatched(vs []int, rows map[int][]int, batches, cel
 	for j, v := range vs {
 		base := j * stride
 		deg := answers[base]
-		take := min(deg, p.width)
+		take := min(deg, width)
 		row := trimRow(answers[base+1:base+1+take], deg)
 		rows[v] = row
-		if len(row) == take && deg > p.width {
+		if len(row) == take && deg > width {
 			rest = append(rest, remainder{v: v, deg: deg})
 		}
 	}
@@ -339,15 +517,17 @@ func (p *PrefetchOracle) fetchBatched(vs []int, rows map[int][]int, batches, cel
 	}
 	probes = probes[:0]
 	for _, r := range rest {
-		for i := p.width; i < r.deg; i++ {
+		for i := width; i < r.deg; i++ {
 			probes = append(probes, source.ProbeReq{Op: source.OpNeighbor, A: r.v, B: i})
 		}
 	}
+	before := *batches
 	answers = p.batch(probes, batches, cells)
+	*rem += *batches - before
 	k := 0
 	for _, r := range rest {
-		tail := trimRow(answers[k:k+r.deg-p.width], r.deg)
-		k += r.deg - p.width
+		tail := trimRow(answers[k:k+r.deg-width], r.deg)
+		k += r.deg - width
 		rows[r.v] = append(rows[r.v], tail...)
 	}
 }

@@ -648,6 +648,7 @@ type edgeAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
 }
@@ -718,7 +719,8 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		st := statsOf(inst)
 		s.met.observeExec(st)
 		ans := edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
+			Remainders: st.RemainderTrips}
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})
@@ -739,6 +741,7 @@ type vertexAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
 }
@@ -797,7 +800,8 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		st := statsOf(inst)
 		s.met.observeExec(st)
 		ans := vertexAnswer{Algo: d.Name, V: v, In: in,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
+			Remainders: st.RemainderTrips}
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})
@@ -818,6 +822,7 @@ type labelAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
 }
@@ -876,7 +881,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		st := statsOf(inst)
 		s.met.observeExec(st)
 		ans := labelAnswer{Algo: d.Name, V: v, Label: label,
-			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges}
+			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
+			Remainders: st.RemainderTrips}
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})

@@ -27,6 +27,9 @@ type Caps struct {
 	// RandomEdge samples a uniform edge in canonical u < v orientation
 	// (the RandomEdger capability).
 	RandomEdge func(prg *rnd.PRG) (u, v int)
+	// FetchRows answers whole adjacency rows in one round trip (the
+	// RowFetcher capability behind the rowfull wire op).
+	FetchRows func(vs []int) ([][]int, error)
 	// Health reports per-replica health (the HealthReporter capability of
 	// sharded fleets).
 	Health func() []ShardHealth
@@ -81,6 +84,19 @@ func RandomEdgerOf(src Source) (RandomEdger, bool) {
 	return re, ok
 }
 
+// RowFetcherOf returns src's RowFetcher capability, dynamic view first,
+// static interface second.
+func RowFetcherOf(src Source) (RowFetcher, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().FetchRows; f != nil {
+			return rowFetcherFunc(f), true
+		}
+		return nil, false
+	}
+	rf, ok := src.(RowFetcher)
+	return rf, ok
+}
+
 // HealthOf returns src's per-replica health snapshot when it has the
 // HealthReporter capability (sharded fleets; dynamic view first, static
 // interface second).
@@ -110,3 +126,7 @@ func (f degreeBounderFunc) MaxDegree() int { return f() }
 type randomEdgerFunc func(prg *rnd.PRG) (int, int)
 
 func (f randomEdgerFunc) RandomEdge(prg *rnd.PRG) (int, int) { return f(prg) }
+
+type rowFetcherFunc func([]int) ([][]int, error)
+
+func (f rowFetcherFunc) FetchRows(vs []int) ([][]int, error) { return f(vs) }

@@ -393,6 +393,155 @@ func TestConformanceFaults(t *testing.T, open FaultFactory) {
 		}
 		inj.Heal(0)
 	})
+	t.Run("hedgerace", func(t *testing.T) {
+		// Pins the hedge accounting contract: every logical probe costs
+		// exactly one primary round trip plus one per hedge fired plus at
+		// most one per failover re-route — a hedge that fires in the same
+		// instant the primary answers must not buy a duplicate trip, and a
+		// shard dying mid-race must not double-count the contenders.
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		if inj.Shards() < 2 {
+			t.Fatal("fault suite needs at least two replicas")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		rt, ok := src.(RoundTripCounter)
+		if !ok {
+			t.Fatal("fault-injectable source lacks the RoundTripCounter capability")
+		}
+		fo, ok := src.(FailoverCounter)
+		if !ok {
+			t.Fatal("fault-injectable source lacks the FailoverCounter capability")
+		}
+		want := make([]int, len(sample))
+		for i, v := range sample {
+			want[i] = src.Degree(v)
+		}
+
+		// Serial baseline on the healthy fleet.
+		trips0, hedges0, fail0 := rt.RoundTrips(), fo.Hedges(), fo.Failovers()
+		for _, v := range sample {
+			src.Degree(v)
+		}
+		probes := uint64(len(sample))
+		hedged := fo.Hedges() - hedges0
+		if got := rt.RoundTrips() - trips0; got != probes+hedged {
+			t.Fatalf("serial sweep: %d trips for %d probes and %d hedges; want trips == probes + hedges", got, probes, hedged)
+		}
+		if got := fo.Failovers() - fail0; got != 0 {
+			t.Fatalf("serial sweep on a healthy fleet counted %d failovers", got)
+		}
+
+		// Hang one replica past the hedge delay and race probers: hedges
+		// now fire concurrently and the identity must survive the race.
+		const hang = 3 * time.Second
+		inj.Hang(0, hang)
+		trips0, hedges0, fail0 = rt.RoundTrips(), fo.Hedges(), fo.Failovers()
+		const workers = 4
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := range errs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i, v := range sample {
+					if got := src.Degree(v); got != want[i] {
+						errs[w] = fmt.Errorf("worker %d: Degree(%d) = %d under hedging, want %d", w, v, got, want[i])
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		probes = uint64(workers * len(sample))
+		hedged = fo.Hedges() - hedges0
+		if hedged == 0 {
+			t.Fatal("a replica hung past the hedge delay but Hedges() never advanced")
+		}
+		if got := rt.RoundTrips() - trips0; got != probes+hedged {
+			t.Fatalf("raced sweep: %d trips for %d probes and %d hedges; want trips == probes + hedges", got, probes, hedged)
+		}
+		if got := fo.Failovers() - fail0; got != 0 {
+			t.Fatalf("Failovers() advanced by %d under a slow-but-healthy replica; hedge wins must not read as failovers", got)
+		}
+
+		// Kill the hanging replica mid-race: in-flight hedges race the 500s
+		// and the dead-marking. Answers must stay correct and every trip
+		// must still be attributable — one per probe, one per hedge, at
+		// most one extra attempt per failover.
+		trips0, hedges0, fail0 = rt.RoundTrips(), fo.Hedges(), fo.Failovers()
+		killed := make(chan struct{})
+		for w := range errs {
+			errs[w] = nil
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pass := 0; pass < 3; pass++ {
+					if w == 0 && pass == 1 {
+						inj.Fail(0)
+						close(killed)
+					}
+					for i, v := range sample {
+						if got := src.Degree(v); got != want[i] {
+							errs[w] = fmt.Errorf("worker %d pass %d: Degree(%d) = %d racing a shard kill, want %d", w, pass, v, got, want[i])
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		<-killed
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		probes = uint64(3 * workers * len(sample))
+		hedged = fo.Hedges() - hedges0
+		failovers := fo.Failovers() - fail0
+		if got := rt.RoundTrips() - trips0; got < probes || got > probes+hedged+failovers {
+			t.Fatalf("kill race: %d trips for %d probes, %d hedges, %d failovers; want probes <= trips <= probes + hedges + failovers", got, probes, hedged, failovers)
+		}
+
+		// Heal, wait for revival and re-run the serial baseline: the
+		// counters must return exactly to the healthy identity — no leaked
+		// loser context may keep bumping them after its race settled.
+		inj.Heal(0)
+		waitShardState(t, src, 0, ShardLive, "after healing the killed replica")
+		trips0, hedges0, fail0 = rt.RoundTrips(), fo.Hedges(), fo.Failovers()
+		for _, v := range sample {
+			src.Degree(v)
+		}
+		probes = uint64(len(sample))
+		hedged = fo.Hedges() - hedges0
+		if got := rt.RoundTrips() - trips0; got != probes+hedged {
+			t.Fatalf("post-heal sweep: %d trips for %d probes and %d hedges; want trips == probes + hedges", got, probes, hedged)
+		}
+		if got := fo.Failovers() - fail0; got != 0 {
+			t.Fatalf("post-heal sweep counted %d failovers on a healthy fleet", got)
+		}
+
+		// Close must not wait out a hanging loser: hang the replica again,
+		// leave losers in flight and check Close returns promptly.
+		inj.Hang(0, hang)
+		for _, v := range sample {
+			src.Degree(v)
+		}
+		start := time.Now()
+		closeConformance(t, src)
+		if elapsed := time.Since(start); elapsed > hang/2 {
+			t.Fatalf("Close took %v with hedge losers still in flight; loser contexts must not outlive the race", elapsed)
+		}
+	})
 	t.Run("alldead", func(t *testing.T) {
 		src, inj := open(t)
 		defer closeConformance(t, src)

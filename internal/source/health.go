@@ -11,10 +11,8 @@ package source
 // them — and the detour is counted as a failover.
 
 import (
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"lca/internal/trace"
 )
@@ -238,13 +236,18 @@ func (s *Sharded) reviveLoop(i int) {
 	st := s.health[i]
 	backoff := s.reviveMin
 	for {
-		// Jitter desynchronizes a fleet of clients re-probing one revived
-		// replica; the exact delay is immaterial to correctness.
-		delay := backoff + time.Duration(rand.Int64N(int64(backoff)/2+1))
+		// The jitter PRG and the sleeper are the fleet's injectable seams
+		// (reviveJitter/reviveSleep), so revival tests run deterministic
+		// schedules instead of racing wall-clock sleeps.
+		if !s.reviveSleep(backoff + s.reviveJitter(backoff)) {
+			return
+		}
 		select {
 		case <-s.stop:
+			// An injected sleeper may not watch s.stop; never ping after
+			// Close.
 			return
-		case <-time.After(delay):
+		default:
 		}
 		st.setState(stateProbing, nil)
 		if err := s.pingShard(i); err != nil {

@@ -1,0 +1,106 @@
+package source
+
+// latencySketch: a fixed-bucket quantile sketch over recent probe
+// round-trip durations, the estimator behind adaptive hedging
+// (hedge=adaptive). Buckets are powers of two of a microsecond, so the
+// whole sketch is a few hundred bytes per shard regardless of traffic —
+// the same o(n)-state discipline as internal/metrics — and a quantile
+// read is a single bucket walk. Recency comes from periodic halving:
+// once the window fills, every count is halved, so old observations
+// decay geometrically and the sketch tracks the shard's current latency
+// regime instead of its lifetime average.
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+const (
+	// latencyBuckets spans 1us .. 2^25us (~33s); bucket i covers
+	// (2^(i-1), 2^i] microseconds. Probes slower than the top bucket
+	// clamp into it — far beyond any sane hedge ceiling anyway.
+	latencyBuckets = 26
+	// latencyWindow is the observation count that triggers a halving:
+	// the sketch weights roughly the last ~window observations.
+	latencyWindow = 512
+	// latencyMinSamples gates quantile reads: below it the sketch has
+	// seen too little to estimate a tail and reports not-ready.
+	latencyMinSamples = 16
+)
+
+// latencySketch is one shard's rolling latency estimator. The zero value
+// is ready to use; safe for concurrent use.
+type latencySketch struct {
+	mu     sync.Mutex
+	counts [latencyBuckets]uint64
+	total  uint64
+}
+
+// latencyBucket maps a duration to its bucket index.
+func latencyBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us) - 1) // smallest i with 2^i >= us
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	return i
+}
+
+// observe records one successful probe's round-trip duration.
+func (ls *latencySketch) observe(d time.Duration) {
+	i := latencyBucket(d)
+	ls.mu.Lock()
+	ls.counts[i]++
+	ls.total++
+	if ls.total >= latencyWindow {
+		var kept uint64
+		for j := range ls.counts {
+			ls.counts[j] /= 2
+			kept += ls.counts[j]
+		}
+		ls.total = kept
+	}
+	ls.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (q in [0,1]) of recent durations,
+// reported as the holding bucket's upper bound — deliberately
+// conservative for a hedge delay: hedging a hair late wastes less than
+// hedging a hair early duplicates. ok is false until latencyMinSamples
+// observations have been recorded.
+func (ls *latencySketch) quantile(q float64) (d time.Duration, ok bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.total < latencyMinSamples {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(ls.total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range ls.counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(uint64(1)<<i) * time.Microsecond, true
+		}
+	}
+	return time.Duration(uint64(1)<<(latencyBuckets-1)) * time.Microsecond, true
+}
+
+// samples reports the current (decayed) observation count (tests).
+func (ls *latencySketch) samples() uint64 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.total
+}

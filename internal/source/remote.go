@@ -101,6 +101,7 @@ type Remote struct {
 	m, maxDeg       int
 	hasM, hasMaxDeg bool
 	hasRE           bool
+	hasRowFull      bool
 	closeOnce       sync.Once
 	// requests counts logical shard requests (one per probe, batch or meta
 	// fetch; retries of one request are not re-counted) — the
@@ -219,6 +220,7 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 		r.maxDeg, r.hasMaxDeg = *meta.MaxDegree, true
 	}
 	r.hasRE = meta.RandomEdge
+	r.hasRowFull = meta.RowFull
 	return r, nil
 }
 
@@ -237,6 +239,9 @@ func (r *Remote) Caps() Caps {
 	}
 	if r.hasRE {
 		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return r.randomEdge(probeScope{}, prg) }
+	}
+	if r.hasRowFull {
+		c.FetchRows = func(vs []int) ([][]int, error) { return r.fetchRowsScoped(probeScope{}, vs) }
 	}
 	return c
 }
@@ -386,6 +391,58 @@ func (r *Remote) batchScoped(ps probeScope, probes []ProbeReq) ([]int, error) {
 			Err: fmt.Errorf("shard answered %d of %d probes", len(out.Answers), len(probes))}
 	}
 	return out.Answers, nil
+}
+
+// fetchRowsScoped implements the RowFetcher capability over the wire:
+// one POST of rowfull probes per MaxProbeBatch chunk, each answering the
+// degree plus the full neighbor row — the remainder round trip the
+// prefetcher would otherwise pay simply does not exist on this path. The
+// shard's answers are validated (row count and per-row length against
+// the answered degrees) before use.
+func (r *Remote) fetchRowsScoped(ps probeScope, vs []int) ([][]int, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	rows := make([][]int, 0, len(vs))
+	for start := 0; start < len(vs); start += MaxProbeBatch {
+		chunk := vs[start:min(start+MaxProbeBatch, len(vs))]
+		probes := make([]ProbeReq, len(chunk))
+		for i, v := range chunk {
+			probes[i] = ProbeReq{Op: OpRowFull, A: v}
+		}
+		body, err := json.Marshal(probeBatchReq{Probes: probes})
+		if err != nil {
+			return nil, err
+		}
+		batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
+		var tags []string
+		if ps.tr != nil {
+			tags = []string{fmt.Sprintf("batch=%d", len(chunk))}
+		}
+		var out probeBatchAnswer
+		if err := r.doJSON(context.Background(), ps, "rpc:rowfull", -1, tags, func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, batchURL, strings.NewReader(string(body)))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		}, &out); err != nil {
+			return nil, &ProbeError{Shard: r.base, Op: OpRowFull, A: len(chunk), Status: statusOf(err), Err: err}
+		}
+		if len(out.Answers) != len(chunk) || len(out.Rows) != len(chunk) {
+			return nil, &ProbeError{Shard: r.base, Op: OpRowFull, A: len(chunk),
+				Err: fmt.Errorf("shard answered %d answers and %d rows for %d probes", len(out.Answers), len(out.Rows), len(chunk))}
+		}
+		for i, row := range out.Rows {
+			if len(row) != out.Answers[i] {
+				return nil, &ProbeError{Shard: r.base, Op: OpRowFull, A: chunk[i],
+					Err: fmt.Errorf("shard answered a %d-neighbor row for degree %d", len(row), out.Answers[i])}
+			}
+		}
+		rows = append(rows, out.Rows...)
+	}
+	return rows, nil
 }
 
 func (r *Remote) metaURL() string {
@@ -566,12 +623,15 @@ func (s *remoteScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
 	return s.r.batchScoped(s.scope(), probes)
 }
 
-// Caps forwards the remote's capability view, with RandomEdge attributed
-// to this scope.
+// Caps forwards the remote's capability view, with RandomEdge and
+// FetchRows attributed to this scope.
 func (s *remoteScope) Caps() Caps {
 	c := s.r.Caps()
 	if c.RandomEdge != nil {
 		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.r.randomEdge(s.scope(), prg) }
+	}
+	if c.FetchRows != nil {
+		c.FetchRows = func(vs []int) ([][]int, error) { return s.r.fetchRowsScoped(s.scope(), vs) }
 	}
 	return c
 }

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,12 @@ const (
 	// exponential backoff between half-open re-probes of a dead shard.
 	DefaultReviveMin = 250 * time.Millisecond
 	DefaultReviveMax = 5 * time.Second
+	// DefaultHedgeFloor / DefaultHedgeCeil bound the adaptive hedge delay
+	// (WithAdaptiveHedge, hedge=adaptive): the p95-derived delay is
+	// clamped into [floor, ceil], and the ceiling alone is used until the
+	// latency sketch has enough samples to estimate a tail.
+	DefaultHedgeFloor = time.Millisecond
+	DefaultHedgeCeil  = 100 * time.Millisecond
 )
 
 // scopedProber is the internal seam between a fleet and its network
@@ -56,6 +63,7 @@ type scopedProber interface {
 	probeScoped(ctx context.Context, ps probeScope, op string, a, b int) (int, *ProbeError)
 	batchScoped(ps probeScope, probes []ProbeReq) ([]int, error)
 	randomEdgeScoped(ps probeScope, seed uint64) (int, int, *ProbeError)
+	fetchRowsScoped(ps probeScope, vs []int) ([][]int, error)
 }
 
 // Sharded fans probes out across replica shards. Construct with
@@ -76,11 +84,23 @@ type Sharded struct {
 	m, maxDeg       int
 	hasM, hasMaxDeg bool
 	hasRE           bool
+	hasRowFull      bool
 
 	hedge         time.Duration
+	adaptiveHedge bool
+	hedgeFloor    time.Duration
+	hedgeCeil     time.Duration
+	lat           []*latencySketch // per-shard estimators, nil unless adaptive
 	failThreshold int
 	reviveMin     time.Duration
 	reviveMax     time.Duration
+	// reviveSleep and reviveJitter are the reviver's timing seams,
+	// injectable so revival tests are deterministic instead of
+	// wall-clock-and-global-PRNG dependent. reviveSleep waits for d (or
+	// fleet shutdown, reporting false); reviveJitter draws the jitter
+	// added to one backoff delay.
+	reviveSleep  func(d time.Duration) bool
+	reviveJitter func(backoff time.Duration) time.Duration
 
 	health []*shardState
 	stop   chan struct{}
@@ -138,6 +158,31 @@ func WithHedge(d time.Duration) ShardedOption {
 	}
 }
 
+// WithAdaptiveHedge enables adaptive hedged probes: instead of a fixed
+// delay, each shard's hedge delay is derived from a rolling latency
+// sketch over its recent successful probes — the p95, clamped into
+// [floor, ceil] — so the fleet hedges exactly when a probe is slow *for
+// that shard right now*, not against a guess made at deploy time. Until
+// a shard has enough samples the ceiling is used (conservative: hedging
+// late wastes less than hedging early duplicates). Non-positive floor
+// and ceil take DefaultHedgeFloor/DefaultHedgeCeil; ceil is clamped up
+// to floor. Overrides WithHedge's fixed delay.
+func WithAdaptiveHedge(floor, ceil time.Duration) ShardedOption {
+	return func(s *Sharded) {
+		s.adaptiveHedge = true
+		if floor <= 0 {
+			floor = DefaultHedgeFloor
+		}
+		if ceil <= 0 {
+			ceil = DefaultHedgeCeil
+		}
+		if ceil < floor {
+			ceil = floor
+		}
+		s.hedgeFloor, s.hedgeCeil = floor, ceil
+	}
+}
+
 // WithFailureThreshold sets how many consecutive failures mark a shard
 // dead (default DefaultFailureThreshold). Values below 1 are ignored.
 func WithFailureThreshold(k int) ShardedOption {
@@ -191,7 +236,20 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 				i, sh.N(), s.n)
 		}
 	}
-	s.hasM, s.hasMaxDeg, s.hasRE = true, true, true
+	s.reviveSleep = func(d time.Duration) bool {
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	s.reviveJitter = func(backoff time.Duration) time.Duration {
+		// Jitter desynchronizes a fleet of clients re-probing one revived
+		// replica; the exact delay is immaterial to correctness.
+		return time.Duration(rand.Int64N(int64(backoff)/2 + 1))
+	}
+	s.hasM, s.hasMaxDeg, s.hasRE, s.hasRowFull = true, true, true, true
 	s.labels = make([]string, len(shards))
 	s.health = make([]*shardState, len(shards))
 	for i, sh := range shards {
@@ -199,6 +257,9 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 		s.health[i] = newShardState()
 		if _, ok := RandomEdgerOf(sh); !ok {
 			s.hasRE = false
+		}
+		if _, ok := RowFetcherOf(sh); !ok {
+			s.hasRowFull = false
 		}
 		if mc, ok := EdgeCounterOf(sh); ok {
 			if i > 0 && s.hasM && mc.M() != s.m {
@@ -219,6 +280,12 @@ func newSharded(shards []Source, opts ...ShardedOption) (*Sharded, error) {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.adaptiveHedge {
+		s.lat = make([]*latencySketch, len(shards))
+		for i := range s.lat {
+			s.lat[i] = &latencySketch{}
+		}
 	}
 	return s, nil
 }
@@ -249,6 +316,9 @@ func (s *Sharded) Caps() Caps {
 	}
 	if s.hasRE {
 		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return s.randomEdge(nil, prg) }
+	}
+	if s.hasRowFull {
+		c.FetchRows = func(vs []int) ([][]int, error) { return s.fetchRows(nil, vs) }
 	}
 	return c
 }
@@ -381,6 +451,32 @@ func (s *Sharded) noteHedge(sink *scopeSink) {
 	sink.hedge()
 }
 
+// noteLatency feeds one successful probe's round-trip duration on shard i
+// into its latency sketch (no-op unless adaptive hedging is on).
+func (s *Sharded) noteLatency(i int, d time.Duration) {
+	if s.lat != nil {
+		s.lat[i].observe(d)
+	}
+}
+
+// hedgeDelay picks the hedge delay to use against shard i: the fixed
+// WithHedge duration, or under WithAdaptiveHedge the shard's recent-p95
+// clamped into [hedgeFloor, hedgeCeil] — the ceiling alone while the
+// sketch is cold. 0 disables hedging for this probe.
+func (s *Sharded) hedgeDelay(i int) time.Duration {
+	if !s.adaptiveHedge {
+		return s.hedge
+	}
+	d, ok := s.lat[i].quantile(0.95)
+	if !ok || d > s.hedgeCeil {
+		return s.hedgeCeil
+	}
+	if d < s.hedgeFloor {
+		return s.hedgeFloor
+	}
+	return d
+}
+
 // N implements Source.
 func (s *Sharded) N() int { return s.n }
 
@@ -497,8 +593,8 @@ func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
 		var hedged bool
 		var perr *ProbeError
 		var failed []shardFailure
-		if s.hedge > 0 && secondary >= 0 {
-			ans, served, hedged, failed, perr = s.hedgedProbe(sink, ps, primary, secondary, op, a, b)
+		if delay := s.hedgeDelay(primary); delay > 0 && secondary >= 0 {
+			ans, served, hedged, failed, perr = s.hedgedProbe(sink, ps, primary, secondary, delay, op, a, b)
 			tagHedge = tagHedge || hedged
 		} else {
 			served = primary
@@ -570,7 +666,7 @@ type hedgeResult struct {
 // success wins and the loser's request is cancelled via context. Returns
 // whether the hedge timer fired and the temporary failures observed so
 // the caller can record and exclude them.
-func (s *Sharded) hedgedProbe(sink *scopeSink, ps probeScope, primary, secondary int, op string, a, b int) (ans, served int, hedged bool, failed []shardFailure, perr *ProbeError) {
+func (s *Sharded) hedgedProbe(sink *scopeSink, ps probeScope, primary, secondary int, delay time.Duration, op string, a, b int) (ans, served int, hedged bool, failed []shardFailure, perr *ProbeError) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ch := make(chan hedgeResult, 2)
@@ -581,45 +677,72 @@ func (s *Sharded) hedgedProbe(sink *scopeSink, ps probeScope, primary, secondary
 		}()
 	}
 	launch(primary)
-	timer := time.NewTimer(s.hedge)
+	timer := time.NewTimer(delay)
 	defer timer.Stop()
 	launched, settled := 1, 0
+	// settle folds one contender's result into the race's outcome; done
+	// reports the race is decided and the named returns are set.
+	settle := func(res hedgeResult) (done bool) {
+		settled++
+		if res.err == nil {
+			if settled < launched {
+				// The loser is still in flight (cancelled above). Its
+				// verdict matters for health: a shard that had already
+				// failed hard before the cancellation (the hedge that
+				// masked a refused connection) must accumulate the
+				// failure, or a dead replica would hide behind the
+				// hedge forever and every probe it owns would pay the
+				// hedge delay. Pure cancellations are not failures.
+				go s.harvestLoser(ch)
+			}
+			ans, served, perr = res.ans, res.shard, nil
+			return true
+		}
+		if !res.err.Temporary() {
+			ans, served, perr = 0, 0, res.err
+			return true
+		}
+		failed = append(failed, shardFailure{i: res.shard, err: res.err})
+		if launched == 1 {
+			// Primary failed before the hedge delay: escalate now.
+			// This is a failover, not a hedge — the timer never fired.
+			launch(secondary)
+			launched = 2
+			return false
+		}
+		if settled == launched {
+			ans, served, perr = 0, 0, res.err
+			return true
+		}
+		return false
+	}
 	for {
 		select {
 		case res := <-ch:
-			settled++
-			if res.err == nil {
-				if settled < launched {
-					// The loser is still in flight (cancelled above). Its
-					// verdict matters for health: a shard that had already
-					// failed hard before the cancellation (the hedge that
-					// masked a refused connection) must accumulate the
-					// failure, or a dead replica would hide behind the
-					// hedge forever and every probe it owns would pay the
-					// hedge delay. Pure cancellations are not failures.
-					go s.harvestLoser(ch)
-				}
-				return res.ans, res.shard, hedged, failed, nil
-			}
-			if !res.err.Temporary() {
-				return 0, 0, hedged, failed, res.err
-			}
-			failed = append(failed, shardFailure{i: res.shard, err: res.err})
-			if launched == 1 {
-				// Primary failed before the hedge delay: escalate now.
-				// This is a failover, not a hedge — the timer never fired.
-				launch(secondary)
-				launched = 2
-			} else if settled == launched {
-				return 0, 0, hedged, failed, res.err
+			if settle(res) {
+				return
 			}
 		case <-timer.C:
-			if launched == 1 {
-				s.noteHedge(sink)
-				hedged = true
-				launch(secondary)
-				launched = 2
+			if launched != 1 {
+				continue
 			}
+			// The timer and the primary's result can become ready in the
+			// same instant, and select picks between ready cases at random:
+			// prefer the result, or a probe that answered exactly on time
+			// would fire (and count) a spurious hedge and burn a duplicate
+			// round trip on the secondary.
+			select {
+			case res := <-ch:
+				if settle(res) {
+					return
+				}
+				continue
+			default:
+			}
+			s.noteHedge(sink)
+			hedged = true
+			launch(secondary)
+			launched = 2
 		}
 	}
 }
@@ -640,6 +763,18 @@ func (s *Sharded) harvestLoser(ch <-chan hedgeResult) {
 // hedging); other shards are called directly with *ProbeError panics
 // recovered — a nested network-backed shard fails like a flat one.
 func (s *Sharded) probeOnShard(ctx context.Context, ps probeScope, i int, op string, a, b int) (ans int, perr *ProbeError) {
+	if s.lat != nil {
+		// Feed the adaptive-hedge estimator. Registered first so it runs
+		// after the recover below has settled perr: only successful probes
+		// are observed — a refused connection answers in microseconds and
+		// would drag the p95 toward zero, hedging everything.
+		start := time.Now()
+		defer func() {
+			if perr == nil {
+				s.lat[i].observe(time.Since(start))
+			}
+		}()
+	}
 	sh := s.shards[i]
 	if sp, ok := sh.(scopedProber); ok {
 		return sp.probeScoped(ctx, ps, op, a, b)
@@ -881,14 +1016,21 @@ func temporaryProbeErr(err error) bool {
 
 // batchOnShard answers the probes at idxs against one shard, using its
 // batch capability when it has one.
-func (s *Sharded) batchOnShard(ps probeScope, shard int, idxs []int, probes []ProbeReq, answers []int) error {
+func (s *Sharded) batchOnShard(ps probeScope, shard int, idxs []int, probes []ProbeReq, answers []int) (err error) {
+	if s.lat != nil {
+		start := time.Now()
+		defer func() {
+			if err == nil {
+				s.lat[shard].observe(time.Since(start))
+			}
+		}()
+	}
 	sh := s.shards[shard]
 	sub := make([]ProbeReq, len(idxs))
 	for j, i := range idxs {
 		sub[j] = probes[i]
 	}
 	var got []int
-	var err error
 	switch b := sh.(type) {
 	case scopedProber:
 		got, err = b.batchScoped(ps, sub)
@@ -917,6 +1059,163 @@ func (s *Sharded) batchOnShard(ps probeScope, shard int, idxs []int, probes []Pr
 		answers[i] = got[j]
 	}
 	return nil
+}
+
+// fetchRows implements the RowFetcher capability when every shard has it:
+// vertices are grouped by their owning live shard and fanned out
+// concurrently, failing groups re-routed round by round exactly like
+// batch(). Rows are index-aligned with vs; answers never differ between
+// replicas, so failover and hedging semantics carry over unchanged.
+func (s *Sharded) fetchRows(sink *scopeSink, vs []int) ([][]int, error) {
+	if len(vs) > MaxProbeBatch {
+		return nil, fmt.Errorf("source: sharded: rowfull batch of %d exceeds the maximum %d", len(vs), MaxProbeBatch)
+	}
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	tr := sink.tracer()
+	var h trace.Handle
+	done := false
+	if tr != nil {
+		h = tr.Start("probe:rowfull", -1)
+		defer func() {
+			tags := []string{fmt.Sprintf("batch=%d", len(vs))}
+			if !done {
+				tags = append(tags, "error")
+			}
+			tr.End(h, tags...)
+		}()
+	}
+	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
+	rows := make([][]int, len(vs))
+	pending := make([]int, len(vs)) // indices into vs still unanswered
+	for i := range vs {
+		pending[i] = i
+	}
+	var exclude []bool
+	var lastErr error
+	for round := 0; len(pending) > 0 && round <= len(s.shards); round++ {
+		groups := make(map[int][]int)            // shard -> indices into vs
+		wants := make(map[int]int, len(pending)) // index -> rendezvous winner
+		for _, i := range pending {
+			primary, _, want := s.pickLive(vs[i], exclude)
+			if primary < 0 {
+				if lastErr == nil {
+					lastErr = errors.New("all replicas are dead")
+				}
+				return nil, &ProbeError{Shard: s.label(), Op: OpRowFull, A: len(vs),
+					Err: fmt.Errorf("no live replica can serve the rowfull batch: %w", lastErr)}
+			}
+			groups[primary] = append(groups[primary], i)
+			wants[i] = want
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(s.shards))
+		for shard, idxs := range groups {
+			wg.Add(1)
+			go func(shard int, idxs []int) {
+				defer wg.Done()
+				errs[shard] = s.rowsOnShard(ps, shard, idxs, vs, rows)
+			}(shard, idxs)
+		}
+		wg.Wait()
+		pending = pending[:0]
+		for shard, idxs := range groups {
+			err := errs[shard]
+			if err == nil {
+				s.health[shard].noteSuccess()
+				for _, i := range idxs {
+					if shard != wants[i] {
+						s.noteFailover(sink)
+					}
+				}
+				continue
+			}
+			if !temporaryProbeErr(err) {
+				return nil, err
+			}
+			s.markFailure(shard, err)
+			lastErr = err
+			if exclude == nil {
+				exclude = make([]bool, len(s.shards))
+			}
+			exclude[shard] = true
+			pending = append(pending, idxs...)
+		}
+	}
+	if len(pending) > 0 {
+		return nil, &ProbeError{Shard: s.label(), Op: OpRowFull, A: len(vs),
+			Err: fmt.Errorf("no live replica can serve the rowfull batch: %w", lastErr)}
+	}
+	if s.cache != nil {
+		// A full row pins down its degree, every neighbor slot and the
+		// matching adjacency answers — the same free entries neighbor()
+		// caches, just a whole row at a time.
+		for i, v := range vs {
+			row := rows[i]
+			s.cache.put(probeKey{op: opDeg, ab: packProbe(v, 0)}, len(row))
+			for j, u := range row {
+				s.cache.put(probeKey{op: opNbr, ab: packProbe(v, j)}, u)
+				s.cache.put(probeKey{op: opAdj, ab: packProbe(v, u)}, j)
+			}
+		}
+	}
+	done = true
+	return rows, nil
+}
+
+// rowsOnShard fetches the rows of vs[idxs] from one shard, scattering
+// them into rows.
+func (s *Sharded) rowsOnShard(ps probeScope, shard int, idxs []int, vs []int, rows [][]int) (err error) {
+	if s.lat != nil {
+		start := time.Now()
+		defer func() {
+			if err == nil {
+				s.lat[shard].observe(time.Since(start))
+			}
+		}()
+	}
+	sub := make([]int, len(idxs))
+	for j, i := range idxs {
+		sub[j] = vs[i]
+	}
+	var got [][]int
+	if sp, ok := s.shards[shard].(scopedProber); ok {
+		got, err = sp.fetchRowsScoped(ps, sub)
+	} else {
+		rf, ok := RowFetcherOf(s.shards[shard])
+		if !ok {
+			// Unreachable: the capability is advertised only when every
+			// shard has it.
+			return &ProbeError{Shard: s.labels[shard], Op: OpRowFull, Err: errors.New("shard lost the RowFetcher capability")}
+		}
+		got, err = recoverRows(func() ([][]int, error) { return rf.FetchRows(sub) })
+	}
+	if err != nil {
+		return err
+	}
+	if len(got) != len(sub) {
+		return fmt.Errorf("source: sharded: shard %s answered %d of %d rows", s.labels[shard], len(got), len(sub))
+	}
+	for j, i := range idxs {
+		rows[i] = got[j]
+	}
+	return nil
+}
+
+// recoverRows converts a *ProbeError panic from a shard's row-fetch path
+// into an error; anything else propagates.
+func recoverRows(fn func() ([][]int, error)) (got [][]int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			got, err = nil, pe
+		}
+	}()
+	return fn()
 }
 
 // recoverBatch converts a *ProbeError panic from a shard's batch or
@@ -990,12 +1289,15 @@ func (sc *shardedScope) ProbeBatch(probes []ProbeReq) ([]int, error) {
 	return sc.s.batch(&sc.sink, probes)
 }
 
-// Caps forwards the fleet's capability view with RandomEdge attributed to
-// this scope.
+// Caps forwards the fleet's capability view with RandomEdge and FetchRows
+// attributed to this scope.
 func (sc *shardedScope) Caps() Caps {
 	c := sc.s.Caps()
 	if c.RandomEdge != nil {
 		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return sc.s.randomEdge(&sc.sink, prg) }
+	}
+	if c.FetchRows != nil {
+		c.FetchRows = func(vs []int) ([][]int, error) { return sc.s.fetchRows(&sc.sink, vs) }
 	}
 	return c
 }

@@ -90,6 +90,21 @@ type DegreeBounder interface {
 	MaxDegree() int
 }
 
+// RowFetcher is the optional capability of answering whole adjacency rows
+// at once: FetchRows returns, index-aligned with vs, each vertex's full
+// neighbor list (degree = len(row)). It is the transport behind the
+// rowfull wire op — one answer replaces a Degree probe plus a
+// remainder-width Neighbor batch, erasing the extra round trip — and
+// exists only where a backend can serve it in one shot (Remote against a
+// rowfull-capable shard, Sharded when every replica has it). Returned
+// rows must equal what Degree/Neighbor probes would assemble; callers own
+// the returned slices. The capability is transport-level: probe
+// accounting for the cells read is the caller's job, exactly as with
+// ProbeBatch.
+type RowFetcher interface {
+	FetchRows(vs []int) ([][]int, error)
+}
+
 // Closer is implemented by sources holding external resources (the CSR
 // backend). Callers that opened a source via Parse should Close it when
 // done; Close on other backends is absent and a no-op by omission.

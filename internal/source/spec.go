@@ -13,9 +13,10 @@ package source
 // (n=1_000_000_000, n=1e9). A seed=... key overrides the seed passed to
 // Parse for the families that consume one. The sharded list takes any
 // sub-specs plus optional cache=N (client-side probe LRU) and
-// hedge=DURATION (hedged probes, e.g. hedge=20ms) items, ";"-separated —
-// or ","-separated when no sub-spec contains a comma, so
-// sharded:remote:http://a,remote:http://b works.
+// hedge=DURATION (hedged probes, e.g. hedge=20ms) or hedge=adaptive
+// (per-shard p95-derived delay, bounded by hedgefloor=/hedgeceil=)
+// items, ";"-separated — or ","-separated when no sub-spec contains a
+// comma, so sharded:remote:http://a,remote:http://b works.
 
 import (
 	"fmt"
@@ -165,7 +166,8 @@ var families = map[string]*Family{
 	"sharded": {
 		Name: "sharded",
 		Usage: "sharded:spec;spec;... — consistent-hash probes across replica shards with failover " +
-			"(any sub-specs; ';' or ',' separated; cache=N adds a client-side LRU, hedge=20ms hedges slow probes)",
+			"(any sub-specs; ';' or ',' separated; cache=N adds a client-side LRU, hedge=20ms hedges slow probes, " +
+			"hedge=adaptive derives the delay from each shard's recent p95, bounded by hedgefloor=/hedgeceil=)",
 		// Open is assigned in init: it recurses into Parse, and a literal
 		// here would be an initialization cycle.
 	},
@@ -217,6 +219,18 @@ func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
 		}
 	}
 	var opts []ShardedOption
+	var adaptive bool
+	var hedgeFloor, hedgeCeil time.Duration
+	hedgeBound := func(name, raw string) (time.Duration, error) {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		if d <= 0 || d > time.Minute {
+			return 0, fmt.Errorf("%s %s must be in (0s,1m]", name, d)
+		}
+		return d, nil
+	}
 	for _, item := range splitShardSpecs(args["path"]) {
 		item = strings.TrimSpace(item)
 		if item == "" {
@@ -237,16 +251,34 @@ func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
 			continue
 		}
 		if raw, ok := strings.CutPrefix(item, "hedge="); ok {
-			d, err := time.ParseDuration(raw)
+			if raw == "adaptive" {
+				adaptive = true
+				continue
+			}
+			d, err := hedgeBound("hedge delay", raw)
 			if err != nil {
 				closeAll()
-				return nil, fmt.Errorf("hedge delay: %w", err)
-			}
-			if d <= 0 || d > time.Minute {
-				closeAll()
-				return nil, fmt.Errorf("hedge delay %s must be in (0s,1m]", d)
+				return nil, err
 			}
 			opts = append(opts, WithHedge(d))
+			continue
+		}
+		if raw, ok := strings.CutPrefix(item, "hedgefloor="); ok {
+			d, err := hedgeBound("hedge floor", raw)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			hedgeFloor = d
+			continue
+		}
+		if raw, ok := strings.CutPrefix(item, "hedgeceil="); ok {
+			d, err := hedgeBound("hedge ceiling", raw)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			hedgeCeil = d
 			continue
 		}
 		sh, err := Parse(item, seed)
@@ -255,6 +287,12 @@ func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
 			return nil, err
 		}
 		shards = append(shards, sh)
+	}
+	if adaptive {
+		opts = append(opts, WithAdaptiveHedge(hedgeFloor, hedgeCeil))
+	} else if hedgeFloor > 0 || hedgeCeil > 0 {
+		closeAll()
+		return nil, fmt.Errorf("hedgefloor=/hedgeceil= require hedge=adaptive")
 	}
 	src, err := NewSharded(shards, opts...)
 	if err != nil {

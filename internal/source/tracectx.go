@@ -66,6 +66,8 @@ func rpcSpanOp(op string) string {
 		return "rpc:adjacency"
 	case OpRandomEdge:
 		return "rpc:randomedge"
+	case OpRowFull:
+		return "rpc:rowfull"
 	}
 	return "rpc:probe"
 }
@@ -97,6 +99,8 @@ func shardSpanOp(op string) string {
 		return "shard:adjacency"
 	case OpRandomEdge:
 		return "shard:randomedge"
+	case OpRowFull:
+		return "shard:rowfull"
 	}
 	return "shard:probe"
 }

@@ -6,8 +6,9 @@ package source
 //
 //	GET  /probe?op=degree|neighbor|adjacency&a=A[&b=B][&source=NAME]
 //	GET  /probe?op=randomedge&seed=S[&source=NAME]
+//	GET  /probe?op=rowfull&a=A[&source=NAME]
 //	POST /probe[?source=NAME]      {"probes":[{"op":"neighbor","a":5,"b":2},...]}
-//	GET  /probe/meta[?source=NAME] {"n":N[,"m":M][,"max_degree":D][,"random_edge":true]}
+//	GET  /probe/meta[?source=NAME] {"n":N[,"m":M][,"max_degree":D][,"random_edge":true][,"row_full":true]}
 //
 // Answers keep the Source interface's conventions exactly (-1 for
 // out-of-range neighbor indices and non-edges), so remote probing is
@@ -43,6 +44,11 @@ const (
 	// OpRandomEdge is the seeded random-edge extension (GET-only; not
 	// batchable).
 	OpRandomEdge = "randomedge"
+	// OpRowFull answers a vertex's degree and its full neighbor row in one
+	// probe (answer = the degree, row = the neighbors in list order) — the
+	// op that erases the prefetcher's remainder round trip. Batchable;
+	// capability-gated by the row_full meta flag.
+	OpRowFull = "rowfull"
 )
 
 // MaxProbeBatch caps the probe count of one POST /probe request; larger
@@ -75,8 +81,11 @@ type BatchProber interface {
 // Span ids in it are the shard's own; the client renumbers and grafts
 // them under its rpc span (trace.Tracer.Merge).
 type probeAnswer struct {
-	Answer int          `json:"answer"`
-	Trace  []trace.Span `json:"trace,omitempty"`
+	Answer int `json:"answer"`
+	// Row carries the full neighbor row on op=rowfull (Answer is its
+	// length, the degree); absent on every other op.
+	Row   []int        `json:"row,omitempty"`
+	Trace []trace.Span `json:"trace,omitempty"`
 }
 
 // randomEdgeAnswer is the op=randomedge body: one uniform edge in
@@ -92,8 +101,12 @@ type probeBatchReq struct {
 }
 
 type probeBatchAnswer struct {
-	Answers []int        `json:"answers"`
-	Trace   []trace.Span `json:"trace,omitempty"`
+	Answers []int `json:"answers"`
+	// Rows is index-aligned with the request when it carried any rowfull
+	// probes: the full neighbor row per rowfull probe (its answers entry
+	// is the degree), null for other ops. Absent on row-free batches.
+	Rows  [][]int      `json:"rows,omitempty"`
+	Trace []trace.Span `json:"trace,omitempty"`
 }
 
 func (a *probeAnswer) traceSpans() []trace.Span      { return a.Trace }
@@ -127,6 +140,7 @@ type probeMeta struct {
 	M          *int          `json:"m,omitempty"`
 	MaxDegree  *int          `json:"max_degree,omitempty"`
 	RandomEdge bool          `json:"random_edge,omitempty"`
+	RowFull    bool          `json:"row_full,omitempty"`
 	Shards     []ShardHealth `json:"shards,omitempty"`
 }
 
@@ -144,6 +158,15 @@ func metaOf(src Source) probeMeta {
 	}
 	if _, ok := RandomEdgerOf(src); ok {
 		meta.RandomEdge = true
+	}
+	if _, ok := RowFetcherOf(src); ok {
+		meta.RowFull = true
+	} else if _, ok := src.(RoundTripCounter); !ok {
+		// A local source assembles a row from Degree/Neighbor reads for
+		// free, so any shard fronting one serves rowfull; a network-backed
+		// source advertises it only when its own upstream does, or the
+		// "one answer, one trip" promise would silently cost a fan-out.
+		meta.RowFull = true
 	}
 	if health, ok := HealthOf(src); ok {
 		meta.Shards = health
@@ -191,7 +214,7 @@ func answerProbeRecover(src Source, op string, a, b int) (ans, status int, msg s
 // edge", answered -1.
 func validateProbe(src Source, p ProbeReq) (status int, msg string) {
 	switch p.Op {
-	case OpDegree, OpNeighbor:
+	case OpDegree, OpNeighbor, OpRowFull:
 		if n := src.N(); p.A < 0 || p.A >= n {
 			return http.StatusBadRequest, fmt.Sprintf("probe %s: vertex %d out of range [0,%d)", p.Op, p.A, n)
 		}
@@ -200,7 +223,7 @@ func validateProbe(src Source, p ProbeReq) (status int, msg string) {
 		// Answers are (u,v) pairs; batch answers are flat int slices.
 		return http.StatusBadRequest, fmt.Sprintf("probe op %q is not batchable (use GET /probe?op=%s&seed=...)", OpRandomEdge, OpRandomEdge)
 	default:
-		return http.StatusBadRequest, fmt.Sprintf("unknown probe op %q (want %s, %s or %s)", p.Op, OpDegree, OpNeighbor, OpAdjacency)
+		return http.StatusBadRequest, fmt.Sprintf("unknown probe op %q (want %s, %s, %s or %s)", p.Op, OpDegree, OpNeighbor, OpAdjacency, OpRowFull)
 	}
 	return 0, ""
 }
@@ -259,6 +282,10 @@ func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 		writeWireErr(w, http.StatusBadRequest, "probe %s requires parameter \"b\"", op)
 		return
 	}
+	if op == OpRowFull {
+		serveRowFull(w, src, a, tr)
+		return
+	}
 	view := src
 	var h trace.Handle
 	if tr != nil {
@@ -306,7 +333,7 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 		tr.Push(h)
 		view = TracedView(src, tr)
 	}
-	answers, status, msg := answerBatch(view, req.Probes)
+	answers, rows, status, msg := answerBatch(view, req.Probes)
 	if tr != nil {
 		tr.Pop()
 		tr.End(h)
@@ -315,30 +342,132 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers, Trace: tr.Spans()})
+	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers, Rows: rows, Trace: tr.Spans()})
 }
 
-// answerBatch answers a validated probe batch against src. A
-// network-backed source (a shard fronting other shards) forwards the
-// whole batch in its own single round trip instead of one upstream
-// request per probe.
-func answerBatch(src Source, probes []ProbeReq) (answers []int, status int, msg string) {
+// answerBatch answers a validated probe batch against src. rowfull probes
+// are split out and served through the row path (RowFetcher when src has
+// it, free local assembly otherwise); the rest is forwarded whole when a
+// network-backed source (a shard fronting other shards) can answer it in
+// its own single round trip instead of one upstream request per probe.
+// rows is index-aligned with probes when any probe was rowfull, nil
+// otherwise.
+func answerBatch(src Source, probes []ProbeReq) (answers []int, rows [][]int, status int, msg string) {
+	var rowIdx, restIdx []int
+	for i, p := range probes {
+		if p.Op == OpRowFull {
+			rowIdx = append(rowIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	rest := probes
+	if len(rowIdx) > 0 {
+		answers = make([]int, len(probes))
+		rows = make([][]int, len(probes))
+		vs := make([]int, len(rowIdx))
+		for j, i := range rowIdx {
+			vs[j] = probes[i].A
+		}
+		got, status, msg := fetchRowsFrom(src, vs)
+		if status != 0 {
+			return nil, nil, status, msg
+		}
+		for j, i := range rowIdx {
+			rows[i] = got[j]
+			answers[i] = len(got[j])
+		}
+		if len(restIdx) == 0 {
+			return answers, rows, 0, ""
+		}
+		rest = make([]ProbeReq, len(restIdx))
+		for j, i := range restIdx {
+			rest[j] = probes[i]
+		}
+	}
+	var got []int
 	if bp, ok := src.(BatchProber); ok {
-		answers, err := bp.ProbeBatch(probes)
+		var err error
+		got, err = bp.ProbeBatch(rest)
+		if err != nil {
+			return nil, nil, http.StatusBadGateway, err.Error()
+		}
+	} else {
+		got = make([]int, len(rest))
+		for j, p := range rest {
+			ans, status, msg := answerProbeRecover(src, p.Op, p.A, p.B)
+			if status != 0 {
+				return nil, nil, status, fmt.Sprintf("probe %d: %s", restIdx[j], msg)
+			}
+			got[j] = ans
+		}
+	}
+	if len(rowIdx) == 0 {
+		return got, nil, 0, ""
+	}
+	for j, i := range restIdx {
+		answers[i] = got[j]
+	}
+	return answers, rows, 0, ""
+}
+
+// serveRowFull answers GET /probe?op=rowfull&a=V: the degree plus the
+// full neighbor row in one answer.
+func serveRowFull(w http.ResponseWriter, src Source, a int, tr *trace.Tracer) {
+	if status, msg := validateProbe(src, ProbeReq{Op: OpRowFull, A: a}); status != 0 {
+		writeWireErr(w, status, "%s", msg)
+		return
+	}
+	view := src
+	var h trace.Handle
+	if tr != nil {
+		h = tr.Start(shardSpanOp(OpRowFull), a)
+		tr.Push(h)
+		view = TracedView(src, tr)
+	}
+	rows, status, msg := fetchRowsFrom(view, []int{a})
+	if tr != nil {
+		tr.Pop()
+		tr.End(h)
+	}
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
+		return
+	}
+	row := rows[0]
+	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: len(row), Row: row, Trace: tr.Spans()})
+}
+
+// fetchRowsFrom answers rowfull probes against src: the RowFetcher
+// capability when present, scalar Degree/Neighbor assembly otherwise
+// (free reads on a local backend). Upstream failures (*ProbeError, from
+// either path) answer the 502 envelope, matching answerProbeRecover.
+func fetchRowsFrom(src Source, vs []int) (rows [][]int, status int, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			rows, status, msg = nil, http.StatusBadGateway, pe.Error()
+		}
+	}()
+	if rf, ok := RowFetcherOf(src); ok {
+		got, err := rf.FetchRows(vs)
 		if err != nil {
 			return nil, http.StatusBadGateway, err.Error()
 		}
-		return answers, 0, ""
+		return got, 0, ""
 	}
-	answers = make([]int, len(probes))
-	for i, p := range probes {
-		ans, status, msg := answerProbeRecover(src, p.Op, p.A, p.B)
-		if status != 0 {
-			return nil, status, fmt.Sprintf("probe %d: %s", i, msg)
+	rows = make([][]int, len(vs))
+	for i, v := range vs {
+		row := make([]int, src.Degree(v))
+		for j := range row {
+			row[j] = src.Neighbor(v, j)
 		}
-		answers[i] = ans
+		rows[i] = row
 	}
-	return answers, 0, ""
+	return rows, 0, ""
 }
 
 // serveRandomEdge answers op=randomedge: a uniform edge drawn from a PRG
