@@ -409,31 +409,39 @@ func (r *runner) net() {
 			c()
 		}
 	}()
-	spawnShard := func(spec string) (string, bool) {
+	spawnShard := func(spec string, attested bool) (url, root string, ok bool) {
 		backing, err := source.Parse(spec, r.seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
-			return "", false
+			return "", "", false
+		}
+		if attested {
+			att := source.NewAttested(backing)
+			backing, root = att, att.Commitment().String()
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "NET: %v\n", err)
-			return "", false
+			return "", "", false
 		}
 		srv := &http.Server{Handler: serve.NewFromSource(backing, spec, r.seed).Handler()}
 		go func() { _ = srv.Serve(ln) }()
 		cleanup = append(cleanup, func() { _ = srv.Close() })
-		return "http://" + ln.Addr().String(), true
+		return "http://" + ln.Addr().String(), root, true
 	}
 	urls := make([]string, 2)
 	for i := range urls {
-		u, ok := spawnShard(backingSpec)
+		u, _, ok := spawnShard(backingSpec, false)
 		if !ok {
 			return
 		}
 		urls[i] = u
 	}
-	blockURL, ok := spawnShard(blockSpec)
+	blockURL, _, ok := spawnShard(blockSpec, false)
+	if !ok {
+		return
+	}
+	attURL, attRoot, ok := spawnShard(backingSpec, true)
 	if !ok {
 		return
 	}
@@ -448,6 +456,13 @@ func (r *runner) net() {
 		{"sharded x2 prefetch", "sharded:remote:" + urls[0] + ",remote:" + urls[1], queryConfig{prefetch: true}},
 		{"sharded x2 lru", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], queryConfig{}},
 		{"sharded x2 lru prefetch", "sharded:cache=65536;remote:" + urls[0] + ";remote:" + urls[1], queryConfig{prefetch: true}},
+		// Attestation rows: the same shard committed to its graph, the
+		// client pinning the root — every answer verified against a Merkle
+		// row proof. The probe columns must stay identical to the remote x1
+		// rows (verification never changes answers); proof B/query prices
+		// the integrity, scalar vs rowfull-batched transport.
+		{"remote x1 attest", "remote:" + attURL + "#root=" + attRoot, queryConfig{}},
+		{"remote x1 attest prefetch", "remote:" + attURL + "#root=" + attRoot, queryConfig{prefetch: true}},
 		// Width-learner rows: a blockrandom-backed shard whose client is
 		// capped to the legacy capability surface (no rowfull op, no
 		// degree bound), so the prefetching tier must speculate widths.
@@ -462,7 +477,7 @@ func (r *runner) net() {
 		{"block remote legacy adaptive", "remote:" + blockURL, queryConfig{prefetch: true, legacy: true}},
 	}
 	algos := []string{"mis", "coloring"}
-	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "p99 rt/query", "remainder trips/query", "mean us/query")
+	t := stats.NewTable("config", "algorithm", "n", "queries", "mean probes", "max probes", "mean rt/query", "p99 rt/query", "remainder trips/query", "proof B/query", "mean us/query")
 	const samples = 15
 	for _, cfg := range configs {
 		src, err := source.Parse(cfg.spec, r.seed)
@@ -476,8 +491,9 @@ func (r *runner) net() {
 				fmt.Fprintf(os.Stderr, "NET: %s: %v\n", name, err)
 				continue
 			}
-			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f|%.2f|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
+			t.AddRowf("%s|%s|%d|%d|%.0f|%d|%.1f|%.1f|%.2f|%.0f|%.1f", cfg.name, name, n, q.Queries, q.Mean(), q.MaxTotal,
 				q.MeanRoundTrips(), p99rt, float64(q.ByKind.RemainderTrips)/float64(max(q.Queries, 1)),
+				float64(q.ByKind.ProofBytes)/float64(max(q.Queries, 1)),
 				float64(elapsed.Microseconds())/float64(max(q.Queries, 1)))
 		}
 		if c, ok := src.(source.Closer); ok {
@@ -485,7 +501,7 @@ func (r *runner) net() {
 		}
 	}
 	r.print(t)
-	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests (p99 the tail) and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top. The block-remote trio isolates the width learner: against a legacy shard (no rowfull op) the adaptive row's remainder trips/query must undercut the static-width baseline, and the rowfull row retires remainders entirely.")
+	r.note("\nEvery non-local row's probes crossed a real HTTP hop to a loopback shard. The mean-probe column is identical down the table — the wire is transparent; mean rt/query counts the real HTTP requests (p99 the tail) and us/query prices them. Prefetch rows fetch each explored neighborhood as one batched POST, so their round trips collapse; the lru rows show the client-side cache absorbing repeats on top. The block-remote trio isolates the width learner: against a legacy shard (no rowfull op) the adaptive row's remainder trips/query must undercut the static-width baseline, and the rowfull row retires remainders entirely. The attest rows pin the shard's Merkle root and verify every answer against a row proof: probe and round-trip columns must match their unattested twins exactly (verification is client-side), and proof B/query is the integrity bandwidth — amortized by the prefetch row, whose batched rows carry one proof each.")
 }
 
 // fail benchmarks the failover path end to end: two loopback lcaserve

@@ -1,0 +1,81 @@
+package main
+
+// Fault injection for trust-plane drills (-chaos). A lying replica is
+// the attack the attestation layer exists to catch: it answers probes
+// with corrupted neighbors while its meta plane — commitment included —
+// stays honest, so clients that do not verify proofs accept garbage
+// silently and clients that do (remote:URL#root=HEX) turn every lie
+// into ErrAttestation and route around this replica.
+
+import (
+	"lca/internal/rnd"
+	"lca/internal/source"
+)
+
+// lyingSource corrupts every neighbor answer (scalar and rowfull alike)
+// by rotating it one vertex forward; degrees and the vertex count stay
+// honest, so the lie survives casual inspection. Placed OUTSIDE any
+// Attested wrapper it forwards the inner commitment and row proofs
+// untouched: the served proofs are honest, the served answers are not —
+// exactly the mismatch the client-side cross-check detects.
+type lyingSource struct {
+	inner source.Source
+}
+
+var _ source.CapSource = (*lyingSource)(nil)
+
+func (l *lyingSource) N() int { return l.inner.N() }
+
+func (l *lyingSource) Degree(v int) int { return l.inner.Degree(v) }
+
+func (l *lyingSource) Neighbor(v, i int) int { return l.lie(l.inner.Neighbor(v, i)) }
+
+func (l *lyingSource) Adjacency(u, v int) int { return l.inner.Adjacency(u, v) }
+
+// lie rotates a valid vertex id one forward; -1 answers stay -1 so the
+// corruption never trips ordinary range validation.
+func (l *lyingSource) lie(w int) int {
+	if w < 0 {
+		return w
+	}
+	return (w + 1) % l.inner.N()
+}
+
+// Caps forwards the inner capabilities, corrupting the row-fetch plane
+// the same way as scalar neighbors and passing the Attestor through
+// honestly.
+func (l *lyingSource) Caps() source.Caps {
+	var c source.Caps
+	if ec, ok := source.EdgeCounterOf(l.inner); ok {
+		c.M = ec.M
+	}
+	if db, ok := source.DegreeBounderOf(l.inner); ok {
+		c.MaxDegree = db.MaxDegree
+	}
+	if re, ok := source.RandomEdgerOf(l.inner); ok {
+		c.RandomEdge = func(prg *rnd.PRG) (int, int) { return re.RandomEdge(prg) }
+	}
+	if rf, ok := source.RowFetcherOf(l.inner); ok {
+		c.FetchRows = func(vs []int) ([][]int, error) {
+			rows, err := rf.FetchRows(vs)
+			for _, row := range rows {
+				for i := range row {
+					row[i] = l.lie(row[i])
+				}
+			}
+			return rows, err
+		}
+	}
+	if at, ok := source.AttestorOf(l.inner); ok {
+		c.Attest = func() source.Attestor { return at }
+	}
+	return c
+}
+
+// Close forwards to the inner source when it holds resources.
+func (l *lyingSource) Close() error {
+	if c, ok := l.inner.(source.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -39,6 +39,20 @@
 //     and a /debug/vars JSON snapshot of runtime stats (goroutines,
 //     heap, GC).
 //
+// Trust-plane flags:
+//
+//   - -attest commits to the graph at startup (O(n+m) hashing, once):
+//     the Merkle root is advertised in /probe/meta and probe answers
+//     carry row proofs under attest=1. Clients pin the root with
+//     remote:URL#root=HEX and verify every answer.
+//   - -audit-log FILE with -audit-key SECRET appends one HMAC-chained
+//     JSON line per executed query flight; lcaverify -replay FILE
+//     -audit-key SECRET re-executes the log offline bit-for-bit. The
+//     file is truncated at startup: one signature chain per run.
+//   - -chaos lie turns this replica into the attack the trust plane
+//     exists to catch: every neighbor answer is corrupted while the
+//     commitment and row proofs stay honest. Testing only.
+//
 // On SIGINT/SIGTERM the server drains: in-flight requests get up to
 // -drain to complete while new connections are refused, then named
 // sources are closed and the process exits 0.
@@ -99,6 +113,10 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N queries into the trace ring (0 disables; ?trace=1 always forces)")
 		traceSlow   = flag.Duration("trace-slow", 0, "retain a span tree for every query slower than this (0 disables)")
 		slowProbes  = flag.Uint64("trace-slow-probes", 0, "retain a span tree for every query issuing more than this many probes (0 disables)")
+		attestFlag  = flag.Bool("attest", false, "commit to the graph at startup (O(n+m) hashing): advertise the Merkle root in /probe/meta and serve row proofs under attest=1")
+		auditPath   = flag.String("audit-log", "", "write the signed query-audit log (JSON lines, HMAC-chained) to this file; truncated at startup — one chain per run")
+		auditKey    = flag.String("audit-key", "", "secret keying the audit-log HMAC chain (lcaverify -replay needs the same one)")
+		chaos       = flag.String("chaos", "", "fault injection for trust-plane drills: 'lie' corrupts every neighbor answer while proofs stay honest (testing only)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -122,6 +140,19 @@ func main() {
 		fatal(err)
 	}
 	info := []any{"source", *graphSpec, "seed", *seed, "n", src.N()}
+	if *attestFlag {
+		att := source.NewAttested(src)
+		src = att
+		info = append(info, "commitment", att.Commitment().String())
+	}
+	switch *chaos {
+	case "":
+	case "lie":
+		src = &lyingSource{inner: src}
+		logger.Warn("chaos injection active: this replica lies on every neighbor answer", "mode", *chaos)
+	default:
+		fatal(fmt.Errorf("-chaos %q: want lie", *chaos))
+	}
 	if mc, ok := source.EdgeCounterOf(src); ok {
 		info = append(info, "m", mc.M())
 	}
@@ -145,6 +176,15 @@ func main() {
 		}
 		opts = append(opts, serve.WithTenants(tenants...))
 		info = append(info, "tenants", len(tenants))
+	}
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, serve.WithAuditLog(f, *auditKey))
+		info = append(info, "audit_log", *auditPath)
 	}
 	lca := serve.NewFromSource(src, *graphSpec, rnd.Seed(*seed), opts...)
 

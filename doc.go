@@ -187,6 +187,29 @@
 // under traffic. A runnable end-to-end walkthrough is
 // ExampleOpenSource_shardedFailover.
 //
+// The failure model above covers crashed and slow replicas; the trust
+// plane (internal/attest) covers lying ones. Wrap a served source in
+// source.NewAttested (lcaserve -attest) and its shard advertises a
+// 32-byte Merkle commitment over the adjacency rows on /probe/meta;
+// clients that pin it (remote:URL#root=HEX, or source.WithCommitment)
+// verify every probe answer against a per-row inclusion proof and
+// surface corruption as the typed source.ErrAttestation. A fleet treats
+// a failed verification as Byzantine, not broken: the replica enters
+// the sticky "distrusted" state — routed around like a dead shard but
+// never revived, since a healthy health plane cannot prove an honest
+// data plane — and answers keep flowing, byte-identical to a healthy
+// fleet. Watch attest_fail and proof_bytes in QueryStats,
+// serve_attest_failures_total in /metrics, and the distrusted state in
+// /sources; Sharded.SpotCheck cross-checks replicas when no commitment
+// exists. For after-the-fact forensics, lcaserve -audit-log FILE
+// -audit-key SECRET appends one HMAC-chained record per executed query
+// (request, seed, probe transcript, answer hash, row proofs), and
+// lcaverify -replay FILE -audit-key SECRET re-executes the log offline
+// — no graph, no network — proving every served answer reproducible
+// bit-for-bit; tampering, truncation or reordering breaks the chain.
+// lcaserve -chaos lie serves a deliberately corrupted replica for
+// drills.
+//
 // When the aggregates say "slow" but not why, switch planes: append
 // trace=1 to the query (or run lcaserve with -trace-sample N /
 // -trace-slow DUR) and read the span tree — query root, oracle-layer

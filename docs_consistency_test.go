@@ -185,6 +185,48 @@ func TestDocsObservability(t *testing.T) {
 	}
 }
 
+// TestDocsTrustPlane: the trust plane's surface — the attest=1 wire
+// extension and its proof fields, the #root= pin grammar, the
+// distrusted health state, the attestation metrics, and the audit-log
+// replay loop — is documented in docs/WIRE.md, ARCHITECTURE.md and the
+// doc.go runbook with the code's own names.
+func TestDocsTrustPlane(t *testing.T) {
+	wire := readDoc(t, "docs/WIRE.md")
+	for _, token := range []string{
+		"attest=1", "`commitment`", "`row`", "`proof`", "`rows`", "`proofs`",
+		"#root=", "ErrAttestation", "HMAC-SHA256", "Merkle",
+		source.ShardDistrusted, "internal/attest",
+	} {
+		if !strings.Contains(wire, token) {
+			t.Errorf("docs/WIRE.md does not mention %s", token)
+		}
+	}
+	arch := readDoc(t, "ARCHITECTURE.md")
+	for _, token := range []string{
+		"Trust plane", "internal/attest", "NewAttested", "#root=HEX",
+		"attest=1", "ErrAttestation", "Attestor", "AttestCounter",
+		source.ShardDistrusted, "SpotCheck",
+		"attest_fail", "proof_bytes",
+		"serve_attest_failures_total", "serve_proof_bytes_total",
+		"-audit-log", "-audit-key", "-replay", "-chaos lie",
+	} {
+		if !strings.Contains(arch, token) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", token)
+		}
+	}
+	docGo := readDoc(t, "doc.go")
+	for _, token := range []string{
+		"internal/attest", "NewAttested", "#root=HEX", "ErrAttestation",
+		source.ShardDistrusted, "SpotCheck", "attest_fail",
+		"serve_attest_failures_total",
+		"-attest", "-audit-log", "-audit-key", "-replay", "-chaos lie",
+	} {
+		if !strings.Contains(docGo, token) {
+			t.Errorf("doc.go runbook does not mention %s", token)
+		}
+	}
+}
+
 // TestDocsLinkedFromDocGo: the package documentation points at both
 // documents, and the documents point at each other.
 func TestDocsLinkedFromDocGo(t *testing.T) {

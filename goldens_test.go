@@ -13,12 +13,40 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"lca"
+	"lca/internal/attest"
 	"lca/internal/graph"
 	"lca/internal/source"
 )
+
+// corruptReplica serves one attested replica whose neighbor answers are
+// rotated one vertex forward once lying is switched on, while degrees,
+// the commitment and row proofs stay honest — a Byzantine shard, not a
+// broken one.
+type corruptReplica struct {
+	att   *source.Attested
+	lying atomic.Bool
+}
+
+func (c *corruptReplica) N() int           { return c.att.N() }
+func (c *corruptReplica) Degree(v int) int { return c.att.Degree(v) }
+
+func (c *corruptReplica) Neighbor(v, i int) int {
+	w := c.att.Neighbor(v, i)
+	if c.lying.Load() && w >= 0 {
+		return (w + 1) % c.att.N()
+	}
+	return w
+}
+
+func (c *corruptReplica) Adjacency(u, v int) int { return c.att.Adjacency(u, v) }
+
+func (c *corruptReplica) Commitment() attest.Root { return c.att.Commitment() }
+
+func (c *corruptReplica) ProveRow(v int) ([]int, []string) { return c.att.ProveRow(v) }
 
 // answerDigest queries mis (vertex), spanner3 (edge) and coloring (label)
 // point-wise over a deterministic sample and hashes the transcript. With
@@ -133,6 +161,42 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 	shardD.Close()
 	digests["sharded-x2-deadshard"] = answerDigest(t, deadScalar, false)
 	digests["sharded-x2-deadshard+prefetch"] = answerDigest(t, deadPrefetch, true)
+
+	// Byzantine golden: a pinned fleet with one replica returning corrupted
+	// answers must keep answering byte-identically to the healthy cluster —
+	// the lying replica's answers fail proof verification, the fleet routes
+	// around it, and the corruption is visible only as attest_failures.
+	attestedReplica := func() *source.Attested {
+		replica, err := lca.OpenSource(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return source.NewAttested(replica)
+	}
+	honestAtt := attestedReplica()
+	corrupt := &corruptReplica{att: attestedReplica()}
+	root := honestAtt.Commitment().String()
+	tsHonest := httptest.NewServer(source.NewProbeHandler(honestAtt))
+	t.Cleanup(tsHonest.Close)
+	tsCorrupt := httptest.NewServer(source.NewProbeHandler(corrupt))
+	t.Cleanup(tsCorrupt.Close)
+	byzSpec := "sharded:remote:" + tsHonest.URL + "#root=" + root + ";remote:" + tsCorrupt.URL + "#root=" + root + ";hedge=50ms"
+	byzScalar, err := lca.OpenSource(byzSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byzPrefetch, err := lca.OpenSource(byzSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt.lying.Store(true)
+	digests["sharded-x2-byzantine"] = answerDigest(t, byzScalar, false)
+	digests["sharded-x2-byzantine+prefetch"] = answerDigest(t, byzPrefetch, true)
+	byzFails := byzScalar.(source.AttestCounter).AttestFailures() +
+		byzPrefetch.(source.AttestCounter).AttestFailures()
+	if byzFails == 0 {
+		t.Error("byzantine goldens matched without a single attest failure: the corrupted replica was never probed")
+	}
 
 	golden := digests["implicit"]
 	for name, d := range digests {

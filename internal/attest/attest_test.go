@@ -1,0 +1,170 @@
+package attest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringRow is the adjacency row of vertex v on an n-cycle, matching
+// source.Ring's ordering.
+func ringRow(n int) func(v int) []int {
+	return func(v int) []int {
+		if n == 1 {
+			return nil
+		}
+		if n == 2 {
+			return []int{1 - v}
+		}
+		return []int{(v + n - 1) % n, (v + 1) % n}
+	}
+}
+
+func TestDeriveDeterministicAndLabelled(t *testing.T) {
+	if Derive(7, "a") != Derive(7, "a") {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(7, "a") == Derive(7, "b") {
+		t.Fatal("Derive ignores the label")
+	}
+	if Derive(7, "a") == Derive(8, "a") {
+		t.Fatal("Derive ignores the base")
+	}
+}
+
+func TestTreeRootsDeterministicAndSized(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 64, 65, 257} {
+		a := Build(n, ringRow(n))
+		b := Build(n, ringRow(n))
+		if a.Root() != b.Root() {
+			t.Fatalf("n=%d: equal graphs committed to different roots", n)
+		}
+		if a.Root().IsZero() {
+			t.Fatalf("n=%d: zero root", n)
+		}
+	}
+	if Build(5, ringRow(5)).Root() == Build(6, ringRow(6)).Root() {
+		t.Fatal("different graphs share a root")
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 100} {
+		tree := Build(n, ringRow(n))
+		row := ringRow(n)
+		for v := 0; v < n; v++ {
+			proof := tree.Prove(v)
+			if err := VerifyRow(tree.Root(), n, v, row(v), proof); err != nil {
+				t.Fatalf("n=%d v=%d: honest proof rejected: %v", n, v, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	const n = 100
+	tree := Build(n, ringRow(n))
+	root := tree.Root()
+	row := ringRow(n)
+
+	// A flipped neighbor.
+	bad := append([]int(nil), row(10)...)
+	bad[0]++
+	if err := VerifyRow(root, n, 10, bad, tree.Prove(10)); err == nil {
+		t.Fatal("flipped neighbor verified")
+	}
+	// A truncated row.
+	if err := VerifyRow(root, n, 10, row(10)[:1], tree.Prove(10)); err == nil {
+		t.Fatal("truncated row verified")
+	}
+	// A proof replayed for the wrong vertex.
+	if err := VerifyRow(root, n, 11, row(11), tree.Prove(10)); err == nil {
+		t.Fatal("wrong-vertex proof verified")
+	}
+	// A root from a different graph.
+	other := Build(n, func(v int) []int { r := row(v); r = append([]int(nil), r...); r[0] = (r[0] + 2) % n; return r })
+	if err := VerifyRow(other.Root(), n, 10, row(10), tree.Prove(10)); err == nil {
+		t.Fatal("proof verified against a foreign root")
+	}
+	// Malformed proof elements.
+	if err := VerifyRow(root, n, 10, row(10), []string{"Xdeadbeef"}); err == nil {
+		t.Fatal("malformed proof verified")
+	}
+}
+
+func TestRootParseRoundTrip(t *testing.T) {
+	tree := Build(9, ringRow(9))
+	r, err := ParseRoot(tree.Root().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != tree.Root() {
+		t.Fatal("hex round trip changed the root")
+	}
+	if _, err := ParseRoot("zz"); err == nil {
+		t.Fatal("bad hex parsed")
+	}
+}
+
+func TestChainSignVerifyAndTamper(t *testing.T) {
+	lines := [][]byte{[]byte(`{"q":1}`), []byte(`{"q":2}`), []byte(`{"q":3}`)}
+	signer := NewChain("k")
+	sigs := make([]string, len(lines))
+	for i, l := range lines {
+		sigs[i] = signer.Sign(l)
+	}
+	ver := NewChain("k")
+	for i, l := range lines {
+		if err := ver.Verify(l, sigs[i]); err != nil {
+			t.Fatalf("line %d: honest chain rejected: %v", i, err)
+		}
+	}
+	// Tampered payload.
+	ver = NewChain("k")
+	if err := ver.Verify([]byte(`{"q":9}`), sigs[0]); err == nil {
+		t.Fatal("tampered payload verified")
+	}
+	// Reordered lines.
+	ver = NewChain("k")
+	if err := ver.Verify(lines[1], sigs[1]); err == nil {
+		t.Fatal("skipped line verified (chain does not bind position)")
+	}
+	// Wrong key.
+	ver = NewChain("other")
+	if err := ver.Verify(lines[0], sigs[0]); err == nil {
+		t.Fatal("foreign key verified")
+	}
+}
+
+func TestAuditReplicasFindsCorruption(t *testing.T) {
+	const n = 200
+	honest := func(v int) ([]int, error) { return ringRow(n)(v), nil }
+	liar := func(v int) ([]int, error) {
+		r := append([]int(nil), ringRow(n)(v)...)
+		r[0] = (r[0] + 1) % n
+		return r, nil
+	}
+	down := func(v int) ([]int, error) { return nil, fmt.Errorf("unreachable") }
+
+	if d := AuditReplicas(n, 16, 7, []func(int) ([]int, error){honest, honest}); len(d) != 0 {
+		t.Fatalf("healthy replicas disagreed: %v", d)
+	}
+	d := AuditReplicas(n, 16, 7, []func(int) ([]int, error){honest, liar})
+	if len(d) == 0 {
+		t.Fatal("corrupted replica escaped a 16-vertex audit")
+	}
+	if d[0].Replica != 1 {
+		t.Fatalf("disagreement blamed replica %d, want 1", d[0].Replica)
+	}
+	// A down replica is a health problem, not a finding.
+	if d := AuditReplicas(n, 16, 7, []func(int) ([]int, error){honest, down}); len(d) != 0 {
+		t.Fatalf("unreachable replica reported as corrupt: %v", d)
+	}
+	// Equal seeds sample equal vertices.
+	a := SampleVertices(n, 8, 42)
+	b := SampleVertices(n, 8, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("audit sample is not seed-deterministic")
+		}
+	}
+}

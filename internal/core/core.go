@@ -72,6 +72,8 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.RoundTrips += delta.RoundTrips
 	q.ByKind.Failovers += delta.Failovers
 	q.ByKind.Hedges += delta.Hedges
+	q.ByKind.AttestFailures += delta.AttestFailures
+	q.ByKind.ProofBytes += delta.ProofBytes
 	q.ByKind.RemainderTrips += delta.RemainderTrips
 	// FetchWidth is a gauge, not a counter: keep the latest nonzero
 	// snapshot rather than summing widths across queries.
@@ -95,6 +97,8 @@ func (q *QueryStats) Merge(s QueryStats) {
 	q.ByKind.RoundTrips += s.ByKind.RoundTrips
 	q.ByKind.Failovers += s.ByKind.Failovers
 	q.ByKind.Hedges += s.ByKind.Hedges
+	q.ByKind.AttestFailures += s.ByKind.AttestFailures
+	q.ByKind.ProofBytes += s.ByKind.ProofBytes
 	q.ByKind.RemainderTrips += s.ByKind.RemainderTrips
 	if s.ByKind.FetchWidth > 0 {
 		q.ByKind.FetchWidth = s.ByKind.FetchWidth
@@ -131,6 +135,12 @@ func (q QueryStats) String() string {
 	}
 	if q.ByKind.Hedges > 0 {
 		s += fmt.Sprintf(" hedge=%d", q.ByKind.Hedges)
+	}
+	if q.ByKind.AttestFailures > 0 {
+		s += fmt.Sprintf(" attest_fail=%d", q.ByKind.AttestFailures)
+	}
+	if q.ByKind.ProofBytes > 0 {
+		s += fmt.Sprintf(" proof_bytes=%d", q.ByKind.ProofBytes)
 	}
 	if q.ByKind.RemainderTrips > 0 {
 		s += fmt.Sprintf(" remainder=%d", q.ByKind.RemainderTrips)

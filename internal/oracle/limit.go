@@ -155,6 +155,24 @@ func (l *LimitOracle) Hedges() uint64 {
 	return 0
 }
 
+// AttestFailures forwards the chain's attestation-failure count (0 when
+// unattested).
+func (l *LimitOracle) AttestFailures() uint64 {
+	if ac, ok := l.inner.(source.AttestCounter); ok {
+		return ac.AttestFailures()
+	}
+	return 0
+}
+
+// ProofBytes forwards the chain's transported-proof-byte count (0 when
+// unattested).
+func (l *LimitOracle) ProofBytes() uint64 {
+	if ac, ok := l.inner.(source.AttestCounter); ok {
+		return ac.ProofBytes()
+	}
+	return 0
+}
+
 // FetchWidth forwards the chain's speculative prefetch width (0 when no
 // prefetch tier is underneath).
 func (l *LimitOracle) FetchWidth() int {
@@ -281,6 +299,24 @@ func (l *limitTripsOracle) Failovers() uint64 {
 func (l *limitTripsOracle) Hedges() uint64 {
 	if fo, ok := l.inner.(source.FailoverCounter); ok {
 		return fo.Hedges()
+	}
+	return 0
+}
+
+// AttestFailures forwards the chain's attestation-failure count (0 when
+// unattested).
+func (l *limitTripsOracle) AttestFailures() uint64 {
+	if ac, ok := l.inner.(source.AttestCounter); ok {
+		return ac.AttestFailures()
+	}
+	return 0
+}
+
+// ProofBytes forwards the chain's transported-proof-byte count (0 when
+// unattested).
+func (l *limitTripsOracle) ProofBytes() uint64 {
+	if ac, ok := l.inner.(source.AttestCounter); ok {
+		return ac.ProofBytes()
 	}
 	return 0
 }

@@ -143,6 +143,14 @@ type Stats struct {
 	// Hedges counts hedged requests a sharded backend fired because the
 	// first-ranked replica exceeded the hedge delay.
 	Hedges uint64
+	// AttestFailures counts probe answers that failed verification against
+	// a pinned graph commitment — each one a detected Byzantine answer the
+	// backend discarded and re-routed — read through the
+	// source.AttestCounter capability; 0 on unattested chains.
+	AttestFailures uint64
+	// ProofBytes counts the Merkle proof bytes transported alongside
+	// attested probe answers (the verification overhead's wire cost).
+	ProofBytes uint64
 	// RemainderTrips counts the extra batches a prefetching tier issued
 	// because a row's degree exceeded its speculative width (0 when no
 	// PrefetchOracle is in the chain, or when the backend answers full
@@ -161,13 +169,15 @@ func (s Stats) Total() uint64 { return s.Neighbor + s.Degree + s.Adjacency }
 // Sub returns s - t componentwise, for before/after deltas.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		Neighbor:   s.Neighbor - t.Neighbor,
-		Degree:     s.Degree - t.Degree,
-		Adjacency:  s.Adjacency - t.Adjacency,
-		Batches:    s.Batches - t.Batches,
-		RoundTrips: s.RoundTrips - t.RoundTrips,
-		Failovers:  s.Failovers - t.Failovers,
-		Hedges:     s.Hedges - t.Hedges,
+		Neighbor:       s.Neighbor - t.Neighbor,
+		Degree:         s.Degree - t.Degree,
+		Adjacency:      s.Adjacency - t.Adjacency,
+		Batches:        s.Batches - t.Batches,
+		RoundTrips:     s.RoundTrips - t.RoundTrips,
+		Failovers:      s.Failovers - t.Failovers,
+		Hedges:         s.Hedges - t.Hedges,
+		AttestFailures: s.AttestFailures - t.AttestFailures,
+		ProofBytes:     s.ProofBytes - t.ProofBytes,
 		// RemainderTrips is a counter like the rest; FetchWidth is a gauge,
 		// so the delta keeps the newer snapshot's value.
 		RemainderTrips: s.RemainderTrips - t.RemainderTrips,
@@ -206,6 +216,9 @@ type Counter struct {
 	fo    source.FailoverCounter  // non-nil when the chain reports failovers/hedges
 	fo0   uint64                  // failover count at construction/Reset
 	he0   uint64                  // hedge count at construction/Reset
+	ac    source.AttestCounter    // non-nil when the chain verifies attested probes
+	af0   uint64                  // attestation-failure count at construction/Reset
+	pb0   uint64                  // proof-byte count at construction/Reset
 	pr    PrefetchReporter        // non-nil when the chain has a prefetch tier
 	rem0  uint64                  // remainder-trip count at construction/Reset
 }
@@ -225,6 +238,10 @@ func NewCounter(inner Oracle) *Counter {
 	if fo, ok := inner.(source.FailoverCounter); ok {
 		c.fo = fo
 		c.fo0, c.he0 = fo.Failovers(), fo.Hedges()
+	}
+	if ac, ok := inner.(source.AttestCounter); ok {
+		c.ac = ac
+		c.af0, c.pb0 = ac.AttestFailures(), ac.ProofBytes()
 	}
 	if pr, ok := inner.(PrefetchReporter); ok {
 		c.pr = pr
@@ -299,6 +316,24 @@ func (c *Counter) Hedges() uint64 {
 	return 0
 }
 
+// AttestFailures forwards the chain's attestation-failure count (0 when
+// unattested), so stacked wrappers keep the capability visible.
+func (c *Counter) AttestFailures() uint64 {
+	if c.ac != nil {
+		return c.ac.AttestFailures()
+	}
+	return 0
+}
+
+// ProofBytes forwards the chain's transported-proof-byte count (0 when
+// unattested).
+func (c *Counter) ProofBytes() uint64 {
+	if c.ac != nil {
+		return c.ac.ProofBytes()
+	}
+	return 0
+}
+
 // FetchWidth forwards the chain's speculative prefetch width (0 when no
 // prefetch tier is present), so stacked wrappers keep the capability
 // visible.
@@ -328,6 +363,10 @@ func (c *Counter) Stats() Stats {
 		s.Failovers = c.fo.Failovers() - c.fo0
 		s.Hedges = c.fo.Hedges() - c.he0
 	}
+	if c.ac != nil {
+		s.AttestFailures = c.ac.AttestFailures() - c.af0
+		s.ProofBytes = c.ac.ProofBytes() - c.pb0
+	}
 	if c.pr != nil {
 		s.RemainderTrips = c.pr.RemainderTrips() - c.rem0
 		s.FetchWidth = uint64(c.pr.FetchWidth())
@@ -343,6 +382,9 @@ func (c *Counter) Reset() {
 	}
 	if c.fo != nil {
 		c.fo0, c.he0 = c.fo.Failovers(), c.fo.Hedges()
+	}
+	if c.ac != nil {
+		c.af0, c.pb0 = c.ac.AttestFailures(), c.ac.ProofBytes()
 	}
 	if c.pr != nil {
 		c.rem0 = c.pr.RemainderTrips()
@@ -554,6 +596,24 @@ func (c *CachingOracle) Failovers() uint64 {
 func (c *CachingOracle) Hedges() uint64 {
 	if fo, ok := c.inner.(source.FailoverCounter); ok {
 		return fo.Hedges()
+	}
+	return 0
+}
+
+// AttestFailures forwards the chain's attestation-failure count (0 when
+// unattested).
+func (c *CachingOracle) AttestFailures() uint64 {
+	if ac, ok := c.inner.(source.AttestCounter); ok {
+		return ac.AttestFailures()
+	}
+	return 0
+}
+
+// ProofBytes forwards the chain's transported-proof-byte count (0 when
+// unattested).
+func (c *CachingOracle) ProofBytes() uint64 {
+	if ac, ok := c.inner.(source.AttestCounter); ok {
+		return ac.ProofBytes()
 	}
 	return 0
 }

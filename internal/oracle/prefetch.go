@@ -230,6 +230,25 @@ func (p *PrefetchOracle) Hedges() uint64 {
 	return 0
 }
 
+// AttestFailures forwards the backend's attestation-failure count (0 when
+// unattested), keeping the source.AttestCounter capability visible
+// through the prefetching tier.
+func (p *PrefetchOracle) AttestFailures() uint64 {
+	if ac, ok := p.src.(source.AttestCounter); ok {
+		return ac.AttestFailures()
+	}
+	return 0
+}
+
+// ProofBytes forwards the backend's transported-proof-byte count (0 when
+// unattested).
+func (p *PrefetchOracle) ProofBytes() uint64 {
+	if ac, ok := p.src.(source.AttestCounter); ok {
+		return ac.ProofBytes()
+	}
+	return 0
+}
+
 // N implements Oracle (free, as everywhere in the model).
 func (p *PrefetchOracle) N() int { return p.n }
 

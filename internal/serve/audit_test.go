@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lca/internal/attest"
+	"lca/internal/source"
+)
+
+// auditServer builds a server over src with an audit log attached and
+// returns the test server plus the log buffer.
+func auditServer(t *testing.T, src source.Source, spec, secret string) (*httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	srv := NewFromSource(src, spec, 42, WithAuditLog(&buf, secret))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, &buf
+}
+
+// driveAuditQueries runs one edge, one vertex and one label query and
+// returns the three answers' raw JSON.
+func driveAuditQueries(t *testing.T, ts *httptest.Server) []string {
+	t.Helper()
+	var out []string
+	for _, path := range []string{
+		"/edge/spanner3?u=3&v=4",
+		"/vertex/mis?v=7",
+		"/label/coloring?v=9",
+	} {
+		var raw json.RawMessage
+		if code := getJSON(t, ts.URL+path, &raw); code != 200 {
+			t.Fatalf("GET %s: status %d: %s", path, code, raw)
+		}
+		out = append(out, string(raw))
+	}
+	return out
+}
+
+// TestAuditLogReplay drives queries through an audited server and
+// replays the log offline: every record must chain-verify and re-execute
+// to the logged answer with no source behind it.
+func TestAuditLogReplay(t *testing.T) {
+	ts, buf := auditServer(t, source.Ring(60), "ring:n=60", "audit-secret")
+	driveAuditQueries(t, ts)
+
+	rep, err := ReplayAuditLog(bytes.NewReader(buf.Bytes()), "audit-secret")
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Records != 3 {
+		t.Fatalf("replayed %d records, want 3", rep.Records)
+	}
+
+	var met struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &met); code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if got := met.Counters["serve_audit_records_total"]; got != 3 {
+		t.Fatalf("serve_audit_records_total = %d, want 3", got)
+	}
+}
+
+// TestAuditLogTamperDetected flips bytes in a valid log and checks every
+// corruption class fails: edited answer, truncated chain tail swap,
+// wrong secret.
+func TestAuditLogTamperDetected(t *testing.T) {
+	ts, buf := auditServer(t, source.Ring(60), "ring:n=60", "audit-secret")
+	driveAuditQueries(t, ts)
+	log := buf.String()
+
+	if _, err := ReplayAuditLog(strings.NewReader(log), "wrong-secret"); err == nil {
+		t.Fatal("replay under the wrong secret verified")
+	}
+
+	// Edit a record's answer field: the chain must reject the line.
+	edited := strings.Replace(log, `"answer_hash":"`, `"answer_hash":"00`, 1)
+	if edited == log {
+		t.Fatal("test setup: no answer_hash found to corrupt")
+	}
+	if _, err := ReplayAuditLog(strings.NewReader(edited), "audit-secret"); err == nil {
+		t.Fatal("replay of an edited record verified")
+	}
+
+	// Drop the middle line: later signatures chain off the missing one.
+	lines := strings.SplitAfter(strings.TrimSpace(log), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 log lines, got %d", len(lines))
+	}
+	reordered := lines[0] + lines[2]
+	if _, err := ReplayAuditLog(strings.NewReader(reordered), "audit-secret"); err == nil {
+		t.Fatal("replay of a log with a dropped record verified")
+	}
+}
+
+// TestAuditLogAttestedRows serves an attested source: records must carry
+// the commitment plus Merkle-proven rows, and replay must verify them.
+func TestAuditLogAttestedRows(t *testing.T) {
+	att := source.NewAttested(source.Ring(60))
+	ts, buf := auditServer(t, att, "ring:n=60 (attested)", "k")
+	driveAuditQueries(t, ts)
+
+	rep, err := ReplayAuditLog(bytes.NewReader(buf.Bytes()), "k")
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.ProofsVerified == 0 {
+		t.Fatal("attested records carried no verified row proofs")
+	}
+
+	// A transcript answer contradicting its proven row is a forged log
+	// even when the chain is re-signed with the real secret: rebuild a
+	// record with a lying probe answer and a fresh chain.
+	var rec AuditRecord
+	line := strings.SplitAfter(strings.TrimSpace(buf.String()), "\n")[0]
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Commitment == "" || len(rec.Rows) == 0 {
+		t.Fatalf("record carries no commitment or rows: %s", line)
+	}
+	if len(rec.Probes) == 0 {
+		t.Fatal("record has an empty transcript")
+	}
+	rec.Probes[0].Answer++ // contradicts the proven row whatever the op
+	var forged bytes.Buffer
+	fl := &auditLog{w: &forged, chain: newTestChain("k")}
+	if err := fl.append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayAuditLog(bytes.NewReader(forged.Bytes()), "k"); err == nil {
+		t.Fatal("forged transcript (answer contradicting a proven row) verified")
+	} else if !strings.Contains(err.Error(), "proven row") && !strings.Contains(err.Error(), "transcript") {
+		t.Fatalf("forged transcript failed for the wrong reason: %v", err)
+	}
+}
+
+// TestAuditDoesNotPerturbAnswers runs the same queries with auditing on
+// and off: the answers — probe counts included — must be byte-identical,
+// because the transcript recorder charges exactly what the scalar
+// account would.
+func TestAuditDoesNotPerturbAnswers(t *testing.T) {
+	plainSrv := NewFromSource(source.Ring(60), "ring:n=60", 42)
+	plain := httptest.NewServer(plainSrv.Handler())
+	defer plain.Close()
+	audited, _ := auditServer(t, source.Ring(60), "ring:n=60", "s")
+
+	a := driveAuditQueries(t, plain)
+	b := driveAuditQueries(t, audited)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("answer %d differs with auditing on:\n  off: %s\n  on:  %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReplayRejectsDivergence corrupts a record's transcript by deleting
+// a probe: the re-executed algorithm must hit the hole and the replay
+// must report divergence, not silently mis-answer.
+func TestReplayRejectsDivergence(t *testing.T) {
+	ts, buf := auditServer(t, source.Ring(60), "ring:n=60", "k2")
+	driveAuditQueries(t, ts)
+
+	var rec AuditRecord
+	line := strings.SplitAfter(strings.TrimSpace(buf.String()), "\n")[0]
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Probes) < 2 {
+		t.Fatalf("record has %d probes, want enough to truncate", len(rec.Probes))
+	}
+	rec.Probes = rec.Probes[:1]
+	rec.Rows = nil
+	rec.Commitment = ""
+	var forged bytes.Buffer
+	fl := &auditLog{w: &forged, chain: newTestChain("k2")}
+	if err := fl.append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReplayAuditLog(bytes.NewReader(forged.Bytes()), "k2")
+	if err == nil {
+		t.Fatal("replay over a truncated transcript verified")
+	}
+	if want := "transcript"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("divergence error %q does not mention the transcript", err)
+	}
+}
+
+// TestAuditSkipsFailedFlights checks that a rejected request (bad
+// coordinates) leaves no audit record.
+func TestAuditSkipsFailedFlights(t *testing.T) {
+	ts, buf := auditServer(t, source.Ring(60), "ring:n=60", "k3")
+	var raw json.RawMessage
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=999", &raw); code == 200 {
+		t.Fatalf("out-of-range vertex answered: %s", raw)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed flight left an audit record: %s", buf.String())
+	}
+	if code := getJSON(t, ts.URL+"/vertex/mis?v=5", &raw); code != 200 {
+		t.Fatalf("vertex query: status %d", code)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("want exactly 1 audit record, got %d: %s", got, buf.String())
+	}
+	// Estimates execute but are sampling runs, not replayable queries:
+	// no record.
+	before := buf.Len()
+	if code := getJSON(t, ts.URL+"/estimate/mis?samples=50", &raw); code != 200 {
+		t.Fatalf("estimate: status %d: %s", code, raw)
+	}
+	if buf.Len() != before {
+		t.Fatal("estimate flight left an audit record")
+	}
+}
+
+// newTestChain builds a fresh signing chain for forging log lines in
+// tamper tests.
+func newTestChain(secret string) *attest.Chain { return attest.NewChain(secret) }

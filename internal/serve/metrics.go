@@ -17,6 +17,9 @@ package serve
 //	serve_round_trips_total                 backend network round trips
 //	serve_failovers_total                   probes served off-rendezvous
 //	serve_hedges_total                      hedged probes fired
+//	serve_attest_failures_total             probe answers that failed attestation
+//	serve_proof_bytes_total                 Merkle proof bytes transported
+//	serve_audit_records_total               signed audit-log records written
 //	serve_probes_per_query                  histogram
 //	serve_round_trips_per_query             histogram (network sources)
 //	serve_coalesced_total                   duplicate requests that shared an execution
@@ -57,10 +60,13 @@ type serverMetrics struct {
 	queries map[string]*metrics.Counter
 	latency map[string]*metrics.Histogram
 
-	probes     *metrics.Counter
-	roundTrips *metrics.Counter
-	failovers  *metrics.Counter
-	hedges     *metrics.Counter
+	probes       *metrics.Counter
+	roundTrips   *metrics.Counter
+	failovers    *metrics.Counter
+	hedges       *metrics.Counter
+	attestFails  *metrics.Counter
+	proofBytes   *metrics.Counter
+	auditRecords *metrics.Counter
 
 	probesPerQuery *metrics.Histogram
 	rtPerQuery     *metrics.Histogram
@@ -80,6 +86,9 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		roundTrips:     reg.Counter("serve_round_trips_total"),
 		failovers:      reg.Counter("serve_failovers_total"),
 		hedges:         reg.Counter("serve_hedges_total"),
+		attestFails:    reg.Counter("serve_attest_failures_total"),
+		proofBytes:     reg.Counter("serve_proof_bytes_total"),
+		auditRecords:   reg.Counter("serve_audit_records_total"),
 		probesPerQuery: reg.Histogram("serve_probes_per_query", metrics.CountBuckets),
 		rtPerQuery:     reg.Histogram("serve_round_trips_per_query", metrics.CountBuckets),
 		coalesced:      reg.Counter("serve_coalesced_total"),
@@ -106,6 +115,8 @@ func (m *serverMetrics) observeExec(st oracle.Stats) {
 	}
 	m.failovers.Add(st.Failovers)
 	m.hedges.Add(st.Hedges)
+	m.attestFails.Add(st.AttestFailures)
+	m.proofBytes.Add(st.ProofBytes)
 }
 
 // observeRequest records one served query request (coalesced waiters

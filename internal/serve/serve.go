@@ -134,6 +134,12 @@ type Server struct {
 	slowDur    time.Duration
 	slowProbes uint64
 	traces     *trace.Ring
+
+	// audit, when non-nil, is the signed append-only query-audit log
+	// (audit.go): every successfully executed query flight appends one
+	// HMAC-chained JSON line that lcaverify -replay can re-execute
+	// offline.
+	audit *auditLog
 }
 
 // namedSource is one open source with its provenance.
@@ -558,13 +564,14 @@ func prefetchParam(r *http.Request) (bool, error) {
 }
 
 // build constructs a fresh per-request instance over src — behind a
-// prefetching exploration oracle when the request asked for one, and
-// behind the tenant's per-query budget wrappers when the tenant has
-// budgets; parameter errors the registry reports after our own
-// validation (range checks inside New) are the client's fault, hence
-// 400 — except a BadInstanceError, which marks a broken registration and
-// must surface as a server error.
-func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool, ten *tenantState, tr *trace.Tracer) (any, error) {
+// prefetching exploration oracle when the request asked for one, behind
+// the tenant's per-query budget wrappers when the tenant has budgets,
+// and behind the audit-transcript recorder when the server keeps an
+// audit log (the returned recorder is nil otherwise); parameter errors
+// the registry reports after our own validation (range checks inside
+// New) are the client's fault, hence 400 — except a BadInstanceError,
+// which marks a broken registration and must surface as a server error.
+func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Params, prefetch bool, ten *tenantState, tr *trace.Tracer) (any, *auditOracle, error) {
 	o := oracle.New(src)
 	if prefetch {
 		po := oracle.NewPrefetch(src)
@@ -572,15 +579,23 @@ func (s *Server) build(d *registry.Descriptor, src source.Source, p registry.Par
 		o = po
 	}
 	o = ten.budgetWrapTraced(o, tr)
+	var rec *auditOracle
+	if s.audit != nil {
+		// Outermost, directly under the LCA: the transcript records the
+		// cell probes the algorithm issued, independent of how prefetch or
+		// budgets transported them — exactly what a replay needs.
+		rec = newAuditOracle(o)
+		o = rec
+	}
 	inst, err := d.Build(o, s.seed, p)
 	if err != nil {
 		var bad *registry.BadInstanceError
 		if errors.As(err, &bad) {
-			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+			return nil, nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 		}
-		return nil, badRequest("%v", err)
+		return nil, nil, badRequest("%v", err)
 	}
-	return inst, nil
+	return inst, rec, nil
 }
 
 // queryKey is the coalescing identity of a query: kind, algorithm,
@@ -648,6 +663,7 @@ type edgeAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	AttestFail uint64       `json:"attest_failures,omitempty"`
 	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
@@ -708,7 +724,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		if !isEdge {
 			return nil, badRequest("(%d,%d) is not an edge of the graph", u, v)
 		}
-		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
+		inst, rec, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -720,7 +736,8 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		s.met.observeExec(st)
 		ans := edgeAnswer{Algo: d.Name, U: u, V: v, In: in,
 			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
-			Remainders: st.RemainderTrips}
+			AttestFail: st.AttestFailures, Remainders: st.RemainderTrips}
+		s.recordAudit("edge", d, ns, p, map[string]int{"u": u, "v": v}, rec, map[string]any{"in": in})
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})
@@ -741,6 +758,7 @@ type vertexAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	AttestFail uint64       `json:"attest_failures,omitempty"`
 	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
@@ -789,7 +807,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		qt := dec.begin("query:vertex", v, d.Name)
 		defer func() { s.finishTrace(qt, oracle.Stats{}, ferr) }()
 		src := qt.scoped(ns.src)
-		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
+		inst, rec, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -801,7 +819,8 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		s.met.observeExec(st)
 		ans := vertexAnswer{Algo: d.Name, V: v, In: in,
 			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
-			Remainders: st.RemainderTrips}
+			AttestFail: st.AttestFailures, Remainders: st.RemainderTrips}
+		s.recordAudit("vertex", d, ns, p, map[string]int{"v": v}, rec, map[string]any{"in": in})
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})
@@ -822,6 +841,7 @@ type labelAnswer struct {
 	RoundTrips uint64       `json:"round_trips,omitempty"`
 	Failovers  uint64       `json:"failovers,omitempty"`
 	Hedges     uint64       `json:"hedges,omitempty"`
+	AttestFail uint64       `json:"attest_failures,omitempty"`
 	Remainders uint64       `json:"remainder_trips,omitempty"`
 	TraceID    string       `json:"trace_id,omitempty"`
 	Trace      []trace.Span `json:"trace,omitempty"`
@@ -870,7 +890,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		qt := dec.begin("query:label", v, d.Name)
 		defer func() { s.finishTrace(qt, oracle.Stats{}, ferr) }()
 		src := qt.scoped(ns.src)
-		inst, err := s.build(d, src, p, prefetch, ten, qt.tracer())
+		inst, rec, err := s.build(d, src, p, prefetch, ten, qt.tracer())
 		if err != nil {
 			return nil, err
 		}
@@ -882,7 +902,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		s.met.observeExec(st)
 		ans := labelAnswer{Algo: d.Name, V: v, Label: label,
 			Probes: st.Total(), RoundTrips: st.RoundTrips, Failovers: st.Failovers, Hedges: st.Hedges,
-			Remainders: st.RemainderTrips}
+			AttestFail: st.AttestFailures, Remainders: st.RemainderTrips}
+		s.recordAudit("label", d, ns, p, map[string]int{"v": v}, rec, map[string]any{"label": label})
 		ans.TraceID, ans.Trace = s.finishTrace(qt, st, nil)
 		return ans, nil
 	})

@@ -33,6 +33,9 @@ type Caps struct {
 	// Health reports per-replica health (the HealthReporter capability of
 	// sharded fleets).
 	Health func() []ShardHealth
+	// Attest returns the graph commitment view (the Attestor capability
+	// of attested sources: Merkle root + per-row inclusion proofs).
+	Attest func() Attestor
 }
 
 // CapSource is implemented by sources whose optional capabilities are
@@ -111,6 +114,19 @@ func HealthOf(src Source) ([]ShardHealth, bool) {
 		return hr.Health(), true
 	}
 	return nil, false
+}
+
+// AttestorOf returns src's Attestor capability (graph commitment plus
+// row proofs), dynamic view first, static interface second.
+func AttestorOf(src Source) (Attestor, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().Attest; f != nil {
+			return f(), true
+		}
+		return nil, false
+	}
+	at, ok := src.(Attestor)
+	return at, ok
 }
 
 // Function adapters lifting Caps fields back onto the static interfaces,

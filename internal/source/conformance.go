@@ -262,6 +262,22 @@ type FaultInjector interface {
 	Heal(i int)
 }
 
+// ByzantineInjector extends FaultInjector with corruption: replicas that
+// answer instead of failing, wrongly. Factories whose fleets verify
+// attestations (attested shards, pinned remotes) implement it to inherit
+// the trust-plane contract cases of TestConformanceFaults; the suite
+// skips those cases otherwise.
+type ByzantineInjector interface {
+	FaultInjector
+	// Lie makes shard i answer data-plane probes with plausible but wrong
+	// values — vertex count, degrees, commitment and row proofs stay
+	// honest — until healed. Byzantine, not broken: nothing errors.
+	Lie(i int)
+	// Truncate makes shard i cut its data-plane response bodies short
+	// (malformed wire payloads) until healed.
+	Truncate(i int)
+}
+
 // FaultFactory opens a fresh fault-injectable source — a Sharded over at
 // least two replicas, configured with a fast failure threshold, fast
 // revival and a hedge delay well below the hang used by the suite — plus
@@ -287,6 +303,20 @@ const faultDeadline = 10 * time.Second
 //   - alldead: with every replica failing, probes fail with a typed
 //     *ProbeError naming the no-live-replica condition instead of
 //     hanging or succeeding; healing the fleet restores service.
+//
+// Fleets whose injector implements ByzantineInjector additionally face
+// the trust-plane cases (skipped otherwise):
+//
+//   - byzantine-lie: one replica answers wrong values under honest
+//     proofs. Every answer must stay byte-identical to the healthy
+//     fleet's, attestation failures must be counted, and the liar must
+//     be distrusted — stickily: healing it must not resurrect it, since
+//     a health-plane ping cannot prove the data plane stopped lying.
+//   - byzantine-truncate: one replica cuts its response bodies short.
+//     Malformed payloads are failures, not lies: answers stay identical
+//     via failover, the replica goes dead and healing revives it.
+//   - flapping: one replica oscillates between dead and healthy while
+//     probers race; answers must stay identical throughout.
 func TestConformanceFaults(t *testing.T, open FaultFactory) {
 	t.Run("failover", func(t *testing.T) {
 		src, inj := open(t)
@@ -576,6 +606,156 @@ func TestConformanceFaults(t *testing.T, open FaultFactory) {
 				t.Fatal("fleet never recovered after healing every replica")
 			}
 			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	t.Run("byzantine-lie", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		binj, ok := inj.(ByzantineInjector)
+		if !ok {
+			t.Skip("factory has no Byzantine injection")
+		}
+		ac, ok := src.(AttestCounter)
+		if !ok {
+			t.Fatal("a Byzantine-injectable fleet must have the AttestCounter capability")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		want := conformanceSnapshot(src, sample)
+		binj.Lie(0)
+		// Racing probers must keep seeing the healthy fleet's answers,
+		// byte-identical, through detection and after distrust: every lie
+		// is discarded and re-routed, never served.
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for w := range errs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pass := 0; pass < 3; pass++ {
+					if got := conformanceSnapshot(src, sample); got != want {
+						errs[w] = fmt.Errorf("worker %d pass %d: answers changed under a lying replica:\n got %s\nwant %s", w, pass, got, want)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ac.AttestFailures() == 0 {
+			t.Fatal("a replica lied under honest proofs but AttestFailures() == 0")
+		}
+		waitShardState(t, src, 0, ShardDistrusted, "after lying answers")
+		// Distrust is sticky: heal the replica (it really is honest again)
+		// and give the reviver several ping intervals — a liar must stay
+		// routed around, because a health-plane ping cannot prove the data
+		// plane stopped lying.
+		binj.Heal(0)
+		time.Sleep(150 * time.Millisecond)
+		if health, ok := HealthOf(src); !ok {
+			t.Fatal("fleet lacks the HealthReporter capability")
+		} else if health[0].State != ShardDistrusted {
+			t.Fatalf("healed liar reports %q; distrust must be sticky, not revivable", health[0].State)
+		}
+		if got := conformanceSnapshot(src, sample); got != want {
+			t.Fatalf("answers changed after the liar healed:\n got %s\nwant %s", got, want)
+		}
+	})
+	t.Run("byzantine-truncate", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		binj, ok := inj.(ByzantineInjector)
+		if !ok {
+			t.Skip("factory has no Byzantine injection")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		want := conformanceSnapshot(src, sample)
+		binj.Truncate(0)
+		for pass := 0; pass < 3; pass++ {
+			if got := conformanceSnapshot(src, sample); got != want {
+				t.Fatalf("pass %d: answers changed under truncated responses:\n got %s\nwant %s", pass, got, want)
+			}
+		}
+		if fo, ok := src.(FailoverCounter); !ok {
+			t.Fatal("fleet lacks the FailoverCounter capability")
+		} else if fo.Failovers() == 0 {
+			t.Fatal("a replica served malformed payloads but Failovers() == 0")
+		}
+		// Malformed bytes are a broken replica, not a proven liar: it goes
+		// dead like any failure and healing revives it.
+		waitShardState(t, src, 0, ShardDead, "after truncated responses")
+		binj.Heal(0)
+		waitShardState(t, src, 0, ShardLive, "after healing the truncating replica")
+		if got := conformanceSnapshot(src, sample); got != want {
+			t.Fatalf("answers changed after revival:\n got %s\nwant %s", got, want)
+		}
+	})
+	t.Run("flapping", func(t *testing.T) {
+		src, inj := open(t)
+		defer closeConformance(t, src)
+		if inj.Shards() < 2 {
+			t.Fatal("fault suite needs at least two replicas")
+		}
+		sample := conformanceSample(src.N())
+		if len(sample) == 0 {
+			t.Skip("empty source")
+		}
+		want := conformanceSnapshot(src, sample)
+		// One replica oscillates dead/healthy while probers race: every
+		// transition window (detection, dead, revival probation) must keep
+		// serving the healthy fleet's answers.
+		stop := make(chan struct{})
+		var flapper sync.WaitGroup
+		flapper.Add(1)
+		go func() {
+			defer flapper.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				inj.Fail(0)
+				time.Sleep(8 * time.Millisecond)
+				inj.Heal(0)
+				time.Sleep(8 * time.Millisecond)
+			}
+		}()
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for w := range errs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pass := 0; pass < 6; pass++ {
+					if got := conformanceSnapshot(src, sample); got != want {
+						errs[w] = fmt.Errorf("worker %d pass %d: answers changed under a flapping replica:\n got %s\nwant %s", w, pass, got, want)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		flapper.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		inj.Heal(0)
+		waitShardState(t, src, 0, ShardLive, "after the flapping stopped")
+		if got := conformanceSnapshot(src, sample); got != want {
+			t.Fatalf("answers changed after the flapping stopped:\n got %s\nwant %s", got, want)
 		}
 	})
 }

@@ -5,39 +5,101 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"lca/internal/attest"
 )
 
 // faultShard is an httptest middleware that injects failures into one
-// probe shard: 500s on everything (dead replica) or a data-plane hang
+// probe shard: 500s on everything (dead replica), a data-plane hang
 // (slow replica; /probe/meta stays fast so the health plane reads the
-// shard as alive — slow is not down). Cancelled requests (hedged losers)
+// shard as alive — slow is not down), or truncated data-plane response
+// bodies (malformed wire payloads). Cancelled requests (hedged losers)
 // unblock immediately.
 type faultShard struct {
-	mu      sync.Mutex
-	failing bool
-	hang    time.Duration
-	inner   http.Handler
+	mu       sync.Mutex
+	failing  bool
+	truncate bool
+	hang     time.Duration
+	inner    http.Handler
+	lie      *liarBacking // nil on fleets without Byzantine injection
 }
 
 func (f *faultShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
-	failing, hang := f.failing, f.hang
+	failing, truncate, hang := f.failing, f.truncate, f.hang
 	f.mu.Unlock()
 	if failing {
 		http.Error(w, "injected shard failure", http.StatusInternalServerError)
 		return
 	}
-	if hang > 0 && strings.HasPrefix(r.URL.Path, "/probe") && r.URL.Path != "/probe/meta" {
+	dataPlane := strings.HasPrefix(r.URL.Path, "/probe") && r.URL.Path != "/probe/meta"
+	if hang > 0 && dataPlane {
 		select {
 		case <-time.After(hang):
 		case <-r.Context().Done():
 			return
 		}
 	}
+	if truncate && dataPlane {
+		w = &truncatedWriter{ResponseWriter: w, room: 3}
+	}
 	f.inner.ServeHTTP(w, r)
 }
+
+// truncatedWriter forwards the first few body bytes and swallows the
+// rest: the client sees a 200 with a malformed payload.
+type truncatedWriter struct {
+	http.ResponseWriter
+	room int
+}
+
+func (tw *truncatedWriter) Write(b []byte) (int, error) {
+	if tw.room <= 0 {
+		return len(b), nil
+	}
+	cut := b
+	if len(cut) > tw.room {
+		cut = cut[:tw.room]
+	}
+	tw.room -= len(cut)
+	if _, err := tw.ResponseWriter.Write(cut); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// liarBacking wraps one replica's attested backing source: with the lie
+// switched on, every neighbor answer is rotated one vertex forward while
+// the vertex count, degrees, commitment and row proofs stay honest —
+// Byzantine, not broken. The attestation cross-check (honest proof,
+// lying answer) is exactly what catches it.
+type liarBacking struct {
+	att   *Attested
+	lying atomic.Bool
+}
+
+var _ Attestor = (*liarBacking)(nil)
+
+func (l *liarBacking) N() int { return l.att.N() }
+
+func (l *liarBacking) Degree(v int) int { return l.att.Degree(v) }
+
+func (l *liarBacking) Neighbor(v, i int) int {
+	w := l.att.Neighbor(v, i)
+	if l.lying.Load() && w >= 0 {
+		return (w + 1) % l.att.N()
+	}
+	return w
+}
+
+func (l *liarBacking) Adjacency(u, v int) int { return l.att.Adjacency(u, v) }
+
+func (l *liarBacking) Commitment() attest.Root { return l.att.Commitment() }
+
+func (l *liarBacking) ProveRow(v int) ([]int, []string) { return l.att.ProveRow(v) }
 
 // faultFleet implements FaultInjector over the shards' middlewares.
 type faultFleet struct{ shards []*faultShard }
@@ -59,7 +121,24 @@ func (f *faultFleet) Hang(i int, d time.Duration) {
 func (f *faultFleet) Heal(i int) {
 	f.shards[i].mu.Lock()
 	f.shards[i].failing = false
+	f.shards[i].truncate = false
 	f.shards[i].hang = 0
+	f.shards[i].mu.Unlock()
+	if f.shards[i].lie != nil {
+		f.shards[i].lie.lying.Store(false)
+	}
+}
+
+// byzantineFleet adds the corruption modes over attested shards; only
+// fleets built by byzantineFleetFactory hand it out, so the conformance
+// suite runs the trust-plane cases exactly where the remotes pin roots.
+type byzantineFleet struct{ faultFleet }
+
+func (f *byzantineFleet) Lie(i int) { f.shards[i].lie.lying.Store(true) }
+
+func (f *byzantineFleet) Truncate(i int) {
+	f.shards[i].mu.Lock()
+	f.shards[i].truncate = true
 	f.shards[i].mu.Unlock()
 }
 
@@ -94,18 +173,54 @@ func faultFleetFactory(count int) FaultFactory {
 	}
 }
 
+// byzantineFleetFactory opens a Sharded over `count` attested httptest
+// replicas whose remotes pin the shared commitment root — the fleet
+// shape on which lying answers become ErrAttestation. Each replica's
+// backing can be switched into lying mode; the middleware adds the
+// truncation mode.
+func byzantineFleetFactory(count int) FaultFactory {
+	return func(t testing.TB) (Source, FaultInjector) {
+		root := NewAttested(Ring(60)).Commitment()
+		fleet := &byzantineFleet{}
+		var shards []Source
+		for i := 0; i < count; i++ {
+			liar := &liarBacking{att: NewAttested(Ring(60))}
+			fs := &faultShard{inner: NewProbeHandler(liar), lie: liar}
+			ts := httptest.NewServer(fs)
+			t.Cleanup(ts.Close)
+			r, err := OpenRemote(ts.URL, WithRetries(0), WithRetryBackoff(time.Millisecond), WithCommitment(root))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet.shards = append(fleet.shards, fs)
+			shards = append(shards, r)
+		}
+		s, err := NewSharded(shards,
+			WithHedge(25*time.Millisecond),
+			WithFailureThreshold(2),
+			WithRevival(10*time.Millisecond, 100*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, fleet
+	}
+}
+
 // TestConformanceFaultsSharded runs the failure-mode contract suite over
 // httptest-backed sharded fleets — the acceptance shape of the failover
-// layer, raced under -race by the suite itself.
+// layer, raced under -race by the suite itself. The attested fleet's
+// remotes pin the shared commitment, adding the Byzantine cases on top.
 func TestConformanceFaultsSharded(t *testing.T) {
 	for _, c := range []struct {
-		name  string
-		count int
+		name    string
+		factory FaultFactory
 	}{
-		{"remote-x2", 2},
-		{"remote-x3", 3},
+		{"remote-x2", faultFleetFactory(2)},
+		{"remote-x3", faultFleetFactory(3)},
+		{"remote-x2-attested", byzantineFleetFactory(2)},
 	} {
-		t.Run(c.name, func(t *testing.T) { TestConformanceFaults(t, faultFleetFactory(c.count)) })
+		t.Run(c.name, func(t *testing.T) { TestConformanceFaults(t, c.factory) })
 	}
 }
 

@@ -27,6 +27,12 @@ const (
 	// ShardProbing marks a dead shard with a half-open revival probe in
 	// flight.
 	ShardProbing = "probing"
+	// ShardDistrusted marks a shard that answered a probe with bytes that
+	// failed attestation against the pinned commitment. Distrust is
+	// sticky: unlike a dead shard, a distrusted one is never revived — the
+	// reviver's health ping would succeed against a replica that still
+	// lies on the data plane.
+	ShardDistrusted = "distrusted"
 )
 
 // ShardHealth is one replica's health snapshot, as reported by the
@@ -35,7 +41,7 @@ type ShardHealth struct {
 	// Shard labels the replica (a Remote's base URL, or shard<i> for
 	// local backends).
 	Shard string `json:"shard"`
-	// State is ShardLive, ShardDead or ShardProbing.
+	// State is ShardLive, ShardDead, ShardProbing or ShardDistrusted.
 	State string `json:"state"`
 	// ConsecutiveFails counts probe failures since the last success.
 	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
@@ -102,9 +108,15 @@ func (t *tripCount) load() uint64 {
 // everywhere.
 type scopeSink struct {
 	trips tripCount
-	fo    atomic.Uint64
-	he    atomic.Uint64
-	tr    *trace.Tracer
+	// af and pb are the view's attestation accounting: verification
+	// failures detected and proof bytes transported for probes issued
+	// through the view. tripCounts (not bare atomics) so they thread down
+	// probeScope like the trip counter does.
+	af tripCount
+	pb tripCount
+	fo atomic.Uint64
+	he atomic.Uint64
+	tr *trace.Tracer
 }
 
 // tracer returns the view's tracer, nil for untraced or unscoped
@@ -121,6 +133,20 @@ func (s *scopeSink) tripsCounter() *tripCount {
 		return nil
 	}
 	return &s.trips
+}
+
+func (s *scopeSink) afCounter() *tripCount {
+	if s == nil {
+		return nil
+	}
+	return &s.af
+}
+
+func (s *scopeSink) pbCounter() *tripCount {
+	if s == nil {
+		return nil
+	}
+	return &s.pb
 }
 
 func (s *scopeSink) failover() {
@@ -161,6 +187,11 @@ func stateName(code int32) string {
 type shardState struct {
 	state atomic.Int32
 	fails atomic.Int32
+	// distrusted is the sticky Byzantine bit: set when the shard answered
+	// bytes that failed attestation, never cleared. It gates alive()
+	// independently of the live/dead machine so a reviver's successful
+	// health ping cannot resurrect a liar into rotation.
+	distrusted atomic.Bool
 	// mu guards lastErr and the dead-transition/reviving handshake.
 	mu       sync.Mutex
 	lastErr  string
@@ -171,8 +202,21 @@ func newShardState() *shardState { return &shardState{} }
 
 // alive reports whether the shard may serve data probes right now. A
 // probing shard stays out of rotation until its half-open re-probe
-// succeeds, so one revival ping — not live traffic — decides revival.
-func (st *shardState) alive() bool { return st.state.Load() == stateLive }
+// succeeds, so one revival ping — not live traffic — decides revival;
+// a distrusted shard never returns.
+func (st *shardState) alive() bool {
+	return st.state.Load() == stateLive && !st.distrusted.Load()
+}
+
+// noteByzantine permanently distrusts the shard: a probe answer that
+// failed verification against the pinned commitment proves the replica
+// is lying or corrupt, which no amount of reviving fixes.
+func (st *shardState) noteByzantine(err error) {
+	st.distrusted.Store(true)
+	st.mu.Lock()
+	st.lastErr = err.Error()
+	st.mu.Unlock()
+}
 
 // noteSuccess resets the consecutive-failure streak of a live shard.
 // Lock-free on the pure-success fast path; a concurrent failure racing
@@ -222,7 +266,13 @@ func (st *shardState) setState(state int32, err error) {
 func (st *shardState) snapshot(label string) ShardHealth {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return ShardHealth{Shard: label, State: stateName(st.state.Load()),
+	state := stateName(st.state.Load())
+	if st.distrusted.Load() {
+		// Distrust dominates the live/dead machine in reports: whatever the
+		// transport thinks, the shard is out of rotation for good.
+		state = ShardDistrusted
+	}
+	return ShardHealth{Shard: label, State: state,
 		ConsecutiveFails: int(st.fails.Load()), LastError: st.lastErr}
 }
 

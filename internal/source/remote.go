@@ -18,9 +18,19 @@ import (
 	"sync"
 	"time"
 
+	"lca/internal/attest"
 	"lca/internal/rnd"
 	"lca/internal/trace"
 )
+
+// ErrAttestation marks a probe answer that failed verification against a
+// pinned graph commitment: the row proof did not fold to the root, or
+// the scalar answer contradicted the verified row. It wraps into
+// ProbeError.Err, and ProbeError.Temporary() treats it as failover-
+// eligible — a lying replica is routed around like a dead one, except
+// the fleet also distrusts it permanently (Sharded) instead of reviving
+// it.
+var ErrAttestation = errors.New("probe answer failed attestation against the pinned commitment")
 
 // ProbeError is the panic payload raised by network-backed sources when a
 // probe cannot be answered after all retries. The Source interface has no
@@ -52,6 +62,11 @@ func (e *ProbeError) Unwrap() error { return e.Err }
 // justify failing the probe over to another replica — a 400 would just be
 // answered 400 again.
 func (e *ProbeError) Temporary() bool {
+	if errors.Is(e.Err, ErrAttestation) {
+		// A detected lie is the shard's fault: another replica may answer
+		// honestly, so the probe is failover-eligible.
+		return true
+	}
 	return e.Status == 0 || e.Status >= 500 || e.Status == http.StatusTooManyRequests
 }
 
@@ -102,7 +117,16 @@ type Remote struct {
 	hasM, hasMaxDeg bool
 	hasRE           bool
 	hasRowFull      bool
-	closeOnce       sync.Once
+	// root is the pinned graph commitment (WithCommitment / #root=HEX in
+	// the spec fragment). When pinned, every probe carries attest=1 and
+	// every answer is verified against the root before use.
+	root      attest.Root
+	pinned    bool
+	closeOnce sync.Once
+	// attestFails counts answers that failed verification; proofBytes the
+	// proof bytes transported — the AttestCounter capability.
+	attestFails tripCount
+	proofBytes  tripCount
 	// requests counts logical shard requests (one per probe, batch or meta
 	// fetch; retries of one request are not re-counted) — the
 	// RoundTripCounter capability. Health-plane pings are not counted.
@@ -117,6 +141,7 @@ var (
 	_ RoundTripCounter = (*Remote)(nil)
 	_ Pinger           = (*Remote)(nil)
 	_ TripScoper       = (*Remote)(nil)
+	_ AttestCounter    = (*Remote)(nil)
 )
 
 // RemoteOption configures a Remote at construction.
@@ -166,10 +191,26 @@ func WithRetryBackoff(d time.Duration) RemoteOption {
 	}
 }
 
+// WithCommitment pins the shard's graph commitment: every probe is sent
+// with attest=1 and its answer verified against root — a mismatch
+// surfaces as a *ProbeError wrapping ErrAttestation instead of a wrong
+// answer. The spec form is remote:URL#root=HEX. Opening fails when the
+// shard does not advertise exactly this commitment in /probe/meta.
+func WithCommitment(root attest.Root) RemoteOption {
+	return func(r *Remote) {
+		if !root.IsZero() {
+			r.root = root
+			r.pinned = true
+		}
+	}
+}
+
 // OpenRemote connects to a probe shard and fetches its O(1) metadata. The
 // URL names the shard's base ("http://host:port"; a bare host:port gets
 // http://); a fragment selects a named source on a multi-source shard
-// ("http://host:port#web"). The returned Source carries the EdgeCounter /
+// ("http://host:port#web") and may pin a graph commitment with a root=HEX
+// segment ("http://host:port#root=HEX", "#web&root=HEX"), the spec form
+// of WithCommitment. The returned Source carries the EdgeCounter /
 // DegreeBounder / RandomEdger capabilities — on its dynamic capability
 // view — exactly when the shard's backing source does.
 func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
@@ -190,7 +231,10 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 	if u.Host == "" {
 		return nil, fmt.Errorf("source: remote: shard URL %q: missing host", rawURL)
 	}
-	name := u.Fragment
+	name, fragRoot, err := parseRemoteFragment(u.Fragment)
+	if err != nil {
+		return nil, fmt.Errorf("source: remote: shard URL %q: %w", rawURL, err)
+	}
 	u.Fragment = ""
 	u.Path = strings.TrimSuffix(u.Path, "/")
 	u.RawQuery = ""
@@ -204,6 +248,9 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 	}
 	for _, o := range opts {
 		o(r)
+	}
+	if !fragRoot.IsZero() {
+		WithCommitment(fragRoot)(r)
 	}
 	if r.ownClient && r.timeout > 0 {
 		r.client.Timeout = r.timeout
@@ -221,7 +268,47 @@ func OpenRemote(rawURL string, opts ...RemoteOption) (Source, error) {
 	}
 	r.hasRE = meta.RandomEdge
 	r.hasRowFull = meta.RowFull
+	if r.pinned {
+		// Fail fast on misconfiguration: a shard that carries no
+		// commitment could never answer attest=1, and one advertising a
+		// different root serves a different graph than the caller pinned.
+		if meta.Commitment == "" {
+			return nil, fmt.Errorf("source: remote: shard %s carries no commitment; cannot pin root %s", r.base, r.root)
+		}
+		if meta.Commitment != r.root.String() {
+			return nil, fmt.Errorf("source: remote: shard %s advertises commitment %s, not the pinned %s", r.base, meta.Commitment, r.root)
+		}
+	}
 	return r, nil
+}
+
+// parseRemoteFragment splits a shard URL's fragment into the named-source
+// selector and an optional pinned commitment: "&"-separated segments,
+// root=HEX pinning, anything else the source name.
+func parseRemoteFragment(frag string) (name string, root attest.Root, err error) {
+	if frag == "" {
+		return "", attest.Root{}, nil
+	}
+	for _, seg := range strings.Split(frag, "&") {
+		if raw, ok := strings.CutPrefix(seg, "root="); ok {
+			root, err = attest.ParseRoot(raw)
+			if err != nil {
+				return "", attest.Root{}, err
+			}
+			continue
+		}
+		// A key=value segment that isn't root= is almost certainly a
+		// typo'd pin; treating it as a source name would silently drop
+		// the commitment, so reject it.
+		if key, _, ok := strings.Cut(seg, "="); ok {
+			return "", attest.Root{}, fmt.Errorf("unknown fragment key %q (want root=HEX or a source name)", key)
+		}
+		if name != "" && seg != "" {
+			return "", attest.Root{}, fmt.Errorf("fragment names two sources (%q and %q)", name, seg)
+		}
+		name = seg
+	}
+	return name, root, nil
 }
 
 // Caps implements CapSource from the construction-time /probe/meta
@@ -275,8 +362,11 @@ func (r *Remote) Adjacency(u, v int) int {
 func (r *Remote) RoundTrips() uint64 { return r.requests.load() }
 
 // ScopeTrips implements TripScoper: the view shares this remote's
-// connections but counts round trips into its own counter only.
-func (r *Remote) ScopeTrips() Source { return &remoteScope{r: r, tc: &tripCount{}} }
+// connections but counts round trips (and attestation accounting) into
+// its own counters only.
+func (r *Remote) ScopeTrips() Source {
+	return &remoteScope{r: r, tc: &tripCount{}, af: &tripCount{}, pb: &tripCount{}}
+}
 
 // Ping implements Pinger: one uncounted, unretried health-plane request
 // against /probe/meta. A 200 with a well-formed body means alive;
@@ -344,17 +434,120 @@ func (r *Remote) probe(ps probeScope, op string, a, b int) int {
 // probeScoped issues one scalar probe, attributing the round trip to
 // ps.tc (nil: unscoped), recording an rpc span when ps is traced, and
 // honouring ctx cancellation — the hedging hook: the loser of a hedged
-// race is cancelled rather than completed.
+// race is cancelled rather than completed. Against a pinned shard the
+// probe carries attest=1 and the answer is verified before use:
+// verification sits outside the retry loop, so a liar is never retried,
+// only reported.
 func (r *Remote) probeScoped(ctx context.Context, ps probeScope, op string, a, b int) (int, *ProbeError) {
-	probeURL := fmt.Sprintf("%s/probe?op=%s&a=%d&b=%d%s", r.base, op, a, b, r.sourceParam())
+	probeURL := fmt.Sprintf("%s/probe?op=%s&a=%d&b=%d%s", r.base, op, a, b, r.wireParams())
 	var ans probeAnswer
 	if err := r.doJSON(ctx, ps, rpcSpanOp(op), a, nil, func(ctx context.Context) (*http.Request, error) {
 		return http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
 	}, &ans); err != nil {
 		return 0, &ProbeError{Shard: r.base, Op: op, A: a, B: b, Status: statusOf(err), Err: err}
 	}
+	if r.pinned {
+		if perr := r.verifyScalar(ps, op, a, b, &ans); perr != nil {
+			return 0, perr
+		}
+	}
 	return ans.Answer, nil
 }
+
+// verifyScalar checks one attested scalar answer: the returned row must
+// fold to the pinned root, and the answer must be exactly what the
+// verified row implies — a shard whose proofs are honest but whose
+// answers lie is caught by the cross-check, not trusted.
+func (r *Remote) verifyScalar(ps probeScope, op string, a, b int, ans *probeAnswer) *ProbeError {
+	if a < 0 || a >= r.n {
+		// Outside the committed range nothing is provable; the protocol
+		// answer is -1 (adjacency) and the wire layer rejects other ops.
+		if op == OpAdjacency && ans.Answer != -1 {
+			return r.attestErr(ps, op, a, b, fmt.Errorf("%w: answer %d for out-of-range vertex %d, want -1", ErrAttestation, ans.Answer, a))
+		}
+		return nil
+	}
+	r.countProof(ps, ans.Proof)
+	if err := attest.VerifyRow(r.root, r.n, a, ans.Row, ans.Proof); err != nil {
+		return r.attestErr(ps, op, a, b, fmt.Errorf("%w: %v", ErrAttestation, err))
+	}
+	want := scalarFromRow(op, ans.Row, b)
+	if ans.Answer != want {
+		return r.attestErr(ps, op, a, b, fmt.Errorf("%w: answer %d contradicts the verified row (want %d)", ErrAttestation, ans.Answer, want))
+	}
+	return nil
+}
+
+// scalarFromRow derives the only honest scalar answer from a verified
+// adjacency row. For OpRowFull the answer is the degree.
+func scalarFromRow(op string, row []int, b int) int {
+	switch op {
+	case OpNeighbor:
+		if b < 0 || b >= len(row) {
+			return -1
+		}
+		return row[b]
+	case OpAdjacency:
+		for i, w := range row {
+			if w == b {
+				return i
+			}
+		}
+		return -1
+	default: // OpDegree, OpRowFull
+		return len(row)
+	}
+}
+
+// countProof attributes transported proof bytes to the remote and the
+// per-request view.
+func (r *Remote) countProof(ps probeScope, proof []string) {
+	n := uint64(attest.ProofBytes(proof))
+	r.proofBytes.add(n)
+	ps.pb.add(n)
+}
+
+// attestErr records one verification failure and wraps it for the
+// failover machinery.
+func (r *Remote) attestErr(ps probeScope, op string, a, b int, err error) *ProbeError {
+	r.attestFails.add(1)
+	ps.af.add(1)
+	return &ProbeError{Shard: r.base, Op: op, A: a, B: b, Err: err}
+}
+
+// verifyBatch checks every attested answer of a batch (scalar ops and
+// rowfull alike) against the pinned root.
+func (r *Remote) verifyBatch(ps probeScope, probes []ProbeReq, out *probeBatchAnswer) *ProbeError {
+	if len(out.Rows) != len(probes) || len(out.Proofs) != len(probes) {
+		return r.attestErr(ps, "batch", len(probes), 0,
+			fmt.Errorf("%w: shard answered %d rows and %d proofs for %d probes", ErrAttestation, len(out.Rows), len(out.Proofs), len(probes)))
+	}
+	for i, p := range probes {
+		if p.A < 0 || p.A >= r.n {
+			if p.Op == OpAdjacency && out.Answers[i] != -1 {
+				return r.attestErr(ps, p.Op, p.A, p.B, fmt.Errorf("%w: answer %d for out-of-range vertex %d, want -1", ErrAttestation, out.Answers[i], p.A))
+			}
+			continue
+		}
+		r.countProof(ps, out.Proofs[i])
+		if err := attest.VerifyRow(r.root, r.n, p.A, out.Rows[i], out.Proofs[i]); err != nil {
+			return r.attestErr(ps, p.Op, p.A, p.B, fmt.Errorf("%w: probe %d: %v", ErrAttestation, i, err))
+		}
+		if want := scalarFromRow(p.Op, out.Rows[i], p.B); out.Answers[i] != want {
+			return r.attestErr(ps, p.Op, p.A, p.B,
+				fmt.Errorf("%w: probe %d: answer %d contradicts the verified row (want %d)", ErrAttestation, i, out.Answers[i], want))
+		}
+	}
+	return nil
+}
+
+// AttestFailures implements AttestCounter: probe answers that failed
+// verification against the pinned commitment so far.
+func (r *Remote) AttestFailures() uint64 { return r.attestFails.load() }
+
+// ProofBytes implements AttestCounter: attestation proof bytes
+// transported so far.
+func (r *Remote) ProofBytes() uint64 { return r.proofBytes.load() }
 
 // ProbeBatch implements BatchProber with one POST round trip.
 func (r *Remote) ProbeBatch(probes []ProbeReq) ([]int, error) {
@@ -370,7 +563,7 @@ func (r *Remote) batchScoped(ps probeScope, probes []ProbeReq) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
+	batchURL := r.base + "/probe" + strings.Replace(r.wireParams(), "&", "?", 1)
 	var tags []string
 	if ps.tr != nil {
 		tags = []string{fmt.Sprintf("batch=%d", len(probes))}
@@ -389,6 +582,11 @@ func (r *Remote) batchScoped(ps probeScope, probes []ProbeReq) ([]int, error) {
 	if len(out.Answers) != len(probes) {
 		return nil, &ProbeError{Shard: r.base, Op: "batch", A: len(probes),
 			Err: fmt.Errorf("shard answered %d of %d probes", len(out.Answers), len(probes))}
+	}
+	if r.pinned {
+		if perr := r.verifyBatch(ps, probes, &out); perr != nil {
+			return nil, perr
+		}
 	}
 	return out.Answers, nil
 }
@@ -414,7 +612,7 @@ func (r *Remote) fetchRowsScoped(ps probeScope, vs []int) ([][]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		batchURL := r.base + "/probe" + strings.Replace(r.sourceParam(), "&", "?", 1)
+		batchURL := r.base + "/probe" + strings.Replace(r.wireParams(), "&", "?", 1)
 		var tags []string
 		if ps.tr != nil {
 			tags = []string{fmt.Sprintf("batch=%d", len(chunk))}
@@ -438,6 +636,11 @@ func (r *Remote) fetchRowsScoped(ps probeScope, vs []int) ([][]int, error) {
 			if len(row) != out.Answers[i] {
 				return nil, &ProbeError{Shard: r.base, Op: OpRowFull, A: chunk[i],
 					Err: fmt.Errorf("shard answered a %d-neighbor row for degree %d", len(row), out.Answers[i])}
+			}
+		}
+		if r.pinned {
+			if perr := r.verifyBatch(ps, probes, &out); perr != nil {
+				return nil, perr
 			}
 		}
 		rows = append(rows, out.Rows...)
@@ -465,6 +668,17 @@ func (r *Remote) sourceParam() string {
 		return ""
 	}
 	return "&source=" + url.QueryEscape(r.name)
+}
+
+// wireParams renders the query-string suffix shared by probe requests
+// ("&"-prefixed; callers flip the first "&" to "?" on bare paths): the
+// named-source selector plus attest=1 against a pinned shard.
+func (r *Remote) wireParams() string {
+	s := r.sourceParam()
+	if r.pinned {
+		s += "&attest=1"
+	}
+	return s
 }
 
 // getJSON fetches one unscoped, untraced document (the meta plane).
@@ -581,9 +795,10 @@ func shardErrText(body []byte) string {
 // connections, round trips counted into the view's own counter, spans
 // recorded into the view's tracer when one is set.
 type remoteScope struct {
-	r  *Remote
-	tc *tripCount
-	tr *trace.Tracer
+	r      *Remote
+	tc     *tripCount
+	af, pb *tripCount
+	tr     *trace.Tracer
 }
 
 var (
@@ -603,7 +818,7 @@ func (s *remoteScope) SetTracer(tr *trace.Tracer) { s.tr = tr }
 // time: this view is probed serially (by the query's oracle stack), so
 // the tracer's implicit parent is the enclosing oracle span.
 func (s *remoteScope) scope() probeScope {
-	return probeScope{tc: s.tc, tr: s.tr, parent: s.tr.Parent()}
+	return probeScope{tc: s.tc, af: s.af, pb: s.pb, tr: s.tr, parent: s.tr.Parent()}
 }
 
 func (s *remoteScope) N() int { return s.r.n }
@@ -638,3 +853,9 @@ func (s *remoteScope) Caps() Caps {
 
 // RoundTrips reports only the trips issued through this view.
 func (s *remoteScope) RoundTrips() uint64 { return s.tc.load() }
+
+// AttestFailures implements AttestCounter for this view only.
+func (s *remoteScope) AttestFailures() uint64 { return s.af.load() }
+
+// ProofBytes implements AttestCounter for this view only.
+func (s *remoteScope) ProofBytes() uint64 { return s.pb.load() }

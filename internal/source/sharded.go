@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lca/internal/attest"
 	"lca/internal/rnd"
 	"lca/internal/trace"
 )
@@ -126,6 +127,7 @@ var (
 	_ HealthReporter   = (*Sharded)(nil)
 	_ FailoverCounter  = (*Sharded)(nil)
 	_ TripScoper       = (*Sharded)(nil)
+	_ AttestCounter    = (*Sharded)(nil)
 )
 
 // ShardedOption configures a Sharded at construction.
@@ -362,6 +364,78 @@ func (s *Sharded) RoundTrips() uint64 {
 	return total
 }
 
+// AttestFailures implements AttestCounter by summing the shards that
+// verify (pinned Remotes; local shards prove nothing and count nothing).
+// Each failure is one detected Byzantine answer that was discarded and
+// re-routed — the fleet's answers stay correct, this counts the lies.
+func (s *Sharded) AttestFailures() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		if ac, ok := sh.(AttestCounter); ok {
+			total += ac.AttestFailures()
+		}
+	}
+	return total
+}
+
+// ProofBytes implements AttestCounter by summing the shards that verify.
+func (s *Sharded) ProofBytes() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		if ac, ok := sh.(AttestCounter); ok {
+			total += ac.ProofBytes()
+		}
+	}
+	return total
+}
+
+// SpotCheck cross-audits the replicas for interchangeability: k vertices
+// sampled deterministically from seed have their adjacency rows fetched
+// from every replica directly (bypassing rendezvous routing), and every
+// disagreement against replica 0's row is reported. A disagreement proves
+// at least one replica of the pair corrupt — without a commitment it
+// cannot say which, so SpotCheck reports rather than distrusts; operators
+// (or the serve tier) act on the findings. Replicas that error are
+// skipped: unreachable is a health problem, not a corruption finding.
+func (s *Sharded) SpotCheck(k int, seed uint64) []attest.Disagreement {
+	rows := make([]func(v int) ([]int, error), len(s.shards))
+	for i := range s.shards {
+		sh := s.shards[i]
+		rows[i] = func(v int) ([]int, error) { return rowFromShard(sh, v) }
+	}
+	return attest.AuditReplicas(s.n, k, seed, rows)
+}
+
+// rowFromShard fetches one adjacency row from one replica, converting the
+// network contract's *ProbeError panics into errors for the auditor.
+func rowFromShard(sh Source, v int) (row []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProbeError)
+			if !ok {
+				panic(r)
+			}
+			row, err = nil, pe
+		}
+	}()
+	if rf, ok := RowFetcherOf(sh); ok {
+		rows, err := rf.FetchRows([]int{v})
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("source: audit: shard answered %d rows for 1 vertex", len(rows))
+		}
+		return rows[0], nil
+	}
+	d := sh.Degree(v)
+	row = make([]int, d)
+	for i := range row {
+		row[i] = sh.Neighbor(v, i)
+	}
+	return row, nil
+}
+
 // shardScore is the rendezvous (highest-random-weight) score of the
 // (vertex, shard) pair: each pair gets an independent 64-bit score and
 // the max wins, so removing one shard remaps only the keys it owned — the
@@ -419,6 +493,19 @@ func (s *Sharded) pickLive(v int, exclude []bool) (primary, secondary, want int)
 		}
 	}
 	return primary, secondary, want
+}
+
+// noteFault records one shard failure, distinguishing Byzantine answers
+// from transport trouble: a failure wrapping ErrAttestation means the
+// shard returned bytes that contradict the pinned commitment, so it is
+// distrusted for good (no reviver — a liar's health ping succeeds), while
+// any other temporary failure takes the ordinary dead/revive path.
+func (s *Sharded) noteFault(i int, err error) {
+	if errors.Is(err, ErrAttestation) {
+		s.health[i].noteByzantine(err)
+		return
+	}
+	s.markFailure(i, err)
 }
 
 // markFailure records a temporary failure on shard i, starting the
@@ -581,7 +668,7 @@ func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
 			tr.End(h, tags...)
 		}()
 	}
-	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
+	ps := probeScope{tc: sink.tripsCounter(), af: sink.afCounter(), pb: sink.pbCounter(), tr: tr, parent: h.ID()}
 	var exclude []bool
 	var lastErr error
 	for tries := 0; tries <= len(s.shards); tries++ {
@@ -604,7 +691,7 @@ func (s *Sharded) scalar(sink *scopeSink, op string, route, a, b int) int {
 			}
 		}
 		for _, f := range failed {
-			s.markFailure(f.i, f.err)
+			s.noteFault(f.i, f.err)
 		}
 		if perr == nil {
 			s.health[served].noteSuccess()
@@ -754,7 +841,7 @@ func (s *Sharded) hedgedProbe(sink *scopeSink, ps probeScope, primary, secondary
 func (s *Sharded) harvestLoser(ch <-chan hedgeResult) {
 	res := <-ch
 	if res.err != nil && res.err.Temporary() && !errors.Is(res.err, context.Canceled) {
-		s.markFailure(res.shard, res.err)
+		s.noteFault(res.shard, res.err)
 	}
 }
 
@@ -822,7 +909,7 @@ func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
 			tr.End(h, tags...)
 		}()
 	}
-	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
+	ps := probeScope{tc: sink.tripsCounter(), af: sink.afCounter(), pb: sink.pbCounter(), tr: tr, parent: h.ID()}
 	seed := prg.Uint64()
 	derived := rnd.Seed(seed).Derive(0x5e)
 	var live []int
@@ -852,7 +939,7 @@ func (s *Sharded) randomEdge(sink *scopeSink, prg *rnd.PRG) (int, int) {
 		if !perr.Temporary() {
 			panic(perr)
 		}
-		s.markFailure(i, perr)
+		s.noteFault(i, perr)
 		lastErr = perr
 	}
 	panic(&ProbeError{Shard: s.label(), Op: OpRandomEdge,
@@ -922,7 +1009,7 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 			tr.End(h, tags...)
 		}()
 	}
-	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
+	ps := probeScope{tc: sink.tripsCounter(), af: sink.afCounter(), pb: sink.pbCounter(), tr: tr, parent: h.ID()}
 	answers := make([]int, len(probes))
 	var pending []int // indices still needing a backend answer
 	for i, p := range probes {
@@ -979,7 +1066,7 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 			if !temporaryProbeErr(err) {
 				return nil, err
 			}
-			s.markFailure(shard, err)
+			s.noteFault(shard, err)
 			lastErr = err
 			if exclude == nil {
 				exclude = make([]bool, len(s.shards))
@@ -992,6 +1079,13 @@ func (s *Sharded) batch(sink *scopeSink, probes []ProbeReq) ([]int, error) {
 		return nil, &ProbeError{Shard: s.label(), Op: "batch", A: len(probes),
 			Err: fmt.Errorf("no live replica can serve the batch: %w", lastErr)}
 	}
+	// Cache commit happens only here, after every group verified and
+	// succeeded — never inside the per-shard round. A batch that errors
+	// mid-way (one group answered, another group's shard lied or died)
+	// must not leak its answered cells into the LRU: under attestation the
+	// lying group's answers were discarded before reaching answers[], and
+	// the all-or-nothing commit keeps the error path from publishing the
+	// partial rest.
 	if s.cache != nil {
 		for i, p := range probes {
 			if k, ok := keyOf(p); ok {
@@ -1086,7 +1180,7 @@ func (s *Sharded) fetchRows(sink *scopeSink, vs []int) ([][]int, error) {
 			tr.End(h, tags...)
 		}()
 	}
-	ps := probeScope{tc: sink.tripsCounter(), tr: tr, parent: h.ID()}
+	ps := probeScope{tc: sink.tripsCounter(), af: sink.afCounter(), pb: sink.pbCounter(), tr: tr, parent: h.ID()}
 	rows := make([][]int, len(vs))
 	pending := make([]int, len(vs)) // indices into vs still unanswered
 	for i := range vs {
@@ -1134,7 +1228,7 @@ func (s *Sharded) fetchRows(sink *scopeSink, vs []int) ([][]int, error) {
 			if !temporaryProbeErr(err) {
 				return nil, err
 			}
-			s.markFailure(shard, err)
+			s.noteFault(shard, err)
 			lastErr = err
 			if exclude == nil {
 				exclude = make([]bool, len(s.shards))
@@ -1269,6 +1363,7 @@ var (
 	_ RoundTripCounter = (*shardedScope)(nil)
 	_ FailoverCounter  = (*shardedScope)(nil)
 	_ TracerSetter     = (*shardedScope)(nil)
+	_ AttestCounter    = (*shardedScope)(nil)
 )
 
 // SetTracer implements TracerSetter: subsequent probes through this view
@@ -1310,6 +1405,14 @@ func (sc *shardedScope) Failovers() uint64 { return sc.sink.fo.Load() }
 
 // Hedges reports only the hedges fired for probes issued through this view.
 func (sc *shardedScope) Hedges() uint64 { return sc.sink.he.Load() }
+
+// AttestFailures reports only the verification failures detected on
+// probes issued through this view.
+func (sc *shardedScope) AttestFailures() uint64 { return sc.sink.af.load() }
+
+// ProofBytes reports only the proof bytes transported for probes issued
+// through this view.
+func (sc *shardedScope) ProofBytes() uint64 { return sc.sink.pb.load() }
 
 // probe-answer LRU ------------------------------------------------------
 

@@ -28,7 +28,11 @@ type TracerSetter interface {
 // fan-out (hedges, per-shard batch goroutines), so the implicit Push/Pop
 // parent is never read from a goroutine.
 type probeScope struct {
-	tc     *tripCount
+	tc *tripCount
+	// af and pb attribute attestation accounting (verification failures,
+	// proof bytes transported) to the view, alongside the trip counter.
+	af     *tripCount
+	pb     *tripCount
 	tr     *trace.Tracer
 	parent uint32
 }

@@ -83,8 +83,14 @@ type BatchProber interface {
 type probeAnswer struct {
 	Answer int `json:"answer"`
 	// Row carries the full neighbor row on op=rowfull (Answer is its
-	// length, the degree); absent on every other op.
-	Row   []int        `json:"row,omitempty"`
+	// length, the degree) — and, under attest=1, the committed row of the
+	// probed vertex on every op, so the client can check the scalar
+	// answer against the verified row.
+	Row []int `json:"row,omitempty"`
+	// Proof is the Merkle inclusion proof of Row against the shard's
+	// advertised commitment; present exactly when the request carried
+	// attest=1 and the probed vertex is in range.
+	Proof []string     `json:"proof,omitempty"`
 	Trace []trace.Span `json:"trace,omitempty"`
 }
 
@@ -105,8 +111,15 @@ type probeBatchAnswer struct {
 	// Rows is index-aligned with the request when it carried any rowfull
 	// probes: the full neighbor row per rowfull probe (its answers entry
 	// is the degree), null for other ops. Absent on row-free batches.
-	Rows  [][]int      `json:"rows,omitempty"`
-	Trace []trace.Span `json:"trace,omitempty"`
+	// Under attest=1 every in-range probe's entry is filled with the
+	// committed row of its probed vertex.
+	Rows [][]int `json:"rows,omitempty"`
+	// Proofs is index-aligned with the request under attest=1: each
+	// entry is the Merkle inclusion proof of the matching Rows entry
+	// (null for out-of-range adjacency probes, whose answer is -1 by
+	// protocol). Absent without attest=1.
+	Proofs [][]string   `json:"proofs,omitempty"`
+	Trace  []trace.Span `json:"trace,omitempty"`
 }
 
 func (a *probeAnswer) traceSpans() []trace.Span      { return a.Trace }
@@ -136,11 +149,16 @@ func shardTracer(r *http.Request) *trace.Tracer {
 // per-replica health of a sharded source (HealthReporter), so operators
 // can watch a fleet's failover state through any shard that fronts it.
 type probeMeta struct {
-	N          int           `json:"n"`
-	M          *int          `json:"m,omitempty"`
-	MaxDegree  *int          `json:"max_degree,omitempty"`
-	RandomEdge bool          `json:"random_edge,omitempty"`
-	RowFull    bool          `json:"row_full,omitempty"`
+	N          int  `json:"n"`
+	M          *int `json:"m,omitempty"`
+	MaxDegree  *int `json:"max_degree,omitempty"`
+	RandomEdge bool `json:"random_edge,omitempty"`
+	RowFull    bool `json:"row_full,omitempty"`
+	// Commitment is the hex Merkle root over the graph's adjacency rows,
+	// present when the shard's source carries the Attestor capability:
+	// the flag that tells clients they may pin the root and request
+	// attest=1 row proofs.
+	Commitment string        `json:"commitment,omitempty"`
 	Shards     []ShardHealth `json:"shards,omitempty"`
 }
 
@@ -168,10 +186,29 @@ func metaOf(src Source) probeMeta {
 		// "one answer, one trip" promise would silently cost a fan-out.
 		meta.RowFull = true
 	}
+	if at, ok := AttestorOf(src); ok {
+		meta.Commitment = at.Commitment().String()
+	}
 	if health, ok := HealthOf(src); ok {
 		meta.Shards = health
 	}
 	return meta
+}
+
+// attestParam reports whether the request asked for row proofs, and
+// resolves the source's Attestor when it did. A shard without the
+// capability answers 400 — like rowfull, the client must only send
+// attest=1 after seeing the commitment flag in /probe/meta.
+func attestParam(r *http.Request, src Source) (Attestor, bool, int, string) {
+	if r.URL.Query().Get("attest") != "1" {
+		return nil, false, 0, ""
+	}
+	at, ok := AttestorOf(src)
+	if !ok {
+		return nil, false, http.StatusBadRequest,
+			"source carries no commitment (no attest capability; check /probe/meta)"
+	}
+	return at, true, 0, ""
 }
 
 // wireError is the shared JSON error envelope ({"error","status"}), the
@@ -263,7 +300,14 @@ func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 	op := q.Get("op")
 	tr := shardTracer(r)
 	if op == OpRandomEdge {
+		// randomedge is unattested: its answer is a sample, not a row fact;
+		// clients verify it post-hoc via an attested adjacency probe.
 		serveRandomEdge(w, q.Get("seed"), src, tr)
+		return
+	}
+	at, attested, status, msg := attestParam(r, src)
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
 		return
 	}
 	a, err := wireInt(q.Get("a"), "a")
@@ -283,7 +327,7 @@ func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 		return
 	}
 	if op == OpRowFull {
-		serveRowFull(w, src, a, tr)
+		serveRowFull(w, src, a, at, tr)
 		return
 	}
 	view := src
@@ -302,7 +346,14 @@ func ServeProbe(w http.ResponseWriter, r *http.Request, src Source) {
 		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: ans, Trace: tr.Spans()})
+	body := probeAnswer{Answer: ans, Trace: tr.Spans()}
+	if attested && a >= 0 && a < src.N() {
+		// The committed row of the probed vertex plus its proof: the
+		// client verifies the row against its pinned root and checks the
+		// scalar answer against the verified row.
+		body.Row, body.Proof = at.ProveRow(a)
+	}
+	writeWireJSON(w, http.StatusOK, body)
 }
 
 // ServeProbeBatch answers one POST /probe request for src: the answers
@@ -316,6 +367,11 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 	}
 	if len(req.Probes) > MaxProbeBatch {
 		writeWireErr(w, http.StatusBadRequest, "probe batch of %d exceeds the maximum %d", len(req.Probes), MaxProbeBatch)
+		return
+	}
+	at, attested, status, msg := attestParam(r, src)
+	if status != 0 {
+		writeWireErr(w, status, "%s", msg)
 		return
 	}
 	for i, p := range req.Probes {
@@ -342,7 +398,28 @@ func ServeProbeBatch(w http.ResponseWriter, r *http.Request, src Source) {
 		writeWireErr(w, status, "%s", msg)
 		return
 	}
-	writeWireJSON(w, http.StatusOK, probeBatchAnswer{Answers: answers, Rows: rows, Trace: tr.Spans()})
+	body := probeBatchAnswer{Answers: answers, Rows: rows, Trace: tr.Spans()}
+	if attested {
+		// Attach each in-range probe's committed row and proof. rowfull
+		// entries keep the row the fetch path served (a corrupted fetch
+		// must stay visible to the verifier), gaining only the proof.
+		if body.Rows == nil {
+			body.Rows = make([][]int, len(req.Probes))
+		}
+		body.Proofs = make([][]string, len(req.Probes))
+		n := src.N()
+		for i, p := range req.Probes {
+			if p.A < 0 || p.A >= n {
+				continue // out-of-range adjacency: answer is -1 by protocol, nothing to prove
+			}
+			row, proof := at.ProveRow(p.A)
+			if body.Rows[i] == nil {
+				body.Rows[i] = row
+			}
+			body.Proofs[i] = proof
+		}
+	}
+	writeWireJSON(w, http.StatusOK, body)
 }
 
 // answerBatch answers a validated probe batch against src. rowfull probes
@@ -412,8 +489,10 @@ func answerBatch(src Source, probes []ProbeReq) (answers []int, rows [][]int, st
 }
 
 // serveRowFull answers GET /probe?op=rowfull&a=V: the degree plus the
-// full neighbor row in one answer.
-func serveRowFull(w http.ResponseWriter, src Source, a int, tr *trace.Tracer) {
+// full neighbor row in one answer — plus the row's inclusion proof when
+// at is non-nil (attest=1). The served row stays the fetch path's own,
+// so a corrupted fetch remains visible to the verifier.
+func serveRowFull(w http.ResponseWriter, src Source, a int, at Attestor, tr *trace.Tracer) {
 	if status, msg := validateProbe(src, ProbeReq{Op: OpRowFull, A: a}); status != 0 {
 		writeWireErr(w, status, "%s", msg)
 		return
@@ -435,7 +514,11 @@ func serveRowFull(w http.ResponseWriter, src Source, a int, tr *trace.Tracer) {
 		return
 	}
 	row := rows[0]
-	writeWireJSON(w, http.StatusOK, probeAnswer{Answer: len(row), Row: row, Trace: tr.Spans()})
+	body := probeAnswer{Answer: len(row), Row: row, Trace: tr.Spans()}
+	if at != nil {
+		_, body.Proof = at.ProveRow(a)
+	}
+	writeWireJSON(w, http.StatusOK, body)
 }
 
 // fetchRowsFrom answers rowfull probes against src: the RowFetcher
