@@ -126,6 +126,66 @@ func TestCompareTimeGateSkipsUnbaselined(t *testing.T) {
 	}
 }
 
+func TestCompareHotPathAllocGate(t *testing.T) {
+	// The SRC sweep's allocs/probe column, gated at CI's +100% +2 slack:
+	// the zero-alloc steady state has headroom for measurement jitter but
+	// a real per-probe allocation (one alloc per probe = 1.0+) must trip.
+	oldRecs := mustParse(t, `{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-mmap+lru","algorithm":"mis","n":"1000000","allocs/probe":"0.000"}}
+{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-cold","algorithm":"mis","n":"1000000","allocs/probe":"0.002"}}
+`)
+	newRecs := mustParse(t, `{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-mmap+lru","algorithm":"mis","n":"1000000","allocs/probe":"3.100"}}
+{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-cold","algorithm":"mis","n":"1000000","allocs/probe":"0.180"}}
+`)
+	results, _, _ := compare(oldRecs, newRecs, "allocs/probe", 1.0, 2)
+	if len(results) != 2 {
+		t.Fatalf("compared %d scenarios, want 2", len(results))
+	}
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.key, "csr-mmap+lru"):
+			// 0 -> 3.1 allocs/probe: the arena path started allocating.
+			if !r.regress {
+				t.Fatalf("lost zero-alloc steady state not flagged: %+v", r)
+			}
+		case strings.Contains(r.key, "csr-cold"):
+			// 0.002 -> 0.18 stays inside the absolute slack: jitter.
+			if r.regress {
+				t.Fatalf("alloc jitter tripped the gate despite slack: %+v", r)
+			}
+		}
+	}
+}
+
+func TestCompareHotPathTimeGate(t *testing.T) {
+	// The SRC sweep's ns/probe column, gated at CI's +100% +100ns slack:
+	// the mmap backend collapsing back to cold-read latency must trip,
+	// while wall-clock noise on an already-cheap row must not.
+	oldRecs := mustParse(t, `{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-mmap","algorithm":"mis","n":"1000000","ns/probe":"23.3"}}
+{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-cold","algorithm":"mis","n":"1000000","ns/probe":"600.0"}}
+`)
+	newRecs := mustParse(t, `{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-mmap","algorithm":"mis","n":"1000000","ns/probe":"580.0"}}
+{"experiment":"SRC","title":"t","row":{"source":"circulant","config":"csr-cold","algorithm":"mis","n":"1000000","ns/probe":"900.0"}}
+`)
+	results, _, _ := compare(oldRecs, newRecs, "ns/probe", 1.0, 100)
+	if len(results) != 2 {
+		t.Fatalf("compared %d scenarios, want 2", len(results))
+	}
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.key, "csr-mmap"):
+			// 23 -> 580: mmap probes now cost what cold reads cost.
+			if !r.regress {
+				t.Fatalf("mmap probe-latency collapse not flagged: %+v", r)
+			}
+		case strings.Contains(r.key, "csr-cold"):
+			// 600 -> 900 is +50%, inside the generous +100% gate.
+			if r.regress {
+				t.Fatalf("+50%% tripped a +100%% gate: %+v", r)
+			}
+		}
+	}
+}
+
 func TestCompareUnparseableMetricSkipped(t *testing.T) {
 	oldRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"-"}}`)
 	newRecs := mustParse(t, `{"experiment":"E1","title":"t","row":{"construction":"3-spanner","stretch<=":"3 ok","mean probes":"12"}}`)

@@ -146,6 +146,32 @@
 // Every built-in algorithm (mis, coloring, matching, approxmatching, the
 // three spanner families, balls, the estimators) already speaks this API.
 //
+// # The hot local path
+//
+// When the graph lives on local disk, the probe bill is paid in reads
+// and allocations, not round trips. Two switches tighten that path
+// without changing a single answer. Opening a CSR file with the mmap
+// knob ("csr:web.csr?mmap=1") maps it read-only instead of issuing a
+// positioned read per probe — the spec falls back to the cold reader
+// where mmap is unavailable — and WithRowCache routes the session's
+// probes through tiered row caches (a per-chain arena-backed L1 over a
+// shared bounded L2), so steady-state probes of a warm working set
+// allocate nothing:
+//
+//	src, err := lca.OpenSource("csr:web.csr?mmap=1", 7)
+//	s := lca.NewSessionFromSource(src,
+//		lca.WithSeed(42),
+//		lca.WithRowCache(65536), // shared L2 slots; L1 is per query chain
+//	)
+//	in, err := s.Vertex("mis", 123456)
+//
+// Answers, probe counts and probe budgets are identical with the caches
+// on — rows of a fixed graph are pure values, so caching them is
+// invisible except in the bill. The mmap reader also reports probe
+// locality (page_touches, local_hits) through QueryStats and serve
+// answers, and the lcabench SRC sweep prints ns/probe and allocs/probe
+// per backend so the zero stays pinned in BENCH artifacts.
+//
 // # Shard health, failover and hedging: a runbook
 //
 // A sharded: fleet survives replica failure without operator action, but

@@ -227,6 +227,39 @@ func TestDocsTrustPlane(t *testing.T) {
 	}
 }
 
+// TestDocsHotPath: the hot local path's surface — the mmap spec knob
+// and its fallback error, the tiered row-cache layer with its eviction
+// policies and session switch, the LocalityReporter capability with its
+// QueryStats fields and serve counters, and the bench columns CI gates —
+// is documented in ARCHITECTURE.md and the doc.go quickstart with the
+// code's own names.
+func TestDocsHotPath(t *testing.T) {
+	arch := readDoc(t, "ARCHITECTURE.md")
+	for _, token := range []string{
+		"Hot local path", "csr_mmap.go", "OpenCSRMmap", "mmap=1",
+		"ErrMmapUnsupported",
+		"rowcache.go", "TieredOracle", "WithRowCache",
+		"EvictLRU", "EvictClock", "arena",
+		"LocalityReporter", "PageTouches", "LocalHits",
+		"page_touches", "local_hits",
+		"serve_page_touches_total", "serve_local_hits_total",
+		"ns/probe", "allocs/probe",
+	} {
+		if !strings.Contains(arch, token) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", token)
+		}
+	}
+	docGo := readDoc(t, "doc.go")
+	for _, token := range []string{
+		"mmap=1", "WithRowCache", "page_touches", "local_hits",
+		"ns/probe", "allocs/probe",
+	} {
+		if !strings.Contains(docGo, token) {
+			t.Errorf("doc.go quickstart does not mention %s", token)
+		}
+	}
+}
+
 // TestDocsLinkedFromDocGo: the package documentation points at both
 // documents, and the documents point at each other.
 func TestDocsLinkedFromDocGo(t *testing.T) {

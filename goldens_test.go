@@ -53,9 +53,10 @@ func (c *corruptReplica) ProveRow(v int) ([]int, []string) { return c.att.ProveR
 // prefetch, the session explores neighborhoods through the batching
 // oracle — the digest must not move: prefetching changes transport, never
 // answers.
-func answerDigest(t *testing.T, src lca.Source, prefetch bool) string {
+func answerDigest(t *testing.T, src lca.Source, prefetch bool, extra ...lca.SessionOption) string {
 	t.Helper()
-	s := lca.NewSessionFromSource(src, lca.WithSeed(42), lca.WithPrefetch(prefetch))
+	opts := append([]lca.SessionOption{lca.WithSeed(42), lca.WithPrefetch(prefetch)}, extra...)
+	s := lca.NewSessionFromSource(src, opts...)
 	defer s.Close()
 	n := src.N()
 	transcript := ""
@@ -121,6 +122,9 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 	}{
 		{"implicit", spec},
 		{"csr", "csr:" + csrPath},
+		// On platforms without mmap the spec knob degrades to the cold
+		// reader, so this row still pins the fallback's answers.
+		{"csr-mmap", "csr:" + csrPath + "?mmap=1"},
 		{"remote", "remote:" + shardA.URL},
 		{"sharded-x2", "sharded:remote:" + shardA.URL + ",remote:" + shardB.URL},
 		{"sharded-x2-lru", "sharded:cache=4096;remote:" + shardA.URL + ";remote:" + shardB.URL},
@@ -143,6 +147,31 @@ func TestCrossBackendDeterminismGoldens(t *testing.T) {
 			digests[name] = answerDigest(t, src, prefetch)
 		}
 	}
+	// Tiered goldens: the same backends routed through the session's row
+	// caches (L1 arena store + shared bounded L2). Caches serve memoized
+	// rows of a fixed graph, so every digest must stay on the golden — with
+	// and without prefetch stacked above the tier.
+	for _, b := range []struct {
+		name string
+		spec string
+	}{
+		{"implicit-tiered", spec},
+		{"csr-tiered", "csr:" + csrPath},
+		{"csr-mmap-tiered", "csr:" + csrPath + "?mmap=1"},
+	} {
+		for _, prefetch := range []bool{false, true} {
+			name := b.name
+			if prefetch {
+				name += "+prefetch"
+			}
+			src, err := lca.OpenSource(b.spec, 7)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			digests[name] = answerDigest(t, src, prefetch, lca.WithRowCache(128))
+		}
+	}
+
 	// Failover golden: a sharded fleet with one of its two replicas killed
 	// mid-session must keep answering byte-identically to the healthy
 	// cluster — replicas are interchangeable, so the survivor serves the

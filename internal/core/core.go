@@ -75,6 +75,8 @@ func (q *QueryStats) Observe(delta oracle.Stats) {
 	q.ByKind.AttestFailures += delta.AttestFailures
 	q.ByKind.ProofBytes += delta.ProofBytes
 	q.ByKind.RemainderTrips += delta.RemainderTrips
+	q.ByKind.PageTouches += delta.PageTouches
+	q.ByKind.LocalHits += delta.LocalHits
 	// FetchWidth is a gauge, not a counter: keep the latest nonzero
 	// snapshot rather than summing widths across queries.
 	if delta.FetchWidth > 0 {
@@ -100,6 +102,8 @@ func (q *QueryStats) Merge(s QueryStats) {
 	q.ByKind.AttestFailures += s.ByKind.AttestFailures
 	q.ByKind.ProofBytes += s.ByKind.ProofBytes
 	q.ByKind.RemainderTrips += s.ByKind.RemainderTrips
+	q.ByKind.PageTouches += s.ByKind.PageTouches
+	q.ByKind.LocalHits += s.ByKind.LocalHits
 	if s.ByKind.FetchWidth > 0 {
 		q.ByKind.FetchWidth = s.ByKind.FetchWidth
 	}
@@ -147,6 +151,9 @@ func (q QueryStats) String() string {
 	}
 	if q.ByKind.FetchWidth > 0 {
 		s += fmt.Sprintf(" width=%d", q.ByKind.FetchWidth)
+	}
+	if q.ByKind.PageTouches > 0 || q.ByKind.LocalHits > 0 {
+		s += fmt.Sprintf(" pages=%d local=%d", q.ByKind.PageTouches, q.ByKind.LocalHits)
 	}
 	return s
 }

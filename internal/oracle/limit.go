@@ -191,6 +191,24 @@ func (l *LimitOracle) RemainderTrips() uint64 {
 	return 0
 }
 
+// PageTouches forwards the chain's page-touch count (0 when no
+// page-mapped backend is underneath).
+func (l *LimitOracle) PageTouches() uint64 {
+	if lr, ok := l.inner.(source.LocalityReporter); ok {
+		return lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the chain's same-page-hit count (0 when no
+// page-mapped backend is underneath).
+func (l *LimitOracle) LocalHits() uint64 {
+	if lr, ok := l.inner.(source.LocalityReporter); ok {
+		return lr.LocalHits()
+	}
+	return 0
+}
+
 // ErrTripBudgetExceeded is the panic value raised by the round-trip
 // limiter once the backend has consumed more than Budget network round
 // trips for the wrapped chain. Typed like ErrBudgetExceeded so harnesses
@@ -335,6 +353,24 @@ func (l *limitTripsOracle) FetchWidth() int {
 func (l *limitTripsOracle) RemainderTrips() uint64 {
 	if pr, ok := l.inner.(PrefetchReporter); ok {
 		return pr.RemainderTrips()
+	}
+	return 0
+}
+
+// PageTouches forwards the chain's page-touch count (0 when no
+// page-mapped backend is underneath).
+func (l *limitTripsOracle) PageTouches() uint64 {
+	if lr, ok := l.inner.(source.LocalityReporter); ok {
+		return lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the chain's same-page-hit count (0 when no
+// page-mapped backend is underneath).
+func (l *limitTripsOracle) LocalHits() uint64 {
+	if lr, ok := l.inner.(source.LocalityReporter); ok {
+		return lr.LocalHits()
 	}
 	return 0
 }

@@ -160,6 +160,14 @@ type Stats struct {
 	// gauge, not a counter; with the learned-width estimator it moves as
 	// observed degrees accumulate. 0 when no PrefetchOracle is in the chain.
 	FetchWidth uint64
+	// PageTouches counts backend loads that landed on a different page than
+	// the load before them, read through the source.LocalityReporter
+	// capability (the mmap CSR backend); 0 on chains without it.
+	PageTouches uint64
+	// LocalHits counts backend loads that stayed on the previous load's
+	// page — the near-free majority when probes exhibit the locality the
+	// hot path is built for.
+	LocalHits uint64
 }
 
 // Total returns the total cell-probe count (the model's complexity
@@ -182,6 +190,8 @@ func (s Stats) Sub(t Stats) Stats {
 		// so the delta keeps the newer snapshot's value.
 		RemainderTrips: s.RemainderTrips - t.RemainderTrips,
 		FetchWidth:     s.FetchWidth,
+		PageTouches:    s.PageTouches - t.PageTouches,
+		LocalHits:      s.LocalHits - t.LocalHits,
 	}
 }
 
@@ -221,6 +231,9 @@ type Counter struct {
 	pb0   uint64                  // proof-byte count at construction/Reset
 	pr    PrefetchReporter        // non-nil when the chain has a prefetch tier
 	rem0  uint64                  // remainder-trip count at construction/Reset
+	lr    source.LocalityReporter // non-nil when the chain reports page locality
+	pt0   uint64                  // page-touch count at construction/Reset
+	lh0   uint64                  // local-hit count at construction/Reset
 }
 
 var (
@@ -246,6 +259,10 @@ func NewCounter(inner Oracle) *Counter {
 	if pr, ok := inner.(PrefetchReporter); ok {
 		c.pr = pr
 		c.rem0 = pr.RemainderTrips()
+	}
+	if lr, ok := inner.(source.LocalityReporter); ok {
+		c.lr = lr
+		c.pt0, c.lh0 = lr.PageTouches(), lr.LocalHits()
 	}
 	return c
 }
@@ -353,6 +370,25 @@ func (c *Counter) RemainderTrips() uint64 {
 	return 0
 }
 
+// PageTouches forwards the chain's page-touch count (0 when no
+// page-mapped backend is underneath), so stacked wrappers keep the
+// capability visible.
+func (c *Counter) PageTouches() uint64 {
+	if c.lr != nil {
+		return c.lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the chain's same-page-hit count (0 when no
+// page-mapped backend is underneath).
+func (c *Counter) LocalHits() uint64 {
+	if c.lr != nil {
+		return c.lr.LocalHits()
+	}
+	return 0
+}
+
 // Stats returns the probe counts so far.
 func (c *Counter) Stats() Stats {
 	s := c.stats
@@ -371,6 +407,10 @@ func (c *Counter) Stats() Stats {
 		s.RemainderTrips = c.pr.RemainderTrips() - c.rem0
 		s.FetchWidth = uint64(c.pr.FetchWidth())
 	}
+	if c.lr != nil {
+		s.PageTouches = c.lr.PageTouches() - c.pt0
+		s.LocalHits = c.lr.LocalHits() - c.lh0
+	}
 	return s
 }
 
@@ -388,6 +428,9 @@ func (c *Counter) Reset() {
 	}
 	if c.pr != nil {
 		c.rem0 = c.pr.RemainderTrips()
+	}
+	if c.lr != nil {
+		c.pt0, c.lh0 = c.lr.PageTouches(), c.lr.LocalHits()
 	}
 }
 
@@ -632,6 +675,24 @@ func (c *CachingOracle) FetchWidth() int {
 func (c *CachingOracle) RemainderTrips() uint64 {
 	if pr, ok := c.inner.(PrefetchReporter); ok {
 		return pr.RemainderTrips()
+	}
+	return 0
+}
+
+// PageTouches forwards the chain's page-touch count (0 when no
+// page-mapped backend is underneath).
+func (c *CachingOracle) PageTouches() uint64 {
+	if lr, ok := c.inner.(source.LocalityReporter); ok {
+		return lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the chain's same-page-hit count (0 when no
+// page-mapped backend is underneath).
+func (c *CachingOracle) LocalHits() uint64 {
+	if lr, ok := c.inner.(source.LocalityReporter); ok {
+		return lr.LocalHits()
 	}
 	return 0
 }

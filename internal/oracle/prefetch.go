@@ -76,9 +76,12 @@ type PrefetchOracle struct {
 	// fetches and cache-hit events on primed Neighbors reads (tracing.go).
 	tr *trace.Tracer
 
-	mu    sync.Mutex
-	rows  map[int][]int       // full adjacency rows
-	index map[int]map[int]int // per-row neighbor -> position, built on first Adjacency
+	mu sync.Mutex
+	// store holds the primed full adjacency rows in an open-addressed
+	// table (no per-row map allocations; the table resets in bulk at the
+	// cap). Adjacency scans the polylog row — as cheap as the per-row
+	// index maps this replaced, with zero allocation.
+	store rowStore
 	stats PrefetchStats
 
 	// The learned-width state (guarded by mu; fetchBatched reads a width
@@ -150,8 +153,6 @@ func NewPrefetch(src source.Source, opts ...PrefetchOption) *PrefetchOracle {
 		n:     src.N(),
 		width: DefaultFetchWidth,
 		cap:   DefaultRowCap,
-		rows:  make(map[int][]int),
-		index: make(map[int]map[int]int),
 	}
 	p.adapt = true
 	if bp, ok := src.(source.BatchProber); ok {
@@ -177,6 +178,7 @@ func NewPrefetch(src source.Source, opts ...PrefetchOption) *PrefetchOracle {
 	for _, o := range opts {
 		o(p)
 	}
+	p.store = newRowStore(p.cap)
 	return p
 }
 
@@ -249,13 +251,33 @@ func (p *PrefetchOracle) ProofBytes() uint64 {
 	return 0
 }
 
+// PageTouches forwards the backend's page-touch count (0 when no
+// page-mapped backend is underneath), keeping the
+// source.LocalityReporter capability visible through the prefetching
+// tier.
+func (p *PrefetchOracle) PageTouches() uint64 {
+	if lr, ok := source.LocalityOf(p.src); ok {
+		return lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the backend's same-page-hit count (0 when no
+// page-mapped backend is underneath).
+func (p *PrefetchOracle) LocalHits() uint64 {
+	if lr, ok := source.LocalityOf(p.src); ok {
+		return lr.LocalHits()
+	}
+	return 0
+}
+
 // N implements Oracle (free, as everywhere in the model).
 func (p *PrefetchOracle) N() int { return p.n }
 
 // Degree implements Oracle, served from the primed row when present.
 func (p *PrefetchOracle) Degree(v int) int {
 	p.mu.Lock()
-	if row, ok := p.rows[v]; ok {
+	if row, ok := p.store.get(v); ok {
 		p.stats.RowHits++
 		p.mu.Unlock()
 		return len(row)
@@ -268,7 +290,7 @@ func (p *PrefetchOracle) Degree(v int) int {
 // Neighbor implements Oracle, served from the primed row when present.
 func (p *PrefetchOracle) Neighbor(v, i int) int {
 	p.mu.Lock()
-	if row, ok := p.rows[v]; ok {
+	if row, ok := p.store.get(v); ok {
 		p.stats.RowHits++
 		p.mu.Unlock()
 		if i < 0 || i >= len(row) {
@@ -281,27 +303,22 @@ func (p *PrefetchOracle) Neighbor(v, i int) int {
 	return p.src.Neighbor(v, i)
 }
 
-// Adjacency implements Oracle. A primed row answers locally: the first
-// Adjacency probe against a row builds its neighbor->position index, so
-// repeated membership tests (the spanners' bread and butter) stay O(1).
+// Adjacency implements Oracle. A primed row answers locally by scanning
+// its cells — rows are polylog, so the scan matches the per-row index
+// maps it replaced without their allocation churn, and repeated
+// membership tests (the spanners' bread and butter) stay cheap.
 func (p *PrefetchOracle) Adjacency(u, v int) int {
 	if u < 0 || u >= p.n || v < 0 || v >= p.n {
 		return -1
 	}
 	p.mu.Lock()
-	if row, ok := p.rows[u]; ok {
+	if row, ok := p.store.get(u); ok {
 		p.stats.RowHits++
-		idx, ok := p.index[u]
-		if !ok {
-			idx = make(map[int]int, len(row))
-			for i, w := range row {
-				idx[w] = i
-			}
-			p.index[u] = idx
-		}
 		p.mu.Unlock()
-		if i, ok := idx[v]; ok {
-			return i
+		for i, w := range row {
+			if w == v {
+				return i
+			}
 		}
 		return -1
 	}
@@ -318,7 +335,7 @@ func (p *PrefetchOracle) Neighbors(v int) []int {
 		return nil
 	}
 	p.mu.Lock()
-	if row, ok := p.rows[v]; ok {
+	if row, ok := p.store.get(v); ok {
 		p.stats.RowHits++
 		p.mu.Unlock()
 		if tr := p.tr; tr != nil {
@@ -344,7 +361,7 @@ func (p *PrefetchOracle) Prefetch(vs ...int) {
 			continue
 		}
 		seen[v] = true
-		if _, ok := p.rows[v]; !ok {
+		if _, ok := p.store.get(v); !ok {
 			want = append(want, v)
 		}
 	}
@@ -393,14 +410,10 @@ func (p *PrefetchOracle) fetchRows(vs []int) map[int][]int {
 	p.stats.BatchedCells += cells
 	p.stats.RemainderTrips += remTrips
 	p.observeDegreesLocked(rows)
-	if len(p.rows)+len(rows) > p.cap {
-		// Clearing instead of evicting keeps the cache a plain map; rows
-		// are pure functions of the graph, so only hit rate is at stake.
-		p.rows = make(map[int][]int)
-		p.index = make(map[int]map[int]int)
-	}
+	// The store resets itself in bulk at its cap; rows are pure functions
+	// of the graph, so only hit rate is at stake.
 	for v, row := range rows {
-		p.rows[v] = row
+		p.store.put(v, row)
 	}
 	return rows
 }

@@ -300,6 +300,22 @@ func (a *auditOracle) RemainderTrips() uint64 {
 	return 0
 }
 
+// PageTouches forwards the chain's page-touch count.
+func (a *auditOracle) PageTouches() uint64 {
+	if lr, ok := a.inner.(source.LocalityReporter); ok {
+		return lr.PageTouches()
+	}
+	return 0
+}
+
+// LocalHits forwards the chain's same-page-hit count.
+func (a *auditOracle) LocalHits() uint64 {
+	if lr, ok := a.inner.(source.LocalityReporter); ok {
+		return lr.LocalHits()
+	}
+	return 0
+}
+
 // replay ----------------------------------------------------------------
 
 // ReplayReport summarizes a successful audit-log replay.

@@ -19,6 +19,8 @@ package serve
 //	serve_hedges_total                      hedged probes fired
 //	serve_attest_failures_total             probe answers that failed attestation
 //	serve_proof_bytes_total                 Merkle proof bytes transported
+//	serve_page_touches_total                mapped-backend loads off the previous page
+//	serve_local_hits_total                  mapped-backend loads on the previous page
 //	serve_audit_records_total               signed audit-log records written
 //	serve_probes_per_query                  histogram
 //	serve_round_trips_per_query             histogram (network sources)
@@ -66,6 +68,8 @@ type serverMetrics struct {
 	hedges       *metrics.Counter
 	attestFails  *metrics.Counter
 	proofBytes   *metrics.Counter
+	pageTouches  *metrics.Counter
+	localHits    *metrics.Counter
 	auditRecords *metrics.Counter
 
 	probesPerQuery *metrics.Histogram
@@ -88,6 +92,8 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		hedges:         reg.Counter("serve_hedges_total"),
 		attestFails:    reg.Counter("serve_attest_failures_total"),
 		proofBytes:     reg.Counter("serve_proof_bytes_total"),
+		pageTouches:    reg.Counter("serve_page_touches_total"),
+		localHits:      reg.Counter("serve_local_hits_total"),
 		auditRecords:   reg.Counter("serve_audit_records_total"),
 		probesPerQuery: reg.Histogram("serve_probes_per_query", metrics.CountBuckets),
 		rtPerQuery:     reg.Histogram("serve_round_trips_per_query", metrics.CountBuckets),
@@ -117,6 +123,8 @@ func (m *serverMetrics) observeExec(st oracle.Stats) {
 	m.hedges.Add(st.Hedges)
 	m.attestFails.Add(st.AttestFailures)
 	m.proofBytes.Add(st.ProofBytes)
+	m.pageTouches.Add(st.PageTouches)
+	m.localHits.Add(st.LocalHits)
 }
 
 // observeRequest records one served query request (coalesced waiters

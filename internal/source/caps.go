@@ -36,6 +36,9 @@ type Caps struct {
 	// Attest returns the graph commitment view (the Attestor capability
 	// of attested sources: Merkle root + per-row inclusion proofs).
 	Attest func() Attestor
+	// Locality reports the (pageTouches, localHits) counter pair (the
+	// LocalityReporter capability of page-mapped backends).
+	Locality func() (pageTouches, localHits uint64)
 }
 
 // CapSource is implemented by sources whose optional capabilities are
@@ -129,6 +132,20 @@ func AttestorOf(src Source) (Attestor, bool) {
 	return at, ok
 }
 
+// LocalityOf returns src's LocalityReporter capability (page-touch and
+// same-page-hit counters of mapped backends), dynamic view first, static
+// interface second.
+func LocalityOf(src Source) (LocalityReporter, bool) {
+	if cs, ok := src.(CapSource); ok {
+		if f := cs.Caps().Locality; f != nil {
+			return localityFunc(f), true
+		}
+		return nil, false
+	}
+	lr, ok := src.(LocalityReporter)
+	return lr, ok
+}
+
 // Function adapters lifting Caps fields back onto the static interfaces,
 // so accessor callers keep one calling convention.
 type edgeCounterFunc func() int
@@ -146,3 +163,9 @@ func (f randomEdgerFunc) RandomEdge(prg *rnd.PRG) (int, int) { return f(prg) }
 type rowFetcherFunc func([]int) ([][]int, error)
 
 func (f rowFetcherFunc) FetchRows(vs []int) ([][]int, error) { return f(vs) }
+
+type localityFunc func() (uint64, uint64)
+
+func (f localityFunc) PageTouches() uint64 { t, _ := f(); return t }
+
+func (f localityFunc) LocalHits() uint64 { _, h := f(); return h }

@@ -1,6 +1,7 @@
 package source
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -78,6 +79,31 @@ func TestConformanceBackends(t *testing.T) {
 			}
 			c, err := OpenCSR(writeCSRFile(t, b.Build()))
 			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"csrmmap/shuffled", func(t testing.TB) Source {
+			c, err := OpenCSRMmap(writeCSRFile(t, gen.Gnp(150, 0.06, 21)))
+			if err != nil {
+				if errors.Is(err, ErrMmapUnsupported) {
+					t.Skip("mmap unsupported on this platform")
+				}
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"csrmmap/sorted", func(t testing.TB) Source {
+			g := gen.Gnp(150, 0.06, 21)
+			b := graph.NewBuilder(g.N())
+			for _, e := range g.Edges() {
+				b.AddEdge(e.U, e.V)
+			}
+			c, err := OpenCSRMmap(writeCSRFile(t, b.Build()))
+			if err != nil {
+				if errors.Is(err, ErrMmapUnsupported) {
+					t.Skip("mmap unsupported on this platform")
+				}
 				t.Fatal(err)
 			}
 			return c

@@ -1,0 +1,226 @@
+package source
+
+// Memory-mapped CSR: the same on-disk format as the cold reader, but the
+// whole file is mapped read-only once at open, so every probe is a couple
+// of loads against the page cache instead of positioned-read syscalls.
+// This is the hot local path the space-efficient LCA model wants: the
+// polylog-probe guarantee means a query touches a handful of adjacency
+// rows, and a mapping answers those touches from resident pages with zero
+// per-probe allocation and zero syscalls.
+//
+// The reader keeps probe-locality counters (the LocalityReporter
+// capability): a probe landing on the same 4KiB page as the previous one
+// is a local hit (near-free), a different page is a page touch (page
+// cache or fault work). The split is what benchmarks and served answers
+// surface to show whether a workload's probes actually exhibit the
+// locality the cache hierarchy is sized for.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"lca/internal/graph"
+)
+
+// ErrMmapUnsupported marks platforms (or file sizes) the mmap backend
+// cannot serve; OpenCSRMmap wraps it so callers can fall back to the cold
+// positioned-read reader with errors.Is.
+var ErrMmapUnsupported = errors.New("mmap is not supported here")
+
+// csrPageShift is the locality granule: byte offsets within the same
+// 1<<csrPageShift block count as one page. 4KiB matches the smallest
+// page size of every supported platform.
+const csrPageShift = 12
+
+// CSRMmap is a memory-mapped source over a CSR binary file. Construct
+// with OpenCSRMmap; the zero value is unusable. Safe for concurrent use:
+// the mapping is read-only and the counters are atomic.
+type CSRMmap struct {
+	f    *os.File
+	data []byte
+	h    graph.CSRHeader
+
+	pageTouches atomic.Uint64
+	localHits   atomic.Uint64
+	lastPage    atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var (
+	_ Source           = (*CSRMmap)(nil)
+	_ EdgeCounter      = (*CSRMmap)(nil)
+	_ Closer           = (*CSRMmap)(nil)
+	_ LocalityReporter = (*CSRMmap)(nil)
+)
+
+// OpenCSRMmap maps a CSR binary file for hot probing. The error wraps
+// ErrMmapUnsupported when the platform cannot map files (or the file
+// exceeds the address space); callers fall back to OpenCSR then.
+func OpenCSRMmap(path string) (*CSRMmap, error) {
+	if !mmapSupported {
+		return nil, fmt.Errorf("source: csr mmap %s: %w", path, ErrMmapUnsupported)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := graph.ReadCSRHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if h.N > math.MaxInt32+1 {
+		// Neighbor cells are int32; a bigger N could not have been written.
+		f.Close()
+		return nil, fmt.Errorf("source: CSR header n=%d exceeds the int32 vertex space", h.N)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := h.NeighborPos(h.Entries); st.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("source: CSR file truncated: %d bytes, header requires %d", st.Size(), want)
+	}
+	size := st.Size()
+	if int64(int(size)) != size {
+		// A 32-bit address space cannot hold the mapping.
+		f.Close()
+		return nil, fmt.Errorf("source: csr mmap %s: %d bytes exceed the address space: %w", path, size, ErrMmapUnsupported)
+	}
+	data, err := mmapFile(f.Fd(), int(size))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("source: csr mmap %s: %w", path, err)
+	}
+	c := &CSRMmap{f: f, data: data, h: h}
+	c.lastPage.Store(-1)
+	return c, nil
+}
+
+// Close unmaps the file exactly once and releases the handle. Idempotent:
+// repeated calls return the first result, so session teardown and
+// deferred cleanup can both fire without a double munmap.
+func (c *CSRMmap) Close() error {
+	c.closeOnce.Do(func() {
+		err := munmapFile(c.data)
+		c.data = nil
+		if cerr := c.f.Close(); err == nil {
+			err = cerr
+		}
+		c.closeErr = err
+	})
+	return c.closeErr
+}
+
+// N implements Source.
+func (c *CSRMmap) N() int { return int(c.h.N) }
+
+// M implements EdgeCounter; the edge count is in the header.
+func (c *CSRMmap) M() int { return int(c.h.Entries / 2) }
+
+// Sorted reports whether the file's adjacency lists are sorted (the
+// writer's flag); sorted files answer Adjacency probes in O(log deg)
+// loads instead of O(deg).
+func (c *CSRMmap) Sorted() bool { return c.h.Sorted }
+
+// PageTouches implements LocalityReporter: probes that landed on a
+// different page than the probe before them.
+func (c *CSRMmap) PageTouches() uint64 { return c.pageTouches.Load() }
+
+// LocalHits implements LocalityReporter: probes that stayed on the page
+// the previous probe touched.
+func (c *CSRMmap) LocalHits() uint64 { return c.localHits.Load() }
+
+// touch records the locality of one load at byte offset pos. One Swap
+// keeps the counter pair allocation-free and race-safe; under concurrency
+// the same-page attribution is approximate, which is all a locality
+// signal needs to be.
+func (c *CSRMmap) touch(pos int64) {
+	page := pos >> csrPageShift
+	if c.lastPage.Swap(page) == page {
+		c.localHits.Add(1)
+	} else {
+		c.pageTouches.Add(1)
+	}
+}
+
+// run returns the adjacency cell range [lo, hi) of v, or ok=false on a
+// corrupt offset pair (probe answers degrade to "no neighbor" rather than
+// panicking mid-query, matching the cold reader).
+func (c *CSRMmap) run(v int) (lo, hi int64, ok bool) {
+	if v < 0 || int64(v) >= c.h.N {
+		return 0, 0, false
+	}
+	pos := c.h.OffsetPos(int64(v))
+	c.touch(pos)
+	lo = int64(binary.LittleEndian.Uint64(c.data[pos:]))
+	hi = int64(binary.LittleEndian.Uint64(c.data[pos+8:]))
+	if lo < 0 || lo > hi || hi > c.h.Entries {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// cell returns adjacency cell i.
+func (c *CSRMmap) cell(i int64) int {
+	pos := c.h.NeighborPos(i)
+	c.touch(pos)
+	return int(binary.LittleEndian.Uint32(c.data[pos:]))
+}
+
+// Degree implements Source.
+func (c *CSRMmap) Degree(v int) int {
+	lo, hi, ok := c.run(v)
+	if !ok {
+		return 0
+	}
+	return int(hi - lo)
+}
+
+// Neighbor implements Source.
+func (c *CSRMmap) Neighbor(v, i int) int {
+	lo, hi, ok := c.run(v)
+	if !ok || i < 0 || int64(i) >= hi-lo {
+		return -1
+	}
+	return c.cell(lo + int64(i))
+}
+
+// Adjacency implements Source: binary search on sorted files, linear scan
+// otherwise.
+func (c *CSRMmap) Adjacency(u, v int) int {
+	lo, hi, ok := c.run(u)
+	if !ok {
+		return -1
+	}
+	if c.h.Sorted {
+		origLo, origHi := lo, hi
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if w := c.cell(mid); w < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < origHi && c.cell(lo) == v {
+			return int(lo - origLo)
+		}
+		return -1
+	}
+	for i := lo; i < hi; i++ {
+		if c.cell(i) == v {
+			return int(i - lo)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,222 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"lca/internal/gen"
+	"lca/internal/rnd"
+)
+
+// skipNoMmap skips tests that need a working mmap backend.
+func skipNoMmap(t *testing.T) {
+	t.Helper()
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+}
+
+// TestCSRMmapMatchesColdReader is the probe-equivalence property: over a
+// spread of seeds (and so graph shapes), the mmap reader and the cold
+// positioned-read reader must answer every probe of the suite's sample
+// identically — Degree, every Neighbor cell plus one past the end, and
+// Adjacency both for present and absent edges.
+func TestCSRMmapMatchesColdReader(t *testing.T) {
+	skipNoMmap(t)
+	for _, seed := range []rnd.Seed{1, 7, 21, 99, 4242} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			path := writeCSRFile(t, gen.Gnp(200, 0.05, seed))
+			cold, err := OpenCSR(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cold.Close()
+			hot, err := OpenCSRMmap(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hot.Close()
+			if hot.N() != cold.N() || hot.M() != cold.M() || hot.Sorted() != cold.Sorted() {
+				t.Fatalf("metadata differs: n %d/%d m %d/%d sorted %v/%v",
+					hot.N(), cold.N(), hot.M(), cold.M(), hot.Sorted(), cold.Sorted())
+			}
+			n := cold.N()
+			for v := -1; v <= n; v++ { // out-of-range included
+				dc, dh := cold.Degree(v), hot.Degree(v)
+				if dc != dh {
+					t.Fatalf("Degree(%d): mmap %d, cold %d", v, dh, dc)
+				}
+				for i := 0; i <= dc; i++ {
+					if wc, wh := cold.Neighbor(v, i), hot.Neighbor(v, i); wc != wh {
+						t.Fatalf("Neighbor(%d,%d): mmap %d, cold %d", v, i, wh, wc)
+					}
+				}
+				if v < 0 || v >= n {
+					continue
+				}
+				for _, u := range []int{0, (v + 1) % n, (v * 13) % n} {
+					if ac, ah := cold.Adjacency(v, u), hot.Adjacency(v, u); ac != ah {
+						t.Fatalf("Adjacency(%d,%d): mmap %d, cold %d", v, u, ah, ac)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSRMmapCloseUnmapsOnce pins the teardown contract: Close is
+// idempotent, the mapping is released exactly once (the data slice is
+// dropped on the first call), and racing closers all see the first
+// result.
+func TestCSRMmapCloseUnmapsOnce(t *testing.T) {
+	skipNoMmap(t)
+	c, err := OpenCSRMmap(writeCSRFile(t, gen.Gnp(80, 0.1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Degree(5) < 0 {
+		t.Fatal("probe before close failed")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racing Close %d: %v", i, err)
+		}
+	}
+	if c.data != nil {
+		t.Fatal("mapping still referenced after Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after Close: %v (must be idempotent)", err)
+	}
+}
+
+// TestCSRMmapLocalityCounters pins the LocalityReporter accounting: every
+// load is either a page touch or a local hit, a same-page re-probe counts
+// local, and the counters only ever grow.
+func TestCSRMmapLocalityCounters(t *testing.T) {
+	skipNoMmap(t)
+	c, err := OpenCSRMmap(writeCSRFile(t, gen.Gnp(120, 0.08, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.PageTouches() != 0 || c.LocalHits() != 0 {
+		t.Fatalf("fresh mapping reports touches=%d local=%d", c.PageTouches(), c.LocalHits())
+	}
+	c.Degree(3)
+	if c.PageTouches() == 0 {
+		t.Fatal("first probe did not count a page touch")
+	}
+	pt, lh := c.PageTouches(), c.LocalHits()
+	c.Degree(3) // identical offset: must count as a local hit
+	if c.LocalHits() != lh+1 || c.PageTouches() != pt {
+		t.Fatalf("same-page re-probe: touches %d->%d local %d->%d",
+			pt, c.PageTouches(), lh, c.LocalHits())
+	}
+	for v := 0; v < c.N(); v++ {
+		d := c.Degree(v)
+		for i := 0; i < d; i++ {
+			c.Neighbor(v, i)
+		}
+	}
+	if c.PageTouches()+c.LocalHits() <= pt+lh {
+		t.Fatal("probing did not advance the locality counters")
+	}
+	if _, ok := LocalityOf(c); !ok {
+		t.Fatal("CSRMmap does not surface the LocalityReporter capability")
+	}
+}
+
+// TestCSRMmapRejectsBadFiles mirrors the cold reader's open-time
+// validation.
+func TestCSRMmapRejectsBadFiles(t *testing.T) {
+	skipNoMmap(t)
+	if _, err := OpenCSRMmap("/nonexistent/no.csr"); err == nil {
+		t.Fatal("opened a nonexistent file")
+	}
+	path := writeCSRFile(t, gen.Gnp(40, 0.1, 2))
+	if src, err := Parse("csr:"+path+"?mmap=1", 0); err != nil {
+		t.Fatalf("mmap spec failed on a good file: %v", err)
+	} else {
+		if _, ok := src.(*CSRMmap); !ok {
+			t.Fatalf("csr:...?mmap=1 opened %T, want *CSRMmap", src)
+		}
+		_ = src.(Closer).Close()
+	}
+}
+
+// TestCSRSpecKnobErrors drives the csr: query grammar table-style: every
+// malformed knob must be rejected with an error naming the offending
+// token — a typo must never degrade into a silently ignored knob — while
+// the well-formed spellings open the right reader.
+func TestCSRSpecKnobErrors(t *testing.T) {
+	path := writeCSRFile(t, gen.Gnp(30, 0.1, 5))
+	bad := []struct {
+		spec    string
+		wantSub string // the rejected token, quoted in the error
+	}{
+		{"csr:" + path + "?bogus=1", `unknown csr knob "bogus"`},
+		{"csr:" + path + "?mmap=1&bogus=2", `unknown csr knob "bogus"`},
+		{"csr:" + path + "?mmap", `csr knob "mmap": want knob=value`},
+		{"csr:" + path + "?=1", `csr knob "=1": want knob=value`},
+		{"csr:" + path + "?", `csr knob "": want knob=value`},
+		{"csr:" + path + "?mmap=1&mmap=0", `csr knob "mmap" given more than once`},
+		{"csr:" + path + "?mmap=yes", `csr knob mmap="yes": want 0 or 1`},
+		{"csr:" + path + "?mmap=", `csr knob mmap="": want 0 or 1`},
+	}
+	for _, tc := range bad {
+		_, err := Parse(tc.spec, 0)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a malformed knob", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q does not name the token, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+	// mmap=0 is the explicit cold spelling; it must open the cold reader
+	// even where mmap is available.
+	src, err := Parse("csr:"+path+"?mmap=0", 0)
+	if err != nil {
+		t.Fatalf("mmap=0: %v", err)
+	}
+	if _, ok := src.(*CSR); !ok {
+		t.Fatalf("csr:...?mmap=0 opened %T, want the cold *CSR", src)
+	}
+	_ = src.(Closer).Close()
+}
+
+// TestOpenCSRSpecMmapFallback pins the spec contract on platforms
+// without mmap: ?mmap=1 must degrade to the cold reader, not error. On
+// platforms with mmap this asserts the error-wrapping convention instead.
+func TestOpenCSRSpecMmapFallback(t *testing.T) {
+	if mmapSupported {
+		err := fmt.Errorf("wrapped: %w", ErrMmapUnsupported)
+		if !errors.Is(err, ErrMmapUnsupported) {
+			t.Fatal("ErrMmapUnsupported does not survive wrapping")
+		}
+		t.Skip("mmap supported here; the fallback path runs on !unix builds")
+	}
+	path := writeCSRFile(t, gen.Gnp(40, 0.1, 2))
+	src, err := Parse("csr:"+path+"?mmap=1", 0)
+	if err != nil {
+		t.Fatalf("mmap=1 must fall back to the cold reader, got %v", err)
+	}
+	if _, ok := src.(*CSR); !ok {
+		t.Fatalf("fallback opened %T, want the cold *CSR", src)
+	}
+	_ = src.(Closer).Close()
+}

@@ -31,6 +31,13 @@ var fuzzSeedSpecs = []string{
 	"blockrandom:n=500,d=4,block=999999999",
 	"edgelist:/nonexistent/g.txt",
 	"csr:/nonexistent/g.csr",
+	"csr:/nonexistent/g.csr?mmap=1",
+	"csr:/nonexistent/g.csr?mmap=0",
+	"csr:/nonexistent/g.csr?bogus=1",
+	"csr:/nonexistent/g.csr?mmap=1&mmap=0",
+	"csr:/nonexistent/g.csr?mmap",
+	"csr:/nonexistent/g.csr?mmap=yes",
+	"csr:?mmap=1",
 	"warp:n=10",
 	"ring:n=10,n=20",
 	"ring:n=10,z=1",

@@ -1,0 +1,20 @@
+//go:build unix
+
+package source
+
+// The mmap syscall surface on unix-likes: the CSR file is mapped shared
+// and read-only, so probes become loads against the page cache with no
+// per-probe syscall at all.
+
+import "syscall"
+
+// mmapSupported reports whether this platform can map files; the
+// unsupported build returns false and OpenCSRMmap fails with
+// ErrMmapUnsupported so spec parsing can fall back to the cold reader.
+const mmapSupported = true
+
+func mmapFile(fd uintptr, length int) ([]byte, error) {
+	return syscall.Mmap(int(fd), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package source
+
+// Fallback for platforms without a usable mmap: OpenCSRMmap fails with
+// ErrMmapUnsupported and callers (the csr:...?mmap=1 spec knob) degrade
+// to the cold positioned-read CSR backend.
+
+const mmapSupported = false
+
+func mmapFile(fd uintptr, length int) ([]byte, error) { return nil, ErrMmapUnsupported }
+
+func munmapFile(data []byte) error { return nil }

@@ -112,6 +112,20 @@ type Closer interface {
 	Close() error
 }
 
+// LocalityReporter is the optional capability of reporting probe locality
+// on page-granular backends (the mmap CSR reader): PageTouches counts
+// loads that landed on a different 4KiB page than the load before them
+// (page-cache or fault work), LocalHits counts loads that stayed on the
+// same page (near-free). Both are monotone and safe for concurrent use.
+// Like round trips, the split is transport accounting, deliberately
+// separate from the model's per-cell probe counts — it shows whether a
+// workload's probes exhibit the locality the cache hierarchy is sized
+// for.
+type LocalityReporter interface {
+	PageTouches() uint64
+	LocalHits() uint64
+}
+
 // RoundTripCounter is the optional capability of reporting how many
 // network round trips a source has issued so far (monotone, safe for
 // concurrent use). Remote counts its HTTP requests; Sharded sums its

@@ -19,6 +19,7 @@ package source
 // comma, so sharded:remote:http://a,remote:http://b works.
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -150,10 +151,11 @@ var families = map[string]*Family{
 		},
 	},
 	"csr": {
-		Name:  "csr",
-		Usage: "csr:path — CSR binary file, probed cold from disk",
+		Name: "csr",
+		Usage: "csr:path[?mmap=1] — CSR binary file, probed cold from disk " +
+			"(mmap=1 maps it read-only instead, falling back to cold reads where mmap is unavailable)",
 		Open: func(args map[string]string, _ rnd.Seed) (Source, error) {
-			return OpenCSR(args["path"])
+			return openCSRSpec(args["path"])
 		},
 	},
 	"remote": {
@@ -300,6 +302,55 @@ func openShardedSpec(args map[string]string, seed rnd.Seed) (Source, error) {
 		return nil, err
 	}
 	return src, nil
+}
+
+// openCSRSpec opens a csr: spec body, which is a path with an optional
+// "?knob=value&knob=value" query suffix. The only knob today is mmap=0|1;
+// an unknown knob is an error naming the offending token — the same
+// hardening the sharded #root= fragment got — because a typo silently
+// opening the cold reader would hide exactly the speedup the knob exists
+// to switch on.
+func openCSRSpec(rest string) (Source, error) {
+	path, query, hasQuery := strings.Cut(rest, "?")
+	useMmap := false
+	if hasQuery {
+		seen := map[string]bool{}
+		for _, kv := range strings.Split(query, "&") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				return nil, fmt.Errorf("csr knob %q: want knob=value", kv)
+			}
+			if seen[k] {
+				return nil, fmt.Errorf("csr knob %q given more than once", k)
+			}
+			seen[k] = true
+			switch k {
+			case "mmap":
+				switch v {
+				case "1":
+					useMmap = true
+				case "0":
+					useMmap = false
+				default:
+					return nil, fmt.Errorf("csr knob mmap=%q: want 0 or 1", v)
+				}
+			default:
+				// A typo must never degrade into a silently ignored knob.
+				return nil, fmt.Errorf("unknown csr knob %q (accepted: mmap)", k)
+			}
+		}
+	}
+	if useMmap {
+		src, err := OpenCSRMmap(path)
+		if err == nil {
+			return src, nil
+		}
+		if errors.Is(err, ErrMmapUnsupported) {
+			return OpenCSR(path)
+		}
+		return nil, err
+	}
+	return OpenCSR(path)
 }
 
 // aliases maps alternative family names onto catalog entries.

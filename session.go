@@ -64,6 +64,9 @@ type Session struct {
 	// prefetch roots every oracle chain at a prefetching exploration
 	// oracle (WithPrefetch).
 	prefetch bool
+	// rowCache, when non-nil, is the shared L2 of the tiered row-cache
+	// hierarchy every oracle chain stacks over the source (WithRowCache).
+	rowCache *oracle.RowCache
 	// tracer, when non-nil, records a probe-level span tree for every
 	// point query (WithTracer).
 	tracer *Tracer
@@ -121,6 +124,25 @@ func WithWorkers(w int) SessionOption {
 // reported via ProbeStats().RoundTrips.
 func WithPrefetch(on bool) SessionOption {
 	return func(s *Session) { s.prefetch = on }
+}
+
+// WithRowCache routes the session's probes through the tiered row-cache
+// hierarchy of the hot local path: every oracle chain gets its own L1
+// row store (an arena-backed vertex->row table, allocation-free in
+// steady state) and shares one bounded L2 row cache of at most entries
+// rows, evicted LRU. Answers, probe counts and probe budgets are
+// identical with or without it — rows are pure functions of the fixed
+// graph, so only where cells come from changes. It pays off on local
+// backends (mmap CSR, implicit families) where a whole row costs barely
+// more than a cell; on network sources prefer WithPrefetch, which
+// batches round trips (the two compose: prefetch stacks above the
+// tier). entries <= 0 leaves the hierarchy off.
+func WithRowCache(entries int) SessionOption {
+	return func(s *Session) {
+		if entries > 0 {
+			s.rowCache = oracle.NewRowCache(entries, oracle.EvictLRU)
+		}
+	}
 }
 
 // WithTracer records probe-level span trees into tr: every point query
@@ -260,11 +282,20 @@ func (s *Session) descriptor(algo string, kind registry.Kind) (*registry.Descrip
 // source: the plain source view, or a prefetching exploration oracle when
 // WithPrefetch is on. A traced session (WithTracer) roots the chain at a
 // traced view of the source, so network backends record their rpc spans
-// into the session's tracer.
+// into the session's tracer. WithRowCache inserts the tiered row-cache
+// oracle directly over the source (each chain owns its L1; the session's
+// L2 is shared), and prefetch, when also on, stacks above the tier.
 func (s *Session) rootOracle() Oracle {
 	src := s.src
 	if s.tracer != nil {
 		src = source.TracedView(src, s.tracer)
+	}
+	if s.rowCache != nil {
+		tiered := oracle.NewTiered(src, s.rowCache)
+		if !s.prefetch {
+			return tiered
+		}
+		src = tiered
 	}
 	if s.prefetch {
 		po := oracle.NewPrefetch(src)
